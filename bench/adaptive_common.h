@@ -1,0 +1,99 @@
+// Shared helpers for the adaptive-compression benches (Table 7, Fig 4/5).
+//
+// The assigners need per-layer gradient statistics. For the full paper
+// models (10^8 parameters) we collect stats on a 1/64-scaled copy of the
+// layout — relative layer sizes, and therefore the clustering structure and
+// bit assignments, are preserved — and then apply the resulting per-layer
+// bit-widths to the full-size engine for the timing arithmetic.
+#pragma once
+
+#include <map>
+
+#include "bench/common.h"
+#include "core/adaptive.h"
+
+namespace cgx::bench {
+
+struct ScaledStats {
+  tensor::LayerLayout layout;                 // scaled copy
+  std::unique_ptr<core::GradStatsCollector> stats;
+  std::vector<bool> compressible;
+};
+
+// Per-element gradient magnitude by layer kind: embeddings see tiny dense
+// gradients (each row updated by few tokens), norms/biases see large ones —
+// the heterogeneity §5 exploits.
+inline float kind_scale(models::LayerKind kind) {
+  switch (kind) {
+    case models::LayerKind::Embedding:
+      return 0.02f;
+    case models::LayerKind::Norm:
+    case models::LayerKind::Bias:
+      return 3.0f;
+    case models::LayerKind::Conv:
+      return 1.0f;
+    case models::LayerKind::Attention:
+      return 0.8f;
+    case models::LayerKind::Linear:
+      return 0.6f;
+  }
+  return 1.0f;
+}
+
+inline ScaledStats collect_scaled_stats(const models::PaperModel& model,
+                                        const core::CgxEngine& engine,
+                                        std::size_t shrink = 64,
+                                        std::uint64_t seed = 999) {
+  ScaledStats out;
+  for (std::size_t l = 0; l < model.layout.layer_count(); ++l) {
+    const auto& info = model.layout.layer(l);
+    const std::size_t numel = std::max<std::size_t>(8, info.numel / shrink);
+    out.layout.add_layer(info.name, numel);
+    out.compressible.push_back(engine.resolved()[l].method !=
+                               core::Method::None);
+  }
+  out.stats = std::make_unique<core::GradStatsCollector>(out.layout);
+  util::Rng rng(seed);
+  std::vector<float> fused(out.layout.total_numel());
+  for (int step = 0; step < 4; ++step) {
+    for (std::size_t l = 0; l < out.layout.layer_count(); ++l) {
+      auto slice = out.layout.slice(std::span<float>(fused), l);
+      const float scale = kind_scale(model.layer_kinds[l]);
+      for (auto& v : slice) {
+        v = scale * static_cast<float>(rng.next_gaussian());
+      }
+    }
+    out.stats->accumulate(fused);
+  }
+  return out;
+}
+
+// Applies an assignment computed on the scaled layout to a full-size
+// engine, matching layers by name.
+inline void apply_to_engine(const core::Assignment& assignment,
+                            const ScaledStats& scaled,
+                            core::CgxEngine& engine,
+                            std::size_t bucket_size) {
+  for (std::size_t l = 0; l < scaled.layout.layer_count(); ++l) {
+    if (assignment.bits[l] == 0) continue;
+    core::LayerCompression cfg;
+    cfg.method = core::Method::Qsgd;
+    cfg.bits = assignment.bits[l];
+    cfg.bucket_size = bucket_size;
+    engine.config().set_layer_exact(scaled.layout.layer(l).name, cfg);
+  }
+  engine.rebuild();
+}
+
+// Simulated step seconds of `engine` driving `model` on `machine`.
+inline double step_seconds(const models::PaperModel& model,
+                           const simgpu::Machine& machine,
+                           core::GradientEngine& engine) {
+  const double tput = models::simulated_throughput(
+      model, machine, engine,
+      profile_for(EngineKind::Cgx, machine.topology.num_devices()));
+  return machine.topology.num_devices() * model.items_per_step_per_gpu /
+         tput;
+}
+
+}  // namespace cgx::bench

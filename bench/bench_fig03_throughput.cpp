@@ -1,0 +1,68 @@
+// Figure 3: training throughput across machines, models, engines and GPU
+// counts. Hatched "ideal" bars are linear scaling of the single-GPU rate.
+//
+// Paper claims reproduced here: (a) RTX boxes scale poorly under plain
+// NCCL (<50% for large models); (b) QNCCL improves throughput by a margin
+// but inherits NCCL's scaling; (c) CGX gives 2-3x self-speedups, 80-90% of
+// linear scaling, letting the 8x RTX3090 box match or beat the DGX-1.
+#include <functional>
+
+#include "bench/common.h"
+
+using namespace cgx;
+using bench::EngineKind;
+
+int main() {
+  struct MachineEntry {
+    std::string label;
+    std::function<simgpu::Machine(int)> make;
+  };
+  const std::vector<MachineEntry> machines = {
+      {"DGX-1 (V100)", [](int g) { return simgpu::make_dgx1(g); }},
+      {"A6000", [](int g) { return simgpu::make_a6000_8x(g); }},
+      {"RTX-3090", [](int g) { return simgpu::make_rtx3090_8x(g); }},
+      {"RTX-2080", [](int g) { return simgpu::make_rtx2080_8x(g); }},
+  };
+  const int gpu_counts[] = {1, 2, 4, 8};
+  const EngineKind kinds[] = {EngineKind::Baseline, EngineKind::Qnccl,
+                              EngineKind::Cgx, EngineKind::Ideal};
+
+  util::CsvWriter csv("fig03_throughput.csv",
+                      {"machine", "model", "engine", "gpus", "items_per_s",
+                       "pct_of_linear"});
+
+  for (const auto& model : models::all_paper_models()) {
+    util::Table table("Fig 3 - " + model.name + " (" + model.task + ", " +
+                      model.item_unit + "/s)");
+    std::vector<std::string> header = {"machine", "engine"};
+    for (int g : gpu_counts) header.push_back(std::to_string(g) + " GPU");
+    header.push_back("% linear @8");
+    table.set_header(header);
+
+    for (const auto& entry : machines) {
+      for (EngineKind kind : kinds) {
+        std::vector<std::string> row = {entry.label,
+                                        bench::engine_kind_name(kind)};
+        double pct8 = 0.0;
+        for (int gpus : gpu_counts) {
+          const simgpu::Machine machine = entry.make(gpus);
+          const double tput = bench::throughput_of(model, machine, kind);
+          const double ideal =
+              gpus * model.single_gpu_items_per_s(machine.gpu);
+          if (gpus == 8) pct8 = 100.0 * tput / ideal;
+          row.push_back(util::Table::compact(tput));
+          csv.add_row({entry.label, model.name,
+                       bench::engine_kind_name(kind), std::to_string(gpus),
+                       util::Table::num(tput, 1),
+                       util::Table::num(100.0 * tput / ideal, 1)});
+        }
+        row.push_back(util::Table::num(pct8, 0) + "%");
+        table.add_row(row);
+      }
+    }
+    table.print();
+    std::cout << "\n";
+  }
+  std::cout << "Series written to fig03_throughput.csv\n";
+  return 0;
+}

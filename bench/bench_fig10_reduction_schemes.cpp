@@ -1,0 +1,97 @@
+// Figure 10: time per iteration under the three reduction schemes, plus the
+// measured compression error each scheme induces (the real reason SRA is
+// CGX's default: exactly two compression rounds).
+#include <mutex>
+
+#include "bench/common.h"
+#include "core/compressed_allreduce.h"
+#include "tensor/tensor_ops.h"
+
+using namespace cgx;
+
+namespace {
+
+// Real-collective error measurement: QSGD-compressed allreduce of random
+// vectors across 8 device threads vs the exact sum.
+double measured_error(comm::ReductionScheme scheme) {
+  constexpr int kWorld = 8;
+  constexpr std::size_t kD = 4096;
+  std::vector<float> want(kD, 0.0f);
+  std::vector<std::vector<float>> inputs;
+  for (int r = 0; r < kWorld; ++r) {
+    util::Rng rng(9000 + r);
+    std::vector<float> v(kD);
+    for (auto& x : v) x = static_cast<float>(rng.next_gaussian());
+    tensor::add_inplace(want, v);
+    inputs.push_back(std::move(v));
+  }
+  core::LayerCompression cfg;  // QSGD 4/128
+  std::vector<std::vector<std::unique_ptr<core::Compressor>>> state(kWorld);
+  for (auto& chunks : state) {
+    for (int c = 0; c < kWorld; ++c) {
+      chunks.push_back(core::make_compressor(cfg, 0));
+    }
+  }
+  std::vector<float> result(kD);
+  std::mutex mutex;
+  comm::ShmTransport transport(kWorld);
+  comm::run_world(transport, [&](comm::Comm& comm) {
+    std::vector<float> data = inputs[static_cast<std::size_t>(comm.rank())];
+    util::Rng rng(100 + static_cast<std::uint64_t>(comm.rank()));
+    std::vector<core::Compressor*> chunks;
+    for (auto& c : state[static_cast<std::size_t>(comm.rank())]) {
+      chunks.push_back(c.get());
+    }
+    core::compressed_allreduce(comm, data, chunks, rng, scheme);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mutex);
+      result = std::move(data);
+    }
+  });
+  std::vector<float> diff(kD);
+  tensor::sub(result, want, diff);
+  return tensor::l2_norm(diff) / tensor::l2_norm(want);
+}
+
+}  // namespace
+
+int main() {
+  const auto machine = simgpu::make_rtx3090_8x();
+  const std::vector<models::PaperModel> selected = {
+      models::transformer_xl_base(), models::vit_base(),
+      models::resnet50()};
+
+  util::Table table("Fig 10 - time per iteration (ms) by reduction scheme");
+  std::vector<std::string> header = {"scheme"};
+  for (const auto& m : selected) header.push_back(m.name);
+  header.push_back("rel. compression error (measured)");
+  table.set_header(header);
+
+  for (auto scheme :
+       {comm::ReductionScheme::ScatterReduceAllgather,
+        comm::ReductionScheme::Ring, comm::ReductionScheme::Tree}) {
+    std::vector<std::string> row = {comm::reduction_scheme_name(scheme)};
+    for (const auto& model : selected) {
+      core::EngineOptions options;
+      options.scheme = scheme;
+      core::CgxEngine engine(model.layout,
+                             core::CompressionConfig::cgx_default(), 8,
+                             options);
+      const double t = 8.0 * model.items_per_step_per_gpu /
+                       models::simulated_throughput(
+                           model, machine, engine,
+                           bench::profile_for(bench::EngineKind::Cgx, 8));
+      row.push_back(util::Table::num(1e3 * t, 1));
+    }
+    row.push_back(util::Table::num(measured_error(scheme), 3));
+    table.add_row(row);
+  }
+  table.print();
+  std::cout << "\nShape check: on a shared bus all three schemes move the\n"
+            << "same total bytes, so step times differ only by latency\n"
+            << "terms (visible on the short-step ResNet50). What separates\n"
+            << "them is compression error: SRA compresses exactly twice;\n"
+            << "Ring re-compresses partial sums at every hop (~2x error);\n"
+            << "Tree sits between. That is why CGX defaults to SRA (§6.2).\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Microbenchmarks: real wall-clock of the in-process collectives across
+// backends, schemes, world sizes and payload sizes (these move real bytes
+// between device threads; simulated-time benches price them separately).
+#include <benchmark/benchmark.h>
+
+#include "comm/collectives.h"
+#include "comm/transports.h"
+#include "core/compressed_allreduce.h"
+#include "core/compression_config.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cgx;
+
+void BM_Allreduce(benchmark::State& state) {
+  const int world = static_cast<int>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto scheme = static_cast<comm::ReductionScheme>(state.range(2));
+  state.SetLabel(comm::reduction_scheme_name(scheme));
+  for (auto _ : state) {
+    comm::ShmTransport transport(world);
+    comm::run_world(transport, [&](comm::Comm& comm) {
+      std::vector<float> data(n, static_cast<float>(comm.rank()));
+      comm::allreduce(comm, data, scheme);
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          world * static_cast<std::int64_t>(n) * 4);
+}
+
+void BM_CompressedAllreduce(benchmark::State& state) {
+  const int world = static_cast<int>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  core::LayerCompression cfg;  // QSGD 4/128
+  std::vector<std::vector<std::unique_ptr<core::Compressor>>> per_rank(
+      static_cast<std::size_t>(world));
+  for (auto& chunks : per_rank) {
+    for (int c = 0; c < world; ++c) {
+      chunks.push_back(core::make_compressor(cfg, 0));
+    }
+  }
+  for (auto _ : state) {
+    comm::ShmTransport transport(world);
+    comm::run_world(transport, [&](comm::Comm& comm) {
+      std::vector<float> data(n, static_cast<float>(comm.rank()) * 0.1f);
+      util::Rng rng(static_cast<std::uint64_t>(comm.rank()) + 1);
+      std::vector<core::Compressor*> chunks;
+      for (auto& c : per_rank[static_cast<std::size_t>(comm.rank())]) {
+        chunks.push_back(c.get());
+      }
+      core::compressed_allreduce(
+          comm, data, chunks, rng,
+          comm::ReductionScheme::ScatterReduceAllgather);
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          world * static_cast<std::int64_t>(n) * 4);
+}
+
+void BM_P2pTransports(benchmark::State& state) {
+  const auto backend = static_cast<comm::Backend>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  state.SetLabel(comm::backend_name(backend));
+  std::vector<std::byte> payload(n);
+  for (auto _ : state) {
+    auto transport = comm::make_transport(backend, 2);
+    comm::run_world(*transport, [&](comm::Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.send(1, payload, 1);
+      } else {
+        std::vector<std::byte> got(n);
+        comm.recv(0, got, 1);
+        benchmark::DoNotOptimize(got.data());
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Allreduce)
+    ->ArgsProduct(
+        {{2, 4, 8},
+         {1 << 16, 1 << 20},
+         {static_cast<long>(
+              cgx::comm::ReductionScheme::ScatterReduceAllgather),
+          static_cast<long>(cgx::comm::ReductionScheme::Ring),
+          static_cast<long>(cgx::comm::ReductionScheme::Tree)}});
+
+BENCHMARK(BM_CompressedAllreduce)
+    ->ArgsProduct({{4, 8}, {1 << 16, 1 << 20}});
+
+BENCHMARK(BM_P2pTransports)
+    ->ArgsProduct({{static_cast<long>(cgx::comm::Backend::Shm),
+                    static_cast<long>(cgx::comm::Backend::Mpi),
+                    static_cast<long>(cgx::comm::Backend::Nccl)},
+                   {1 << 20}});
+
+BENCHMARK_MAIN();

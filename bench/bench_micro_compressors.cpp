@@ -1,0 +1,102 @@
+// Microbenchmarks: compression/decompression throughput of every operator
+// (Appendix A context: quantization must run at line rate — well above the
+// interconnect bandwidth it is saving).
+#include <benchmark/benchmark.h>
+
+#include "core/compression_config.h"
+#include "core/qsgd.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cgx;
+
+std::vector<float> make_input(std::size_t n) {
+  util::Rng rng(1);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.next_gaussian());
+  return v;
+}
+
+void run_compress(benchmark::State& state, core::Compressor& compressor) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto input = make_input(n);
+  std::vector<std::byte> payload(compressor.compressed_size(n));
+  util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compressor.compress(input, payload, rng));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 4);
+}
+
+void run_decompress(benchmark::State& state, core::Compressor& compressor) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto input = make_input(n);
+  std::vector<std::byte> payload(compressor.compressed_size(n));
+  util::Rng rng(2);
+  const std::size_t written = compressor.compress(input, payload, rng);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    compressor.decompress({payload.data(), written}, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 4);
+}
+
+core::LayerCompression config_for(core::Method method) {
+  core::LayerCompression cfg;
+  cfg.method = method;
+  cfg.rank = 4;
+  cfg.topk_ratio = 0.01;
+  cfg.fake_ratio = 8.0;
+  return cfg;
+}
+
+void BM_Compress(benchmark::State& state) {
+  const auto method = static_cast<core::Method>(state.range(1));
+  auto compressor = core::make_compressor(config_for(method), 256);
+  state.SetLabel(core::method_name(method));
+  run_compress(state, *compressor);
+}
+
+void BM_Decompress(benchmark::State& state) {
+  const auto method = static_cast<core::Method>(state.range(1));
+  auto compressor = core::make_compressor(config_for(method), 256);
+  state.SetLabel(core::method_name(method));
+  run_decompress(state, *compressor);
+}
+
+void BM_QsgdBitsSweep(benchmark::State& state) {
+  core::QsgdCompressor compressor(
+      static_cast<unsigned>(state.range(1)), 128);
+  run_compress(state, compressor);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Compress)
+    ->ArgsProduct({{1 << 16, 1 << 20},
+                   {static_cast<long>(cgx::core::Method::Qsgd),
+                    static_cast<long>(cgx::core::Method::Nuq),
+                    static_cast<long>(cgx::core::Method::TernGrad),
+                    static_cast<long>(cgx::core::Method::OneBit),
+                    static_cast<long>(cgx::core::Method::TopK),
+                    static_cast<long>(cgx::core::Method::PowerSgd),
+                    static_cast<long>(cgx::core::Method::Fp16),
+                    static_cast<long>(cgx::core::Method::Fake)}});
+
+BENCHMARK(BM_Decompress)
+    ->ArgsProduct({{1 << 20},
+                   {static_cast<long>(cgx::core::Method::Qsgd),
+                    static_cast<long>(cgx::core::Method::Nuq),
+                    static_cast<long>(cgx::core::Method::TernGrad),
+                    static_cast<long>(cgx::core::Method::TopK),
+                    static_cast<long>(cgx::core::Method::PowerSgd)}});
+
+BENCHMARK(BM_QsgdBitsSweep)
+    ->ArgsProduct({{1 << 20}, {2, 3, 4, 6, 8}});
+
+BENCHMARK_MAIN();

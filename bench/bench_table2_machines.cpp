@@ -1,0 +1,59 @@
+// Table 2: workstation characteristics, verified by probing the simulated
+// fabrics: single-flow p2p bandwidth and Allreduce algorithm bandwidth must
+// land on the paper's measurements (13-16 GBps / ~1 GBps on the RTX3090
+// box; up to 100 GBps on the NVLink machines). Also prints the Fig. 8
+// topology summary.
+#include "bench/common.h"
+#include "simgpu/cost_model.h"
+
+using namespace cgx;
+
+namespace {
+
+comm::TransportProfile bare() {
+  return comm::TransportProfile{.name = "probe",
+                                .per_message_overhead_us = 0,
+                                .per_chunk_overhead_us = 0,
+                                .chunk_bytes = 0,
+                                .extra_copies = 0,
+                                .single_node_only = false};
+}
+
+}  // namespace
+
+int main() {
+  util::Table table("Table 2 - machines (probed on the simulated fabrics)");
+  table.set_header({"System", "GPUs", "Link", "p2p GBps (probe)",
+                    "Allreduce GBps (probe)"});
+  struct Row {
+    simgpu::Machine machine;
+    std::string link;
+  };
+  const Row rows[] = {
+      {simgpu::make_dgx1(), "NVLink"},
+      {simgpu::make_a6000_8x(), "NVLink"},
+      {simgpu::make_rtx3090_8x(), "None (bus)"},
+      {simgpu::make_rtx2080_8x(), "None (bus)"},
+  };
+  for (const auto& row : rows) {
+    const simgpu::CostModel cost(row.machine.topology, bare());
+    const auto devices = simgpu::all_devices(row.machine.topology);
+    const double p2p = cost.effective_p2p_gbps(0, 1, 256e6);
+    const double busbw = cost.allreduce_busbw_gbps(
+        devices, 512e6, comm::ReductionScheme::Ring);
+    table.add_row({row.machine.name,
+                   std::to_string(row.machine.topology.num_devices()),
+                   row.link, util::Table::num(p2p, 1),
+                   util::Table::num(busbw, 1)});
+  }
+  table.print();
+
+  const auto cluster = simgpu::make_genesis_cluster(4);
+  std::cout << "\nFig 8 (topology): RTX machines place 4 GPUs per NUMA node\n"
+            << "on a shared PCIe fabric bridged by QPI; collapsed here to\n"
+            << "one contention group per node. Multi-node preset '"
+            << cluster.name << "': " << cluster.topology.num_nodes()
+            << " nodes x " << cluster.topology.devices_on_node(0).size()
+            << " GPUs, cross-node paths traverse both NICs.\n";
+  return 0;
+}

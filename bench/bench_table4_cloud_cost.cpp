@@ -1,0 +1,46 @@
+// Table 4: cloud cost-efficiency — AWS p3.8xlarge (4x V100, NVLink) vs a
+// Genesis 4x RTX3090 instance, BERT-QA throughput and tokens/second/$.
+//
+// Paper claim: CGX roughly doubles the commodity instance's throughput,
+// making it ~2x more cost-efficient than the NVLink instance despite the
+// slower interconnect.
+#include "bench/common.h"
+
+using namespace cgx;
+using bench::EngineKind;
+
+int main() {
+  const auto bert = models::bert_base();
+  struct Row {
+    std::string label;
+    simgpu::Machine machine;
+    EngineKind kind;
+  };
+  const Row rows[] = {
+      {"Genesis NCCL", simgpu::make_genesis_4x3090(), EngineKind::Baseline},
+      {"AWS NCCL", simgpu::make_aws_p3_8xlarge(), EngineKind::Baseline},
+      {"Genesis CGX", simgpu::make_genesis_4x3090(), EngineKind::Cgx},
+  };
+
+  util::Table table("Table 4 - cloud training cost (BERT-QA)");
+  table.set_header(
+      {"Instance", "Throughput (tok/s)", "Price/hr ($)", "Tokens/s per $"});
+  double genesis_nccl = 0, genesis_cgx = 0, aws = 0;
+  for (const Row& row : rows) {
+    const double tput = bench::throughput_of(bert, row.machine, row.kind);
+    const double per_dollar = tput / row.machine.price_per_hour_usd;
+    if (row.label == "Genesis NCCL") genesis_nccl = tput;
+    if (row.label == "Genesis CGX") genesis_cgx = tput;
+    if (row.label == "AWS NCCL") aws = tput;
+    table.add_row({row.label, util::Table::num(tput, 0),
+                   util::Table::num(row.machine.price_per_hour_usd, 1),
+                   util::Table::num(per_dollar, 0)});
+  }
+  table.print();
+  std::cout << "\nShape check: CGX lifts the Genesis instance "
+            << util::Table::num(genesis_cgx / genesis_nccl, 1)
+            << "x (paper: ~3x), to "
+            << util::Table::num(100.0 * genesis_cgx / aws, 0)
+            << "% of the AWS NVLink instance at 56% of its price.\n";
+  return 0;
+}

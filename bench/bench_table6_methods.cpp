@@ -1,0 +1,62 @@
+// Table 6: CGX vs PowerSGD vs GRACE vs uncompressed baseline on the
+// 8x RTX3090 box. Run at FP32 because PowerSGD cannot train in FP16
+// (§6.2; the fp16 divergence itself is demonstrated in the tests and in
+// bench_fig07).
+//
+// Paper claims: CGX > PowerSGD despite PowerSGD's higher compression
+// (diminishing returns + compression overhead + faster reductions), and
+// CGX > 3x GRACE (allgather reduction, no bucketing, INT8 wire).
+#include "bench/common.h"
+
+using namespace cgx;
+using bench::EngineKind;
+
+namespace {
+
+std::unique_ptr<core::GradientEngine> powersgd_engine(
+    const models::PaperModel& model, int world) {
+  core::CompressionConfig config = core::CompressionConfig::cgx_default();
+  core::LayerCompression cfg;
+  cfg.method = core::Method::PowerSgd;
+  // §6.2: rank 4 for CNNs, rank 8 for Transformers.
+  cfg.rank = (model.name == "ResNet50" || model.name == "VGG16") ? 4 : 8;
+  cfg.error_feedback = true;
+  config.set_default(cfg);
+  return std::make_unique<core::CgxEngine>(model.layout, config, world);
+}
+
+}  // namespace
+
+int main() {
+  const auto machine = simgpu::make_rtx3090_8x();
+  const std::vector<models::PaperModel> selected = {
+      models::resnet50(), models::transformer_xl_base(),
+      models::bert_base()};
+
+  util::Table table("Table 6 - items/s, 8x RTX3090, FP32 recipes");
+  table.set_header(
+      {"model", "Baseline", "CGX", "PowerSGD", "GRACE", "CGX/GRACE"});
+  for (const auto& model : selected) {
+    const double base = bench::throughput_of(model, machine,
+                                             EngineKind::Baseline, true);
+    const double cgx =
+        bench::throughput_of(model, machine, EngineKind::Cgx, true);
+    auto psgd = powersgd_engine(model, 8);
+    const double powersgd = models::simulated_throughput(
+        model, machine, *psgd, bench::profile_for(EngineKind::Cgx, 8), true);
+    core::GraceEngine grace_engine(model.layout, 4, 8);
+    const double grace = models::simulated_throughput(
+        model, machine, grace_engine,
+        bench::profile_for(EngineKind::Baseline, 8), true);
+    table.add_row({model.name, util::Table::compact(base),
+                   util::Table::compact(cgx), util::Table::compact(powersgd),
+                   util::Table::compact(grace),
+                   util::Table::num(cgx / grace, 1) + "x"});
+  }
+  table.print();
+  std::cout << "\nShape check (paper Table 6): CGX first, PowerSGD close\n"
+            << "second, baseline next, GRACE last by >3x vs CGX.\n"
+            << "(Transformer-XL/PowerSGD diverges under FP16 — shown in\n"
+            << "tests/core/compressors_test and bench_fig07.)\n";
+  return 0;
+}

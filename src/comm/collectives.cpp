@@ -1,0 +1,208 @@
+#include "comm/collectives.h"
+
+#include <vector>
+
+#include "tensor/tensor_ops.h"
+
+namespace cgx::comm {
+namespace {
+
+// Tag bases per collective phase; per-(pair, tag) FIFOs plus per-rank
+// sequential execution make these sufficient to avoid cross-talk.
+constexpr int kSraScatterTag = 110;
+constexpr int kSraGatherTag = 111;
+constexpr int kRingReduceTag = 120;
+constexpr int kRingGatherTag = 121;
+constexpr int kTreeReduceTag = 130;
+constexpr int kTreeBcastTag = 131;
+constexpr int kBcastTag = 140;
+constexpr int kAllgatherTag = 150;
+constexpr int kReduceScatterTag = 160;
+
+}  // namespace
+
+const char* reduction_scheme_name(ReductionScheme s) {
+  switch (s) {
+    case ReductionScheme::ScatterReduceAllgather:
+      return "SRA";
+    case ReductionScheme::Ring:
+      return "Ring";
+    case ReductionScheme::Tree:
+      return "Tree";
+  }
+  return "?";
+}
+
+std::pair<std::size_t, std::size_t> chunk_range(std::size_t d, int n, int i) {
+  CGX_CHECK_GT(n, 0);
+  CGX_CHECK(i >= 0 && i < n);
+  const std::size_t nn = static_cast<std::size_t>(n);
+  const std::size_t ii = static_cast<std::size_t>(i);
+  const std::size_t base = d / nn;
+  const std::size_t rem = d % nn;
+  const std::size_t first = ii * base + std::min(ii, rem);
+  const std::size_t len = base + (ii < rem ? 1 : 0);
+  return {first, first + len};
+}
+
+void allreduce(Comm& comm, std::span<float> data, ReductionScheme scheme) {
+  switch (scheme) {
+    case ReductionScheme::ScatterReduceAllgather:
+      allreduce_sra(comm, data);
+      return;
+    case ReductionScheme::Ring:
+      allreduce_ring(comm, data);
+      return;
+    case ReductionScheme::Tree:
+      allreduce_tree(comm, data);
+      return;
+  }
+}
+
+void allreduce_sra(Comm& comm, std::span<float> data) {
+  const int n = comm.size();
+  const int r = comm.rank();
+  if (n == 1 || data.empty()) return;
+
+  // Round 1 (Scatter-Reduce): rank j collects everyone's chunk j.
+  for (int p = 0; p < n; ++p) {
+    if (p == r) continue;
+    const auto [first, last] = chunk_range(data.size(), n, p);
+    comm.send_floats(p, data.subspan(first, last - first), kSraScatterTag);
+  }
+  const auto [mine_first, mine_last] = chunk_range(data.size(), n, r);
+  std::span<float> mine = data.subspan(mine_first, mine_last - mine_first);
+  std::vector<float> incoming(mine.size());
+  for (int p = 0; p < n; ++p) {
+    if (p == r) continue;
+    comm.recv_floats(p, incoming, kSraScatterTag);
+    tensor::add_inplace(mine, incoming);
+  }
+
+  // Round 2 (Allgather): broadcast the reduced chunk to all peers.
+  for (int p = 0; p < n; ++p) {
+    if (p == r) continue;
+    comm.send_floats(p, mine, kSraGatherTag);
+  }
+  for (int p = 0; p < n; ++p) {
+    if (p == r) continue;
+    const auto [first, last] = chunk_range(data.size(), n, p);
+    comm.recv_floats(p, data.subspan(first, last - first), kSraGatherTag);
+  }
+}
+
+void allreduce_ring(Comm& comm, std::span<float> data) {
+  const int n = comm.size();
+  const int r = comm.rank();
+  if (n == 1 || data.empty()) return;
+  const int right = (r + 1) % n;
+  const int left = (r - 1 + n) % n;
+
+  std::vector<float> incoming;
+  // Phase 1: reduce-scatter around the ring. After step s, the chunk a rank
+  // just received carries partial sums from s+1 ranks; after n-1 steps rank
+  // r owns the fully reduced chunk (r+1) mod n.
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_idx = (r - s + n) % n;
+    const int recv_idx = (r - s - 1 + n) % n;
+    const auto [sf, sl] = chunk_range(data.size(), n, send_idx);
+    comm.send_floats(right, data.subspan(sf, sl - sf), kRingReduceTag);
+    const auto [rf, rl] = chunk_range(data.size(), n, recv_idx);
+    incoming.resize(rl - rf);
+    comm.recv_floats(left, incoming, kRingReduceTag);
+    tensor::add_inplace(data.subspan(rf, rl - rf), incoming);
+  }
+  // Phase 2: allgather the reduced chunks around the ring.
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_idx = (r + 1 - s + n) % n;
+    const int recv_idx = (r - s + n) % n;
+    const auto [sf, sl] = chunk_range(data.size(), n, send_idx);
+    comm.send_floats(right, data.subspan(sf, sl - sf), kRingGatherTag);
+    const auto [rf, rl] = chunk_range(data.size(), n, recv_idx);
+    comm.recv_floats(left, data.subspan(rf, rl - rf), kRingGatherTag);
+  }
+}
+
+void allreduce_tree(Comm& comm, std::span<float> data) {
+  const int n = comm.size();
+  const int r = comm.rank();
+  if (n == 1 || data.empty()) return;
+
+  // Binomial-tree reduce to rank 0.
+  int top_mask = 1;
+  while (top_mask < n) top_mask <<= 1;
+  top_mask >>= 1;
+
+  std::vector<float> incoming(data.size());
+  for (int mask = top_mask; mask >= 1; mask >>= 1) {
+    if (r >= mask && r < 2 * mask) {
+      comm.send_floats(r - mask, data, kTreeReduceTag);
+    } else if (r < mask && r + mask < n) {
+      comm.recv_floats(r + mask, incoming, kTreeReduceTag);
+      tensor::add_inplace(data, incoming);
+    }
+  }
+  // Binomial broadcast of the result back down.
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if (r < mask && r + mask < n) {
+      comm.send_floats(r + mask, data, kTreeBcastTag);
+    } else if (r >= mask && r < 2 * mask) {
+      comm.recv_floats(r - mask, data, kTreeBcastTag);
+    }
+  }
+}
+
+void broadcast(Comm& comm, std::span<float> data, int root) {
+  const int n = comm.size();
+  if (n == 1 || data.empty()) return;
+  CGX_CHECK(root >= 0 && root < n);
+  // Rotate ranks so the tree is rooted at `root`.
+  const int vr = (comm.rank() - root + n) % n;
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if (vr < mask && vr + mask < n) {
+      comm.send_floats((vr + mask + root) % n, data, kBcastTag);
+    } else if (vr >= mask && vr < 2 * mask) {
+      comm.recv_floats((vr - mask + root) % n, data, kBcastTag);
+    }
+  }
+}
+
+void allgather(Comm& comm, std::span<const float> in, std::span<float> out) {
+  const int n = comm.size();
+  const int r = comm.rank();
+  CGX_CHECK_EQ(out.size(), in.size() * static_cast<std::size_t>(n));
+  std::span<float> my_slot = out.subspan(in.size() * r, in.size());
+  tensor::copy(in, my_slot);
+  if (n == 1) return;
+  for (int p = 0; p < n; ++p) {
+    if (p == r) continue;
+    comm.send_floats(p, in, kAllgatherTag);
+  }
+  for (int p = 0; p < n; ++p) {
+    if (p == r) continue;
+    comm.recv_floats(p, out.subspan(in.size() * p, in.size()),
+                     kAllgatherTag);
+  }
+}
+
+void reduce_scatter(Comm& comm, std::span<float> data) {
+  const int n = comm.size();
+  const int r = comm.rank();
+  if (n == 1 || data.empty()) return;
+  for (int p = 0; p < n; ++p) {
+    if (p == r) continue;
+    const auto [first, last] = chunk_range(data.size(), n, p);
+    comm.send_floats(p, data.subspan(first, last - first),
+                     kReduceScatterTag);
+  }
+  const auto [mf, ml] = chunk_range(data.size(), n, r);
+  std::span<float> mine = data.subspan(mf, ml - mf);
+  std::vector<float> incoming(mine.size());
+  for (int p = 0; p < n; ++p) {
+    if (p == r) continue;
+    comm.recv_floats(p, incoming, kReduceScatterTag);
+    tensor::add_inplace(mine, incoming);
+  }
+}
+
+}  // namespace cgx::comm

@@ -1,0 +1,51 @@
+// Uncompressed collective operations over a Transport.
+//
+// Implements the three reduction schemes analysed in the paper (§3,
+// "Reduction Schemes"):
+//
+//   Scatter-Reduce-Allgather (SRA) — two rounds of direct exchanges;
+//     bandwidth O(d(N-1)) per round total, latency 2α. CGX's default:
+//     with compression it performs exactly two compress/decompress cycles.
+//   Ring — bandwidth-optimal O(d(N-1)/N) per rank, latency 2α(N-1).
+//   Tree — hierarchical parameter-server; O(2d log N), latency 2α log N.
+//
+// All collectives are SPMD: every rank of the world must call the same
+// function with the same sizes. Reduction is summation in float, matching
+// what the GPU kernels do. A world of size 1 is a no-op.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+
+#include "comm/world.h"
+
+namespace cgx::comm {
+
+enum class ReductionScheme { ScatterReduceAllgather, Ring, Tree };
+
+const char* reduction_scheme_name(ReductionScheme s);
+
+// Element range [first, last) of chunk i when d elements are split across n
+// ranks (balanced split, first chunks one element larger on remainder).
+std::pair<std::size_t, std::size_t> chunk_range(std::size_t d, int n, int i);
+
+// In-place sum-allreduce with the chosen scheme.
+void allreduce(Comm& comm, std::span<float> data, ReductionScheme scheme);
+
+void allreduce_sra(Comm& comm, std::span<float> data);
+void allreduce_ring(Comm& comm, std::span<float> data);
+void allreduce_tree(Comm& comm, std::span<float> data);
+
+// In-place broadcast from `root`.
+void broadcast(Comm& comm, std::span<float> data, int root);
+
+// Gathers each rank's `in` into `out` ordered by rank;
+// out.size() == in.size() * world size.
+void allgather(Comm& comm, std::span<const float> in, std::span<float> out);
+
+// Direct reduce-scatter: afterwards each rank's own chunk (per chunk_range)
+// holds the full sum; other positions are unspecified.
+void reduce_scatter(Comm& comm, std::span<float> data);
+
+}  // namespace cgx::comm

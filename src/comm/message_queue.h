@@ -1,0 +1,74 @@
+// Internal bounded-capacity message channel used by the transports.
+//
+// Each channel is a FIFO of byte payloads with optional capacity in bytes:
+// a sender blocks when the channel holds more than `capacity_bytes` — this
+// models the fixed-size shared-memory segments of the SHM backend (the
+// paper registers one UNIX segment per GPU pair) and NCCL's bounded FIFO
+// buffers. capacity 0 = unbounded.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cgx::comm {
+
+class MessageQueue {
+ public:
+  explicit MessageQueue(std::size_t capacity_bytes = 0)
+      : capacity_bytes_(capacity_bytes) {}
+
+  void push(std::span<const std::byte> data) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (capacity_bytes_ > 0) {
+      // A message larger than the whole segment is still allowed through on
+      // an empty channel (real implementations stream it in pieces; the
+      // timing difference is the cost model's business, not correctness's).
+      space_cv_.wait(lock, [&] {
+        return queued_bytes_ == 0 ||
+               queued_bytes_ + data.size() <= capacity_bytes_;
+      });
+    }
+    queue_.emplace_back(data.begin(), data.end());
+    queued_bytes_ += data.size();
+    data_cv_.notify_one();
+  }
+
+  // Blocks until a message is available; CHECKs that it has `out.size()`
+  // bytes and copies it out.
+  void pop_into(std::span<std::byte> out) {
+    std::vector<std::byte> msg = pop();
+    CGX_CHECK_EQ(msg.size(), out.size());
+    std::copy(msg.begin(), msg.end(), out.begin());
+  }
+
+  std::vector<std::byte> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    data_cv_.wait(lock, [&] { return !queue_.empty(); });
+    std::vector<std::byte> msg = std::move(queue_.front());
+    queue_.pop_front();
+    queued_bytes_ -= msg.size();
+    space_cv_.notify_all();
+    return msg;
+  }
+
+  std::size_t pending_messages() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  const std::size_t capacity_bytes_;
+  mutable std::mutex mutex_;
+  std::condition_variable data_cv_;
+  std::condition_variable space_cv_;
+  std::deque<std::vector<std::byte>> queue_;
+  std::size_t queued_bytes_ = 0;
+};
+
+}  // namespace cgx::comm

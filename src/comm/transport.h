@@ -1,0 +1,104 @@
+// Point-to-point transport abstraction between simulated devices.
+//
+// The paper's CGX supports three communication backends (§3/§4): its own
+// UNIX shared-memory backend (SHM), GPU-aware MPI, and NCCL. In this
+// reproduction every "GPU" is a device thread inside one process, and each
+// backend is a faithful in-process analogue:
+//
+//   ShmTransport  — pre-registered per-pair segments, copy-in/copy-out with
+//                   condition-variable signalling (stands in for CUDA IPC
+//                   events); single-node only, lowest per-message overhead.
+//   MpiTransport  — central tagged mailbox with an extra host-staging copy
+//                   per message (GPU-aware MPI must synchronise host and
+//                   device, §4 "Backend Details"); highest overhead.
+//   NcclTransport — per-pair FIFO channels that split messages into fixed
+//                   chunks (NCCL's pipelined protocol); medium overhead plus
+//                   a per-chunk kernel-launch cost.
+//
+// Functional behaviour (byte movement, ordering) is real; *timing* is
+// attributed later by simgpu::CostModel using each transport's
+// TransportProfile. A TrafficRecorder counts actual bytes per link so tests
+// can cross-check analytic communication-volume formulas against what the
+// collectives really transmitted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cgx::comm {
+
+// Timing-relevant constants of a backend, consumed by simgpu::CostModel.
+// Values are calibrated so the backend ranking and gap match paper Fig. 11
+// (SHM fastest, up to ~33% over NCCL; MPI slowest).
+struct TransportProfile {
+  std::string name;
+  double per_message_overhead_us = 0.0;  // software path per p2p message
+  double per_chunk_overhead_us = 0.0;    // kernel-launch-like cost per chunk
+  std::size_t chunk_bytes = 0;           // 0 = no chunking
+  int extra_copies = 0;                  // staging copies on top of the wire
+  double staging_gbps = 10.0;            // rate of those copies (host path
+                                         // ~10, device-side FIFO ~200)
+  bool single_node_only = false;
+  // GPU-aware MPI must synchronise host and device around each transfer
+  // (§4 "Backend Details"), which stalls the compute stream: communication
+  // cannot overlap the backward pass on this backend.
+  bool requires_host_sync = false;
+};
+
+// Counts real traffic per directed link. Thread-safe.
+class TrafficRecorder {
+ public:
+  void record(int src, int dst, std::size_t bytes);
+  void reset();
+
+  std::size_t total_bytes() const;
+  std::size_t total_messages() const;
+  std::size_t bytes_between(int src, int dst) const;
+  std::size_t bytes_sent_by(int src) const;
+
+ private:
+  struct LinkStats {
+    std::size_t bytes = 0;
+    std::size_t messages = 0;
+  };
+  mutable std::mutex mutex_;
+  std::map<std::pair<int, int>, LinkStats> links_;
+};
+
+class Transport {
+ public:
+  explicit Transport(int world_size) : world_size_(world_size) {}
+  virtual ~Transport() = default;
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  int world_size() const { return world_size_; }
+
+  // Blocking buffered send: enqueues a copy of `data` for (src -> dst, tag).
+  // Never blocks on the receiver (channels are buffered), so SPMD exchange
+  // patterns cannot deadlock.
+  virtual void send(int src, int dst, std::span<const std::byte> data,
+                    int tag) = 0;
+
+  // Blocking receive into `data`; the matching message must have exactly
+  // data.size() bytes (sizes are always known to receivers in CGX's
+  // protocols — compressed sizes are computable from the layer config).
+  virtual void recv(int dst, int src, std::span<std::byte> data, int tag) = 0;
+
+  virtual const TransportProfile& profile() const = 0;
+
+  TrafficRecorder& recorder() { return recorder_; }
+  const TrafficRecorder& recorder() const { return recorder_; }
+
+ protected:
+  const int world_size_;
+  TrafficRecorder recorder_;
+};
+
+}  // namespace cgx::comm

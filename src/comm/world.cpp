@@ -1,0 +1,23 @@
+#include "comm/world.h"
+
+#include <thread>
+#include <vector>
+
+namespace cgx::comm {
+
+void run_world(Transport& transport, const std::function<void(Comm&)>& fn) {
+  const int n = transport.world_size();
+  CGX_CHECK_GT(n, 0);
+  util::Barrier barrier(static_cast<std::size_t>(n));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([r, &transport, &barrier, &fn] {
+      Comm comm(r, transport, barrier);
+      fn(comm);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace cgx::comm

@@ -1,0 +1,56 @@
+// SPMD execution harness: one thread per simulated device.
+//
+// `run_world(transport, n, fn)` launches n device threads; each receives a
+// Comm handle (rank, world size, p2p primitives, barrier) and runs the same
+// function — the standard data-parallel SPMD shape. This is the in-process
+// analogue of one training process per GPU.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+#include "comm/transport.h"
+#include "util/barrier.h"
+
+namespace cgx::comm {
+
+class Comm {
+ public:
+  Comm(int rank, Transport& transport, util::Barrier& barrier)
+      : rank_(rank), transport_(transport), barrier_(barrier) {}
+
+  int rank() const { return rank_; }
+  int size() const { return transport_.world_size(); }
+  Transport& transport() { return transport_; }
+
+  void send(int to, std::span<const std::byte> data, int tag = 0) {
+    transport_.send(rank_, to, data, tag);
+  }
+  void recv(int from, std::span<std::byte> data, int tag = 0) {
+    transport_.recv(rank_, from, data, tag);
+  }
+
+  void send_floats(int to, std::span<const float> data, int tag = 0) {
+    send(to, std::as_bytes(data), tag);
+  }
+  void recv_floats(int from, std::span<float> data, int tag = 0) {
+    recv(from, std::as_writable_bytes(data), tag);
+  }
+
+  // Synchronises all ranks in the world (used between training steps and by
+  // collectives that need phase separation in tests).
+  void barrier() { barrier_.arrive_and_wait(); }
+
+ private:
+  const int rank_;
+  Transport& transport_;
+  util::Barrier& barrier_;
+};
+
+// Runs fn(comm) on `transport.world_size()` threads and joins them.
+// Any CHECK failure in a worker aborts the process (worker errors are
+// programmer errors by contract; see util/check.h).
+void run_world(Transport& transport, const std::function<void(Comm&)>& fn);
+
+}  // namespace cgx::comm

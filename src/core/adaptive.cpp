@@ -1,0 +1,627 @@
+#include "core/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "core/qsgd.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace cgx::core {
+namespace {
+
+// L2^2 quantization error of one layer snapshot at a given bit-width.
+double layer_sq_error(std::span<const float> snapshot, unsigned bits,
+                      std::size_t bucket_size, util::Rng& rng) {
+  if (snapshot.empty() || bits == 0) return 0.0;
+  QsgdCompressor compressor(bits, bucket_size);
+  std::vector<std::byte> payload(compressor.compressed_size(snapshot.size()));
+  std::vector<float> restored(snapshot.size());
+  compressor.compress(snapshot, payload, rng);
+  compressor.decompress(payload, restored);
+  double err = 0.0;
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const double d = static_cast<double>(restored[i]) - snapshot[i];
+    err += d * d;
+  }
+  return err;
+}
+
+std::vector<std::size_t> compressible_indices(
+    const std::vector<bool>& compressible) {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < compressible.size(); ++i) {
+    if (compressible[i]) idx.push_back(i);
+  }
+  return idx;
+}
+
+unsigned next_candidate_above(const std::vector<unsigned>& candidates,
+                              unsigned bits) {
+  unsigned best = bits;
+  for (unsigned c : candidates) {
+    if (c > bits && (best == bits || c < best)) best = c;
+  }
+  return best;
+}
+
+double weighted_size(const GradStatsCollector& stats,
+                     const std::vector<std::size_t>& idx,
+                     const std::vector<unsigned>& bits) {
+  double total = 0.0;
+  for (std::size_t l : idx) {
+    total += static_cast<double>(bits[l]) *
+             static_cast<double>(stats.layout().layer(l).numel);
+  }
+  return total;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- collector
+
+GradStatsCollector::GradStatsCollector(const tensor::LayerLayout& layout)
+    : layout_(&layout), sum_(layout.total_numel(), 0.0f) {}
+
+void GradStatsCollector::accumulate(std::span<const float> fused) {
+  CGX_CHECK_EQ(fused.size(), sum_.size());
+  tensor::add_inplace(sum_, fused);
+  ++steps_;
+}
+
+double GradStatsCollector::accumulated_norm(std::size_t layer) const {
+  return tensor::l2_norm(layout_->slice(std::span<const float>(sum_), layer));
+}
+
+std::span<const float> GradStatsCollector::accumulated(
+    std::size_t layer) const {
+  return layout_->slice(std::span<const float>(sum_), layer);
+}
+
+void GradStatsCollector::reset() {
+  std::fill(sum_.begin(), sum_.end(), 0.0f);
+  steps_ = 0;
+}
+
+// ------------------------------------------------------------- helpers
+
+double measured_assignment_error(const GradStatsCollector& stats,
+                                 const std::vector<bool>& compressible,
+                                 const std::vector<unsigned>& bits,
+                                 std::size_t bucket_size, util::Rng& rng) {
+  double total = 0.0;
+  for (std::size_t l = 0; l < compressible.size(); ++l) {
+    if (!compressible[l]) continue;
+    total += layer_sq_error(stats.accumulated(l), bits[l], bucket_size, rng);
+  }
+  return std::sqrt(total);
+}
+
+void finalize_assignment(Assignment& a, const GradStatsCollector& stats,
+                         const std::vector<bool>& compressible,
+                         const AdaptiveOptions& options, util::Rng& rng,
+                         bool use_remaining_budget) {
+  const auto idx = compressible_indices(compressible);
+  if (idx.empty()) return;
+
+  // Reference: the uniform assignment known to recover accuracy.
+  double ref_sq = 0.0;
+  std::vector<double> layer_sq(compressible.size(), 0.0);
+  for (std::size_t l : idx) {
+    ref_sq += layer_sq_error(stats.accumulated(l), options.reference_bits,
+                             options.bucket_size, rng);
+    layer_sq[l] = layer_sq_error(stats.accumulated(l), a.bits[l],
+                                 options.bucket_size, rng);
+  }
+  a.reference_error = std::sqrt(ref_sq);
+  const double budget_sq =
+      options.alpha * options.alpha * ref_sq;  // (alpha * E4)^2
+
+  // Promote the worst offenders until the constraint holds (§5: "compression
+  // error cannot exceed a maximum threshold alpha * E4").
+  double total_sq = std::accumulate(idx.begin(), idx.end(), 0.0,
+                                    [&](double acc, std::size_t l) {
+                                      return acc + layer_sq[l];
+                                    });
+  const unsigned max_bits =
+      *std::max_element(options.candidate_bits.begin(),
+                        options.candidate_bits.end());
+  while (total_sq > budget_sq) {
+    std::size_t worst = idx[0];
+    double worst_err = -1.0;
+    for (std::size_t l : idx) {
+      if (a.bits[l] >= max_bits) continue;
+      if (layer_sq[l] > worst_err) {
+        worst_err = layer_sq[l];
+        worst = l;
+      }
+    }
+    if (worst_err < 0.0) break;  // everything already at max bits
+    a.bits[worst] = next_candidate_above(options.candidate_bits,
+                                         a.bits[worst]);
+    total_sq -= layer_sq[worst];
+    layer_sq[worst] = layer_sq_error(stats.accumulated(worst), a.bits[worst],
+                                     options.bucket_size, rng);
+    total_sq += layer_sq[worst];
+  }
+
+  // Use remaining budget: repeatedly demote the layer with the best
+  // bandwidth-saved-per-error-spent ratio to the next lower candidate
+  // width, while the total error stays within (a small margin of) the
+  // budget — this is the "balance speedup and accuracy recovery" objective
+  // of §5, applied greedily on measured errors.
+  const double demote_budget_sq =
+      use_remaining_budget ? 0.94 * budget_sq : 0.0;
+  auto next_below = [&](unsigned bits) {
+    unsigned best = 0;
+    for (unsigned c : options.candidate_bits) {
+      if (c < bits && c > best) best = c;
+    }
+    return best;  // 0 = already at the minimum
+  };
+  // Cache candidate errors per (layer) at its current next-lower width.
+  std::vector<double> candidate_sq(compressible.size(), -1.0);
+  auto refresh_candidate = [&](std::size_t l) {
+    const unsigned below = next_below(a.bits[l]);
+    candidate_sq[l] =
+        below == 0 ? -1.0
+                   : layer_sq_error(stats.accumulated(l), below,
+                                    options.bucket_size, rng);
+  };
+  if (use_remaining_budget) {
+    for (std::size_t l : idx) refresh_candidate(l);
+  }
+  while (use_remaining_budget) {
+    double best_ratio = -1.0;
+    std::size_t best_layer = 0;
+    unsigned best_bits = 0;
+    for (std::size_t l : idx) {
+      if (candidate_sq[l] < 0.0) continue;
+      const unsigned below = next_below(a.bits[l]);
+      if (total_sq - layer_sq[l] + candidate_sq[l] > demote_budget_sq) {
+        continue;  // infeasible at the current budget
+      }
+      const double saved_bits =
+          static_cast<double>(a.bits[l] - below) *
+          static_cast<double>(stats.layout().layer(l).numel);
+      const double cost_sq =
+          std::max(candidate_sq[l] - layer_sq[l], 1e-30);
+      const double ratio = saved_bits / cost_sq;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_layer = l;
+        best_bits = below;
+      }
+    }
+    if (best_ratio < 0.0) break;
+    total_sq += candidate_sq[best_layer] - layer_sq[best_layer];
+    layer_sq[best_layer] = candidate_sq[best_layer];
+    a.bits[best_layer] = best_bits;
+    refresh_candidate(best_layer);
+  }
+
+  a.measured_error = std::sqrt(total_sq);
+  std::vector<unsigned> reference(a.bits.size(), options.reference_bits);
+  const double ref_size = weighted_size(stats, idx, reference);
+  a.relative_size =
+      ref_size > 0.0 ? weighted_size(stats, idx, a.bits) / ref_size : 1.0;
+}
+
+std::vector<int> kmeans_2d(const std::vector<std::pair<double, double>>& pts,
+                           int k, util::Rng& rng,
+                           std::vector<std::pair<double, double>>* centroids) {
+  const std::size_t n = pts.size();
+  CGX_CHECK_GT(k, 0);
+  k = std::min<int>(k, static_cast<int>(n));
+  auto dist_sq = [](const std::pair<double, double>& a,
+                    const std::pair<double, double>& b) {
+    const double dx = a.first - b.first;
+    const double dy = a.second - b.second;
+    return dx * dx + dy * dy;
+  };
+
+  // kmeans++ seeding.
+  std::vector<std::pair<double, double>> centers;
+  centers.push_back(pts[rng.next_below(n)]);
+  std::vector<double> d2(n);
+  while (static_cast<int>(centers.size()) < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const auto& c : centers) best = std::min(best, dist_sq(pts[i], c));
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      centers.push_back(pts[rng.next_below(n)]);
+      continue;
+    }
+    double target = rng.next_double() * total;
+    std::size_t chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      target -= d2[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centers.push_back(pts[chosen]);
+  }
+
+  // Lloyd iterations.
+  std::vector<int> assignment(n, 0);
+  for (int iter = 0; iter < 100; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (int c = 0; c < k; ++c) {
+        const double d = dist_sq(pts[i], centers[static_cast<std::size_t>(c)]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        changed = true;
+      }
+    }
+    std::vector<std::pair<double, double>> sums(
+        static_cast<std::size_t>(k), {0.0, 0.0});
+    std::vector<std::size_t> counts(static_cast<std::size_t>(k), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      sums[static_cast<std::size_t>(assignment[i])].first += pts[i].first;
+      sums[static_cast<std::size_t>(assignment[i])].second += pts[i].second;
+      ++counts[static_cast<std::size_t>(assignment[i])];
+    }
+    for (int c = 0; c < k; ++c) {
+      const auto cc = static_cast<std::size_t>(c);
+      if (counts[cc] == 0) {
+        // Empty cluster: reseed to the point farthest from its center.
+        std::size_t far = 0;
+        double far_d = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d = dist_sq(
+              pts[i], centers[static_cast<std::size_t>(assignment[i])]);
+          if (d > far_d) {
+            far_d = d;
+            far = i;
+          }
+        }
+        centers[cc] = pts[far];
+        changed = true;
+      } else {
+        centers[cc] = {sums[cc].first / counts[cc],
+                       sums[cc].second / counts[cc]};
+      }
+    }
+    if (!changed) break;
+  }
+  if (centroids) *centroids = centers;
+  return assignment;
+}
+
+// ------------------------------------------------------------- KMEANS
+
+Assignment KMeansAssigner::assign(const GradStatsCollector& stats,
+                                  const std::vector<bool>& compressible,
+                                  const AdaptiveOptions& options,
+                                  util::Rng& rng) {
+  Assignment a;
+  a.bits.assign(compressible.size(), 0u);
+  const auto idx = compressible_indices(compressible);
+  if (idx.empty()) return a;
+
+  // 2-D feature per layer: (size, accumulated-gradient norm), in log space
+  // and standardized so neither dimension dominates the distances.
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(idx.size());
+  for (std::size_t l : idx) {
+    const double size = std::log10(
+        static_cast<double>(stats.layout().layer(l).numel) + 1.0);
+    const double norm = std::log10(stats.accumulated_norm(l) + 1e-12);
+    pts.push_back({size, norm});
+  }
+  for (int dim = 0; dim < 2; ++dim) {
+    double mean = 0.0, var = 0.0;
+    for (const auto& p : pts) mean += dim == 0 ? p.first : p.second;
+    mean /= static_cast<double>(pts.size());
+    for (const auto& p : pts) {
+      const double v = (dim == 0 ? p.first : p.second) - mean;
+      var += v * v;
+    }
+    const double stddev =
+        std::sqrt(var / static_cast<double>(pts.size())) + 1e-12;
+    for (auto& p : pts) {
+      (dim == 0 ? p.first : p.second) =
+          ((dim == 0 ? p.first : p.second) - mean) / stddev;
+    }
+  }
+
+  const int k = static_cast<int>(options.candidate_bits.size());
+  std::vector<std::pair<double, double>> centroids;
+  const std::vector<int> clusters = kmeans_2d(pts, k, rng, &centroids);
+
+  // Algorithm 1 step 2: sort centroids by norm(C) - size(C). Low score =
+  // large, low-gradient layers -> fewest bits.
+  std::vector<int> order(centroids.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a_, int b_) {
+    const auto& ca = centroids[static_cast<std::size_t>(a_)];
+    const auto& cb = centroids[static_cast<std::size_t>(b_)];
+    return (ca.second - ca.first) < (cb.second - cb.first);
+  });
+  std::vector<unsigned> sorted_bits(options.candidate_bits);
+  std::sort(sorted_bits.begin(), sorted_bits.end());
+  std::vector<unsigned> bits_of_cluster(centroids.size(), sorted_bits.back());
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    // Linear map over the sorted clusters (step 3).
+    const std::size_t bit_idx =
+        order.size() <= 1
+            ? sorted_bits.size() - 1
+            : rank * (sorted_bits.size() - 1) / (order.size() - 1);
+    bits_of_cluster[static_cast<std::size_t>(order[rank])] =
+        sorted_bits[bit_idx];
+  }
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    a.bits[idx[i]] = bits_of_cluster[static_cast<std::size_t>(clusters[i])];
+  }
+
+  finalize_assignment(a, stats, compressible, options, rng,
+                      /*use_remaining_budget=*/true);
+  return a;
+}
+
+// ------------------------------------------------------------- Linear
+
+Assignment LinearAssigner::assign(const GradStatsCollector& stats,
+                                  const std::vector<bool>& compressible,
+                                  const AdaptiveOptions& options,
+                                  util::Rng& rng) {
+  Assignment a;
+  a.bits.assign(compressible.size(), 0u);
+  const auto idx = compressible_indices(compressible);
+  if (idx.empty()) return a;
+
+  // Sort by gradient-magnitude / size; lowest ratio gets the lowest
+  // bit-width, interpolating linearly (§5).
+  std::vector<std::size_t> order(idx);
+  std::sort(order.begin(), order.end(), [&](std::size_t la, std::size_t lb) {
+    const double ra = stats.accumulated_norm(la) /
+                      static_cast<double>(stats.layout().layer(la).numel);
+    const double rb = stats.accumulated_norm(lb) /
+                      static_cast<double>(stats.layout().layer(lb).numel);
+    return ra < rb;
+  });
+  std::vector<unsigned> sorted_bits(options.candidate_bits);
+  std::sort(sorted_bits.begin(), sorted_bits.end());
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const std::size_t bit_idx =
+        order.size() <= 1
+            ? sorted_bits.size() - 1
+            : rank * (sorted_bits.size() - 1) / (order.size() - 1);
+    a.bits[order[rank]] = sorted_bits[bit_idx];
+  }
+  finalize_assignment(a, stats, compressible, options, rng);
+  return a;
+}
+
+// ------------------------------------------------------------- Bayes
+
+namespace {
+
+// Tiny Gaussian-process regressor (RBF kernel, fixed hyper-parameters) for
+// the Bayesian-optimization baseline. Observation counts stay < ~50, so a
+// dense Cholesky is plenty.
+class TinyGp {
+ public:
+  explicit TinyGp(double length_scale) : ls2_(length_scale * length_scale) {}
+
+  void add(const std::vector<double>& x, double y) {
+    xs_.push_back(x);
+    ys_.push_back(y);
+    refit();
+  }
+
+  // Posterior mean and variance at x.
+  std::pair<double, double> predict(const std::vector<double>& x) const {
+    const std::size_t n = xs_.size();
+    if (n == 0) return {0.0, 1.0};
+    std::vector<double> kstar(n);
+    for (std::size_t i = 0; i < n; ++i) kstar[i] = kernel(x, xs_[i]);
+    double mean = 0.0;
+    for (std::size_t i = 0; i < n; ++i) mean += kstar[i] * alpha_[i];
+    // v = L^{-1} k*
+    std::vector<double> v(kstar);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < i; ++j) v[i] -= chol_[i * n + j] * v[j];
+      v[i] /= chol_[i * n + i];
+    }
+    double var = 1.0;
+    for (std::size_t i = 0; i < n; ++i) var -= v[i] * v[i];
+    return {mean, std::max(var, 1e-12)};
+  }
+
+ private:
+  double kernel(const std::vector<double>& a,
+                const std::vector<double>& b) const {
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const double d = a[i] - b[i];
+      d2 += d * d;
+    }
+    return std::exp(-d2 / (2.0 * ls2_));
+  }
+
+  void refit() {
+    const std::size_t n = xs_.size();
+    chol_.assign(n * n, 0.0);
+    // K + sigma_n^2 I, Cholesky in place.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        double v = kernel(xs_[i], xs_[j]) + (i == j ? 1e-6 : 0.0);
+        for (std::size_t p = 0; p < j; ++p) {
+          v -= chol_[i * n + p] * chol_[j * n + p];
+        }
+        chol_[i * n + j] = i == j ? std::sqrt(std::max(v, 1e-12))
+                                  : v / chol_[j * n + j];
+      }
+    }
+    // alpha = K^{-1} y via two triangular solves.
+    alpha_ = ys_;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        alpha_[i] -= chol_[i * n + j] * alpha_[j];
+      }
+      alpha_[i] /= chol_[i * n + i];
+    }
+    for (std::size_t ii = n; ii-- > 0;) {
+      for (std::size_t j = ii + 1; j < n; ++j) {
+        alpha_[ii] -= chol_[j * n + ii] * alpha_[j];
+      }
+      alpha_[ii] /= chol_[ii * n + ii];
+    }
+  }
+
+  double ls2_;
+  std::vector<std::vector<double>> xs_;
+  std::vector<double> ys_;
+  std::vector<double> chol_;
+  std::vector<double> alpha_;
+};
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+double normal_pdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * 3.14159265358979323846);
+}
+
+}  // namespace
+
+Assignment BayesAssigner::assign(const GradStatsCollector& stats,
+                                 const std::vector<bool>& compressible,
+                                 const AdaptiveOptions& options,
+                                 util::Rng& rng) {
+  Assignment best;
+  best.bits.assign(compressible.size(), 0u);
+  const auto idx = compressible_indices(compressible);
+  if (idx.empty()) return best;
+
+  // Monotone parameterisation: layers sorted by norm/size ratio; thresholds
+  // theta_1 <= ... <= theta_{k-1} in [0,1] cut the order into bit bands.
+  std::vector<std::size_t> order(idx);
+  std::sort(order.begin(), order.end(), [&](std::size_t la, std::size_t lb) {
+    const double ra = stats.accumulated_norm(la) /
+                      static_cast<double>(stats.layout().layer(la).numel);
+    const double rb = stats.accumulated_norm(lb) /
+                      static_cast<double>(stats.layout().layer(lb).numel);
+    return ra < rb;
+  });
+  std::vector<unsigned> sorted_bits(options.candidate_bits);
+  std::sort(sorted_bits.begin(), sorted_bits.end());
+  const std::size_t dims = sorted_bits.size() - 1;
+
+  auto realize = [&](const std::vector<double>& theta) {
+    std::vector<unsigned> bits(compressible.size(), 0u);
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      const double frac =
+          order.size() <= 1
+              ? 1.0
+              : static_cast<double>(rank) /
+                    static_cast<double>(order.size() - 1);
+      std::size_t band = 0;
+      while (band < dims && frac >= theta[band]) ++band;
+      bits[order[rank]] = sorted_bits[band];
+    }
+    return bits;
+  };
+
+  // Objective: relative size + heavy penalty for violating the error budget.
+  const std::vector<unsigned> reference(compressible.size(),
+                                        options.reference_bits);
+  const double ref_err = measured_assignment_error(
+      stats, compressible, reference, options.bucket_size, rng);
+  auto objective = [&](const std::vector<double>& theta) {
+    const std::vector<unsigned> bits = realize(theta);
+    const double err = measured_assignment_error(stats, compressible, bits,
+                                                 options.bucket_size, rng);
+    double size = 0.0, ref_size = 0.0;
+    for (std::size_t l : idx) {
+      size += static_cast<double>(bits[l]) * stats.layout().layer(l).numel;
+      ref_size += static_cast<double>(options.reference_bits) *
+                  stats.layout().layer(l).numel;
+    }
+    const double rel = size / ref_size;
+    const double violation =
+        ref_err > 0.0 ? std::max(0.0, err / (options.alpha * ref_err) - 1.0)
+                      : 0.0;
+    return rel + 4.0 * violation;
+  };
+
+  auto sample_theta = [&] {
+    std::vector<double> theta(dims);
+    for (auto& t : theta) t = rng.next_double();
+    std::sort(theta.begin(), theta.end());
+    return theta;
+  };
+
+  TinyGp gp(/*length_scale=*/0.3);
+  std::vector<double> best_theta = sample_theta();
+  double best_y = objective(best_theta);
+  gp.add(best_theta, best_y);
+  const int warmup = std::min(8, iterations_);
+  for (int i = 1; i < warmup; ++i) {
+    const auto theta = sample_theta();
+    const double y = objective(theta);
+    gp.add(theta, y);
+    if (y < best_y) {
+      best_y = y;
+      best_theta = theta;
+    }
+  }
+  for (int it = warmup; it < iterations_; ++it) {
+    // Expected-improvement acquisition over a random candidate pool.
+    std::vector<double> chosen = sample_theta();
+    double chosen_ei = -1.0;
+    for (int c = 0; c < 128; ++c) {
+      const auto theta = sample_theta();
+      const auto [mean, var] = gp.predict(theta);
+      const double sd = std::sqrt(var);
+      const double z = (best_y - mean) / sd;
+      const double ei = (best_y - mean) * normal_cdf(z) + sd * normal_pdf(z);
+      if (ei > chosen_ei) {
+        chosen_ei = ei;
+        chosen = theta;
+      }
+    }
+    const double y = objective(chosen);
+    gp.add(chosen, y);
+    if (y < best_y) {
+      best_y = y;
+      best_theta = chosen;
+    }
+  }
+
+  best.bits = realize(best_theta);
+  finalize_assignment(best, stats, compressible, options, rng);
+  return best;
+}
+
+// ------------------------------------------------------------- apply
+
+void apply_assignment(const Assignment& a, const tensor::LayerLayout& layout,
+                      CompressionConfig& config, std::size_t bucket_size) {
+  CGX_CHECK_EQ(a.bits.size(), layout.layer_count());
+  for (std::size_t l = 0; l < layout.layer_count(); ++l) {
+    if (a.bits[l] == 0) continue;
+    LayerCompression cfg;
+    cfg.method = Method::Qsgd;
+    cfg.bits = a.bits[l];
+    cfg.bucket_size = bucket_size;
+    config.set_layer_exact(layout.layer(l).name, cfg);
+  }
+}
+
+}  // namespace cgx::core

@@ -1,0 +1,148 @@
+// Adaptive layer-wise compression (paper §5, Algorithm 1).
+//
+// Problem: pick per-layer bit-widths b_1..b_L from a candidate set B that
+// minimize the bandwidth objective  sum_l b_l * size(l)  subject to the
+// total compression error not exceeding alpha * E4, where E4 is the error
+// of uniform 4-bit compression (known to recover accuracy) and
+// alpha in [1.5, 3].
+//
+// Three assigners, matching the paper's comparison (Table 7, Fig. 5):
+//   KMeansAssigner — Algorithm 1: 2-D k-means over per-layer points
+//                    (size, accumulated-gradient norm), centroids sorted by
+//                    norm - size, bit-widths mapped linearly over the sorted
+//                    clusters. The winner.
+//   LinearAssigner — sort layers by norm/size, interpolate bit-widths
+//                    linearly along the order. The simple heuristic that
+//                    "recovers accuracy ... but the performance gains are
+//                    minor".
+//   BayesAssigner  — Bayesian optimization (GP + expected improvement) over
+//                    a low-dimensional quantile-threshold parameterisation
+//                    of monotone assignments; the paper's first approach,
+//                    kept as the baseline it was ("requires
+//                    instance-specific tuning ... unstable").
+//
+// All three honour the error constraint by *measuring* the error: each
+// candidate assignment is applied to the recorded gradient snapshot and the
+// actual quantization error computed, then bit-widths are bumped until
+// error(assignment) <= alpha * E4.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/compression_config.h"
+#include "tensor/layer_layout.h"
+#include "util/rng.h"
+
+namespace cgx::core {
+
+// Accumulates per-layer gradient statistics over a re-assignment period
+// (§5: "We periodically collect gradient statistics").
+class GradStatsCollector {
+ public:
+  explicit GradStatsCollector(const tensor::LayerLayout& layout);
+
+  // Called once per step with the rank's fused gradient.
+  void accumulate(std::span<const float> fused);
+
+  std::size_t steps() const { return steps_; }
+  // L2 norm of the accumulated gradient of layer l.
+  double accumulated_norm(std::size_t layer) const;
+  // Snapshot of the accumulated gradient (for measured-error assignment).
+  std::span<const float> accumulated(std::size_t layer) const;
+
+  void reset();
+
+  const tensor::LayerLayout& layout() const { return *layout_; }
+
+ private:
+  const tensor::LayerLayout* layout_;
+  std::vector<float> sum_;  // fused accumulated gradients
+  std::size_t steps_ = 0;
+};
+
+struct AdaptiveOptions {
+  std::vector<unsigned> candidate_bits = {2, 3, 4, 8};
+  std::size_t bucket_size = 128;
+  double alpha = 2.0;          // error budget multiplier over E4
+  unsigned reference_bits = 4; // the "known good" uniform assignment
+  // Layers excluded from compression by the engine config are ignored here;
+  // the assigner only sees compressible layers.
+};
+
+struct Assignment {
+  std::vector<unsigned> bits;  // one per layout layer (0 = not compressed)
+  double measured_error = 0.0; // L2 quantization error on the snapshot
+  double reference_error = 0.0;  // E4 on the same snapshot
+  // sum(bits * size) / sum(ref_bits * size): < 1 means better than uniform.
+  double relative_size = 1.0;
+};
+
+class Assigner {
+ public:
+  virtual ~Assigner() = default;
+  virtual Assignment assign(const GradStatsCollector& stats,
+                            const std::vector<bool>& compressible,
+                            const AdaptiveOptions& options,
+                            util::Rng& rng) = 0;
+  virtual std::string name() const = 0;
+};
+
+class KMeansAssigner final : public Assigner {
+ public:
+  Assignment assign(const GradStatsCollector& stats,
+                    const std::vector<bool>& compressible,
+                    const AdaptiveOptions& options, util::Rng& rng) override;
+  std::string name() const override { return "KMEANS"; }
+};
+
+class LinearAssigner final : public Assigner {
+ public:
+  Assignment assign(const GradStatsCollector& stats,
+                    const std::vector<bool>& compressible,
+                    const AdaptiveOptions& options, util::Rng& rng) override;
+  std::string name() const override { return "Linear"; }
+};
+
+class BayesAssigner final : public Assigner {
+ public:
+  explicit BayesAssigner(int iterations = 40) : iterations_(iterations) {}
+  Assignment assign(const GradStatsCollector& stats,
+                    const std::vector<bool>& compressible,
+                    const AdaptiveOptions& options, util::Rng& rng) override;
+  std::string name() const override { return "Bayes"; }
+
+ private:
+  int iterations_;
+};
+
+// Measured L2 quantization error of quantizing each compressible layer's
+// snapshot at the given bits (0 = skip layer). Exposed for tests/benches.
+double measured_assignment_error(const GradStatsCollector& stats,
+                                 const std::vector<bool>& compressible,
+                                 const std::vector<unsigned>& bits,
+                                 std::size_t bucket_size, util::Rng& rng);
+
+// Fills error/size metadata of an assignment and enforces the alpha * E4
+// constraint by promoting the most error-contributing layers to higher
+// bit-widths until it holds. With `use_remaining_budget` (the KMeans
+// assigner's refinement), any slack left under the budget is spent by
+// demoting layers with the best bandwidth-saved-per-error ratio.
+void finalize_assignment(Assignment& a, const GradStatsCollector& stats,
+                         const std::vector<bool>& compressible,
+                         const AdaptiveOptions& options, util::Rng& rng,
+                         bool use_remaining_budget = false);
+
+// Simple 2-D k-means (kmeans++ init, Lloyd iterations). Returns cluster id
+// per point. Exposed for testing.
+std::vector<int> kmeans_2d(const std::vector<std::pair<double, double>>& pts,
+                           int k, util::Rng& rng,
+                           std::vector<std::pair<double, double>>* centroids);
+
+// Applies an assignment to an engine config: per-layer QSGD overrides for
+// compressible layers. (Engine.rebuild() must be called afterwards.)
+void apply_assignment(const Assignment& a, const tensor::LayerLayout& layout,
+                      CompressionConfig& config, std::size_t bucket_size);
+
+}  // namespace cgx::core

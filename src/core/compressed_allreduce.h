@@ -1,0 +1,51 @@
+// Compression-aware allreduce.
+//
+// Compression operators are non-associative (paper §3): a stock collective
+// cannot sum compressed payloads, so the reduction algorithm and the
+// operator must be co-designed. These collectives decompress, accumulate in
+// full precision, and recompress only where the algorithm requires it:
+//
+//   SRA  — exactly TWO compression rounds end-to-end (each gradient chunk
+//          is compressed once on the way to its aggregating rank, and the
+//          reduced chunk once on the way back). This is why CGX defaults to
+//          SRA (§6.2 "Reduction Algorithms": lowest compression error).
+//   Ring — the partial sum is re-compressed at every one of the N-1 reduce
+//          hops: error grows with world size.
+//   Tree — partial sums are re-compressed at each of the log N levels.
+//
+// Determinism/consistency invariant: ALL ranks finish with bit-identical
+// buffers. Aggregating ranks therefore decompress their *own* compressed
+// payload rather than keeping the higher-precision local sum.
+//
+// Stateful operators: `chunk_compressors` supplies one compressor per chunk
+// index; chunk j of this rank's traffic always goes through compressor j,
+// so error-feedback residuals and PowerSGD warm starts attach to a stable
+// data region across iterations. (Tree operates on whole vectors and uses
+// compressor 0.)
+#pragma once
+
+#include <span>
+
+#include "comm/collectives.h"
+#include "core/compressor.h"
+
+namespace cgx::core {
+
+// Sum-allreduce `data` across the world. chunk_compressors.size() must be
+// comm.size(); every rank passes its own instances (same configuration on
+// all ranks).
+void compressed_allreduce(comm::Comm& comm, std::span<float> data,
+                          std::span<Compressor* const> chunk_compressors,
+                          util::Rng& rng, comm::ReductionScheme scheme);
+
+void compressed_allreduce_sra(comm::Comm& comm, std::span<float> data,
+                              std::span<Compressor* const> chunk_compressors,
+                              util::Rng& rng);
+void compressed_allreduce_ring(comm::Comm& comm, std::span<float> data,
+                               std::span<Compressor* const> chunk_compressors,
+                               util::Rng& rng);
+void compressed_allreduce_tree(comm::Comm& comm, std::span<float> data,
+                               std::span<Compressor* const> chunk_compressors,
+                               util::Rng& rng);
+
+}  // namespace cgx::core

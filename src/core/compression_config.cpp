@@ -1,0 +1,160 @@
+#include "core/compression_config.h"
+
+#include "core/error_feedback.h"
+#include "core/nuq.h"
+#include "core/onebit.h"
+#include "core/powersgd.h"
+#include "core/qsgd.h"
+#include "core/terngrad.h"
+#include "core/topk.h"
+#include "util/check.h"
+
+namespace cgx::core {
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::None:
+      return "none";
+    case Method::Fp16:
+      return "fp16";
+    case Method::Qsgd:
+      return "qsgd";
+    case Method::Nuq:
+      return "nuq";
+    case Method::TopK:
+      return "topk";
+    case Method::PowerSgd:
+      return "powersgd";
+    case Method::TernGrad:
+      return "terngrad";
+    case Method::OneBit:
+      return "onebit";
+    case Method::Fake:
+      return "fake";
+  }
+  return "?";
+}
+
+CompressionConfig::CompressionConfig() = default;
+
+void CompressionConfig::set_default(LayerCompression cfg) { default_ = cfg; }
+
+void CompressionConfig::exclude_layer(const std::string& pattern) {
+  CGX_CHECK(!pattern.empty());
+  excludes_.push_back(pattern);
+}
+
+void CompressionConfig::set_layer(const std::string& pattern,
+                                  LayerCompression cfg) {
+  CGX_CHECK(!pattern.empty());
+  rules_.push_back(Rule{pattern, cfg, /*exact=*/false});
+}
+
+void CompressionConfig::set_layer_exact(const std::string& name,
+                                        LayerCompression cfg) {
+  CGX_CHECK(!name.empty());
+  rules_.push_back(Rule{name, cfg, /*exact=*/true});
+}
+
+void CompressionConfig::set_layer_quantization(const std::string& exact_name,
+                                               unsigned bits,
+                                               std::size_t bucket_size) {
+  LayerCompression cfg = default_;
+  cfg.method = Method::Qsgd;
+  cfg.bits = bits;
+  cfg.bucket_size = bucket_size;
+  set_layer(exact_name, cfg);
+}
+
+LayerCompression CompressionConfig::for_layer(const std::string& name,
+                                              std::size_t numel) const {
+  for (const std::string& pattern : excludes_) {
+    if (name.find(pattern) != std::string::npos) {
+      LayerCompression none;
+      none.method = Method::None;
+      return none;
+    }
+  }
+  LayerCompression resolved = default_;
+  for (const Rule& rule : rules_) {  // later rules win
+    const bool matches = rule.exact ? name == rule.pattern
+                                    : name.find(rule.pattern) !=
+                                          std::string::npos;
+    if (matches) resolved = rule.cfg;
+  }
+  if (resolved.method != Method::None && numel < min_compress_numel_) {
+    resolved.method = Method::None;
+  }
+  return resolved;
+}
+
+CompressionConfig CompressionConfig::cgx_default() {
+  CompressionConfig config;
+  LayerCompression qsgd;
+  qsgd.method = Method::Qsgd;
+  qsgd.bits = 4;
+  qsgd.bucket_size = 128;
+  config.set_default(qsgd);
+  // §3: "layers like batch/layer normalization and bias layers are sensitive
+  // to gradient compression, while being small" -> full precision.
+  config.exclude_layer("bias");
+  config.exclude_layer("bn");
+  config.exclude_layer("ln");
+  config.exclude_layer("norm");
+  return config;
+}
+
+CompressionConfig CompressionConfig::uncompressed() {
+  CompressionConfig config;
+  LayerCompression none;
+  none.method = Method::None;
+  config.set_default(none);
+  return config;
+}
+
+std::unique_ptr<Compressor> make_compressor(const LayerCompression& cfg,
+                                            std::size_t layer_rows) {
+  std::unique_ptr<Compressor> compressor;
+  switch (cfg.method) {
+    case Method::None:
+      compressor = std::make_unique<NoneCompressor>();
+      break;
+    case Method::Fp16:
+      compressor = std::make_unique<Fp16Compressor>();
+      break;
+    case Method::Qsgd:
+      compressor =
+          std::make_unique<QsgdCompressor>(cfg.bits, cfg.bucket_size);
+      break;
+    case Method::Nuq:
+      compressor = std::make_unique<NuqCompressor>(cfg.bits, cfg.bucket_size);
+      break;
+    case Method::TopK:
+      compressor = std::make_unique<TopKCompressor>(cfg.topk_ratio);
+      break;
+    case Method::PowerSgd:
+      compressor = std::make_unique<PowerSgdCompressor>(layer_rows, cfg.rank,
+                                                        cfg.powersgd_fp16);
+      break;
+    case Method::TernGrad:
+      compressor = std::make_unique<TernGradCompressor>(cfg.bucket_size);
+      break;
+    case Method::OneBit:
+      compressor = std::make_unique<OneBitCompressor>(cfg.bucket_size);
+      break;
+    case Method::Fake:
+      compressor = std::make_unique<FakeCompressor>(cfg.fake_ratio);
+      break;
+  }
+  if (cfg.error_feedback) {
+    compressor = std::make_unique<ErrorFeedback>(std::move(compressor));
+  }
+  return compressor;
+}
+
+std::size_t wire_bytes(const LayerCompression& cfg, std::size_t numel,
+                       std::size_t layer_rows) {
+  return make_compressor(cfg, layer_rows)->compressed_size(numel);
+}
+
+}  // namespace cgx::core

@@ -1,0 +1,105 @@
+// Per-layer compression configuration and layer filters.
+//
+// This is the user-facing policy object behind the paper's API (§3): CGX
+// "allows users to choose the compression parameters for specific layers or
+// filter out the group of layers". Matching is by substring on the layer
+// name, like torch_cgx's `exclude_layer("bias")` in Listing 1.
+//
+// Defaults follow §4: QSGD with 4 bits / bucket 128, and bias +
+// batch/layer-norm layers excluded (reduced in full precision in fused
+// small packets). Layers smaller than `min_compress_numel` are also routed
+// to full precision: compressing tiny tensors costs kernel launches without
+// saving meaningful bandwidth.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compressor.h"
+#include "tensor/layer_layout.h"
+
+namespace cgx::core {
+
+enum class Method {
+  None,
+  Fp16,
+  Qsgd,
+  Nuq,  // NUQSGD: exponential-grid quantization (§2.3 successor work)
+  TopK,
+  PowerSgd,
+  TernGrad,
+  OneBit,
+  Fake
+};
+
+const char* method_name(Method m);
+
+struct LayerCompression {
+  Method method = Method::Qsgd;
+  unsigned bits = 4;              // Qsgd
+  std::size_t bucket_size = 128;  // Qsgd / TernGrad / OneBit
+  double topk_ratio = 0.01;       // TopK
+  unsigned rank = 4;              // PowerSgd
+  double fake_ratio = 1.0;        // Fake
+  bool error_feedback = false;    // wrap in ErrorFeedback
+  bool powersgd_fp16 = false;     // demonstrate the FP16 divergence (§6.2)
+};
+
+class CompressionConfig {
+ public:
+  CompressionConfig();
+
+  // Policy mutators (mirroring the torch_cgx API surface).
+  void set_default(LayerCompression cfg);
+  const LayerCompression& default_compression() const { return default_; }
+  // Any layer whose name contains `pattern` is reduced in full precision.
+  void exclude_layer(const std::string& pattern);
+  // Any layer whose name contains `pattern` uses `cfg` (later rules take
+  // precedence over earlier ones).
+  void set_layer(const std::string& pattern, LayerCompression cfg);
+  // Like set_layer but matches the full layer name exactly — used by the
+  // adaptive assigner, whose per-layer overrides must not leak onto layers
+  // whose names merely contain this one as a substring.
+  void set_layer_exact(const std::string& name, LayerCompression cfg);
+  // Convenience used by the adaptive assigner: override bits/bucket for one
+  // exact layer name.
+  void set_layer_quantization(const std::string& exact_name, unsigned bits,
+                              std::size_t bucket_size);
+  void set_min_compress_numel(std::size_t numel) {
+    min_compress_numel_ = numel;
+  }
+  std::size_t min_compress_numel() const { return min_compress_numel_; }
+
+  // Resolved policy for a concrete layer.
+  LayerCompression for_layer(const std::string& name,
+                             std::size_t numel) const;
+
+  // The paper's default exclusions: biases and batch/layer-norm layers.
+  static CompressionConfig cgx_default();
+  // A config that never compresses (the NCCL baseline).
+  static CompressionConfig uncompressed();
+
+ private:
+  struct Rule {
+    std::string pattern;
+    LayerCompression cfg;
+    bool exact = false;
+  };
+  LayerCompression default_;
+  std::vector<Rule> rules_;         // later rules win
+  std::vector<std::string> excludes_;
+  std::size_t min_compress_numel_ = 64;
+};
+
+// Instantiates the operator for one layer. `layer_rows` is the leading
+// dimension of the layer's shape (PowerSGD needs the matrix view).
+std::unique_ptr<Compressor> make_compressor(const LayerCompression& cfg,
+                                            std::size_t layer_rows);
+
+// Compressed wire size of one layer under a policy.
+std::size_t wire_bytes(const LayerCompression& cfg, std::size_t numel,
+                       std::size_t layer_rows);
+
+}  // namespace cgx::core

@@ -1,0 +1,544 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/hierarchical.h"
+#include "core/qsgd.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace cgx::core {
+namespace {
+
+constexpr int kGraceTag = 310;
+
+// Relative cost of running one byte of gradient through a method's
+// compression + decompression kernels, against the device's effective
+// quantization rate. Quantizers run "at line rate" (§2.4, Technical Issue
+// 1); selection and decomposition methods pay more compute.
+double kernel_multiplier(Method m) {
+  switch (m) {
+    case Method::None:
+      return 0.0;
+    case Method::Fake:
+      return 0.25;
+    case Method::Fp16:
+      return 0.5;
+    case Method::Qsgd:
+    case Method::Nuq:
+    case Method::TernGrad:
+    case Method::OneBit:
+      return 1.0;
+    case Method::TopK:
+      return 2.0;
+    case Method::PowerSgd:
+      return 6.0;
+  }
+  return 1.0;
+}
+
+std::vector<int> participating_devices(const simgpu::CostModel& cost,
+                                       int world_size) {
+  CGX_CHECK_GE(cost.topology().num_devices(), world_size);
+  std::vector<int> devices(static_cast<std::size_t>(world_size));
+  for (int i = 0; i < world_size; ++i) devices[static_cast<std::size_t>(i)] = i;
+  return devices;
+}
+
+double compress_kernel_seconds(Method method, double raw_bytes,
+                               double compress_gbps) {
+  if (compress_gbps <= 0.0) return 0.0;
+  // One compression plus one decompression pass per rank per step. Half of
+  // it rides the communication stream (overlappable); the other half is
+  // charged as device contention via CommPlan::kernel_contention_s.
+  return kernel_multiplier(method) * 2.0 * raw_bytes /
+         (compress_gbps * 1e9);
+}
+
+double scheme_seconds(const simgpu::CostModel& cost,
+                      std::span<const int> devices,
+                      comm::ReductionScheme scheme, double chunk_wire_bytes,
+                      double full_wire_bytes) {
+  const auto n = static_cast<double>(devices.size());
+  if (n <= 1.0) return 0.0;
+  switch (scheme) {
+    case comm::ReductionScheme::ScatterReduceAllgather:
+      return cost.sra_seconds(devices, chunk_wire_bytes, chunk_wire_bytes);
+    case comm::ReductionScheme::Ring:
+      return 2.0 * (n - 1.0) * cost.ring_step_seconds(devices,
+                                                      chunk_wire_bytes);
+    case comm::ReductionScheme::Tree:
+      return cost.allreduce_seconds(devices, full_wire_bytes, scheme);
+  }
+  return 0.0;
+}
+
+double scheme_egress_bytes(comm::ReductionScheme scheme, std::size_t n,
+                           double chunk_wire_bytes, double full_wire_bytes) {
+  if (n <= 1) return 0.0;
+  switch (scheme) {
+    case comm::ReductionScheme::ScatterReduceAllgather:
+    case comm::ReductionScheme::Ring:
+      return 2.0 * static_cast<double>(n - 1) * chunk_wire_bytes;
+    case comm::ReductionScheme::Tree:
+      return 2.0 * full_wire_bytes;  // up once, relay down once (worst path)
+  }
+  return 0.0;
+}
+
+// Cost of the two-level schedule: intra-node member->leader reduce (full
+// precision), compressed SRA among leaders, intra-node broadcast back.
+double hierarchical_layer_seconds(const simgpu::CostModel& cost,
+                                  const std::vector<int>& node_of,
+                                  double raw_bytes,
+                                  double leader_chunk_wire_bytes) {
+  std::vector<int> leaders;
+  std::vector<int> seen;
+  for (int r = 0; r < static_cast<int>(node_of.size()); ++r) {
+    const int node = node_of[static_cast<std::size_t>(r)];
+    if (std::find(seen.begin(), seen.end(), node) == seen.end()) {
+      seen.push_back(node);
+      leaders.push_back(r);
+    }
+  }
+  std::vector<simgpu::Flow> up, down;
+  for (int r = 0; r < static_cast<int>(node_of.size()); ++r) {
+    const int leader = leader_of(node_of, r);
+    if (leader == r) continue;
+    up.push_back(simgpu::Flow{r, leader, raw_bytes});
+    down.push_back(simgpu::Flow{leader, r, raw_bytes});
+  }
+  double total = cost.round_seconds(up) + cost.round_seconds(down);
+  if (leaders.size() > 1) {
+    total += cost.sra_seconds(leaders, leader_chunk_wire_bytes,
+                              leader_chunk_wire_bytes);
+  }
+  return total;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- CGX
+
+CgxEngine::CgxEngine(const tensor::LayerLayout& layout,
+                     CompressionConfig config, int world_size,
+                     EngineOptions options)
+    : layout_(layout),
+      config_(std::move(config)),
+      world_size_(world_size),
+      options_(options) {
+  CGX_CHECK_GT(world_size, 0);
+  rebuild();
+}
+
+void CgxEngine::rebuild() {
+  resolved_.clear();
+  resolved_.reserve(layout_.layer_count());
+  for (const auto& info : layout_.layers()) {
+    resolved_.push_back(config_.for_layer(info.name, info.numel));
+  }
+  ranks_.clear();
+  ranks_.resize(static_cast<std::size_t>(world_size_));
+  for (auto& rank : ranks_) {
+    rank.per_layer.resize(layout_.layer_count());
+    for (std::size_t l = 0; l < layout_.layer_count(); ++l) {
+      const LayerCompression& cfg = resolved_[l];
+      if (cfg.method == Method::None) continue;
+      const std::size_t rows = layout_.layer(l).shape.empty()
+                                   ? 0
+                                   : layout_.layer(l).shape.front();
+      auto& chunks = rank.per_layer[l];
+      chunks.clear();
+      chunks.reserve(static_cast<std::size_t>(world_size_));
+      for (int c = 0; c < world_size_; ++c) {
+        chunks.push_back(make_compressor(cfg, rows));
+      }
+    }
+  }
+}
+
+void CgxEngine::allreduce(comm::Comm& comm, std::span<float> fused,
+                          util::Rng& rng) {
+  CGX_CHECK_EQ(comm.size(), world_size_);
+  CGX_CHECK_EQ(fused.size(), layout_.total_numel());
+  RankState& state = ranks_[static_cast<std::size_t>(comm.rank())];
+
+  // Fused full-precision packet for filtered layers.
+  std::vector<std::size_t> filtered;
+  std::vector<float> packet;
+  for (std::size_t l = 0; l < resolved_.size(); ++l) {
+    if (resolved_[l].method != Method::None) continue;
+    if (options_.fuse_filtered_layers) {
+      filtered.push_back(l);
+      const auto slice = layout_.slice(std::span<const float>(fused), l);
+      packet.insert(packet.end(), slice.begin(), slice.end());
+    } else {
+      comm::allreduce(comm, layout_.slice(fused, l), options_.scheme);
+    }
+  }
+  if (!packet.empty()) {
+    comm::allreduce(comm, packet, options_.scheme);
+    std::size_t offset = 0;
+    for (std::size_t l : filtered) {
+      auto slice = layout_.slice(fused, l);
+      tensor::copy({packet.data() + offset, slice.size()}, slice);
+      offset += slice.size();
+    }
+  }
+
+  // Compressed layers, one collective each (per-layer compression, §3).
+  for (std::size_t l = 0; l < resolved_.size(); ++l) {
+    if (resolved_[l].method == Method::None) continue;
+    auto& chunk_state = state.per_layer[l];
+    std::vector<Compressor*> chunks(chunk_state.size());
+    for (std::size_t c = 0; c < chunk_state.size(); ++c) {
+      chunks[c] = chunk_state[c].get();
+    }
+    if (!options_.node_of.empty()) {
+      HierarchicalOptions h;
+      h.node_of = options_.node_of;
+      hierarchical_allreduce(comm, layout_.slice(fused, l), chunks, rng, h);
+    } else {
+      compressed_allreduce(comm, layout_.slice(fused, l), chunks, rng,
+                           options_.scheme);
+    }
+  }
+
+  if (options_.average && world_size_ > 1) {
+    tensor::scale(fused, 1.0f / static_cast<float>(world_size_));
+  }
+}
+
+double CgxEngine::layer_wire_bytes(std::size_t layer_index,
+                                   comm::ReductionScheme scheme,
+                                   bool compressed) const {
+  const auto& info = layout_.layer(layer_index);
+  const LayerCompression& cfg = resolved_[layer_index];
+  const std::size_t rows = info.shape.empty() ? 0 : info.shape.front();
+  const std::size_t chunk_numel =
+      (info.numel + static_cast<std::size_t>(world_size_) - 1) /
+      static_cast<std::size_t>(world_size_);
+  const double chunk_bytes =
+      compressed && cfg.method != Method::None
+          ? static_cast<double>(wire_bytes(cfg, chunk_numel, rows))
+          : 4.0 * static_cast<double>(chunk_numel);
+  const double full_bytes =
+      compressed && cfg.method != Method::None
+          ? static_cast<double>(wire_bytes(cfg, info.numel, rows))
+          : 4.0 * static_cast<double>(info.numel);
+  return scheme_egress_bytes(scheme,
+                             static_cast<std::size_t>(world_size_),
+                             chunk_bytes, full_bytes);
+}
+
+double CgxEngine::wire_bytes_per_rank(comm::ReductionScheme scheme) const {
+  double total = 0.0;
+  for (std::size_t l = 0; l < resolved_.size(); ++l) {
+    total += layer_wire_bytes(l, scheme, /*compressed=*/true);
+  }
+  return total;
+}
+
+double CgxEngine::raw_wire_bytes_per_rank(
+    comm::ReductionScheme scheme) const {
+  double total = 0.0;
+  for (std::size_t l = 0; l < resolved_.size(); ++l) {
+    total += layer_wire_bytes(l, scheme, /*compressed=*/false);
+  }
+  return total;
+}
+
+CommPlan CgxEngine::comm_plan(const simgpu::CostModel& cost,
+                              double compress_gbps) const {
+  CommPlan plan;
+  plan.per_layer_s.assign(layout_.layer_count(), 0.0);
+  const std::vector<int> devices = participating_devices(cost, world_size_);
+  double fused_packet_bytes = 0.0;
+
+  for (std::size_t l = 0; l < layout_.layer_count(); ++l) {
+    const auto& info = layout_.layer(l);
+    const LayerCompression& cfg = resolved_[l];
+    if (cfg.method == Method::None) {
+      if (options_.fuse_filtered_layers) {
+        fused_packet_bytes += 4.0 * static_cast<double>(info.numel);
+      } else {
+        plan.per_layer_s[l] = scheme_seconds(
+            cost, devices, options_.scheme,
+            4.0 * static_cast<double>(info.numel) / world_size_,
+            4.0 * static_cast<double>(info.numel));
+      }
+      continue;
+    }
+    const std::size_t rows = info.shape.empty() ? 0 : info.shape.front();
+    const std::size_t chunk_numel =
+        (info.numel + static_cast<std::size_t>(world_size_) - 1) /
+        static_cast<std::size_t>(world_size_);
+    const double chunk_wire =
+        static_cast<double>(wire_bytes(cfg, chunk_numel, rows));
+    const double full_wire =
+        static_cast<double>(wire_bytes(cfg, info.numel, rows));
+    const double raw_bytes = 4.0 * static_cast<double>(info.numel);
+    const double kernel =
+        compress_kernel_seconds(cfg.method, raw_bytes, compress_gbps);
+    if (!options_.node_of.empty()) {
+      // Heterogeneous two-level schedule (§4).
+      std::size_t leader_count = 0;
+      {
+        std::vector<int> seen;
+        for (int node : options_.node_of) {
+          if (std::find(seen.begin(), seen.end(), node) == seen.end()) {
+            seen.push_back(node);
+          }
+        }
+        leader_count = seen.size();
+      }
+      const std::size_t leader_chunk_numel =
+          (info.numel + leader_count - 1) / std::max<std::size_t>(1,
+                                                                  leader_count);
+      const double leader_chunk_wire =
+          static_cast<double>(wire_bytes(cfg, leader_chunk_numel, rows));
+      plan.per_layer_s[l] =
+          hierarchical_layer_seconds(cost, options_.node_of, raw_bytes,
+                                     leader_chunk_wire) +
+          0.5 * kernel;
+    } else {
+      plan.per_layer_s[l] = scheme_seconds(cost, devices, options_.scheme,
+                                           chunk_wire, full_wire) +
+                            0.5 * kernel;
+    }
+    plan.kernel_contention_s += 0.5 * kernel;
+  }
+
+  if (fused_packet_bytes > 0.0) {
+    plan.fused_packet_s = scheme_seconds(
+        cost, devices, options_.scheme, fused_packet_bytes / world_size_,
+        fused_packet_bytes);
+  }
+  plan.wire_bytes_per_rank = wire_bytes_per_rank(options_.scheme);
+  return plan;
+}
+
+// ----------------------------------------------------------------- QNCCL
+
+QncclEngine::QncclEngine(const tensor::LayerLayout& layout, unsigned bits,
+                         std::size_t bucket_size, int world_size)
+    : layout_(layout),
+      bits_(bits),
+      bucket_size_(bucket_size),
+      world_size_(world_size) {
+  CGX_CHECK_GT(world_size, 0);
+  LayerCompression cfg;
+  cfg.method = Method::Qsgd;
+  cfg.bits = bits;
+  cfg.bucket_size = bucket_size;
+  ranks_.resize(static_cast<std::size_t>(world_size));
+  for (auto& chunks : ranks_) {
+    for (int c = 0; c < world_size; ++c) {
+      chunks.push_back(make_compressor(cfg, 0));
+    }
+  }
+}
+
+void QncclEngine::allreduce(comm::Comm& comm, std::span<float> fused,
+                            util::Rng& rng) {
+  CGX_CHECK_EQ(comm.size(), world_size_);
+  // The blob path: one ring allreduce over the raw fused buffer, uniform
+  // compression, no layer boundaries and no filtering.
+  auto& chunk_state = ranks_[static_cast<std::size_t>(comm.rank())];
+  std::vector<Compressor*> chunks(chunk_state.size());
+  for (std::size_t c = 0; c < chunk_state.size(); ++c) {
+    chunks[c] = chunk_state[c].get();
+  }
+  compressed_allreduce_ring(comm, fused, chunks, rng);
+  if (world_size_ > 1) {
+    tensor::scale(fused, 1.0f / static_cast<float>(world_size_));
+  }
+}
+
+CommPlan QncclEngine::comm_plan(const simgpu::CostModel& cost,
+                                double compress_gbps) const {
+  // QNCCL sits under the framework's fused buckets (like the baseline);
+  // each ~25 MB bucket is quantized as one blob inside the ring.
+  constexpr double kBucketBytes = 25e6;
+  CommPlan plan;
+  plan.per_layer_s.assign(layout_.layer_count(), 0.0);
+  if (world_size_ <= 1) return plan;
+  const std::vector<int> devices = participating_devices(cost, world_size_);
+  const QsgdCompressor probe(bits_, bucket_size_);
+  // "Limitations in GPU resources imposed by NCCL itself ... lead to
+  // non-negligible compression overhead" (§3): the kernels run at a
+  // fraction of the native rate.
+  const double nccl_kernel_rate = compress_gbps / 4.0;
+
+  double bucket_numel = 0.0;
+  auto flush = [&](std::size_t owner_layer) {
+    if (bucket_numel <= 0.0) return;
+    const auto chunk_numel = static_cast<std::size_t>(
+        bucket_numel / world_size_ + 1.0);
+    const double chunk_wire =
+        static_cast<double>(probe.compressed_size(chunk_numel));
+    const double kernel = compress_kernel_seconds(
+        Method::Qsgd, 4.0 * bucket_numel, nccl_kernel_rate);
+    plan.per_layer_s[owner_layer] +=
+        2.0 * (world_size_ - 1) *
+            cost.ring_step_seconds(devices, chunk_wire) +
+        0.5 * kernel;
+    plan.kernel_contention_s += 0.5 * kernel;
+    plan.wire_bytes_per_rank +=
+        2.0 * static_cast<double>(world_size_ - 1) * chunk_wire;
+    bucket_numel = 0.0;
+  };
+  for (std::size_t i = layout_.layer_count(); i-- > 0;) {
+    bucket_numel += static_cast<double>(layout_.layer(i).numel);
+    if (4.0 * bucket_numel >= kBucketBytes) flush(i);
+  }
+  flush(0);
+  return plan;
+}
+
+// ----------------------------------------------------------------- GRACE
+
+GraceEngine::GraceEngine(const tensor::LayerLayout& layout, unsigned bits,
+                         int world_size)
+    : layout_(layout), bits_(bits), world_size_(world_size) {
+  CGX_CHECK_GT(world_size, 0);
+  ranks_.resize(static_cast<std::size_t>(world_size));
+  for (auto& layers : ranks_) {
+    for (const auto& info : layout.layers()) {
+      LayerCompression cfg;
+      cfg.method = Method::Qsgd;
+      cfg.bits = bits;
+      cfg.bucket_size = info.numel;  // no bucketing: one scale per tensor
+      layers.push_back(make_compressor(cfg, 0));
+    }
+  }
+}
+
+void GraceEngine::allreduce(comm::Comm& comm, std::span<float> fused,
+                            util::Rng& rng) {
+  CGX_CHECK_EQ(comm.size(), world_size_);
+  const int n = comm.size();
+  const int r = comm.rank();
+  auto& layers = ranks_[static_cast<std::size_t>(r)];
+
+  // GRACE's reduction: compress locally, allgather everyone's payload,
+  // decompress all of them and sum (no aggregating rank, every rank does
+  // the full work).
+  std::vector<std::byte> mine, incoming;
+  std::vector<float> decompressed;
+  for (std::size_t l = 0; l < layout_.layer_count(); ++l) {
+    std::span<float> slice = layout_.slice(fused, l);
+    Compressor& compressor = *layers[l];
+    mine.resize(compressor.compressed_size(slice.size()));
+    const std::size_t written =
+        compressor.compress(slice, {mine.data(), mine.size()}, rng);
+    mine.resize(written);
+    for (int p = 0; p < n; ++p) {
+      if (p == r) continue;
+      comm.send(p, mine, kGraceTag);
+    }
+    decompressed.resize(slice.size());
+    // Sum in rank order so all ranks produce bit-identical results; our own
+    // contribution also goes through its payload.
+    std::fill(slice.begin(), slice.end(), 0.0f);
+    incoming.resize(mine.size());
+    for (int p = 0; p < n; ++p) {
+      if (p == r) {
+        compressor.decompress(mine, decompressed);
+      } else {
+        comm.recv(p, {incoming.data(), incoming.size()}, kGraceTag);
+        compressor.decompress(incoming, decompressed);
+      }
+      tensor::add_inplace(slice, decompressed);
+    }
+  }
+  if (n > 1) tensor::scale(fused, 1.0f / static_cast<float>(n));
+}
+
+CommPlan GraceEngine::comm_plan(const simgpu::CostModel& cost,
+                                double compress_gbps) const {
+  CommPlan plan;
+  plan.per_layer_s.assign(layout_.layer_count(), 0.0);
+  const std::vector<int> devices = participating_devices(cost, world_size_);
+  for (std::size_t l = 0; l < layout_.layer_count(); ++l) {
+    const auto& info = layout_.layer(l);
+    // INT8 wire values regardless of the quantization width (§6.2), plus
+    // one fp32 scale per tensor.
+    const double wire = static_cast<double>(info.numel) + 4.0;
+    // Every rank decompresses all N payloads (no aggregating rank), so the
+    // kernel work scales with the world size.
+    const double kernel = compress_kernel_seconds(
+        Method::Qsgd,
+        static_cast<double>(world_size_) * 2.0 *
+            static_cast<double>(info.numel),
+        compress_gbps);
+    plan.per_layer_s[l] = cost.allgather_seconds(devices, wire) +
+                          0.5 * kernel;
+    plan.kernel_contention_s += 0.5 * kernel;
+    plan.wire_bytes_per_rank +=
+        static_cast<double>(world_size_ - 1) * wire;
+  }
+  return plan;
+}
+
+// ----------------------------------------------------------------- baseline
+
+BaselineEngine::BaselineEngine(const tensor::LayerLayout& layout,
+                               int world_size, bool fp16_wire)
+    : layout_(layout), world_size_(world_size), fp16_wire_(fp16_wire) {
+  CGX_CHECK_GT(world_size, 0);
+}
+
+void BaselineEngine::allreduce(comm::Comm& comm, std::span<float> fused,
+                               util::Rng& rng) {
+  (void)rng;
+  CGX_CHECK_EQ(comm.size(), world_size_);
+  // NCCL reduces FP16 natively when the framework trains in mixed
+  // precision; numerically we keep float accumulation (NCCL sums in the
+  // wire type but the difference is irrelevant here — the sim path charges
+  // the halved wire size).
+  for (std::size_t l = 0; l < layout_.layer_count(); ++l) {
+    comm::allreduce(comm, layout_.slice(fused, l),
+                    comm::ReductionScheme::Ring);
+  }
+  if (world_size_ > 1) {
+    tensor::scale(fused, 1.0f / static_cast<float>(world_size_));
+  }
+}
+
+CommPlan BaselineEngine::comm_plan(const simgpu::CostModel& cost,
+                                   double compress_gbps) const {
+  (void)compress_gbps;
+  // DDP/Horovod fuse gradients into ~25 MB buckets before calling NCCL
+  // (Tensor Fusion / DDP gradient buckets): one ring allreduce per bucket,
+  // amortising per-message latency across layers. Buckets fill in gradient
+  // PRODUCTION order (reverse layout order) and fire when the last layer of
+  // the bucket materialises, so the bucket's cost is charged to the
+  // lowest-index layer it contains.
+  constexpr double kBucketBytes = 25e6;
+  CommPlan plan;
+  plan.per_layer_s.assign(layout_.layer_count(), 0.0);
+  if (world_size_ <= 1) return plan;
+  const std::vector<int> devices = participating_devices(cost, world_size_);
+  const double elem_bytes = fp16_wire_ ? 2.0 : 4.0;
+
+  double bucket_bytes = 0.0;
+  auto flush = [&](std::size_t owner_layer) {
+    if (bucket_bytes <= 0.0) return;
+    const double chunk = bucket_bytes / world_size_;
+    plan.per_layer_s[owner_layer] +=
+        2.0 * (world_size_ - 1) * cost.ring_step_seconds(devices, chunk);
+    plan.wire_bytes_per_rank +=
+        2.0 * static_cast<double>(world_size_ - 1) * chunk;
+    bucket_bytes = 0.0;
+  };
+  for (std::size_t i = layout_.layer_count(); i-- > 0;) {
+    bucket_bytes += elem_bytes * static_cast<double>(layout_.layer(i).numel);
+    if (bucket_bytes >= kBucketBytes) flush(i);
+  }
+  flush(0);
+  return plan;
+}
+
+}  // namespace cgx::core

@@ -1,0 +1,177 @@
+// The CGX communication engine and the two baseline engines it is evaluated
+// against (QNCCL, GRACE).
+//
+// CgxEngine is the paper's main artefact (§3/§4): it owns the per-layer
+// compression policy, routes filtered layers (bias/norm) through a fused
+// full-precision packet, runs the compression-aware SRA/Ring/Tree
+// collectives for everything else, and exposes the same work as an analytic
+// communication plan for the performance model ("real collectives,
+// simulated clocks").
+//
+// QncclEngine reproduces the QNCCL artefact's constraints (§3 "The QNCCL
+// Library"): compression is applied uniformly to the raw fused buffer — no
+// layer boundaries, no filters, ring reduction only, and a GPU-resource
+// penalty on the compression kernels imposed by running inside NCCL.
+//
+// GraceEngine reproduces GRACE's QSGD configuration as characterised in
+// §6.2: no bucketing (one scaling per tensor), allgather-based reduction
+// instead of an optimized allreduce, and INT8 wire values even at 4-bit
+// quantization.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "comm/collectives.h"
+#include "core/compressed_allreduce.h"
+#include "core/compression_config.h"
+#include "simgpu/cost_model.h"
+#include "tensor/layer_layout.h"
+
+namespace cgx::core {
+
+struct EngineOptions {
+  comm::ReductionScheme scheme =
+      comm::ReductionScheme::ScatterReduceAllgather;
+  bool average = true;  // divide the sum by world size
+  // Fuse all full-precision (filtered/small) layers into one packet per
+  // step, "communicated uncompressed, in separate packages" (§3).
+  bool fuse_filtered_layers = true;
+  // Heterogeneous multi-node mode (§4 "Backend Details"): full-precision
+  // intra-node reduction to node leaders, compressed SRA across nodes.
+  // node_of[rank] -> node id; empty = flat (single-level) communication.
+  std::vector<int> node_of;
+};
+
+// Analytic communication plan for one training step, consumed by
+// simgpu::simulate_step. Costs are per layer in LAYOUT order; the fused
+// full-precision packet ships once, after the last gradient materialises.
+struct CommPlan {
+  std::vector<double> per_layer_s;
+  double fused_packet_s = 0.0;
+  double wire_bytes_per_rank = 0.0;  // total egress per rank per step
+  // Compression kernels compete with training compute for the device
+  // (Appendix A): this portion of the kernel time extends the compute
+  // timeline rather than the (overlappable) communication stream.
+  double kernel_contention_s = 0.0;
+};
+
+class GradientEngine {
+ public:
+  virtual ~GradientEngine() = default;
+  // Real path: collectively reduce (average) each rank's fused gradient.
+  // Called by every rank's thread with its own Comm handle and buffer.
+  virtual void allreduce(comm::Comm& comm, std::span<float> fused,
+                         util::Rng& rng) = 0;
+  // Simulated path: the communication plan on a given machine.
+  // `compress_gbps` is the device's effective quantization kernel rate.
+  virtual CommPlan comm_plan(const simgpu::CostModel& cost,
+                             double compress_gbps) const = 0;
+  virtual std::string name() const = 0;
+};
+
+class CgxEngine final : public GradientEngine {
+ public:
+  CgxEngine(const tensor::LayerLayout& layout, CompressionConfig config,
+            int world_size, EngineOptions options = {});
+
+  void allreduce(comm::Comm& comm, std::span<float> fused,
+                 util::Rng& rng) override;
+  CommPlan comm_plan(const simgpu::CostModel& cost,
+                     double compress_gbps) const override;
+  std::string name() const override { return "CGX"; }
+
+  // Policy access; call rebuild() after mutating so per-layer operators are
+  // re-instantiated (the adaptive assigner uses this every re-assignment
+  // period).
+  CompressionConfig& config() { return config_; }
+  const CompressionConfig& config() const { return config_; }
+  void rebuild();
+
+  const tensor::LayerLayout& layout() const { return layout_; }
+  int world_size() const { return world_size_; }
+
+  // Resolved policy per layer (after filters), for inspection and tests.
+  const std::vector<LayerCompression>& resolved() const { return resolved_; }
+
+  // Bytes each rank puts on the wire per step (compressed), and the FP32
+  // baseline's, for compression-ratio reporting (Fig. 5b / Table 7).
+  double wire_bytes_per_rank(comm::ReductionScheme scheme) const;
+  double raw_wire_bytes_per_rank(comm::ReductionScheme scheme) const;
+
+ private:
+  struct RankState {
+    // state[layer][chunk] — stable chunk->compressor binding (see
+    // compressed_allreduce.h).
+    std::vector<std::vector<std::unique_ptr<Compressor>>> per_layer;
+  };
+
+  double layer_wire_bytes(std::size_t layer_index,
+                          comm::ReductionScheme scheme, bool compressed) const;
+
+  tensor::LayerLayout layout_;  // owned copy: engines outlive callers' layouts
+  CompressionConfig config_;
+  int world_size_;
+  EngineOptions options_;
+  std::vector<LayerCompression> resolved_;
+  std::vector<RankState> ranks_;
+};
+
+class QncclEngine final : public GradientEngine {
+ public:
+  // The blob sees no layer names: one uniform quantization policy.
+  QncclEngine(const tensor::LayerLayout& layout, unsigned bits,
+              std::size_t bucket_size, int world_size);
+
+  void allreduce(comm::Comm& comm, std::span<float> fused,
+                 util::Rng& rng) override;
+  CommPlan comm_plan(const simgpu::CostModel& cost,
+                     double compress_gbps) const override;
+  std::string name() const override { return "QNCCL"; }
+
+ private:
+  tensor::LayerLayout layout_;
+  unsigned bits_;
+  std::size_t bucket_size_;
+  int world_size_;
+  std::vector<std::vector<std::unique_ptr<Compressor>>> ranks_;  // [rank][chunk]
+};
+
+class GraceEngine final : public GradientEngine {
+ public:
+  GraceEngine(const tensor::LayerLayout& layout, unsigned bits,
+              int world_size);
+
+  void allreduce(comm::Comm& comm, std::span<float> fused,
+                 util::Rng& rng) override;
+  CommPlan comm_plan(const simgpu::CostModel& cost,
+                     double compress_gbps) const override;
+  std::string name() const override { return "GRACE"; }
+
+ private:
+  tensor::LayerLayout layout_;
+  unsigned bits_;
+  int world_size_;
+  std::vector<std::vector<std::unique_ptr<Compressor>>> ranks_;  // [rank][layer]
+};
+
+// The uncompressed Horovod-NCCL / PyTorch-DDP baseline: plain ring
+// allreduce of the fused FP32 buffer, layer by layer.
+class BaselineEngine final : public GradientEngine {
+ public:
+  explicit BaselineEngine(const tensor::LayerLayout& layout, int world_size,
+                          bool fp16_wire = false);
+
+  void allreduce(comm::Comm& comm, std::span<float> fused,
+                 util::Rng& rng) override;
+  CommPlan comm_plan(const simgpu::CostModel& cost,
+                     double compress_gbps) const override;
+  std::string name() const override { return "NCCL-baseline"; }
+
+ private:
+  tensor::LayerLayout layout_;
+  int world_size_;
+  bool fp16_wire_;
+};
+
+}  // namespace cgx::core

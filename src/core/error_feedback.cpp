@@ -1,0 +1,47 @@
+#include "core/error_feedback.h"
+
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace cgx::core {
+
+ErrorFeedback::ErrorFeedback(std::unique_ptr<Compressor> inner)
+    : inner_(std::move(inner)) {
+  CGX_CHECK(inner_ != nullptr);
+}
+
+std::size_t ErrorFeedback::compressed_size(std::size_t n) const {
+  return inner_->compressed_size(n);
+}
+
+std::size_t ErrorFeedback::compress(std::span<const float> in,
+                                    std::span<std::byte> out,
+                                    util::Rng& rng) {
+  const std::size_t n = in.size();
+  if (residual_.size() != n) residual_.assign(n, 0.0f);
+  corrected_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) corrected_[i] = in[i] + residual_[i];
+
+  const std::size_t written = inner_->compress(corrected_, out, rng);
+
+  // residual = corrected - decompress(payload): what this step dropped.
+  std::vector<float> reconstructed(n);
+  inner_->decompress(out.first(written), reconstructed);
+  for (std::size_t i = 0; i < n; ++i) {
+    residual_[i] = corrected_[i] - reconstructed[i];
+  }
+  return written;
+}
+
+void ErrorFeedback::decompress(std::span<const std::byte> in,
+                               std::span<float> out) {
+  inner_->decompress(in, out);
+}
+
+std::string ErrorFeedback::name() const { return "ef+" + inner_->name(); }
+
+double ErrorFeedback::residual_norm() const {
+  return tensor::l2_norm(residual_);
+}
+
+}  // namespace cgx::core

@@ -1,0 +1,42 @@
+// Error feedback (Karimireddy et al. 2019; paper §2.3).
+//
+// Wraps any compressor with a residual memory: each step compresses
+// (gradient + residual) and stores what the compression dropped back into
+// the residual, to be re-injected next step. This is the standard fix that
+// makes biased operators (TopK, 1-bit, PowerSGD) converge, and the "cost of
+// maintaining the error buffer" the paper counts against them (§2.4).
+//
+// The wrapper holds per-instance state, so — like all stateful compressors —
+// the engine creates one per (rank, layer).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/compressor.h"
+
+namespace cgx::core {
+
+class ErrorFeedback final : public Compressor {
+ public:
+  explicit ErrorFeedback(std::unique_ptr<Compressor> inner);
+
+  std::size_t compressed_size(std::size_t n) const override;
+  std::size_t compress(std::span<const float> in, std::span<std::byte> out,
+                       util::Rng& rng) override;
+  void decompress(std::span<const std::byte> in,
+                  std::span<float> out) override;
+  std::string name() const override;
+
+  // L2 norm of the current residual; tests use it to verify accumulation.
+  double residual_norm() const;
+
+  Compressor& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<Compressor> inner_;
+  std::vector<float> residual_;
+  std::vector<float> corrected_;  // scratch: gradient + residual
+};
+
+}  // namespace cgx::core

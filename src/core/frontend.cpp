@@ -1,0 +1,90 @@
+#include "core/frontend.h"
+
+#include "util/check.h"
+
+namespace cgx::core {
+
+DistributedContext::DistributedContext(int world_size, comm::Backend backend)
+    : world_size_(world_size),
+      backend_(backend),
+      config_(CompressionConfig::cgx_default()) {
+  CGX_CHECK_GT(world_size, 0);
+}
+
+void DistributedContext::register_model(
+    const std::vector<std::pair<std::string, tensor::Shape>>& layers) {
+  CGX_CHECK(!model_registered()) << "model already registered";
+  for (const auto& [name, shape] : layers) {
+    layout_.add_layer(name, shape);
+  }
+}
+
+void DistributedContext::register_model(
+    const std::vector<std::pair<std::string, std::size_t>>& layers) {
+  CGX_CHECK(!model_registered()) << "model already registered";
+  for (const auto& [name, numel] : layers) {
+    layout_.add_layer(name, numel);
+  }
+}
+
+void DistributedContext::exclude_layer(const std::string& pattern) {
+  config_.exclude_layer(pattern);
+}
+
+void DistributedContext::set_quantization_bits(unsigned bits) {
+  LayerCompression cfg = config_.default_compression();
+  cfg.method = Method::Qsgd;
+  cfg.bits = bits;
+  config_.set_default(cfg);
+}
+
+void DistributedContext::set_quantization_bucket_size(std::size_t bucket) {
+  LayerCompression cfg = config_.default_compression();
+  cfg.method = Method::Qsgd;
+  cfg.bucket_size = bucket;
+  config_.set_default(cfg);
+}
+
+void DistributedContext::set_layer_bits(const std::string& layer,
+                                        unsigned bits, std::size_t bucket) {
+  LayerCompression cfg = config_.default_compression();
+  cfg.method = Method::Qsgd;
+  cfg.bits = bits;
+  cfg.bucket_size = bucket;
+  config_.set_layer_exact(layer, cfg);
+}
+
+void DistributedContext::set_layer_method(const std::string& pattern,
+                                          LayerCompression cfg) {
+  config_.set_layer(pattern, cfg);
+}
+
+void DistributedContext::set_reduction_scheme(comm::ReductionScheme scheme) {
+  options_.scheme = scheme;
+}
+
+std::unique_ptr<GradientEngine> DistributedContext::build_engine() const {
+  CGX_CHECK(model_registered())
+      << "register_model() first (or use build_blob_engine)";
+  return std::make_unique<CgxEngine>(layout_, config_, world_size_,
+                                     options_);
+}
+
+std::unique_ptr<GradientEngine> DistributedContext::build_blob_engine(
+    std::size_t fallback_numel) const {
+  CGX_CHECK_GT(fallback_numel, 0u);
+  // No layer information: uniform blob compression, exactly the QNCCL
+  // situation the paper contrasts against (§3).
+  if (blob_layout_.layer_count() == 0) {
+    blob_layout_.add_layer("blob", fallback_numel);
+  }
+  const LayerCompression& d = config_.default_compression();
+  return std::make_unique<QncclEngine>(blob_layout_, d.bits, d.bucket_size,
+                                       world_size_);
+}
+
+std::unique_ptr<comm::Transport> DistributedContext::make_transport() const {
+  return comm::make_transport(backend_, world_size_);
+}
+
+}  // namespace cgx::core

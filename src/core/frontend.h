@@ -1,0 +1,80 @@
+// User-facing frontend mirroring the paper's framework integrations.
+//
+// CGX ships two integrations (§3): a Horovod extension and a Torch-DDP
+// backend (`torch_cgx`, paper Listing 1). Both reduce to the same contract:
+//
+//   ctx = DistributedContext(world_size)            // init_process_group
+//   ctx.register_model({{"embed.weight", {...}}})   // register_model
+//   ctx.exclude_layer("bias"); ctx.exclude_layer("bn")
+//   ctx.set_quantization_bits(4); ctx.set_quantization_bucket_size(128)
+//   ctx.set_layer_bits("embed.weight", 2)           // per-layer override
+//   engine = ctx.build_engine()                     // backend ready
+//
+// The same context also reproduces the DDP limitation the paper describes:
+// in DDP mode the engine "no longer has access to the buffer structure" —
+// unless the user registers the layout, the whole gradient is one blob
+// (i.e. you get QNCCL-like uniform behaviour).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "comm/transports.h"
+#include "core/engine.h"
+
+namespace cgx::core {
+
+class DistributedContext {
+ public:
+  explicit DistributedContext(int world_size,
+                              comm::Backend backend = comm::Backend::Shm);
+
+  // Listing 1: layers = [(name, shape or numel), ...] in model order.
+  void register_model(
+      const std::vector<std::pair<std::string, tensor::Shape>>& layers);
+  void register_model(
+      const std::vector<std::pair<std::string, std::size_t>>& layers);
+  bool model_registered() const { return layout_.layer_count() > 0; }
+
+  // Listing 1: exclude_layer("bn") / exclude_layer("bias").
+  void exclude_layer(const std::string& pattern);
+  // Global quantization parameters (defaults: 4 bits, bucket 128).
+  void set_quantization_bits(unsigned bits);
+  void set_quantization_bucket_size(std::size_t bucket);
+  // Per-layer override (exact layer name).
+  void set_layer_bits(const std::string& layer, unsigned bits,
+                      std::size_t bucket = 128);
+  // Route a layer to a different compression method entirely
+  // (the §6.2 "Heterogeneous compression" path, e.g. TopK on embeddings).
+  void set_layer_method(const std::string& pattern, LayerCompression cfg);
+  void set_reduction_scheme(comm::ReductionScheme scheme);
+
+  int world_size() const { return world_size_; }
+  comm::Backend backend() const { return backend_; }
+  const tensor::LayerLayout& layout() const { return layout_; }
+  const CompressionConfig& config() const { return config_; }
+
+  // Builds the CGX engine for the registered model. If no model was
+  // registered (the raw-DDP case), `fallback_numel` describes the blob and
+  // a QNCCL-style uniform engine is returned instead.
+  std::unique_ptr<GradientEngine> build_engine() const;
+  std::unique_ptr<GradientEngine> build_blob_engine(
+      std::size_t fallback_numel) const;
+
+  // The matching transport for run_world().
+  std::unique_ptr<comm::Transport> make_transport() const;
+
+ private:
+  int world_size_;
+  comm::Backend backend_;
+  tensor::LayerLayout layout_;
+  // Single-blob pseudo-layout for the unregistered-DDP path; engines hold a
+  // pointer to their layout, so it must outlive them.
+  mutable tensor::LayerLayout blob_layout_;
+  CompressionConfig config_;
+  EngineOptions options_;
+};
+
+}  // namespace cgx::core

@@ -1,0 +1,156 @@
+#include "core/hierarchical.h"
+
+#include <algorithm>
+
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace cgx::core {
+namespace {
+
+constexpr int kIntraReduceTag = 410;
+constexpr int kInterScatterTag = 411;
+constexpr int kInterGatherTag = 412;
+constexpr int kIntraBcastTag = 413;
+
+std::vector<int> leader_list(const std::vector<int>& node_of) {
+  std::vector<int> leaders;
+  std::vector<int> seen_nodes;
+  for (int r = 0; r < static_cast<int>(node_of.size()); ++r) {
+    const int node = node_of[static_cast<std::size_t>(r)];
+    if (std::find(seen_nodes.begin(), seen_nodes.end(), node) ==
+        seen_nodes.end()) {
+      seen_nodes.push_back(node);
+      leaders.push_back(r);  // first (lowest) rank of the node
+    }
+  }
+  std::sort(leaders.begin(), leaders.end());
+  return leaders;
+}
+
+// SRA over an explicit participant subset; chunk j of the data belongs to
+// participants[j] and always rides compressors[j].
+void subset_compressed_sra(comm::Comm& comm, std::span<float> data,
+                           const std::vector<int>& participants,
+                           std::span<Compressor* const> compressors,
+                           util::Rng& rng) {
+  const int n = static_cast<int>(participants.size());
+  if (n <= 1 || data.empty()) return;
+  CGX_CHECK_GE(compressors.size(), static_cast<std::size_t>(n));
+  const auto it = std::find(participants.begin(), participants.end(),
+                            comm.rank());
+  CGX_CHECK(it != participants.end());
+  const int me = static_cast<int>(it - participants.begin());
+
+  std::vector<std::byte> payload;
+  for (int p = 0; p < n; ++p) {
+    if (p == me) continue;
+    const auto [first, last] = comm::chunk_range(data.size(), n, p);
+    const std::span<const float> chunk = data.subspan(first, last - first);
+    payload.resize(compressors[p]->compressed_size(chunk.size()));
+    const std::size_t written =
+        compressors[p]->compress(chunk, payload, rng);
+    comm.send(participants[static_cast<std::size_t>(p)],
+              std::span<const std::byte>(payload.data(), written),
+              kInterScatterTag);
+  }
+  const auto [mf, ml] = comm::chunk_range(data.size(), n, me);
+  std::span<float> mine = data.subspan(mf, ml - mf);
+  std::vector<float> incoming(mine.size());
+  std::vector<std::byte> in_payload(
+      compressors[me]->compressed_size(mine.size()));
+  for (int p = 0; p < n; ++p) {
+    if (p == me) continue;
+    comm.recv(participants[static_cast<std::size_t>(p)],
+              std::span<std::byte>(in_payload), kInterScatterTag);
+    compressors[me]->decompress(in_payload, incoming);
+    tensor::add_inplace(mine, incoming);
+  }
+  payload.resize(compressors[me]->compressed_size(mine.size()));
+  const std::size_t written =
+      compressors[me]->compress(mine, payload, rng);
+  const std::span<const std::byte> reduced(payload.data(), written);
+  for (int p = 0; p < n; ++p) {
+    if (p == me) continue;
+    comm.send(participants[static_cast<std::size_t>(p)], reduced,
+              kInterGatherTag);
+  }
+  compressors[me]->decompress(reduced, mine);
+  for (int p = 0; p < n; ++p) {
+    if (p == me) continue;
+    const auto [first, last] = comm::chunk_range(data.size(), n, p);
+    std::span<float> chunk = data.subspan(first, last - first);
+    in_payload.resize(compressors[p]->compressed_size(chunk.size()));
+    comm.recv(participants[static_cast<std::size_t>(p)],
+              std::span<std::byte>(in_payload), kInterGatherTag);
+    compressors[p]->decompress(in_payload, chunk);
+  }
+}
+
+}  // namespace
+
+int leader_of(const std::vector<int>& node_of, int rank) {
+  CGX_CHECK(rank >= 0 && rank < static_cast<int>(node_of.size()));
+  const int node = node_of[static_cast<std::size_t>(rank)];
+  for (int r = 0; r < static_cast<int>(node_of.size()); ++r) {
+    if (node_of[static_cast<std::size_t>(r)] == node) return r;
+  }
+  return rank;
+}
+
+void hierarchical_allreduce(comm::Comm& comm, std::span<float> data,
+                            std::span<Compressor* const> chunk_compressors,
+                            util::Rng& rng,
+                            const HierarchicalOptions& options) {
+  const int n = comm.size();
+  const int rank = comm.rank();
+  CGX_CHECK_EQ(options.node_of.size(), static_cast<std::size_t>(n));
+  if (n == 1 || data.empty()) return;
+  CGX_CHECK(!chunk_compressors.empty());
+
+  const int my_leader = leader_of(options.node_of, rank);
+  Compressor& intra = *chunk_compressors[0];
+
+  if (rank != my_leader) {
+    // Member: hand the gradient to the leader, wait for the result.
+    if (options.compress_intra) {
+      std::vector<std::byte> payload(intra.compressed_size(data.size()));
+      const std::size_t written = intra.compress(data, payload, rng);
+      comm.send(my_leader,
+                std::span<const std::byte>(payload.data(), written),
+                kIntraReduceTag);
+    } else {
+      comm.send_floats(my_leader, data, kIntraReduceTag);
+    }
+    comm.recv_floats(my_leader, data, kIntraBcastTag);
+    return;
+  }
+
+  // Leader: fold members' gradients in.
+  std::vector<float> incoming(data.size());
+  std::vector<std::byte> payload;
+  for (int r = 0; r < n; ++r) {
+    if (r == rank || leader_of(options.node_of, r) != rank) continue;
+    if (options.compress_intra) {
+      payload.resize(intra.compressed_size(data.size()));
+      comm.recv(r, payload, kIntraReduceTag);
+      intra.decompress(payload, incoming);
+    } else {
+      comm.recv_floats(r, incoming, kIntraReduceTag);
+    }
+    tensor::add_inplace(data, incoming);
+  }
+
+  // Inter-node compressed exchange among leaders only.
+  const std::vector<int> leaders = leader_list(options.node_of);
+  subset_compressed_sra(comm, data, leaders, chunk_compressors, rng);
+
+  // Fan the result back out to the node, always in full precision (see
+  // HierarchicalOptions::compress_intra).
+  for (int r = 0; r < n; ++r) {
+    if (r == rank || leader_of(options.node_of, r) != rank) continue;
+    comm.send_floats(r, data, kIntraBcastTag);
+  }
+}
+
+}  // namespace cgx::core

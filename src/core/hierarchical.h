@@ -1,0 +1,52 @@
+// Two-level (hierarchical) compressed allreduce for multi-node clusters.
+//
+// Paper §4, "Backend Details": CGX supports heterogeneous communication
+// where intra-node traffic uses the fast local backend (SHM) — optionally
+// uncompressed, since the local fabric is cheap relative to the NICs —
+// while the inter-node exchange runs compressed over MPI/NCCL.
+//
+// The schedule is the classic node-leader decomposition:
+//   1. intra-node reduce: every member sends its vector to the node leader
+//      (full precision by default: the local hop is not the bottleneck and
+//      skipping compression here removes one error round);
+//   2. inter-node: the leaders run the compression-aware SRA allreduce
+//      among themselves — only the compressed payload crosses the NICs;
+//   3. intra-node broadcast: leaders fan the result back out.
+//
+// All ranks finish bit-identical (the leader, like everyone else, adopts
+// the payload-decompressed values from the leader exchange).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "comm/collectives.h"
+#include "core/compressor.h"
+
+namespace cgx::core {
+
+struct HierarchicalOptions {
+  // node_of[rank] -> node id; ranks of a node must be assigned the same id.
+  std::vector<int> node_of;
+  // Compress the intra-node REDUCE hop too (costs an extra compression
+  // round, saves local bandwidth; off by default per §4). The broadcast
+  // hop always stays full precision: each leader would compress the final
+  // result with independent stochastic roundings, and replicas on
+  // different nodes would silently diverge — the lockstep invariant every
+  // engine guarantees.
+  bool compress_intra = false;
+};
+
+// Sum-allreduce across the world. `chunk_compressors` has one compressor
+// per LEADER index (the inter-node SRA chunk binding); every rank passes
+// its own instances. The leader of a node is its lowest rank.
+void hierarchical_allreduce(comm::Comm& comm, std::span<float> data,
+                            std::span<Compressor* const> chunk_compressors,
+                            util::Rng& rng,
+                            const HierarchicalOptions& options);
+
+// Leader rank of `rank`'s node under this assignment (lowest rank with the
+// same node id). Exposed for tests.
+int leader_of(const std::vector<int>& node_of, int rank);
+
+}  // namespace cgx::core

@@ -1,0 +1,106 @@
+#include "core/nuq.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+#include "util/bitio.h"
+#include "util/check.h"
+
+namespace cgx::core {
+
+NuqCompressor::NuqCompressor(unsigned bits, std::size_t bucket_size)
+    : bits_(bits), bucket_size_(bucket_size) {
+  CGX_CHECK(bits >= 2 && bits <= 8);
+  CGX_CHECK_GT(bucket_size, 0u);
+}
+
+float NuqCompressor::level_value(unsigned index, unsigned bits) {
+  // index 0 -> 0; index k in [1, 2^(bits-1)-1] -> 2^-(levels-1-k) where the
+  // top index maps to 1.0.
+  const unsigned levels = 1u << (bits - 1);  // including zero
+  CGX_CHECK_LT(index, levels);
+  if (index == 0) return 0.0f;
+  return std::exp2(-static_cast<float>(levels - 1 - index));
+}
+
+std::size_t NuqCompressor::compressed_size(std::size_t n) const {
+  if (n == 0) return 0;
+  const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
+  return 4 * buckets + util::packed_size_bytes(n, bits_);
+}
+
+std::size_t NuqCompressor::compress(std::span<const float> in,
+                                    std::span<std::byte> out,
+                                    util::Rng& rng) {
+  const std::size_t n = in.size();
+  if (n == 0) return 0;
+  const std::size_t total = compressed_size(n);
+  CGX_CHECK_LE(total, out.size());
+  const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
+  auto* norms = reinterpret_cast<float*>(out.data());
+  util::BitWriter writer(out.subspan(4 * buckets, total - 4 * buckets),
+                         bits_);
+  const unsigned levels = 1u << (bits_ - 1);
+  const std::uint32_t sign_bit = 1u << (bits_ - 1);
+
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t first = b * bucket_size_;
+    const std::size_t len = std::min(bucket_size_, n - first);
+    const std::span<const float> bucket = in.subspan(first, len);
+    const auto norm = static_cast<float>(tensor::l2_norm(bucket));
+    norms[b] = norm;
+    if (norm == 0.0f || !std::isfinite(norm)) {
+      for (std::size_t i = 0; i < len; ++i) writer.write(0);
+      continue;
+    }
+    for (float v : bucket) {
+      const float a = std::min(std::fabs(v) / norm, 1.0f);
+      // Find the exponential interval [L_k, L_{k+1}] containing a.
+      unsigned lo = 0;
+      while (lo + 1 < levels && level_value(lo + 1, bits_) <= a) ++lo;
+      unsigned index = lo;
+      if (lo + 1 < levels) {
+        const float low = level_value(lo, bits_);
+        const float high = level_value(lo + 1, bits_);
+        const float p = (a - low) / (high - low);  // unbiased interpolation
+        if (rng.next_float() < p) index = lo + 1;
+      }
+      std::uint32_t symbol = index;
+      if (std::signbit(v)) symbol |= sign_bit;
+      writer.write(symbol);
+    }
+  }
+  writer.finish();
+  return total;
+}
+
+void NuqCompressor::decompress(std::span<const std::byte> in,
+                               std::span<float> out) {
+  const std::size_t n = out.size();
+  if (n == 0) return;
+  CGX_CHECK_EQ(in.size(), compressed_size(n));
+  const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
+  const auto* norms = reinterpret_cast<const float*>(in.data());
+  util::BitReader reader(in.subspan(4 * buckets), bits_);
+  const std::uint32_t sign_bit = 1u << (bits_ - 1);
+  const std::uint32_t index_mask = sign_bit - 1;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t first = b * bucket_size_;
+    const std::size_t len = std::min(bucket_size_, n - first);
+    const float norm = std::isfinite(norms[b]) ? norms[b] : 0.0f;
+    for (std::size_t i = 0; i < len; ++i) {
+      const auto symbol = static_cast<std::uint32_t>(reader.read());
+      const float magnitude =
+          level_value(symbol & index_mask, bits_) * norm;
+      out[first + i] = (symbol & sign_bit) ? -magnitude : magnitude;
+    }
+  }
+}
+
+std::string NuqCompressor::name() const {
+  return "nuq(b=" + std::to_string(bits_) +
+         ",bucket=" + std::to_string(bucket_size_) + ")";
+}
+
+}  // namespace cgx::core

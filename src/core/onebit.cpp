@@ -1,0 +1,84 @@
+#include "core/onebit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bitio.h"
+#include "util/check.h"
+
+namespace cgx::core {
+
+OneBitCompressor::OneBitCompressor(std::size_t bucket_size)
+    : bucket_size_(bucket_size) {
+  CGX_CHECK_GT(bucket_size, 0u);
+}
+
+std::size_t OneBitCompressor::compressed_size(std::size_t n) const {
+  if (n == 0) return 0;
+  const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
+  return 8 * buckets + util::packed_size_bytes(n, 1);
+}
+
+std::size_t OneBitCompressor::compress(std::span<const float> in,
+                                       std::span<std::byte> out,
+                                       util::Rng& rng) {
+  (void)rng;
+  const std::size_t n = in.size();
+  if (n == 0) return 0;
+  const std::size_t total = compressed_size(n);
+  CGX_CHECK_LE(total, out.size());
+  const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
+  auto* means = reinterpret_cast<float*>(out.data());
+  util::BitWriter writer(out.subspan(8 * buckets, total - 8 * buckets), 1);
+
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t first = b * bucket_size_;
+    const std::size_t len = std::min(bucket_size_, n - first);
+    double neg_sum = 0.0, pos_sum = 0.0;
+    std::size_t neg_count = 0, pos_count = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      const float v = in[first + i];
+      if (v < 0.0f) {
+        neg_sum += v;
+        ++neg_count;
+      } else {
+        pos_sum += v;
+        ++pos_count;
+      }
+    }
+    means[2 * b] =
+        neg_count ? static_cast<float>(neg_sum / neg_count) : 0.0f;
+    means[2 * b + 1] =
+        pos_count ? static_cast<float>(pos_sum / pos_count) : 0.0f;
+    for (std::size_t i = 0; i < len; ++i) {
+      writer.write(in[first + i] < 0.0f ? 1u : 0u);
+    }
+  }
+  writer.finish();
+  return total;
+}
+
+void OneBitCompressor::decompress(std::span<const std::byte> in,
+                                  std::span<float> out) {
+  const std::size_t n = out.size();
+  if (n == 0) return;
+  CGX_CHECK_EQ(in.size(), compressed_size(n));
+  const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
+  const auto* means = reinterpret_cast<const float*>(in.data());
+  util::BitReader reader(in.subspan(8 * buckets), 1);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t first = b * bucket_size_;
+    const std::size_t len = std::min(bucket_size_, n - first);
+    const float mean_neg = means[2 * b];
+    const float mean_pos = means[2 * b + 1];
+    for (std::size_t i = 0; i < len; ++i) {
+      out[first + i] = reader.read() ? mean_neg : mean_pos;
+    }
+  }
+}
+
+std::string OneBitCompressor::name() const {
+  return "onebit(bucket=" + std::to_string(bucket_size_) + ")";
+}
+
+}  // namespace cgx::core

@@ -1,0 +1,29 @@
+// 1-bit SGD (Seide et al. 2014; paper §2.3).
+//
+// Each bucket transmits one bit per element (the sign) plus the mean of the
+// positive and the mean of the negative components; reconstruction maps each
+// sign to the corresponding mean. The operator is strongly biased and is
+// only usable under error feedback, which is how the original paper ran it.
+// Wire: [mean_neg fp32, mean_pos fp32] per bucket + 1 bit per element.
+#pragma once
+
+#include "core/compressor.h"
+
+namespace cgx::core {
+
+class OneBitCompressor final : public Compressor {
+ public:
+  explicit OneBitCompressor(std::size_t bucket_size = 512);
+
+  std::size_t compressed_size(std::size_t n) const override;
+  std::size_t compress(std::span<const float> in, std::span<std::byte> out,
+                       util::Rng& rng) override;
+  void decompress(std::span<const std::byte> in,
+                  std::span<float> out) override;
+  std::string name() const override;
+
+ private:
+  std::size_t bucket_size_;
+};
+
+}  // namespace cgx::core

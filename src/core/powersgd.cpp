@@ -1,0 +1,133 @@
+#include "core/powersgd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+#include "util/half.h"
+
+namespace cgx::core {
+namespace {
+
+void round_to_half(std::span<float> xs) {
+  for (auto& x : xs) x = util::half_to_float(util::float_to_half(x));
+}
+
+}  // namespace
+
+void orthonormalize_columns(std::span<float> a, std::size_t m,
+                            std::size_t r) {
+  CGX_CHECK_EQ(a.size(), m * r);
+  for (std::size_t j = 0; j < r; ++j) {
+    // Subtract projections onto previous columns.
+    for (std::size_t k = 0; k < j; ++k) {
+      double proj = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        proj += static_cast<double>(a[i * r + j]) * a[i * r + k];
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        a[i * r + j] -= static_cast<float>(proj) * a[i * r + k];
+      }
+    }
+    double norm_sq = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      norm_sq += static_cast<double>(a[i * r + j]) * a[i * r + j];
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm < 1e-12) {
+      // Degenerate column: replace with a unit basis vector to keep the
+      // projector well-defined.
+      for (std::size_t i = 0; i < m; ++i) {
+        a[i * r + j] = (i == j % m) ? 1.0f : 0.0f;
+      }
+      continue;
+    }
+    const auto inv = static_cast<float>(1.0 / norm);
+    for (std::size_t i = 0; i < m; ++i) a[i * r + j] *= inv;
+  }
+}
+
+PowerSgdCompressor::PowerSgdCompressor(std::size_t rows, unsigned rank,
+                                       bool fp16_emulation)
+    : rows_(rows), rank_(rank), fp16_emulation_(fp16_emulation) {
+  CGX_CHECK_GE(rank, 1u);
+}
+
+bool PowerSgdCompressor::decomposable(std::size_t n) const {
+  if (rows_ <= 1 || n == 0 || n % rows_ != 0) return false;
+  const std::size_t c = n / rows_;
+  if (c <= 1) return false;
+  // Decomposition must actually shrink the payload.
+  return rank_ * (rows_ + c) < rows_ * c;
+}
+
+std::size_t PowerSgdCompressor::cols(std::size_t n) const {
+  return n / rows_;
+}
+
+std::size_t PowerSgdCompressor::compressed_size(std::size_t n) const {
+  if (!decomposable(n)) return 4 * n;  // FP32 passthrough
+  return 4 * rank_ * (rows_ + cols(n));
+}
+
+std::size_t PowerSgdCompressor::compress(std::span<const float> in,
+                                         std::span<std::byte> out,
+                                         util::Rng& rng) {
+  const std::size_t n = in.size();
+  const std::size_t total = compressed_size(n);
+  CGX_CHECK_LE(total, out.size());
+  if (!decomposable(n)) {
+    if (n) std::memcpy(out.data(), in.data(), 4 * n);
+    return total;
+  }
+  const std::size_t m = rows_;
+  const std::size_t c = cols(n);
+  const std::size_t r = rank_;
+
+  if (q_.size() != c * r) {
+    // Cold start: random Gaussian Q, as in the reference implementation.
+    q_.resize(c * r);
+    for (auto& v : q_) v = static_cast<float>(rng.next_gaussian());
+  }
+
+  std::vector<float> p(m * r);
+  // P = M Q
+  tensor::matmul(in, q_, p, m, c, r);
+  if (fp16_emulation_) round_to_half(p);
+  orthonormalize_columns(p, m, r);
+  // Q = M^T P  (A stored [m x c]; result [c x r])
+  tensor::matmul_at_b(in, p, q_, m, c, r);
+  if (fp16_emulation_) round_to_half(q_);
+
+  auto* floats = reinterpret_cast<float*>(out.data());
+  std::memcpy(floats, p.data(), 4 * p.size());
+  std::memcpy(floats + p.size(), q_.data(), 4 * q_.size());
+  return total;
+}
+
+void PowerSgdCompressor::decompress(std::span<const std::byte> in,
+                                    std::span<float> out) {
+  const std::size_t n = out.size();
+  CGX_CHECK_EQ(in.size(), compressed_size(n));
+  if (!decomposable(n)) {
+    if (n) std::memcpy(out.data(), in.data(), 4 * n);
+    return;
+  }
+  const std::size_t m = rows_;
+  const std::size_t c = cols(n);
+  const std::size_t r = rank_;
+  const auto* floats = reinterpret_cast<const float*>(in.data());
+  const std::span<const float> p(floats, m * r);
+  const std::span<const float> q(floats + m * r, c * r);
+  // M_hat = P Q^T: [m x r] * [c x r]^T.
+  tensor::matmul_a_bt(p, q, out, m, r, c);
+}
+
+std::string PowerSgdCompressor::name() const {
+  return "powersgd(rank=" + std::to_string(rank_) +
+         (fp16_emulation_ ? ",fp16" : "") + ")";
+}
+
+}  // namespace cgx::core

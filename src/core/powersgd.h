@@ -1,0 +1,63 @@
+// PowerSGD low-rank gradient decomposition (Vogels et al. 2019; paper §2.3,
+// §6.2 "PowerSGD Comparison", Appendix B).
+//
+// The layer gradient is viewed as a matrix M in R^{m x n} (m = first shape
+// dimension, n = numel/m) and approximated as P Q^T with rank r via one
+// generalized power iteration per step:
+//
+//   P = M Q_prev;  orthonormalize(P);  Q = M^T P;  M_hat = P Q^T
+//
+// Q is warm-started across steps (the key trick making a single iteration
+// sufficient), and the operator is run under error feedback. Wire:
+// [P: m*r fp32][Q: n*r fp32] — compression m*n / r(m+n).
+//
+// Faithfully reproduced quirks the paper leans on:
+//  * the operator IS associative (sums of P/Q behave like sums of
+//    gradients after averaging), so it works under stock allreduce — but
+//    CGX's quantization still beats it end-to-end (Table 6);
+//  * it diverges in FP16: the Gram matrices M^T M overflow half range. The
+//    optional `fp16_emulation` mode rounds intermediates to half so tests
+//    can demonstrate the §6.2 incompatibility.
+//
+// Vectors (rank-1 tensors) cannot be usefully decomposed; for them the
+// operator falls back to raw FP32 passthrough, as PyTorch's PowerSGD hook
+// does.
+#pragma once
+
+#include <vector>
+
+#include "core/compressor.h"
+
+namespace cgx::core {
+
+class PowerSgdCompressor final : public Compressor {
+ public:
+  // `rows` is the leading matrix dimension of the layer (0 = treat input as
+  // a vector -> passthrough). rank r >= 1.
+  PowerSgdCompressor(std::size_t rows, unsigned rank,
+                     bool fp16_emulation = false);
+
+  std::size_t compressed_size(std::size_t n) const override;
+  std::size_t compress(std::span<const float> in, std::span<std::byte> out,
+                       util::Rng& rng) override;
+  void decompress(std::span<const std::byte> in,
+                  std::span<float> out) override;
+  std::string name() const override;
+
+  unsigned rank() const { return rank_; }
+
+ private:
+  bool decomposable(std::size_t n) const;
+  std::size_t cols(std::size_t n) const;
+
+  std::size_t rows_;
+  unsigned rank_;
+  bool fp16_emulation_;
+  std::vector<float> q_;  // warm-started [cols x rank]
+};
+
+// Gram-Schmidt orthonormalization of the columns of A [m x r], in place.
+// Exposed for testing.
+void orthonormalize_columns(std::span<float> a, std::size_t m, std::size_t r);
+
+}  // namespace cgx::core

@@ -1,0 +1,110 @@
+#include "core/qsgd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "tensor/tensor_ops.h"
+#include "util/bitio.h"
+#include "util/check.h"
+
+namespace cgx::core {
+
+QsgdCompressor::QsgdCompressor(unsigned bits, std::size_t bucket_size,
+                               QsgdNorm norm)
+    : bits_(bits), bucket_size_(bucket_size), norm_(norm) {
+  CGX_CHECK(bits >= 2 && bits <= 16) << "qsgd bits out of range";
+  CGX_CHECK_GT(bucket_size, 0u);
+}
+
+std::size_t QsgdCompressor::compressed_size(std::size_t n) const {
+  if (n == 0) return 0;
+  const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
+  return 4 * buckets + util::packed_size_bytes(n, bits_);
+}
+
+std::size_t QsgdCompressor::compress(std::span<const float> in,
+                                     std::span<std::byte> out,
+                                     util::Rng& rng) {
+  const std::size_t n = in.size();
+  if (n == 0) return 0;
+  const std::size_t total = compressed_size(n);
+  CGX_CHECK_LE(total, out.size());
+  const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
+  auto* norms = reinterpret_cast<float*>(out.data());
+  util::BitWriter writer(out.subspan(4 * buckets, total - 4 * buckets),
+                         bits_);
+
+  const std::uint32_t s = (1u << (bits_ - 1)) - 1;  // magnitude levels
+  const std::uint32_t sign_bit = 1u << (bits_ - 1);
+
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t first = b * bucket_size_;
+    const std::size_t len = std::min(bucket_size_, n - first);
+    const std::span<const float> bucket = in.subspan(first, len);
+    const float norm = norm_ == QsgdNorm::L2
+                           ? static_cast<float>(tensor::l2_norm(bucket))
+                           : tensor::linf_norm(bucket);
+    norms[b] = norm;
+    if (norm == 0.0f || !std::isfinite(norm)) {
+      // All-zero bucket (or non-finite, reconstructed as zero): emit zero
+      // symbols so the payload stays self-describing.
+      for (std::size_t i = 0; i < len; ++i) writer.write(0);
+      continue;
+    }
+    for (float v : bucket) {
+      const float a = std::fabs(v) / norm;  // in [0, 1] for both norms
+      const float scaled = std::min(a, 1.0f) * static_cast<float>(s);
+      std::uint32_t level = static_cast<std::uint32_t>(scaled);
+      const float p = scaled - static_cast<float>(level);
+      if (rng.next_float() < p) ++level;
+      level = std::min(level, s);
+      std::uint32_t symbol = level;
+      if (std::signbit(v)) symbol |= sign_bit;
+      writer.write(symbol);
+    }
+  }
+  writer.finish();
+  return total;
+}
+
+void QsgdCompressor::decompress(std::span<const std::byte> in,
+                                std::span<float> out) {
+  const std::size_t n = out.size();
+  if (n == 0) return;
+  CGX_CHECK_EQ(in.size(), compressed_size(n));
+  const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
+  const auto* norms = reinterpret_cast<const float*>(in.data());
+  util::BitReader reader(in.subspan(4 * buckets), bits_);
+
+  const std::uint32_t s = (1u << (bits_ - 1)) - 1;
+  const std::uint32_t sign_bit = 1u << (bits_ - 1);
+  const std::uint32_t level_mask = sign_bit - 1;
+
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t first = b * bucket_size_;
+    const std::size_t len = std::min(bucket_size_, n - first);
+    const float norm = std::isfinite(norms[b]) ? norms[b] : 0.0f;
+    const float scale = s > 0 ? norm / static_cast<float>(s) : 0.0f;
+    for (std::size_t i = 0; i < len; ++i) {
+      const auto symbol = static_cast<std::uint32_t>(reader.read());
+      const float magnitude =
+          static_cast<float>(symbol & level_mask) * scale;
+      out[first + i] = (symbol & sign_bit) ? -magnitude : magnitude;
+    }
+  }
+}
+
+std::string QsgdCompressor::name() const {
+  return "qsgd(b=" + std::to_string(bits_) +
+         ",bucket=" + std::to_string(bucket_size_) + ")";
+}
+
+double QsgdCompressor::variance_bound(std::size_t d, unsigned bits) {
+  CGX_CHECK_GE(bits, 2u);
+  const double s = static_cast<double>((1u << (bits - 1)) - 1);
+  const double dd = static_cast<double>(d);
+  return std::min(dd / (s * s), std::sqrt(dd) / s);
+}
+
+}  // namespace cgx::core

@@ -1,0 +1,56 @@
+// Bucketed stochastic gradient quantization — CGX's default compressor
+// (paper §2.3 and §4 "Quantization").
+//
+// The vector is split into buckets of `bucket_size` elements; each bucket is
+// quantized independently against its own norm, which fixes the scaling
+// problems of whole-vector QSGD at the cost of one stored float per bucket
+// (§4). With b bits per element, one bit encodes the sign and the remaining
+// b-1 bits encode a stochastic level on the uniform grid
+// {0, 1/s, ..., s/s}, s = 2^(b-1) - 1:
+//
+//   Q(v_i) = ||v|| * sign(v_i) * q(|v_i| / ||v||, s)
+//   q(a, s) = floor(a s)/s + 1/s w.p. (a s - floor(a s)),  else floor(a s)/s
+//
+// which makes the estimator unbiased: E[Q(v_i)] = v_i. The wire format is
+// [bucket norms: fp32 x ceil(n/B)] [packed symbols: b bits x n].
+//
+// Defaults follow the paper: 4 bits, bucket 128 "always recovers full
+// accuracy" (§4); CNNs tolerate bucket 1024 (§6.2).
+#pragma once
+
+#include <cstddef>
+
+#include "core/compressor.h"
+
+namespace cgx::core {
+
+enum class QsgdNorm { L2, Linf };
+
+class QsgdCompressor final : public Compressor {
+ public:
+  // bits in [2, 16] (one sign bit + at least one level bit).
+  QsgdCompressor(unsigned bits = 4, std::size_t bucket_size = 128,
+                 QsgdNorm norm = QsgdNorm::L2);
+
+  std::size_t compressed_size(std::size_t n) const override;
+  std::size_t compress(std::span<const float> in, std::span<std::byte> out,
+                       util::Rng& rng) override;
+  void decompress(std::span<const std::byte> in,
+                  std::span<float> out) override;
+  std::string name() const override;
+
+  unsigned bits() const { return bits_; }
+  std::size_t bucket_size() const { return bucket_size_; }
+
+  // Upper bound on E||Q(v) - v||^2 / ||v||^2 for a bucket of d elements with
+  // s levels (QSGD Lemma 3.1): min(d / s^2, sqrt(d) / s). Used by tests and
+  // by the adaptive assigner's analytic error estimates.
+  static double variance_bound(std::size_t d, unsigned bits);
+
+ private:
+  unsigned bits_;
+  std::size_t bucket_size_;
+  QsgdNorm norm_;
+};
+
+}  // namespace cgx::core

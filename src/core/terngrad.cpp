@@ -1,0 +1,91 @@
+#include "core/terngrad.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+#include "util/bitio.h"
+#include "util/check.h"
+
+namespace cgx::core {
+namespace {
+
+// Symbols: 0 -> 0, 1 -> +1, 2 -> -1.
+constexpr std::uint32_t kZero = 0;
+constexpr std::uint32_t kPlus = 1;
+constexpr std::uint32_t kMinus = 2;
+
+}  // namespace
+
+TernGradCompressor::TernGradCompressor(std::size_t bucket_size)
+    : bucket_size_(bucket_size) {
+  CGX_CHECK_GT(bucket_size, 0u);
+}
+
+std::size_t TernGradCompressor::compressed_size(std::size_t n) const {
+  if (n == 0) return 0;
+  const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
+  return 4 * buckets + util::packed_size_bytes(n, 2);
+}
+
+std::size_t TernGradCompressor::compress(std::span<const float> in,
+                                         std::span<std::byte> out,
+                                         util::Rng& rng) {
+  const std::size_t n = in.size();
+  if (n == 0) return 0;
+  const std::size_t total = compressed_size(n);
+  CGX_CHECK_LE(total, out.size());
+  const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
+  auto* scales = reinterpret_cast<float*>(out.data());
+  util::BitWriter writer(out.subspan(4 * buckets, total - 4 * buckets), 2);
+
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t first = b * bucket_size_;
+    const std::size_t len = std::min(bucket_size_, n - first);
+    const std::span<const float> bucket = in.subspan(first, len);
+    const float scale = tensor::linf_norm(bucket);
+    scales[b] = scale;
+    if (scale == 0.0f || !std::isfinite(scale)) {
+      for (std::size_t i = 0; i < len; ++i) writer.write(kZero);
+      continue;
+    }
+    for (float v : bucket) {
+      const float p = std::fabs(v) / scale;  // in [0, 1]
+      if (rng.next_float() < p) {
+        writer.write(std::signbit(v) ? kMinus : kPlus);
+      } else {
+        writer.write(kZero);
+      }
+    }
+  }
+  writer.finish();
+  return total;
+}
+
+void TernGradCompressor::decompress(std::span<const std::byte> in,
+                                    std::span<float> out) {
+  const std::size_t n = out.size();
+  if (n == 0) return;
+  CGX_CHECK_EQ(in.size(), compressed_size(n));
+  const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
+  const auto* scales = reinterpret_cast<const float*>(in.data());
+  util::BitReader reader(in.subspan(4 * buckets), 2);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t first = b * bucket_size_;
+    const std::size_t len = std::min(bucket_size_, n - first);
+    const float scale = std::isfinite(scales[b]) ? scales[b] : 0.0f;
+    for (std::size_t i = 0; i < len; ++i) {
+      const auto symbol = static_cast<std::uint32_t>(reader.read());
+      float v = 0.0f;
+      if (symbol == kPlus) v = scale;
+      if (symbol == kMinus) v = -scale;
+      out[first + i] = v;
+    }
+  }
+}
+
+std::string TernGradCompressor::name() const {
+  return "terngrad(bucket=" + std::to_string(bucket_size_) + ")";
+}
+
+}  // namespace cgx::core

@@ -1,0 +1,28 @@
+// TernGrad ternary quantization (Wen et al. 2017; paper §2.3).
+//
+// Each bucket is scaled by its max-magnitude; components are stochastically
+// rounded to {-1, 0, +1} with P(|t_i| = 1) = |v_i| / max, which keeps the
+// estimator unbiased. Wire: one fp32 scale per bucket + 2 bits per element.
+// Included as the extreme low-bit point of the quantization family.
+#pragma once
+
+#include "core/compressor.h"
+
+namespace cgx::core {
+
+class TernGradCompressor final : public Compressor {
+ public:
+  explicit TernGradCompressor(std::size_t bucket_size = 512);
+
+  std::size_t compressed_size(std::size_t n) const override;
+  std::size_t compress(std::span<const float> in, std::span<std::byte> out,
+                       util::Rng& rng) override;
+  void decompress(std::span<const std::byte> in,
+                  std::span<float> out) override;
+  std::string name() const override;
+
+ private:
+  std::size_t bucket_size_;
+};
+
+}  // namespace cgx::core

@@ -1,0 +1,85 @@
+#include "core/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cgx::core {
+
+TopKCompressor::TopKCompressor(double ratio) : ratio_(ratio) {
+  CGX_CHECK(ratio > 0.0 && ratio <= 1.0);
+}
+
+std::size_t TopKCompressor::k_for(std::size_t n) const {
+  if (n == 0) return 0;
+  const auto k = static_cast<std::size_t>(
+      std::ceil(ratio_ * static_cast<double>(n)));
+  return std::clamp<std::size_t>(k, 1, n);
+}
+
+std::size_t TopKCompressor::compressed_size(std::size_t n) const {
+  if (n == 0) return 0;
+  return 8 + k_for(n) * (4 + 4);
+}
+
+std::size_t TopKCompressor::compress(std::span<const float> in,
+                                     std::span<std::byte> out,
+                                     util::Rng& rng) {
+  (void)rng;
+  const std::size_t n = in.size();
+  if (n == 0) return 0;
+  const std::size_t k = k_for(n);
+  const std::size_t total = compressed_size(n);
+  CGX_CHECK_LE(total, out.size());
+
+  // Partial selection of the k largest |v|; ties broken by lower index for
+  // determinism.
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::nth_element(order.begin(),
+                   order.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   order.end(), [&](std::uint32_t a, std::uint32_t b) {
+                     const float fa = std::fabs(in[a]);
+                     const float fb = std::fabs(in[b]);
+                     if (fa != fb) return fa > fb;
+                     return a < b;
+                   });
+  std::sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k));
+
+  const std::uint64_t k64 = k;
+  std::memcpy(out.data(), &k64, 8);
+  auto* indices = reinterpret_cast<std::uint32_t*>(out.data() + 8);
+  auto* values = reinterpret_cast<float*>(out.data() + 8 + 4 * k);
+  for (std::size_t i = 0; i < k; ++i) {
+    indices[i] = order[i];
+    values[i] = in[order[i]];
+  }
+  return total;
+}
+
+void TopKCompressor::decompress(std::span<const std::byte> in,
+                                std::span<float> out) {
+  std::fill(out.begin(), out.end(), 0.0f);
+  if (in.empty()) return;
+  CGX_CHECK_GE(in.size(), 8u);
+  std::uint64_t k64 = 0;
+  std::memcpy(&k64, in.data(), 8);
+  const auto k = static_cast<std::size_t>(k64);
+  CGX_CHECK_EQ(in.size(), 8 + 8 * k);
+  const auto* indices = reinterpret_cast<const std::uint32_t*>(in.data() + 8);
+  const auto* values = reinterpret_cast<const float*>(in.data() + 8 + 4 * k);
+  for (std::size_t i = 0; i < k; ++i) {
+    CGX_CHECK_LT(indices[i], out.size());
+    out[indices[i]] = values[i];
+  }
+}
+
+std::string TopKCompressor::name() const {
+  return "topk(" + std::to_string(ratio_) + ")";
+}
+
+}  // namespace cgx::core

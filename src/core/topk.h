@@ -1,0 +1,36 @@
+// TopK gradient sparsification (paper §2.3, "Gradient Sparsification").
+//
+// Transmits the k = ceil(ratio * n) largest-magnitude components as
+// (index, value) pairs; everything else is dropped. The operator is biased,
+// so accuracy recovery requires error feedback (wrap in ErrorFeedback) —
+// exactly the extra machinery the paper counts against sparsification for
+// generic deployments. CGX still offers it for naturally sparse layers such
+// as Transformer embeddings (§6.2 "Heterogeneous compression": TopK at 1%
+// with error feedback).
+//
+// Wire format: [k: uint64] [indices: uint32 x k] [values: fp32 x k].
+#pragma once
+
+#include "core/compressor.h"
+
+namespace cgx::core {
+
+class TopKCompressor final : public Compressor {
+ public:
+  explicit TopKCompressor(double ratio);
+
+  std::size_t compressed_size(std::size_t n) const override;
+  std::size_t compress(std::span<const float> in, std::span<std::byte> out,
+                       util::Rng& rng) override;
+  void decompress(std::span<const std::byte> in,
+                  std::span<float> out) override;
+  std::string name() const override;
+
+  double ratio() const { return ratio_; }
+  std::size_t k_for(std::size_t n) const;
+
+ private:
+  double ratio_;
+};
+
+}  // namespace cgx::core

@@ -1,0 +1,264 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cgx::data {
+namespace {
+
+// Stream seed unique per (dataset seed, rank, step).
+util::Rng batch_rng(std::uint64_t seed, int rank, std::size_t step) {
+  return util::Rng(seed).split(
+      static_cast<std::uint64_t>(rank) * 1000003ULL + step + 1);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- blobs
+
+BlobDataset::BlobDataset(std::size_t classes, std::size_t dim,
+                         std::uint64_t seed, float spread)
+    : classes_(classes), dim_(dim), seed_(seed), spread_(spread) {
+  CGX_CHECK_GT(classes, 1u);
+  util::Rng rng(seed);
+  centers_.resize(classes * dim);
+  for (auto& c : centers_) c = static_cast<float>(rng.next_gaussian());
+}
+
+LabeledBatch BlobDataset::batch(std::size_t batch_size, int rank,
+                                std::size_t step) const {
+  util::Rng rng = batch_rng(seed_, rank, step);
+  LabeledBatch out;
+  out.input = tensor::Tensor(tensor::Shape{batch_size, dim_});
+  out.targets.resize(batch_size);
+  auto x = out.input.data();
+  for (std::size_t b = 0; b < batch_size; ++b) {
+    const auto cls = static_cast<int>(rng.next_below(classes_));
+    out.targets[b] = cls;
+    for (std::size_t d = 0; d < dim_; ++d) {
+      x[b * dim_ + d] =
+          centers_[static_cast<std::size_t>(cls) * dim_ + d] +
+          spread_ * static_cast<float>(rng.next_gaussian());
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- images
+
+SyntheticImages::SyntheticImages(std::size_t classes, std::size_t channels,
+                                 std::size_t hw, std::uint64_t seed,
+                                 float noise)
+    : classes_(classes),
+      channels_(channels),
+      hw_(hw),
+      seed_(seed),
+      noise_(noise) {
+  util::Rng rng(seed);
+  templates_.resize(classes * channels * hw * hw);
+  // Smooth class templates: a few random low-frequency bumps per class.
+  for (std::size_t cls = 0; cls < classes; ++cls) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const double fx = 1.0 + rng.next_double() * 3.0;
+      const double fy = 1.0 + rng.next_double() * 3.0;
+      const double phase = rng.next_double() * 6.28;
+      for (std::size_t y = 0; y < hw; ++y) {
+        for (std::size_t x = 0; x < hw; ++x) {
+          templates_[((cls * channels + c) * hw + y) * hw + x] =
+              static_cast<float>(
+                  std::sin(fx * x / static_cast<double>(hw) * 6.28 + phase) *
+                  std::cos(fy * y / static_cast<double>(hw) * 6.28));
+        }
+      }
+    }
+  }
+}
+
+LabeledBatch SyntheticImages::batch(std::size_t batch_size, int rank,
+                                    std::size_t step) const {
+  util::Rng rng = batch_rng(seed_, rank, step);
+  LabeledBatch out;
+  out.input = tensor::Tensor(tensor::Shape{batch_size, channels_, hw_, hw_});
+  out.targets.resize(batch_size);
+  auto x = out.input.data();
+  const std::size_t image = channels_ * hw_ * hw_;
+  for (std::size_t b = 0; b < batch_size; ++b) {
+    const auto cls = static_cast<int>(rng.next_below(classes_));
+    out.targets[b] = cls;
+    for (std::size_t i = 0; i < image; ++i) {
+      x[b * image + i] =
+          templates_[static_cast<std::size_t>(cls) * image + i] +
+          noise_ * static_cast<float>(rng.next_gaussian());
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- markov
+
+MarkovText::MarkovText(std::size_t vocab, std::uint64_t seed,
+                       double temperature)
+    : vocab_(vocab), seed_(seed) {
+  CGX_CHECK_GT(vocab, 1u);
+  util::Rng rng(seed);
+  transitions_.resize(vocab * vocab);
+  for (std::size_t i = 0; i < vocab; ++i) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < vocab; ++j) {
+      // Gumbel-ish sharpening: low temperature -> peaky, learnable rows.
+      const double e = std::exp(rng.next_gaussian() / temperature);
+      transitions_[i * vocab + j] = e;
+      total += e;
+    }
+    for (std::size_t j = 0; j < vocab; ++j) {
+      transitions_[i * vocab + j] /= total;
+    }
+  }
+  // Stationary distribution by power iteration.
+  stationary_.assign(vocab, 1.0 / static_cast<double>(vocab));
+  std::vector<double> next(vocab);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t i = 0; i < vocab; ++i) {
+      for (std::size_t j = 0; j < vocab; ++j) {
+        next[j] += stationary_[i] * transitions_[i * vocab + j];
+      }
+    }
+    stationary_.swap(next);
+  }
+}
+
+std::size_t MarkovText::sample_next(std::size_t current,
+                                    util::Rng& rng) const {
+  double target = rng.next_double();
+  const double* row = &transitions_[current * vocab_];
+  for (std::size_t j = 0; j < vocab_; ++j) {
+    target -= row[j];
+    if (target <= 0.0) return j;
+  }
+  return vocab_ - 1;
+}
+
+LabeledBatch MarkovText::batch(std::size_t batch_size, std::size_t seq_len,
+                               int rank, std::size_t step) const {
+  util::Rng rng = batch_rng(seed_, rank, step);
+  LabeledBatch out;
+  out.input = tensor::Tensor(tensor::Shape{batch_size, seq_len});
+  out.targets.resize(batch_size * seq_len);
+  auto x = out.input.data();
+  for (std::size_t b = 0; b < batch_size; ++b) {
+    std::size_t token = rng.next_below(vocab_);
+    for (std::size_t t = 0; t < seq_len; ++t) {
+      x[b * seq_len + t] = static_cast<float>(token);
+      token = sample_next(token, rng);
+      out.targets[b * seq_len + t] = static_cast<int>(token);
+    }
+  }
+  return out;
+}
+
+double MarkovText::entropy_rate() const {
+  double h = 0.0;
+  for (std::size_t i = 0; i < vocab_; ++i) {
+    double row_h = 0.0;
+    for (std::size_t j = 0; j < vocab_; ++j) {
+      const double p = transitions_[i * vocab_ + j];
+      if (p > 1e-12) row_h -= p * std::log(p);
+    }
+    h += stationary_[i] * row_h;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------- span QA
+
+SpanQa::SpanQa(std::size_t vocab, std::size_t seq_len, std::uint64_t seed)
+    : vocab_(vocab), seq_len_(seq_len), seed_(seed) {
+  CGX_CHECK_GT(vocab, 4u);
+  CGX_CHECK_GT(seq_len, 8u);
+}
+
+QaBatch SpanQa::batch(std::size_t batch_size, int rank,
+                      std::size_t step) const {
+  util::Rng rng = batch_rng(seed_, rank, step);
+  QaBatch out;
+  out.tokens = tensor::Tensor(tensor::Shape{batch_size, seq_len_});
+  out.start.resize(batch_size);
+  out.end.resize(batch_size);
+  auto x = out.tokens.data();
+  // Tokens 0/1 are the span markers; content tokens are >= 2.
+  const std::size_t content = vocab_ - 2;
+  for (std::size_t b = 0; b < batch_size; ++b) {
+    for (std::size_t t = 0; t < seq_len_; ++t) {
+      x[b * seq_len_ + t] = static_cast<float>(2 + rng.next_below(content));
+    }
+    const std::size_t span_len = 1 + rng.next_below(seq_len_ / 4);
+    const std::size_t start = 1 + rng.next_below(seq_len_ - span_len - 2);
+    const std::size_t end = start + span_len - 1;
+    x[b * seq_len_ + start - 1] = 0.0f;  // open marker
+    x[b * seq_len_ + end + 1] = 1.0f;    // close marker
+    out.start[b] = static_cast<int>(start);
+    out.end[b] = static_cast<int>(end);
+  }
+  return out;
+}
+
+namespace {
+
+std::pair<int, int> predicted_span(const tensor::Tensor& logits,
+                                   std::size_t b, std::size_t t_len) {
+  const auto data = logits.data();
+  int best_start = 0, best_end = 0;
+  float bs = -1e30f, be = -1e30f;
+  for (std::size_t t = 0; t < t_len; ++t) {
+    const float s = data[(b * t_len + t) * 2 + 0];
+    const float e = data[(b * t_len + t) * 2 + 1];
+    if (s > bs) {
+      bs = s;
+      best_start = static_cast<int>(t);
+    }
+    if (e > be) {
+      be = e;
+      best_end = static_cast<int>(t);
+    }
+  }
+  return {best_start, best_end};
+}
+
+}  // namespace
+
+double SpanQa::exact_match(const tensor::Tensor& logits,
+                           const QaBatch& batch) {
+  const std::size_t b_count = batch.start.size();
+  const std::size_t t_len = logits.numel() / (b_count * 2);
+  std::size_t hits = 0;
+  for (std::size_t b = 0; b < b_count; ++b) {
+    const auto [s, e] = predicted_span(logits, b, t_len);
+    if (s == batch.start[b] && e == batch.end[b]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(b_count);
+}
+
+double SpanQa::span_f1(const tensor::Tensor& logits, const QaBatch& batch) {
+  const std::size_t b_count = batch.start.size();
+  const std::size_t t_len = logits.numel() / (b_count * 2);
+  double total = 0.0;
+  for (std::size_t b = 0; b < b_count; ++b) {
+    auto [ps, pe] = predicted_span(logits, b, t_len);
+    if (pe < ps) std::swap(ps, pe);
+    const int gs = batch.start[b], ge = batch.end[b];
+    const int overlap =
+        std::max(0, std::min(pe, ge) - std::max(ps, gs) + 1);
+    if (overlap == 0) continue;
+    const double precision =
+        static_cast<double>(overlap) / static_cast<double>(pe - ps + 1);
+    const double recall =
+        static_cast<double>(overlap) / static_cast<double>(ge - gs + 1);
+    total += 2.0 * precision * recall / (precision + recall);
+  }
+  return total / static_cast<double>(b_count);
+}
+
+}  // namespace cgx::data

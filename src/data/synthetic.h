@@ -1,0 +1,121 @@
+// Synthetic datasets.
+//
+// The paper trains on ImageNet / WikiText-103 / SQuAD for days on 8 GPUs;
+// the reproduction substitutes generators that preserve what the accuracy
+// experiments actually measure — whether compressed-gradient training
+// reaches the same quality as full-precision training on a non-trivial
+// task (DESIGN.md §1 substitution table):
+//
+//   BlobDataset     — Gaussian-mixture classification (MLP quickstart).
+//   SyntheticImages — class-template images + noise (CNN / "ImageNet").
+//   MarkovText      — order-1 Markov token streams with a learnable
+//                     transition structure; perplexity against the known
+//                     entropy ("WikiText" for the LM experiments).
+//   SpanQa          — token sequences with a marked answer span; start/end
+//                     prediction ("SQuAD" for BERT-QA).
+//
+// All generators are deterministic in (seed, rank, step) so distributed
+// runs are reproducible and ranks see disjoint batches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace cgx::data {
+
+struct LabeledBatch {
+  tensor::Tensor input;
+  std::vector<int> targets;
+};
+
+class BlobDataset {
+ public:
+  BlobDataset(std::size_t classes, std::size_t dim, std::uint64_t seed,
+              float spread = 0.35f);
+
+  std::size_t classes() const { return classes_; }
+  std::size_t dim() const { return dim_; }
+
+  // Batch `step` for `rank` — disjoint across ranks by construction.
+  LabeledBatch batch(std::size_t batch_size, int rank,
+                     std::size_t step) const;
+
+ private:
+  std::size_t classes_, dim_;
+  std::uint64_t seed_;
+  float spread_;
+  std::vector<float> centers_;  // [classes x dim]
+};
+
+class SyntheticImages {
+ public:
+  SyntheticImages(std::size_t classes, std::size_t channels, std::size_t hw,
+                  std::uint64_t seed, float noise = 0.4f);
+
+  std::size_t classes() const { return classes_; }
+  // Input shape [B, C, H, W].
+  LabeledBatch batch(std::size_t batch_size, int rank,
+                     std::size_t step) const;
+
+ private:
+  std::size_t classes_, channels_, hw_;
+  std::uint64_t seed_;
+  float noise_;
+  std::vector<float> templates_;  // [classes x C x H x W]
+};
+
+// Order-1 Markov chain over `vocab` tokens. Targets are next tokens, so a
+// batch trains every position: input [B, T], targets B*T ints.
+class MarkovText {
+ public:
+  MarkovText(std::size_t vocab, std::uint64_t seed, double temperature = 0.6);
+
+  std::size_t vocab() const { return vocab_; }
+  LabeledBatch batch(std::size_t batch_size, std::size_t seq_len, int rank,
+                     std::size_t step) const;
+
+  // Entropy rate of the chain in nats: exp(entropy) is the perplexity an
+  // ideal model converges to.
+  double entropy_rate() const;
+
+ private:
+  std::size_t sample_next(std::size_t current, util::Rng& rng) const;
+
+  std::size_t vocab_;
+  std::uint64_t seed_;
+  std::vector<double> transitions_;  // [vocab x vocab], rows sum to 1
+  std::vector<double> stationary_;
+};
+
+// Sequences over a vocab where a contiguous "answer" span is bracketed by
+// marker tokens; the task is predicting the span's start and end indices.
+struct QaBatch {
+  tensor::Tensor tokens;  // [B, T]
+  std::vector<int> start;
+  std::vector<int> end;
+};
+
+class SpanQa {
+ public:
+  SpanQa(std::size_t vocab, std::size_t seq_len, std::uint64_t seed);
+
+  std::size_t vocab() const { return vocab_; }
+  std::size_t seq_len() const { return seq_len_; }
+  QaBatch batch(std::size_t batch_size, int rank, std::size_t step) const;
+
+  // Exact-match fraction given per-position start/end logits [B, T, 2].
+  static double exact_match(const tensor::Tensor& logits,
+                            const QaBatch& batch);
+  // F1 over predicted vs gold span positions, averaged over the batch (the
+  // SQuAD metric reported in Table 3).
+  static double span_f1(const tensor::Tensor& logits, const QaBatch& batch);
+
+ private:
+  std::size_t vocab_, seq_len_;
+  std::uint64_t seed_;
+};
+
+}  // namespace cgx::data

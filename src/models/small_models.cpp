@@ -1,0 +1,275 @@
+#include "models/small_models.h"
+
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace cgx::models {
+
+std::unique_ptr<nn::Module> make_mlp(std::size_t in, std::size_t hidden,
+                                     std::size_t classes, util::Rng& rng) {
+  auto model = std::make_unique<nn::Sequential>();
+  model->emplace<nn::Linear>(in, hidden, rng);
+  model->emplace<nn::ReLU>();
+  model->emplace<nn::Linear>(hidden, hidden, rng);
+  model->emplace<nn::ReLU>();
+  model->emplace<nn::Linear>(hidden, classes, rng);
+  return model;
+}
+
+std::unique_ptr<nn::Module> make_small_cnn(std::size_t channels,
+                                           std::size_t hw,
+                                           std::size_t classes,
+                                           util::Rng& rng) {
+  CGX_CHECK_EQ(hw % 4, 0u);
+  auto model = std::make_unique<nn::Sequential>();
+  model->emplace<nn::Conv2d>(channels, 16, 3, 1, 1, rng);
+  model->emplace<nn::ReLU>();
+  model->emplace<nn::MaxPool2d>(2);
+  model->emplace<nn::Conv2d>(16, 32, 3, 1, 1, rng);
+  model->emplace<nn::ReLU>();
+  model->emplace<nn::MaxPool2d>(2);
+  model->emplace<nn::Conv2d>(32, 32, 3, 1, 1, rng);
+  model->emplace<nn::ReLU>();
+  model->emplace<nn::GlobalAvgPool>();
+  model->emplace<nn::Linear>(32, classes, rng);
+  return model;
+}
+
+std::unique_ptr<nn::Module> make_vgg_mini(std::size_t channels,
+                                          std::size_t hw, std::size_t classes,
+                                          util::Rng& rng) {
+  CGX_CHECK_EQ(hw % 8, 0u);
+  auto model = std::make_unique<nn::Sequential>();
+  model->emplace<nn::Conv2d>(channels, 16, 3, 1, 1, rng);
+  model->emplace<nn::ReLU>();
+  model->emplace<nn::Conv2d>(16, 16, 3, 1, 1, rng);
+  model->emplace<nn::ReLU>();
+  model->emplace<nn::MaxPool2d>(2);
+  model->emplace<nn::Conv2d>(16, 32, 3, 1, 1, rng);
+  model->emplace<nn::ReLU>();
+  model->emplace<nn::Conv2d>(32, 32, 3, 1, 1, rng);
+  model->emplace<nn::ReLU>();
+  model->emplace<nn::MaxPool2d>(2);
+  model->emplace<nn::Conv2d>(32, 64, 3, 1, 1, rng);
+  model->emplace<nn::ReLU>();
+  model->emplace<nn::MaxPool2d>(2);
+  model->emplace<nn::Flatten>();
+  model->emplace<nn::Linear>(64 * (hw / 8) * (hw / 8), 128, rng);
+  model->emplace<nn::ReLU>();
+  model->emplace<nn::Linear>(128, classes, rng);
+  return model;
+}
+
+// --------------------------------------------------------------- ResNet
+
+ResidualBlock::ResidualBlock(std::size_t in_channels,
+                             std::size_t out_channels, util::Rng& rng)
+    : conv1_(in_channels, out_channels, 3, 1, 1, rng, /*bias=*/false),
+      bn1_(out_channels),
+      conv2_(out_channels, out_channels, 3, 1, 1, rng, /*bias=*/false),
+      bn2_(out_channels) {
+  if (in_channels != out_channels) {
+    downsample_ = std::make_unique<nn::Conv2d>(in_channels, out_channels, 1,
+                                               1, 0, rng, /*bias=*/false);
+  }
+}
+
+const tensor::Tensor& ResidualBlock::forward(const tensor::Tensor& x,
+                                             bool train) {
+  const tensor::Tensor& main = bn2_.forward(
+      conv2_.forward(relu1_.forward(bn1_.forward(conv1_.forward(x, train),
+                                                 train),
+                                    train),
+                     train),
+      train);
+  skip_ = downsample_ ? downsample_->forward(x, train).clone() : x.clone();
+  output_ = main.clone();
+  tensor::add_inplace(output_.data(), skip_.data());
+  return relu_out_.forward(output_, train);
+}
+
+const tensor::Tensor& ResidualBlock::backward(
+    const tensor::Tensor& grad_out) {
+  const tensor::Tensor& d_sum = relu_out_.backward(grad_out);
+  const tensor::Tensor& d_main = conv1_.backward(
+      bn1_.backward(relu1_.backward(conv2_.backward(bn2_.backward(d_sum)))));
+  grad_in_ = d_main.clone();
+  if (downsample_) {
+    const tensor::Tensor& d_skip = downsample_->backward(d_sum);
+    tensor::add_inplace(grad_in_.data(), d_skip.data());
+  } else {
+    tensor::add_inplace(grad_in_.data(), d_sum.data());
+  }
+  return grad_in_;
+}
+
+void ResidualBlock::collect_params(const std::string& prefix,
+                                   std::vector<nn::Param*>& out) {
+  conv1_.collect_params(prefix + "conv1.", out);
+  bn1_.collect_params(prefix + "bn1.", out);
+  conv2_.collect_params(prefix + "conv2.", out);
+  bn2_.collect_params(prefix + "bn2.", out);
+  if (downsample_) downsample_->collect_params(prefix + "downsample.", out);
+}
+
+std::unique_ptr<nn::Module> make_resnet_mini(std::size_t channels,
+                                             std::size_t hw,
+                                             std::size_t classes,
+                                             util::Rng& rng) {
+  CGX_CHECK_EQ(hw % 2, 0u);
+  auto model = std::make_unique<nn::Sequential>();
+  model->emplace<nn::Conv2d>(channels, 8, 3, 1, 1, rng, /*bias=*/false);
+  model->emplace<nn::BatchNorm2d>(8);
+  model->emplace<nn::ReLU>();
+  model->emplace<ResidualBlock>(8, 8, rng);
+  model->emplace<nn::MaxPool2d>(2);
+  model->emplace<ResidualBlock>(8, 16, rng);
+  model->emplace<nn::GlobalAvgPool>();
+  model->emplace<nn::Linear>(16, classes, rng);
+  return model;
+}
+
+// --------------------------------------------------------------- LM
+
+TinyTransformerLM::TinyTransformerLM(std::size_t vocab, std::size_t dim,
+                                     std::size_t heads, std::size_t blocks,
+                                     std::size_t max_seq, util::Rng& rng)
+    : dim_(dim),
+      max_seq_(max_seq),
+      tok_(vocab, dim, rng),
+      pos_("pos", tensor::Shape{max_seq, dim}),
+      ln_f_(dim),
+      head_(dim, vocab, rng) {
+  pos_.value.fill_gaussian(rng, 0.0f, 0.02f);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    blocks_.push_back(std::make_unique<nn::TransformerBlock>(
+        dim, heads, 4 * dim, /*causal=*/true, rng));
+  }
+}
+
+const tensor::Tensor& TinyTransformerLM::forward(const tensor::Tensor& x,
+                                                 bool train) {
+  CGX_CHECK_EQ(x.rank(), 2u);
+  batch_ = x.dim(0);
+  seq_ = x.dim(1);
+  CGX_CHECK_LE(seq_, max_seq_);
+  embedded_ = tok_.forward(x, train).clone();  // [B, T, D]
+  auto e = embedded_.data();
+  const auto pos = pos_.value.data();
+  for (std::size_t b = 0; b < batch_; ++b) {
+    for (std::size_t t = 0; t < seq_; ++t) {
+      for (std::size_t d = 0; d < dim_; ++d) {
+        e[(b * seq_ + t) * dim_ + d] += pos[t * dim_ + d];
+      }
+    }
+  }
+  const tensor::Tensor* cur = &embedded_;
+  for (auto& block : blocks_) cur = &block->forward(*cur, train);
+  return head_.forward(ln_f_.forward(*cur, train), train);
+}
+
+const tensor::Tensor& TinyTransformerLM::backward(
+    const tensor::Tensor& grad_out) {
+  const tensor::Tensor* cur = &ln_f_.backward(head_.backward(grad_out));
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    cur = &(*it)->backward(*cur);
+  }
+  // d(embedding sum): positional grads accumulate per position across the
+  // batch; token grads go to the embedding table.
+  auto pg = pos_.grad.data();
+  const auto g = cur->data();
+  for (std::size_t b = 0; b < batch_; ++b) {
+    for (std::size_t t = 0; t < seq_; ++t) {
+      for (std::size_t d = 0; d < dim_; ++d) {
+        pg[t * dim_ + d] += g[(b * seq_ + t) * dim_ + d];
+      }
+    }
+  }
+  grad_in_ = tok_.backward(*cur).clone();
+  return grad_in_;
+}
+
+void TinyTransformerLM::collect_params(const std::string& prefix,
+                                       std::vector<nn::Param*>& out) {
+  tok_.collect_params(prefix + "embed.", out);
+  pos_.name = prefix + "pos_embed.weight";
+  out.push_back(&pos_);
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    blocks_[b]->collect_params(prefix + "block" + std::to_string(b) + ".",
+                               out);
+  }
+  ln_f_.collect_params(prefix + "ln_f.", out);
+  head_.collect_params(prefix + "head.", out);
+}
+
+// --------------------------------------------------------------- BERT-QA
+
+TinyBertQa::TinyBertQa(std::size_t vocab, std::size_t dim, std::size_t heads,
+                       std::size_t blocks, std::size_t max_seq,
+                       util::Rng& rng)
+    : dim_(dim),
+      max_seq_(max_seq),
+      tok_(vocab, dim, rng),
+      pos_("pos", tensor::Shape{max_seq, dim}),
+      ln_f_(dim),
+      head_(dim, 2, rng) {
+  pos_.value.fill_gaussian(rng, 0.0f, 0.02f);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    blocks_.push_back(std::make_unique<nn::TransformerBlock>(
+        dim, heads, 4 * dim, /*causal=*/false, rng));
+  }
+}
+
+const tensor::Tensor& TinyBertQa::forward(const tensor::Tensor& x,
+                                          bool train) {
+  CGX_CHECK_EQ(x.rank(), 2u);
+  batch_ = x.dim(0);
+  seq_ = x.dim(1);
+  CGX_CHECK_LE(seq_, max_seq_);
+  tensor::Tensor embedded = tok_.forward(x, train).clone();
+  auto e = embedded.data();
+  const auto pos = pos_.value.data();
+  for (std::size_t b = 0; b < batch_; ++b) {
+    for (std::size_t t = 0; t < seq_; ++t) {
+      for (std::size_t d = 0; d < dim_; ++d) {
+        e[(b * seq_ + t) * dim_ + d] += pos[t * dim_ + d];
+      }
+    }
+  }
+  const tensor::Tensor* cur = &embedded;
+  for (auto& block : blocks_) cur = &block->forward(*cur, train);
+  return head_.forward(ln_f_.forward(*cur, train), train);
+}
+
+const tensor::Tensor& TinyBertQa::backward(const tensor::Tensor& grad_out) {
+  const tensor::Tensor* cur = &ln_f_.backward(head_.backward(grad_out));
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    cur = &(*it)->backward(*cur);
+  }
+  auto pg = pos_.grad.data();
+  const auto g = cur->data();
+  for (std::size_t b = 0; b < batch_; ++b) {
+    for (std::size_t t = 0; t < seq_; ++t) {
+      for (std::size_t d = 0; d < dim_; ++d) {
+        pg[t * dim_ + d] += g[(b * seq_ + t) * dim_ + d];
+      }
+    }
+  }
+  grad_in_ = tok_.backward(*cur).clone();
+  return grad_in_;
+}
+
+void TinyBertQa::collect_params(const std::string& prefix,
+                                std::vector<nn::Param*>& out) {
+  tok_.collect_params(prefix + "embed.", out);
+  pos_.name = prefix + "pos_embed.weight";
+  out.push_back(&pos_);
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    blocks_[b]->collect_params(prefix + "block" + std::to_string(b) + ".",
+                               out);
+  }
+  ln_f_.collect_params(prefix + "ln_f.", out);
+  head_.collect_params(prefix + "head.", out);
+}
+
+}  // namespace cgx::models

@@ -1,0 +1,219 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace cgx::nn {
+
+MultiHeadAttention::MultiHeadAttention(std::size_t dim, std::size_t heads,
+                                       bool causal, util::Rng& rng)
+    : dim_(dim),
+      heads_(heads),
+      head_dim_(dim / heads),
+      causal_(causal),
+      qkv_(dim, 3 * dim, rng),
+      proj_(dim, dim, rng) {
+  CGX_CHECK_EQ(dim % heads, 0u);
+}
+
+const tensor::Tensor& MultiHeadAttention::forward(const tensor::Tensor& x,
+                                                  bool train) {
+  CGX_CHECK_EQ(x.rank(), 3u);
+  CGX_CHECK_EQ(x.dim(2), dim_);
+  batch_ = x.dim(0);
+  seq_ = x.dim(1);
+  const std::size_t b = batch_, t = seq_, h = heads_, dh = head_dim_;
+
+  qkv_out_ = qkv_.forward(x, train).clone();  // [B, T, 3D]
+  attn_ = tensor::Tensor(tensor::Shape{b, h, t, t});
+  heads_out_ = tensor::Tensor(tensor::Shape{b, t, dim_});
+
+  const auto qkv = qkv_out_.data();
+  auto attn = attn_.data();
+  auto out = heads_out_.data();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  // Offsets inside the fused qkv row: [Q | K | V], each D wide; head hh
+  // occupies columns [hh*dh, (hh+1)*dh).
+  auto q_at = [&](std::size_t n, std::size_t i, std::size_t hh,
+                  std::size_t d) {
+    return qkv[(n * t + i) * 3 * dim_ + hh * dh + d];
+  };
+  auto k_at = [&](std::size_t n, std::size_t i, std::size_t hh,
+                  std::size_t d) {
+    return qkv[(n * t + i) * 3 * dim_ + dim_ + hh * dh + d];
+  };
+  auto v_at = [&](std::size_t n, std::size_t i, std::size_t hh,
+                  std::size_t d) {
+    return qkv[(n * t + i) * 3 * dim_ + 2 * dim_ + hh * dh + d];
+  };
+
+  for (std::size_t n = 0; n < b; ++n) {
+    for (std::size_t hh = 0; hh < h; ++hh) {
+      for (std::size_t i = 0; i < t; ++i) {
+        // Scores + softmax for query position i.
+        const std::size_t limit = causal_ ? i + 1 : t;
+        float* row = &attn[((n * h + hh) * t + i) * t];
+        float max_score = -1e30f;
+        for (std::size_t j = 0; j < limit; ++j) {
+          double s = 0.0;
+          for (std::size_t d = 0; d < dh; ++d) {
+            s += static_cast<double>(q_at(n, i, hh, d)) * k_at(n, j, hh, d);
+          }
+          row[j] = static_cast<float>(s) * scale;
+          max_score = std::max(max_score, row[j]);
+        }
+        double denom = 0.0;
+        for (std::size_t j = 0; j < limit; ++j) {
+          row[j] = std::exp(row[j] - max_score);
+          denom += row[j];
+        }
+        const float inv =
+            denom > 0.0 ? static_cast<float>(1.0 / denom) : 0.0f;
+        for (std::size_t j = 0; j < limit; ++j) row[j] *= inv;
+        for (std::size_t j = limit; j < t; ++j) row[j] = 0.0f;
+        // O[i] = sum_j A[i,j] V[j]
+        for (std::size_t d = 0; d < dh; ++d) {
+          double acc = 0.0;
+          for (std::size_t j = 0; j < limit; ++j) {
+            acc += static_cast<double>(row[j]) * v_at(n, j, hh, d);
+          }
+          out[(n * t + i) * dim_ + hh * dh + d] = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return proj_.forward(heads_out_, train);
+}
+
+const tensor::Tensor& MultiHeadAttention::backward(
+    const tensor::Tensor& grad_out) {
+  const std::size_t b = batch_, t = seq_, h = heads_, dh = head_dim_;
+  const tensor::Tensor& d_heads = proj_.backward(grad_out);  // [B, T, D]
+
+  tensor::Tensor d_qkv(tensor::Shape{b, t, 3 * dim_});
+  const auto qkv = qkv_out_.data();
+  const auto attn = attn_.data();
+  const auto dho = d_heads.data();
+  auto dq = d_qkv.data();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  auto k_at = [&](std::size_t n, std::size_t i, std::size_t hh,
+                  std::size_t d) {
+    return qkv[(n * t + i) * 3 * dim_ + dim_ + hh * dh + d];
+  };
+  auto v_at = [&](std::size_t n, std::size_t i, std::size_t hh,
+                  std::size_t d) {
+    return qkv[(n * t + i) * 3 * dim_ + 2 * dim_ + hh * dh + d];
+  };
+  auto q_at = [&](std::size_t n, std::size_t i, std::size_t hh,
+                  std::size_t d) {
+    return qkv[(n * t + i) * 3 * dim_ + hh * dh + d];
+  };
+  auto dq_ref = [&](std::size_t n, std::size_t i, std::size_t hh,
+                    std::size_t d) -> float& {
+    return dq[(n * t + i) * 3 * dim_ + hh * dh + d];
+  };
+  auto dk_ref = [&](std::size_t n, std::size_t i, std::size_t hh,
+                    std::size_t d) -> float& {
+    return dq[(n * t + i) * 3 * dim_ + dim_ + hh * dh + d];
+  };
+  auto dv_ref = [&](std::size_t n, std::size_t i, std::size_t hh,
+                    std::size_t d) -> float& {
+    return dq[(n * t + i) * 3 * dim_ + 2 * dim_ + hh * dh + d];
+  };
+
+  std::vector<float> d_attn_row(t);
+  for (std::size_t n = 0; n < b; ++n) {
+    for (std::size_t hh = 0; hh < h; ++hh) {
+      for (std::size_t i = 0; i < t; ++i) {
+        const std::size_t limit = causal_ ? i + 1 : t;
+        const float* arow = &attn[((n * h + hh) * t + i) * t];
+        // dA[i,j] = <dO[i], V[j]>; dV[j] += A[i,j] dO[i]
+        for (std::size_t j = 0; j < limit; ++j) {
+          double da = 0.0;
+          for (std::size_t d = 0; d < dh; ++d) {
+            const float g = dho[(n * t + i) * dim_ + hh * dh + d];
+            da += static_cast<double>(g) * v_at(n, j, hh, d);
+            dv_ref(n, j, hh, d) += arow[j] * g;
+          }
+          d_attn_row[j] = static_cast<float>(da);
+        }
+        // Softmax backward: dS = (dA - <dA, A>) * A, then * scale.
+        double dot = 0.0;
+        for (std::size_t j = 0; j < limit; ++j) {
+          dot += static_cast<double>(d_attn_row[j]) * arow[j];
+        }
+        for (std::size_t j = 0; j < limit; ++j) {
+          const float ds =
+              (d_attn_row[j] - static_cast<float>(dot)) * arow[j] * scale;
+          if (ds == 0.0f) continue;
+          // dQ[i] += dS K[j]; dK[j] += dS Q[i]
+          for (std::size_t d = 0; d < dh; ++d) {
+            dq_ref(n, i, hh, d) += ds * k_at(n, j, hh, d);
+            dk_ref(n, j, hh, d) += ds * q_at(n, i, hh, d);
+          }
+        }
+      }
+    }
+  }
+  grad_in_ = qkv_.backward(d_qkv).clone();
+  return grad_in_;
+}
+
+void MultiHeadAttention::collect_params(const std::string& prefix,
+                                        std::vector<Param*>& out) {
+  qkv_.collect_params(prefix + "qkv.", out);
+  proj_.collect_params(prefix + "proj.", out);
+}
+
+// ---------------------------------------------------------------- block
+
+TransformerBlock::TransformerBlock(std::size_t dim, std::size_t heads,
+                                   std::size_t mlp_dim, bool causal,
+                                   util::Rng& rng)
+    : ln1_(dim),
+      attn_(dim, heads, causal, rng),
+      ln2_(dim),
+      fc1_(dim, mlp_dim, rng),
+      fc2_(mlp_dim, dim, rng) {}
+
+const tensor::Tensor& TransformerBlock::forward(const tensor::Tensor& x,
+                                                bool train) {
+  const tensor::Tensor& a = attn_.forward(ln1_.forward(x, train), train);
+  h_ = x.clone();
+  tensor::add_inplace(h_.data(), a.data());
+  const tensor::Tensor& m = fc2_.forward(
+      gelu_.forward(fc1_.forward(ln2_.forward(h_, train), train), train),
+      train);
+  output_ = h_.clone();
+  tensor::add_inplace(output_.data(), m.data());
+  return output_;
+}
+
+const tensor::Tensor& TransformerBlock::backward(
+    const tensor::Tensor& grad_out) {
+  // y = h + mlp(ln2(h)): dh = dy + ln2^T(mlp^T(dy)).
+  const tensor::Tensor& dm =
+      ln2_.backward(fc1_.backward(gelu_.backward(fc2_.backward(grad_out))));
+  tensor::Tensor dh = grad_out.clone();
+  tensor::add_inplace(dh.data(), dm.data());
+  // h = x + attn(ln1(x)): dx = dh + ln1^T(attn^T(dh)).
+  const tensor::Tensor& da = ln1_.backward(attn_.backward(dh));
+  grad_in_ = dh.clone();
+  tensor::add_inplace(grad_in_.data(), da.data());
+  return grad_in_;
+}
+
+void TransformerBlock::collect_params(const std::string& prefix,
+                                      std::vector<Param*>& out) {
+  ln1_.collect_params(prefix + "ln1.", out);
+  attn_.collect_params(prefix + "attn.", out);
+  ln2_.collect_params(prefix + "ln2.", out);
+  fc1_.collect_params(prefix + "mlp.fc1.", out);
+  fc2_.collect_params(prefix + "mlp.fc2.", out);
+}
+
+}  // namespace cgx::nn

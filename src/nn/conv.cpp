@@ -1,0 +1,363 @@
+#include "nn/conv.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cgx::nn {
+namespace {
+
+std::size_t conv_out_dim(std::size_t in, std::size_t k, std::size_t stride,
+                         std::size_t pad) {
+  CGX_CHECK_GE(in + 2 * pad + 1, k + 1);
+  return (in + 2 * pad - k) / stride + 1;
+}
+
+}  // namespace
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t pad,
+               util::Rng& rng, bool bias)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      k_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_("weight",
+              tensor::Shape{out_channels, in_channels, kernel, kernel}),
+      bias_("bias", tensor::Shape{out_channels}),
+      has_bias_(bias) {
+  CGX_CHECK_GT(stride, 0u);
+  const float fan_in = static_cast<float>(in_channels * kernel * kernel);
+  const float bound = std::sqrt(3.0f / fan_in);
+  weight_.value.fill_uniform(rng, -bound, bound);
+  bias_.value.zero();
+}
+
+const tensor::Tensor& Conv2d::forward(const tensor::Tensor& x, bool train) {
+  (void)train;
+  CGX_CHECK_EQ(x.rank(), 4u);
+  CGX_CHECK_EQ(x.dim(1), in_c_);
+  const std::size_t b = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = conv_out_dim(h, k_, stride_, pad_);
+  const std::size_t ow = conv_out_dim(w, k_, stride_, pad_);
+  input_ = x.clone();
+  output_ = tensor::Tensor(tensor::Shape{b, out_c_, oh, ow});
+  const auto in = x.data();
+  const auto wgt = weight_.value.data();
+  const auto bs = bias_.value.data();
+  auto out = output_.data();
+
+  for (std::size_t n = 0; n < b; ++n) {
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          double acc = has_bias_ ? bs[oc] : 0.0;
+          for (std::size_t ic = 0; ic < in_c_; ++ic) {
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                  static_cast<std::ptrdiff_t>(pad_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                    static_cast<std::ptrdiff_t>(pad_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                acc += static_cast<double>(
+                           in[((n * in_c_ + ic) * h + iy) * w + ix]) *
+                       wgt[((oc * in_c_ + ic) * k_ + ky) * k_ + kx];
+              }
+            }
+          }
+          out[((n * out_c_ + oc) * oh + oy) * ow + ox] =
+              static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return output_;
+}
+
+const tensor::Tensor& Conv2d::backward(const tensor::Tensor& grad_out) {
+  const std::size_t b = input_.dim(0), h = input_.dim(2), w = input_.dim(3);
+  const std::size_t oh = output_.dim(2), ow = output_.dim(3);
+  CGX_CHECK_EQ(grad_out.numel(), output_.numel());
+  grad_in_ = tensor::Tensor(input_.shape());
+  const auto in = input_.data();
+  const auto wgt = weight_.value.data();
+  const auto go = grad_out.data();
+  auto wg = weight_.grad.data();
+  auto bg = bias_.grad.data();
+  auto gi = grad_in_.data();
+
+  for (std::size_t n = 0; n < b; ++n) {
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const float g = go[((n * out_c_ + oc) * oh + oy) * ow + ox];
+          if (g == 0.0f) continue;
+          if (has_bias_) bg[oc] += g;
+          for (std::size_t ic = 0; ic < in_c_; ++ic) {
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                  static_cast<std::ptrdiff_t>(pad_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                    static_cast<std::ptrdiff_t>(pad_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                const std::size_t in_idx =
+                    ((n * in_c_ + ic) * h + iy) * w + ix;
+                const std::size_t w_idx =
+                    ((oc * in_c_ + ic) * k_ + ky) * k_ + kx;
+                wg[w_idx] += g * in[in_idx];
+                gi[in_idx] += g * wgt[w_idx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in_;
+}
+
+void Conv2d::collect_params(const std::string& prefix,
+                            std::vector<Param*>& out) {
+  weight_.name = prefix + "weight";
+  out.push_back(&weight_);
+  if (has_bias_) {
+    bias_.name = prefix + "bias";
+    out.push_back(&bias_);
+  }
+}
+
+// ----------------------------------------------------------------- MaxPool
+
+MaxPool2d::MaxPool2d(std::size_t window) : window_(window) {
+  CGX_CHECK_GT(window, 0u);
+}
+
+const tensor::Tensor& MaxPool2d::forward(const tensor::Tensor& x,
+                                         bool train) {
+  (void)train;
+  CGX_CHECK_EQ(x.rank(), 4u);
+  const std::size_t b = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  CGX_CHECK_EQ(h % window_, 0u);
+  CGX_CHECK_EQ(w % window_, 0u);
+  const std::size_t oh = h / window_, ow = w / window_;
+  input_shape_ = x.shape();
+  output_ = tensor::Tensor(tensor::Shape{b, c, oh, ow});
+  argmax_.assign(output_.numel(), 0);
+  const auto in = x.data();
+  auto out = output_.data();
+  for (std::size_t n = 0; n < b; ++n) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t ky = 0; ky < window_; ++ky) {
+            for (std::size_t kx = 0; kx < window_; ++kx) {
+              const std::size_t idx =
+                  ((n * c + ch) * h + oy * window_ + ky) * w + ox * window_ +
+                  kx;
+              if (in[idx] > best) {
+                best = in[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          const std::size_t out_idx = ((n * c + ch) * oh + oy) * ow + ox;
+          out[out_idx] = best;
+          argmax_[out_idx] = best_idx;
+        }
+      }
+    }
+  }
+  return output_;
+}
+
+const tensor::Tensor& MaxPool2d::backward(const tensor::Tensor& grad_out) {
+  CGX_CHECK_EQ(grad_out.numel(), argmax_.size());
+  grad_in_ = tensor::Tensor(input_shape_);
+  auto gi = grad_in_.data();
+  const auto go = grad_out.data();
+  for (std::size_t i = 0; i < argmax_.size(); ++i) gi[argmax_[i]] += go[i];
+  return grad_in_;
+}
+
+// ----------------------------------------------------------------- BN
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, float eps, float momentum)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gain_("weight", tensor::Shape{channels}),
+      bias_("bias", tensor::Shape{channels}),
+      running_mean_(tensor::Shape{channels}),
+      running_var_(tensor::Shape{channels}, 1.0f) {
+  CGX_CHECK_GT(channels, 0u);
+  gain_.value.fill(1.0f);
+  bias_.value.zero();
+}
+
+const tensor::Tensor& BatchNorm2d::forward(const tensor::Tensor& x,
+                                           bool train) {
+  CGX_CHECK_EQ(x.rank(), 4u);
+  CGX_CHECK_EQ(x.dim(1), channels_);
+  const std::size_t b = x.dim(0), hw = x.dim(2) * x.dim(3);
+  const std::size_t per_channel = b * hw;
+  train_mode_ = train;
+  output_ = tensor::Tensor(x.shape());
+  normalized_ = tensor::Tensor(x.shape());
+  inv_std_.resize(channels_);
+  const auto in = x.data();
+  auto out = output_.data();
+  auto xhat = normalized_.data();
+  const auto g = gain_.value.data();
+  const auto beta = bias_.value.data();
+  auto rm = running_mean_.data();
+  auto rv = running_var_.data();
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    double mean, var;
+    if (train) {
+      double sum = 0.0;
+      for (std::size_t n = 0; n < b; ++n) {
+        for (std::size_t i = 0; i < hw; ++i) {
+          sum += in[(n * channels_ + c) * hw + i];
+        }
+      }
+      mean = sum / static_cast<double>(per_channel);
+      double sq = 0.0;
+      for (std::size_t n = 0; n < b; ++n) {
+        for (std::size_t i = 0; i < hw; ++i) {
+          const double d = in[(n * channels_ + c) * hw + i] - mean;
+          sq += d * d;
+        }
+      }
+      var = sq / static_cast<double>(per_channel);
+      rm[c] = (1.0f - momentum_) * rm[c] +
+              momentum_ * static_cast<float>(mean);
+      rv[c] =
+          (1.0f - momentum_) * rv[c] + momentum_ * static_cast<float>(var);
+    } else {
+      mean = rm[c];
+      var = rv[c];
+    }
+    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+    inv_std_[c] = inv;
+    for (std::size_t n = 0; n < b; ++n) {
+      for (std::size_t i = 0; i < hw; ++i) {
+        const std::size_t idx = (n * channels_ + c) * hw + i;
+        const float h = (in[idx] - static_cast<float>(mean)) * inv;
+        xhat[idx] = h;
+        out[idx] = h * g[c] + beta[c];
+      }
+    }
+  }
+  return output_;
+}
+
+const tensor::Tensor& BatchNorm2d::backward(const tensor::Tensor& grad_out) {
+  CGX_CHECK_EQ(grad_out.numel(), normalized_.numel());
+  const std::size_t b = normalized_.dim(0);
+  const std::size_t hw = normalized_.dim(2) * normalized_.dim(3);
+  const auto per_channel = static_cast<double>(b * hw);
+  grad_in_ = tensor::Tensor(normalized_.shape());
+  const auto go = grad_out.data();
+  const auto xhat = normalized_.data();
+  const auto g = gain_.value.data();
+  auto gg = gain_.grad.data();
+  auto bg = bias_.grad.data();
+  auto gi = grad_in_.data();
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+    for (std::size_t n = 0; n < b; ++n) {
+      for (std::size_t i = 0; i < hw; ++i) {
+        const std::size_t idx = (n * channels_ + c) * hw + i;
+        const float dxhat = go[idx] * g[c];
+        sum_dxhat += dxhat;
+        sum_dxhat_xhat += static_cast<double>(dxhat) * xhat[idx];
+        gg[c] += go[idx] * xhat[idx];
+        bg[c] += go[idx];
+      }
+    }
+    if (!train_mode_) {
+      // Eval mode: statistics are constants; dx = dxhat * inv_std.
+      for (std::size_t n = 0; n < b; ++n) {
+        for (std::size_t i = 0; i < hw; ++i) {
+          const std::size_t idx = (n * channels_ + c) * hw + i;
+          gi[idx] = go[idx] * g[c] * inv_std_[c];
+        }
+      }
+      continue;
+    }
+    const auto mean_dxhat = static_cast<float>(sum_dxhat / per_channel);
+    const auto mean_dxhat_xhat =
+        static_cast<float>(sum_dxhat_xhat / per_channel);
+    for (std::size_t n = 0; n < b; ++n) {
+      for (std::size_t i = 0; i < hw; ++i) {
+        const std::size_t idx = (n * channels_ + c) * hw + i;
+        const float dxhat = go[idx] * g[c];
+        gi[idx] = inv_std_[c] *
+                  (dxhat - mean_dxhat - xhat[idx] * mean_dxhat_xhat);
+      }
+    }
+  }
+  return grad_in_;
+}
+
+void BatchNorm2d::collect_params(const std::string& prefix,
+                                 std::vector<Param*>& out) {
+  gain_.name = prefix + "weight";
+  bias_.name = prefix + "bias";
+  out.push_back(&gain_);
+  out.push_back(&bias_);
+}
+
+// ----------------------------------------------------------------- GAP
+
+const tensor::Tensor& GlobalAvgPool::forward(const tensor::Tensor& x,
+                                             bool train) {
+  (void)train;
+  CGX_CHECK_EQ(x.rank(), 4u);
+  const std::size_t b = x.dim(0), c = x.dim(1), hw = x.dim(2) * x.dim(3);
+  input_shape_ = x.shape();
+  output_ = tensor::Tensor(tensor::Shape{b, c});
+  const auto in = x.data();
+  auto out = output_.data();
+  for (std::size_t n = 0; n < b; ++n) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < hw; ++i) acc += in[(n * c + ch) * hw + i];
+      out[n * c + ch] = static_cast<float>(acc / static_cast<double>(hw));
+    }
+  }
+  return output_;
+}
+
+const tensor::Tensor& GlobalAvgPool::backward(const tensor::Tensor& grad_out) {
+  const std::size_t b = input_shape_[0], c = input_shape_[1];
+  const std::size_t hw = input_shape_[2] * input_shape_[3];
+  CGX_CHECK_EQ(grad_out.numel(), b * c);
+  grad_in_ = tensor::Tensor(input_shape_);
+  auto gi = grad_in_.data();
+  const auto go = grad_out.data();
+  const float inv = 1.0f / static_cast<float>(hw);
+  for (std::size_t n = 0; n < b; ++n) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float g = go[n * c + ch] * inv;
+      for (std::size_t i = 0; i < hw; ++i) gi[(n * c + ch) * hw + i] = g;
+    }
+  }
+  return grad_in_;
+}
+
+}  // namespace cgx::nn

@@ -1,0 +1,71 @@
+// Neural-network module interface.
+//
+// The nn substrate exists so the accuracy-recovery experiments (paper
+// Table 3, Fig. 4) run against *real* training: real forward/backward, real
+// optimizers, with the CGX engine sitting in the gradient path exactly
+// where Horovod/DDP would put it. The design is a classic define-by-layer
+// autodiff: each module caches what its backward needs during forward, and
+// backward() consumes the output gradient, accumulates parameter gradients,
+// and returns the input gradient.
+//
+// Conventions:
+//  * Tensors carry the batch in dim 0. Layers that operate pointwise or
+//    per-row (Linear, LayerNorm, activations) treat the input as
+//    [numel/features, features].
+//  * backward() must be called exactly once after each forward(), with a
+//    gradient shaped like the forward output.
+//  * Parameter gradients ACCUMULATE; the optimizer zeroes them after each
+//    step (this mirrors the framework behaviour compression hooks rely on).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace cgx::nn {
+
+struct Param {
+  std::string name;
+  tensor::Tensor value;
+  tensor::Tensor grad;
+
+  Param(std::string n, tensor::Shape shape)
+      : name(std::move(n)), value(shape), grad(std::move(shape)) {}
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  Module() = default;
+
+  // Computes the output for `x`. `train` toggles dropout-style behaviour.
+  virtual const tensor::Tensor& forward(const tensor::Tensor& x,
+                                        bool train) = 0;
+
+  // Consumes dL/d(output), accumulates dL/d(params), returns dL/d(input).
+  virtual const tensor::Tensor& backward(const tensor::Tensor& grad_out) = 0;
+
+  // Appends pointers to this module's parameters (stable order). `prefix`
+  // namespaces the names, e.g. "block0.attn.".
+  virtual void collect_params(const std::string& prefix,
+                              std::vector<Param*>& out) {
+    (void)prefix;
+    (void)out;
+  }
+
+  virtual std::string kind() const = 0;
+};
+
+// Zeroes all parameter gradients.
+void zero_grads(const std::vector<Param*>& params);
+
+// Total parameter count.
+std::size_t param_count(const std::vector<Param*>& params);
+
+}  // namespace cgx::nn

@@ -1,0 +1,124 @@
+#include "nn/optim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace cgx::nn {
+
+LrSchedule constant_lr(double lr) {
+  return [lr](std::size_t) { return lr; };
+}
+
+LrSchedule cosine_lr(double peak, std::size_t warmup_steps,
+                     std::size_t total_steps, double floor) {
+  CGX_CHECK_GT(total_steps, warmup_steps);
+  return [=](std::size_t step) {
+    if (step < warmup_steps) {
+      return peak * static_cast<double>(step + 1) /
+             static_cast<double>(warmup_steps);
+    }
+    const double progress =
+        static_cast<double>(step - warmup_steps) /
+        static_cast<double>(total_steps - warmup_steps);
+    const double clamped = std::min(progress, 1.0);
+    return floor + (peak - floor) * 0.5 *
+                       (1.0 + std::cos(3.14159265358979323846 * clamped));
+  };
+}
+
+LrSchedule step_decay_lr(double lr, std::size_t every, double factor) {
+  CGX_CHECK_GT(every, 0u);
+  return [=](std::size_t step) {
+    return lr * std::pow(factor, static_cast<double>(step / every));
+  };
+}
+
+Sgd::Sgd(std::vector<Param*> params, LrSchedule lr, double momentum,
+         double weight_decay)
+    : params_(std::move(params)),
+      lr_(std::move(lr)),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    velocity_[i].assign(params_[i]->value.numel(), 0.0f);
+  }
+}
+
+void Sgd::step() {
+  const auto lr = static_cast<float>(lr_(steps_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto value = params_[i]->value.data();
+    auto grad = params_[i]->grad.data();
+    auto& vel = velocity_[i];
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      float g = grad[j] + static_cast<float>(weight_decay_) * value[j];
+      if (momentum_ != 0.0) {
+        vel[j] = static_cast<float>(momentum_) * vel[j] + g;
+        g = vel[j];
+      }
+      value[j] -= lr * g;
+    }
+    params_[i]->grad.zero();
+  }
+  ++steps_;
+}
+
+Adam::Adam(std::vector<Param*> params, LrSchedule lr, double beta1,
+           double beta2, double eps, double weight_decay)
+    : params_(std::move(params)),
+      lr_(std::move(lr)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i]->value.numel(), 0.0f);
+    v_[i].assign(params_[i]->value.numel(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  const double t = static_cast<double>(steps_ + 1);
+  const double bias1 = 1.0 - std::pow(beta1_, t);
+  const double bias2 = 1.0 - std::pow(beta2_, t);
+  const double lr = lr_(steps_);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto value = params_[i]->value.data();
+    auto grad = params_[i]->grad.data();
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      const float g =
+          grad[j] + static_cast<float>(weight_decay_) * value[j];
+      m[j] = static_cast<float>(beta1_) * m[j] +
+             static_cast<float>(1.0 - beta1_) * g;
+      v[j] = static_cast<float>(beta2_) * v[j] +
+             static_cast<float>(1.0 - beta2_) * g * g;
+      const double mhat = m[j] / bias1;
+      const double vhat = v[j] / bias2;
+      value[j] -= static_cast<float>(lr * mhat / (std::sqrt(vhat) + eps_));
+    }
+    params_[i]->grad.zero();
+  }
+  ++steps_;
+}
+
+double clip_global_norm(const std::vector<Param*>& params, double max_norm) {
+  CGX_CHECK_GT(max_norm, 0.0);
+  double sq = 0.0;
+  for (const Param* p : params) sq += tensor::squared_norm(p->grad.data());
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm) {
+    const auto scale = static_cast<float>(max_norm / (norm + 1e-12));
+    for (Param* p : params) tensor::scale(p->grad.data(), scale);
+  }
+  return norm;
+}
+
+}  // namespace cgx::nn

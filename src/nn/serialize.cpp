@@ -1,0 +1,81 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "util/check.h"
+
+namespace cgx::nn {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'G', 'X', 'C', 'K', 'P', 'T', '1'};
+
+void write_u64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), 8);
+}
+
+bool read_u64(std::ifstream& in, std::uint64_t& v) {
+  in.read(reinterpret_cast<char*>(&v), 8);
+  return in.good();
+}
+
+}  // namespace
+
+bool save_checkpoint(const std::string& path,
+                     const std::vector<Param*>& params) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) return false;
+  out.write(kMagic, 8);
+  write_u64(out, params.size());
+  for (const Param* p : params) {
+    write_u64(out, p->name.size());
+    out.write(p->name.data(),
+              static_cast<std::streamsize>(p->name.size()));
+    write_u64(out, p->value.numel());
+    out.write(reinterpret_cast<const char*>(p->value.data().data()),
+              static_cast<std::streamsize>(4 * p->value.numel()));
+  }
+  return out.good();
+}
+
+bool load_checkpoint(const std::string& path,
+                     const std::vector<Param*>& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  char magic[8];
+  in.read(magic, 8);
+  if (!in.good() || std::memcmp(magic, kMagic, 8) != 0) return false;
+
+  std::map<std::string, Param*> by_name;
+  for (Param* p : params) by_name[p->name] = p;
+
+  std::uint64_t count = 0;
+  if (!read_u64(in, count)) return false;
+  std::size_t matched = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t name_len = 0;
+    if (!read_u64(in, name_len) || name_len > (1u << 16)) return false;
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    std::uint64_t numel = 0;
+    if (!read_u64(in, numel)) return false;
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      // Unknown parameter in the file: skip its payload.
+      in.seekg(static_cast<std::streamoff>(4 * numel), std::ios::cur);
+      continue;
+    }
+    CGX_CHECK_EQ(it->second->value.numel(), numel)
+        << "checkpoint size mismatch for " << name;
+    in.read(reinterpret_cast<char*>(it->second->value.data().data()),
+            static_cast<std::streamsize>(4 * numel));
+    if (!in.good()) return false;
+    ++matched;
+  }
+  CGX_CHECK_EQ(matched, params.size())
+      << "checkpoint missing parameters for this model";
+  return true;
+}
+
+}  // namespace cgx::nn

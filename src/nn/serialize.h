@@ -1,0 +1,30 @@
+// Model checkpointing: save/load parameter values.
+//
+// Binary format (little-endian, as written by the host):
+//   magic "CGXCKPT1"
+//   u64 param_count
+//   per param: u64 name_len, name bytes, u64 numel, f32 values
+//
+// Loading matches parameters BY NAME and checks sizes, so a checkpoint
+// survives reordering but not renaming. Used by the examples to persist
+// trained models and by downstream users for warm starts / evaluation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace cgx::nn {
+
+// Writes all parameter values. Returns false on I/O failure.
+bool save_checkpoint(const std::string& path,
+                     const std::vector<Param*>& params);
+
+// Loads values into matching (same-name, same-numel) parameters. Returns
+// false on I/O failure or malformed file; CHECK-fails on name/size
+// mismatches (those are programmer errors, not data corruption).
+bool load_checkpoint(const std::string& path,
+                     const std::vector<Param*>& params);
+
+}  // namespace cgx::nn

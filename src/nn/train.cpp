@@ -1,0 +1,145 @@
+#include "nn/train.h"
+
+#include <mutex>
+
+#include "util/check.h"
+
+namespace cgx::nn {
+
+LossFn make_xent_loss(std::size_t classes) {
+  // One shared instance per call site; the trainer invokes it from a single
+  // thread per replica, and each replica gets its own LossFn copy via the
+  // shared_ptr's state being read-only after construction. To keep it
+  // simple and thread-safe, construct a fresh criterion per invocation.
+  return [classes](const tensor::Tensor& output, const Batch& batch,
+                   tensor::Tensor& grad_out) {
+    SoftmaxCrossEntropy criterion(classes);
+    const double loss = criterion.forward(output, batch.targets);
+    grad_out = criterion.grad().clone();
+    return loss;
+  };
+}
+
+TrainResult train_single(const ModelFactory& model_factory,
+                         const OptimizerFactory& optimizer_factory,
+                         const BatchProvider& batches, const LossFn& loss,
+                         std::size_t steps, std::uint64_t seed) {
+  util::Rng init_rng(seed);
+  std::unique_ptr<Module> model = model_factory(init_rng);
+  std::vector<Param*> params = parameters(*model);
+  std::unique_ptr<Optimizer> optimizer = optimizer_factory(params);
+
+  TrainResult result;
+  result.params = param_count(params);
+  for (std::size_t step = 0; step < steps; ++step) {
+    const Batch batch = batches(0, step);
+    const tensor::Tensor& out = model->forward(batch.input, /*train=*/true);
+    tensor::Tensor grad_out;
+    const double l = loss(out, batch, grad_out);
+    model->backward(grad_out);
+    optimizer->step();
+    result.loss_history.push_back(l);
+  }
+  result.final_loss =
+      result.loss_history.empty() ? 0.0 : result.loss_history.back();
+  result.model = std::move(model);
+  return result;
+}
+
+TrainResult train_distributed(const ModelFactory& model_factory,
+                              const OptimizerFactory& optimizer_factory,
+                              const EngineFactory& engine_factory,
+                              const BatchProvider& batches, const LossFn& loss,
+                              const TrainOptions& options) {
+  CGX_CHECK_GT(options.world_size, 0);
+
+  // Build the layout once (from a throwaway replica) so the shared engine
+  // can be constructed before the workers start.
+  util::Rng probe_rng(options.seed);
+  std::unique_ptr<Module> probe = model_factory(probe_rng);
+  const tensor::LayerLayout layout = build_layout(parameters(*probe));
+  probe.reset();
+
+  std::unique_ptr<core::GradientEngine> engine =
+      engine_factory(layout, options.world_size);
+  CGX_CHECK(engine != nullptr);
+  auto* cgx = dynamic_cast<core::CgxEngine*>(engine.get());
+  const bool adaptive = options.assigner != nullptr &&
+                        options.reassign_every > 0 && cgx != nullptr;
+
+  core::GradStatsCollector stats(layout);
+  TrainResult result;
+  std::mutex result_mutex;
+
+  auto transport =
+      comm::make_transport(options.backend, options.world_size);
+  comm::run_world(*transport, [&](comm::Comm& comm) {
+    const int rank = comm.rank();
+    util::Rng init_rng(options.seed);  // identical init on every rank
+    std::unique_ptr<Module> model = model_factory(init_rng);
+    std::vector<Param*> params = parameters(*model);
+    std::unique_ptr<Optimizer> optimizer = optimizer_factory(params);
+    util::Rng engine_rng =
+        util::Rng(options.seed).split(1000 + static_cast<std::uint64_t>(rank));
+    std::vector<float> fused(layout.total_numel());
+
+    for (std::size_t step = 0; step < options.steps; ++step) {
+      const Batch batch = batches(rank, step);
+      const tensor::Tensor& out = model->forward(batch.input, /*train=*/true);
+      tensor::Tensor grad_out;
+      const double l = loss(out, batch, grad_out);
+      model->backward(grad_out);
+
+      gather_grads(params, layout, fused);
+      engine->allreduce(comm, fused, engine_rng);
+      scatter_grads(fused, layout, params);
+
+      if (options.clip_norm > 0.0) {
+        // Clipping needs the global norm of the SYNCHRONIZED gradient
+        // (Technical Issue 3); identical on all ranks, so replicas stay in
+        // lockstep.
+        clip_global_norm(params, options.clip_norm);
+      }
+      optimizer->step();
+
+      if (rank == 0) {
+        std::lock_guard<std::mutex> lock(result_mutex);
+        result.loss_history.push_back(l);
+        if (options.on_step) options.on_step(step, l);
+        if (adaptive) stats.accumulate(fused);
+      }
+
+      if (adaptive && (step + 1) % options.reassign_every == 0) {
+        comm.barrier();  // quiesce before mutating the shared engine
+        if (rank == 0) {
+          std::vector<bool> compressible;
+          compressible.reserve(layout.layer_count());
+          for (const auto& cfg : cgx->resolved()) {
+            compressible.push_back(cfg.method != core::Method::None);
+          }
+          util::Rng assign_rng(options.seed + 777 + step);
+          core::Assignment assignment = options.assigner->assign(
+              stats, compressible, options.adaptive, assign_rng);
+          core::apply_assignment(assignment, layout, cgx->config(),
+                                 options.adaptive.bucket_size);
+          cgx->rebuild();
+          stats.reset();
+          std::lock_guard<std::mutex> lock(result_mutex);
+          result.assignments.push_back(std::move(assignment));
+        }
+        comm.barrier();  // all ranks resume under the new policy
+      }
+    }
+    if (rank == 0) {
+      std::lock_guard<std::mutex> lock(result_mutex);
+      result.params = param_count(params);
+      result.model = std::move(model);
+    }
+  });
+
+  result.final_loss =
+      result.loss_history.empty() ? 0.0 : result.loss_history.back();
+  return result;
+}
+
+}  // namespace cgx::nn

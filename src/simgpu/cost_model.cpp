@@ -1,0 +1,216 @@
+#include "simgpu/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace cgx::simgpu {
+namespace {
+
+constexpr double kGb = 1e9;  // we use GB = 1e9 bytes, matching NIC specs
+
+}  // namespace
+
+CostModel::CostModel(const Topology& topology, comm::TransportProfile profile)
+    : topology_(&topology), profile_(std::move(profile)) {}
+
+double CostModel::round_seconds(std::span<const Flow> flows) const {
+  if (flows.empty()) return 0.0;
+  const Topology& topo = *topology_;
+
+  double worst_link_s = 0.0;
+  double worst_latency_us = 0.0;
+  std::vector<double> group_bytes(topo.group_count(), 0.0);
+  std::map<int, double> egress, ingress;
+  std::map<int, int> messages_by_src;
+
+  for (const Flow& f : flows) {
+    if (f.bytes < 0.0) continue;
+    const LinkPath& path = topo.link(f.src, f.dst);
+    worst_link_s = std::max(worst_link_s, f.bytes / (path.bandwidth_gbps * kGb));
+    worst_latency_us = std::max(worst_latency_us, path.latency_us);
+    for (int g : path.groups) group_bytes[static_cast<std::size_t>(g)] += f.bytes;
+    egress[f.src] += f.bytes;
+    ingress[f.dst] += f.bytes;
+    messages_by_src[f.src] += 1;
+  }
+
+  double bw_s = worst_link_s;
+  for (std::size_t g = 0; g < group_bytes.size(); ++g) {
+    if (group_bytes[g] > 0.0) {
+      bw_s = std::max(bw_s, group_bytes[g] /
+                                (topo.group_gbps(static_cast<int>(g)) * kGb));
+    }
+  }
+  if (topo.port_gbps() > 0.0) {
+    for (const auto& [dev, bytes] : egress) {
+      bw_s = std::max(bw_s, bytes / (topo.port_gbps() * kGb));
+    }
+    for (const auto& [dev, bytes] : ingress) {
+      bw_s = std::max(bw_s, bytes / (topo.port_gbps() * kGb));
+    }
+  }
+
+  // Software overheads: each device's sends are issued by its own engine
+  // thread; the slowest device adds its per-message and per-chunk costs.
+  double overhead_us = 0.0;
+  for (const auto& [dev, count] : messages_by_src) {
+    double us = count * profile_.per_message_overhead_us;
+    if (profile_.chunk_bytes > 0 && profile_.per_chunk_overhead_us > 0.0) {
+      const double chunks =
+          std::ceil(egress[dev] / static_cast<double>(profile_.chunk_bytes));
+      us += std::max(chunks, static_cast<double>(count)) *
+            profile_.per_chunk_overhead_us;
+    }
+    overhead_us = std::max(overhead_us, us);
+  }
+  // Staging copies cost one memory pass per copy at the profile's staging
+  // rate (host path for MPI, device-side FIFOs for NCCL).
+  double staging_s = 0.0;
+  if (profile_.extra_copies > 0) {
+    double max_dev_bytes = 0.0;
+    for (const auto& [dev, bytes] : egress) {
+      max_dev_bytes = std::max(max_dev_bytes, bytes);
+    }
+    staging_s = profile_.extra_copies * max_dev_bytes /
+                (profile_.staging_gbps * kGb);
+  }
+
+  return bw_s + (worst_latency_us + overhead_us) * 1e-6 + staging_s;
+}
+
+double CostModel::p2p_seconds(int src, int dst, double bytes) const {
+  const Flow flow{src, dst, bytes};
+  return round_seconds(std::span<const Flow>(&flow, 1));
+}
+
+double CostModel::effective_p2p_gbps(int src, int dst, double bytes) const {
+  const double s = p2p_seconds(src, dst, bytes);
+  return s <= 0.0 ? 0.0 : bytes / (s * kGb);
+}
+
+double CostModel::full_exchange_seconds(std::span<const int> devices,
+                                        double bytes_per_pair) const {
+  const std::size_t n = devices.size();
+  if (n <= 1) return 0.0;
+  std::vector<Flow> flows;
+  flows.reserve(n * (n - 1));
+  for (int src : devices) {
+    for (int dst : devices) {
+      if (src == dst) continue;
+      flows.push_back(Flow{src, dst, bytes_per_pair});
+    }
+  }
+  return round_seconds(flows);
+}
+
+double CostModel::ring_step_seconds(std::span<const int> devices,
+                                    double bytes_per_hop) const {
+  const std::size_t n = devices.size();
+  if (n <= 1) return 0.0;
+  std::vector<Flow> flows;
+  flows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    flows.push_back(Flow{devices[i], devices[(i + 1) % n], bytes_per_hop});
+  }
+  return round_seconds(flows);
+}
+
+double CostModel::sra_seconds(std::span<const int> devices,
+                              double scatter_bytes_per_pair,
+                              double gather_bytes_per_pair) const {
+  return full_exchange_seconds(devices, scatter_bytes_per_pair) +
+         full_exchange_seconds(devices, gather_bytes_per_pair);
+}
+
+double CostModel::allreduce_seconds(std::span<const int> devices, double bytes,
+                                    comm::ReductionScheme scheme) const {
+  const std::size_t n = devices.size();
+  if (n <= 1) return 0.0;
+  switch (scheme) {
+    case comm::ReductionScheme::ScatterReduceAllgather: {
+      const double chunk = bytes / static_cast<double>(n);
+      return sra_seconds(devices, chunk, chunk);
+    }
+    case comm::ReductionScheme::Ring: {
+      const double chunk = bytes / static_cast<double>(n);
+      return 2.0 * static_cast<double>(n - 1) *
+             ring_step_seconds(devices, chunk);
+    }
+    case comm::ReductionScheme::Tree: {
+      // Binomial reduce + binomial broadcast; each round moves full vectors
+      // between devices at the current mask distance.
+      double total = 0.0;
+      int top = 1;
+      while (top < static_cast<int>(n)) top <<= 1;
+      top >>= 1;
+      for (int mask = top; mask >= 1; mask >>= 1) {
+        std::vector<Flow> flows;
+        for (std::size_t r = 0; r < n; ++r) {
+          if (static_cast<int>(r) >= mask && static_cast<int>(r) < 2 * mask) {
+            flows.push_back(
+                Flow{devices[r], devices[r - static_cast<std::size_t>(mask)],
+                     bytes});
+          }
+        }
+        if (!flows.empty()) total += round_seconds(flows);
+      }
+      for (int mask = 1; mask < static_cast<int>(n); mask <<= 1) {
+        std::vector<Flow> flows;
+        for (std::size_t r = 0; r < n; ++r) {
+          if (static_cast<int>(r) < mask &&
+              r + static_cast<std::size_t>(mask) < n) {
+            flows.push_back(
+                Flow{devices[r], devices[r + static_cast<std::size_t>(mask)],
+                     bytes});
+          }
+        }
+        if (!flows.empty()) total += round_seconds(flows);
+      }
+      return total;
+    }
+  }
+  return 0.0;
+}
+
+double CostModel::allgather_seconds(std::span<const int> devices,
+                                    double bytes_per_rank) const {
+  return full_exchange_seconds(devices, bytes_per_rank);
+}
+
+double CostModel::broadcast_seconds(std::span<const int> devices,
+                                    double bytes) const {
+  const std::size_t n = devices.size();
+  if (n <= 1) return 0.0;
+  double total = 0.0;
+  for (int mask = 1; mask < static_cast<int>(n); mask <<= 1) {
+    std::vector<Flow> flows;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (static_cast<int>(r) < mask &&
+          r + static_cast<std::size_t>(mask) < n) {
+        flows.push_back(
+            Flow{devices[r], devices[r + static_cast<std::size_t>(mask)],
+                 bytes});
+      }
+    }
+    total += round_seconds(flows);
+  }
+  return total;
+}
+
+double CostModel::allreduce_busbw_gbps(std::span<const int> devices,
+                                       double bytes,
+                                       comm::ReductionScheme scheme) const {
+  const double s = allreduce_seconds(devices, bytes, scheme);
+  return s <= 0.0 ? 0.0 : bytes / (s * kGb);
+}
+
+std::vector<int> all_devices(const Topology& topology) {
+  std::vector<int> devices(static_cast<std::size_t>(topology.num_devices()));
+  for (int i = 0; i < topology.num_devices(); ++i) {
+    devices[static_cast<std::size_t>(i)] = i;
+  }
+  return devices;
+}
+
+}  // namespace cgx::simgpu

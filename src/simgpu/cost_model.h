@@ -1,0 +1,82 @@
+// Alpha-beta cost model with contention: converts communication patterns
+// into simulated seconds on a Topology, parameterised by the backend's
+// TransportProfile (per-message software overhead, chunking, staging
+// copies).
+//
+// This is where "real collectives, simulated clocks" (DESIGN.md §5) meets
+// the hardware: the comm/ layer moves real bytes between device threads and
+// records traffic; this model prices the same patterns. Tests cross-check
+// that the analytic per-round byte counts equal what the real collectives
+// recorded.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "comm/collectives.h"
+#include "comm/transport.h"
+#include "simgpu/topology.h"
+
+namespace cgx::simgpu {
+
+struct Flow {
+  int src = 0;
+  int dst = 0;
+  double bytes = 0.0;
+};
+
+class CostModel {
+ public:
+  CostModel(const Topology& topology, comm::TransportProfile profile);
+
+  const Topology& topology() const { return *topology_; }
+  const comm::TransportProfile& profile() const { return profile_; }
+
+  // Time for a set of flows that start together: bandwidth term is the
+  // max-of-constraints fluid time (links, ports, contention groups), plus
+  // the worst path latency, plus per-device software overheads.
+  double round_seconds(std::span<const Flow> flows) const;
+
+  // Single point-to-point transfer.
+  double p2p_seconds(int src, int dst, double bytes) const;
+  double effective_p2p_gbps(int src, int dst, double bytes) const;
+
+  // -- collective building blocks (devices = participating ranks) ----------
+  // One full-exchange round: every participant sends `bytes_per_pair` to
+  // every other participant (the SRA scatter or gather round).
+  double full_exchange_seconds(std::span<const int> devices,
+                               double bytes_per_pair) const;
+  // One ring step: device i sends `bytes_per_hop` to its ring successor.
+  double ring_step_seconds(std::span<const int> devices,
+                           double bytes_per_hop) const;
+
+  // -- whole collectives ----------------------------------------------------
+  // Uncompressed allreduce of `bytes` (the payload size each rank starts
+  // with) under the given reduction scheme.
+  double allreduce_seconds(std::span<const int> devices, double bytes,
+                           comm::ReductionScheme scheme) const;
+  // Compressed SRA with possibly different wire sizes in the two rounds
+  // (the gathered chunk is re-compressed and can differ in size).
+  double sra_seconds(std::span<const int> devices, double scatter_bytes_per_pair,
+                     double gather_bytes_per_pair) const;
+  // Allgather where each rank contributes `bytes_per_rank` (GRACE-style
+  // reductions use this instead of a true allreduce).
+  double allgather_seconds(std::span<const int> devices,
+                           double bytes_per_rank) const;
+  // Binomial broadcast of `bytes` from the first device in `devices`.
+  double broadcast_seconds(std::span<const int> devices, double bytes) const;
+
+  // Algorithm bandwidth S/t, the figure of merit quoted in §6.1
+  // ("1 GBps Allreduce bandwidth" on the RTX boxes).
+  double allreduce_busbw_gbps(std::span<const int> devices, double bytes,
+                              comm::ReductionScheme scheme) const;
+
+ private:
+  const Topology* topology_;
+  comm::TransportProfile profile_;
+};
+
+// All devices [0, n) of a topology, the common case.
+std::vector<int> all_devices(const Topology& topology);
+
+}  // namespace cgx::simgpu

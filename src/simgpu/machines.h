@@ -1,0 +1,63 @@
+// GPU specs (paper Table 1) and machine presets (paper Table 2, §6.1, plus
+// the cloud instances of Table 4 and the multi-node setup of Table 5).
+//
+// Link parameters are calibrated so the simulated machines reproduce the
+// paper's measured figures of merit:
+//   RTX-3090 box  — p2p 13-16 GBps, Allreduce busbw ~1 GBps
+//   RTX-2080 box  — p2p 6-8 GBps, Allreduce busbw ~1.5 GBps
+//   DGX-1 / A6000 — p2p up to 100 GBps, Allreduce busbw up to ~100 GBps
+//   Genesis cloud — 10 GBps intra-node, 5 GBps inter-node (§6.2 multi-node)
+//
+// Every preset takes the GPU count so Fig. 3's 1/2/4/8-GPU scaling sweeps
+// can reuse the same link parameters at smaller world sizes.
+#pragma once
+
+#include <string>
+
+#include "simgpu/topology.h"
+
+namespace cgx::simgpu {
+
+enum class GpuKind { V100, A6000, RTX3090, RTX2080TI };
+
+const char* gpu_kind_name(GpuKind kind);
+
+// Static characteristics from Table 1 (plus the effective rate at which the
+// device runs quantization kernels, used to price compression overhead; the
+// paper measures 1-3% overhead, Appendix A).
+struct GpuSpec {
+  GpuKind kind;
+  std::string arch;
+  int sm_count;
+  int tensor_cores;
+  bool gpu_direct;
+  int ram_gb;
+  int tdp_watt;
+  double compress_gbps;  // effective quantize/dequantize memory rate
+};
+
+const GpuSpec& gpu_spec(GpuKind kind);
+
+struct Machine {
+  std::string name;
+  GpuKind gpu;
+  Topology topology;
+  double price_per_hour_usd = 0.0;  // 0 = not a cloud offering
+};
+
+// -- Table 2 workstations -----------------------------------------------------
+Machine make_dgx1(int gpus = 8);        // V100, NVLink
+Machine make_a6000_8x(int gpus = 8);    // A6000, NVLink
+Machine make_rtx3090_8x(int gpus = 8);  // RTX3090, shared PCIe bus (Fig. 8)
+Machine make_rtx2080_8x(int gpus = 8);  // RTX2080 TI, shared PCIe bus
+
+// -- Table 4 cloud instances ----------------------------------------------------
+Machine make_aws_p3_8xlarge();   // 4x V100, $12.2/hr
+Machine make_genesis_4x3090();   // 4x RTX3090, $6.8/hr
+
+// -- Table 5 multi-node cluster --------------------------------------------------
+// `nodes` Genesis instances with 4x RTX3090 each; 10 GBps intra-node,
+// 5 GBps inter-node.
+Machine make_genesis_cluster(int nodes);
+
+}  // namespace cgx::simgpu

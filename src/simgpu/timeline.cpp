@@ -1,0 +1,52 @@
+#include "simgpu/timeline.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cgx::simgpu {
+
+double finish_serialized(std::span<const CommOp> ops) {
+  double t = 0.0;
+  for (const CommOp& op : ops) {
+    t = std::max(t, op.ready_s) + op.cost_s;
+  }
+  return t;
+}
+
+StepResult simulate_step(const StepSpec& spec) {
+  CGX_CHECK_EQ(spec.backward_s.size(), spec.comm_s.size());
+  StepResult result;
+
+  double compute_end = spec.forward_s;
+  std::vector<CommOp> ops;
+  ops.reserve(spec.backward_s.size());
+  for (std::size_t i = 0; i < spec.backward_s.size(); ++i) {
+    compute_end += spec.backward_s[i];
+    if (spec.comm_s[i] > 0.0) {
+      ops.push_back(CommOp{.ready_s = compute_end, .cost_s = spec.comm_s[i]});
+      result.comm_total_s += spec.comm_s[i];
+    }
+  }
+
+  if (!spec.overlap) {
+    // Barrier: all communication waits for the end of backward.
+    for (CommOp& op : ops) op.ready_s = compute_end;
+  }
+
+  const double comm_end = std::max(finish_serialized(ops), compute_end);
+  result.compute_s =
+      spec.forward_s +
+      (compute_end - spec.forward_s) /*backward*/ + spec.optimizer_s;
+  result.step_s = comm_end + spec.optimizer_s;
+  result.exposed_comm_s = comm_end - compute_end;
+  return result;
+}
+
+double throughput_items_per_s(double step_s, double items_per_device,
+                              int devices) {
+  CGX_CHECK_GT(step_s, 0.0);
+  return items_per_device * devices / step_s;
+}
+
+}  // namespace cgx::simgpu

@@ -1,0 +1,65 @@
+// Discrete-event step-time simulation with communication/computation
+// overlap.
+//
+// Data-parallel frameworks overlap gradient communication with the rest of
+// the backward pass: the gradient of layer L (counting from the input) is
+// produced when backprop reaches it, i.e. *output-side layers first*, and
+// its allreduce can start immediately while earlier layers still compute.
+// Input-side layers — e.g. Transformer embeddings — materialise last and
+// their communication is fully exposed (the effect §6.2/Appendix E blames
+// for the remaining gap to linear scaling).
+//
+// The simulation is symmetric across devices (all replicas execute the same
+// plan), so one device's timeline suffices: backward compute runs
+// sequentially; communication operations are issued in gradient-ready order
+// into a serialized engine queue (they share the interconnect, so the
+// engine processes one allreduce at a time, as Horovod/CGX's cycle does).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cgx::simgpu {
+
+struct CommOp {
+  double ready_s = 0.0;  // when the payload exists
+  double cost_s = 0.0;   // allreduce duration from the cost model
+};
+
+// FIFO-serialized queue: op i starts at max(ready_i, finish_{i-1}).
+// Returns the finish time of the last op (0 for no ops). Ops must be in
+// issue order; ready times need not be monotone (the engine still processes
+// them FIFO, like Horovod's response cycle).
+double finish_serialized(std::span<const CommOp> ops);
+
+struct StepSpec {
+  double forward_s = 0.0;
+  // Backward compute per gradient-producing layer, in backward execution
+  // order (output-side layer first).
+  std::vector<double> backward_s;
+  // Communication cost per layer, same order as backward_s; 0 = fused into
+  // another packet / nothing to send.
+  std::vector<double> comm_s;
+  double optimizer_s = 0.0;
+  // false models a global barrier before communication (no overlap), the
+  // behaviour gradient clipping forces when the full-gradient norm is needed
+  // before any update (Technical Issue 3).
+  bool overlap = true;
+};
+
+struct StepResult {
+  double step_s = 0.0;          // wall-clock of one optimization step
+  double compute_s = 0.0;       // forward + backward + optimizer
+  double comm_total_s = 0.0;    // sum of communication costs
+  double exposed_comm_s = 0.0;  // communication not hidden behind compute
+};
+
+StepResult simulate_step(const StepSpec& spec);
+
+// Throughput in items/s given the per-device batch, world size and step
+// time: the number every table in §6 reports.
+double throughput_items_per_s(double step_s, double items_per_device,
+                              int devices);
+
+}  // namespace cgx::simgpu

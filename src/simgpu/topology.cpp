@@ -1,0 +1,151 @@
+#include "simgpu/topology.h"
+
+#include <algorithm>
+
+namespace cgx::simgpu {
+
+Topology::Topology(std::string name, int num_devices)
+    : name_(std::move(name)),
+      num_devices_(num_devices),
+      links_(static_cast<std::size_t>(num_devices) * num_devices),
+      node_of_(static_cast<std::size_t>(num_devices), 0) {
+  CGX_CHECK_GT(num_devices, 0);
+}
+
+void Topology::set_link(int src, int dst, LinkPath path) {
+  CGX_CHECK(src >= 0 && src < num_devices_);
+  CGX_CHECK(dst >= 0 && dst < num_devices_);
+  CGX_CHECK_NE(src, dst);
+  CGX_CHECK_GT(path.bandwidth_gbps, 0.0);
+  for (int g : path.groups) {
+    CGX_CHECK(g >= 0 && g < static_cast<int>(group_caps_.size()));
+  }
+  links_[static_cast<std::size_t>(src) * num_devices_ + dst] =
+      std::move(path);
+}
+
+int Topology::add_group(double aggregate_gbps) {
+  CGX_CHECK_GT(aggregate_gbps, 0.0);
+  group_caps_.push_back(aggregate_gbps);
+  return static_cast<int>(group_caps_.size()) - 1;
+}
+
+void Topology::set_node_of(int device, int node) {
+  CGX_CHECK(device >= 0 && device < num_devices_);
+  CGX_CHECK_GE(node, 0);
+  node_of_[static_cast<std::size_t>(device)] = node;
+}
+
+const LinkPath& Topology::link(int src, int dst) const {
+  CGX_CHECK(src >= 0 && src < num_devices_);
+  CGX_CHECK(dst >= 0 && dst < num_devices_);
+  CGX_CHECK_NE(src, dst);
+  const LinkPath& path =
+      links_[static_cast<std::size_t>(src) * num_devices_ + dst];
+  CGX_CHECK_GT(path.bandwidth_gbps, 0.0)
+      << "no link configured " << src << " -> " << dst;
+  return path;
+}
+
+double Topology::group_gbps(int group) const {
+  CGX_CHECK(group >= 0 && group < static_cast<int>(group_caps_.size()));
+  return group_caps_[static_cast<std::size_t>(group)];
+}
+
+int Topology::node_of(int device) const {
+  CGX_CHECK(device >= 0 && device < num_devices_);
+  return node_of_[static_cast<std::size_t>(device)];
+}
+
+int Topology::num_nodes() const {
+  return 1 + *std::max_element(node_of_.begin(), node_of_.end());
+}
+
+std::vector<int> Topology::devices_on_node(int node) const {
+  std::vector<int> devices;
+  for (int d = 0; d < num_devices_; ++d) {
+    if (node_of_[static_cast<std::size_t>(d)] == node) devices.push_back(d);
+  }
+  return devices;
+}
+
+Topology make_shared_bus_topology(std::string name, int num_devices,
+                                  double link_gbps, double fabric_gbps,
+                                  double latency_us) {
+  Topology topo(std::move(name), num_devices);
+  const int fabric = topo.add_group(fabric_gbps);
+  for (int i = 0; i < num_devices; ++i) {
+    for (int j = 0; j < num_devices; ++j) {
+      if (i == j) continue;
+      topo.set_link(i, j,
+                    LinkPath{.bandwidth_gbps = link_gbps,
+                             .latency_us = latency_us,
+                             .groups = {fabric}});
+    }
+  }
+  topo.set_port_gbps(link_gbps);
+  return topo;
+}
+
+Topology make_nvlink_topology(std::string name, int num_devices,
+                              double port_gbps, double latency_us) {
+  Topology topo(std::move(name), num_devices);
+  for (int i = 0; i < num_devices; ++i) {
+    for (int j = 0; j < num_devices; ++j) {
+      if (i == j) continue;
+      // Multi-rail NVLink: a pair can use the full port aggregate; the port
+      // constraint (not per-link) is what binds under collectives.
+      topo.set_link(i, j,
+                    LinkPath{.bandwidth_gbps = port_gbps,
+                             .latency_us = latency_us,
+                             .groups = {}});
+    }
+  }
+  topo.set_port_gbps(port_gbps);
+  return topo;
+}
+
+Topology make_multinode_topology(std::string name, int nodes,
+                                 int devices_per_node, double intra_link_gbps,
+                                 double intra_fabric_gbps,
+                                 double intra_latency_us, double nic_gbps,
+                                 double inter_latency_us) {
+  CGX_CHECK_GT(nodes, 0);
+  CGX_CHECK_GT(devices_per_node, 0);
+  const int n = nodes * devices_per_node;
+  Topology topo(std::move(name), n);
+  std::vector<int> fabric_of_node, nic_of_node;
+  fabric_of_node.reserve(static_cast<std::size_t>(nodes));
+  nic_of_node.reserve(static_cast<std::size_t>(nodes));
+  for (int node = 0; node < nodes; ++node) {
+    fabric_of_node.push_back(topo.add_group(intra_fabric_gbps));
+    nic_of_node.push_back(topo.add_group(nic_gbps));
+  }
+  for (int i = 0; i < n; ++i) topo.set_node_of(i, i / devices_per_node);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const int ni = i / devices_per_node;
+      const int nj = j / devices_per_node;
+      if (ni == nj) {
+        topo.set_link(i, j,
+                      LinkPath{.bandwidth_gbps = intra_link_gbps,
+                               .latency_us = intra_latency_us,
+                               .groups = {fabric_of_node[ni]}});
+      } else {
+        // Cross-node: traverse the source fabric, source NIC, destination
+        // NIC, and destination fabric.
+        topo.set_link(
+            i, j,
+            LinkPath{.bandwidth_gbps = std::min(intra_link_gbps, nic_gbps),
+                     .latency_us = intra_latency_us + inter_latency_us,
+                     .groups = {fabric_of_node[ni], nic_of_node[ni],
+                                nic_of_node[nj], fabric_of_node[nj]}});
+      }
+    }
+  }
+  topo.set_port_gbps(intra_link_gbps);
+  return topo;
+}
+
+}  // namespace cgx::simgpu

@@ -1,0 +1,94 @@
+// Interconnect topology model.
+//
+// The paper's performance story is entirely about interconnect arithmetic:
+// commodity boxes move gradients over a shared PCIe/QPI fabric (Fig. 8)
+// whose *aggregate* bandwidth is the constraint (13-16 GBps for a single
+// p2p flow, but only ~1 GBps of effective Allreduce bandwidth on the 8x
+// RTX3090 box), while DGX-class machines have dedicated NVLink ports
+// (~100 GBps Allreduce bandwidth). We model exactly those constraints:
+//
+//   * per-directed-link bandwidth and latency,
+//   * per-device port (egress/ingress) bandwidth,
+//   * shared "contention groups" with an aggregate byte-rate cap — a PCIe
+//     host bridge, a QPI link, or a node's NIC; a flow lists every group it
+//     crosses.
+//
+// A round of concurrent flows then takes
+//   max(per-link time, per-port time, per-group time) + max latency,
+// the standard max-of-constraints fluid model.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cgx::simgpu {
+
+struct LinkPath {
+  double bandwidth_gbps = 0.0;  // min bandwidth along the path
+  double latency_us = 0.0;      // total latency along the path
+  std::vector<int> groups;      // contention groups the path crosses
+};
+
+class Topology {
+ public:
+  Topology(std::string name, int num_devices);
+
+  const std::string& name() const { return name_; }
+  int num_devices() const { return num_devices_; }
+
+  // --- construction -------------------------------------------------------
+  // Sets the path for src -> dst (directed). Both endpoints must differ.
+  void set_link(int src, int dst, LinkPath path);
+  // Registers a contention group and returns its id.
+  int add_group(double aggregate_gbps);
+  // Per-device port bandwidth (applies to total egress and total ingress of
+  // each device in a round). 0 = unlimited.
+  void set_port_gbps(double gbps) { port_gbps_ = gbps; }
+  // Node assignment (for multi-node machines; default: all on node 0).
+  void set_node_of(int device, int node);
+
+  // --- queries ------------------------------------------------------------
+  const LinkPath& link(int src, int dst) const;
+  double group_gbps(int group) const;
+  std::size_t group_count() const { return group_caps_.size(); }
+  double port_gbps() const { return port_gbps_; }
+  int node_of(int device) const;
+  int num_nodes() const;
+  // Devices on a given node, in rank order.
+  std::vector<int> devices_on_node(int node) const;
+
+ private:
+  std::string name_;
+  int num_devices_;
+  std::vector<LinkPath> links_;  // dense [src * n + dst]
+  std::vector<double> group_caps_;
+  std::vector<int> node_of_;
+  double port_gbps_ = 0.0;
+};
+
+// ---- topology builders (used by machine presets) ---------------------------
+
+// Single node, all pairs share one bus/fabric contention group (commodity
+// PCIe box, Fig. 8 collapsed to its bandwidth behaviour).
+Topology make_shared_bus_topology(std::string name, int num_devices,
+                                  double link_gbps, double fabric_gbps,
+                                  double latency_us);
+
+// Single node, dedicated per-port NVLink-style fabric: port-bound, no shared
+// group (DGX-1 backbone-ring-in-hypercube-mesh collapsed to its
+// port-aggregate behaviour).
+Topology make_nvlink_topology(std::string name, int num_devices,
+                              double port_gbps, double latency_us);
+
+// Multi-node cluster: `nodes` copies of an intra-node shared-bus fabric plus
+// one NIC contention group per node; cross-node paths traverse both NICs.
+Topology make_multinode_topology(std::string name, int nodes,
+                                 int devices_per_node, double intra_link_gbps,
+                                 double intra_fabric_gbps,
+                                 double intra_latency_us, double nic_gbps,
+                                 double inter_latency_us);
+
+}  // namespace cgx::simgpu

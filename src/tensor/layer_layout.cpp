@@ -1,0 +1,55 @@
+#include "tensor/layer_layout.h"
+
+#include <algorithm>
+
+namespace cgx::tensor {
+
+void LayerLayout::add_layer(std::string name, Shape shape) {
+  CGX_CHECK(!contains(name)) << "duplicate layer name: " << name;
+  LayerInfo info;
+  info.name = std::move(name);
+  info.numel = shape_numel(shape);
+  info.shape = std::move(shape);
+  info.offset = total_;
+  CGX_CHECK_GT(info.numel, 0u);
+  total_ += info.numel;
+  layers_.push_back(std::move(info));
+}
+
+void LayerLayout::add_layer(std::string name, std::size_t numel) {
+  add_layer(std::move(name), Shape{numel});
+}
+
+const LayerInfo& LayerLayout::layer(std::size_t i) const {
+  CGX_CHECK_LT(i, layers_.size());
+  return layers_[i];
+}
+
+std::size_t LayerLayout::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i].name == name) return i;
+  }
+  CGX_CHECK(false) << "no layer named " << name;
+  return 0;
+}
+
+bool LayerLayout::contains(const std::string& name) const {
+  return std::any_of(layers_.begin(), layers_.end(),
+                     [&](const LayerInfo& l) { return l.name == name; });
+}
+
+std::span<float> LayerLayout::slice(std::span<float> fused,
+                                    std::size_t i) const {
+  const LayerInfo& info = layer(i);
+  CGX_CHECK_LE(info.offset + info.numel, fused.size());
+  return fused.subspan(info.offset, info.numel);
+}
+
+std::span<const float> LayerLayout::slice(std::span<const float> fused,
+                                          std::size_t i) const {
+  const LayerInfo& info = layer(i);
+  CGX_CHECK_LE(info.offset + info.numel, fused.size());
+  return fused.subspan(info.offset, info.numel);
+}
+
+}  // namespace cgx::tensor

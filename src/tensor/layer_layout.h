@@ -1,0 +1,58 @@
+// Model layer layout: the contract between the training framework and the
+// communication engine.
+//
+// This mirrors the paper's Torch-DDP integration (Listing 1): the user
+// registers `(name, numel)` pairs for every parameter, and the engine uses
+// the layout to locate per-layer slices inside flat fused gradient buffers —
+// exactly the information torch_cgx reconstructs from `register_model`.
+// Per-layer access is what enables layer filters and layer-wise adaptive
+// compression (paper §3, §5).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cgx::tensor {
+
+struct LayerInfo {
+  std::string name;
+  Shape shape;        // original parameter shape (for decomposition methods)
+  std::size_t numel = 0;
+  std::size_t offset = 0;  // element offset in the fused flat buffer
+};
+
+class LayerLayout {
+ public:
+  LayerLayout() = default;
+
+  // Layers must be added in gradient-production order. For a backward pass,
+  // gradients materialize from the *last* layer to the first; the engine
+  // relies on this ordering to model communication/computation overlap.
+  void add_layer(std::string name, Shape shape);
+  void add_layer(std::string name, std::size_t numel);
+
+  std::size_t layer_count() const { return layers_.size(); }
+  std::size_t total_numel() const { return total_; }
+
+  const LayerInfo& layer(std::size_t i) const;
+  const std::vector<LayerInfo>& layers() const { return layers_; }
+
+  // Index of the layer with this exact name; CHECK-fails if absent.
+  std::size_t index_of(const std::string& name) const;
+  bool contains(const std::string& name) const;
+
+  // Slice of the fused buffer belonging to layer i.
+  std::span<float> slice(std::span<float> fused, std::size_t i) const;
+  std::span<const float> slice(std::span<const float> fused,
+                               std::size_t i) const;
+
+ private:
+  std::vector<LayerInfo> layers_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace cgx::tensor

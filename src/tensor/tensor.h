@@ -1,0 +1,88 @@
+// Dense float tensors.
+//
+// The library needs exactly what a gradient-communication framework touches:
+// contiguous float storage with a shape, cheap views (std::span), and flat
+// indexing. We deliberately do NOT build strided views, broadcasting, or
+// expression templates — layers in src/nn operate on contiguous buffers and
+// the communication stack only ever sees flat spans.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace cgx::tensor {
+
+using Shape = std::vector<std::size_t>;
+
+std::size_t shape_numel(const Shape& shape);
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, float fill);
+
+  // Value semantics; copies are explicit via clone() to avoid accidental
+  // deep copies of multi-MB gradient buffers in hot paths.
+  Tensor(const Tensor&) = delete;
+  Tensor& operator=(const Tensor&) = delete;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  Tensor clone() const;
+
+  const Shape& shape() const { return shape_; }
+  std::size_t numel() const { return data_.size(); }
+  std::size_t dim(std::size_t i) const {
+    CGX_DCHECK(i < shape_.size());
+    return shape_[i];
+  }
+  std::size_t rank() const { return shape_.size(); }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+
+  float& at(std::size_t i) {
+    CGX_DCHECK(i < data_.size());
+    return data_[i];
+  }
+  float at(std::size_t i) const {
+    CGX_DCHECK(i < data_.size());
+    return data_[i];
+  }
+
+  // Row-major 2D access; tensor must be rank 2.
+  float& at(std::size_t r, std::size_t c) {
+    CGX_DCHECK(shape_.size() == 2);
+    CGX_DCHECK(r < shape_[0] && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    CGX_DCHECK(shape_.size() == 2);
+    CGX_DCHECK(r < shape_[0] && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+  }
+
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  // Reinterprets the element layout under a new shape with equal numel.
+  void reshape(Shape new_shape);
+
+  // Element init helpers used by nn layers.
+  void fill_uniform(util::Rng& rng, float lo, float hi);
+  void fill_gaussian(util::Rng& rng, float mean, float stddev);
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace cgx::tensor

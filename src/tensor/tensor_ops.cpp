@@ -1,0 +1,123 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace cgx::tensor {
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  CGX_DCHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<float> x, float alpha) {
+  for (auto& v : x) v *= alpha;
+}
+
+double dot(std::span<const float> x, std::span<const float> y) {
+  CGX_DCHECK(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  return acc;
+}
+
+double squared_norm(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += static_cast<double>(v) * static_cast<double>(v);
+  return acc;
+}
+
+double l2_norm(std::span<const float> x) { return std::sqrt(squared_norm(x)); }
+
+float linf_norm(std::span<const float> x) {
+  float m = 0.0f;
+  for (float v : x) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double sum(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += v;
+  return acc;
+}
+
+void sub(std::span<const float> a, std::span<const float> b,
+         std::span<float> out) {
+  CGX_DCHECK(a.size() == b.size() && a.size() == out.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+}
+
+void add_inplace(std::span<float> dst, std::span<const float> src) {
+  CGX_DCHECK(dst.size() == src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+}
+
+void copy(std::span<const float> src, std::span<float> dst) {
+  CGX_DCHECK(src.size() == dst.size());
+  if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size() * 4);
+}
+
+void matmul(std::span<const float> a, std::span<const float> b,
+            std::span<float> c, std::size_t m, std::size_t k, std::size_t n) {
+  CGX_DCHECK(a.size() == m * k);
+  CGX_DCHECK(b.size() == k * n);
+  CGX_DCHECK(c.size() == m * n);
+  std::fill(c.begin(), c.end(), 0.0f);
+  // i-k-j loop order: streams through B and C rows; good enough for the
+  // model sizes in this library without an external BLAS.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aip = a[i * k + p];
+      if (aip == 0.0f) continue;
+      const float* brow = &b[p * n];
+      float* crow = &c[i * n];
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+void matmul_at_b(std::span<const float> a, std::span<const float> b,
+                 std::span<float> c, std::size_t k, std::size_t m,
+                 std::size_t n) {
+  // C[m x n] = A^T * B, with A stored [k x m] row-major, B [k x n].
+  CGX_DCHECK(a.size() == k * m);
+  CGX_DCHECK(b.size() == k * n);
+  CGX_DCHECK(c.size() == m * n);
+  std::fill(c.begin(), c.end(), 0.0f);
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = &a[p * m];
+    const float* brow = &b[p * n];
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aip = arow[i];
+      if (aip == 0.0f) continue;
+      float* crow = &c[i * n];
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+void matmul_a_bt(std::span<const float> a, std::span<const float> b,
+                 std::span<float> c, std::size_t m, std::size_t n,
+                 std::size_t k) {
+  // C[m x k] = A * B^T, with A [m x n], B [k x n] row-major.
+  CGX_DCHECK(a.size() == m * n);
+  CGX_DCHECK(b.size() == k * n);
+  CGX_DCHECK(c.size() == m * k);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = &a[i * n];
+    float* crow = &c[i * k];
+    for (std::size_t j = 0; j < k; ++j) {
+      const float* brow = &b[j * n];
+      double acc = 0.0;
+      for (std::size_t p = 0; p < n; ++p) acc += double(arow[p]) * brow[p];
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+}
+
+}  // namespace cgx::tensor

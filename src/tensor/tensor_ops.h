@@ -1,0 +1,51 @@
+// Flat vector/matrix kernels shared by the nn layers and the compressors.
+//
+// All functions take std::span so they run on tensor storage, gradient
+// buffers inside the communication engine, and raw compressor scratch alike.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace cgx::tensor {
+
+// y += alpha * x
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+// x *= alpha
+void scale(std::span<float> x, float alpha);
+// <x, y>
+double dot(std::span<const float> x, std::span<const float> y);
+// ||x||_2
+double l2_norm(std::span<const float> x);
+// ||x||_2^2 (avoids the sqrt in hot error-accounting paths)
+double squared_norm(std::span<const float> x);
+// max_i |x_i|
+float linf_norm(std::span<const float> x);
+// sum_i x_i
+double sum(std::span<const float> x);
+// out = a - b (sizes must match)
+void sub(std::span<const float> a, std::span<const float> b,
+         std::span<float> out);
+// accumulate: dst += src
+void add_inplace(std::span<float> dst, std::span<const float> src);
+// elementwise copy
+void copy(std::span<const float> src, std::span<float> dst);
+
+// C[m x n] = A[m x k] * B[k x n], row-major. Blocked for cache friendliness;
+// this is the workhorse of Linear/Attention layers and PowerSGD iterations.
+void matmul(std::span<const float> a, std::span<const float> b,
+            std::span<float> c, std::size_t m, std::size_t k, std::size_t n);
+
+// C[m x n] = A^T[k x m]^T * B... specifically: C = A^T * B where A is
+// [k x m] row-major. Used by Linear backward (grad_w = x^T * grad_y).
+void matmul_at_b(std::span<const float> a, std::span<const float> b,
+                 std::span<float> c, std::size_t k, std::size_t m,
+                 std::size_t n);
+
+// C[m x k] = A[m x n] * B^T where B is [k x n] row-major. Used by Linear
+// backward (grad_x = grad_y * w^T when w is [k x n]).
+void matmul_a_bt(std::span<const float> a, std::span<const float> b,
+                 std::span<float> c, std::size_t m, std::size_t n,
+                 std::size_t k);
+
+}  // namespace cgx::tensor

@@ -1,0 +1,46 @@
+// Reusable spin-free barrier for device-thread groups.
+//
+// std::barrier exists in C++20 but we need (a) a copy-free handle shared by
+// worker threads, and (b) `arrive_and_wait` that tolerates reuse across an
+// unbounded number of phases — this simple generation-counting barrier covers
+// both and keeps the dependency surface small.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "util/check.h"
+
+namespace cgx::util {
+
+class Barrier {
+ public:
+  explicit Barrier(std::size_t parties) : parties_(parties) {
+    CGX_CHECK_GT(parties, 0u);
+  }
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::size_t my_generation = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != my_generation; });
+  }
+
+ private:
+  const std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::size_t generation_ = 0;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace cgx::util

@@ -1,0 +1,83 @@
+#include "util/bitio.h"
+
+#include <cstring>
+
+namespace cgx::util {
+
+std::size_t packed_size_bytes(std::size_t n, unsigned bits) {
+  CGX_CHECK(bits >= 1 && bits <= 32);
+  const std::size_t total_bits = n * bits;
+  const std::size_t words = (total_bits + 63) / 64;
+  return words * 8;
+}
+
+BitWriter::BitWriter(std::span<std::byte> out, unsigned bits)
+    : out_(out), bits_(bits) {
+  CGX_CHECK(bits >= 1 && bits <= 32);
+  CGX_CHECK_EQ(out.size() % 8, 0u);
+}
+
+void BitWriter::write(std::uint64_t symbol) {
+  CGX_DCHECK(!finished_);
+  CGX_DCHECK(symbol < (1ULL << bits_));
+  acc_ |= static_cast<unsigned __int128>(symbol) << acc_bits_;
+  acc_bits_ += bits_;
+  if (acc_bits_ >= 64) {
+    const std::uint64_t word = static_cast<std::uint64_t>(acc_);
+    CGX_DCHECK(word_index_ * 8 + 8 <= out_.size());
+    std::memcpy(out_.data() + word_index_ * 8, &word, 8);
+    ++word_index_;
+    acc_ >>= 64;
+    acc_bits_ -= 64;
+  }
+  ++symbols_;
+}
+
+void BitWriter::finish() {
+  CGX_CHECK(!finished_);
+  if (acc_bits_ > 0) {
+    const std::uint64_t word = static_cast<std::uint64_t>(acc_);
+    CGX_CHECK(word_index_ * 8 + 8 <= out_.size());
+    std::memcpy(out_.data() + word_index_ * 8, &word, 8);
+    ++word_index_;
+  }
+  finished_ = true;
+}
+
+BitReader::BitReader(std::span<const std::byte> in, unsigned bits)
+    : in_(in), bits_(bits) {
+  CGX_CHECK(bits >= 1 && bits <= 32);
+  CGX_CHECK_EQ(in.size() % 8, 0u);
+}
+
+std::uint64_t BitReader::read() {
+  if (acc_bits_ < bits_) {
+    CGX_DCHECK(word_index_ * 8 + 8 <= in_.size());
+    std::uint64_t word = 0;
+    std::memcpy(&word, in_.data() + word_index_ * 8, 8);
+    ++word_index_;
+    acc_ |= static_cast<unsigned __int128>(word) << acc_bits_;
+    acc_bits_ += 64;
+  }
+  const std::uint64_t mask = (bits_ == 64) ? ~0ULL : ((1ULL << bits_) - 1);
+  const std::uint64_t symbol = static_cast<std::uint64_t>(acc_) & mask;
+  acc_ >>= bits_;
+  acc_bits_ -= bits_;
+  ++symbols_;
+  return symbol;
+}
+
+void pack_symbols(std::span<const std::uint32_t> symbols, unsigned bits,
+                  std::span<std::byte> out) {
+  BitWriter writer(out, bits);
+  for (std::uint32_t s : symbols) writer.write(s);
+  writer.finish();
+}
+
+void unpack_symbols(std::span<const std::byte> in, unsigned bits,
+                    std::span<std::uint32_t> symbols) {
+  BitReader reader(in, bits);
+  for (auto& s : symbols) s = static_cast<std::uint32_t>(reader.read());
+}
+
+}  // namespace cgx::util

@@ -1,0 +1,69 @@
+// Bit-level packing for quantized gradient payloads.
+//
+// QSGD with b bits per element produces symbols in [0, 2^b); the wire format
+// packs them densely, little-endian within each 64-bit word, exactly like the
+// CUDA kernels in the original CGX pack values into machine words. Writer and
+// reader keep a 128-bit accumulator so symbols spanning a word boundary need
+// no special casing — 4-bit pack/unpack runs at memory speed, which the
+// paper's Appendix A requires (compression overhead in the 1-3% range).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "util/check.h"
+
+namespace cgx::util {
+
+// Number of bytes needed to hold n symbols of `bits` bits, rounded up to
+// whole 8-byte words (word granularity keeps the unpacker simple and mirrors
+// GPU word-aligned stores).
+std::size_t packed_size_bytes(std::size_t n, unsigned bits);
+
+class BitWriter {
+ public:
+  // `out` must have at least packed_size_bytes(n, bits) capacity for the
+  // symbols that will be written.
+  BitWriter(std::span<std::byte> out, unsigned bits);
+
+  void write(std::uint64_t symbol);
+  // Flushes the partial word; must be called exactly once, after all writes.
+  void finish();
+
+  std::size_t symbols_written() const { return symbols_; }
+
+ private:
+  std::span<std::byte> out_;
+  unsigned bits_;
+  unsigned __int128 acc_ = 0;
+  unsigned acc_bits_ = 0;
+  std::size_t word_index_ = 0;
+  std::size_t symbols_ = 0;
+  bool finished_ = false;
+};
+
+class BitReader {
+ public:
+  BitReader(std::span<const std::byte> in, unsigned bits);
+
+  std::uint64_t read();
+
+  std::size_t symbols_read() const { return symbols_; }
+
+ private:
+  std::span<const std::byte> in_;
+  unsigned bits_;
+  unsigned __int128 acc_ = 0;
+  unsigned acc_bits_ = 0;
+  std::size_t word_index_ = 0;
+  std::size_t symbols_ = 0;
+};
+
+// Convenience helpers for whole-buffer pack/unpack (used by compressors).
+void pack_symbols(std::span<const std::uint32_t> symbols, unsigned bits,
+                  std::span<std::byte> out);
+void unpack_symbols(std::span<const std::byte> in, unsigned bits,
+                    std::span<std::uint32_t> symbols);
+
+}  // namespace cgx::util

@@ -1,0 +1,69 @@
+// Lightweight precondition / invariant checking.
+//
+// CHECK* macros are always on (they guard API contracts and are cheap relative
+// to the numerical work in this library); DCHECK* compile out in NDEBUG
+// builds and are used in inner loops.
+//
+// A failed check prints the condition, location, and an optional streamed
+// message, then aborts. We deliberately abort rather than throw: checks fire
+// on programmer error, and several call sites run on detached device threads
+// where an exception could not be handled meaningfully (see
+// CppCoreGuidelines I.5/E.12).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace cgx::util {
+
+namespace detail {
+
+// Collects the streamed message and aborts in the destructor.
+class CheckFailure {
+ public:
+  CheckFailure(const char* cond, const char* file, int line) {
+    stream_ << "CHECK failed: " << cond << " at " << file << ":" << line
+            << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace cgx::util
+
+#define CGX_CHECK(cond)                                              \
+  if (cond) {                                                        \
+  } else                                                             \
+    ::cgx::util::detail::CheckFailure(#cond, __FILE__, __LINE__)
+
+#define CGX_CHECK_OP(a, b, op) \
+  CGX_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define CGX_CHECK_EQ(a, b) CGX_CHECK_OP(a, b, ==)
+#define CGX_CHECK_NE(a, b) CGX_CHECK_OP(a, b, !=)
+#define CGX_CHECK_LT(a, b) CGX_CHECK_OP(a, b, <)
+#define CGX_CHECK_LE(a, b) CGX_CHECK_OP(a, b, <=)
+#define CGX_CHECK_GT(a, b) CGX_CHECK_OP(a, b, >)
+#define CGX_CHECK_GE(a, b) CGX_CHECK_OP(a, b, >=)
+
+#ifdef NDEBUG
+#define CGX_DCHECK(cond) \
+  if (true) {            \
+  } else                 \
+    ::cgx::util::detail::CheckFailure(#cond, __FILE__, __LINE__)
+#else
+#define CGX_DCHECK(cond) CGX_CHECK(cond)
+#endif

@@ -1,0 +1,36 @@
+#include "util/csv.h"
+
+#include "util/check.h"
+
+namespace cgx::util {
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_.good()) return;
+  add_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  CGX_CHECK_EQ(cells.size(), columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ",";
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << "\n";
+}
+
+}  // namespace cgx::util

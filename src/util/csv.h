@@ -1,0 +1,30 @@
+// CSV writer for figure data series.
+//
+// Figure-regenerating benches dump their series as CSV next to the printed
+// summary so the plots can be recreated with any plotting tool.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace cgx::util {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. Directories must
+  // already exist. Check ok() before use.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  bool ok() const { return out_.good(); }
+  void add_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+// Quotes a cell if needed (commas/quotes/newlines).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace cgx::util

@@ -1,0 +1,100 @@
+#include "util/half.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace cgx::util {
+
+std::uint16_t float_to_half(float f) {
+  std::uint32_t x = 0;
+  std::memcpy(&x, &f, 4);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  std::uint32_t exp = (x >> 23) & 0xffu;
+  std::uint32_t mant = x & 0x7fffffu;
+
+  if (exp == 0xffu) {  // inf / NaN
+    // Preserve NaN-ness by forcing a non-zero mantissa.
+    return static_cast<std::uint16_t>(sign | 0x7c00u |
+                                      (mant != 0 ? 0x200u : 0));
+  }
+
+  // Re-bias exponent: float bias 127, half bias 15.
+  int new_exp = static_cast<int>(exp) - 127 + 15;
+
+  if (new_exp >= 0x1f) {  // overflow -> inf
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+
+  if (new_exp <= 0) {  // subnormal or zero
+    if (new_exp < -10) {
+      return static_cast<std::uint16_t>(sign);  // underflows to zero
+    }
+    // Add implicit leading 1, then shift into subnormal position.
+    mant |= 0x800000u;
+    const unsigned shift = static_cast<unsigned>(14 - new_exp);
+    std::uint32_t half_mant = mant >> shift;
+    // Round to nearest even on the dropped bits.
+    const std::uint32_t dropped = mant & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (dropped > halfway || (dropped == halfway && (half_mant & 1u))) {
+      ++half_mant;  // may carry into the exponent; that is correct
+    }
+    return static_cast<std::uint16_t>(sign | half_mant);
+  }
+
+  // Normal number: keep the top 10 mantissa bits, round to nearest even.
+  std::uint16_t half =
+      static_cast<std::uint16_t>(sign | (static_cast<std::uint32_t>(new_exp) << 10) |
+                                 (mant >> 13));
+  const std::uint32_t dropped = mant & 0x1fffu;
+  if (dropped > 0x1000u || (dropped == 0x1000u && (half & 1u))) {
+    ++half;  // carry propagates correctly into exponent / infinity
+  }
+  return half;
+}
+
+float half_to_float(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  std::uint32_t mant = h & 0x3ffu;
+  std::uint32_t out;
+
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // +-0
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      std::uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      out = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+            ((m & 0x3ffu) << 13);
+    }
+  } else if (exp == 0x1f) {
+    out = sign | 0x7f800000u | (mant << 13);  // inf / NaN
+  } else {
+    out = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+
+  float f = 0.0f;
+  std::memcpy(&f, &out, 4);
+  return f;
+}
+
+void floats_to_halves(std::span<const float> in,
+                      std::span<std::uint16_t> out) {
+  CGX_CHECK_EQ(in.size(), out.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = float_to_half(in[i]);
+}
+
+void halves_to_floats(std::span<const std::uint16_t> in,
+                      std::span<float> out) {
+  CGX_CHECK_EQ(in.size(), out.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = half_to_float(in[i]);
+}
+
+}  // namespace cgx::util

@@ -1,0 +1,30 @@
+// Software IEEE 754 binary16 ("half") conversion.
+//
+// The paper trains several models in mixed precision (FP16 gradients for
+// Transformer-XL / GPT-2, FP16 activations for ViT). We do not need fast
+// half arithmetic — gradients are converted to float for math — but we do
+// need faithful round-trip conversion so that (a) the engine can transmit
+// FP16 baselines and (b) the PowerSGD incompatibility with FP16 (divergence
+// via overflow of the power-iteration Gram matrices) can be demonstrated.
+//
+// Conversion follows the standard round-to-nearest-even algorithm with
+// correct handling of subnormals, infinities, and NaN.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace cgx::util {
+
+std::uint16_t float_to_half(float f);
+float half_to_float(std::uint16_t h);
+
+// Bulk conversions used when the engine transmits FP16 buffers.
+void floats_to_halves(std::span<const float> in, std::span<std::uint16_t> out);
+void halves_to_floats(std::span<const std::uint16_t> in, std::span<float> out);
+
+// Largest finite half value (65504); gradients above this overflow to +inf
+// when cast, which is exactly the failure mode that breaks PowerSGD + FP16.
+inline constexpr float kMaxHalf = 65504.0f;
+
+}  // namespace cgx::util

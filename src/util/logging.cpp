@@ -1,0 +1,73 @@
+#include "util/logging.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <iostream>
+
+namespace cgx::util {
+namespace {
+
+std::atomic<LogLevel>& level_storage() {
+  static std::atomic<LogLevel> level = [] {
+    if (const char* env = std::getenv("CGX_LOG_LEVEL")) {
+      return parse_log_level(env);
+    }
+    return LogLevel::Warn;
+  }();
+  return level;
+}
+
+std::mutex& output_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Off:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_storage().load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  level_storage().store(level, std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level) : level_(level) {}
+
+LogLine::~LogLine() {
+  std::lock_guard<std::mutex> lock(output_mutex());
+  std::cerr << "[" << level_name(level_) << "] " << stream_.str() << "\n";
+}
+
+}  // namespace detail
+}  // namespace cgx::util

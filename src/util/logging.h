@@ -1,0 +1,46 @@
+// Minimal leveled logger, thread-safe at line granularity.
+//
+// Usage:  CGX_LOG(Info) << "rank " << rank << " done";
+// The global level defaults to Warn so tests and benches stay quiet; set
+// CGX_LOG_LEVEL=debug|info|warn|error in the environment or call
+// set_log_level() to change it.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace cgx::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level);
+  ~LogLine();
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace cgx::util
+
+#define CGX_LOG(severity)                                                  \
+  if (::cgx::util::LogLevel::severity < ::cgx::util::log_level()) {        \
+  } else                                                                   \
+    ::cgx::util::detail::LogLine(::cgx::util::LogLevel::severity)

@@ -1,0 +1,53 @@
+// Online and batch statistics used by benches (step-time aggregation) and by
+// the adaptive-compression gradient-statistics collector.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cgx::util {
+
+// Welford's online mean/variance. Numerically stable for long benchmark runs.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  // Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile of a sample set (linear interpolation between order statistics).
+// q in [0, 1]. The input is copied; fine for bench-sized data.
+double percentile(std::span<const double> xs, double q);
+
+// Exponential moving average, used for the gradient-norm statistics that
+// drive adaptive bit-width assignment.
+class Ema {
+ public:
+  explicit Ema(double alpha) : alpha_(alpha) {}
+  void add(double x);
+  double value() const { return value_; }
+  bool empty() const { return empty_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool empty_ = true;
+};
+
+}  // namespace cgx::util

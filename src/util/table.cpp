@@ -1,0 +1,76 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace cgx::util {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (!header_.empty()) {
+    CGX_CHECK_EQ(row.size(), header_.size());
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::compact(double v) {
+  char buf[64];
+  if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+  } else if (v >= 1e4) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  }
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths;
+  auto grow = [&](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  if (!header_.empty()) grow(header_);
+  for (const auto& row : rows_) grow(row);
+
+  std::ostringstream out;
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out << " " << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    out << "|";
+    for (std::size_t w : widths) out << std::string(w + 2, '-') << "|";
+    out << "\n";
+  }
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void Table::print() const { std::cout << to_string() << std::flush; }
+
+}  // namespace cgx::util

@@ -1,0 +1,34 @@
+// ASCII table renderer for bench output.
+//
+// Every bench binary regenerates one of the paper's tables/figures and prints
+// it in the same row/column layout; this helper keeps the formatting uniform
+// (aligned columns, optional title, markdown-ish separators).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cgx::util {
+
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  // Formats a double with `precision` digits after the point.
+  static std::string num(double v, int precision = 2);
+  // Formats large counts with k/M suffixes (e.g. 260k items/s like Table 6).
+  static std::string compact(double v);
+
+  std::string to_string() const;
+  void print() const;  // to stdout
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cgx::util

@@ -1,0 +1,52 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// Used by the trainer to run per-device work and by compression kernels that
+// want intra-"GPU" parallelism. Tasks must not throw: device-thread work
+// reports failure through CHECK (which aborts) by design.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cgx::util {
+
+class ThreadPool {
+ public:
+  // threads == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueues a task; fire-and-forget. Use wait_idle() to join logically.
+  void submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and no task is running.
+  void wait_idle();
+
+  // Runs fn(i) for i in [0, n), partitioned into contiguous chunks across the
+  // pool, and blocks until all chunks complete. Safe to call from a non-pool
+  // thread only.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace cgx::util

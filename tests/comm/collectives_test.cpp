@@ -1,0 +1,232 @@
+#include "comm/collectives.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "comm/transports.h"
+#include "util/rng.h"
+
+namespace cgx::comm {
+namespace {
+
+// Reference: what the allreduce result must be for rank-dependent inputs.
+std::vector<float> fill_rank_input(int rank, std::size_t d) {
+  util::Rng rng(1000 + static_cast<std::uint64_t>(rank));
+  std::vector<float> v(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    v[i] = static_cast<float>(rng.next_gaussian());
+  }
+  return v;
+}
+
+std::vector<float> reference_sum(int n, std::size_t d) {
+  std::vector<float> sum(d, 0.0f);
+  for (int r = 0; r < n; ++r) {
+    const auto v = fill_rank_input(r, d);
+    for (std::size_t i = 0; i < d; ++i) sum[i] += v[i];
+  }
+  return sum;
+}
+
+TEST(ChunkRange, BalancedSplit) {
+  // 10 elements over 4 ranks: sizes 3,3,2,2, contiguous and complete.
+  std::size_t covered = 0;
+  for (int i = 0; i < 4; ++i) {
+    const auto [first, last] = chunk_range(10, 4, i);
+    EXPECT_EQ(first, covered);
+    covered = last;
+    EXPECT_LE(last - first, 3u);
+    EXPECT_GE(last - first, 2u);
+  }
+  EXPECT_EQ(covered, 10u);
+}
+
+TEST(ChunkRange, MoreRanksThanElements) {
+  std::size_t total = 0;
+  for (int i = 0; i < 8; ++i) {
+    const auto [first, last] = chunk_range(3, 8, i);
+    total += last - first;
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(ChunkRange, SingleRankTakesAll) {
+  const auto [first, last] = chunk_range(17, 1, 0);
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(last, 17u);
+}
+
+// Sweep: every scheme x several world sizes x several vector lengths
+// (including d < n and d not divisible by n) x every backend must produce
+// the exact same sums on every rank.
+using AllreduceParam = std::tuple<ReductionScheme, int, std::size_t, Backend>;
+
+class AllreduceTest : public ::testing::TestWithParam<AllreduceParam> {};
+
+TEST_P(AllreduceTest, MatchesReferenceOnAllRanks) {
+  const auto [scheme, n, d, backend] = GetParam();
+  auto transport = make_transport(backend, n);
+  const auto want = reference_sum(n, d);
+  run_world(*transport, [&, scheme_ = scheme, d_ = d](Comm& comm) {
+    auto data = fill_rank_input(comm.rank(), d_);
+    allreduce(comm, data, scheme_);
+    ASSERT_EQ(data.size(), want.size());
+    for (std::size_t i = 0; i < d_; ++i) {
+      // Ring/tree sum in different orders; allow float reassociation slack.
+      EXPECT_NEAR(data[i], want[i], 1e-4f)
+          << "rank " << comm.rank() << " index " << i;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllreduceTest,
+    ::testing::Combine(
+        ::testing::Values(ReductionScheme::ScatterReduceAllgather,
+                          ReductionScheme::Ring, ReductionScheme::Tree),
+        ::testing::Values(1, 2, 3, 4, 5, 8),
+        ::testing::Values(std::size_t{1}, std::size_t{2}, std::size_t{37},
+                          std::size_t{1024}, std::size_t{1000}),
+        ::testing::Values(Backend::Shm)),
+    [](const auto& info) {
+      return std::string(reduction_scheme_name(std::get<0>(info.param))) +
+             "_n" + std::to_string(std::get<1>(info.param)) + "_d" +
+             std::to_string(std::get<2>(info.param)) + "_" +
+             backend_name(std::get<3>(info.param));
+    });
+
+// The same sweep on the other two backends at one representative size each,
+// to keep runtimes modest while covering the transport matrix.
+INSTANTIATE_TEST_SUITE_P(
+    Backends, AllreduceTest,
+    ::testing::Combine(
+        ::testing::Values(ReductionScheme::ScatterReduceAllgather,
+                          ReductionScheme::Ring, ReductionScheme::Tree),
+        ::testing::Values(4), ::testing::Values(std::size_t{999}),
+        ::testing::Values(Backend::Mpi, Backend::Nccl)),
+    [](const auto& info) {
+      return std::string(reduction_scheme_name(std::get<0>(info.param))) +
+             "_n" + std::to_string(std::get<1>(info.param)) + "_d" +
+             std::to_string(std::get<2>(info.param)) + "_" +
+             backend_name(std::get<3>(info.param));
+    });
+
+TEST(Broadcast, FromEveryRoot) {
+  constexpr int kWorld = 5;
+  for (int root = 0; root < kWorld; ++root) {
+    ShmTransport transport(kWorld);
+    run_world(transport, [root](Comm& comm) {
+      std::vector<float> data(100);
+      if (comm.rank() == root) {
+        for (std::size_t i = 0; i < data.size(); ++i) {
+          data[i] = static_cast<float>(i) + root;
+        }
+      }
+      broadcast(comm, data, root);
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        EXPECT_EQ(data[i], static_cast<float>(i) + root);
+      }
+    });
+  }
+}
+
+TEST(Allgather, CollectsInRankOrder) {
+  constexpr int kWorld = 4;
+  ShmTransport transport(kWorld);
+  run_world(transport, [](Comm& comm) {
+    std::vector<float> in(3, static_cast<float>(comm.rank()));
+    std::vector<float> out(3 * kWorld);
+    allgather(comm, in, out);
+    for (int p = 0; p < kWorld; ++p) {
+      for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(out[static_cast<std::size_t>(p) * 3 + i],
+                  static_cast<float>(p));
+      }
+    }
+  });
+}
+
+TEST(ReduceScatter, OwnChunkHoldsFullSum) {
+  constexpr int kWorld = 4;
+  constexpr std::size_t kD = 22;
+  ShmTransport transport(kWorld);
+  const auto want = reference_sum(kWorld, kD);
+  run_world(transport, [&](Comm& comm) {
+    auto data = fill_rank_input(comm.rank(), kD);
+    reduce_scatter(comm, data);
+    const auto [first, last] = chunk_range(kD, kWorld, comm.rank());
+    for (std::size_t i = first; i < last; ++i) {
+      EXPECT_NEAR(data[i], want[i], 1e-4f);
+    }
+  });
+}
+
+// Communication volume cross-check: the bytes each algorithm actually put on
+// the wire must match the analytic costs from paper §3.
+TEST(CommunicationVolume, MatchesAnalyticFormulas) {
+  constexpr int kWorld = 4;
+  constexpr std::size_t kD = 1024;  // divisible by kWorld for exact counts
+  constexpr std::size_t kBytes = kD * sizeof(float);
+
+  {  // SRA: each rank sends (N-1)/N of the vector per round, two rounds.
+    ShmTransport t(kWorld);
+    run_world(t, [](Comm& comm) {
+      std::vector<float> data(kD, 1.0f);
+      allreduce_sra(comm, data);
+    });
+    const std::size_t per_rank = t.recorder().bytes_sent_by(0);
+    EXPECT_EQ(per_rank, 2 * kBytes * (kWorld - 1) / kWorld);
+  }
+  {  // Ring: same volume as SRA, spread over 2(N-1) steps.
+    ShmTransport t(kWorld);
+    run_world(t, [](Comm& comm) {
+      std::vector<float> data(kD, 1.0f);
+      allreduce_ring(comm, data);
+    });
+    const std::size_t per_rank = t.recorder().bytes_sent_by(0);
+    EXPECT_EQ(per_rank, 2 * kBytes * (kWorld - 1) / kWorld);
+  }
+  {  // Tree: total traffic is 2 * d * (N-1) full-vector transfers.
+    ShmTransport t(kWorld);
+    run_world(t, [](Comm& comm) {
+      std::vector<float> data(kD, 1.0f);
+      allreduce_tree(comm, data);
+    });
+    EXPECT_EQ(t.recorder().total_bytes(), 2 * kBytes * (kWorld - 1));
+  }
+}
+
+TEST(Allreduce, WorldOfOneIsNoOp) {
+  ShmTransport transport(1);
+  run_world(transport, [](Comm& comm) {
+    std::vector<float> data = {1.0f, 2.0f};
+    for (auto scheme :
+         {ReductionScheme::ScatterReduceAllgather, ReductionScheme::Ring,
+          ReductionScheme::Tree}) {
+      allreduce(comm, data, scheme);
+    }
+    EXPECT_EQ(data[0], 1.0f);
+    EXPECT_EQ(data[1], 2.0f);
+  });
+  EXPECT_EQ(transport.recorder().total_bytes(), 0u);
+}
+
+TEST(Allreduce, RepeatedCallsStayConsistent) {
+  // Back-to-back collectives on the same transport must not cross-talk.
+  constexpr int kWorld = 3;
+  ShmTransport transport(kWorld);
+  run_world(transport, [](Comm& comm) {
+    for (int iter = 0; iter < 20; ++iter) {
+      std::vector<float> data(50, static_cast<float>(comm.rank() + iter));
+      allreduce_sra(comm, data);
+      const float want = static_cast<float>(0 + 1 + 2 + 3 * iter);
+      for (float v : data) EXPECT_EQ(v, want);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace cgx::comm

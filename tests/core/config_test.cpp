@@ -1,0 +1,96 @@
+#include "core/compression_config.h"
+
+#include <gtest/gtest.h>
+
+namespace cgx::core {
+namespace {
+
+TEST(CompressionConfig, CgxDefaultExcludesSensitiveLayers) {
+  const CompressionConfig config = CompressionConfig::cgx_default();
+  // §3: biases and batch/layer norms ship in full precision.
+  EXPECT_EQ(config.for_layer("encoder.0.bias", 4096).method, Method::None);
+  EXPECT_EQ(config.for_layer("features.bn1.weight", 4096).method,
+            Method::None);
+  EXPECT_EQ(config.for_layer("block.ln_2.weight", 4096).method, Method::None);
+  EXPECT_EQ(config.for_layer("layernorm.weight", 4096).method, Method::None);
+  // Everything else: 4-bit / bucket-128 QSGD (§4 default).
+  const LayerCompression cfg = config.for_layer("encoder.0.weight", 4096);
+  EXPECT_EQ(cfg.method, Method::Qsgd);
+  EXPECT_EQ(cfg.bits, 4u);
+  EXPECT_EQ(cfg.bucket_size, 128u);
+}
+
+TEST(CompressionConfig, SmallLayersRoutedToFullPrecision) {
+  const CompressionConfig config = CompressionConfig::cgx_default();
+  EXPECT_EQ(config.for_layer("tiny.weight", 8).method, Method::None);
+  EXPECT_EQ(config.for_layer("big.weight", 100000).method, Method::Qsgd);
+}
+
+TEST(CompressionConfig, LaterRulesWin) {
+  CompressionConfig config = CompressionConfig::cgx_default();
+  LayerCompression topk;
+  topk.method = Method::TopK;
+  topk.topk_ratio = 0.01;
+  topk.error_feedback = true;
+  config.set_layer("embed", topk);
+  EXPECT_EQ(config.for_layer("embed.weight", 1 << 20).method, Method::TopK);
+
+  LayerCompression qsgd8;
+  qsgd8.method = Method::Qsgd;
+  qsgd8.bits = 8;
+  config.set_layer("embed.weight", qsgd8);
+  EXPECT_EQ(config.for_layer("embed.weight", 1 << 20).bits, 8u);
+}
+
+TEST(CompressionConfig, ExcludeBeatsRules) {
+  CompressionConfig config = CompressionConfig::cgx_default();
+  LayerCompression cfg;
+  cfg.method = Method::Qsgd;
+  config.set_layer("bias", cfg);  // rules cannot override an exclusion
+  EXPECT_EQ(config.for_layer("fc.bias", 4096).method, Method::None);
+}
+
+TEST(CompressionConfig, ExactRulesDoNotLeakToSuperstrings) {
+  CompressionConfig config;
+  LayerCompression two;
+  two.method = Method::Qsgd;
+  two.bits = 2;
+  config.set_layer_exact("fc1", two);
+  EXPECT_EQ(config.for_layer("fc1", 4096).bits, 2u);
+  EXPECT_EQ(config.for_layer("fc10", 4096).bits, 4u);  // default untouched
+}
+
+TEST(CompressionConfig, SetLayerQuantization) {
+  CompressionConfig config = CompressionConfig::cgx_default();
+  config.set_layer_quantization("decoder.weight", 2, 64);
+  const LayerCompression cfg = config.for_layer("decoder.weight", 1 << 16);
+  EXPECT_EQ(cfg.bits, 2u);
+  EXPECT_EQ(cfg.bucket_size, 64u);
+}
+
+TEST(CompressionConfig, UncompressedConfig) {
+  const CompressionConfig config = CompressionConfig::uncompressed();
+  EXPECT_EQ(config.for_layer("anything", 1 << 20).method, Method::None);
+}
+
+TEST(WireBytes, ReflectsMethod) {
+  LayerCompression none;
+  none.method = Method::None;
+  EXPECT_EQ(wire_bytes(none, 1024, 0), 4096u);
+
+  LayerCompression fp16;
+  fp16.method = Method::Fp16;
+  EXPECT_EQ(wire_bytes(fp16, 1024, 0), 2048u);
+
+  LayerCompression qsgd;  // 4 bits / bucket 128
+  EXPECT_LT(wire_bytes(qsgd, 1024, 0), 4096u / 7);
+}
+
+TEST(MethodName, AllNamed) {
+  EXPECT_STREQ(method_name(Method::Qsgd), "qsgd");
+  EXPECT_STREQ(method_name(Method::PowerSgd), "powersgd");
+  EXPECT_STREQ(method_name(Method::None), "none");
+}
+
+}  // namespace
+}  // namespace cgx::core

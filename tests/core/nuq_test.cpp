@@ -1,0 +1,142 @@
+#include "core/nuq.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/compression_config.h"
+#include "core/qsgd.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace cgx::core {
+namespace {
+
+std::vector<float> gaussian(std::size_t n, std::uint64_t seed,
+                            float scale = 1.0f) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = scale * static_cast<float>(rng.next_gaussian());
+  return v;
+}
+
+TEST(Nuq, LevelGridIsExponential) {
+  // 4 bits: 8 magnitude levels {0, 1/64, 1/32, 1/16, 1/8, 1/4, 1/2, 1}.
+  EXPECT_FLOAT_EQ(NuqCompressor::level_value(0, 4), 0.0f);
+  EXPECT_FLOAT_EQ(NuqCompressor::level_value(1, 4), 1.0f / 64);
+  EXPECT_FLOAT_EQ(NuqCompressor::level_value(4, 4), 1.0f / 8);
+  EXPECT_FLOAT_EQ(NuqCompressor::level_value(7, 4), 1.0f);
+}
+
+TEST(Nuq, SameWireSizeAsQsgd) {
+  NuqCompressor nuq(4, 128);
+  QsgdCompressor qsgd(4, 128);
+  for (std::size_t n : {100ul, 1000ul, 4096ul}) {
+    EXPECT_EQ(nuq.compressed_size(n), qsgd.compressed_size(n));
+  }
+}
+
+TEST(Nuq, RoundTripValuesOnExponentialGrid) {
+  NuqCompressor c(4, 128);
+  util::Rng rng(3);
+  const auto in = gaussian(512, 4);
+  std::vector<std::byte> payload(c.compressed_size(in.size()));
+  c.compress(in, payload, rng);
+  std::vector<float> out(in.size());
+  c.decompress(payload, out);
+  for (std::size_t b = 0; b < in.size(); b += 128) {
+    const auto norm = static_cast<float>(
+        tensor::l2_norm(std::span<const float>(in).subspan(b, 128)));
+    for (std::size_t i = b; i < b + 128; ++i) {
+      const float a = std::fabs(out[i]) / norm;
+      bool on_grid = a < 1e-6f;
+      for (unsigned k = 1; k < 8; ++k) {
+        if (std::fabs(a - NuqCompressor::level_value(k, 4)) < 1e-5f) {
+          on_grid = true;
+        }
+      }
+      EXPECT_TRUE(on_grid) << "value " << a;
+    }
+  }
+}
+
+TEST(Nuq, Unbiased) {
+  NuqCompressor c(4, 64);
+  util::Rng rng(5);
+  const auto in = gaussian(64, 6, 0.5f);
+  std::vector<double> mean(in.size(), 0.0);
+  constexpr int kReps = 4000;
+  std::vector<std::byte> payload(c.compressed_size(in.size()));
+  std::vector<float> out(in.size());
+  for (int r = 0; r < kReps; ++r) {
+    c.compress(in, payload, rng);
+    c.decompress(payload, out);
+    for (std::size_t i = 0; i < in.size(); ++i) mean[i] += out[i];
+  }
+  const double norm = tensor::l2_norm(in);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_NEAR(mean[i] / kReps, in[i],
+                4.0 * norm / std::sqrt(double(kReps)) + 2e-3)
+        << i;
+  }
+}
+
+TEST(Nuq, LowerErrorThanQsgdOnHeavyTailedData) {
+  // The motivation for the exponential grid: when most coordinates are
+  // small relative to the bucket norm, NUQ's dense small levels beat the
+  // uniform grid.
+  util::Rng rng(7);
+  std::vector<float> in(4096);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<float>(rng.next_gaussian()) * 0.01f;
+    if (i % 512 == 0) in[i] = static_cast<float>(rng.next_gaussian());
+  }
+  auto total_error = [&](Compressor& c) {
+    std::vector<std::byte> payload(c.compressed_size(in.size()));
+    std::vector<float> out(in.size());
+    double err = 0.0;
+    for (int rep = 0; rep < 20; ++rep) {
+      c.compress(in, payload, rng);
+      c.decompress(payload, out);
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        const double d = double(out[i]) - in[i];
+        err += d * d;
+      }
+    }
+    return err;
+  };
+  NuqCompressor nuq(4, 128);
+  QsgdCompressor qsgd(4, 128);
+  EXPECT_LT(total_error(nuq), total_error(qsgd));
+}
+
+TEST(Nuq, FactoryIntegration) {
+  LayerCompression cfg;
+  cfg.method = Method::Nuq;
+  cfg.bits = 3;
+  cfg.bucket_size = 64;
+  auto c = make_compressor(cfg, 0);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->name().rfind("nuq", 0), 0u);
+  util::Rng rng(8);
+  const auto in = gaussian(200, 9);
+  std::vector<std::byte> payload(c->compressed_size(in.size()));
+  const std::size_t written = c->compress(in, payload, rng);
+  EXPECT_EQ(written, c->compressed_size(in.size()));
+  std::vector<float> out(in.size());
+  c->decompress({payload.data(), written}, out);
+}
+
+TEST(Nuq, ZeroBucketStaysZero) {
+  NuqCompressor c(4, 32);
+  util::Rng rng(10);
+  std::vector<float> in(64, 0.0f);
+  std::vector<std::byte> payload(c.compressed_size(in.size()));
+  c.compress(in, payload, rng);
+  std::vector<float> out(in.size());
+  c.decompress(payload, out);
+  for (float v : out) EXPECT_EQ(v, 0.0f);
+}
+
+}  // namespace
+}  // namespace cgx::core

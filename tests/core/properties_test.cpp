@@ -1,0 +1,213 @@
+// Cross-cutting property tests on semantic invariants that individual unit
+// tests don't pin down.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+
+#include "comm/transports.h"
+#include "core/compressed_allreduce.h"
+#include "core/compression_config.h"
+#include "simgpu/cost_model.h"
+#include "simgpu/machines.h"
+#include "simgpu/timeline.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace cgx {
+namespace {
+
+// ---- error feedback THROUGH the collective --------------------------------
+// The chunk->compressor binding of compressed_allreduce exists so that
+// error-feedback residuals attach to stable data regions. With a constant
+// gradient and TopK(5%)+EF, the time-average of the allreduce output must
+// converge to the true sum even though each step transmits only 5% of the
+// coordinates.
+TEST(ErrorFeedbackThroughCollective, TimeAverageConvergesToTrueSum) {
+  constexpr int kWorld = 4;
+  constexpr std::size_t kD = 400;
+  constexpr int kSteps = 300;
+
+  core::LayerCompression cfg;
+  cfg.method = core::Method::TopK;
+  cfg.topk_ratio = 0.05;
+  cfg.error_feedback = true;
+  std::vector<std::vector<std::unique_ptr<core::Compressor>>> state(kWorld);
+  for (auto& chunks : state) {
+    for (int c = 0; c < kWorld; ++c) {
+      chunks.push_back(core::make_compressor(cfg, 0));
+    }
+  }
+
+  std::vector<std::vector<float>> grads;
+  std::vector<float> want(kD, 0.0f);
+  for (int r = 0; r < kWorld; ++r) {
+    util::Rng rng(31337 + static_cast<std::uint64_t>(r));
+    std::vector<float> g(kD);
+    for (auto& v : g) v = static_cast<float>(rng.next_gaussian());
+    tensor::add_inplace(want, g);
+    grads.push_back(std::move(g));
+  }
+
+  std::vector<double> mean(kD, 0.0);
+  std::mutex mutex;
+  comm::ShmTransport transport(kWorld);
+  comm::run_world(transport, [&](comm::Comm& comm) {
+    util::Rng rng(9 + static_cast<std::uint64_t>(comm.rank()));
+    std::vector<core::Compressor*> chunks;
+    for (auto& c : state[static_cast<std::size_t>(comm.rank())]) {
+      chunks.push_back(c.get());
+    }
+    for (int s = 0; s < kSteps; ++s) {
+      auto data = grads[static_cast<std::size_t>(comm.rank())];
+      core::compressed_allreduce(
+          comm, data, chunks, rng,
+          comm::ReductionScheme::ScatterReduceAllgather);
+      if (comm.rank() == 0) {
+        std::lock_guard<std::mutex> lock(mutex);
+        for (std::size_t i = 0; i < kD; ++i) mean[i] += data[i];
+      }
+      comm.barrier();
+    }
+  });
+  double err_sq = 0.0, want_sq = 0.0;
+  for (std::size_t i = 0; i < kD; ++i) {
+    const double d = mean[i] / kSteps - want[i];
+    err_sq += d * d;
+    want_sq += static_cast<double>(want[i]) * want[i];
+  }
+  EXPECT_LT(std::sqrt(err_sq / want_sq), 0.12);
+}
+
+// ---- cost model monotonicity ----------------------------------------------
+// Adding flows or bytes never makes a round faster.
+TEST(CostModelProperties, RoundTimeMonotoneInFlowsAndBytes) {
+  const auto machine = simgpu::make_rtx3090_8x();
+  comm::ShmTransport shm(8);
+  const simgpu::CostModel cost(machine.topology, shm.profile());
+  util::Rng rng(71);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<simgpu::Flow> flows;
+    const std::size_t n = 1 + rng.next_below(10);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int src = static_cast<int>(rng.next_below(8));
+      int dst = static_cast<int>(rng.next_below(8));
+      if (dst == src) dst = (dst + 1) % 8;
+      flows.push_back(
+          {src, dst, 1e3 + static_cast<double>(rng.next_below(1 << 22))});
+    }
+    const double base = cost.round_seconds(flows);
+    // More bytes on one flow: never faster.
+    auto bigger = flows;
+    bigger[rng.next_below(bigger.size())].bytes *= 2.0;
+    EXPECT_GE(cost.round_seconds(bigger), base - 1e-15);
+    // One more flow: never faster.
+    auto more = flows;
+    more.push_back({0, 1, 1e6});
+    EXPECT_GE(cost.round_seconds(more), base - 1e-15);
+  }
+}
+
+TEST(CostModelProperties, AllreduceMonotoneInBytes) {
+  const auto machine = simgpu::make_rtx3090_8x();
+  comm::ShmTransport shm(8);
+  const simgpu::CostModel cost(machine.topology, shm.profile());
+  const auto devices = simgpu::all_devices(machine.topology);
+  for (auto scheme :
+       {comm::ReductionScheme::ScatterReduceAllgather,
+        comm::ReductionScheme::Ring, comm::ReductionScheme::Tree}) {
+    double prev = 0.0;
+    for (double bytes : {1e3, 1e5, 1e7, 1e9}) {
+      const double t = cost.allreduce_seconds(devices, bytes, scheme);
+      EXPECT_GE(t, prev) << comm::reduction_scheme_name(scheme);
+      prev = t;
+    }
+  }
+}
+
+// ---- timeline invariants ----------------------------------------------------
+TEST(TimelineProperties, StepInvariantsUnderRandomSpecs) {
+  util::Rng rng(91);
+  for (int trial = 0; trial < 200; ++trial) {
+    simgpu::StepSpec spec;
+    spec.forward_s = rng.next_double();
+    const std::size_t layers = 1 + rng.next_below(20);
+    double comm_total = 0.0;
+    for (std::size_t l = 0; l < layers; ++l) {
+      spec.backward_s.push_back(rng.next_double() * 0.1);
+      const double c =
+          rng.next_below(3) == 0 ? 0.0 : rng.next_double() * 0.2;
+      spec.comm_s.push_back(c);
+      comm_total += c;
+    }
+    spec.optimizer_s = rng.next_double() * 0.01;
+    spec.overlap = rng.next_below(2) == 0;
+
+    const auto r = simgpu::simulate_step(spec);
+    // Step at least as long as pure compute, and never longer than the
+    // fully serialized schedule.
+    EXPECT_GE(r.step_s, r.compute_s - 1e-12);
+    EXPECT_LE(r.step_s, r.compute_s + comm_total + 1e-9);
+    EXPECT_GE(r.exposed_comm_s, -1e-12);
+    EXPECT_LE(r.exposed_comm_s, comm_total + 1e-9);
+    EXPECT_NEAR(r.comm_total_s, comm_total, 1e-9);
+
+    // Overlap can only help.
+    simgpu::StepSpec barrier = spec;
+    barrier.overlap = false;
+    simgpu::StepSpec overlapped = spec;
+    overlapped.overlap = true;
+    EXPECT_LE(simgpu::simulate_step(overlapped).step_s,
+              simgpu::simulate_step(barrier).step_s + 1e-12);
+  }
+}
+
+// ---- compressed size honesty ------------------------------------------------
+// compressed_size() must be exactly what compress() writes, for every
+// method, across awkward sizes — receivers size their buffers from it.
+TEST(CompressorProperties, CompressedSizeIsExact) {
+  util::Rng rng(101);
+  for (core::Method method :
+       {core::Method::None, core::Method::Fp16, core::Method::Qsgd,
+        core::Method::TopK, core::Method::TernGrad, core::Method::OneBit,
+        core::Method::Fake}) {
+    core::LayerCompression cfg;
+    cfg.method = method;
+    cfg.topk_ratio = 0.07;
+    cfg.fake_ratio = 3.0;
+    for (std::size_t n : {1ul, 2ul, 7ul, 63ul, 64ul, 65ul, 127ul, 128ul,
+                          129ul, 1000ul, 4097ul}) {
+      auto compressor = core::make_compressor(cfg, 0);
+      std::vector<float> in(n);
+      for (auto& v : in) v = static_cast<float>(rng.next_gaussian());
+      std::vector<std::byte> payload(compressor->compressed_size(n));
+      const std::size_t written = compressor->compress(in, payload, rng);
+      EXPECT_EQ(written, compressor->compressed_size(n))
+          << core::method_name(method) << " n=" << n;
+      std::vector<float> out(n);
+      compressor->decompress({payload.data(), written}, out);
+      for (float v : out) EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+// ---- logging ---------------------------------------------------------------
+TEST(Logging, ParseLevels) {
+  using util::LogLevel;
+  EXPECT_EQ(util::parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(util::parse_log_level("INFO"), LogLevel::Info);
+  EXPECT_EQ(util::parse_log_level("Warning"), LogLevel::Warn);
+  EXPECT_EQ(util::parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(util::parse_log_level("off"), LogLevel::Off);
+  EXPECT_EQ(util::parse_log_level("garbage"), LogLevel::Warn);
+}
+
+TEST(Logging, LevelGateWorks) {
+  const util::LogLevel before = util::log_level();
+  util::set_log_level(util::LogLevel::Off);
+  CGX_LOG(Error) << "must not crash while disabled";
+  util::set_log_level(before);
+}
+
+}  // namespace
+}  // namespace cgx

@@ -1,0 +1,130 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace cgx::data {
+namespace {
+
+TEST(Blobs, DeterministicPerRankAndStep) {
+  BlobDataset dataset(3, 4, 1);
+  const auto a = dataset.batch(8, 0, 5);
+  const auto b = dataset.batch(8, 0, 5);
+  for (std::size_t i = 0; i < a.input.numel(); ++i) {
+    EXPECT_EQ(a.input.at(i), b.input.at(i));
+  }
+  EXPECT_EQ(a.targets, b.targets);
+}
+
+TEST(Blobs, RanksSeeDisjointData) {
+  BlobDataset dataset(3, 4, 1);
+  const auto a = dataset.batch(8, 0, 5);
+  const auto b = dataset.batch(8, 1, 5);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.input.numel(); ++i) {
+    if (a.input.at(i) != b.input.at(i)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Blobs, TargetsInRangeAndAllClassesAppear) {
+  BlobDataset dataset(4, 3, 2);
+  std::set<int> seen;
+  for (std::size_t step = 0; step < 10; ++step) {
+    const auto batch = dataset.batch(32, 0, step);
+    for (int t : batch.targets) {
+      ASSERT_GE(t, 0);
+      ASSERT_LT(t, 4);
+      seen.insert(t);
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Images, ShapeAndDeterminism) {
+  SyntheticImages dataset(5, 3, 8, 3);
+  const auto batch = dataset.batch(4, 0, 0);
+  EXPECT_EQ(batch.input.shape(), (tensor::Shape{4, 3, 8, 8}));
+  const auto again = dataset.batch(4, 0, 0);
+  for (std::size_t i = 0; i < batch.input.numel(); ++i) {
+    EXPECT_EQ(batch.input.at(i), again.input.at(i));
+  }
+}
+
+TEST(Markov, TransitionsLearnable) {
+  MarkovText dataset(16, 4);
+  // Low temperature -> entropy rate well below uniform log(16).
+  EXPECT_LT(dataset.entropy_rate(), std::log(16.0));
+  EXPECT_GT(dataset.entropy_rate(), 0.0);
+}
+
+TEST(Markov, TargetsAreNextTokens) {
+  MarkovText dataset(8, 5);
+  const auto batch = dataset.batch(2, 10, 0, 0);
+  EXPECT_EQ(batch.input.shape(), (tensor::Shape{2, 10}));
+  EXPECT_EQ(batch.targets.size(), 20u);
+  // Consecutive input tokens must chain: input[t+1] == target[t].
+  for (std::size_t b = 0; b < 2; ++b) {
+    for (std::size_t t = 0; t + 1 < 10; ++t) {
+      EXPECT_EQ(static_cast<int>(batch.input.at(b * 10 + t + 1)),
+                batch.targets[b * 10 + t]);
+    }
+  }
+}
+
+TEST(Markov, TokensInVocab) {
+  MarkovText dataset(12, 6);
+  const auto batch = dataset.batch(4, 20, 1, 3);
+  for (std::size_t i = 0; i < batch.input.numel(); ++i) {
+    EXPECT_GE(batch.input.at(i), 0.0f);
+    EXPECT_LT(batch.input.at(i), 12.0f);
+  }
+  for (int t : batch.targets) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 12);
+  }
+}
+
+TEST(SpanQa, MarkersBracketTheSpan) {
+  SpanQa dataset(20, 24, 7);
+  const auto batch = dataset.batch(16, 0, 0);
+  for (std::size_t b = 0; b < 16; ++b) {
+    const int start = batch.start[b];
+    const int end = batch.end[b];
+    ASSERT_GE(start, 1);
+    ASSERT_GE(end, start);
+    ASSERT_LT(end, 23);
+    EXPECT_EQ(batch.tokens.at(b * 24 + start - 1), 0.0f);  // open marker
+    EXPECT_EQ(batch.tokens.at(b * 24 + end + 1), 1.0f);    // close marker
+  }
+}
+
+TEST(SpanQa, PerfectLogitsScorePerfectly) {
+  SpanQa dataset(20, 16, 8);
+  const auto batch = dataset.batch(4, 0, 0);
+  tensor::Tensor logits({4, 16, 2});
+  for (std::size_t b = 0; b < 4; ++b) {
+    logits.at((b * 16 + batch.start[b]) * 2 + 0) = 10.0f;
+    logits.at((b * 16 + batch.end[b]) * 2 + 1) = 10.0f;
+  }
+  EXPECT_DOUBLE_EQ(SpanQa::exact_match(logits, batch), 1.0);
+  EXPECT_DOUBLE_EQ(SpanQa::span_f1(logits, batch), 1.0);
+}
+
+TEST(SpanQa, PartialOverlapGetsPartialF1) {
+  SpanQa dataset(20, 16, 9);
+  auto batch = dataset.batch(1, 0, 0);
+  batch.start[0] = 4;
+  batch.end[0] = 7;  // gold span [4,7]
+  tensor::Tensor logits({1, 16, 2});
+  logits.at((0 * 16 + 6) * 2 + 0) = 10.0f;  // predicted [6,9]
+  logits.at((0 * 16 + 9) * 2 + 1) = 10.0f;
+  EXPECT_DOUBLE_EQ(SpanQa::exact_match(logits, batch), 0.0);
+  // Overlap 2 of pred 4 and gold 4: P = R = 0.5 -> F1 = 0.5.
+  EXPECT_NEAR(SpanQa::span_f1(logits, batch), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace cgx::data

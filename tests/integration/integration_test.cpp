@@ -1,0 +1,223 @@
+// End-to-end integration tests: the full stack (data -> model -> trainer ->
+// engine -> transport -> collectives -> compressors) exercised across the
+// configuration matrix.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+#include <tuple>
+
+#include "comm/transports.h"
+#include "core/compressed_allreduce.h"
+#include "core/engine.h"
+#include "data/synthetic.h"
+#include "models/small_models.h"
+#include "nn/train.h"
+#include "tensor/tensor_ops.h"
+
+namespace cgx {
+namespace {
+
+// ---------------------------------------------------------------- training
+// Real training must converge for every (backend, scheme) combination.
+
+using TrainParam = std::tuple<comm::Backend, comm::ReductionScheme>;
+
+class TrainMatrix : public ::testing::TestWithParam<TrainParam> {};
+
+TEST_P(TrainMatrix, MlpConvergesUnderCompression) {
+  const auto [backend, scheme] = GetParam();
+  data::BlobDataset dataset(4, 8, 99);
+  nn::TrainOptions options;
+  options.world_size = 4;
+  options.steps = 120;
+  options.seed = 5;
+  options.backend = backend;
+  auto result = nn::train_distributed(
+      [](util::Rng& rng) { return models::make_mlp(8, 24, 4, rng); },
+      [](std::vector<nn::Param*> params) {
+        return std::make_unique<nn::Sgd>(std::move(params),
+                                         nn::constant_lr(0.05), 0.9);
+      },
+      [scheme_ = scheme](const tensor::LayerLayout& layout, int world) {
+        core::EngineOptions engine_options;
+        engine_options.scheme = scheme_;
+        return std::make_unique<core::CgxEngine>(
+            layout, core::CompressionConfig::cgx_default(), world,
+            engine_options);
+      },
+      [&](int rank, std::size_t step) {
+        auto b = dataset.batch(16, rank, step);
+        return nn::Batch{std::move(b.input), std::move(b.targets)};
+      },
+      nn::make_xent_loss(4), options);
+  EXPECT_LT(result.final_loss, 0.6)
+      << comm::backend_name(backend) << "/"
+      << comm::reduction_scheme_name(scheme);
+  EXPECT_FALSE(std::isnan(result.final_loss));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsTimesSchemes, TrainMatrix,
+    ::testing::Combine(
+        ::testing::Values(comm::Backend::Shm, comm::Backend::Mpi,
+                          comm::Backend::Nccl),
+        ::testing::Values(comm::ReductionScheme::ScatterReduceAllgather,
+                          comm::ReductionScheme::Ring,
+                          comm::ReductionScheme::Tree)),
+    [](const auto& info) {
+      return std::string(comm::backend_name(std::get<0>(info.param))) +
+             "_" + comm::reduction_scheme_name(std::get<1>(info.param));
+    });
+
+// -------------------------------------------------------------- operators
+// Every compression method survives a full compressed allreduce on every
+// scheme: payload sizes line up, all ranks finish identical, and unbiased
+// methods land near the true sum.
+
+using OpParam = std::tuple<core::Method, comm::ReductionScheme>;
+
+class OperatorMatrix : public ::testing::TestWithParam<OpParam> {};
+
+TEST_P(OperatorMatrix, CompressedAllreduceRuns) {
+  const auto [method, scheme] = GetParam();
+  constexpr int kWorld = 4;
+  constexpr std::size_t kD = 1536;  // divisible by kWorld: clean chunks
+  core::LayerCompression cfg;
+  cfg.method = method;
+  cfg.topk_ratio = 0.1;
+  cfg.rank = 2;
+  cfg.fake_ratio = 4.0;
+  // Biased operators need error feedback to be meaningful, but the
+  // collective must run either way.
+  std::vector<std::vector<std::unique_ptr<core::Compressor>>> state(kWorld);
+  for (auto& chunks : state) {
+    for (int c = 0; c < kWorld; ++c) {
+      chunks.push_back(core::make_compressor(cfg, /*rows=*/32));
+    }
+  }
+
+  std::vector<float> want(kD, 0.0f);
+  std::vector<std::vector<float>> inputs;
+  for (int r = 0; r < kWorld; ++r) {
+    util::Rng rng(4242 + static_cast<std::uint64_t>(r));
+    std::vector<float> v(kD);
+    for (auto& x : v) x = static_cast<float>(rng.next_gaussian());
+    tensor::add_inplace(want, v);
+    inputs.push_back(std::move(v));
+  }
+
+  std::vector<std::vector<float>> results(kWorld);
+  std::mutex mutex;
+  comm::ShmTransport transport(kWorld);
+  comm::run_world(transport, [&](comm::Comm& comm) {
+    auto data = inputs[static_cast<std::size_t>(comm.rank())];
+    util::Rng rng(77 + static_cast<std::uint64_t>(comm.rank()));
+    std::vector<core::Compressor*> chunks;
+    for (auto& c : state[static_cast<std::size_t>(comm.rank())]) {
+      chunks.push_back(c.get());
+    }
+    core::compressed_allreduce(comm, data, chunks, rng, scheme);
+    std::lock_guard<std::mutex> lock(mutex);
+    results[static_cast<std::size_t>(comm.rank())] = std::move(data);
+  });
+
+  for (int r = 1; r < kWorld; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)], results[0])
+        << "rank divergence";
+  }
+  for (float v : results[0]) EXPECT_TRUE(std::isfinite(v));
+  // Lossless and near-lossless operators must track the true sum.
+  if (method == core::Method::None || method == core::Method::Fp16) {
+    std::vector<float> diff(kD);
+    tensor::sub(results[0], want, diff);
+    EXPECT_LT(tensor::l2_norm(diff), 1e-2 * tensor::l2_norm(want) + 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsTimesSchemes, OperatorMatrix,
+    ::testing::Combine(
+        ::testing::Values(core::Method::None, core::Method::Fp16,
+                          core::Method::Qsgd, core::Method::Nuq,
+                          core::Method::TopK,
+                          core::Method::TernGrad, core::Method::OneBit,
+                          core::Method::PowerSgd, core::Method::Fake),
+        ::testing::Values(comm::ReductionScheme::ScatterReduceAllgather,
+                          comm::ReductionScheme::Ring,
+                          comm::ReductionScheme::Tree)),
+    [](const auto& info) {
+      return std::string(core::method_name(std::get<0>(info.param))) + "_" +
+             comm::reduction_scheme_name(std::get<1>(info.param));
+    });
+
+// ------------------------------------------------------------ determinism
+
+TEST(Determinism, IdenticalSeedsIdenticalTraining) {
+  data::BlobDataset dataset(4, 8, 7);
+  auto run = [&] {
+    nn::TrainOptions options;
+    options.world_size = 3;
+    options.steps = 40;
+    options.seed = 11;
+    return nn::train_distributed(
+        [](util::Rng& rng) { return models::make_mlp(8, 16, 4, rng); },
+        [](std::vector<nn::Param*> params) {
+          return std::make_unique<nn::Sgd>(std::move(params),
+                                           nn::constant_lr(0.05));
+        },
+        [](const tensor::LayerLayout& layout, int world) {
+          return std::make_unique<core::CgxEngine>(
+              layout, core::CompressionConfig::cgx_default(), world);
+        },
+        [&](int rank, std::size_t step) {
+          auto b = dataset.batch(8, rank, step);
+          return nn::Batch{std::move(b.input), std::move(b.targets)};
+        },
+        nn::make_xent_loss(4), options);
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.loss_history.size(), b.loss_history.size());
+  for (std::size_t i = 0; i < a.loss_history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.loss_history[i], b.loss_history[i]) << "step " << i;
+  }
+}
+
+// ------------------------------------------------------------ world sizes
+
+class WorldSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorldSizeSweep, EngineAveragesAtAnyWorldSize) {
+  const int world = GetParam();
+  tensor::LayerLayout layout;
+  layout.add_layer("w", tensor::Shape{40, 25});
+  layout.add_layer("w.bias", tensor::Shape{25});
+  core::CgxEngine engine(layout, core::CompressionConfig::cgx_default(),
+                         world);
+  std::vector<float> want(layout.total_numel(), 0.0f);
+  for (int r = 0; r < world; ++r) {
+    util::Rng rng(5000 + static_cast<std::uint64_t>(r));
+    for (auto& v : want) v += static_cast<float>(rng.next_gaussian());
+  }
+  tensor::scale(want, 1.0f / static_cast<float>(world));
+
+  comm::ShmTransport transport(world);
+  comm::run_world(transport, [&](comm::Comm& comm) {
+    util::Rng data_rng(5000 + static_cast<std::uint64_t>(comm.rank()));
+    std::vector<float> grad(layout.total_numel());
+    for (auto& v : grad) v = static_cast<float>(data_rng.next_gaussian());
+    util::Rng rng(42 + static_cast<std::uint64_t>(comm.rank()));
+    engine.allreduce(comm, grad, rng);
+    std::vector<float> diff(grad.size());
+    tensor::sub(grad, want, diff);
+    EXPECT_LT(tensor::l2_norm(diff), 1.5 * tensor::l2_norm(want) + 1e-6)
+        << "world " << world;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, WorldSizeSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 12));
+
+}  // namespace
+}  // namespace cgx

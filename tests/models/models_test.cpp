@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "comm/transports.h"
+#include "models/paper_profiles.h"
+#include "models/small_models.h"
+#include "nn/loss.h"
+#include "nn/optim.h"
+#include "nn/sequential.h"
+
+namespace cgx::models {
+namespace {
+
+TEST(SmallModels, MlpShapeAndParams) {
+  util::Rng rng(1);
+  auto model = make_mlp(8, 16, 4, rng);
+  auto params = nn::parameters(*model);
+  // 8*16+16 + 16*16+16 + 16*4+4 = 484.
+  EXPECT_EQ(nn::param_count(params), 484u);
+  tensor::Tensor x({2, 8});
+  const auto& out = model->forward(x, false);
+  EXPECT_EQ(out.shape(), (tensor::Shape{2, 4}));
+}
+
+TEST(SmallModels, CnnForwardShape) {
+  util::Rng rng(2);
+  auto model = make_small_cnn(3, 8, 5, rng);
+  tensor::Tensor x({2, 3, 8, 8});
+  const auto& out = model->forward(x, false);
+  EXPECT_EQ(out.shape(), (tensor::Shape{2, 5}));
+}
+
+TEST(SmallModels, VggMiniForwardShape) {
+  util::Rng rng(3);
+  auto model = make_vgg_mini(3, 16, 7, rng);
+  tensor::Tensor x({2, 3, 16, 16});
+  const auto& out = model->forward(x, false);
+  EXPECT_EQ(out.shape(), (tensor::Shape{2, 7}));
+}
+
+TEST(SmallModels, TransformerLmShapes) {
+  util::Rng rng(4);
+  TinyTransformerLM lm(/*vocab=*/20, /*dim=*/16, /*heads=*/2, /*blocks=*/2,
+                       /*max_seq=*/12, rng);
+  tensor::Tensor tokens({3, 8});
+  const auto& logits = lm.forward(tokens, false);
+  EXPECT_EQ(logits.shape(), (tensor::Shape{3, 8, 20}));
+  // Layer names carry the filterable markers.
+  auto params = nn::parameters(lm);
+  bool found_ln = false, found_embed = false;
+  for (const auto* p : params) {
+    if (p->name.find("ln") != std::string::npos) found_ln = true;
+    if (p->name.find("embed") != std::string::npos) found_embed = true;
+  }
+  EXPECT_TRUE(found_ln);
+  EXPECT_TRUE(found_embed);
+}
+
+TEST(SmallModels, TransformerLmCausality) {
+  // Changing a future token must not affect earlier positions' logits.
+  util::Rng rng(5);
+  TinyTransformerLM lm(10, 8, 2, 2, 8, rng);
+  tensor::Tensor tokens({1, 6});
+  for (std::size_t t = 0; t < 6; ++t) tokens.at(t) = float(t % 10);
+  const tensor::Tensor logits_a = lm.forward(tokens, false).clone();
+  tokens.at(5) = 9.0f;  // modify the LAST token
+  const tensor::Tensor& logits_b = lm.forward(tokens, false);
+  for (std::size_t t = 0; t < 5; ++t) {
+    for (std::size_t v = 0; v < 10; ++v) {
+      EXPECT_EQ(logits_a.at((t)*10 + v), logits_b.at((t)*10 + v))
+          << "position " << t;
+    }
+  }
+}
+
+TEST(SmallModels, BertQaShapes) {
+  util::Rng rng(6);
+  TinyBertQa bert(20, 16, 2, 2, 24, rng);
+  tensor::Tensor tokens({2, 12});
+  const auto& logits = bert.forward(tokens, false);
+  EXPECT_EQ(logits.shape(), (tensor::Shape{2, 12, 2}));
+}
+
+TEST(PaperProfiles, ParameterCountsMatchCanonicalModels) {
+  EXPECT_NEAR(double(resnet50().param_count()), 25.5e6, 0.8e6);
+  EXPECT_NEAR(double(vgg16().param_count()), 138e6, 3e6);
+  EXPECT_NEAR(double(vit_base().param_count()), 86e6, 3e6);
+  EXPECT_NEAR(double(bert_base().param_count()), 110e6, 5e6);
+  EXPECT_NEAR(double(gpt2_small().param_count()), 124e6, 5e6);
+  // TXL-base with the 267k vocab embedding: dominated by the embedding.
+  const auto txl = transformer_xl_base();
+  EXPECT_GT(txl.param_count(), 150e6);
+  const auto& embed = txl.layout.layer(txl.layout.index_of("word_emb.weight"));
+  EXPECT_GT(double(embed.numel) / double(txl.param_count()), 0.6);
+}
+
+TEST(PaperProfiles, Table1ThroughputsEncoded) {
+  const auto rn50 = resnet50();
+  EXPECT_DOUBLE_EQ(rn50.single_gpu_items_per_s(simgpu::GpuKind::V100),
+                   1226.0);
+  EXPECT_DOUBLE_EQ(rn50.single_gpu_items_per_s(simgpu::GpuKind::RTX3090),
+                   850.0);
+  const auto txl = transformer_xl_base();
+  EXPECT_DOUBLE_EQ(txl.single_gpu_items_per_s(simgpu::GpuKind::RTX3090),
+                   39000.0);
+  EXPECT_DOUBLE_EQ(txl.single_gpu_items_per_s(simgpu::GpuKind::RTX2080TI),
+                   13000.0);
+}
+
+TEST(PaperProfiles, BackwardFractionsSumToBackwardTotal) {
+  for (const auto& model : all_paper_models()) {
+    const auto backward =
+        model.backward_seconds(simgpu::GpuKind::RTX3090);
+    double total = 0.0;
+    for (double s : backward) {
+      EXPECT_GE(s, 0.0);
+      total += s;
+    }
+    const double step = model.step_seconds_1gpu(simgpu::GpuKind::RTX3090);
+    EXPECT_NEAR(total, 0.6 * step, 1e-9) << model.name;
+    EXPECT_NEAR(model.forward_seconds(simgpu::GpuKind::RTX3090), 0.4 * step,
+                1e-9);
+  }
+}
+
+TEST(PaperProfiles, EmbeddingComputeIsNegligibleButLarge) {
+  const auto txl = transformer_xl_base();
+  const auto backward = txl.backward_seconds(simgpu::GpuKind::RTX3090);
+  const std::size_t embed = txl.layout.index_of("word_emb.weight");
+  const double embed_share =
+      backward[embed] /
+      (0.6 * txl.step_seconds_1gpu(simgpu::GpuKind::RTX3090));
+  // 70% of the parameters, almost none of the compute: the §5 shape.
+  EXPECT_LT(embed_share, 0.15);
+}
+
+TEST(PaperProfiles, SimulatedThroughputShapesMatchPaper) {
+  // Fig. 3's central claims, in simulation: on the 8x RTX3090 box the NCCL
+  // baseline scales < 50% for transformers, CGX reaches 80-90%+.
+  const auto txl = transformer_xl_base();
+  const auto machine = simgpu::make_rtx3090_8x();
+  comm::ShmTransport shm(8);
+  comm::NcclTransport nccl(8);
+
+  core::BaselineEngine baseline(txl.layout, 8, txl.fp16_wire);
+  core::CgxEngine cgx(txl.layout, core::CompressionConfig::cgx_default(), 8);
+
+  const double base_tput =
+      simulated_throughput(txl, machine, baseline, nccl.profile());
+  const double cgx_tput =
+      simulated_throughput(txl, machine, cgx, shm.profile());
+  const double ideal =
+      8.0 * txl.single_gpu_items_per_s(simgpu::GpuKind::RTX3090);
+
+  EXPECT_LT(base_tput / ideal, 0.55);
+  // TXL's monolithic 137M-row embedding materialises at the very END of
+  // backward and cannot be overlapped (the paper's Appendix E caveat), so
+  // static 4-bit lands below the 80-90% the less embedding-dominated
+  // models reach; adaptive compression closes part of the gap (Table 7).
+  EXPECT_GT(cgx_tput / ideal, 0.60);
+  EXPECT_GT(cgx_tput / base_tput, 1.6);  // "2-3x self-speedup" (low end)
+}
+
+TEST(PaperProfiles, BertReachesPaperScalingWithCgx) {
+  // BERT (no monolithic embedding): Fig. 3 / Table 6 report ~40% baseline
+  // scaling and ~90% with CGX on the 8x3090 box; the simulation lands on
+  // both.
+  const auto bert = bert_base();
+  const auto machine = simgpu::make_rtx3090_8x();
+  comm::ShmTransport shm(8);
+  comm::NcclTransport nccl(8);
+  core::BaselineEngine baseline(bert.layout, 8, bert.fp16_wire);
+  core::CgxEngine cgx(bert.layout, core::CompressionConfig::cgx_default(),
+                      8);
+  const double base_tput =
+      simulated_throughput(bert, machine, baseline, nccl.profile());
+  const double cgx_tput =
+      simulated_throughput(bert, machine, cgx, shm.profile());
+  const double ideal =
+      8.0 * bert.single_gpu_items_per_s(simgpu::GpuKind::RTX3090);
+  EXPECT_LT(base_tput / ideal, 0.5);
+  EXPECT_GT(cgx_tput / ideal, 0.8);
+  EXPECT_GT(cgx_tput / base_tput, 2.0);
+}
+
+TEST(PaperProfiles, Dgx1NeedsNoCompression) {
+  // On the NVLink machine the uncompressed baseline already scales well —
+  // the premise that bandwidth over-provisioning works, it just costs 10x.
+  const auto txl = transformer_xl_base();
+  const auto machine = simgpu::make_dgx1();
+  comm::NcclTransport nccl(8);
+  core::BaselineEngine baseline(txl.layout, 8, txl.fp16_wire);
+  const double tput =
+      simulated_throughput(txl, machine, baseline, nccl.profile());
+  const double ideal =
+      8.0 * txl.single_gpu_items_per_s(simgpu::GpuKind::V100);
+  EXPECT_GT(tput / ideal, 0.85);
+}
+
+TEST(PaperProfiles, StepSpecAlignsBackwardOrder) {
+  const auto model = bert_base();
+  comm::ShmTransport shm(8);
+  const auto machine = simgpu::make_rtx3090_8x();
+  const simgpu::CostModel cost(machine.topology, shm.profile());
+  core::CgxEngine cgx(model.layout, core::CompressionConfig::cgx_default(),
+                      8);
+  const auto plan = cgx.comm_plan(cost, 200.0);
+  const auto spec = build_step_spec(model, simgpu::GpuKind::RTX3090, plan);
+  // First backward entry is the LAST layout layer (output side).
+  const auto backward = model.backward_seconds(simgpu::GpuKind::RTX3090);
+  EXPECT_DOUBLE_EQ(spec.backward_s.front(), backward.back());
+  // The fused packet op trails with zero compute.
+  EXPECT_GT(spec.backward_s.size(), backward.size());
+  EXPECT_DOUBLE_EQ(spec.backward_s.back(), 0.0);
+  EXPECT_GT(spec.comm_s.back(), 0.0);
+}
+
+}  // namespace
+}  // namespace cgx::models

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "models/small_models.h"
+#include "nn/train.h"
+#include "tensor/tensor_ops.h"
+
+namespace cgx::models {
+namespace {
+
+TEST(ResidualBlock, ForwardShapePreservedAndChannelsChange) {
+  util::Rng rng(1);
+  ResidualBlock same(4, 4, rng);
+  tensor::Tensor x({2, 4, 6, 6});
+  util::Rng data_rng(2);
+  x.fill_gaussian(data_rng, 0.0f, 1.0f);
+  EXPECT_EQ(same.forward(x, true).shape(), (tensor::Shape{2, 4, 6, 6}));
+
+  ResidualBlock widen(4, 8, rng);
+  EXPECT_EQ(widen.forward(x, true).shape(), (tensor::Shape{2, 8, 6, 6}));
+}
+
+TEST(ResidualBlock, GradCheck) {
+  util::Rng rng(3);
+  ResidualBlock block(2, 3, rng);
+  tensor::Tensor x({2, 2, 4, 4});
+  util::Rng data_rng(4);
+  x.fill_gaussian(data_rng, 0.3f, 1.0f);
+
+  // Probe output, fixed projection w.
+  const tensor::Tensor& probe = block.forward(x, true);
+  tensor::Tensor w(probe.shape());
+  w.fill_gaussian(data_rng, 0.0f, 1.0f);
+
+  std::vector<nn::Param*> params;
+  block.collect_params("rb.", params);
+  nn::zero_grads(params);
+  block.forward(x, true);
+  const tensor::Tensor din = block.backward(w).clone();
+  std::vector<tensor::Tensor> pgrads;
+  for (nn::Param* p : params) pgrads.push_back(p->grad.clone());
+
+  auto loss = [&] {
+    return tensor::dot(block.forward(x, true).data(), w.data());
+  };
+  const float eps = 5e-3f;
+  util::Rng pick(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t i = pick.next_below(x.numel());
+    const float saved = x.at(i);
+    x.at(i) = saved + eps;
+    const double up = loss();
+    x.at(i) = saved - eps;
+    const double down = loss();
+    x.at(i) = saved;
+    const double numeric = (up - down) / (2 * eps);
+    const double abs_err = std::abs(numeric - din.at(i));
+    const double denom = std::abs(numeric) + std::abs(din.at(i)) + 5e-2;
+    // ReLU kinks make individual finite differences noisy; accept either a
+    // small relative or a small absolute discrepancy.
+    EXPECT_TRUE(abs_err / denom < 0.12 || abs_err < 0.05)
+        << "x[" << i << "] numeric=" << numeric
+        << " analytic=" << din.at(i);
+  }
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    const int checks =
+        std::min<std::size_t>(6, params[pi]->value.numel());
+    for (int trial = 0; trial < checks; ++trial) {
+      const std::size_t i = pick.next_below(params[pi]->value.numel());
+      const float saved = params[pi]->value.at(i);
+      params[pi]->value.at(i) = saved + eps;
+      const double up = loss();
+      params[pi]->value.at(i) = saved - eps;
+      const double down = loss();
+      params[pi]->value.at(i) = saved;
+      const double numeric = (up - down) / (2 * eps);
+      const double analytic = pgrads[pi].at(i);
+      const double abs_err = std::abs(numeric - analytic);
+      const double denom = std::abs(numeric) + std::abs(analytic) + 5e-2;
+      EXPECT_TRUE(abs_err / denom < 0.12 || abs_err < 0.05)
+          << params[pi]->name << " numeric=" << numeric
+          << " analytic=" << analytic;
+    }
+  }
+}
+
+TEST(ResNetMini, ParamNamesExerciseFilters) {
+  util::Rng rng(6);
+  auto model = make_resnet_mini(2, 8, 4, rng);
+  auto params = nn::parameters(*model);
+  bool any_bn = false, any_conv = false;
+  for (const auto* p : params) {
+    if (p->name.find("bn") != std::string::npos) any_bn = true;
+    if (p->name.find("conv") != std::string::npos) any_conv = true;
+  }
+  EXPECT_TRUE(any_bn);
+  EXPECT_TRUE(any_conv);
+}
+
+TEST(ResNetMini, TrainsUnderCgxCompression) {
+  data::SyntheticImages dataset(4, 2, 8, 17, /*noise=*/0.8f);
+  nn::TrainOptions options;
+  options.world_size = 4;
+  options.steps = 120;
+  options.seed = 8;
+  auto result = nn::train_distributed(
+      [](util::Rng& rng) { return make_resnet_mini(2, 8, 4, rng); },
+      [](std::vector<nn::Param*> params) {
+        return std::make_unique<nn::Adam>(std::move(params),
+                                          nn::constant_lr(3e-3));
+      },
+      [](const tensor::LayerLayout& layout, int world) {
+        // BN layers and biases ride the full-precision fused packet.
+        return std::make_unique<core::CgxEngine>(
+            layout, core::CompressionConfig::cgx_default(), world);
+      },
+      [&](int rank, std::size_t step) {
+        auto b = dataset.batch(8, rank, step);
+        return nn::Batch{std::move(b.input), std::move(b.targets)};
+      },
+      nn::make_xent_loss(4), options);
+  EXPECT_LT(result.final_loss, 0.7);
+  EXPECT_FALSE(std::isnan(result.final_loss));
+}
+
+}  // namespace
+}  // namespace cgx::models

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/conv.h"
+#include "tensor/tensor_ops.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/optim.h"
+#include "nn/sequential.h"
+
+namespace cgx::nn {
+namespace {
+
+tensor::Tensor random_input(tensor::Shape shape, std::uint64_t seed) {
+  tensor::Tensor t(std::move(shape));
+  util::Rng rng(seed);
+  t.fill_gaussian(rng, 0.5f, 2.0f);
+  return t;
+}
+
+TEST(BatchNorm, TrainOutputIsNormalizedPerChannel) {
+  BatchNorm2d bn(3);
+  const tensor::Tensor x = random_input({4, 3, 5, 5}, 1);
+  const tensor::Tensor& y = bn.forward(x, /*train=*/true);
+  const std::size_t hw = 25, b = 4;
+  for (std::size_t c = 0; c < 3; ++c) {
+    double sum = 0.0, sq = 0.0;
+    for (std::size_t n = 0; n < b; ++n) {
+      for (std::size_t i = 0; i < hw; ++i) {
+        const float v = y.at((n * 3 + c) * hw + i);
+        sum += v;
+        sq += double(v) * v;
+      }
+    }
+    const double mean = sum / (b * hw);
+    const double var = sq / (b * hw) - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, RunningStatsConvergeToDataStats) {
+  BatchNorm2d bn(1, 1e-5f, /*momentum=*/0.2f);
+  for (int step = 0; step < 60; ++step) {
+    const tensor::Tensor x =
+        random_input({8, 1, 4, 4}, 100 + static_cast<std::uint64_t>(step));
+    bn.forward(x, /*train=*/true);
+  }
+  // Inputs are N(0.5, 2^2): running stats must approach that.
+  EXPECT_NEAR(bn.running_mean()[0], 0.5f, 0.15f);
+  EXPECT_NEAR(bn.running_var()[0], 4.0f, 0.6f);
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  BatchNorm2d bn(1);
+  for (int step = 0; step < 50; ++step) {
+    bn.forward(random_input({8, 1, 4, 4}, 200 + step), true);
+  }
+  // A constant input in eval mode maps through the affine running stats —
+  // and does NOT return zero (which batch statistics would produce).
+  tensor::Tensor x({2, 1, 4, 4}, 3.0f);
+  const tensor::Tensor& y = bn.forward(x, /*train=*/false);
+  const float expected = (3.0f - bn.running_mean()[0]) /
+                         std::sqrt(bn.running_var()[0] + 1e-5f);
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    EXPECT_NEAR(y.at(i), expected, 1e-4f);
+  }
+}
+
+TEST(BatchNorm, GradCheck) {
+  // Finite-difference check in train mode (batch statistics participate in
+  // the gradient).
+  BatchNorm2d bn(2);
+  tensor::Tensor x = random_input({3, 2, 3, 3}, 5);
+  util::Rng rng(6);
+  tensor::Tensor w(tensor::Shape{3, 2, 3, 3});
+  w.fill_gaussian(rng, 0.0f, 1.0f);
+
+  std::vector<Param*> params;
+  bn.collect_params("bn.", params);
+  zero_grads(params);
+  bn.forward(x, true);
+  const tensor::Tensor din = bn.backward(w).clone();
+  std::vector<tensor::Tensor> pgrads;
+  for (Param* p : params) pgrads.push_back(p->grad.clone());
+
+  auto loss = [&](const tensor::Tensor& input) {
+    const tensor::Tensor& out = bn.forward(input, true);
+    return tensor::dot(out.data(), w.data());
+  };
+  const float eps = 1e-2f;
+  util::Rng pick(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t i = pick.next_below(x.numel());
+    const float saved = x.at(i);
+    x.at(i) = saved + eps;
+    const double up = loss(x);
+    x.at(i) = saved - eps;
+    const double down = loss(x);
+    x.at(i) = saved;
+    const double numeric = (up - down) / (2 * eps);
+    const double denom = std::abs(numeric) + std::abs(din.at(i)) + 1e-2;
+    EXPECT_LT(std::abs(numeric - din.at(i)) / denom, 0.08) << "x[" << i
+                                                           << "]";
+  }
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    for (std::size_t i = 0; i < params[pi]->value.numel(); ++i) {
+      const float saved = params[pi]->value.at(i);
+      params[pi]->value.at(i) = saved + eps;
+      const double up = loss(x);
+      params[pi]->value.at(i) = saved - eps;
+      const double down = loss(x);
+      params[pi]->value.at(i) = saved;
+      const double numeric = (up - down) / (2 * eps);
+      const double analytic = pgrads[pi].at(i);
+      const double denom = std::abs(numeric) + std::abs(analytic) + 1e-2;
+      EXPECT_LT(std::abs(numeric - analytic) / denom, 0.08)
+          << params[pi]->name << "[" << i << "]";
+    }
+  }
+}
+
+TEST(BatchNorm, ParamNamesCarryFilterMarkers) {
+  // The CGX default config filters on the "bn"/"bias" substrings; the
+  // module's parameter names must expose them.
+  BatchNorm2d bn(4);
+  std::vector<Param*> params;
+  bn.collect_params("features.bn1.", params);
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_NE(params[0]->name.find("bn"), std::string::npos);
+  EXPECT_NE(params[1]->name.find("bias"), std::string::npos);
+}
+
+TEST(BatchNorm, TrainsInsideCnn) {
+  // Conv -> BN -> ReLU -> GAP -> Linear learns a separable toy task.
+  util::Rng rng(11);
+  Sequential model;
+  model.emplace<Conv2d>(1, 4, 3, 1, 1, rng);
+  model.emplace<BatchNorm2d>(4);
+  model.emplace<ReLU>();
+  model.emplace<GlobalAvgPool>();
+  model.emplace<Linear>(4, 2, rng);
+  auto params = parameters(model);
+  Adam opt(params, constant_lr(5e-3));
+
+  util::Rng data_rng(12);
+  double last_loss = 0.0;
+  for (int step = 0; step < 150; ++step) {
+    tensor::Tensor x({8, 1, 6, 6});
+    std::vector<int> targets(8);
+    for (std::size_t bi = 0; bi < 8; ++bi) {
+      const int cls = static_cast<int>(data_rng.next_below(2));
+      targets[bi] = cls;
+      for (std::size_t i = 0; i < 36; ++i) {
+        x.at(bi * 36 + i) =
+            (cls ? 1.0f : -1.0f) +
+            0.6f * static_cast<float>(data_rng.next_gaussian());
+      }
+    }
+    const tensor::Tensor& logits = model.forward(x, true);
+    SoftmaxCrossEntropy criterion(2);
+    last_loss = criterion.forward(logits, targets);
+    model.backward(criterion.grad());
+    opt.step();
+  }
+  EXPECT_LT(last_loss, 0.25);
+}
+
+}  // namespace
+}  // namespace cgx::nn

@@ -1,0 +1,166 @@
+#include "nn/optim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.h"
+
+namespace cgx::nn {
+namespace {
+
+Param make_param(std::initializer_list<float> values) {
+  Param p("p", tensor::Shape{values.size()});
+  std::size_t i = 0;
+  for (float v : values) p.value.at(i++) = v;
+  return p;
+}
+
+TEST(Sgd, PlainUpdate) {
+  Param p = make_param({1.0f, 2.0f});
+  p.grad.at(0) = 0.5f;
+  p.grad.at(1) = -1.0f;
+  Sgd opt({&p}, constant_lr(0.1));
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value.at(0), 1.0f - 0.05f);
+  EXPECT_FLOAT_EQ(p.value.at(1), 2.0f + 0.1f);
+  // Gradients zeroed after step.
+  EXPECT_EQ(p.grad.at(0), 0.0f);
+  EXPECT_EQ(opt.steps_taken(), 1u);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p = make_param({0.0f});
+  Sgd opt({&p}, constant_lr(1.0), /*momentum=*/0.9);
+  p.grad.at(0) = 1.0f;
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value.at(0), -1.0f);  // v = 1
+  p.grad.at(0) = 1.0f;
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value.at(0), -1.0f - 1.9f);  // v = 0.9 + 1
+}
+
+TEST(Sgd, WeightDecay) {
+  Param p = make_param({2.0f});
+  Sgd opt({&p}, constant_lr(0.5), 0.0, /*weight_decay=*/0.1);
+  p.grad.at(0) = 0.0f;
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value.at(0), 2.0f - 0.5f * 0.2f);
+}
+
+TEST(Adam, FirstStepIsSignedLr) {
+  // With bias correction, the very first Adam step is ~lr * sign(g).
+  Param p = make_param({1.0f, 1.0f});
+  p.grad.at(0) = 0.003f;
+  p.grad.at(1) = -800.0f;
+  Adam opt({&p}, constant_lr(0.01));
+  opt.step();
+  EXPECT_NEAR(p.value.at(0), 1.0f - 0.01f, 1e-4);
+  EXPECT_NEAR(p.value.at(1), 1.0f + 0.01f, 1e-4);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // minimize (x - 3)^2.
+  Param p = make_param({0.0f});
+  Adam opt({&p}, constant_lr(0.1));
+  for (int i = 0; i < 500; ++i) {
+    p.grad.at(0) = 2.0f * (p.value.at(0) - 3.0f);
+    opt.step();
+  }
+  EXPECT_NEAR(p.value.at(0), 3.0f, 0.05f);
+}
+
+TEST(ClipGlobalNorm, ScalesOnlyWhenAbove) {
+  Param a = make_param({3.0f});
+  Param b = make_param({4.0f});
+  a.grad.at(0) = 3.0f;
+  b.grad.at(0) = 4.0f;  // global norm 5
+  const double norm = clip_global_norm({&a, &b}, 10.0);
+  EXPECT_DOUBLE_EQ(norm, 5.0);
+  EXPECT_FLOAT_EQ(a.grad.at(0), 3.0f);  // untouched
+
+  const double norm2 = clip_global_norm({&a, &b}, 1.0);
+  EXPECT_DOUBLE_EQ(norm2, 5.0);
+  EXPECT_NEAR(a.grad.at(0), 0.6f, 1e-5);
+  EXPECT_NEAR(b.grad.at(0), 0.8f, 1e-5);
+}
+
+TEST(Schedules, Constant) {
+  auto lr = constant_lr(0.3);
+  EXPECT_DOUBLE_EQ(lr(0), 0.3);
+  EXPECT_DOUBLE_EQ(lr(1000), 0.3);
+}
+
+TEST(Schedules, CosineWarmupAndDecay) {
+  auto lr = cosine_lr(1.0, 10, 110);
+  EXPECT_NEAR(lr(0), 0.1, 1e-9);   // warmup ramp
+  EXPECT_NEAR(lr(9), 1.0, 1e-9);   // warmup end
+  EXPECT_NEAR(lr(10), 1.0, 1e-9);  // peak
+  EXPECT_NEAR(lr(60), 0.5, 1e-9);  // halfway through cosine
+  EXPECT_NEAR(lr(110), 0.0, 1e-9);
+  EXPECT_NEAR(lr(500), 0.0, 1e-9);  // clamped past the end
+}
+
+TEST(Schedules, StepDecay) {
+  auto lr = step_decay_lr(1.0, 10, 0.5);
+  EXPECT_DOUBLE_EQ(lr(0), 1.0);
+  EXPECT_DOUBLE_EQ(lr(9), 1.0);
+  EXPECT_DOUBLE_EQ(lr(10), 0.5);
+  EXPECT_DOUBLE_EQ(lr(25), 0.25);
+}
+
+TEST(Loss, XentKnownValue) {
+  // Two classes, logits (0, 0): loss = ln 2, grads (+-0.25 each row of 2).
+  tensor::Tensor logits({2, 2});
+  SoftmaxCrossEntropy criterion(2);
+  std::vector<int> targets = {0, 1};
+  const double loss = criterion.forward(logits, targets);
+  EXPECT_NEAR(loss, std::log(2.0), 1e-6);
+  EXPECT_NEAR(criterion.grad().at(0, 0), (0.5 - 1.0) / 2.0, 1e-6);
+  EXPECT_NEAR(criterion.grad().at(0, 1), 0.5 / 2.0, 1e-6);
+}
+
+TEST(Loss, XentGradMatchesFiniteDifference) {
+  tensor::Tensor logits({3, 4});
+  util::Rng rng(1);
+  logits.fill_gaussian(rng, 0.0f, 1.0f);
+  std::vector<int> targets = {1, 3, 0};
+  SoftmaxCrossEntropy criterion(4);
+  criterion.forward(logits, targets);
+  tensor::Tensor grad = criterion.grad().clone();
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    const float saved = logits.at(i);
+    logits.at(i) = saved + eps;
+    const double up = SoftmaxCrossEntropy(4).forward(logits, targets);
+    logits.at(i) = saved - eps;
+    const double down = SoftmaxCrossEntropy(4).forward(logits, targets);
+    logits.at(i) = saved;
+    EXPECT_NEAR(grad.at(i), (up - down) / (2 * eps), 1e-3);
+  }
+}
+
+TEST(Loss, AccuracyAndPerplexity) {
+  tensor::Tensor logits({2, 3});
+  logits.at(0, 2) = 5.0f;  // predicts class 2
+  logits.at(1, 0) = 5.0f;  // predicts class 0
+  std::vector<int> targets = {2, 1};
+  EXPECT_DOUBLE_EQ(SoftmaxCrossEntropy::accuracy(logits, targets, 3), 0.5);
+  EXPECT_NEAR(SoftmaxCrossEntropy::perplexity(std::log(7.0)), 7.0, 1e-9);
+}
+
+TEST(Loss, MseKnownValue) {
+  tensor::Tensor pred({2});
+  pred.at(0) = 1.0f;
+  pred.at(1) = 3.0f;
+  tensor::Tensor target({2});
+  target.at(0) = 0.0f;
+  target.at(1) = 1.0f;
+  MseLoss mse;
+  EXPECT_NEAR(mse.forward(pred, target), (1.0 + 4.0) / 2.0, 1e-6);
+  EXPECT_NEAR(mse.grad().at(0), 1.0f, 1e-6);  // 2*(1-0)/2
+  EXPECT_NEAR(mse.grad().at(1), 2.0f, 1e-6);
+}
+
+}  // namespace
+}  // namespace cgx::nn

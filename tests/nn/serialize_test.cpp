@@ -1,0 +1,123 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "models/small_models.h"
+#include "nn/sequential.h"
+
+namespace cgx::nn {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Serialize, RoundTripRestoresExactValues) {
+  const std::string path = temp_path("ckpt_roundtrip.bin");
+  util::Rng rng(1);
+  auto model = models::make_mlp(8, 16, 4, rng);
+  auto params = parameters(*model);
+  ASSERT_TRUE(save_checkpoint(path, params));
+
+  // Fresh model with different init.
+  util::Rng rng2(999);
+  auto restored = models::make_mlp(8, 16, 4, rng2);
+  auto restored_params = parameters(*restored);
+  // Different before load...
+  bool any_diff = false;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    for (std::size_t j = 0; j < params[i]->value.numel(); ++j) {
+      if (params[i]->value.at(j) != restored_params[i]->value.at(j)) {
+        any_diff = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+  ASSERT_TRUE(load_checkpoint(path, restored_params));
+  // ... identical after.
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    for (std::size_t j = 0; j < params[i]->value.numel(); ++j) {
+      EXPECT_EQ(params[i]->value.at(j), restored_params[i]->value.at(j));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RestoredModelProducesIdenticalOutputs) {
+  const std::string path = temp_path("ckpt_outputs.bin");
+  util::Rng rng(2);
+  auto model = models::make_mlp(6, 12, 3, rng);
+  ASSERT_TRUE(save_checkpoint(path, parameters(*model)));
+
+  util::Rng rng2(3);
+  auto restored = models::make_mlp(6, 12, 3, rng2);
+  ASSERT_TRUE(load_checkpoint(path, parameters(*restored)));
+
+  tensor::Tensor x({5, 6});
+  util::Rng data_rng(4);
+  x.fill_gaussian(data_rng, 0.0f, 1.0f);
+  const tensor::Tensor& a = model->forward(x, false);
+  const tensor::Tensor& b = restored->forward(x, false);
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(a.at(i), b.at(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileFails) {
+  util::Rng rng(5);
+  auto model = models::make_mlp(4, 8, 2, rng);
+  auto params = parameters(*model);
+  EXPECT_FALSE(load_checkpoint(temp_path("does_not_exist.bin"), params));
+}
+
+TEST(Serialize, CorruptMagicFails) {
+  const std::string path = temp_path("ckpt_corrupt.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTACKPT garbage";
+  }
+  util::Rng rng(6);
+  auto model = models::make_mlp(4, 8, 2, rng);
+  auto params = parameters(*model);
+  EXPECT_FALSE(load_checkpoint(path, params));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeDeathTest, WrongModelShapeRejected) {
+  const std::string path = temp_path("ckpt_shape.bin");
+  util::Rng rng(7);
+  auto model = models::make_mlp(4, 8, 2, rng);
+  ASSERT_TRUE(save_checkpoint(path, parameters(*model)));
+  // A model whose same-named first parameter has a different size.
+  util::Rng rng2(8);
+  auto other = models::make_mlp(4, 16, 2, rng2);
+  auto other_params = parameters(*other);
+  EXPECT_DEATH((void)load_checkpoint(path, other_params),
+               "checkpoint size mismatch");
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TransformerRoundTrip) {
+  const std::string path = temp_path("ckpt_txl.bin");
+  util::Rng rng(9);
+  models::TinyTransformerLM lm(16, 16, 2, 2, 8, rng);
+  ASSERT_TRUE(save_checkpoint(path, parameters(lm)));
+  util::Rng rng2(10);
+  models::TinyTransformerLM restored(16, 16, 2, 2, 8, rng2);
+  ASSERT_TRUE(load_checkpoint(path, parameters(restored)));
+  tensor::Tensor tokens({2, 6});
+  for (std::size_t i = 0; i < tokens.numel(); ++i) {
+    tokens.at(i) = float(i % 16);
+  }
+  const tensor::Tensor a = lm.forward(tokens, false).clone();
+  const tensor::Tensor& b = restored.forward(tokens, false);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a.at(i), b.at(i));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cgx::nn

@@ -1,0 +1,171 @@
+#include "nn/train.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "models/small_models.h"
+
+namespace cgx::nn {
+namespace {
+
+constexpr std::size_t kClasses = 4;
+constexpr std::size_t kDim = 8;
+
+ModelFactory mlp_factory() {
+  return [](util::Rng& rng) {
+    return models::make_mlp(kDim, 32, kClasses, rng);
+  };
+}
+
+OptimizerFactory sgd_factory(double lr) {
+  return [lr](std::vector<Param*> params) {
+    return std::make_unique<Sgd>(std::move(params), constant_lr(lr), 0.9);
+  };
+}
+
+BatchProvider blob_batches(const data::BlobDataset& dataset,
+                           std::size_t batch) {
+  return [&dataset, batch](int rank, std::size_t step) {
+    auto labeled = dataset.batch(batch, rank, step);
+    return Batch{std::move(labeled.input), std::move(labeled.targets)};
+  };
+}
+
+EngineFactory baseline_engine() {
+  return [](const tensor::LayerLayout& layout, int world) {
+    return std::make_unique<core::BaselineEngine>(layout, world);
+  };
+}
+
+EngineFactory cgx_engine() {
+  return [](const tensor::LayerLayout& layout, int world) {
+    return std::make_unique<core::CgxEngine>(
+        layout, core::CompressionConfig::cgx_default(), world);
+  };
+}
+
+TEST(TrainSingle, MlpLearnsBlobs) {
+  data::BlobDataset dataset(kClasses, kDim, 42);
+  TrainResult result =
+      train_single(mlp_factory(), sgd_factory(0.05),
+                   blob_batches(dataset, 32), make_xent_loss(kClasses),
+                   /*steps=*/200, /*seed=*/1);
+  EXPECT_LT(result.final_loss, 0.2);
+  EXPECT_GT(result.loss_history.front(), result.final_loss);
+}
+
+TEST(TrainDistributed, UncompressedMatchesSingleWhenBatchesIdentical) {
+  // If every rank sees the SAME batch, the averaged gradient equals the
+  // single-device gradient: the loss trajectories must match exactly.
+  data::BlobDataset dataset(kClasses, kDim, 43);
+  auto same_batch = [&dataset](int /*rank*/, std::size_t step) {
+    auto labeled = dataset.batch(16, /*rank=*/0, step);
+    return Batch{std::move(labeled.input), std::move(labeled.targets)};
+  };
+  TrainResult single =
+      train_single(mlp_factory(), sgd_factory(0.05), same_batch,
+                   make_xent_loss(kClasses), 40, 7);
+  TrainOptions options;
+  options.world_size = 4;
+  options.steps = 40;
+  options.seed = 7;
+  TrainResult distributed = train_distributed(
+      mlp_factory(), sgd_factory(0.05), baseline_engine(), same_batch,
+      make_xent_loss(kClasses), options);
+  ASSERT_EQ(single.loss_history.size(), distributed.loss_history.size());
+  for (std::size_t i = 0; i < single.loss_history.size(); ++i) {
+    EXPECT_NEAR(single.loss_history[i], distributed.loss_history[i], 1e-3)
+        << "step " << i;
+  }
+}
+
+TEST(TrainDistributed, CgxCompressedConverges) {
+  data::BlobDataset dataset(kClasses, kDim, 44);
+  TrainOptions options;
+  options.world_size = 4;
+  options.steps = 200;
+  options.seed = 2;
+  TrainResult result = train_distributed(
+      mlp_factory(), sgd_factory(0.05), cgx_engine(),
+      blob_batches(dataset, 16), make_xent_loss(kClasses), options);
+  EXPECT_LT(result.final_loss, 0.3);
+}
+
+TEST(TrainDistributed, CompressedAccuracyWithinToleranceOfBaseline) {
+  // The Table 3 property in miniature: final loss under CGX 4-bit matches
+  // the uncompressed baseline within noise.
+  data::BlobDataset dataset(kClasses, kDim, 45);
+  TrainOptions options;
+  options.world_size = 4;
+  options.steps = 250;
+  options.seed = 3;
+  TrainResult baseline = train_distributed(
+      mlp_factory(), sgd_factory(0.05), baseline_engine(),
+      blob_batches(dataset, 16), make_xent_loss(kClasses), options);
+  TrainResult compressed = train_distributed(
+      mlp_factory(), sgd_factory(0.05), cgx_engine(),
+      blob_batches(dataset, 16), make_xent_loss(kClasses), options);
+  // Average the last 20 losses to de-noise.
+  auto tail_mean = [](const std::vector<double>& xs) {
+    double total = 0.0;
+    for (std::size_t i = xs.size() - 20; i < xs.size(); ++i) total += xs[i];
+    return total / 20.0;
+  };
+  EXPECT_NEAR(tail_mean(compressed.loss_history),
+              tail_mean(baseline.loss_history), 0.15);
+}
+
+TEST(TrainDistributed, ClippingKeepsReplicasInLockstep) {
+  data::BlobDataset dataset(kClasses, kDim, 46);
+  TrainOptions options;
+  options.world_size = 3;
+  options.steps = 50;
+  options.seed = 4;
+  options.clip_norm = 0.5;
+  TrainResult result = train_distributed(
+      mlp_factory(), sgd_factory(0.1), cgx_engine(),
+      blob_batches(dataset, 16), make_xent_loss(kClasses), options);
+  // Converges despite aggressive clipping; lockstep is implicitly verified
+  // by the engines' bit-identical outputs (engine tests) — here we check
+  // training is stable.
+  EXPECT_LT(result.final_loss, 1.5);
+  EXPECT_FALSE(std::isnan(result.final_loss));
+}
+
+TEST(TrainDistributed, AdaptiveReassignmentRuns) {
+  data::BlobDataset dataset(kClasses, kDim, 47);
+  core::KMeansAssigner assigner;
+  TrainOptions options;
+  options.world_size = 4;
+  options.steps = 60;
+  options.seed = 5;
+  options.assigner = &assigner;
+  options.reassign_every = 20;
+  TrainResult result = train_distributed(
+      mlp_factory(), sgd_factory(0.05), cgx_engine(),
+      blob_batches(dataset, 16), make_xent_loss(kClasses), options);
+  EXPECT_EQ(result.assignments.size(), 3u);
+  EXPECT_LT(result.final_loss, 1.0);
+  for (const auto& a : result.assignments) {
+    EXPECT_LE(a.measured_error, options.adaptive.alpha * a.reference_error *
+                                    1.02);
+  }
+}
+
+TEST(TrainDistributed, OnStepCallbackFires) {
+  data::BlobDataset dataset(kClasses, kDim, 48);
+  TrainOptions options;
+  options.world_size = 2;
+  options.steps = 10;
+  std::size_t calls = 0;
+  options.on_step = [&calls](std::size_t, double) { ++calls; };
+  train_distributed(mlp_factory(), sgd_factory(0.05), baseline_engine(),
+                    blob_batches(dataset, 8), make_xent_loss(kClasses),
+                    options);
+  EXPECT_EQ(calls, 10u);
+}
+
+}  // namespace
+}  // namespace cgx::nn

@@ -1,0 +1,212 @@
+#include "simgpu/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "comm/transports.h"
+#include "simgpu/machines.h"
+
+namespace cgx::simgpu {
+namespace {
+
+comm::TransportProfile ideal_profile() {
+  // No software overheads: isolates the bandwidth/latency arithmetic.
+  return comm::TransportProfile{.name = "ideal",
+                                .per_message_overhead_us = 0.0,
+                                .per_chunk_overhead_us = 0.0,
+                                .chunk_bytes = 0,
+                                .extra_copies = 0,
+                                .single_node_only = false};
+}
+
+TEST(CostModel, SingleFlowBandwidthPlusLatency) {
+  Topology topo = make_shared_bus_topology("bus", 2, 10.0, 10.0, 5.0);
+  CostModel model(topo, ideal_profile());
+  // 1 GB over 10 GB/s = 0.1 s, plus 5 us.
+  EXPECT_NEAR(model.p2p_seconds(0, 1, 1e9), 0.1 + 5e-6, 1e-12);
+}
+
+TEST(CostModel, EffectiveP2pMatchesPaperMeasurements) {
+  // §6.1: RTX3090 box shows 13-16 GBps p2p; RTX2080 box 6-8 GBps.
+  const Machine m3090 = make_rtx3090_8x();
+  CostModel model(m3090.topology, ideal_profile());
+  const double gbps = model.effective_p2p_gbps(0, 1, 256e6);
+  EXPECT_GE(gbps, 13.0);
+  EXPECT_LE(gbps, 16.0);
+
+  const Machine m2080 = make_rtx2080_8x();
+  CostModel model2(m2080.topology, ideal_profile());
+  const double gbps2 = model2.effective_p2p_gbps(0, 1, 256e6);
+  EXPECT_GE(gbps2, 6.0);
+  EXPECT_LE(gbps2, 8.0);
+}
+
+TEST(CostModel, SharedBusContentionSlowsConcurrentFlows) {
+  Topology topo = make_shared_bus_topology("bus", 4, 10.0, 10.0, 0.0);
+  CostModel model(topo, ideal_profile());
+  const double single = model.p2p_seconds(0, 1, 1e9);
+  // Two disjoint pairs share the fabric: twice the bytes through the group.
+  const std::vector<Flow> flows = {{0, 1, 1e9}, {2, 3, 1e9}};
+  const double both = model.round_seconds(flows);
+  EXPECT_NEAR(both, 2.0 * single, 1e-9);
+}
+
+TEST(CostModel, NvlinkFlowsDoNotContend) {
+  Topology topo = make_nvlink_topology("nv", 4, 100.0, 0.0);
+  CostModel model(topo, ideal_profile());
+  const double single = model.p2p_seconds(0, 1, 1e9);
+  const std::vector<Flow> flows = {{0, 1, 1e9}, {2, 3, 1e9}};
+  EXPECT_NEAR(model.round_seconds(flows), single, 1e-9);
+}
+
+TEST(CostModel, PortLimitBindsOnFanOut) {
+  Topology topo = make_nvlink_topology("nv", 4, 100.0, 0.0);
+  CostModel model(topo, ideal_profile());
+  // One device sending to three peers is egress-port limited: 3 GB / 100.
+  const std::vector<Flow> flows = {{0, 1, 1e9}, {0, 2, 1e9}, {0, 3, 1e9}};
+  EXPECT_NEAR(model.round_seconds(flows), 3e9 / 100e9, 1e-9);
+}
+
+TEST(CostModel, AllreduceBusbwMatchesPaperRtx3090) {
+  // §6.1: "we have 1GBps Allreduce bandwidth" on the 8x RTX3090 box.
+  const Machine m = make_rtx3090_8x();
+  CostModel model(m.topology, ideal_profile());
+  const auto devices = all_devices(m.topology);
+  for (auto scheme : {comm::ReductionScheme::ScatterReduceAllgather,
+                      comm::ReductionScheme::Ring}) {
+    const double busbw = model.allreduce_busbw_gbps(devices, 512e6, scheme);
+    EXPECT_NEAR(busbw, 1.0, 0.1) << reduction_scheme_name(scheme);
+  }
+}
+
+TEST(CostModel, AllreduceBusbwMatchesPaperRtx2080) {
+  const Machine m = make_rtx2080_8x();
+  CostModel model(m.topology, ideal_profile());
+  const auto devices = all_devices(m.topology);
+  const double busbw = model.allreduce_busbw_gbps(
+      devices, 512e6, comm::ReductionScheme::Ring);
+  EXPECT_NEAR(busbw, 1.5, 0.15);
+}
+
+TEST(CostModel, AllreduceBusbwMatchesPaperDgx1) {
+  // §6.1: "Allreduce bandwidth reaches up to 100 GBps" on the DGX-1.
+  const Machine m = make_dgx1();
+  CostModel model(m.topology, ideal_profile());
+  const auto devices = all_devices(m.topology);
+  const double busbw = model.allreduce_busbw_gbps(
+      devices, 512e6, comm::ReductionScheme::Ring);
+  EXPECT_GE(busbw, 80.0);
+  EXPECT_LE(busbw, 110.0);
+}
+
+TEST(CostModel, TreeSlowerThanRingForLargeBuffersOnNvlink) {
+  const Machine m = make_dgx1();
+  CostModel model(m.topology, ideal_profile());
+  const auto devices = all_devices(m.topology);
+  const double ring = model.allreduce_seconds(devices, 512e6,
+                                              comm::ReductionScheme::Ring);
+  const double tree = model.allreduce_seconds(devices, 512e6,
+                                              comm::ReductionScheme::Tree);
+  EXPECT_GT(tree, ring);
+}
+
+TEST(CostModel, LatencyTermsOrderRingAboveSra) {
+  // For tiny buffers the latency term dominates: SRA pays 2 rounds, Ring
+  // pays 2(N-1) steps (§3 "Reduction Schemes").
+  const Machine m = make_rtx3090_8x();
+  CostModel model(m.topology, ideal_profile());
+  const auto devices = all_devices(m.topology);
+  const double sra = model.allreduce_seconds(
+      devices, 64.0, comm::ReductionScheme::ScatterReduceAllgather);
+  const double ring = model.allreduce_seconds(devices, 64.0,
+                                              comm::ReductionScheme::Ring);
+  EXPECT_LT(sra, ring);
+}
+
+TEST(CostModel, EqualBandwidthTermOnSharedBus) {
+  // On a single shared fabric every allreduce moves the same total bytes;
+  // with zero latency and overheads SRA and Ring coincide.
+  Topology topo = make_shared_bus_topology("bus", 8, 14.0, 14.0, 0.0);
+  CostModel model(topo, ideal_profile());
+  const auto devices = all_devices(topo);
+  const double sra = model.allreduce_seconds(
+      devices, 512e6, comm::ReductionScheme::ScatterReduceAllgather);
+  const double ring = model.allreduce_seconds(devices, 512e6,
+                                              comm::ReductionScheme::Ring);
+  EXPECT_NEAR(sra, ring, sra * 1e-9);
+}
+
+TEST(CostModel, WorldOfOneIsFree) {
+  const Machine m = make_rtx3090_8x(1);
+  CostModel model(m.topology, ideal_profile());
+  const auto devices = all_devices(m.topology);
+  for (auto scheme :
+       {comm::ReductionScheme::ScatterReduceAllgather,
+        comm::ReductionScheme::Ring, comm::ReductionScheme::Tree}) {
+    EXPECT_EQ(model.allreduce_seconds(devices, 1e9, scheme), 0.0);
+  }
+}
+
+TEST(CostModel, MpiStagingCopiesCost) {
+  Topology topo = make_shared_bus_topology("bus", 2, 10.0, 10.0, 0.0);
+  comm::TransportProfile mpi = ideal_profile();
+  mpi.extra_copies = 2;
+  CostModel with_staging(topo, mpi);
+  CostModel without(topo, ideal_profile());
+  EXPECT_GT(with_staging.p2p_seconds(0, 1, 1e9),
+            without.p2p_seconds(0, 1, 1e9));
+}
+
+TEST(CostModel, PerMessageOverheadScalesWithFanout) {
+  Topology topo = make_nvlink_topology("nv", 8, 100.0, 0.0);
+  comm::TransportProfile p = ideal_profile();
+  p.per_message_overhead_us = 10.0;
+  CostModel model(topo, p);
+  const auto devices = all_devices(topo);
+  // SRA full exchange: 7 messages per device -> +70 us over the pure
+  // bandwidth time.
+  const double t = model.full_exchange_seconds(devices, 1000.0);
+  EXPECT_GE(t, 70e-6);
+  EXPECT_LT(t, 100e-6);
+}
+
+TEST(CostModel, MultinodeNicBottleneck) {
+  const Machine cluster = make_genesis_cluster(4);
+  CostModel model(cluster.topology, ideal_profile());
+  const auto devices = all_devices(cluster.topology);
+  // 16-rank ring allreduce of 512 MB rides contended 3.3 GBps fabrics and
+  // 5 GBps NICs: busbw lands well below the 10 GBps intra-node link rate.
+  const double busbw = model.allreduce_busbw_gbps(
+      devices, 512e6, comm::ReductionScheme::Ring);
+  EXPECT_LT(busbw, 0.8);
+  EXPECT_GT(busbw, 0.2);
+  // And an SRA allreduce, whose cross-node pair flows pile onto the NICs,
+  // must be slower than the ring (NIC bottleneck visible).
+  const double sra = model.allreduce_seconds(
+      devices, 512e6, comm::ReductionScheme::ScatterReduceAllgather);
+  const double ring =
+      model.allreduce_seconds(devices, 512e6, comm::ReductionScheme::Ring);
+  EXPECT_GT(sra, ring);
+}
+
+TEST(CostModel, RealisticGenesisSingleNodeBusbw) {
+  const Machine m = make_genesis_4x3090();
+  CostModel model(m.topology, ideal_profile());
+  const auto devices = all_devices(m.topology);
+  const double busbw = model.allreduce_busbw_gbps(
+      devices, 256e6, comm::ReductionScheme::Ring);
+  // 3.3 GBps contended fabric / (2 * 3/4 * 4) = 0.55 GBps, the effective
+  // Allreduce bandwidth that reproduces the paper's Table 4 baseline.
+  EXPECT_NEAR(busbw, 0.55, 0.06);
+}
+
+TEST(CostModel, BroadcastCheaperThanAllreduce) {
+  const Machine m = make_rtx3090_8x();
+  CostModel model(m.topology, ideal_profile());
+  const auto devices = all_devices(m.topology);
+  EXPECT_LT(model.broadcast_seconds(devices, 64e6),
+            model.allreduce_seconds(devices, 64e6,
+                                    comm::ReductionScheme::Tree));
+}
+
+}  // namespace
+}  // namespace cgx::simgpu

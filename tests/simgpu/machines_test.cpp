@@ -1,0 +1,68 @@
+#include "simgpu/machines.h"
+
+#include <gtest/gtest.h>
+
+namespace cgx::simgpu {
+namespace {
+
+TEST(GpuSpec, Table1Characteristics) {
+  const GpuSpec& v100 = gpu_spec(GpuKind::V100);
+  EXPECT_EQ(v100.arch, "Volta");
+  EXPECT_EQ(v100.sm_count, 80);
+  EXPECT_TRUE(v100.gpu_direct);
+  EXPECT_EQ(v100.ram_gb, 16);
+
+  const GpuSpec& rtx3090 = gpu_spec(GpuKind::RTX3090);
+  EXPECT_EQ(rtx3090.arch, "Ampere");
+  EXPECT_FALSE(rtx3090.gpu_direct);  // the paper's central premise
+  EXPECT_EQ(rtx3090.ram_gb, 24);
+
+  const GpuSpec& rtx2080 = gpu_spec(GpuKind::RTX2080TI);
+  EXPECT_FALSE(rtx2080.gpu_direct);
+  EXPECT_EQ(rtx2080.ram_gb, 10);
+
+  EXPECT_TRUE(gpu_spec(GpuKind::A6000).gpu_direct);
+}
+
+TEST(Machines, Table2Presets) {
+  const Machine dgx = make_dgx1();
+  EXPECT_EQ(dgx.topology.num_devices(), 8);
+  EXPECT_EQ(dgx.gpu, GpuKind::V100);
+  EXPECT_EQ(dgx.topology.group_count(), 0u);  // NVLink: no shared bus
+
+  const Machine rtx = make_rtx3090_8x();
+  EXPECT_EQ(rtx.topology.num_devices(), 8);
+  EXPECT_EQ(rtx.topology.group_count(), 1u);  // shared PCIe fabric
+
+  const Machine rtx2080 = make_rtx2080_8x();
+  EXPECT_EQ(rtx2080.gpu, GpuKind::RTX2080TI);
+}
+
+TEST(Machines, ScalableGpuCounts) {
+  for (int gpus : {1, 2, 4, 8}) {
+    EXPECT_EQ(make_rtx3090_8x(gpus).topology.num_devices(), gpus);
+    EXPECT_EQ(make_dgx1(gpus).topology.num_devices(), gpus);
+  }
+}
+
+TEST(Machines, CloudPricesMatchTable4) {
+  EXPECT_DOUBLE_EQ(make_aws_p3_8xlarge().price_per_hour_usd, 12.2);
+  EXPECT_DOUBLE_EQ(make_genesis_4x3090().price_per_hour_usd, 6.8);
+  EXPECT_EQ(make_aws_p3_8xlarge().topology.num_devices(), 4);
+  EXPECT_EQ(make_genesis_4x3090().topology.num_devices(), 4);
+}
+
+TEST(Machines, GenesisClusterShape) {
+  const Machine cluster = make_genesis_cluster(4);
+  EXPECT_EQ(cluster.topology.num_devices(), 16);
+  EXPECT_EQ(cluster.topology.num_nodes(), 4);
+  EXPECT_DOUBLE_EQ(cluster.price_per_hour_usd, 4 * 6.8);
+}
+
+TEST(Machines, GpuKindNames) {
+  EXPECT_STREQ(gpu_kind_name(GpuKind::V100), "V100");
+  EXPECT_STREQ(gpu_kind_name(GpuKind::RTX3090), "RTX3090");
+}
+
+}  // namespace
+}  // namespace cgx::simgpu

@@ -1,0 +1,105 @@
+#include "simgpu/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cgx::simgpu {
+namespace {
+
+TEST(FinishSerialized, EmptyIsZero) {
+  EXPECT_EQ(finish_serialized({}), 0.0);
+}
+
+TEST(FinishSerialized, BackToBackOps) {
+  std::vector<CommOp> ops = {{0.0, 1.0}, {0.0, 2.0}, {0.0, 3.0}};
+  EXPECT_DOUBLE_EQ(finish_serialized(ops), 6.0);
+}
+
+TEST(FinishSerialized, WaitsForReadyTime) {
+  std::vector<CommOp> ops = {{5.0, 1.0}, {0.0, 1.0}};
+  // Op 0 starts at 5, finishes 6; op 1 (already ready) starts at 6.
+  EXPECT_DOUBLE_EQ(finish_serialized(ops), 7.0);
+}
+
+TEST(FinishSerialized, GapsWhenReadyTimesSpread) {
+  std::vector<CommOp> ops = {{1.0, 0.5}, {10.0, 0.5}};
+  EXPECT_DOUBLE_EQ(finish_serialized(ops), 10.5);
+}
+
+TEST(SimulateStep, PureComputeNoComm) {
+  StepSpec spec;
+  spec.forward_s = 1.0;
+  spec.backward_s = {1.0, 1.0};
+  spec.comm_s = {0.0, 0.0};
+  spec.optimizer_s = 0.5;
+  const StepResult r = simulate_step(spec);
+  EXPECT_DOUBLE_EQ(r.step_s, 3.5);
+  EXPECT_DOUBLE_EQ(r.compute_s, 3.5);
+  EXPECT_DOUBLE_EQ(r.exposed_comm_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.comm_total_s, 0.0);
+}
+
+TEST(SimulateStep, FullyHiddenCommunication) {
+  // Early (output-side) layers' comm fits entirely under later backward.
+  StepSpec spec;
+  spec.forward_s = 0.0;
+  spec.backward_s = {1.0, 1.0, 1.0};
+  spec.comm_s = {0.5, 0.5, 0.0};
+  const StepResult r = simulate_step(spec);
+  EXPECT_DOUBLE_EQ(r.step_s, 3.0);
+  EXPECT_DOUBLE_EQ(r.exposed_comm_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.comm_total_s, 1.0);
+}
+
+TEST(SimulateStep, LastLayerCommIsFullyExposed) {
+  // The input-side layer (e.g. a Transformer embedding) produces its
+  // gradient at the very end of backward: nothing left to hide behind.
+  StepSpec spec;
+  spec.backward_s = {1.0, 1.0};
+  spec.comm_s = {0.0, 4.0};
+  const StepResult r = simulate_step(spec);
+  EXPECT_DOUBLE_EQ(r.step_s, 6.0);
+  EXPECT_DOUBLE_EQ(r.exposed_comm_s, 4.0);
+}
+
+TEST(SimulateStep, SerializedEngineDelaysLaterOps) {
+  StepSpec spec;
+  spec.backward_s = {1.0, 1.0};
+  spec.comm_s = {3.0, 1.0};  // first op occupies the engine past backward
+  const StepResult r = simulate_step(spec);
+  // op0: ready 1, runs [1,4); op1: ready 2, runs [4,5). step = 5.
+  EXPECT_DOUBLE_EQ(r.step_s, 5.0);
+  EXPECT_DOUBLE_EQ(r.exposed_comm_s, 3.0);
+}
+
+TEST(SimulateStep, BarrierModeExposesEverything) {
+  StepSpec spec;
+  spec.backward_s = {1.0, 1.0};
+  spec.comm_s = {0.5, 0.5};
+  spec.overlap = false;
+  const StepResult r = simulate_step(spec);
+  EXPECT_DOUBLE_EQ(r.step_s, 3.0);
+  EXPECT_DOUBLE_EQ(r.exposed_comm_s, 1.0);
+
+  spec.overlap = true;
+  const StepResult r2 = simulate_step(spec);
+  EXPECT_LT(r2.step_s, r.step_s);
+}
+
+TEST(SimulateStep, OptimizerRunsAfterCommunication) {
+  StepSpec spec;
+  spec.backward_s = {1.0};
+  spec.comm_s = {2.0};
+  spec.optimizer_s = 0.25;
+  const StepResult r = simulate_step(spec);
+  EXPECT_DOUBLE_EQ(r.step_s, 3.25);
+}
+
+TEST(Throughput, ScalesWithDevices) {
+  EXPECT_DOUBLE_EQ(throughput_items_per_s(0.5, 32, 8), 512.0);
+  EXPECT_DOUBLE_EQ(throughput_items_per_s(1.0, 32, 1), 32.0);
+}
+
+}  // namespace
+}  // namespace cgx::simgpu

@@ -1,0 +1,78 @@
+#include "simgpu/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace cgx::simgpu {
+namespace {
+
+TEST(Topology, SharedBusBuilder) {
+  Topology topo = make_shared_bus_topology("bus", 4, 14.0, 14.0, 6.0);
+  EXPECT_EQ(topo.num_devices(), 4);
+  EXPECT_EQ(topo.group_count(), 1u);
+  EXPECT_DOUBLE_EQ(topo.group_gbps(0), 14.0);
+  EXPECT_DOUBLE_EQ(topo.port_gbps(), 14.0);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      const LinkPath& link = topo.link(i, j);
+      EXPECT_DOUBLE_EQ(link.bandwidth_gbps, 14.0);
+      EXPECT_DOUBLE_EQ(link.latency_us, 6.0);
+      ASSERT_EQ(link.groups.size(), 1u);
+      EXPECT_EQ(link.groups[0], 0);
+    }
+  }
+  EXPECT_EQ(topo.num_nodes(), 1);
+}
+
+TEST(Topology, NvlinkBuilderHasNoSharedGroup) {
+  Topology topo = make_nvlink_topology("nvlink", 8, 175.0, 2.0);
+  EXPECT_EQ(topo.group_count(), 0u);
+  EXPECT_TRUE(topo.link(0, 7).groups.empty());
+  EXPECT_DOUBLE_EQ(topo.port_gbps(), 175.0);
+}
+
+TEST(Topology, MultinodeNodesAndPaths) {
+  Topology topo =
+      make_multinode_topology("cluster", 3, 4, 10.0, 10.0, 6.0, 5.0, 30.0);
+  EXPECT_EQ(topo.num_devices(), 12);
+  EXPECT_EQ(topo.num_nodes(), 3);
+  EXPECT_EQ(topo.node_of(0), 0);
+  EXPECT_EQ(topo.node_of(4), 1);
+  EXPECT_EQ(topo.node_of(11), 2);
+  EXPECT_EQ(topo.devices_on_node(1), (std::vector<int>{4, 5, 6, 7}));
+
+  // Intra-node path: one group (its node's fabric), low latency.
+  const LinkPath& intra = topo.link(0, 1);
+  EXPECT_EQ(intra.groups.size(), 1u);
+  EXPECT_DOUBLE_EQ(intra.latency_us, 6.0);
+  EXPECT_DOUBLE_EQ(intra.bandwidth_gbps, 10.0);
+
+  // Cross-node path: crosses both fabrics and both NICs, network latency,
+  // NIC-limited bandwidth.
+  const LinkPath& inter = topo.link(0, 4);
+  EXPECT_EQ(inter.groups.size(), 4u);
+  EXPECT_DOUBLE_EQ(inter.latency_us, 36.0);
+  EXPECT_DOUBLE_EQ(inter.bandwidth_gbps, 5.0);
+}
+
+TEST(Topology, DistinctNodesHaveDistinctNics) {
+  Topology topo =
+      make_multinode_topology("cluster", 2, 2, 10.0, 10.0, 6.0, 5.0, 30.0);
+  const LinkPath& a = topo.link(0, 2);
+  const LinkPath& b = topo.link(2, 0);
+  // Paths in opposite directions share the same group set.
+  EXPECT_EQ(a.groups.size(), b.groups.size());
+}
+
+TEST(TopologyDeathTest, MissingLinkIsAnError) {
+  Topology topo("empty", 2);
+  EXPECT_DEATH((void)topo.link(0, 1), "no link configured");
+}
+
+TEST(TopologyDeathTest, SelfLinkRejected) {
+  Topology topo("t", 2);
+  EXPECT_DEATH(topo.set_link(0, 0, LinkPath{1.0, 1.0, {}}), "");
+}
+
+}  // namespace
+}  // namespace cgx::simgpu

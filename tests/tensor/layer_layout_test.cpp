@@ -1,0 +1,73 @@
+#include "tensor/layer_layout.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cgx::tensor {
+namespace {
+
+TEST(LayerLayout, OffsetsAreCumulative) {
+  LayerLayout layout;
+  layout.add_layer("embed", Shape{10, 4});
+  layout.add_layer("fc.weight", Shape{4, 4});
+  layout.add_layer("fc.bias", Shape{4});
+  EXPECT_EQ(layout.layer_count(), 3u);
+  EXPECT_EQ(layout.total_numel(), 40u + 16u + 4u);
+  EXPECT_EQ(layout.layer(0).offset, 0u);
+  EXPECT_EQ(layout.layer(1).offset, 40u);
+  EXPECT_EQ(layout.layer(2).offset, 56u);
+}
+
+TEST(LayerLayout, IndexOfAndContains) {
+  LayerLayout layout;
+  layout.add_layer("a", 3u);
+  layout.add_layer("b", 5u);
+  EXPECT_EQ(layout.index_of("b"), 1u);
+  EXPECT_TRUE(layout.contains("a"));
+  EXPECT_FALSE(layout.contains("c"));
+}
+
+TEST(LayerLayout, SliceViewsCorrectRegion) {
+  LayerLayout layout;
+  layout.add_layer("first", 3u);
+  layout.add_layer("second", 2u);
+  std::vector<float> fused = {0, 1, 2, 3, 4};
+  auto s0 = layout.slice(std::span<float>(fused), 0);
+  auto s1 = layout.slice(std::span<float>(fused), 1);
+  EXPECT_EQ(s0.size(), 3u);
+  EXPECT_EQ(s1.size(), 2u);
+  EXPECT_EQ(s1[0], 3.0f);
+  s1[1] = 9.0f;
+  EXPECT_EQ(fused[4], 9.0f);
+}
+
+TEST(LayerLayout, ConstSlice) {
+  LayerLayout layout;
+  layout.add_layer("only", 4u);
+  const std::vector<float> fused = {1, 2, 3, 4};
+  auto s = layout.slice(std::span<const float>(fused), 0);
+  EXPECT_EQ(s[3], 4.0f);
+}
+
+TEST(LayerLayout, ShapePreserved) {
+  LayerLayout layout;
+  layout.add_layer("conv", Shape{8, 3, 3, 3});
+  EXPECT_EQ(layout.layer(0).shape, (Shape{8, 3, 3, 3}));
+  EXPECT_EQ(layout.layer(0).numel, 216u);
+}
+
+TEST(LayerLayoutDeathTest, DuplicateNameRejected) {
+  LayerLayout layout;
+  layout.add_layer("x", 1u);
+  EXPECT_DEATH(layout.add_layer("x", 2u), "duplicate layer name");
+}
+
+TEST(LayerLayoutDeathTest, UnknownNameRejected) {
+  LayerLayout layout;
+  layout.add_layer("x", 1u);
+  EXPECT_DEATH((void)layout.index_of("nope"), "no layer named");
+}
+
+}  // namespace
+}  // namespace cgx::tensor

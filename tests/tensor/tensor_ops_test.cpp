@@ -1,0 +1,117 @@
+#include "tensor/tensor_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cgx::tensor {
+namespace {
+
+TEST(TensorOps, Axpy) {
+  std::vector<float> x = {1, 2, 3};
+  std::vector<float> y = {10, 20, 30};
+  axpy(2.0f, x, y);
+  EXPECT_EQ(y, (std::vector<float>{12, 24, 36}));
+}
+
+TEST(TensorOps, Scale) {
+  std::vector<float> x = {1, -2, 4};
+  scale(x, 0.5f);
+  EXPECT_EQ(x, (std::vector<float>{0.5f, -1.0f, 2.0f}));
+}
+
+TEST(TensorOps, DotAndNorms) {
+  std::vector<float> x = {3, 4};
+  EXPECT_DOUBLE_EQ(dot(x, x), 25.0);
+  EXPECT_DOUBLE_EQ(squared_norm(x), 25.0);
+  EXPECT_DOUBLE_EQ(l2_norm(x), 5.0);
+  EXPECT_EQ(linf_norm(std::vector<float>{-7, 2, 5}), 7.0f);
+  EXPECT_DOUBLE_EQ(sum(std::vector<float>{1, 2, 3.5f}), 6.5);
+}
+
+TEST(TensorOps, SubAndAdd) {
+  std::vector<float> a = {5, 6}, b = {1, 2}, out(2);
+  sub(a, b, out);
+  EXPECT_EQ(out, (std::vector<float>{4, 4}));
+  add_inplace(out, b);
+  EXPECT_EQ(out, (std::vector<float>{5, 6}));
+}
+
+TEST(TensorOps, Copy) {
+  std::vector<float> a = {1, 2, 3}, b(3, 0.0f);
+  copy(a, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(TensorOps, MatmulIdentity) {
+  // 2x2 identity times arbitrary matrix.
+  std::vector<float> eye = {1, 0, 0, 1};
+  std::vector<float> m = {3, 4, 5, 6};
+  std::vector<float> out(4);
+  matmul(eye, m, out, 2, 2, 2);
+  EXPECT_EQ(out, m);
+}
+
+TEST(TensorOps, MatmulKnown) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  std::vector<float> a = {1, 2, 3, 4};
+  std::vector<float> b = {5, 6, 7, 8};
+  std::vector<float> c(4);
+  matmul(a, b, c, 2, 2, 2);
+  EXPECT_EQ(c, (std::vector<float>{19, 22, 43, 50}));
+}
+
+TEST(TensorOps, MatmulRectangular) {
+  // [1 2 3] (1x3) * [[1],[1],[1]] (3x1) = [6]
+  std::vector<float> a = {1, 2, 3};
+  std::vector<float> b = {1, 1, 1};
+  std::vector<float> c(1);
+  matmul(a, b, c, 1, 3, 1);
+  EXPECT_EQ(c[0], 6.0f);
+}
+
+// Property: matmul_at_b and matmul_a_bt agree with explicit transposition
+// through plain matmul, across random shapes.
+TEST(TensorOps, TransposedVariantsMatchExplicitTranspose) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t m = 1 + rng.next_below(8);
+    const std::size_t k = 1 + rng.next_below(8);
+    const std::size_t n = 1 + rng.next_below(8);
+    std::vector<float> a(k * m), b(k * n);
+    for (auto& v : a) v = static_cast<float>(rng.next_gaussian());
+    for (auto& v : b) v = static_cast<float>(rng.next_gaussian());
+
+    // at_b: C = A^T B with A [k x m].
+    std::vector<float> at(m * k);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < m; ++j) at[j * k + i] = a[i * m + j];
+    }
+    std::vector<float> want(m * n), got(m * n);
+    matmul(at, b, want, m, k, n);
+    matmul_at_b(a, b, got, k, m, n);
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_NEAR(got[i], want[i], 1e-4f);
+    }
+
+    // a_bt: C = X B^T with X [m x n], B [k x n].
+    std::vector<float> x(m * n);
+    for (auto& v : x) v = static_cast<float>(rng.next_gaussian());
+    std::vector<float> bt(n * k);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < n; ++j) bt[j * k + i] = b[i * n + j];
+    }
+    std::vector<float> want2(m * k), got2(m * k);
+    matmul(x, bt, want2, m, n, k);
+    matmul_a_bt(x, b, got2, m, n, k);
+    for (std::size_t i = 0; i < want2.size(); ++i) {
+      EXPECT_NEAR(got2[i], want2[i], 1e-4f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cgx::tensor

@@ -1,0 +1,79 @@
+#include "util/bitio.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cgx::util {
+namespace {
+
+TEST(BitIo, PackedSize) {
+  EXPECT_EQ(packed_size_bytes(0, 4), 0u);
+  EXPECT_EQ(packed_size_bytes(1, 4), 8u);
+  EXPECT_EQ(packed_size_bytes(16, 4), 8u);   // 64 bits exactly
+  EXPECT_EQ(packed_size_bytes(17, 4), 16u);  // spills into second word
+  EXPECT_EQ(packed_size_bytes(64, 1), 8u);
+  EXPECT_EQ(packed_size_bytes(2, 32), 8u);
+}
+
+// Property: pack(unpack(x)) == x for random symbols across all bit widths,
+// including symbols straddling 64-bit word boundaries.
+class BitIoRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitIoRoundTrip, RandomSymbols) {
+  const unsigned bits = GetParam();
+  Rng rng(bits * 1000 + 17);
+  for (std::size_t n : {1ul, 7ul, 16ul, 63ul, 64ul, 65ul, 1000ul}) {
+    std::vector<std::uint32_t> symbols(n);
+    const std::uint64_t bound = bits == 32 ? 0xffffffffull : (1ull << bits);
+    for (auto& s : symbols) {
+      s = static_cast<std::uint32_t>(rng.next_below(bound));
+    }
+    std::vector<std::byte> packed(packed_size_bytes(n, bits));
+    pack_symbols(symbols, bits, packed);
+    std::vector<std::uint32_t> restored(n);
+    unpack_symbols(packed, bits, restored);
+    EXPECT_EQ(symbols, restored) << "bits=" << bits << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitIoRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 7u, 8u, 11u,
+                                           13u, 16u, 24u, 31u, 32u));
+
+TEST(BitIo, MaxSymbolsSurvive) {
+  for (unsigned bits : {1u, 4u, 8u, 16u}) {
+    const std::uint32_t max_symbol =
+        static_cast<std::uint32_t>((1ull << bits) - 1);
+    std::vector<std::uint32_t> symbols(100, max_symbol);
+    std::vector<std::byte> packed(packed_size_bytes(symbols.size(), bits));
+    pack_symbols(symbols, bits, packed);
+    std::vector<std::uint32_t> restored(symbols.size());
+    unpack_symbols(packed, bits, restored);
+    EXPECT_EQ(symbols, restored);
+  }
+}
+
+TEST(BitIo, WriterCountsSymbols) {
+  std::vector<std::byte> out(packed_size_bytes(10, 3));
+  BitWriter w(out, 3);
+  for (int i = 0; i < 10; ++i) w.write(static_cast<std::uint64_t>(i % 8));
+  EXPECT_EQ(w.symbols_written(), 10u);
+  w.finish();
+}
+
+TEST(BitIo, InterleavedReadsMatchWrites) {
+  std::vector<std::byte> out(packed_size_bytes(200, 5));
+  BitWriter w(out, 5);
+  for (int i = 0; i < 200; ++i) w.write(static_cast<std::uint64_t>(i % 32));
+  w.finish();
+  BitReader r(out, 5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(r.read(), static_cast<std::uint64_t>(i % 32));
+  }
+}
+
+}  // namespace
+}  // namespace cgx::util

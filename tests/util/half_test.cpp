@@ -1,0 +1,92 @@
+#include "util/half.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cgx::util {
+namespace {
+
+TEST(Half, ExactSmallIntegers) {
+  for (float f : {0.0f, 1.0f, -1.0f, 2.0f, 0.5f, -0.25f, 1024.0f, 2048.0f}) {
+    EXPECT_EQ(half_to_float(float_to_half(f)), f) << f;
+  }
+}
+
+TEST(Half, SignedZeroPreserved) {
+  EXPECT_EQ(float_to_half(0.0f), 0x0000u);
+  EXPECT_EQ(float_to_half(-0.0f), 0x8000u);
+  EXPECT_EQ(std::signbit(half_to_float(0x8000u)), true);
+}
+
+TEST(Half, InfinityAndOverflow) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(half_to_float(float_to_half(inf)), inf);
+  EXPECT_EQ(half_to_float(float_to_half(-inf)), -inf);
+  // Values beyond the half range overflow to infinity — this is the exact
+  // failure mode that makes PowerSGD diverge in FP16 (paper §6.2).
+  EXPECT_EQ(half_to_float(float_to_half(1e6f)), inf);
+  EXPECT_EQ(half_to_float(float_to_half(-1e6f)), -inf);
+}
+
+TEST(Half, MaxHalfRepresentable) {
+  EXPECT_EQ(half_to_float(float_to_half(kMaxHalf)), kMaxHalf);
+}
+
+TEST(Half, NanPreserved) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(half_to_float(float_to_half(nan))));
+}
+
+TEST(Half, SubnormalsRoundTrip) {
+  // Smallest positive half subnormal: 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(half_to_float(float_to_half(tiny)), tiny);
+  // Halfway below it rounds to zero or tiny (round-to-nearest-even -> zero).
+  EXPECT_EQ(half_to_float(float_to_half(std::ldexp(1.0f, -26))), 0.0f);
+}
+
+TEST(Half, RelativeErrorBoundedForNormals) {
+  Rng rng(21);
+  for (int i = 0; i < 20000; ++i) {
+    // Random magnitudes across the half normal range.
+    const float exp = -14.0f + 29.0f * rng.next_float();
+    const float sign = rng.next_float() < 0.5f ? -1.0f : 1.0f;
+    const float f = sign * std::exp2(exp) * (1.0f + rng.next_float());
+    if (std::fabs(f) > kMaxHalf) continue;
+    const float g = half_to_float(float_to_half(f));
+    // Half has 11 significand bits: relative error <= 2^-11.
+    EXPECT_LE(std::fabs(g - f), std::fabs(f) * 0x1.0p-11f + 1e-12f) << f;
+  }
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half (1 + 2^-10);
+  // nearest-even rounds down to 1.0.
+  EXPECT_EQ(half_to_float(float_to_half(1.0f + 0x1.0p-11f)), 1.0f);
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; rounds up to even.
+  EXPECT_EQ(half_to_float(float_to_half(1.0f + 3 * 0x1.0p-11f)),
+            1.0f + 0x1.0p-9f);
+}
+
+TEST(Half, BulkConversionMatchesScalar) {
+  Rng rng(5);
+  std::vector<float> in(257);
+  for (auto& v : in) {
+    v = static_cast<float>(rng.next_gaussian()) * 100.0f;
+  }
+  std::vector<std::uint16_t> halves(in.size());
+  std::vector<float> out(in.size());
+  floats_to_halves(in, halves);
+  halves_to_floats(halves, out);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i], half_to_float(float_to_half(in[i])));
+  }
+}
+
+}  // namespace
+}  // namespace cgx::util

@@ -1,0 +1,61 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/csv.h"
+
+namespace cgx::util {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+}
+
+TEST(Table, CompactUsesSuffixes) {
+  EXPECT_EQ(Table::compact(950), "950");
+  EXPECT_EQ(Table::compact(260000), "260.0k");
+  EXPECT_EQ(Table::compact(2500000), "2.50M");
+}
+
+TEST(Csv, EscapesSpecials) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRows) {
+  const std::string path = ::testing::TempDir() + "/cgx_csv_test.csv";
+  {
+    CsvWriter w(path, {"x", "y"});
+    ASSERT_TRUE(w.ok());
+    w.add_row({"1", "2"});
+    w.add_row({"3", "4,5"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,\"4,5\"");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cgx::util

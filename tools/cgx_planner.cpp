@@ -1,0 +1,130 @@
+// cgx_planner — what-if analysis over the calibrated performance model.
+//
+// Usage:
+//   cgx_planner [model] [machine] [engine] [gpus] [bits] [bucket]
+//     model:   resnet50 | vgg16 | vit | txl | bert | gpt2   (default txl)
+//     machine: rtx3090 | rtx2080 | dgx1 | a6000 | genesis | cluster
+//     engine:  cgx | nccl | qnccl                            (default cgx)
+//     gpus:    device count (default: machine's full size)
+//     bits:    QSGD bit-width for cgx (default 4)
+//     bucket:  QSGD bucket size (default 128)
+//
+// Prints the predicted step breakdown — compute, per-layer communication,
+// overlap, % of linear scaling — the quantities a user would measure after
+// renting the hardware, available before renting it.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bench/common.h"
+
+using namespace cgx;
+
+namespace {
+
+models::PaperModel pick_model(const std::string& name) {
+  if (name == "resnet50") return models::resnet50();
+  if (name == "vgg16") return models::vgg16();
+  if (name == "vit") return models::vit_base();
+  if (name == "txl") return models::transformer_xl_base();
+  if (name == "bert") return models::bert_base();
+  if (name == "gpt2") return models::gpt2_small();
+  std::cerr << "unknown model '" << name << "'\n";
+  std::exit(2);
+}
+
+simgpu::Machine pick_machine(const std::string& name, int gpus) {
+  if (name == "rtx3090") return simgpu::make_rtx3090_8x(gpus ? gpus : 8);
+  if (name == "rtx2080") return simgpu::make_rtx2080_8x(gpus ? gpus : 8);
+  if (name == "dgx1") return simgpu::make_dgx1(gpus ? gpus : 8);
+  if (name == "a6000") return simgpu::make_a6000_8x(gpus ? gpus : 8);
+  if (name == "genesis") return simgpu::make_genesis_4x3090();
+  if (name == "cluster") return simgpu::make_genesis_cluster(4);
+  std::cerr << "unknown machine '" << name << "'\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string model_name = argc > 1 ? argv[1] : "txl";
+  const std::string machine_name = argc > 2 ? argv[2] : "rtx3090";
+  const std::string engine_name = argc > 3 ? argv[3] : "cgx";
+  const int gpus = argc > 4 ? std::atoi(argv[4]) : 0;
+  const unsigned bits = argc > 5 ? std::atoi(argv[5]) : 4;
+  const std::size_t bucket = argc > 6 ? std::atoi(argv[6]) : 128;
+
+  const models::PaperModel model = pick_model(model_name);
+  const simgpu::Machine machine = pick_machine(machine_name, gpus);
+  const int world = machine.topology.num_devices();
+
+  std::unique_ptr<core::GradientEngine> engine;
+  comm::TransportProfile profile = comm::NcclTransport(world).profile();
+  if (engine_name == "cgx") {
+    core::CompressionConfig config = core::CompressionConfig::cgx_default();
+    core::LayerCompression cfg = config.default_compression();
+    cfg.bits = bits;
+    cfg.bucket_size = bucket;
+    config.set_default(cfg);
+    engine = std::make_unique<core::CgxEngine>(model.layout, config, world);
+    profile = comm::ShmTransport(world).profile();
+  } else if (engine_name == "nccl") {
+    engine = std::make_unique<core::BaselineEngine>(model.layout, world,
+                                                    model.fp16_wire);
+  } else if (engine_name == "qnccl") {
+    engine = std::make_unique<core::QncclEngine>(model.layout, bits, bucket,
+                                                 world);
+  } else {
+    std::cerr << "unknown engine '" << engine_name << "'\n";
+    return 2;
+  }
+
+  const simgpu::CostModel cost(machine.topology, profile);
+  const core::CommPlan plan =
+      engine->comm_plan(cost, simgpu::gpu_spec(machine.gpu).compress_gbps);
+  const simgpu::StepSpec spec =
+      models::build_step_spec(model, machine.gpu, plan);
+  const simgpu::StepResult step = simgpu::simulate_step(spec);
+  const double tput = simgpu::throughput_items_per_s(
+      step.step_s, model.items_per_step_per_gpu, world);
+  const double ideal = world * model.single_gpu_items_per_s(machine.gpu);
+
+  std::cout << "Plan: " << model.name << " (" << model.task << ") on "
+            << machine.name << " with " << engine->name() << "\n\n";
+  util::Table table("Predicted step breakdown");
+  table.set_header({"quantity", "value"});
+  table.add_row({"parameters", util::Table::compact(
+                                   double(model.param_count()))});
+  table.add_row({"compute / step", util::Table::num(1e3 * step.compute_s, 1)
+                                        + " ms"});
+  table.add_row({"communication total",
+                 util::Table::num(1e3 * step.comm_total_s, 1) + " ms"});
+  table.add_row({"exposed (not overlapped)",
+                 util::Table::num(1e3 * step.exposed_comm_s, 1) + " ms"});
+  table.add_row({"step time", util::Table::num(1e3 * step.step_s, 1) +
+                                  " ms"});
+  table.add_row({"throughput", util::Table::compact(tput) + " " +
+                                   model.item_unit + "/s"});
+  table.add_row({"% of linear scaling",
+                 util::Table::num(100.0 * tput / ideal, 1) + "%"});
+  table.add_row({"wire bytes per rank / step",
+                 util::Table::compact(plan.wire_bytes_per_rank)});
+  table.print();
+
+  // Top-5 communication layers: where the remaining time goes.
+  std::vector<std::size_t> order(plan.per_layer_s.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return plan.per_layer_s[a] > plan.per_layer_s[b];
+  });
+  util::Table top("Top communication layers");
+  top.set_header({"layer", "numel", "comm ms"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, order.size()); ++i) {
+    const auto& info = model.layout.layer(order[i]);
+    if (plan.per_layer_s[order[i]] <= 0.0) break;
+    top.add_row({info.name, util::Table::compact(double(info.numel)),
+                 util::Table::num(1e3 * plan.per_layer_s[order[i]], 2)});
+  }
+  top.print();
+  return 0;
+}
