@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_crossbarrier.cpp" "bench/CMakeFiles/bench_ablation_crossbarrier.dir/bench_ablation_crossbarrier.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_crossbarrier.dir/bench_ablation_crossbarrier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cgx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cgx_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/cgx_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/cgx_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cgx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cgx_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cgx_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/cgx_models.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_crossbarrier.dir/bench_ablation_crossbarrier.cpp.o"
+  "CMakeFiles/bench_ablation_crossbarrier.dir/bench_ablation_crossbarrier.cpp.o.d"
+  "bench_ablation_crossbarrier"
+  "bench_ablation_crossbarrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_crossbarrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

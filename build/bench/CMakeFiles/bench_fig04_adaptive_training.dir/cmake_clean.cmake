@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_adaptive_training.dir/bench_fig04_adaptive_training.cpp.o"
+  "CMakeFiles/bench_fig04_adaptive_training.dir/bench_fig04_adaptive_training.cpp.o.d"
+  "bench_fig04_adaptive_training"
+  "bench_fig04_adaptive_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_adaptive_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_powersgd.dir/bench_fig07_powersgd.cpp.o"
+  "CMakeFiles/bench_fig07_powersgd.dir/bench_fig07_powersgd.cpp.o.d"
+  "bench_fig07_powersgd"
+  "bench_fig07_powersgd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_powersgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_backends.dir/bench_fig11_backends.cpp.o"
+  "CMakeFiles/bench_fig11_backends.dir/bench_fig11_backends.cpp.o.d"
+  "bench_fig11_backends"
+  "bench_fig11_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_machines.dir/bench_table2_machines.cpp.o"
+  "CMakeFiles/bench_table2_machines.dir/bench_table2_machines.cpp.o.d"
+  "bench_table2_machines"
+  "bench_table2_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

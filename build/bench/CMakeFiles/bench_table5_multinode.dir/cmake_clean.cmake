@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_multinode.dir/bench_table5_multinode.cpp.o"
+  "CMakeFiles/bench_table5_multinode.dir/bench_table5_multinode.cpp.o.d"
+  "bench_table5_multinode"
+  "bench_table5_multinode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_ceiling.dir/bench_table8_ceiling.cpp.o"
+  "CMakeFiles/bench_table8_ceiling.dir/bench_table8_ceiling.cpp.o.d"
+  "bench_table8_ceiling"
+  "bench_table8_ceiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_ceiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_compressor.dir/custom_compressor.cpp.o"
+  "CMakeFiles/custom_compressor.dir/custom_compressor.cpp.o.d"
+  "custom_compressor"
+  "custom_compressor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_compressor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/language_model.dir/language_model.cpp.o"
+  "CMakeFiles/language_model.dir/language_model.cpp.o.d"
+  "language_model"
+  "language_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/language_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

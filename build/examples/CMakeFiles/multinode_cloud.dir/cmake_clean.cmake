@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multinode_cloud.dir/multinode_cloud.cpp.o"
+  "CMakeFiles/multinode_cloud.dir/multinode_cloud.cpp.o.d"
+  "multinode_cloud"
+  "multinode_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multinode_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/collectives.cpp" "src/comm/CMakeFiles/cgx_comm.dir/collectives.cpp.o" "gcc" "src/comm/CMakeFiles/cgx_comm.dir/collectives.cpp.o.d"
+  "/root/repo/src/comm/transports.cpp" "src/comm/CMakeFiles/cgx_comm.dir/transports.cpp.o" "gcc" "src/comm/CMakeFiles/cgx_comm.dir/transports.cpp.o.d"
+  "/root/repo/src/comm/world.cpp" "src/comm/CMakeFiles/cgx_comm.dir/world.cpp.o" "gcc" "src/comm/CMakeFiles/cgx_comm.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cgx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cgx_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

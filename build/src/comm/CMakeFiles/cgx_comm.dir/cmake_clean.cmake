@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgx_comm.dir/collectives.cpp.o"
+  "CMakeFiles/cgx_comm.dir/collectives.cpp.o.d"
+  "CMakeFiles/cgx_comm.dir/transports.cpp.o"
+  "CMakeFiles/cgx_comm.dir/transports.cpp.o.d"
+  "CMakeFiles/cgx_comm.dir/world.cpp.o"
+  "CMakeFiles/cgx_comm.dir/world.cpp.o.d"
+  "libcgx_comm.a"
+  "libcgx_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgx_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

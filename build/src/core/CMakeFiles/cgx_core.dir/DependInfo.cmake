@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/cgx_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/cgx_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/compressed_allreduce.cpp" "src/core/CMakeFiles/cgx_core.dir/compressed_allreduce.cpp.o" "gcc" "src/core/CMakeFiles/cgx_core.dir/compressed_allreduce.cpp.o.d"
+  "/root/repo/src/core/compression_config.cpp" "src/core/CMakeFiles/cgx_core.dir/compression_config.cpp.o" "gcc" "src/core/CMakeFiles/cgx_core.dir/compression_config.cpp.o.d"
+  "/root/repo/src/core/compressor.cpp" "src/core/CMakeFiles/cgx_core.dir/compressor.cpp.o" "gcc" "src/core/CMakeFiles/cgx_core.dir/compressor.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/cgx_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/cgx_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/error_feedback.cpp" "src/core/CMakeFiles/cgx_core.dir/error_feedback.cpp.o" "gcc" "src/core/CMakeFiles/cgx_core.dir/error_feedback.cpp.o.d"
+  "/root/repo/src/core/frontend.cpp" "src/core/CMakeFiles/cgx_core.dir/frontend.cpp.o" "gcc" "src/core/CMakeFiles/cgx_core.dir/frontend.cpp.o.d"
+  "/root/repo/src/core/hierarchical.cpp" "src/core/CMakeFiles/cgx_core.dir/hierarchical.cpp.o" "gcc" "src/core/CMakeFiles/cgx_core.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/core/nuq.cpp" "src/core/CMakeFiles/cgx_core.dir/nuq.cpp.o" "gcc" "src/core/CMakeFiles/cgx_core.dir/nuq.cpp.o.d"
+  "/root/repo/src/core/onebit.cpp" "src/core/CMakeFiles/cgx_core.dir/onebit.cpp.o" "gcc" "src/core/CMakeFiles/cgx_core.dir/onebit.cpp.o.d"
+  "/root/repo/src/core/powersgd.cpp" "src/core/CMakeFiles/cgx_core.dir/powersgd.cpp.o" "gcc" "src/core/CMakeFiles/cgx_core.dir/powersgd.cpp.o.d"
+  "/root/repo/src/core/qsgd.cpp" "src/core/CMakeFiles/cgx_core.dir/qsgd.cpp.o" "gcc" "src/core/CMakeFiles/cgx_core.dir/qsgd.cpp.o.d"
+  "/root/repo/src/core/terngrad.cpp" "src/core/CMakeFiles/cgx_core.dir/terngrad.cpp.o" "gcc" "src/core/CMakeFiles/cgx_core.dir/terngrad.cpp.o.d"
+  "/root/repo/src/core/topk.cpp" "src/core/CMakeFiles/cgx_core.dir/topk.cpp.o" "gcc" "src/core/CMakeFiles/cgx_core.dir/topk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cgx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cgx_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/cgx_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/cgx_simgpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

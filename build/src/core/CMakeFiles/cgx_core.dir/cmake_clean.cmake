@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgx_core.dir/adaptive.cpp.o"
+  "CMakeFiles/cgx_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/cgx_core.dir/compressed_allreduce.cpp.o"
+  "CMakeFiles/cgx_core.dir/compressed_allreduce.cpp.o.d"
+  "CMakeFiles/cgx_core.dir/compression_config.cpp.o"
+  "CMakeFiles/cgx_core.dir/compression_config.cpp.o.d"
+  "CMakeFiles/cgx_core.dir/compressor.cpp.o"
+  "CMakeFiles/cgx_core.dir/compressor.cpp.o.d"
+  "CMakeFiles/cgx_core.dir/engine.cpp.o"
+  "CMakeFiles/cgx_core.dir/engine.cpp.o.d"
+  "CMakeFiles/cgx_core.dir/error_feedback.cpp.o"
+  "CMakeFiles/cgx_core.dir/error_feedback.cpp.o.d"
+  "CMakeFiles/cgx_core.dir/frontend.cpp.o"
+  "CMakeFiles/cgx_core.dir/frontend.cpp.o.d"
+  "CMakeFiles/cgx_core.dir/hierarchical.cpp.o"
+  "CMakeFiles/cgx_core.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/cgx_core.dir/nuq.cpp.o"
+  "CMakeFiles/cgx_core.dir/nuq.cpp.o.d"
+  "CMakeFiles/cgx_core.dir/onebit.cpp.o"
+  "CMakeFiles/cgx_core.dir/onebit.cpp.o.d"
+  "CMakeFiles/cgx_core.dir/powersgd.cpp.o"
+  "CMakeFiles/cgx_core.dir/powersgd.cpp.o.d"
+  "CMakeFiles/cgx_core.dir/qsgd.cpp.o"
+  "CMakeFiles/cgx_core.dir/qsgd.cpp.o.d"
+  "CMakeFiles/cgx_core.dir/terngrad.cpp.o"
+  "CMakeFiles/cgx_core.dir/terngrad.cpp.o.d"
+  "CMakeFiles/cgx_core.dir/topk.cpp.o"
+  "CMakeFiles/cgx_core.dir/topk.cpp.o.d"
+  "libcgx_core.a"
+  "libcgx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgx_data.dir/synthetic.cpp.o"
+  "CMakeFiles/cgx_data.dir/synthetic.cpp.o.d"
+  "libcgx_data.a"
+  "libcgx_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgx_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

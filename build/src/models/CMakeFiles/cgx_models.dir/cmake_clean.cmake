@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgx_models.dir/paper_profiles.cpp.o"
+  "CMakeFiles/cgx_models.dir/paper_profiles.cpp.o.d"
+  "CMakeFiles/cgx_models.dir/small_models.cpp.o"
+  "CMakeFiles/cgx_models.dir/small_models.cpp.o.d"
+  "libcgx_models.a"
+  "libcgx_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgx_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

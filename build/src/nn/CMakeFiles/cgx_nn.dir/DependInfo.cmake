@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/cgx_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/cgx_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/cgx_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/cgx_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/cgx_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/cgx_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/cgx_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/cgx_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/nn/CMakeFiles/cgx_nn.dir/optim.cpp.o" "gcc" "src/nn/CMakeFiles/cgx_nn.dir/optim.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/cgx_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/cgx_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/cgx_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/cgx_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/train.cpp" "src/nn/CMakeFiles/cgx_nn.dir/train.cpp.o" "gcc" "src/nn/CMakeFiles/cgx_nn.dir/train.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cgx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cgx_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/cgx_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cgx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/cgx_simgpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgx_nn.dir/attention.cpp.o"
+  "CMakeFiles/cgx_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/cgx_nn.dir/conv.cpp.o"
+  "CMakeFiles/cgx_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/cgx_nn.dir/layers.cpp.o"
+  "CMakeFiles/cgx_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/cgx_nn.dir/loss.cpp.o"
+  "CMakeFiles/cgx_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/cgx_nn.dir/optim.cpp.o"
+  "CMakeFiles/cgx_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/cgx_nn.dir/sequential.cpp.o"
+  "CMakeFiles/cgx_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/cgx_nn.dir/serialize.cpp.o"
+  "CMakeFiles/cgx_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/cgx_nn.dir/train.cpp.o"
+  "CMakeFiles/cgx_nn.dir/train.cpp.o.d"
+  "libcgx_nn.a"
+  "libcgx_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgx_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simgpu/cost_model.cpp" "src/simgpu/CMakeFiles/cgx_simgpu.dir/cost_model.cpp.o" "gcc" "src/simgpu/CMakeFiles/cgx_simgpu.dir/cost_model.cpp.o.d"
+  "/root/repo/src/simgpu/machines.cpp" "src/simgpu/CMakeFiles/cgx_simgpu.dir/machines.cpp.o" "gcc" "src/simgpu/CMakeFiles/cgx_simgpu.dir/machines.cpp.o.d"
+  "/root/repo/src/simgpu/timeline.cpp" "src/simgpu/CMakeFiles/cgx_simgpu.dir/timeline.cpp.o" "gcc" "src/simgpu/CMakeFiles/cgx_simgpu.dir/timeline.cpp.o.d"
+  "/root/repo/src/simgpu/topology.cpp" "src/simgpu/CMakeFiles/cgx_simgpu.dir/topology.cpp.o" "gcc" "src/simgpu/CMakeFiles/cgx_simgpu.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cgx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/cgx_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cgx_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgx_simgpu.dir/cost_model.cpp.o"
+  "CMakeFiles/cgx_simgpu.dir/cost_model.cpp.o.d"
+  "CMakeFiles/cgx_simgpu.dir/machines.cpp.o"
+  "CMakeFiles/cgx_simgpu.dir/machines.cpp.o.d"
+  "CMakeFiles/cgx_simgpu.dir/timeline.cpp.o"
+  "CMakeFiles/cgx_simgpu.dir/timeline.cpp.o.d"
+  "CMakeFiles/cgx_simgpu.dir/topology.cpp.o"
+  "CMakeFiles/cgx_simgpu.dir/topology.cpp.o.d"
+  "libcgx_simgpu.a"
+  "libcgx_simgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgx_simgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

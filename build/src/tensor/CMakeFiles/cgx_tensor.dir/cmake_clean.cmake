@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgx_tensor.dir/layer_layout.cpp.o"
+  "CMakeFiles/cgx_tensor.dir/layer_layout.cpp.o.d"
+  "CMakeFiles/cgx_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/cgx_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/cgx_tensor.dir/tensor_ops.cpp.o"
+  "CMakeFiles/cgx_tensor.dir/tensor_ops.cpp.o.d"
+  "libcgx_tensor.a"
+  "libcgx_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgx_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcgx_tensor.a"
+)

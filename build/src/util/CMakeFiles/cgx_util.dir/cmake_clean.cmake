@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgx_util.dir/bitio.cpp.o"
+  "CMakeFiles/cgx_util.dir/bitio.cpp.o.d"
+  "CMakeFiles/cgx_util.dir/csv.cpp.o"
+  "CMakeFiles/cgx_util.dir/csv.cpp.o.d"
+  "CMakeFiles/cgx_util.dir/half.cpp.o"
+  "CMakeFiles/cgx_util.dir/half.cpp.o.d"
+  "CMakeFiles/cgx_util.dir/logging.cpp.o"
+  "CMakeFiles/cgx_util.dir/logging.cpp.o.d"
+  "CMakeFiles/cgx_util.dir/rng.cpp.o"
+  "CMakeFiles/cgx_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cgx_util.dir/stats.cpp.o"
+  "CMakeFiles/cgx_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cgx_util.dir/table.cpp.o"
+  "CMakeFiles/cgx_util.dir/table.cpp.o.d"
+  "CMakeFiles/cgx_util.dir/threadpool.cpp.o"
+  "CMakeFiles/cgx_util.dir/threadpool.cpp.o.d"
+  "libcgx_util.a"
+  "libcgx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/adaptive_test.cpp" "tests/CMakeFiles/test_core.dir/core/adaptive_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/adaptive_test.cpp.o.d"
+  "/root/repo/tests/core/compressed_allreduce_test.cpp" "tests/CMakeFiles/test_core.dir/core/compressed_allreduce_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/compressed_allreduce_test.cpp.o.d"
+  "/root/repo/tests/core/compressors_test.cpp" "tests/CMakeFiles/test_core.dir/core/compressors_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/compressors_test.cpp.o.d"
+  "/root/repo/tests/core/config_test.cpp" "tests/CMakeFiles/test_core.dir/core/config_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/config_test.cpp.o.d"
+  "/root/repo/tests/core/coverage_test.cpp" "tests/CMakeFiles/test_core.dir/core/coverage_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/coverage_test.cpp.o.d"
+  "/root/repo/tests/core/engine_test.cpp" "tests/CMakeFiles/test_core.dir/core/engine_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/engine_test.cpp.o.d"
+  "/root/repo/tests/core/frontend_test.cpp" "tests/CMakeFiles/test_core.dir/core/frontend_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/frontend_test.cpp.o.d"
+  "/root/repo/tests/core/hierarchical_test.cpp" "tests/CMakeFiles/test_core.dir/core/hierarchical_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/hierarchical_test.cpp.o.d"
+  "/root/repo/tests/core/nuq_test.cpp" "tests/CMakeFiles/test_core.dir/core/nuq_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/nuq_test.cpp.o.d"
+  "/root/repo/tests/core/properties_test.cpp" "tests/CMakeFiles/test_core.dir/core/properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/properties_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cgx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cgx_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/cgx_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/cgx_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cgx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cgx_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cgx_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/cgx_models.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/adaptive_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/adaptive_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/compressed_allreduce_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/compressed_allreduce_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/compressors_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/compressors_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/config_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/config_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/coverage_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/coverage_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/engine_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/engine_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/frontend_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/frontend_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/hierarchical_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/hierarchical_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/nuq_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/nuq_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/properties_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/properties_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/batchnorm_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/batchnorm_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/gradcheck_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/gradcheck_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/optim_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/optim_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/serialize_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/serialize_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/train_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/train_test.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

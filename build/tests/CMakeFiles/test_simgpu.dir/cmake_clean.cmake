@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simgpu.dir/simgpu/cost_model_test.cpp.o"
+  "CMakeFiles/test_simgpu.dir/simgpu/cost_model_test.cpp.o.d"
+  "CMakeFiles/test_simgpu.dir/simgpu/machines_test.cpp.o"
+  "CMakeFiles/test_simgpu.dir/simgpu/machines_test.cpp.o.d"
+  "CMakeFiles/test_simgpu.dir/simgpu/timeline_test.cpp.o"
+  "CMakeFiles/test_simgpu.dir/simgpu/timeline_test.cpp.o.d"
+  "CMakeFiles/test_simgpu.dir/simgpu/topology_test.cpp.o"
+  "CMakeFiles/test_simgpu.dir/simgpu/topology_test.cpp.o.d"
+  "test_simgpu"
+  "test_simgpu.pdb"
+  "test_simgpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgx_planner.dir/cgx_planner.cpp.o"
+  "CMakeFiles/cgx_planner.dir/cgx_planner.cpp.o.d"
+  "cgx_planner"
+  "cgx_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgx_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
