@@ -46,20 +46,32 @@ std::pair<std::size_t, std::size_t> chunk_range(std::size_t d, int n, int i) {
 }
 
 void allreduce(Comm& comm, std::span<float> data, ReductionScheme scheme) {
+  std::vector<float> scratch(data.size());
+  allreduce(comm, data, scheme, scratch);
+}
+
+void allreduce(Comm& comm, std::span<float> data, ReductionScheme scheme,
+               std::span<float> scratch) {
   switch (scheme) {
     case ReductionScheme::ScatterReduceAllgather:
-      allreduce_sra(comm, data);
+      allreduce_sra(comm, data, scratch);
       return;
     case ReductionScheme::Ring:
-      allreduce_ring(comm, data);
+      allreduce_ring(comm, data, scratch);
       return;
     case ReductionScheme::Tree:
-      allreduce_tree(comm, data);
+      allreduce_tree(comm, data, scratch);
       return;
   }
 }
 
 void allreduce_sra(Comm& comm, std::span<float> data) {
+  std::vector<float> scratch(data.size());
+  allreduce_sra(comm, data, scratch);
+}
+
+void allreduce_sra(Comm& comm, std::span<float> data,
+                   std::span<float> scratch) {
   const int n = comm.size();
   const int r = comm.rank();
   if (n == 1 || data.empty()) return;
@@ -72,7 +84,8 @@ void allreduce_sra(Comm& comm, std::span<float> data) {
   }
   const auto [mine_first, mine_last] = chunk_range(data.size(), n, r);
   std::span<float> mine = data.subspan(mine_first, mine_last - mine_first);
-  std::vector<float> incoming(mine.size());
+  CGX_CHECK_GE(scratch.size(), mine.size());
+  const std::span<float> incoming = scratch.first(mine.size());
   for (int p = 0; p < n; ++p) {
     if (p == r) continue;
     comm.recv_floats(p, incoming, kSraScatterTag);
@@ -92,13 +105,18 @@ void allreduce_sra(Comm& comm, std::span<float> data) {
 }
 
 void allreduce_ring(Comm& comm, std::span<float> data) {
+  std::vector<float> scratch(data.size());
+  allreduce_ring(comm, data, scratch);
+}
+
+void allreduce_ring(Comm& comm, std::span<float> data,
+                    std::span<float> scratch) {
   const int n = comm.size();
   const int r = comm.rank();
   if (n == 1 || data.empty()) return;
   const int right = (r + 1) % n;
   const int left = (r - 1 + n) % n;
 
-  std::vector<float> incoming;
   // Phase 1: reduce-scatter around the ring. After step s, the chunk a rank
   // just received carries partial sums from s+1 ranks; after n-1 steps rank
   // r owns the fully reduced chunk (r+1) mod n.
@@ -108,7 +126,8 @@ void allreduce_ring(Comm& comm, std::span<float> data) {
     const auto [sf, sl] = chunk_range(data.size(), n, send_idx);
     comm.send_floats(right, data.subspan(sf, sl - sf), kRingReduceTag);
     const auto [rf, rl] = chunk_range(data.size(), n, recv_idx);
-    incoming.resize(rl - rf);
+    CGX_CHECK_GE(scratch.size(), rl - rf);
+    const std::span<float> incoming = scratch.first(rl - rf);
     comm.recv_floats(left, incoming, kRingReduceTag);
     tensor::add_inplace(data.subspan(rf, rl - rf), incoming);
   }
@@ -124,6 +143,12 @@ void allreduce_ring(Comm& comm, std::span<float> data) {
 }
 
 void allreduce_tree(Comm& comm, std::span<float> data) {
+  std::vector<float> scratch(data.size());
+  allreduce_tree(comm, data, scratch);
+}
+
+void allreduce_tree(Comm& comm, std::span<float> data,
+                    std::span<float> scratch) {
   const int n = comm.size();
   const int r = comm.rank();
   if (n == 1 || data.empty()) return;
@@ -133,7 +158,8 @@ void allreduce_tree(Comm& comm, std::span<float> data) {
   while (top_mask < n) top_mask <<= 1;
   top_mask >>= 1;
 
-  std::vector<float> incoming(data.size());
+  CGX_CHECK_GE(scratch.size(), data.size());
+  const std::span<float> incoming = scratch.first(data.size());
   for (int mask = top_mask; mask >= 1; mask >>= 1) {
     if (r >= mask && r < 2 * mask) {
       comm.send_floats(r - mask, data, kTreeReduceTag);

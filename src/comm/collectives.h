@@ -30,12 +30,24 @@ const char* reduction_scheme_name(ReductionScheme s);
 // ranks (balanced split, first chunks one element larger on remainder).
 std::pair<std::size_t, std::size_t> chunk_range(std::size_t d, int n, int i);
 
-// In-place sum-allreduce with the chosen scheme.
+// In-place sum-allreduce with the chosen scheme. The `scratch` overloads
+// take a caller-owned accumulation buffer (scratch.size() >= data.size()
+// always suffices; SRA/Ring need only one chunk) so steady-state callers —
+// the engines' per-rank workspaces — make no heap allocation per call. The
+// plain overloads allocate a transient buffer.
 void allreduce(Comm& comm, std::span<float> data, ReductionScheme scheme);
+void allreduce(Comm& comm, std::span<float> data, ReductionScheme scheme,
+               std::span<float> scratch);
 
 void allreduce_sra(Comm& comm, std::span<float> data);
+void allreduce_sra(Comm& comm, std::span<float> data,
+                   std::span<float> scratch);
 void allreduce_ring(Comm& comm, std::span<float> data);
+void allreduce_ring(Comm& comm, std::span<float> data,
+                    std::span<float> scratch);
 void allreduce_tree(Comm& comm, std::span<float> data);
+void allreduce_tree(Comm& comm, std::span<float> data,
+                    std::span<float> scratch);
 
 // In-place broadcast from `root`.
 void broadcast(Comm& comm, std::span<float> data, int root);

@@ -1,7 +1,5 @@
 #include "core/compressed_allreduce.h"
 
-#include <vector>
-
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 
@@ -17,68 +15,74 @@ constexpr int kTreeBcastTag = 231;
 
 using comm::chunk_range;
 
-std::span<std::byte> as_bytes_span(std::vector<std::byte>& v) {
-  return {v.data(), v.size()};
-}
+// Workspace slot assignment for this translation unit. Hierarchical.cpp
+// reuses the same numbers; that is safe because the two never hold spans
+// across a call into each other's helpers for the same slot.
+constexpr std::size_t kSlotPayload = 0;    // outbound payload
+constexpr std::size_t kSlotInPayload = 1;  // inbound payload
+constexpr std::size_t kSlotIncoming = 0;   // float accumulation buffer
+constexpr std::size_t kSlotRingBase = 2;   // ring: byte slot per chunk
+constexpr std::size_t kSlotRingSizes = 0;  // ring: written size per chunk
 
 }  // namespace
 
 void compressed_allreduce(comm::Comm& comm, std::span<float> data,
                           std::span<Compressor* const> chunk_compressors,
-                          util::Rng& rng, comm::ReductionScheme scheme) {
+                          util::Rng& rng, comm::ReductionScheme scheme,
+                          CollectiveWorkspace& ws) {
   switch (scheme) {
     case comm::ReductionScheme::ScatterReduceAllgather:
-      compressed_allreduce_sra(comm, data, chunk_compressors, rng);
+      compressed_allreduce_sra(comm, data, chunk_compressors, rng, ws);
       return;
     case comm::ReductionScheme::Ring:
-      compressed_allreduce_ring(comm, data, chunk_compressors, rng);
+      compressed_allreduce_ring(comm, data, chunk_compressors, rng, ws);
       return;
     case comm::ReductionScheme::Tree:
-      compressed_allreduce_tree(comm, data, chunk_compressors, rng);
+      compressed_allreduce_tree(comm, data, chunk_compressors, rng, ws);
       return;
   }
 }
 
 void compressed_allreduce_sra(comm::Comm& comm, std::span<float> data,
                               std::span<Compressor* const> chunk_compressors,
-                              util::Rng& rng) {
+                              util::Rng& rng, CollectiveWorkspace& ws) {
   const int n = comm.size();
   const int r = comm.rank();
   CGX_CHECK_EQ(chunk_compressors.size(), static_cast<std::size_t>(n));
   if (n == 1 || data.empty()) return;
 
   // Round 1: compress chunk p once and ship it to its aggregator p.
-  std::vector<std::byte> payload;
   for (int p = 0; p < n; ++p) {
     if (p == r) continue;
     const auto [first, last] = chunk_range(data.size(), n, p);
     const std::span<const float> chunk = data.subspan(first, last - first);
-    payload.resize(chunk_compressors[p]->compressed_size(chunk.size()));
+    const std::span<std::byte> payload = ws.bytes(
+        kSlotPayload, chunk_compressors[p]->compressed_size(chunk.size()));
     const std::size_t written =
-        chunk_compressors[p]->compress(chunk, as_bytes_span(payload), rng);
-    comm.send(p, std::span<const std::byte>(payload.data(), written),
-              kScatterTag);
+        chunk_compressors[p]->compress(chunk, payload, rng);
+    comm.send(p, payload.first(written), kScatterTag);
   }
 
   // Aggregate my chunk: my raw contribution plus N-1 decompressed ones.
   const auto [mf, ml] = chunk_range(data.size(), n, r);
   std::span<float> mine = data.subspan(mf, ml - mf);
-  std::vector<float> incoming(mine.size());
-  std::vector<std::byte> in_payload(
-      chunk_compressors[r]->compressed_size(mine.size()));
+  const std::span<float> incoming = ws.floats(kSlotIncoming, mine.size());
+  const std::span<std::byte> in_payload = ws.bytes(
+      kSlotInPayload, chunk_compressors[r]->compressed_size(mine.size()));
   for (int p = 0; p < n; ++p) {
     if (p == r) continue;
-    comm.recv(p, as_bytes_span(in_payload), kScatterTag);
+    comm.recv(p, in_payload, kScatterTag);
     chunk_compressors[r]->decompress(in_payload, incoming);
     tensor::add_inplace(mine, incoming);
   }
 
   // Round 2: compress the reduced chunk once and broadcast it. Decompress
   // our own payload too, so every rank ends bit-identical.
-  payload.resize(chunk_compressors[r]->compressed_size(mine.size()));
+  const std::span<std::byte> payload = ws.bytes(
+      kSlotPayload, chunk_compressors[r]->compressed_size(mine.size()));
   const std::size_t written =
-      chunk_compressors[r]->compress(mine, as_bytes_span(payload), rng);
-  const std::span<const std::byte> reduced(payload.data(), written);
+      chunk_compressors[r]->compress(mine, payload, rng);
+  const std::span<const std::byte> reduced = payload.first(written);
   for (int p = 0; p < n; ++p) {
     if (p == r) continue;
     comm.send(p, reduced, kGatherTag);
@@ -88,15 +92,16 @@ void compressed_allreduce_sra(comm::Comm& comm, std::span<float> data,
     if (p == r) continue;
     const auto [first, last] = chunk_range(data.size(), n, p);
     std::span<float> chunk = data.subspan(first, last - first);
-    in_payload.resize(chunk_compressors[p]->compressed_size(chunk.size()));
-    comm.recv(p, as_bytes_span(in_payload), kGatherTag);
-    chunk_compressors[p]->decompress(in_payload, chunk);
+    const std::span<std::byte> gathered = ws.bytes(
+        kSlotInPayload, chunk_compressors[p]->compressed_size(chunk.size()));
+    comm.recv(p, gathered, kGatherTag);
+    chunk_compressors[p]->decompress(gathered, chunk);
   }
 }
 
 void compressed_allreduce_ring(comm::Comm& comm, std::span<float> data,
                                std::span<Compressor* const> chunk_compressors,
-                               util::Rng& rng) {
+                               util::Rng& rng, CollectiveWorkspace& ws) {
   const int n = comm.size();
   const int r = comm.rank();
   CGX_CHECK_EQ(chunk_compressors.size(), static_cast<std::size_t>(n));
@@ -107,63 +112,73 @@ void compressed_allreduce_ring(comm::Comm& comm, std::span<float> data,
   // Reduce-scatter phase: the partial sum is re-compressed at EVERY hop —
   // this is precisely the iterated compression error §3 charges against
   // Ring for non-associative operators.
-  std::vector<std::byte> payload;
-  std::vector<float> incoming;
   for (int s = 0; s < n - 1; ++s) {
     const int send_idx = (r - s + n) % n;
     const int recv_idx = (r - s - 1 + n) % n;
     {
       const auto [sf, sl] = chunk_range(data.size(), n, send_idx);
       const std::span<const float> chunk = data.subspan(sf, sl - sf);
-      payload.resize(chunk_compressors[send_idx]->compressed_size(chunk.size()));
-      const std::size_t written = chunk_compressors[send_idx]->compress(
-          chunk, as_bytes_span(payload), rng);
-      comm.send(right, std::span<const std::byte>(payload.data(), written),
-                kRingReduceTag);
+      const std::span<std::byte> payload = ws.bytes(
+          kSlotPayload,
+          chunk_compressors[send_idx]->compressed_size(chunk.size()));
+      const std::size_t written =
+          chunk_compressors[send_idx]->compress(chunk, payload, rng);
+      comm.send(right, payload.first(written), kRingReduceTag);
     }
     {
       const auto [rf, rl] = chunk_range(data.size(), n, recv_idx);
       std::span<float> chunk = data.subspan(rf, rl - rf);
-      payload.resize(chunk_compressors[recv_idx]->compressed_size(chunk.size()));
-      comm.recv(left, as_bytes_span(payload), kRingReduceTag);
-      incoming.resize(chunk.size());
+      const std::span<std::byte> payload = ws.bytes(
+          kSlotInPayload,
+          chunk_compressors[recv_idx]->compressed_size(chunk.size()));
+      comm.recv(left, payload, kRingReduceTag);
+      const std::span<float> incoming =
+          ws.floats(kSlotIncoming, chunk.size());
       chunk_compressors[recv_idx]->decompress(payload, incoming);
       tensor::add_inplace(chunk, incoming);
     }
   }
 
   // Allgather phase: the owner compresses its reduced chunk once; the bytes
-  // are relayed verbatim around the ring (no re-compression).
+  // are relayed verbatim around the ring (no re-compression). Each chunk
+  // index keeps its own byte slot because payloads live across ring steps.
   const int owned = (r + 1) % n;
-  std::vector<std::vector<std::byte>> compressed(static_cast<std::size_t>(n));
+  const std::span<std::size_t> sizes =
+      ws.sizes(kSlotRingSizes, static_cast<std::size_t>(n));
   {
     const auto [of, ol] = chunk_range(data.size(), n, owned);
     std::span<float> chunk = data.subspan(of, ol - of);
-    auto& buf = compressed[static_cast<std::size_t>(owned)];
-    buf.resize(chunk_compressors[owned]->compressed_size(chunk.size()));
-    const std::size_t written =
-        chunk_compressors[owned]->compress(chunk, as_bytes_span(buf), rng);
-    buf.resize(written);
+    const std::span<std::byte> buf =
+        ws.bytes(kSlotRingBase + static_cast<std::size_t>(owned),
+                 chunk_compressors[owned]->compressed_size(chunk.size()));
+    sizes[static_cast<std::size_t>(owned)] =
+        chunk_compressors[owned]->compress(chunk, buf, rng);
     // Canonicalize our own copy to the decompressed payload.
-    chunk_compressors[owned]->decompress(buf, chunk);
+    chunk_compressors[owned]->decompress(
+        buf.first(sizes[static_cast<std::size_t>(owned)]), chunk);
   }
   for (int s = 0; s < n - 1; ++s) {
     const int send_idx = (r + 1 - s + n) % n;
     const int recv_idx = (r - s + n) % n;
-    comm.send(right, compressed[static_cast<std::size_t>(send_idx)],
-              kRingGatherTag);
+    const std::span<const std::byte> outbound =
+        ws.bytes(kSlotRingBase + static_cast<std::size_t>(send_idx),
+                 sizes[static_cast<std::size_t>(send_idx)]);
+    comm.send(right, outbound, kRingGatherTag);
     const auto [rf, rl] = chunk_range(data.size(), n, recv_idx);
     std::span<float> chunk = data.subspan(rf, rl - rf);
-    auto& buf = compressed[static_cast<std::size_t>(recv_idx)];
-    buf.resize(chunk_compressors[recv_idx]->compressed_size(chunk.size()));
-    comm.recv(left, as_bytes_span(buf), kRingGatherTag);
+    sizes[static_cast<std::size_t>(recv_idx)] =
+        chunk_compressors[recv_idx]->compressed_size(chunk.size());
+    const std::span<std::byte> buf =
+        ws.bytes(kSlotRingBase + static_cast<std::size_t>(recv_idx),
+                 sizes[static_cast<std::size_t>(recv_idx)]);
+    comm.recv(left, buf, kRingGatherTag);
     chunk_compressors[recv_idx]->decompress(buf, chunk);
   }
 }
 
 void compressed_allreduce_tree(comm::Comm& comm, std::span<float> data,
                                std::span<Compressor* const> chunk_compressors,
-                               util::Rng& rng) {
+                               util::Rng& rng, CollectiveWorkspace& ws) {
   const int n = comm.size();
   const int r = comm.rank();
   CGX_CHECK_GE(chunk_compressors.size(), 1u);
@@ -174,19 +189,18 @@ void compressed_allreduce_tree(comm::Comm& comm, std::span<float> data,
   while (top < n) top <<= 1;
   top >>= 1;
 
-  std::vector<std::byte> payload(compressor.compressed_size(data.size()));
-  std::vector<float> incoming(data.size());
+  const std::size_t full_payload = compressor.compressed_size(data.size());
+  std::span<std::byte> payload = ws.bytes(kSlotPayload, full_payload);
+  const std::span<float> incoming = ws.floats(kSlotIncoming, data.size());
 
   // Binomial reduce towards rank 0; every sender compresses its current
   // partial sum (log N re-compressions on the deepest path).
   for (int mask = top; mask >= 1; mask >>= 1) {
     if (r >= mask && r < 2 * mask) {
-      const std::size_t written =
-          compressor.compress(data, as_bytes_span(payload), rng);
-      comm.send(r - mask, std::span<const std::byte>(payload.data(), written),
-                kTreeReduceTag);
+      const std::size_t written = compressor.compress(data, payload, rng);
+      comm.send(r - mask, payload.first(written), kTreeReduceTag);
     } else if (r < mask && r + mask < n) {
-      comm.recv(r + mask, as_bytes_span(payload), kTreeReduceTag);
+      comm.recv(r + mask, payload, kTreeReduceTag);
       compressor.decompress(payload, incoming);
       tensor::add_inplace(data, incoming);
     }
@@ -194,20 +208,47 @@ void compressed_allreduce_tree(comm::Comm& comm, std::span<float> data,
 
   // Root compresses the final sum once; bytes are relayed down unchanged.
   if (r == 0) {
-    const std::size_t written =
-        compressor.compress(data, as_bytes_span(payload), rng);
-    payload.resize(written);
+    const std::size_t written = compressor.compress(data, payload, rng);
+    payload = payload.first(written);
     compressor.decompress(payload, data);  // root matches everyone else
   }
   for (int mask = 1; mask < n; mask <<= 1) {
     if (r < mask && r + mask < n) {
       comm.send(r + mask, payload, kTreeBcastTag);
     } else if (r >= mask && r < 2 * mask) {
-      payload.resize(compressor.compressed_size(data.size()));
-      comm.recv(r - mask, as_bytes_span(payload), kTreeBcastTag);
+      payload = ws.bytes(kSlotPayload, full_payload);
+      comm.recv(r - mask, payload, kTreeBcastTag);
       compressor.decompress(payload, data);
     }
   }
+}
+
+void compressed_allreduce(comm::Comm& comm, std::span<float> data,
+                          std::span<Compressor* const> chunk_compressors,
+                          util::Rng& rng, comm::ReductionScheme scheme) {
+  CollectiveWorkspace ws;
+  compressed_allreduce(comm, data, chunk_compressors, rng, scheme, ws);
+}
+
+void compressed_allreduce_sra(comm::Comm& comm, std::span<float> data,
+                              std::span<Compressor* const> chunk_compressors,
+                              util::Rng& rng) {
+  CollectiveWorkspace ws;
+  compressed_allreduce_sra(comm, data, chunk_compressors, rng, ws);
+}
+
+void compressed_allreduce_ring(comm::Comm& comm, std::span<float> data,
+                               std::span<Compressor* const> chunk_compressors,
+                               util::Rng& rng) {
+  CollectiveWorkspace ws;
+  compressed_allreduce_ring(comm, data, chunk_compressors, rng, ws);
+}
+
+void compressed_allreduce_tree(comm::Comm& comm, std::span<float> data,
+                               std::span<Compressor* const> chunk_compressors,
+                               util::Rng& rng) {
+  CollectiveWorkspace ws;
+  compressed_allreduce_tree(comm, data, chunk_compressors, rng, ws);
 }
 
 }  // namespace cgx::core

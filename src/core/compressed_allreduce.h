@@ -28,16 +28,36 @@
 
 #include "comm/collectives.h"
 #include "core/compressor.h"
+#include "core/workspace.h"
 
 namespace cgx::core {
 
 // Sum-allreduce `data` across the world. chunk_compressors.size() must be
 // comm.size(); every rank passes its own instances (same configuration on
-// all ranks).
+// all ranks). `ws` is the rank's scratch arena: all payload and
+// accumulation buffers come out of it, so a warmed-up workspace makes the
+// whole call allocation-free.
+void compressed_allreduce(comm::Comm& comm, std::span<float> data,
+                          std::span<Compressor* const> chunk_compressors,
+                          util::Rng& rng, comm::ReductionScheme scheme,
+                          CollectiveWorkspace& ws);
+
+void compressed_allreduce_sra(comm::Comm& comm, std::span<float> data,
+                              std::span<Compressor* const> chunk_compressors,
+                              util::Rng& rng, CollectiveWorkspace& ws);
+void compressed_allreduce_ring(comm::Comm& comm, std::span<float> data,
+                               std::span<Compressor* const> chunk_compressors,
+                               util::Rng& rng, CollectiveWorkspace& ws);
+void compressed_allreduce_tree(comm::Comm& comm, std::span<float> data,
+                               std::span<Compressor* const> chunk_compressors,
+                               util::Rng& rng, CollectiveWorkspace& ws);
+
+// Back-compat convenience overloads: identical semantics, but each call
+// heap-allocates a transient workspace. Fine for tests and one-shot
+// benchmarks; the engines keep a per-rank workspace instead.
 void compressed_allreduce(comm::Comm& comm, std::span<float> data,
                           std::span<Compressor* const> chunk_compressors,
                           util::Rng& rng, comm::ReductionScheme scheme);
-
 void compressed_allreduce_sra(comm::Comm& comm, std::span<float> data,
                               std::span<Compressor* const> chunk_compressors,
                               util::Rng& rng);

@@ -13,6 +13,16 @@ namespace {
 
 constexpr int kGraceTag = 310;
 
+// Engine-owned workspace slots. The compressed collectives own byte slots
+// 0..2+world and float/size slot 0 (see compressed_allreduce.cpp); engines
+// use high slot numbers so a collective call never invalidates a span the
+// engine still holds.
+constexpr std::size_t kSlotPacket = 16;       // fused FP32 packet (floats)
+constexpr std::size_t kSlotCommScratch = 17;  // comm::allreduce scratch
+constexpr std::size_t kSlotGraceMine = 16;       // bytes: own payload
+constexpr std::size_t kSlotGraceIncoming = 17;   // bytes: peer payload
+constexpr std::size_t kSlotGraceDecompressed = 16;  // floats
+
 // Relative cost of running one byte of gradient through a method's
 // compression + decompression kernels, against the device's effective
 // quantization rate. Quantizers run "at line rate" (§2.4, Technical Issue
@@ -135,24 +145,41 @@ CgxEngine::CgxEngine(const tensor::LayerLayout& layout,
 void CgxEngine::rebuild() {
   resolved_.clear();
   resolved_.reserve(layout_.layer_count());
+  filtered_layers_.clear();
+  packet_numel_ = 0;
   for (const auto& info : layout_.layers()) {
     resolved_.push_back(config_.for_layer(info.name, info.numel));
+    if (resolved_.back().method == Method::None &&
+        options_.fuse_filtered_layers) {
+      filtered_layers_.push_back(resolved_.size() - 1);
+      packet_numel_ += info.numel;
+    }
   }
   ranks_.clear();
   ranks_.resize(static_cast<std::size_t>(world_size_));
   for (auto& rank : ranks_) {
     rank.per_layer.resize(layout_.layer_count());
+    rank.chunk_ptrs.resize(layout_.layer_count());
     for (std::size_t l = 0; l < layout_.layer_count(); ++l) {
       const LayerCompression& cfg = resolved_[l];
+      auto& chunks = rank.per_layer[l];
+      auto& ptrs = rank.chunk_ptrs[l];
+      chunks.clear();
+      ptrs.clear();
       if (cfg.method == Method::None) continue;
       const std::size_t rows = layout_.layer(l).shape.empty()
                                    ? 0
                                    : layout_.layer(l).shape.front();
-      auto& chunks = rank.per_layer[l];
-      chunks.clear();
       chunks.reserve(static_cast<std::size_t>(world_size_));
+      ptrs.reserve(static_cast<std::size_t>(world_size_));
       for (int c = 0; c < world_size_; ++c) {
         chunks.push_back(make_compressor(cfg, rows));
+        if (options_.compression_pool != nullptr) {
+          chunks.back()->enable_threading(
+              options_.compression_pool,
+              options_.compression_threading_min_numel);
+        }
+        ptrs.push_back(chunks.back().get());
       }
     }
   }
@@ -163,51 +190,66 @@ void CgxEngine::allreduce(comm::Comm& comm, std::span<float> fused,
   CGX_CHECK_EQ(comm.size(), world_size_);
   CGX_CHECK_EQ(fused.size(), layout_.total_numel());
   RankState& state = ranks_[static_cast<std::size_t>(comm.rank())];
+  CollectiveWorkspace& ws = state.workspace;
 
-  // Fused full-precision packet for filtered layers.
-  std::vector<std::size_t> filtered;
-  std::vector<float> packet;
-  for (std::size_t l = 0; l < resolved_.size(); ++l) {
-    if (resolved_[l].method != Method::None) continue;
-    if (options_.fuse_filtered_layers) {
-      filtered.push_back(l);
+  // Fused full-precision packet for filtered layers. Gather-scatter through
+  // the workspace: the packet and the allreduce scratch live in engine-owned
+  // slots, so steady state makes no allocation.
+  if (packet_numel_ > 0) {
+    const std::span<float> packet = ws.floats(kSlotPacket, packet_numel_);
+    std::size_t offset = 0;
+    for (std::size_t l : filtered_layers_) {
       const auto slice = layout_.slice(std::span<const float>(fused), l);
-      packet.insert(packet.end(), slice.begin(), slice.end());
-    } else {
-      comm::allreduce(comm, layout_.slice(fused, l), options_.scheme);
+      tensor::copy(slice, packet.subspan(offset, slice.size()));
+      offset += slice.size();
+    }
+    comm::allreduce(comm, packet, options_.scheme,
+                    ws.floats(kSlotCommScratch, packet_numel_));
+    offset = 0;
+    for (std::size_t l : filtered_layers_) {
+      auto slice = layout_.slice(fused, l);
+      tensor::copy(packet.subspan(offset, slice.size()), slice);
+      offset += slice.size();
     }
   }
-  if (!packet.empty()) {
-    comm::allreduce(comm, packet, options_.scheme);
-    std::size_t offset = 0;
-    for (std::size_t l : filtered) {
-      auto slice = layout_.slice(fused, l);
-      tensor::copy({packet.data() + offset, slice.size()}, slice);
-      offset += slice.size();
+  if (!options_.fuse_filtered_layers) {
+    for (std::size_t l = 0; l < resolved_.size(); ++l) {
+      if (resolved_[l].method != Method::None) continue;
+      std::span<float> slice = layout_.slice(fused, l);
+      comm::allreduce(comm, slice, options_.scheme,
+                      ws.floats(kSlotCommScratch, slice.size()));
     }
   }
 
   // Compressed layers, one collective each (per-layer compression, §3).
+  HierarchicalOptions h;
+  if (!options_.node_of.empty()) h.node_of = options_.node_of;
   for (std::size_t l = 0; l < resolved_.size(); ++l) {
     if (resolved_[l].method == Method::None) continue;
-    auto& chunk_state = state.per_layer[l];
-    std::vector<Compressor*> chunks(chunk_state.size());
-    for (std::size_t c = 0; c < chunk_state.size(); ++c) {
-      chunks[c] = chunk_state[c].get();
-    }
+    const std::span<Compressor* const> chunks = state.chunk_ptrs[l];
     if (!options_.node_of.empty()) {
-      HierarchicalOptions h;
-      h.node_of = options_.node_of;
-      hierarchical_allreduce(comm, layout_.slice(fused, l), chunks, rng, h);
+      hierarchical_allreduce(comm, layout_.slice(fused, l), chunks, rng, h,
+                             ws);
     } else {
       compressed_allreduce(comm, layout_.slice(fused, l), chunks, rng,
-                           options_.scheme);
+                           options_.scheme, ws);
     }
   }
 
   if (options_.average && world_size_ > 1) {
     tensor::scale(fused, 1.0f / static_cast<float>(world_size_));
   }
+}
+
+std::size_t CgxEngine::scratch_high_water_bytes() const {
+  std::size_t total = 0;
+  for (const RankState& rank : ranks_) {
+    total += rank.workspace.high_water_bytes();
+    for (const auto& chunks : rank.per_layer) {
+      for (const auto& c : chunks) total += c->scratch_bytes();
+    }
+  }
+  return total;
 }
 
 double CgxEngine::layer_wire_bytes(std::size_t layer_index,
@@ -333,9 +375,10 @@ QncclEngine::QncclEngine(const tensor::LayerLayout& layout, unsigned bits,
   cfg.bits = bits;
   cfg.bucket_size = bucket_size;
   ranks_.resize(static_cast<std::size_t>(world_size));
-  for (auto& chunks : ranks_) {
+  for (auto& rank : ranks_) {
     for (int c = 0; c < world_size; ++c) {
-      chunks.push_back(make_compressor(cfg, 0));
+      rank.chunks.push_back(make_compressor(cfg, 0));
+      rank.chunk_ptrs.push_back(rank.chunks.back().get());
     }
   }
 }
@@ -345,12 +388,9 @@ void QncclEngine::allreduce(comm::Comm& comm, std::span<float> fused,
   CGX_CHECK_EQ(comm.size(), world_size_);
   // The blob path: one ring allreduce over the raw fused buffer, uniform
   // compression, no layer boundaries and no filtering.
-  auto& chunk_state = ranks_[static_cast<std::size_t>(comm.rank())];
-  std::vector<Compressor*> chunks(chunk_state.size());
-  for (std::size_t c = 0; c < chunk_state.size(); ++c) {
-    chunks[c] = chunk_state[c].get();
-  }
-  compressed_allreduce_ring(comm, fused, chunks, rng);
+  RankState& state = ranks_[static_cast<std::size_t>(comm.rank())];
+  compressed_allreduce_ring(comm, fused, state.chunk_ptrs, rng,
+                            state.workspace);
   if (world_size_ > 1) {
     tensor::scale(fused, 1.0f / static_cast<float>(world_size_));
   }
@@ -404,13 +444,13 @@ GraceEngine::GraceEngine(const tensor::LayerLayout& layout, unsigned bits,
     : layout_(layout), bits_(bits), world_size_(world_size) {
   CGX_CHECK_GT(world_size, 0);
   ranks_.resize(static_cast<std::size_t>(world_size));
-  for (auto& layers : ranks_) {
+  for (auto& rank : ranks_) {
     for (const auto& info : layout.layers()) {
       LayerCompression cfg;
       cfg.method = Method::Qsgd;
       cfg.bits = bits;
       cfg.bucket_size = info.numel;  // no bucketing: one scale per tensor
-      layers.push_back(make_compressor(cfg, 0));
+      rank.layers.push_back(make_compressor(cfg, 0));
     }
   }
 }
@@ -420,34 +460,35 @@ void GraceEngine::allreduce(comm::Comm& comm, std::span<float> fused,
   CGX_CHECK_EQ(comm.size(), world_size_);
   const int n = comm.size();
   const int r = comm.rank();
-  auto& layers = ranks_[static_cast<std::size_t>(r)];
+  RankState& state = ranks_[static_cast<std::size_t>(r)];
+  CollectiveWorkspace& ws = state.workspace;
 
   // GRACE's reduction: compress locally, allgather everyone's payload,
   // decompress all of them and sum (no aggregating rank, every rank does
   // the full work).
-  std::vector<std::byte> mine, incoming;
-  std::vector<float> decompressed;
   for (std::size_t l = 0; l < layout_.layer_count(); ++l) {
     std::span<float> slice = layout_.slice(fused, l);
-    Compressor& compressor = *layers[l];
-    mine.resize(compressor.compressed_size(slice.size()));
-    const std::size_t written =
-        compressor.compress(slice, {mine.data(), mine.size()}, rng);
-    mine.resize(written);
+    Compressor& compressor = *state.layers[l];
+    const std::span<std::byte> mine =
+        ws.bytes(kSlotGraceMine, compressor.compressed_size(slice.size()));
+    const std::size_t written = compressor.compress(slice, mine, rng);
+    const std::span<const std::byte> payload = mine.first(written);
     for (int p = 0; p < n; ++p) {
       if (p == r) continue;
-      comm.send(p, mine, kGraceTag);
+      comm.send(p, payload, kGraceTag);
     }
-    decompressed.resize(slice.size());
+    const std::span<float> decompressed =
+        ws.floats(kSlotGraceDecompressed, slice.size());
     // Sum in rank order so all ranks produce bit-identical results; our own
     // contribution also goes through its payload.
     std::fill(slice.begin(), slice.end(), 0.0f);
-    incoming.resize(mine.size());
+    const std::span<std::byte> incoming =
+        ws.bytes(kSlotGraceIncoming, payload.size());
     for (int p = 0; p < n; ++p) {
       if (p == r) {
-        compressor.decompress(mine, decompressed);
+        compressor.decompress(payload, decompressed);
       } else {
-        comm.recv(p, {incoming.data(), incoming.size()}, kGraceTag);
+        comm.recv(p, incoming, kGraceTag);
         compressor.decompress(incoming, decompressed);
       }
       tensor::add_inplace(slice, decompressed);
@@ -488,19 +529,22 @@ BaselineEngine::BaselineEngine(const tensor::LayerLayout& layout,
                                int world_size, bool fp16_wire)
     : layout_(layout), world_size_(world_size), fp16_wire_(fp16_wire) {
   CGX_CHECK_GT(world_size, 0);
+  ranks_.resize(static_cast<std::size_t>(world_size));
 }
 
 void BaselineEngine::allreduce(comm::Comm& comm, std::span<float> fused,
                                util::Rng& rng) {
   (void)rng;
   CGX_CHECK_EQ(comm.size(), world_size_);
+  CollectiveWorkspace& ws = ranks_[static_cast<std::size_t>(comm.rank())];
   // NCCL reduces FP16 natively when the framework trains in mixed
   // precision; numerically we keep float accumulation (NCCL sums in the
   // wire type but the difference is irrelevant here — the sim path charges
   // the halved wire size).
   for (std::size_t l = 0; l < layout_.layer_count(); ++l) {
-    comm::allreduce(comm, layout_.slice(fused, l),
-                    comm::ReductionScheme::Ring);
+    std::span<float> slice = layout_.slice(fused, l);
+    comm::allreduce(comm, slice, comm::ReductionScheme::Ring,
+                    ws.floats(kSlotCommScratch, slice.size()));
   }
   if (world_size_ > 1) {
     tensor::scale(fused, 1.0f / static_cast<float>(world_size_));

@@ -41,6 +41,12 @@ struct EngineOptions {
   // intra-node reduction to node leaders, compressed SRA across nodes.
   // node_of[rank] -> node id; empty = flat (single-level) communication.
   std::vector<int> node_of;
+  // Intra-call bucket parallelism for compression kernels: layers with at
+  // least `compression_threading_min_numel` elements split their buckets
+  // across this pool (payloads stay bit-identical to the serial path; see
+  // qsgd.h). Null = serial compression.
+  util::ThreadPool* compression_pool = nullptr;
+  std::size_t compression_threading_min_numel = 1 << 16;
 };
 
 // Analytic communication plan for one training step, consumed by
@@ -99,11 +105,20 @@ class CgxEngine final : public GradientEngine {
   double wire_bytes_per_rank(comm::ReductionScheme scheme) const;
   double raw_wire_bytes_per_rank(comm::ReductionScheme scheme) const;
 
+  // Total scratch held across all ranks: per-rank workspace high-water
+  // marks plus compressor-internal symbol buffers. Monotone; the
+  // zero-allocation test asserts it stabilizes after the first step.
+  std::size_t scratch_high_water_bytes() const;
+
  private:
   struct RankState {
     // state[layer][chunk] — stable chunk->compressor binding (see
     // compressed_allreduce.h).
     std::vector<std::vector<std::unique_ptr<Compressor>>> per_layer;
+    // Raw-pointer view of per_layer, rebuilt alongside it so allreduce()
+    // never materializes a pointer vector per call.
+    std::vector<std::vector<Compressor*>> chunk_ptrs;
+    CollectiveWorkspace workspace;
   };
 
   double layer_wire_bytes(std::size_t layer_index,
@@ -114,6 +129,8 @@ class CgxEngine final : public GradientEngine {
   int world_size_;
   EngineOptions options_;
   std::vector<LayerCompression> resolved_;
+  std::vector<std::size_t> filtered_layers_;  // layers routed to FP32
+  std::size_t packet_numel_ = 0;              // total numel of filtered layers
   std::vector<RankState> ranks_;
 };
 
@@ -130,11 +147,17 @@ class QncclEngine final : public GradientEngine {
   std::string name() const override { return "QNCCL"; }
 
  private:
+  struct RankState {
+    std::vector<std::unique_ptr<Compressor>> chunks;
+    std::vector<Compressor*> chunk_ptrs;
+    CollectiveWorkspace workspace;
+  };
+
   tensor::LayerLayout layout_;
   unsigned bits_;
   std::size_t bucket_size_;
   int world_size_;
-  std::vector<std::vector<std::unique_ptr<Compressor>>> ranks_;  // [rank][chunk]
+  std::vector<RankState> ranks_;
 };
 
 class GraceEngine final : public GradientEngine {
@@ -149,10 +172,15 @@ class GraceEngine final : public GradientEngine {
   std::string name() const override { return "GRACE"; }
 
  private:
+  struct RankState {
+    std::vector<std::unique_ptr<Compressor>> layers;
+    CollectiveWorkspace workspace;
+  };
+
   tensor::LayerLayout layout_;
   unsigned bits_;
   int world_size_;
-  std::vector<std::vector<std::unique_ptr<Compressor>>> ranks_;  // [rank][layer]
+  std::vector<RankState> ranks_;
 };
 
 // The uncompressed Horovod-NCCL / PyTorch-DDP baseline: plain ring
@@ -172,6 +200,7 @@ class BaselineEngine final : public GradientEngine {
   tensor::LayerLayout layout_;
   int world_size_;
   bool fp16_wire_;
+  std::vector<CollectiveWorkspace> ranks_;  // per-rank allreduce scratch
 };
 
 }  // namespace cgx::core

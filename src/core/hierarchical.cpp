@@ -13,6 +13,11 @@ constexpr int kInterScatterTag = 411;
 constexpr int kInterGatherTag = 412;
 constexpr int kIntraBcastTag = 413;
 
+// Workspace slots (disjoint phases never hold spans across each other).
+constexpr std::size_t kSlotPayload = 0;
+constexpr std::size_t kSlotInPayload = 1;
+constexpr std::size_t kSlotIncoming = 0;
+
 std::vector<int> leader_list(const std::vector<int>& node_of) {
   std::vector<int> leaders;
   std::vector<int> seen_nodes;
@@ -33,7 +38,7 @@ std::vector<int> leader_list(const std::vector<int>& node_of) {
 void subset_compressed_sra(comm::Comm& comm, std::span<float> data,
                            const std::vector<int>& participants,
                            std::span<Compressor* const> compressors,
-                           util::Rng& rng) {
+                           util::Rng& rng, CollectiveWorkspace& ws) {
   const int n = static_cast<int>(participants.size());
   if (n <= 1 || data.empty()) return;
   CGX_CHECK_GE(compressors.size(), static_cast<std::size_t>(n));
@@ -42,34 +47,32 @@ void subset_compressed_sra(comm::Comm& comm, std::span<float> data,
   CGX_CHECK(it != participants.end());
   const int me = static_cast<int>(it - participants.begin());
 
-  std::vector<std::byte> payload;
   for (int p = 0; p < n; ++p) {
     if (p == me) continue;
     const auto [first, last] = comm::chunk_range(data.size(), n, p);
     const std::span<const float> chunk = data.subspan(first, last - first);
-    payload.resize(compressors[p]->compressed_size(chunk.size()));
-    const std::size_t written =
-        compressors[p]->compress(chunk, payload, rng);
+    const std::span<std::byte> payload =
+        ws.bytes(kSlotPayload, compressors[p]->compressed_size(chunk.size()));
+    const std::size_t written = compressors[p]->compress(chunk, payload, rng);
     comm.send(participants[static_cast<std::size_t>(p)],
-              std::span<const std::byte>(payload.data(), written),
-              kInterScatterTag);
+              payload.first(written), kInterScatterTag);
   }
   const auto [mf, ml] = comm::chunk_range(data.size(), n, me);
   std::span<float> mine = data.subspan(mf, ml - mf);
-  std::vector<float> incoming(mine.size());
-  std::vector<std::byte> in_payload(
-      compressors[me]->compressed_size(mine.size()));
+  const std::span<float> incoming = ws.floats(kSlotIncoming, mine.size());
+  const std::span<std::byte> in_payload =
+      ws.bytes(kSlotInPayload, compressors[me]->compressed_size(mine.size()));
   for (int p = 0; p < n; ++p) {
     if (p == me) continue;
-    comm.recv(participants[static_cast<std::size_t>(p)],
-              std::span<std::byte>(in_payload), kInterScatterTag);
+    comm.recv(participants[static_cast<std::size_t>(p)], in_payload,
+              kInterScatterTag);
     compressors[me]->decompress(in_payload, incoming);
     tensor::add_inplace(mine, incoming);
   }
-  payload.resize(compressors[me]->compressed_size(mine.size()));
-  const std::size_t written =
-      compressors[me]->compress(mine, payload, rng);
-  const std::span<const std::byte> reduced(payload.data(), written);
+  const std::span<std::byte> payload =
+      ws.bytes(kSlotPayload, compressors[me]->compressed_size(mine.size()));
+  const std::size_t written = compressors[me]->compress(mine, payload, rng);
+  const std::span<const std::byte> reduced = payload.first(written);
   for (int p = 0; p < n; ++p) {
     if (p == me) continue;
     comm.send(participants[static_cast<std::size_t>(p)], reduced,
@@ -80,10 +83,11 @@ void subset_compressed_sra(comm::Comm& comm, std::span<float> data,
     if (p == me) continue;
     const auto [first, last] = comm::chunk_range(data.size(), n, p);
     std::span<float> chunk = data.subspan(first, last - first);
-    in_payload.resize(compressors[p]->compressed_size(chunk.size()));
-    comm.recv(participants[static_cast<std::size_t>(p)],
-              std::span<std::byte>(in_payload), kInterGatherTag);
-    compressors[p]->decompress(in_payload, chunk);
+    const std::span<std::byte> gathered =
+        ws.bytes(kSlotInPayload, compressors[p]->compressed_size(chunk.size()));
+    comm.recv(participants[static_cast<std::size_t>(p)], gathered,
+              kInterGatherTag);
+    compressors[p]->decompress(gathered, chunk);
   }
 }
 
@@ -101,7 +105,8 @@ int leader_of(const std::vector<int>& node_of, int rank) {
 void hierarchical_allreduce(comm::Comm& comm, std::span<float> data,
                             std::span<Compressor* const> chunk_compressors,
                             util::Rng& rng,
-                            const HierarchicalOptions& options) {
+                            const HierarchicalOptions& options,
+                            CollectiveWorkspace& ws) {
   const int n = comm.size();
   const int rank = comm.rank();
   CGX_CHECK_EQ(options.node_of.size(), static_cast<std::size_t>(n));
@@ -114,11 +119,10 @@ void hierarchical_allreduce(comm::Comm& comm, std::span<float> data,
   if (rank != my_leader) {
     // Member: hand the gradient to the leader, wait for the result.
     if (options.compress_intra) {
-      std::vector<std::byte> payload(intra.compressed_size(data.size()));
+      const std::span<std::byte> payload =
+          ws.bytes(kSlotPayload, intra.compressed_size(data.size()));
       const std::size_t written = intra.compress(data, payload, rng);
-      comm.send(my_leader,
-                std::span<const std::byte>(payload.data(), written),
-                kIntraReduceTag);
+      comm.send(my_leader, payload.first(written), kIntraReduceTag);
     } else {
       comm.send_floats(my_leader, data, kIntraReduceTag);
     }
@@ -127,12 +131,12 @@ void hierarchical_allreduce(comm::Comm& comm, std::span<float> data,
   }
 
   // Leader: fold members' gradients in.
-  std::vector<float> incoming(data.size());
-  std::vector<std::byte> payload;
+  const std::span<float> incoming = ws.floats(kSlotIncoming, data.size());
   for (int r = 0; r < n; ++r) {
     if (r == rank || leader_of(options.node_of, r) != rank) continue;
     if (options.compress_intra) {
-      payload.resize(intra.compressed_size(data.size()));
+      const std::span<std::byte> payload =
+          ws.bytes(kSlotPayload, intra.compressed_size(data.size()));
       comm.recv(r, payload, kIntraReduceTag);
       intra.decompress(payload, incoming);
     } else {
@@ -143,7 +147,7 @@ void hierarchical_allreduce(comm::Comm& comm, std::span<float> data,
 
   // Inter-node compressed exchange among leaders only.
   const std::vector<int> leaders = leader_list(options.node_of);
-  subset_compressed_sra(comm, data, leaders, chunk_compressors, rng);
+  subset_compressed_sra(comm, data, leaders, chunk_compressors, rng, ws);
 
   // Fan the result back out to the node, always in full precision (see
   // HierarchicalOptions::compress_intra).
@@ -151,6 +155,14 @@ void hierarchical_allreduce(comm::Comm& comm, std::span<float> data,
     if (r == rank || leader_of(options.node_of, r) != rank) continue;
     comm.send_floats(r, data, kIntraBcastTag);
   }
+}
+
+void hierarchical_allreduce(comm::Comm& comm, std::span<float> data,
+                            std::span<Compressor* const> chunk_compressors,
+                            util::Rng& rng,
+                            const HierarchicalOptions& options) {
+  CollectiveWorkspace ws;
+  hierarchical_allreduce(comm, data, chunk_compressors, rng, options, ws);
 }
 
 }  // namespace cgx::core

@@ -22,6 +22,7 @@
 
 #include "comm/collectives.h"
 #include "core/compressor.h"
+#include "core/workspace.h"
 
 namespace cgx::core {
 
@@ -39,7 +40,14 @@ struct HierarchicalOptions {
 
 // Sum-allreduce across the world. `chunk_compressors` has one compressor
 // per LEADER index (the inter-node SRA chunk binding); every rank passes
-// its own instances. The leader of a node is its lowest rank.
+// its own instances. The leader of a node is its lowest rank. `ws` is the
+// rank's scratch arena (see workspace.h); the overload without it
+// allocates a transient one per call.
+void hierarchical_allreduce(comm::Comm& comm, std::span<float> data,
+                            std::span<Compressor* const> chunk_compressors,
+                            util::Rng& rng,
+                            const HierarchicalOptions& options,
+                            CollectiveWorkspace& ws);
 void hierarchical_allreduce(comm::Comm& comm, std::span<float> data,
                             std::span<Compressor* const> chunk_compressors,
                             util::Rng& rng,

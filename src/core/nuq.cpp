@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "core/workspace.h"
 #include "tensor/tensor_ops.h"
 #include "util/bitio.h"
 #include "util/check.h"
@@ -13,6 +15,9 @@ NuqCompressor::NuqCompressor(unsigned bits, std::size_t bucket_size)
     : bits_(bits), bucket_size_(bucket_size) {
   CGX_CHECK(bits >= 2 && bits <= 8);
   CGX_CHECK_GT(bucket_size, 0u);
+  const unsigned levels = 1u << (bits - 1);
+  levels_.resize(levels);
+  for (unsigned k = 0; k < levels; ++k) levels_[k] = level_value(k, bits);
 }
 
 float NuqCompressor::level_value(unsigned index, unsigned bits) {
@@ -30,6 +35,11 @@ std::size_t NuqCompressor::compressed_size(std::size_t n) const {
   return 4 * buckets + util::packed_size_bytes(n, bits_);
 }
 
+std::size_t NuqCompressor::scratch_bytes() const {
+  return symbol_scratch_.capacity() * sizeof(std::uint32_t) +
+         rand_scratch_.capacity() * sizeof(float);
+}
+
 std::size_t NuqCompressor::compress(std::span<const float> in,
                                     std::span<std::byte> out,
                                     util::Rng& rng) {
@@ -39,8 +49,8 @@ std::size_t NuqCompressor::compress(std::span<const float> in,
   CGX_CHECK_LE(total, out.size());
   const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
   auto* norms = reinterpret_cast<float*>(out.data());
-  util::BitWriter writer(out.subspan(4 * buckets, total - 4 * buckets),
-                         bits_);
+  const std::span<std::uint32_t> symbols = ensure_span(symbol_scratch_, n);
+  const std::span<float> rand = ensure_span(rand_scratch_, n);
   const unsigned levels = 1u << (bits_ - 1);
   const std::uint32_t sign_bit = 1u << (bits_ - 1);
 
@@ -50,28 +60,32 @@ std::size_t NuqCompressor::compress(std::span<const float> in,
     const std::span<const float> bucket = in.subspan(first, len);
     const auto norm = static_cast<float>(tensor::l2_norm(bucket));
     norms[b] = norm;
+    std::uint32_t* sym = symbols.data() + first;
     if (norm == 0.0f || !std::isfinite(norm)) {
-      for (std::size_t i = 0; i < len; ++i) writer.write(0);
+      std::memset(sym, 0, len * sizeof(std::uint32_t));
       continue;
     }
-    for (float v : bucket) {
-      const float a = std::min(std::fabs(v) / norm, 1.0f);
+    const std::span<float> u = rand.subspan(first, len);
+    rng.fill_floats(u);
+    const float inv_norm = 1.0f / norm;
+    for (std::size_t i = 0; i < len; ++i) {
+      const float v = bucket[i];
+      const float a = std::min(std::fabs(v) * inv_norm, 1.0f);
       // Find the exponential interval [L_k, L_{k+1}] containing a.
       unsigned lo = 0;
-      while (lo + 1 < levels && level_value(lo + 1, bits_) <= a) ++lo;
+      while (lo + 1 < levels && levels_[lo + 1] <= a) ++lo;
       unsigned index = lo;
       if (lo + 1 < levels) {
-        const float low = level_value(lo, bits_);
-        const float high = level_value(lo + 1, bits_);
+        const float low = levels_[lo];
+        const float high = levels_[lo + 1];
         const float p = (a - low) / (high - low);  // unbiased interpolation
-        if (rng.next_float() < p) index = lo + 1;
+        if (u[i] < p) index = lo + 1;
       }
-      std::uint32_t symbol = index;
-      if (std::signbit(v)) symbol |= sign_bit;
-      writer.write(symbol);
+      sym[i] = std::signbit(v) ? (index | sign_bit) : index;
     }
   }
-  writer.finish();
+  util::pack_symbols(symbols, bits_,
+                     out.subspan(4 * buckets, total - 4 * buckets));
   return total;
 }
 
@@ -82,17 +96,18 @@ void NuqCompressor::decompress(std::span<const std::byte> in,
   CGX_CHECK_EQ(in.size(), compressed_size(n));
   const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
   const auto* norms = reinterpret_cast<const float*>(in.data());
-  util::BitReader reader(in.subspan(4 * buckets), bits_);
+  const std::span<std::uint32_t> symbols = ensure_span(symbol_scratch_, n);
+  util::unpack_symbols(in.subspan(4 * buckets), bits_, symbols);
   const std::uint32_t sign_bit = 1u << (bits_ - 1);
   const std::uint32_t index_mask = sign_bit - 1;
   for (std::size_t b = 0; b < buckets; ++b) {
     const std::size_t first = b * bucket_size_;
     const std::size_t len = std::min(bucket_size_, n - first);
     const float norm = std::isfinite(norms[b]) ? norms[b] : 0.0f;
+    const std::uint32_t* sym = symbols.data() + first;
     for (std::size_t i = 0; i < len; ++i) {
-      const auto symbol = static_cast<std::uint32_t>(reader.read());
-      const float magnitude =
-          level_value(symbol & index_mask, bits_) * norm;
+      const std::uint32_t symbol = sym[i];
+      const float magnitude = levels_[symbol & index_mask] * norm;
       out[first + i] = (symbol & sign_bit) ? -magnitude : magnitude;
     }
   }

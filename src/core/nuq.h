@@ -11,6 +11,8 @@
 // coordinates.
 #pragma once
 
+#include <vector>
+
 #include "core/compressor.h"
 
 namespace cgx::core {
@@ -27,6 +29,7 @@ class NuqCompressor final : public Compressor {
   void decompress(std::span<const std::byte> in,
                   std::span<float> out) override;
   std::string name() const override;
+  std::size_t scratch_bytes() const override;
 
   unsigned bits() const { return bits_; }
 
@@ -36,6 +39,9 @@ class NuqCompressor final : public Compressor {
  private:
   unsigned bits_;
   std::size_t bucket_size_;
+  std::vector<float> levels_;  // precomputed grid, indexed by magnitude
+  std::vector<std::uint32_t> symbol_scratch_;
+  std::vector<float> rand_scratch_;
 };
 
 }  // namespace cgx::core

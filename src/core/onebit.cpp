@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/workspace.h"
 #include "util/bitio.h"
 #include "util/check.h"
 
@@ -19,6 +20,10 @@ std::size_t OneBitCompressor::compressed_size(std::size_t n) const {
   return 8 * buckets + util::packed_size_bytes(n, 1);
 }
 
+std::size_t OneBitCompressor::scratch_bytes() const {
+  return symbol_scratch_.capacity() * sizeof(std::uint32_t);
+}
+
 std::size_t OneBitCompressor::compress(std::span<const float> in,
                                        std::span<std::byte> out,
                                        util::Rng& rng) {
@@ -29,32 +34,33 @@ std::size_t OneBitCompressor::compress(std::span<const float> in,
   CGX_CHECK_LE(total, out.size());
   const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
   auto* means = reinterpret_cast<float*>(out.data());
-  util::BitWriter writer(out.subspan(8 * buckets, total - 8 * buckets), 1);
+  const std::span<std::uint32_t> symbols = ensure_span(symbol_scratch_, n);
 
   for (std::size_t b = 0; b < buckets; ++b) {
     const std::size_t first = b * bucket_size_;
     const std::size_t len = std::min(bucket_size_, n - first);
     double neg_sum = 0.0, pos_sum = 0.0;
     std::size_t neg_count = 0, pos_count = 0;
+    std::uint32_t* sym = symbols.data() + first;
     for (std::size_t i = 0; i < len; ++i) {
       const float v = in[first + i];
       if (v < 0.0f) {
         neg_sum += v;
         ++neg_count;
+        sym[i] = 1u;
       } else {
         pos_sum += v;
         ++pos_count;
+        sym[i] = 0u;
       }
     }
     means[2 * b] =
         neg_count ? static_cast<float>(neg_sum / neg_count) : 0.0f;
     means[2 * b + 1] =
         pos_count ? static_cast<float>(pos_sum / pos_count) : 0.0f;
-    for (std::size_t i = 0; i < len; ++i) {
-      writer.write(in[first + i] < 0.0f ? 1u : 0u);
-    }
   }
-  writer.finish();
+  util::pack_symbols(symbols, 1,
+                     out.subspan(8 * buckets, total - 8 * buckets));
   return total;
 }
 
@@ -65,14 +71,16 @@ void OneBitCompressor::decompress(std::span<const std::byte> in,
   CGX_CHECK_EQ(in.size(), compressed_size(n));
   const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
   const auto* means = reinterpret_cast<const float*>(in.data());
-  util::BitReader reader(in.subspan(8 * buckets), 1);
+  const std::span<std::uint32_t> symbols = ensure_span(symbol_scratch_, n);
+  util::unpack_symbols(in.subspan(8 * buckets), 1, symbols);
   for (std::size_t b = 0; b < buckets; ++b) {
     const std::size_t first = b * bucket_size_;
     const std::size_t len = std::min(bucket_size_, n - first);
     const float mean_neg = means[2 * b];
     const float mean_pos = means[2 * b + 1];
+    const std::uint32_t* sym = symbols.data() + first;
     for (std::size_t i = 0; i < len; ++i) {
-      out[first + i] = reader.read() ? mean_neg : mean_pos;
+      out[first + i] = sym[i] ? mean_neg : mean_pos;
     }
   }
 }

@@ -7,6 +7,8 @@
 // Wire: [mean_neg fp32, mean_pos fp32] per bucket + 1 bit per element.
 #pragma once
 
+#include <vector>
+
 #include "core/compressor.h"
 
 namespace cgx::core {
@@ -21,9 +23,11 @@ class OneBitCompressor final : public Compressor {
   void decompress(std::span<const std::byte> in,
                   std::span<float> out) override;
   std::string name() const override;
+  std::size_t scratch_bytes() const override;
 
  private:
   std::size_t bucket_size_;
+  std::vector<std::uint32_t> symbol_scratch_;
 };
 
 }  // namespace cgx::core

@@ -16,9 +16,18 @@
 //
 // Defaults follow the paper: 4 bits, bucket 128 "always recovers full
 // accuracy" (§4); CNNs tolerate bucket 1024 (§6.2).
+// Implementation note (performance): compress/decompress are fused batch
+// kernels. A whole call quantizes into a grow-only uint32 symbol scratch
+// (stochastic rounding randomness drawn bucket-at-a-time via
+// Rng::fill_floats), then packs all symbols with the word-level
+// pack_symbols fast path. Buckets are independent, so large inputs can
+// split buckets across a ThreadPool (enable_threading); every bucket draws
+// from its own RNG stream derived from one seed taken off the caller's
+// generator, which makes the payload bit-identical for any thread count.
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "core/compressor.h"
 
@@ -39,6 +48,10 @@ class QsgdCompressor final : public Compressor {
                   std::span<float> out) override;
   std::string name() const override;
 
+  void enable_threading(util::ThreadPool* pool,
+                        std::size_t min_numel) override;
+  std::size_t scratch_bytes() const override;
+
   unsigned bits() const { return bits_; }
   std::size_t bucket_size() const { return bucket_size_; }
 
@@ -48,9 +61,15 @@ class QsgdCompressor final : public Compressor {
   static double variance_bound(std::size_t d, unsigned bits);
 
  private:
+  bool use_pool(std::size_t n, std::size_t buckets) const;
+
   unsigned bits_;
   std::size_t bucket_size_;
   QsgdNorm norm_;
+  util::ThreadPool* pool_ = nullptr;
+  std::size_t threading_min_numel_ = 0;
+  std::vector<std::uint32_t> symbol_scratch_;
+  std::vector<float> rand_scratch_;
 };
 
 }  // namespace cgx::core

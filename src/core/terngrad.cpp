@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "core/workspace.h"
 #include "tensor/tensor_ops.h"
 #include "util/bitio.h"
 #include "util/check.h"
@@ -28,6 +30,11 @@ std::size_t TernGradCompressor::compressed_size(std::size_t n) const {
   return 4 * buckets + util::packed_size_bytes(n, 2);
 }
 
+std::size_t TernGradCompressor::scratch_bytes() const {
+  return symbol_scratch_.capacity() * sizeof(std::uint32_t) +
+         rand_scratch_.capacity() * sizeof(float);
+}
+
 std::size_t TernGradCompressor::compress(std::span<const float> in,
                                          std::span<std::byte> out,
                                          util::Rng& rng) {
@@ -37,7 +44,8 @@ std::size_t TernGradCompressor::compress(std::span<const float> in,
   CGX_CHECK_LE(total, out.size());
   const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
   auto* scales = reinterpret_cast<float*>(out.data());
-  util::BitWriter writer(out.subspan(4 * buckets, total - 4 * buckets), 2);
+  const std::span<std::uint32_t> symbols = ensure_span(symbol_scratch_, n);
+  const std::span<float> rand = ensure_span(rand_scratch_, n);
 
   for (std::size_t b = 0; b < buckets; ++b) {
     const std::size_t first = b * bucket_size_;
@@ -45,20 +53,26 @@ std::size_t TernGradCompressor::compress(std::span<const float> in,
     const std::span<const float> bucket = in.subspan(first, len);
     const float scale = tensor::linf_norm(bucket);
     scales[b] = scale;
+    std::uint32_t* sym = symbols.data() + first;
     if (scale == 0.0f || !std::isfinite(scale)) {
-      for (std::size_t i = 0; i < len; ++i) writer.write(kZero);
+      std::memset(sym, 0, len * sizeof(std::uint32_t));
       continue;
     }
-    for (float v : bucket) {
-      const float p = std::fabs(v) / scale;  // in [0, 1]
-      if (rng.next_float() < p) {
-        writer.write(std::signbit(v) ? kMinus : kPlus);
+    const std::span<float> u = rand.subspan(first, len);
+    rng.fill_floats(u);
+    const float inv_scale = 1.0f / scale;
+    for (std::size_t i = 0; i < len; ++i) {
+      const float v = bucket[i];
+      const float p = std::fabs(v) * inv_scale;  // in [0, 1]
+      if (u[i] < p) {
+        sym[i] = std::signbit(v) ? kMinus : kPlus;
       } else {
-        writer.write(kZero);
+        sym[i] = kZero;
       }
     }
   }
-  writer.finish();
+  util::pack_symbols(symbols, 2,
+                     out.subspan(4 * buckets, total - 4 * buckets));
   return total;
 }
 
@@ -69,13 +83,15 @@ void TernGradCompressor::decompress(std::span<const std::byte> in,
   CGX_CHECK_EQ(in.size(), compressed_size(n));
   const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
   const auto* scales = reinterpret_cast<const float*>(in.data());
-  util::BitReader reader(in.subspan(4 * buckets), 2);
+  const std::span<std::uint32_t> symbols = ensure_span(symbol_scratch_, n);
+  util::unpack_symbols(in.subspan(4 * buckets), 2, symbols);
   for (std::size_t b = 0; b < buckets; ++b) {
     const std::size_t first = b * bucket_size_;
     const std::size_t len = std::min(bucket_size_, n - first);
     const float scale = std::isfinite(scales[b]) ? scales[b] : 0.0f;
+    const std::uint32_t* sym = symbols.data() + first;
     for (std::size_t i = 0; i < len; ++i) {
-      const auto symbol = static_cast<std::uint32_t>(reader.read());
+      const std::uint32_t symbol = sym[i];
       float v = 0.0f;
       if (symbol == kPlus) v = scale;
       if (symbol == kMinus) v = -scale;

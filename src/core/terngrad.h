@@ -6,6 +6,8 @@
 // Included as the extreme low-bit point of the quantization family.
 #pragma once
 
+#include <vector>
+
 #include "core/compressor.h"
 
 namespace cgx::core {
@@ -20,9 +22,12 @@ class TernGradCompressor final : public Compressor {
   void decompress(std::span<const std::byte> in,
                   std::span<float> out) override;
   std::string name() const override;
+  std::size_t scratch_bytes() const override;
 
  private:
   std::size_t bucket_size_;
+  std::vector<std::uint32_t> symbol_scratch_;
+  std::vector<float> rand_scratch_;
 };
 
 }  // namespace cgx::core

@@ -1,0 +1,43 @@
+#include "core/workspace.h"
+
+namespace cgx::core {
+namespace {
+
+template <class T>
+std::span<T> slot_span(std::vector<std::vector<T>>& slots, std::size_t slot,
+                       std::size_t n) {
+  if (slots.size() <= slot) slots.resize(slot + 1);
+  return ensure_span(slots[slot], n);
+}
+
+template <class T>
+std::size_t slots_capacity_bytes(const std::vector<std::vector<T>>& slots) {
+  std::size_t total = 0;
+  for (const auto& s : slots) total += s.capacity() * sizeof(T);
+  return total;
+}
+
+}  // namespace
+
+std::span<std::byte> CollectiveWorkspace::bytes(std::size_t slot,
+                                                std::size_t n) {
+  return slot_span(byte_slots_, slot, n);
+}
+
+std::span<float> CollectiveWorkspace::floats(std::size_t slot,
+                                             std::size_t n) {
+  return slot_span(float_slots_, slot, n);
+}
+
+std::span<std::size_t> CollectiveWorkspace::sizes(std::size_t slot,
+                                                  std::size_t n) {
+  return slot_span(size_slots_, slot, n);
+}
+
+std::size_t CollectiveWorkspace::high_water_bytes() const {
+  return slots_capacity_bytes(byte_slots_) +
+         slots_capacity_bytes(float_slots_) +
+         slots_capacity_bytes(size_slots_);
+}
+
+}  // namespace cgx::core

@@ -1,0 +1,59 @@
+// Per-rank grow-only scratch arena for the collective hot path.
+//
+// Every compressed_allreduce_* call used to heap-allocate payload and
+// accumulation vectors — every layer, every step. A CollectiveWorkspace
+// instead owns a set of numbered slots whose backing storage only ever
+// grows: after the first step touches the largest layer, no collective on
+// that rank allocates again (the property the Appendix A overhead budget
+// needs, and what the zero-allocation engine test asserts).
+//
+// Ownership rules:
+//  * One workspace per rank. Collectives run on the rank's thread, so no
+//    locking; a workspace must never be shared across concurrently running
+//    ranks.
+//  * A slot span is valid until the next request for the SAME slot; nested
+//    helpers must use disjoint slot numbers (see the kSlot* constants in
+//    compressed_allreduce.cpp).
+//  * Storage never shrinks mid-epoch: high_water_bytes() is monotone and
+//    stabilizes once the biggest message has been seen.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cgx::core {
+
+// Grow-only resize helper shared by the workspace and compressor scratch
+// buffers: requests never shrink the backing vector.
+template <class T>
+std::span<T> ensure_span(std::vector<T>& v, std::size_t n) {
+  if (v.size() < n) v.resize(n);
+  return {v.data(), n};
+}
+
+class CollectiveWorkspace {
+ public:
+  CollectiveWorkspace() = default;
+  CollectiveWorkspace(const CollectiveWorkspace&) = delete;
+  CollectiveWorkspace& operator=(const CollectiveWorkspace&) = delete;
+  CollectiveWorkspace(CollectiveWorkspace&&) = default;
+  CollectiveWorkspace& operator=(CollectiveWorkspace&&) = default;
+
+  // A span of n elements backed by slot `slot`; contents unspecified.
+  std::span<std::byte> bytes(std::size_t slot, std::size_t n);
+  std::span<float> floats(std::size_t slot, std::size_t n);
+  std::span<std::size_t> sizes(std::size_t slot, std::size_t n);
+
+  // Total capacity currently held across all slots, in bytes. Monotone
+  // non-decreasing; the warm-up test asserts it stops growing after the
+  // first step.
+  std::size_t high_water_bytes() const;
+
+ private:
+  std::vector<std::vector<std::byte>> byte_slots_;
+  std::vector<std::vector<float>> float_slots_;
+  std::vector<std::vector<std::size_t>> size_slots_;
+};
+
+}  // namespace cgx::core

@@ -67,17 +67,210 @@ std::uint64_t BitReader::read() {
   return symbol;
 }
 
+namespace {
+
+// Fast path for widths dividing 64: exactly kPerWord symbols per output
+// word, no symbol ever straddles a word boundary, so each word is a short
+// fixed-trip-count shift/or reduction the compiler unrolls and vectorizes.
+template <unsigned Bits>
+void pack_div64(const std::uint32_t* symbols, std::size_t n,
+                std::byte* out) {
+  constexpr unsigned kPerWord = 64 / Bits;
+  std::size_t i = 0;
+  for (; i + kPerWord <= n; i += kPerWord) {
+    std::uint64_t word = 0;
+    for (unsigned j = 0; j < kPerWord; ++j) {
+      word |= static_cast<std::uint64_t>(symbols[i + j]) << (j * Bits);
+    }
+    std::memcpy(out, &word, 8);
+    out += 8;
+  }
+  if (i < n) {
+    std::uint64_t word = 0;
+    for (unsigned j = 0; i + j < n; ++j) {
+      word |= static_cast<std::uint64_t>(symbols[i + j]) << (j * Bits);
+    }
+    std::memcpy(out, &word, 8);
+  }
+}
+
+template <unsigned Bits>
+void unpack_div64(const std::byte* in, std::size_t n,
+                  std::uint32_t* symbols) {
+  constexpr unsigned kPerWord = 64 / Bits;
+  constexpr std::uint64_t kMask =
+      Bits == 64 ? ~0ULL : ((1ULL << Bits) - 1);
+  std::size_t i = 0;
+  for (; i + kPerWord <= n; i += kPerWord) {
+    std::uint64_t word;
+    std::memcpy(&word, in, 8);
+    in += 8;
+    for (unsigned j = 0; j < kPerWord; ++j) {
+      symbols[i + j] =
+          static_cast<std::uint32_t>((word >> (j * Bits)) & kMask);
+    }
+  }
+  if (i < n) {
+    std::uint64_t word;
+    std::memcpy(&word, in, 8);
+    for (unsigned j = 0; i + j < n; ++j) {
+      symbols[i + j] =
+          static_cast<std::uint32_t>((word >> (j * Bits)) & kMask);
+    }
+  }
+}
+
+// Generic word-at-a-time fallback: same accumulator scheme as BitWriter /
+// BitReader but inlined into one batch loop (no per-symbol call or state
+// spill), for widths like 3/5/6 where symbols straddle word boundaries.
+void pack_generic(const std::uint32_t* symbols, std::size_t n, unsigned bits,
+                  std::byte* out) {
+  unsigned __int128 acc = 0;
+  unsigned acc_bits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc |= static_cast<unsigned __int128>(symbols[i]) << acc_bits;
+    acc_bits += bits;
+    if (acc_bits >= 64) {
+      const std::uint64_t word = static_cast<std::uint64_t>(acc);
+      std::memcpy(out, &word, 8);
+      out += 8;
+      acc >>= 64;
+      acc_bits -= 64;
+    }
+  }
+  if (acc_bits > 0) {
+    const std::uint64_t word = static_cast<std::uint64_t>(acc);
+    std::memcpy(out, &word, 8);
+  }
+}
+
+void unpack_generic(const std::byte* in, std::size_t n, unsigned bits,
+                    std::uint32_t* symbols) {
+  const std::uint64_t mask = (bits == 64) ? ~0ULL : ((1ULL << bits) - 1);
+  unsigned __int128 acc = 0;
+  unsigned acc_bits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (acc_bits < bits) {
+      std::uint64_t word;
+      std::memcpy(&word, in, 8);
+      in += 8;
+      acc |= static_cast<unsigned __int128>(word) << acc_bits;
+      acc_bits += 64;
+    }
+    symbols[i] = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(acc) & mask);
+    acc >>= bits;
+    acc_bits -= bits;
+  }
+}
+
+void pack_dispatch(const std::uint32_t* symbols, std::size_t n,
+                   unsigned bits, std::byte* out) {
+  switch (bits) {
+    case 1:
+      pack_div64<1>(symbols, n, out);
+      return;
+    case 2:
+      pack_div64<2>(symbols, n, out);
+      return;
+    case 4:
+      pack_div64<4>(symbols, n, out);
+      return;
+    case 8:
+      pack_div64<8>(symbols, n, out);
+      return;
+    case 16:
+      pack_div64<16>(symbols, n, out);
+      return;
+    case 32:
+      pack_div64<32>(symbols, n, out);
+      return;
+    default:
+      pack_generic(symbols, n, bits, out);
+      return;
+  }
+}
+
+void unpack_dispatch(const std::byte* in, std::size_t n, unsigned bits,
+                     std::uint32_t* symbols) {
+  switch (bits) {
+    case 1:
+      unpack_div64<1>(in, n, symbols);
+      return;
+    case 2:
+      unpack_div64<2>(in, n, symbols);
+      return;
+    case 4:
+      unpack_div64<4>(in, n, symbols);
+      return;
+    case 8:
+      unpack_div64<8>(in, n, symbols);
+      return;
+    case 16:
+      unpack_div64<16>(in, n, symbols);
+      return;
+    case 32:
+      unpack_div64<32>(in, n, symbols);
+      return;
+    default:
+      unpack_generic(in, n, bits, symbols);
+      return;
+  }
+}
+
+}  // namespace
+
 void pack_symbols(std::span<const std::uint32_t> symbols, unsigned bits,
                   std::span<std::byte> out) {
-  BitWriter writer(out, bits);
-  for (std::uint32_t s : symbols) writer.write(s);
-  writer.finish();
+  CGX_CHECK(bits >= 1 && bits <= 32);
+  CGX_CHECK_GE(out.size(), packed_size_bytes(symbols.size(), bits));
+  if (symbols.empty()) return;
+  pack_dispatch(symbols.data(), symbols.size(), bits, out.data());
 }
 
 void unpack_symbols(std::span<const std::byte> in, unsigned bits,
                     std::span<std::uint32_t> symbols) {
-  BitReader reader(in, bits);
-  for (auto& s : symbols) s = static_cast<std::uint32_t>(reader.read());
+  CGX_CHECK(bits >= 1 && bits <= 32);
+  CGX_CHECK_GE(in.size(), packed_size_bytes(symbols.size(), bits));
+  if (symbols.empty()) return;
+  unpack_dispatch(in.data(), symbols.size(), bits, symbols.data());
+}
+
+std::size_t symbols_per_word_cycle(unsigned bits) {
+  CGX_CHECK(bits >= 1 && bits <= 32);
+  unsigned a = bits, b = 64;
+  while (b != 0) {
+    const unsigned t = a % b;
+    a = b;
+    b = t;
+  }
+  return 64 / a;
+}
+
+void pack_symbols_at(std::span<const std::uint32_t> symbols,
+                     std::size_t first_symbol, unsigned bits,
+                     std::span<std::byte> payload) {
+  CGX_CHECK(bits >= 1 && bits <= 32);
+  CGX_CHECK_EQ(first_symbol % symbols_per_word_cycle(bits), 0u);
+  const std::size_t byte_offset = first_symbol * bits / 8;
+  CGX_CHECK_GE(payload.size(),
+               byte_offset + packed_size_bytes(symbols.size(), bits));
+  if (symbols.empty()) return;
+  pack_dispatch(symbols.data(), symbols.size(), bits,
+                payload.data() + byte_offset);
+}
+
+void unpack_symbols_at(std::span<const std::byte> payload,
+                       std::size_t first_symbol, unsigned bits,
+                       std::span<std::uint32_t> symbols) {
+  CGX_CHECK(bits >= 1 && bits <= 32);
+  CGX_CHECK_EQ(first_symbol % symbols_per_word_cycle(bits), 0u);
+  const std::size_t byte_offset = first_symbol * bits / 8;
+  CGX_CHECK_GE(payload.size(),
+               byte_offset + packed_size_bytes(symbols.size(), bits));
+  if (symbols.empty()) return;
+  unpack_dispatch(payload.data() + byte_offset, symbols.size(), bits,
+                  symbols.data());
 }
 
 }  // namespace cgx::util

@@ -60,10 +60,29 @@ class BitReader {
   std::size_t symbols_ = 0;
 };
 
-// Convenience helpers for whole-buffer pack/unpack (used by compressors).
+// Whole-buffer pack/unpack (used by compressors). Bit widths that divide 64
+// (1/2/4/8/16/32) take a word-at-a-time fast path where no symbol straddles
+// a word boundary; other widths run a generic 128-bit accumulator loop.
+// Both produce payloads bit-identical to BitWriter/BitReader.
 void pack_symbols(std::span<const std::uint32_t> symbols, unsigned bits,
                   std::span<std::byte> out);
 void unpack_symbols(std::span<const std::byte> in, unsigned bits,
                     std::span<std::uint32_t> symbols);
+
+// Smallest symbol count whose packed size is a whole number of 64-bit words:
+// 64 / gcd(bits, 64). Chunking a symbol stream at multiples of this value
+// lets independent workers pack/unpack disjoint word ranges of one payload
+// (each chunk starts with a fresh accumulator on a word boundary).
+std::size_t symbols_per_word_cycle(unsigned bits);
+
+// Pack/unpack a sub-range of a larger symbol stream. `first_symbol` must be
+// a multiple of symbols_per_word_cycle(bits); `payload` is the full packed
+// buffer for the whole stream. Used by threaded compressors.
+void pack_symbols_at(std::span<const std::uint32_t> symbols,
+                     std::size_t first_symbol, unsigned bits,
+                     std::span<std::byte> payload);
+void unpack_symbols_at(std::span<const std::byte> payload,
+                       std::size_t first_symbol, unsigned bits,
+                       std::span<std::uint32_t> symbols);
 
 }  // namespace cgx::util

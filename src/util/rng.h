@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 namespace cgx::util {
 
@@ -30,6 +31,15 @@ class Rng {
 
   // Uniform on [0, 1) with float precision; used in hot quantization loops.
   float next_float();
+
+  // Fills `out` with uniform [0, 1) floats; what the quantizers' fused
+  // kernels use instead of one next_float() call per gradient element. The
+  // batch loop keeps the generator state in registers and extracts four
+  // 16-bit floats per 64-bit draw (plenty of resolution for stochastic
+  // rounding), so it is much faster than — though NOT bit-equivalent to —
+  // repeated next_float(). Deterministic in the state: equal states produce
+  // equal batches, and the state advances by ceil(out.size() / 4) draws.
+  void fill_floats(std::span<float> out);
 
   // Standard normal via Box-Muller (cached second value).
   double next_gaussian();

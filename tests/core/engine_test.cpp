@@ -9,6 +9,7 @@
 #include "comm/transports.h"
 #include "simgpu/machines.h"
 #include "tensor/tensor_ops.h"
+#include "util/threadpool.h"
 
 namespace cgx::core {
 namespace {
@@ -109,6 +110,67 @@ TEST(CgxEngine, AllRanksIdenticalAfterAllreduce) {
   constexpr int kWorld = 4;
   const auto layout = transformer_like_layout();
   CgxEngine engine(layout, CompressionConfig::cgx_default(), kWorld);
+  std::vector<std::vector<float>> results(kWorld);
+  std::mutex mutex;
+  comm::ShmTransport transport(kWorld);
+  comm::run_world(transport, [&](comm::Comm& comm) {
+    auto grad = rank_gradient(layout, comm.rank());
+    util::Rng rng(6100 + static_cast<std::uint64_t>(comm.rank()));
+    engine.allreduce(comm, grad, rng);
+    std::lock_guard<std::mutex> lock(mutex);
+    results[static_cast<std::size_t>(comm.rank())] = std::move(grad);
+  });
+  for (int r = 1; r < kWorld; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)], results[0]);
+  }
+}
+
+TEST(CgxEngine, ScratchStabilizesAfterFirstStep) {
+  // The zero-allocation contract: all collective scratch lives in per-rank
+  // grow-only workspaces, so after the first (warm-up) step the high-water
+  // mark never moves again — steady-state allreduce makes no allocations.
+  constexpr int kWorld = 4;
+  const auto layout = transformer_like_layout();
+  for (auto scheme : {comm::ReductionScheme::ScatterReduceAllgather,
+                      comm::ReductionScheme::Ring,
+                      comm::ReductionScheme::Tree}) {
+    EngineOptions options;
+    options.scheme = scheme;
+    CgxEngine engine(layout, CompressionConfig::cgx_default(), kWorld,
+                     options);
+    EXPECT_EQ(engine.scratch_high_water_bytes(), 0u);
+    std::size_t after_first = 0;
+    for (int step = 0; step < 4; ++step) {
+      comm::ShmTransport transport(kWorld);
+      comm::run_world(transport, [&](comm::Comm& comm) {
+        auto grad = rank_gradient(layout, comm.rank());
+        util::Rng rng(6500 + static_cast<std::uint64_t>(
+                                 step * kWorld + comm.rank()));
+        engine.allreduce(comm, grad, rng);
+      });
+      if (step == 0) {
+        after_first = engine.scratch_high_water_bytes();
+        EXPECT_GT(after_first, 0u);
+      } else {
+        EXPECT_EQ(engine.scratch_high_water_bytes(), after_first)
+            << "scheme=" << comm::reduction_scheme_name(scheme)
+            << " step=" << step;
+      }
+    }
+  }
+}
+
+TEST(CgxEngine, ThreadedCompressionPoolKeepsResultsInEnvelope) {
+  // Wiring check for EngineOptions::compression_pool: a pool-backed engine
+  // produces the same lockstep, in-envelope averages (bit-reproducibility
+  // of the compression itself is covered by threaded_compression_test).
+  constexpr int kWorld = 4;
+  const auto layout = transformer_like_layout();
+  util::ThreadPool pool(4);
+  EngineOptions options;
+  options.compression_pool = &pool;
+  options.compression_threading_min_numel = 1;  // thread every layer
+  CgxEngine engine(layout, CompressionConfig::cgx_default(), kWorld, options);
   std::vector<std::vector<float>> results(kWorld);
   std::mutex mutex;
   comm::ShmTransport transport(kWorld);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "util/rng.h"
@@ -53,6 +54,88 @@ TEST(BitIo, MaxSymbolsSurvive) {
     std::vector<std::uint32_t> restored(symbols.size());
     unpack_symbols(packed, bits, restored);
     EXPECT_EQ(symbols, restored);
+  }
+}
+
+// Property: the batch word-level packer emits bit-identical bytes to the
+// scalar BitWriter reference, and batch unpack reads back what the scalar
+// BitWriter wrote, for every width 2..16 (fast div-64 paths and the generic
+// word-at-a-time path) and lengths around word boundaries.
+class BatchScalarEquivalence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BatchScalarEquivalence, PackMatchesBitWriter) {
+  const unsigned bits = GetParam();
+  Rng rng(bits * 7919 + 3);
+  for (std::size_t n : {0ul, 1ul, 63ul, 64ul, 65ul, 1000ul}) {
+    std::vector<std::uint32_t> symbols(n);
+    for (auto& s : symbols) {
+      s = static_cast<std::uint32_t>(rng.next_below(1ull << bits));
+    }
+    const std::size_t bytes = packed_size_bytes(n, bits);
+    std::vector<std::byte> batch(bytes, std::byte{0xAB});
+    pack_symbols(symbols, bits, batch);
+    std::vector<std::byte> scalar(bytes, std::byte{0xAB});
+    BitWriter w(scalar, bits);
+    for (std::uint32_t s : symbols) w.write(s);
+    w.finish();
+    EXPECT_EQ(batch, scalar) << "bits=" << bits << " n=" << n;
+
+    std::vector<std::uint32_t> via_batch(n);
+    unpack_symbols(scalar, bits, via_batch);
+    EXPECT_EQ(via_batch, symbols) << "bits=" << bits << " n=" << n;
+    BitReader r(batch, bits);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(r.read(), symbols[i]) << "bits=" << bits << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BatchScalarEquivalence,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u,
+                                           10u, 11u, 12u, 13u, 14u, 15u,
+                                           16u));
+
+TEST(BitIo, SymbolsPerWordCycle) {
+  EXPECT_EQ(symbols_per_word_cycle(1), 64u);
+  EXPECT_EQ(symbols_per_word_cycle(2), 32u);
+  EXPECT_EQ(symbols_per_word_cycle(4), 16u);
+  EXPECT_EQ(symbols_per_word_cycle(8), 8u);
+  EXPECT_EQ(symbols_per_word_cycle(16), 4u);
+  EXPECT_EQ(symbols_per_word_cycle(32), 2u);
+  // 3 bits: lcm(3,64)=192 bits -> 64 symbols per cycle.
+  EXPECT_EQ(symbols_per_word_cycle(3), 64u);
+  // 12 bits: lcm(12,64)=192 bits -> 16 symbols per cycle.
+  EXPECT_EQ(symbols_per_word_cycle(12), 16u);
+}
+
+// Packing a symbol stream in cycle-aligned chunks through the _at entry
+// points produces the same payload as one whole-stream call — the contract
+// the parallel bucket packer relies on.
+TEST(BitIo, ChunkedPackAtMatchesWholeStream) {
+  for (unsigned bits : {2u, 3u, 4u, 7u, 8u, 12u, 16u}) {
+    const std::size_t cycle = symbols_per_word_cycle(bits);
+    const std::size_t n = cycle * 5 + cycle / 2 + 3;  // ragged tail
+    Rng rng(bits * 131 + 7);
+    std::vector<std::uint32_t> symbols(n);
+    for (auto& s : symbols) {
+      s = static_cast<std::uint32_t>(rng.next_below(1ull << bits));
+    }
+    std::vector<std::byte> whole(packed_size_bytes(n, bits));
+    pack_symbols(symbols, bits, whole);
+
+    std::vector<std::byte> chunked(whole.size(), std::byte{0});
+    for (std::size_t first = 0; first < n; first += 2 * cycle) {
+      const std::size_t len = std::min(2 * cycle, n - first);
+      pack_symbols_at({symbols.data() + first, len}, first, bits, chunked);
+    }
+    EXPECT_EQ(chunked, whole) << "bits=" << bits;
+
+    std::vector<std::uint32_t> restored(n);
+    for (std::size_t first = 0; first < n; first += 3 * cycle) {
+      const std::size_t len = std::min(3 * cycle, n - first);
+      unpack_symbols_at(whole, first, bits, {restored.data() + first, len});
+    }
+    EXPECT_EQ(restored, symbols) << "bits=" << bits;
   }
 }
 

@@ -80,6 +80,43 @@ TEST(Rng, GaussianMeanAndVariance) {
   EXPECT_NEAR(var, 1.0, 0.03);
 }
 
+// fill_floats is the batched fast path the compressors use. It extracts
+// four 16-bit floats per 64-bit draw (so it is deliberately NOT the
+// next_float() stream), but it must stay deterministic in the state, land
+// in a predictable state afterwards, and produce uniform [0, 1) values.
+TEST(Rng, FillFloatsDeterministicAndUniform) {
+  for (std::size_t n : {0ul, 1ul, 5ul, 64ul, 1001ul}) {
+    Rng a(1234), b(1234), walker(1234);
+    std::vector<float> batch_a(n), batch_b(n);
+    a.fill_floats(batch_a);
+    b.fill_floats(batch_b);
+    EXPECT_EQ(batch_a, batch_b) << "n=" << n;
+    for (float f : batch_a) {
+      ASSERT_GE(f, 0.0f);
+      ASSERT_LT(f, 1.0f);
+    }
+    // Each group of four outputs comes from one u64 draw (its four 16-bit
+    // windows, high to low), and the state advances by exactly
+    // ceil(n / 4) draws.
+    for (std::size_t i = 0; i < n; i += 4) {
+      const std::uint64_t r = walker.next_u64();
+      for (std::size_t k = 0; k < 4 && i + k < n; ++k) {
+        ASSERT_EQ(batch_a[i + k],
+                  static_cast<float>((r >> (48 - 16 * k)) & 0xffffu) *
+                      0x1.0p-16f)
+            << "n=" << n << " i=" << i + k;
+      }
+    }
+    EXPECT_EQ(a.next_u64(), walker.next_u64()) << "n=" << n;
+  }
+  Rng big(77);
+  std::vector<float> batch(200000);
+  big.fill_floats(batch);
+  double acc = 0.0;
+  for (float f : batch) acc += f;
+  EXPECT_NEAR(acc / static_cast<double>(batch.size()), 0.5, 0.01);
+}
+
 TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
   Rng parent(99);
   Rng c0 = parent.split(0);
