@@ -1,0 +1,237 @@
+#include "comm/ring_channel.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cgx::comm {
+namespace {
+
+// Smallest physical slab worth allocating.
+constexpr std::size_t kMinSlab = 4096;
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::size_t RingChannel::effective_capacity() const {
+  return capacity_ == 0 ? std::numeric_limits<std::size_t>::max() / 2
+                        : capacity_;
+}
+
+void RingChannel::ensure_slab(std::size_t need) {
+  need = std::min(need, effective_capacity());
+  if (slab_.size() >= need) return;
+  std::size_t target = std::max(kMinSlab, round_up_pow2(need));
+  target = std::min(target, effective_capacity());
+  target = std::max(target, need);  // capacity smaller than kMinSlab
+  std::vector<std::byte> grown(target);
+  // Linearise live bytes to the front so modular arithmetic stays valid.
+  if (used_ > 0) {
+    const std::size_t first = std::min(used_, slab_.size() - head_);
+    std::memcpy(grown.data(), slab_.data() + head_, first);
+    if (first < used_) {
+      std::memcpy(grown.data() + first, slab_.data(), used_ - first);
+    }
+  }
+  slab_.swap(grown);
+  head_ = 0;
+  slab_high_water_.store(slab_.size(), std::memory_order_release);
+}
+
+void RingChannel::ring_doorbell() {
+  if (doorbell_ == nullptr) return;
+  doorbell_->seq.fetch_add(1, std::memory_order_release);
+  if (doorbell_->waiters.load(std::memory_order_acquire) > 0) {
+    // Lock/unlock pairs the notify with the waiter's predicate check; the
+    // waiters gate keeps this off the common (no any-source) path.
+    std::lock_guard<std::mutex> lock(doorbell_->mutex);
+    doorbell_->cv.notify_all();
+  }
+}
+
+void RingChannel::notify_data() {
+  if (data_waiters_ > 0) data_cv_.notify_all();
+}
+
+void RingChannel::notify_space() {
+  if (space_waiters_ > 0) space_cv_.notify_all();
+}
+
+void RingChannel::write_stream(std::unique_lock<std::mutex>& lock,
+                               std::span<const std::byte> src) {
+  const std::size_t cap = effective_capacity();
+  std::size_t off = 0;
+  while (off < src.size()) {
+    wait_space(lock, [&] { return used_ < cap; });
+    // Move everything that fits in one locked pass: the common case (the
+    // whole message fits free space) costs one commit and one wakeup. Only
+    // an over-capacity message loops, draining against a concurrent reader.
+    std::size_t n = std::min(src.size() - off, cap - used_);
+    ensure_slab(used_ + n);
+    n = std::min(n, slab_.size() - used_);
+    // Modular copy into [head_ + used_, head_ + used_ + n).
+    const std::size_t start = (head_ + used_) % slab_.size();
+    const std::size_t first = std::min(n, slab_.size() - start);
+    std::memcpy(slab_.data() + start, src.data() + off, first);
+    if (first < n) {
+      std::memcpy(slab_.data(), src.data() + off + first, n - first);
+    }
+    used_ += n;
+    off += n;
+    readable_.store(used_, std::memory_order_release);
+    notify_data();
+    ring_doorbell();
+  }
+}
+
+void RingChannel::read_stream(std::unique_lock<std::mutex>& lock,
+                              std::span<std::byte> dst) {
+  std::size_t off = 0;
+  while (off < dst.size()) {
+    wait_data(lock, [&] { return used_ > 0; });
+    const std::size_t n = std::min(dst.size() - off, used_);
+    const std::size_t first = std::min(n, slab_.size() - head_);
+    std::memcpy(dst.data() + off, slab_.data() + head_, first);
+    if (first < n) {
+      std::memcpy(dst.data() + off + first, slab_.data(), n - first);
+    }
+    head_ = (head_ + n) % slab_.size();
+    used_ -= n;
+    off += n;
+    readable_.store(used_, std::memory_order_release);
+    notify_space();
+  }
+}
+
+void RingChannel::read_stream_add(std::unique_lock<std::mutex>& lock,
+                                  std::span<float> dst) {
+  // Bytes hop slab -> L1-resident stage -> add into dst, so each payload
+  // byte crosses DRAM once on the receive side instead of twice (no bounce
+  // through a full-size scratch buffer). A locked pass may end mid-float;
+  // the sub-float remainder is carried in the stage across passes.
+  constexpr std::size_t kStageFloats = 4096;  // 16 KiB
+  float stage[kStageFloats];
+  auto* stage_bytes = reinterpret_cast<std::byte*>(stage);
+  std::size_t carry = 0;          // partial-float bytes at the stage front
+  std::size_t emitted = 0;        // floats already added into dst
+  std::size_t remaining = dst.size() * sizeof(float);
+  while (remaining > 0) {
+    wait_data(lock, [&] { return used_ > 0; });
+    while (remaining > 0 && used_ > 0) {
+      const std::size_t n = std::min(
+          {remaining, used_, sizeof(stage) - carry});
+      const std::size_t first = std::min(n, slab_.size() - head_);
+      std::memcpy(stage_bytes + carry, slab_.data() + head_, first);
+      if (first < n) {
+        std::memcpy(stage_bytes + carry + first, slab_.data(), n - first);
+      }
+      head_ = (head_ + n) % slab_.size();
+      used_ -= n;
+      remaining -= n;
+      const std::size_t avail = carry + n;
+      const std::size_t nfloat = avail / sizeof(float);
+      float* out = dst.data() + emitted;
+      for (std::size_t i = 0; i < nfloat; ++i) out[i] += stage[i];
+      emitted += nfloat;
+      carry = avail - nfloat * sizeof(float);
+      if (carry > 0) {
+        std::memmove(stage_bytes, stage_bytes + nfloat * sizeof(float),
+                     carry);
+      }
+    }
+    readable_.store(used_, std::memory_order_release);
+    notify_space();
+  }
+}
+
+void RingChannel::push(std::span<const std::byte> data) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // One in-flight message body per channel: take the writer token so a
+  // streamed message never interleaves with another producer's bytes.
+  wait_space(lock, [&] { return !writer_active_; });
+  writer_active_ = true;
+
+  // One grow decision per message: reserve the whole frame (clamped to
+  // capacity inside ensure_slab) up front, so a queue-depth wobble later
+  // cannot trigger a mid-steady-state reallocation.
+  std::uint64_t size = data.size();
+  std::byte header[sizeof(size)];
+  std::memcpy(header, &size, sizeof(size));
+  ensure_slab(used_ + sizeof(header) + data.size());
+  write_stream(lock, header);
+  // Header committed: the message is now visible to pending_messages() and
+  // a streaming reader may start consuming it while we keep writing.
+  ++pending_;
+  pending_messages_.store(pending_, std::memory_order_release);
+  write_stream(lock, data);
+
+  writer_active_ = false;
+  notify_space();
+}
+
+void RingChannel::pop_into(std::span<std::byte> out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  wait_data(lock, [&] { return !reader_active_; });
+  reader_active_ = true;
+
+  std::uint64_t size = 0;
+  std::byte header[sizeof(size)];
+  read_stream(lock, header);
+  std::memcpy(&size, header, sizeof(size));
+  CGX_CHECK_EQ(size, out.size());
+  read_stream(lock, out);
+
+  CGX_CHECK_GT(pending_, 0u);
+  --pending_;
+  pending_messages_.store(pending_, std::memory_order_release);
+  reader_active_ = false;
+  notify_data();
+}
+
+void RingChannel::pop_into_add(std::span<float> dst) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  wait_data(lock, [&] { return !reader_active_; });
+  reader_active_ = true;
+
+  std::uint64_t size = 0;
+  std::byte header[sizeof(size)];
+  read_stream(lock, header);
+  std::memcpy(&size, header, sizeof(size));
+  CGX_CHECK_EQ(size, dst.size() * sizeof(float));
+  read_stream_add(lock, dst);
+
+  CGX_CHECK_GT(pending_, 0u);
+  --pending_;
+  pending_messages_.store(pending_, std::memory_order_release);
+  reader_active_ = false;
+  notify_data();
+}
+
+std::vector<std::byte> RingChannel::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  wait_data(lock, [&] { return !reader_active_; });
+  reader_active_ = true;
+
+  std::uint64_t size = 0;
+  std::byte header[sizeof(size)];
+  read_stream(lock, header);
+  std::memcpy(&size, header, sizeof(size));
+  std::vector<std::byte> out(size);
+  read_stream(lock, out);
+
+  CGX_CHECK_GT(pending_, 0u);
+  --pending_;
+  pending_messages_.store(pending_, std::memory_order_release);
+  reader_active_ = false;
+  notify_data();
+  return out;
+}
+
+}  // namespace cgx::comm

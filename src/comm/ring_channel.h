@@ -1,0 +1,158 @@
+// Fixed-slab ring-buffer channel: the transport hot path.
+//
+// One RingChannel stands in for one pre-registered shared-memory segment of
+// the paper's SHM backend (one UNIX segment per GPU pair, §4): the sender
+// copies its span directly into the segment, the receiver copies straight
+// out into its destination span — one copy per side, zero steady-state heap
+// allocations. Condition-variable signalling plays the role of the CUDA IPC
+// events that tell the peer "bytes landed" / "bytes drained".
+//
+// Wire format inside the slab: every message is framed as an 8-byte
+// little-endian length header followed by the payload, laid out in modular
+// (wrap-around) byte space — a frame may wrap across the physical end of
+// the slab, including mid-header. Messages larger than the segment are NOT
+// bypassed around capacity: they stream through the ring in pieces, the
+// writer blocking for drained space, exactly as a real fixed-size segment
+// forces. (Consequence: an over-segment message needs its receiver to be
+// draining concurrently — true of the hardware, and guaranteed by the
+// collectives' chunking, which keeps messages far below segment size.)
+//
+// Concurrency contract: any number of producers and consumers; whole
+// messages never interleave (a writer token serialises message bodies, a
+// reader token serialises message consumption). Capacity 0 = unbounded:
+// the slab grows instead of blocking (used by the MPI mailbox analogue).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace cgx::comm {
+
+// Per-receiver wakeup channel for any-source receives: every byte commit
+// into any of a rank's inbound rings bumps `seq` and (only if someone is
+// parked) notifies, so select_source() can sleep instead of spinning.
+struct RecvDoorbell {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<int> waiters{0};
+};
+
+class RingChannel {
+ public:
+  // `capacity_bytes` is the logical segment size (max bytes in flight,
+  // headers included); 0 means unbounded. The physical slab is allocated
+  // lazily and only ever grows, so warm-up pays the allocations and the
+  // steady state pays none. `doorbell` (optional) is rung on data arrival.
+  explicit RingChannel(std::size_t capacity_bytes,
+                       RecvDoorbell* doorbell = nullptr)
+      : capacity_(capacity_bytes), doorbell_(doorbell) {}
+
+  RingChannel(const RingChannel&) = delete;
+  RingChannel& operator=(const RingChannel&) = delete;
+
+  // Blocking buffered send; returns once the whole message is in the ring
+  // (or, when streaming an oversized message, once the tail piece is in).
+  void push(std::span<const std::byte> data);
+
+  // Blocking receive; CHECKs the next message has exactly out.size() bytes.
+  void pop_into(std::span<std::byte> out);
+
+  // Fused receive+reduce: interprets the next message as floats and adds it
+  // into `dst` directly out of the slab (staged through an L1-resident
+  // buffer, so the payload never takes a second trip through DRAM — the
+  // in-process analogue of reducing straight from the peer's shared
+  // segment). CHECKs the message holds exactly dst.size() floats. The add
+  // runs element-by-element in payload order, so the result is bit-identical
+  // to pop_into-then-add_inplace.
+  void pop_into_add(std::span<float> dst);
+
+  // Test convenience: pops the next message into a fresh vector (allocates;
+  // the hot path uses pop_into).
+  std::vector<std::byte> pop();
+
+  // Messages whose header has been committed and that have not been fully
+  // consumed. Lock-free.
+  std::size_t pending_messages() const {
+    return pending_messages_.load(std::memory_order_acquire);
+  }
+
+  // True if at least one committed byte is waiting. Lock-free probe used by
+  // any-source selection.
+  bool has_data() const {
+    return readable_.load(std::memory_order_acquire) > 0;
+  }
+
+  // Physical slab size (monotone non-decreasing): the transport-level
+  // high-water harness sums this to assert zero steady-state allocation.
+  std::size_t slab_bytes() const {
+    return slab_high_water_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity_bytes() const { return capacity_; }
+
+ private:
+  // Streaming primitives; `lock` must hold mutex_ on entry and exit, and is
+  // released only while waiting — each pass moves everything that currently
+  // fits (write) or is readable (read) in one locked copy, so a message
+  // that fits free space costs exactly one commit and one wakeup.
+  void write_stream(std::unique_lock<std::mutex>& lock,
+                    std::span<const std::byte> src);
+  void read_stream(std::unique_lock<std::mutex>& lock,
+                   std::span<std::byte> dst);
+  void read_stream_add(std::unique_lock<std::mutex>& lock,
+                       std::span<float> dst);
+
+  // Grows the physical slab to hold `need` bytes (clamped to capacity),
+  // linearising live contents so head_ returns to 0. Lock held.
+  void ensure_slab(std::size_t need);
+
+  void ring_doorbell();
+
+  std::size_t effective_capacity() const;
+
+  const std::size_t capacity_;
+  RecvDoorbell* const doorbell_;
+
+  // Wakeups are gated on these waiter counts (guarded by mutex_), so the
+  // uncontended fast path — buffered send into free space, receive of an
+  // already-landed message — makes no futex call at all.
+  void notify_data();
+  void notify_space();
+  template <typename Pred>
+  void wait_data(std::unique_lock<std::mutex>& lock, Pred pred) {
+    ++data_waiters_;
+    data_cv_.wait(lock, pred);
+    --data_waiters_;
+  }
+  template <typename Pred>
+  void wait_space(std::unique_lock<std::mutex>& lock, Pred pred) {
+    ++space_waiters_;
+    space_cv_.wait(lock, pred);
+    --space_waiters_;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable data_cv_;   // readers: bytes or reader token
+  std::condition_variable space_cv_;  // writers: space or writer token
+  int data_waiters_ = 0;
+  int space_waiters_ = 0;
+
+  std::vector<std::byte> slab_;
+  std::size_t head_ = 0;  // first live byte
+  std::size_t used_ = 0;  // live bytes (committed, unread)
+  bool writer_active_ = false;
+  bool reader_active_ = false;
+  std::size_t pending_ = 0;  // headers committed minus messages consumed
+
+  std::atomic<std::size_t> readable_{0};
+  std::atomic<std::size_t> pending_messages_{0};
+  std::atomic<std::size_t> slab_high_water_{0};
+};
+
+}  // namespace cgx::comm

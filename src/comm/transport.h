@@ -5,12 +5,14 @@
 // reproduction every "GPU" is a device thread inside one process, and each
 // backend is a faithful in-process analogue:
 //
-//   ShmTransport  — pre-registered per-pair segments, copy-in/copy-out with
-//                   condition-variable signalling (stands in for CUDA IPC
-//                   events); single-node only, lowest per-message overhead.
-//   MpiTransport  — central tagged mailbox with an extra host-staging copy
-//                   per message (GPU-aware MPI must synchronise host and
-//                   device, §4 "Backend Details"); highest overhead.
+//   ShmTransport  — pre-registered per-pair ring segments, copy-in/copy-out
+//                   with condition-variable signalling (stands in for CUDA
+//                   IPC events); single-node only, lowest per-message
+//                   overhead.
+//   MpiTransport  — central tagged mailbox; GPU-aware MPI must synchronise
+//                   host and device (§4 "Backend Details") so the profile
+//                   charges two staging copies per message; highest
+//                   overhead.
 //   NcclTransport — per-pair FIFO channels that split messages into fixed
 //                   chunks (NCCL's pipelined protocol); medium overhead plus
 //                   a per-chunk kernel-launch cost.
@@ -22,10 +24,9 @@
 // collectives really transmitted.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <map>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -50,9 +51,14 @@ struct TransportProfile {
   bool requires_host_sync = false;
 };
 
-// Counts real traffic per directed link. Thread-safe.
+// Counts real traffic per directed link. A dense world×world array of
+// per-link atomic counters: record() on the send hot path is two relaxed
+// fetch_adds on the (src,dst) cell — no lock, no map node, no contention
+// between different links.
 class TrafficRecorder {
  public:
+  explicit TrafficRecorder(int world_size);
+
   void record(int src, int dst, std::size_t bytes);
   void reset();
 
@@ -63,16 +69,19 @@ class TrafficRecorder {
 
  private:
   struct LinkStats {
-    std::size_t bytes = 0;
-    std::size_t messages = 0;
+    std::atomic<std::size_t> bytes{0};
+    std::atomic<std::size_t> messages{0};
   };
-  mutable std::mutex mutex_;
-  std::map<std::pair<int, int>, LinkStats> links_;
+  std::size_t index(int src, int dst) const;
+
+  const int world_size_;
+  std::vector<LinkStats> links_;  // world_size^2, row-major by src
 };
 
 class Transport {
  public:
-  explicit Transport(int world_size) : world_size_(world_size) {}
+  explicit Transport(int world_size)
+      : world_size_(world_size), recorder_(world_size) {}
   virtual ~Transport() = default;
 
   Transport(const Transport&) = delete;
@@ -81,8 +90,9 @@ class Transport {
   int world_size() const { return world_size_; }
 
   // Blocking buffered send: enqueues a copy of `data` for (src -> dst, tag).
-  // Never blocks on the receiver (channels are buffered), so SPMD exchange
-  // patterns cannot deadlock.
+  // Never blocks on the receiver while the message fits the channel segment
+  // (channels are buffered), so SPMD exchange patterns cannot deadlock;
+  // over-segment messages stream and need the receiver to drain.
   virtual void send(int src, int dst, std::span<const std::byte> data,
                     int tag) = 0;
 
@@ -90,6 +100,48 @@ class Transport {
   // data.size() bytes (sizes are always known to receivers in CGX's
   // protocols — compressed sizes are computable from the layer config).
   virtual void recv(int dst, int src, std::span<std::byte> data, int tag) = 0;
+
+  // Fused receive+reduce: element-wise adds the matching message — which
+  // must hold exactly data.size() floats — into `data`. Bit-identical to a
+  // recv into scratch followed by an in-order add, but lets a backend reduce
+  // straight out of its channel storage, skipping the scratch bounce (the
+  // paper's SHM backend reduces directly from the peer's segment). Only
+  // valid when supports_recv_add() is true; callers otherwise fall back to
+  // recv + add.
+  virtual bool supports_recv_add() const { return false; }
+  virtual void recv_add(int dst, int src, std::span<float> data, int tag);
+
+  // Peer-direct rendezvous exchange — the in-process analogue of CUDA IPC
+  // P2P direct access, which the paper's SHM backend uses to let a GPU
+  // reduce straight out of a peer's exported buffer (§4): instead of
+  // copying the payload through a channel, the sender posts a descriptor of
+  // its span and the receiver copies (or element-wise adds) directly from
+  // the source memory — one pass, no intermediate bytes at all.
+  //
+  // Protocol contract (what makes this safe and deadlock-free):
+  //   - direct_post is non-blocking: it publishes {pointer, length} for
+  //     (src -> dst, tag) and returns. The posted span must stay unmodified
+  //     until the matching direct_wait returns.
+  //   - direct_pull blocks for the peer's post, copies/adds the peer's span
+  //     into `data` directly, then acknowledges consumption.
+  //   - direct_wait blocks until dst has pulled (and acked) this rank's
+  //     post; only then may the posted span be written again.
+  // Only valid when supports_direct_exchange() is true — single-node
+  // shared-address-space backends; MPI and NCCL stay on the channel path.
+  virtual bool supports_direct_exchange() const { return false; }
+  virtual void direct_post(int src, int dst, std::span<const float> data,
+                           int tag);
+  virtual void direct_pull(int dst, int src, std::span<float> data, bool add,
+                           int tag);
+  virtual void direct_wait(int src, int dst, int tag);
+
+  // Blocking: returns an element of `candidates` that has bytes pending for
+  // (dst, tag), waiting until one does. Collectives use it to take
+  // scatter-reduce contributions in arrival order so one slow peer does not
+  // stall the reduction. The base implementation returns the first
+  // candidate (fixed order) — always correct, never faster.
+  virtual int select_source(int dst, std::span<const int> candidates,
+                            int tag);
 
   virtual const TransportProfile& profile() const = 0;
 

@@ -3,24 +3,124 @@
 #include <algorithm>
 #include <cstring>
 
-namespace cgx::comm {
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
 
-MessageQueue& ChannelTable::channel(int src, int dst, int tag) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto key = std::make_tuple(src, dst, tag);
-  auto it = channels_.find(key);
-  if (it == channels_.end()) {
-    it = channels_
-             .emplace(key, std::make_unique<MessageQueue>(capacity_bytes_))
-             .first;
+namespace cgx::comm {
+namespace {
+
+// Peer-direct descriptors and acks ride the ordinary rings, but on a tag
+// shifted into its own band so a pull's ack can never collide with a
+// descriptor travelling the same (pair, tag) channel in the other role.
+constexpr int kDirectAckTagOffset = 200;
+
+struct DirectDesc {
+  const float* ptr;
+  std::uint64_t size;
+};
+
+}  // namespace
+
+// ------------------------------------------------------------ ChannelTable
+
+ChannelTable::ChannelTable(int world_size, std::size_t capacity_bytes,
+                           int tag_slots)
+    : world_(world_size),
+      tag_slots_(tag_slots),
+      capacity_bytes_(capacity_bytes),
+      slots_(static_cast<std::size_t>(world_size) *
+             static_cast<std::size_t>(world_size) *
+             static_cast<std::size_t>(tag_slots)),
+      doorbells_(static_cast<std::size_t>(world_size)) {
+  CGX_CHECK_GT(world_size, 0);
+  CGX_CHECK_GT(tag_slots, 0);
+}
+
+ChannelTable::~ChannelTable() {
+  for (auto& slot : slots_) {
+    delete slot.load(std::memory_order_acquire);
   }
-  return *it->second;
+}
+
+std::size_t ChannelTable::index(int src, int dst, int tag) const {
+  CGX_CHECK(src >= 0 && src < world_);
+  CGX_CHECK(dst >= 0 && dst < world_);
+  CGX_CHECK(tag >= 0 && tag < tag_slots_)
+      << "tag " << tag << " outside the dense table's " << tag_slots_
+      << " slots";
+  return (static_cast<std::size_t>(src) * static_cast<std::size_t>(world_) +
+          static_cast<std::size_t>(dst)) *
+             static_cast<std::size_t>(tag_slots_) +
+         static_cast<std::size_t>(tag);
+}
+
+RingChannel& ChannelTable::channel(int src, int dst, int tag) {
+  std::atomic<RingChannel*>& slot = slots_[index(src, dst, tag)];
+  RingChannel* ch = slot.load(std::memory_order_acquire);
+  if (ch == nullptr) {
+    auto fresh = std::make_unique<RingChannel>(
+        capacity_bytes_, &doorbells_[static_cast<std::size_t>(dst)]);
+    if (slot.compare_exchange_strong(ch, fresh.get(),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      ch = fresh.release();
+    }
+    // CAS loser: `ch` was reloaded with the winner's pointer; `fresh` frees
+    // the redundant candidate on scope exit.
+  }
+  return *ch;
+}
+
+const RingChannel* ChannelTable::peek(int src, int dst, int tag) const {
+  return slots_[index(src, dst, tag)].load(std::memory_order_acquire);
+}
+
+int ChannelTable::wait_any(int dst, std::span<const int> srcs, int tag) {
+  CGX_CHECK(!srcs.empty());
+  RecvDoorbell& db = doorbells_[static_cast<std::size_t>(dst)];
+  for (;;) {
+    const std::uint64_t seen = db.seq.load(std::memory_order_acquire);
+    for (int s : srcs) {
+      const RingChannel* ch = peek(s, dst, tag);
+      if (ch != nullptr && ch->has_data()) return s;
+    }
+    // Park on the doorbell until any inbound ring of `dst` commits bytes.
+    // A commit between the probe above and the wait bumps seq past `seen`,
+    // so the predicate is immediately true — no lost wakeup.
+    db.waiters.fetch_add(1, std::memory_order_acq_rel);
+    {
+      std::unique_lock<std::mutex> lock(db.mutex);
+      db.cv.wait(lock, [&] {
+        return db.seq.load(std::memory_order_acquire) != seen;
+      });
+    }
+    db.waiters.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+std::size_t ChannelTable::slab_high_water_bytes() const {
+  std::size_t total = 0;
+  for (const auto& slot : slots_) {
+    const RingChannel* ch = slot.load(std::memory_order_acquire);
+    if (ch != nullptr) total += ch->slab_bytes();
+  }
+  return total;
+}
+
+int ChannelTransport::select_source(int dst, std::span<const int> candidates,
+                                    int tag) {
+  return channels_.wait_any(dst, candidates, tag);
+}
+
+void ChannelTransport::recv_add(int dst, int src, std::span<float> data,
+                                int tag) {
+  channels_.channel(src, dst, tag).pop_into_add(data);
 }
 
 // ---------------------------------------------------------------- SHM
 
 ShmTransport::ShmTransport(int world_size, std::size_t segment_bytes)
-    : Transport(world_size), channels_(segment_bytes) {
+    : ChannelTransport(world_size, segment_bytes) {
   profile_ = TransportProfile{
       .name = "SHM",
       .per_message_overhead_us = 2.0,
@@ -45,10 +145,43 @@ void ShmTransport::recv(int dst, int src, std::span<std::byte> data,
   channels_.channel(src, dst, tag).pop_into(data);
 }
 
+void ShmTransport::direct_post(int src, int dst, std::span<const float> data,
+                               int tag) {
+  CGX_CHECK(src >= 0 && src < world_size_);
+  CGX_CHECK(dst >= 0 && dst < world_size_);
+  CGX_CHECK_NE(src, dst);
+  CGX_CHECK_LT(tag + kDirectAckTagOffset, channels_.tag_slots());
+  const DirectDesc desc{data.data(), data.size()};
+  channels_.channel(src, dst, tag)
+      .push(std::as_bytes(std::span<const DirectDesc>(&desc, 1)));
+  // The logical payload is what crosses the link; the 16-byte descriptor and
+  // the ack play the role of IPC event signals and are not traffic.
+  recorder_.record(src, dst, data.size() * sizeof(float));
+}
+
+void ShmTransport::direct_pull(int dst, int src, std::span<float> data,
+                               bool add, int tag) {
+  DirectDesc desc{};
+  channels_.channel(src, dst, tag)
+      .pop_into(std::as_writable_bytes(std::span<DirectDesc>(&desc, 1)));
+  CGX_CHECK_EQ(desc.size, data.size());
+  const std::span<const float> peer(desc.ptr, desc.size);
+  if (add) {
+    tensor::add_inplace(data, peer);
+  } else {
+    tensor::copy(peer, data);
+  }
+  channels_.channel(dst, src, tag + kDirectAckTagOffset).push({});
+}
+
+void ShmTransport::direct_wait(int src, int dst, int tag) {
+  channels_.channel(dst, src, tag + kDirectAckTagOffset).pop_into({});
+}
+
 // ---------------------------------------------------------------- MPI
 
 MpiTransport::MpiTransport(int world_size)
-    : Transport(world_size), channels_(/*capacity_bytes=*/0) {
+    : ChannelTransport(world_size, /*capacity_bytes=*/0) {
   profile_ = TransportProfile{
       .name = "MPI",
       .per_message_overhead_us = 25.0,
@@ -65,24 +198,21 @@ void MpiTransport::send(int src, int dst, std::span<const std::byte> data,
   CGX_CHECK(src >= 0 && src < world_size_);
   CGX_CHECK(dst >= 0 && dst < world_size_);
   CGX_CHECK_NE(src, dst);
-  // Host staging copy, performed for real: the wire sees the staged buffer.
-  std::vector<std::byte> staged(data.begin(), data.end());
-  channels_.channel(src, dst, tag).push(staged);
+  // Stage directly into the mailbox ring; the host-staging cost is
+  // attributed solely through profile_.extra_copies.
+  channels_.channel(src, dst, tag).push(data);
   recorder_.record(src, dst, data.size());
 }
 
 void MpiTransport::recv(int dst, int src, std::span<std::byte> data,
                         int tag) {
-  // Receive into a host staging buffer, then "copy to device".
-  std::vector<std::byte> staged = channels_.channel(src, dst, tag).pop();
-  CGX_CHECK_EQ(staged.size(), data.size());
-  std::copy(staged.begin(), staged.end(), data.begin());
+  channels_.channel(src, dst, tag).pop_into(data);
 }
 
 // ---------------------------------------------------------------- NCCL
 
 NcclTransport::NcclTransport(int world_size, std::size_t chunk_bytes)
-    : Transport(world_size), channels_(/*capacity_bytes=*/8ull << 20) {
+    : ChannelTransport(world_size, /*capacity_bytes=*/8ull << 20) {
   profile_ = TransportProfile{
       .name = "NCCL",
       .per_message_overhead_us = 5.0,
@@ -99,7 +229,7 @@ void NcclTransport::send(int src, int dst, std::span<const std::byte> data,
   CGX_CHECK(src >= 0 && src < world_size_);
   CGX_CHECK(dst >= 0 && dst < world_size_);
   CGX_CHECK_NE(src, dst);
-  MessageQueue& q = channels_.channel(src, dst, tag);
+  RingChannel& q = channels_.channel(src, dst, tag);
   const std::size_t chunk = profile_.chunk_bytes;
   // Pipeline the message through the FIFO in protocol-sized chunks. The
   // receiver reassembles; chunk boundaries are deterministic on both sides.
@@ -114,12 +244,26 @@ void NcclTransport::send(int src, int dst, std::span<const std::byte> data,
 
 void NcclTransport::recv(int dst, int src, std::span<std::byte> data,
                          int tag) {
-  MessageQueue& q = channels_.channel(src, dst, tag);
+  RingChannel& q = channels_.channel(src, dst, tag);
   const std::size_t chunk = profile_.chunk_bytes;
   std::size_t offset = 0;
   do {
     const std::size_t n = std::min(chunk, data.size() - offset);
     q.pop_into(data.subspan(offset, n));
+    offset += n;
+  } while (offset < data.size());
+}
+
+void NcclTransport::recv_add(int dst, int src, std::span<float> data,
+                             int tag) {
+  // The sender split the message at chunk_bytes boundaries (a multiple of
+  // sizeof(float)), so each FIFO message maps to a whole-float subspan.
+  RingChannel& q = channels_.channel(src, dst, tag);
+  const std::size_t chunk_floats = profile_.chunk_bytes / sizeof(float);
+  std::size_t offset = 0;
+  do {
+    const std::size_t n = std::min(chunk_floats, data.size() - offset);
+    q.pop_into_add(data.subspan(offset, n));
     offset += n;
   } while (offset < data.size());
 }
@@ -151,43 +295,92 @@ std::unique_ptr<Transport> make_transport(Backend b, int world_size) {
   return nullptr;
 }
 
+// ---------------------------------------------------------- base Transport
+
+int Transport::select_source(int /*dst*/, std::span<const int> candidates,
+                             int /*tag*/) {
+  CGX_CHECK(!candidates.empty());
+  return candidates.front();
+}
+
+void Transport::recv_add(int /*dst*/, int /*src*/, std::span<float> /*data*/,
+                         int /*tag*/) {
+  CGX_CHECK(false) << "recv_add called on a transport without fused "
+                      "receive+reduce support (check supports_recv_add())";
+}
+
+void Transport::direct_post(int /*src*/, int /*dst*/,
+                            std::span<const float> /*data*/, int /*tag*/) {
+  CGX_CHECK(false) << "direct_post called on a transport without peer-direct "
+                      "access (check supports_direct_exchange())";
+}
+
+void Transport::direct_pull(int /*dst*/, int /*src*/,
+                            std::span<float> /*data*/, bool /*add*/,
+                            int /*tag*/) {
+  CGX_CHECK(false) << "direct_pull called on a transport without peer-direct "
+                      "access (check supports_direct_exchange())";
+}
+
+void Transport::direct_wait(int /*src*/, int /*dst*/, int /*tag*/) {
+  CGX_CHECK(false) << "direct_wait called on a transport without peer-direct "
+                      "access (check supports_direct_exchange())";
+}
+
+// --------------------------------------------------------- TrafficRecorder
+
+TrafficRecorder::TrafficRecorder(int world_size)
+    : world_size_(world_size),
+      links_(static_cast<std::size_t>(world_size) *
+             static_cast<std::size_t>(world_size)) {
+  CGX_CHECK_GT(world_size, 0);
+}
+
+std::size_t TrafficRecorder::index(int src, int dst) const {
+  CGX_CHECK(src >= 0 && src < world_size_);
+  CGX_CHECK(dst >= 0 && dst < world_size_);
+  return static_cast<std::size_t>(src) *
+             static_cast<std::size_t>(world_size_) +
+         static_cast<std::size_t>(dst);
+}
+
 void TrafficRecorder::record(int src, int dst, std::size_t bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  LinkStats& s = links_[{src, dst}];
-  s.bytes += bytes;
-  s.messages += 1;
+  LinkStats& s = links_[index(src, dst)];
+  s.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  s.messages.fetch_add(1, std::memory_order_relaxed);
 }
 
 void TrafficRecorder::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  links_.clear();
+  for (auto& s : links_) {
+    s.bytes.store(0, std::memory_order_relaxed);
+    s.messages.store(0, std::memory_order_relaxed);
+  }
 }
 
 std::size_t TrafficRecorder::total_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::size_t total = 0;
-  for (const auto& [key, s] : links_) total += s.bytes;
+  for (const auto& s : links_) {
+    total += s.bytes.load(std::memory_order_relaxed);
+  }
   return total;
 }
 
 std::size_t TrafficRecorder::total_messages() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::size_t total = 0;
-  for (const auto& [key, s] : links_) total += s.messages;
+  for (const auto& s : links_) {
+    total += s.messages.load(std::memory_order_relaxed);
+  }
   return total;
 }
 
 std::size_t TrafficRecorder::bytes_between(int src, int dst) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = links_.find({src, dst});
-  return it == links_.end() ? 0 : it->second.bytes;
+  return links_[index(src, dst)].bytes.load(std::memory_order_relaxed);
 }
 
 std::size_t TrafficRecorder::bytes_sent_by(int src) const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::size_t total = 0;
-  for (const auto& [key, s] : links_) {
-    if (key.first == src) total += s.bytes;
+  for (int dst = 0; dst < world_size_; ++dst) {
+    total += links_[index(src, dst)].bytes.load(std::memory_order_relaxed);
   }
   return total;
 }

@@ -2,58 +2,123 @@
 // mapping onto the paper's backends.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
-#include <map>
 #include <memory>
-#include <mutex>
-#include <tuple>
+#include <span>
 
-#include "comm/message_queue.h"
+#include "comm/ring_channel.h"
 #include "comm/transport.h"
 
 namespace cgx::comm {
 
-// Shared plumbing: channels keyed by (src, dst, tag), created lazily.
+// Tag namespace of the dense channel table. Collective tag bases live in
+// [100, 500); tests use small tags. One slot per tag keeps lookup a pure
+// array index.
+inline constexpr int kTagSlots = 512;
+
+// Dense channel table: one slot per (src, dst, tag) triple, sized
+// world² × kTagSlots at construction. Lookup is an array index plus one
+// atomic load — the per-message global map + mutex of the old design is
+// gone. Channels themselves are created on first touch with a
+// compare-exchange (lock-free; the loser frees its candidate), mirroring
+// how the paper's backend registers each per-pair segment once and reuses
+// it for the whole run.
 class ChannelTable {
  public:
-  explicit ChannelTable(std::size_t capacity_bytes)
-      : capacity_bytes_(capacity_bytes) {}
+  ChannelTable(int world_size, std::size_t capacity_bytes,
+               int tag_slots = kTagSlots);
+  ~ChannelTable();
 
-  MessageQueue& channel(int src, int dst, int tag);
+  ChannelTable(const ChannelTable&) = delete;
+  ChannelTable& operator=(const ChannelTable&) = delete;
+
+  RingChannel& channel(int src, int dst, int tag);
+
+  // Lock-free probe: nullptr if the channel was never touched.
+  const RingChannel* peek(int src, int dst, int tag) const;
+
+  // Blocking arrival-order select over the dst rank's doorbell: returns an
+  // element of `srcs` whose (src, dst, tag) channel has committed bytes.
+  int wait_any(int dst, std::span<const int> srcs, int tag);
+
+  // Sum of all physical ring slabs, monotone non-decreasing: the
+  // transport-level analogue of CollectiveWorkspace::high_water_bytes().
+  std::size_t slab_high_water_bytes() const;
+
+  int tag_slots() const { return tag_slots_; }
 
  private:
+  std::size_t index(int src, int dst, int tag) const;
+
+  const int world_;
+  const int tag_slots_;
   const std::size_t capacity_bytes_;
-  std::mutex mutex_;
-  std::map<std::tuple<int, int, int>, std::unique_ptr<MessageQueue>>
-      channels_;
+  std::vector<std::atomic<RingChannel*>> slots_;
+  std::vector<RecvDoorbell> doorbells_;  // one per destination rank
 };
 
-// CGX's own backend: per-pair pre-registered shared-memory segments with
-// IPC-event-style signalling. Single-node only (paper §4). One wire copy,
-// no staging, no chunking: the lowest-overhead path.
-class ShmTransport final : public Transport {
+// Shared base of the three backends: owns the dense table and implements
+// arrival-order select_source over it.
+class ChannelTransport : public Transport {
+ public:
+  ChannelTransport(int world_size, std::size_t capacity_bytes)
+      : Transport(world_size), channels_(world_size, capacity_bytes) {}
+
+  int select_source(int dst, std::span<const int> candidates,
+                    int tag) override;
+
+  // All ring-channel backends can reduce straight out of the slab.
+  bool supports_recv_add() const override { return true; }
+  void recv_add(int dst, int src, std::span<float> data, int tag) override;
+
+  // Zero-steady-state-allocation harness: total ring slab bytes ever
+  // allocated. Stable across calls once traffic shapes have been seen.
+  std::size_t slab_high_water_bytes() const {
+    return channels_.slab_high_water_bytes();
+  }
+
+ protected:
+  ChannelTable channels_;
+};
+
+// CGX's own backend: per-pair pre-registered shared-memory ring segments
+// with IPC-event-style signalling. Single-node only (paper §4). One wire
+// copy per side, no staging, no chunking: the lowest-overhead path.
+class ShmTransport final : public ChannelTransport {
  public:
   // `segment_bytes` models the size of each per-pair UNIX segment; the
   // default (64 MiB) matches what fits the largest per-layer chunks in the
-  // evaluation workloads.
+  // evaluation workloads. Larger messages stream through in pieces.
   explicit ShmTransport(int world_size,
                         std::size_t segment_bytes = 64ull << 20);
 
   void send(int src, int dst, std::span<const std::byte> data,
             int tag) override;
   void recv(int dst, int src, std::span<std::byte> data, int tag) override;
+
+  // IPC-style peer-direct access (see Transport): descriptors and acks ride
+  // the per-pair rings; the payload itself never crosses a channel.
+  bool supports_direct_exchange() const override { return true; }
+  void direct_post(int src, int dst, std::span<const float> data,
+                   int tag) override;
+  void direct_pull(int dst, int src, std::span<float> data, bool add,
+                   int tag) override;
+  void direct_wait(int src, int dst, int tag) override;
+
   const TransportProfile& profile() const override { return profile_; }
 
  private:
-  ChannelTable channels_;
   TransportProfile profile_;
 };
 
 // GPU-aware MPI: every message is staged through a host buffer (the library
-// cannot control device-internal transfers, so host/device must synchronise;
-// paper §4). The extra copy is performed for real to keep the behavioural
-// analogy honest, and the profile carries the high per-message overhead.
-class MpiTransport final : public Transport {
+// cannot control device-internal transfers, so host/device must
+// synchronise; paper §4). The wire copy goes straight into the mailbox
+// ring; the staging cost is attributed by the profile's extra_copies — the
+// old implementation paid a real extra heap copy on top, which charged the
+// analogue twice.
+class MpiTransport final : public ChannelTransport {
  public:
   explicit MpiTransport(int world_size);
 
@@ -63,14 +128,13 @@ class MpiTransport final : public Transport {
   const TransportProfile& profile() const override { return profile_; }
 
  private:
-  ChannelTable channels_;
   TransportProfile profile_;
 };
 
 // NCCL-style transport: messages are split into fixed-size chunks and
 // pipelined through bounded per-pair FIFOs; each chunk pays a kernel-launch
 // cost in the profile. This is also the transport QNCCL builds on.
-class NcclTransport final : public Transport {
+class NcclTransport final : public ChannelTransport {
  public:
   explicit NcclTransport(int world_size,
                          std::size_t chunk_bytes = 1ull << 19);
@@ -78,10 +142,10 @@ class NcclTransport final : public Transport {
   void send(int src, int dst, std::span<const std::byte> data,
             int tag) override;
   void recv(int dst, int src, std::span<std::byte> data, int tag) override;
+  void recv_add(int dst, int src, std::span<float> data, int tag) override;
   const TransportProfile& profile() const override { return profile_; }
 
  private:
-  ChannelTable channels_;
   TransportProfile profile_;
 };
 

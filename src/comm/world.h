@@ -38,6 +38,33 @@ class Comm {
     recv(from, std::as_writable_bytes(data), tag);
   }
 
+  // Fused receive+reduce (see Transport::recv_add): adds the matching
+  // message's floats into `data` with no scratch bounce. Only valid when
+  // transport().supports_recv_add().
+  void recv_add_floats(int from, std::span<float> data, int tag = 0) {
+    transport_.recv_add(rank_, from, data, tag);
+  }
+
+  // Peer-direct rendezvous (see Transport::direct_post/pull/wait): the
+  // posted span must stay unmodified until the matching direct_wait.
+  bool supports_direct_exchange() const {
+    return transport_.supports_direct_exchange();
+  }
+  void direct_post(int to, std::span<const float> data, int tag = 0) {
+    transport_.direct_post(rank_, to, data, tag);
+  }
+  void direct_pull(int from, std::span<float> data, bool add, int tag = 0) {
+    transport_.direct_pull(rank_, from, data, add, tag);
+  }
+  void direct_wait(int to, int tag = 0) { transport_.direct_wait(rank_, to, tag); }
+
+  // Blocking arrival-order selection: returns an element of `candidates`
+  // with bytes pending for this rank under `tag`. Lets collectives take
+  // scatter-reduce contributions in whatever order peers produce them.
+  int select_source(std::span<const int> candidates, int tag = 0) {
+    return transport_.select_source(rank_, candidates, tag);
+  }
+
   // Synchronises all ranks in the world (used between training steps and by
   // collectives that need phase separation in tests).
   void barrier() { barrier_.arrive_and_wait(); }

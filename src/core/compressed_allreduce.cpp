@@ -1,5 +1,7 @@
 #include "core/compressed_allreduce.h"
 
+#include <array>
+
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 
@@ -23,6 +25,29 @@ constexpr std::size_t kSlotInPayload = 1;  // inbound payload
 constexpr std::size_t kSlotIncoming = 0;   // float accumulation buffer
 constexpr std::size_t kSlotRingBase = 2;   // ring: byte slot per chunk
 constexpr std::size_t kSlotRingSizes = 0;  // ring: written size per chunk
+
+// Arrival-order iteration over the peers of rank `r` (see
+// comm::for_each_by_arrival). Used only where service order cannot change
+// the final floats: receives into disjoint regions, or staged folds whose
+// adds run in fixed rank order afterwards.
+template <typename Fn>
+void for_each_peer_by_arrival(comm::Comm& comm, int tag, Fn&& fn) {
+  const int n = comm.size();
+  const int r = comm.rank();
+  std::array<int, static_cast<std::size_t>(comm::kMaxAnySourceWorld)> peers;
+  if (n - 1 > comm::kMaxAnySourceWorld) {
+    for (int p = 0; p < n; ++p) {
+      if (p != r) fn(p);
+    }
+    return;
+  }
+  int count = 0;
+  for (int p = 0; p < n; ++p) {
+    if (p != r) peers[static_cast<std::size_t>(count++)] = p;
+  }
+  comm::for_each_by_arrival(
+      comm, {peers.data(), static_cast<std::size_t>(count)}, tag, fn);
+}
 
 }  // namespace
 
@@ -64,16 +89,29 @@ void compressed_allreduce_sra(comm::Comm& comm, std::span<float> data,
   }
 
   // Aggregate my chunk: my raw contribution plus N-1 decompressed ones.
+  // Payloads are received AND decompressed in arrival order — each into its
+  // sender's own slot, so the decompression of early arrivals overlaps the
+  // transit of slow peers — but the adds run in fixed rank order, keeping
+  // the sum bit-identical run to run.
   const auto [mf, ml] = chunk_range(data.size(), n, r);
   std::span<float> mine = data.subspan(mf, ml - mf);
-  const std::span<float> incoming = ws.floats(kSlotIncoming, mine.size());
+  const std::size_t peers = static_cast<std::size_t>(n - 1);
+  const std::span<float> staged =
+      ws.floats(kSlotIncoming, peers * mine.size());
   const std::span<std::byte> in_payload = ws.bytes(
       kSlotInPayload, chunk_compressors[r]->compressed_size(mine.size()));
+  const auto slot_of = [r](int p) {
+    return static_cast<std::size_t>(p < r ? p : p - 1);
+  };
+  for_each_peer_by_arrival(comm, kScatterTag, [&](int p) {
+    comm.recv(p, in_payload, kScatterTag);
+    chunk_compressors[r]->decompress(
+        in_payload, staged.subspan(slot_of(p) * mine.size(), mine.size()));
+  });
   for (int p = 0; p < n; ++p) {
     if (p == r) continue;
-    comm.recv(p, in_payload, kScatterTag);
-    chunk_compressors[r]->decompress(in_payload, incoming);
-    tensor::add_inplace(mine, incoming);
+    tensor::add_inplace(
+        mine, staged.subspan(slot_of(p) * mine.size(), mine.size()));
   }
 
   // Round 2: compress the reduced chunk once and broadcast it. Decompress
@@ -88,15 +126,16 @@ void compressed_allreduce_sra(comm::Comm& comm, std::span<float> data,
     comm.send(p, reduced, kGatherTag);
   }
   chunk_compressors[r]->decompress(reduced, mine);
-  for (int p = 0; p < n; ++p) {
-    if (p == r) continue;
+  // Reduced chunks land in disjoint regions, so arrival order cannot
+  // change the final bytes here.
+  for_each_peer_by_arrival(comm, kGatherTag, [&](int p) {
     const auto [first, last] = chunk_range(data.size(), n, p);
     std::span<float> chunk = data.subspan(first, last - first);
     const std::span<std::byte> gathered = ws.bytes(
         kSlotInPayload, chunk_compressors[p]->compressed_size(chunk.size()));
     comm.recv(p, gathered, kGatherTag);
     chunk_compressors[p]->decompress(gathered, chunk);
-  }
+  });
 }
 
 void compressed_allreduce_ring(comm::Comm& comm, std::span<float> data,

@@ -1,6 +1,7 @@
 #include "core/hierarchical.h"
 
 #include <algorithm>
+#include <array>
 
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
@@ -59,15 +60,49 @@ void subset_compressed_sra(comm::Comm& comm, std::span<float> data,
   }
   const auto [mf, ml] = comm::chunk_range(data.size(), n, me);
   std::span<float> mine = data.subspan(mf, ml - mf);
-  const std::span<float> incoming = ws.floats(kSlotIncoming, mine.size());
+  // Receive and decompress leader contributions in arrival order, each into
+  // its sender's own staging slot; the adds then run in fixed participant
+  // order so the reduced chunk is bit-identical run to run.
+  const std::span<float> staged = ws.floats(
+      kSlotIncoming, static_cast<std::size_t>(n - 1) * mine.size());
   const std::span<std::byte> in_payload =
       ws.bytes(kSlotInPayload, compressors[me]->compressed_size(mine.size()));
+  const auto slot_of = [me](int p) {
+    return static_cast<std::size_t>(p < me ? p : p - 1);
+  };
+  std::array<int, static_cast<std::size_t>(comm::kMaxAnySourceWorld)> peers;
+  int peer_count = 0;
+  const bool any_source = n - 1 <= comm::kMaxAnySourceWorld;
   for (int p = 0; p < n; ++p) {
     if (p == me) continue;
+    if (any_source) {
+      peers[static_cast<std::size_t>(peer_count++)] =
+          participants[static_cast<std::size_t>(p)];
+    }
+  }
+  const auto stage = [&](int p) {
     comm.recv(participants[static_cast<std::size_t>(p)], in_payload,
               kInterScatterTag);
-    compressors[me]->decompress(in_payload, incoming);
-    tensor::add_inplace(mine, incoming);
+    compressors[me]->decompress(
+        in_payload, staged.subspan(slot_of(p) * mine.size(), mine.size()));
+  };
+  if (any_source) {
+    comm::for_each_by_arrival(
+        comm, {peers.data(), static_cast<std::size_t>(peer_count)},
+        kInterScatterTag, [&](int peer_rank) {
+          const auto it2 = std::find(participants.begin(),
+                                     participants.end(), peer_rank);
+          stage(static_cast<int>(it2 - participants.begin()));
+        });
+  } else {
+    for (int p = 0; p < n; ++p) {
+      if (p != me) stage(p);
+    }
+  }
+  for (int p = 0; p < n; ++p) {
+    if (p == me) continue;
+    tensor::add_inplace(
+        mine, staged.subspan(slot_of(p) * mine.size(), mine.size()));
   }
   const std::span<std::byte> payload =
       ws.bytes(kSlotPayload, compressors[me]->compressed_size(mine.size()));
@@ -130,7 +165,11 @@ void hierarchical_allreduce(comm::Comm& comm, std::span<float> data,
     return;
   }
 
-  // Leader: fold members' gradients in.
+  // Leader: fold members' gradients in fixed rank order. Staging every
+  // member's full-size gradient for an any-source fold would multiply the
+  // workspace by the node's device count, and an arrival-order running sum
+  // would make training bit-unstable run to run; intra-node members are
+  // symmetric, so fixed order costs little.
   const std::span<float> incoming = ws.floats(kSlotIncoming, data.size());
   for (int r = 0; r < n; ++r) {
     if (r == rank || leader_of(options.node_of, r) != rank) continue;

@@ -199,6 +199,74 @@ TEST(CommunicationVolume, MatchesAnalyticFormulas) {
   }
 }
 
+// Chunk pipelining must be invisible in byte totals: a buffer large enough
+// to be split into several pipeline sub-chunks puts exactly the same bytes
+// on each link as the analytic single-message formulas — only the message
+// count grows.
+TEST(CommunicationVolume, UnchangedByChunkPipelining) {
+  constexpr int kWorld = 4;
+  // 100k floats per chunk: each per-peer chunk spans two pipeline
+  // sub-chunks (64Ki floats each). Divisible by kWorld for exact counts.
+  constexpr std::size_t kD = 400000;
+  constexpr std::size_t kBytes = kD * sizeof(float);
+
+  {  // SRA on SHM: the peer-direct path posts one descriptor per chunk.
+    ShmTransport t(kWorld);
+    run_world(t, [](Comm& comm) {
+      std::vector<float> data(kD, 1.0f);
+      allreduce_sra(comm, data);
+    });
+    for (int r = 0; r < kWorld; ++r) {
+      EXPECT_EQ(t.recorder().bytes_sent_by(r),
+                2 * kBytes * (kWorld - 1) / kWorld);
+    }
+    // Each rank posts 2 rounds x (N-1) chunks; descriptors and acks are
+    // signalling, not traffic.
+    EXPECT_EQ(t.recorder().total_messages(),
+              static_cast<std::size_t>(kWorld) * 2 * (kWorld - 1));
+    // Per-link volume: chunk of dst (scatter) + chunk of src (gather).
+    EXPECT_EQ(t.recorder().bytes_between(0, 1), 2 * kBytes / kWorld);
+  }
+  {  // SRA on MPI (channel path): sub-chunk pipelining shows up only in the
+    // message count — byte totals are identical to the analytic formulas.
+    MpiTransport t(kWorld);
+    run_world(t, [](Comm& comm) {
+      std::vector<float> data(kD, 1.0f);
+      allreduce_sra(comm, data);
+    });
+    for (int r = 0; r < kWorld; ++r) {
+      EXPECT_EQ(t.recorder().bytes_sent_by(r),
+                2 * kBytes * (kWorld - 1) / kWorld);
+    }
+    // Each rank sends 2 rounds x (N-1) peers x 2 sub-chunks.
+    EXPECT_EQ(t.recorder().total_messages(),
+              static_cast<std::size_t>(kWorld) * 2 * (kWorld - 1) * 2);
+    EXPECT_EQ(t.recorder().bytes_between(0, 1), 2 * kBytes / kWorld);
+  }
+  {  // Ring
+    ShmTransport t(kWorld);
+    run_world(t, [](Comm& comm) {
+      std::vector<float> data(kD, 1.0f);
+      allreduce_ring(comm, data);
+    });
+    for (int r = 0; r < kWorld; ++r) {
+      EXPECT_EQ(t.recorder().bytes_sent_by(r),
+                2 * kBytes * (kWorld - 1) / kWorld);
+      // All of a rank's traffic rides its ring successor link.
+      EXPECT_EQ(t.recorder().bytes_between(r, (r + 1) % kWorld),
+                2 * kBytes * (kWorld - 1) / kWorld);
+    }
+  }
+  {  // Tree
+    ShmTransport t(kWorld);
+    run_world(t, [](Comm& comm) {
+      std::vector<float> data(kD, 1.0f);
+      allreduce_tree(comm, data);
+    });
+    EXPECT_EQ(t.recorder().total_bytes(), 2 * kBytes * (kWorld - 1));
+  }
+}
+
 TEST(Allreduce, WorldOfOneIsNoOp) {
   ShmTransport transport(1);
   run_world(transport, [](Comm& comm) {
