@@ -1,0 +1,257 @@
+#include "comm/fault.h"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+#include "util/check.h"
+
+namespace cgx::comm {
+namespace {
+
+// SplitMix64 finaliser: a strong stateless mixer, so every fault decision is
+// an independent pure function of its key — no RNG stream to race on.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Distinct decision streams drawn from one seed.
+enum class Stream : std::uint64_t {
+  kWire = 0x77697265,     // drop/corrupt outcome per delivery attempt
+  kFlipPos = 0x666c6970,  // corrupted byte position
+  kFlipBit = 0x62697473,  // corrupted bit mask
+  kDelay = 0x64656c61,    // send straggler decision
+};
+
+std::uint64_t key(std::uint64_t seed, Stream stream, int src, int dst,
+                  int tag, std::uint64_t frame, int attempt) {
+  std::uint64_t h = mix64(seed ^ static_cast<std::uint64_t>(stream));
+  h = mix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) |
+                 static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst))
+                     << 32));
+  h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+  h = mix64(h ^ frame);
+  h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(attempt)));
+  return h;
+}
+
+// Uniform draw in [0, 1) from a hashed key (53 mantissa bits).
+double unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::string injected_what(int rank, const char* kind) {
+  std::ostringstream os;
+  os << "FaultInjectedError: rank " << rank << " " << kind
+     << " (scheduled by the fault harness)";
+  return os.str();
+}
+
+}  // namespace
+
+FaultInjectedError::FaultInjectedError(int rank, const char* kind)
+    : std::runtime_error(injected_what(rank, kind)), rank(rank) {}
+
+// ------------------------------------------------------------ FaultInjector
+
+FaultInjector::FaultInjector(std::uint64_t seed, int world_size)
+    : seed_(seed),
+      world_(world_size),
+      specs_(static_cast<std::size_t>(world_size) *
+             static_cast<std::size_t>(world_size)),
+      ranks_(static_cast<std::size_t>(world_size)) {
+  CGX_CHECK_GT(world_size, 0);
+}
+
+std::size_t FaultInjector::link_index(int src, int dst) const {
+  CGX_CHECK(src >= 0 && src < world_);
+  CGX_CHECK(dst >= 0 && dst < world_);
+  return static_cast<std::size_t>(src) * static_cast<std::size_t>(world_) +
+         static_cast<std::size_t>(dst);
+}
+
+void FaultInjector::set_link(int src, int dst, const FaultSpec& spec) {
+  specs_[link_index(src, dst)] = spec;
+}
+
+void FaultInjector::set_all_links(const FaultSpec& spec) {
+  for (FaultSpec& s : specs_) s = spec;
+}
+
+void FaultInjector::schedule_hang(int rank, std::uint64_t op_index,
+                                  std::chrono::milliseconds duration) {
+  CGX_CHECK(rank >= 0 && rank < world_);
+  ranks_[static_cast<std::size_t>(rank)].hang_at = op_index;
+  ranks_[static_cast<std::size_t>(rank)].hang_for = duration;
+}
+
+void FaultInjector::schedule_crash(int rank, std::uint64_t op_index) {
+  CGX_CHECK(rank >= 0 && rank < world_);
+  ranks_[static_cast<std::size_t>(rank)].crash_at = op_index;
+}
+
+void FaultInjector::schedule_round_failure(std::uint64_t round) {
+  failing_rounds_.push_back(round);
+}
+
+bool FaultInjector::round_fails(std::uint64_t round, int attempt) const {
+  // Only the first attempt of a round fails: the retry must find clear air,
+  // otherwise the test would assert an infinite loop.
+  if (attempt != 0) return false;
+  return std::find(failing_rounds_.begin(), failing_rounds_.end(), round) !=
+         failing_rounds_.end();
+}
+
+void FaultInjector::on_rank_op(int rank) {
+  CGX_CHECK(rank >= 0 && rank < world_);
+  RankSchedule& rs = ranks_[static_cast<std::size_t>(rank)];
+  if (rs.hang_at == kNever && rs.crash_at == kNever) {
+    // Fast path: nothing scheduled, skip the counter entirely.
+    return;
+  }
+  const std::uint64_t op = rs.ops.fetch_add(1, std::memory_order_relaxed);
+  if (op == rs.crash_at) {
+    throw FaultInjectedError(rank, "crashed");
+  }
+  if (op == rs.hang_at) {
+    // A straggler that turns into a casualty: stall long enough for every
+    // bounded peer to time out, then die. Never resume into a half-done
+    // operation — a partially-written frame would corrupt the link rather
+    // than model a hung process.
+    std::this_thread::sleep_for(rs.hang_for);
+    throw FaultInjectedError(rank, "hung and was declared dead");
+  }
+}
+
+WireOutcome FaultInjector::wire_outcome(int src, int dst, int tag,
+                                        std::uint64_t frame,
+                                        int attempt) const {
+  const FaultSpec& spec = specs_[link_index(src, dst)];
+  if (spec.drop_prob <= 0.0 && spec.corrupt_prob <= 0.0) {
+    return WireOutcome::kOk;
+  }
+  const double u =
+      unit(key(seed_, Stream::kWire, src, dst, tag, frame, attempt));
+  if (u < spec.drop_prob) return WireOutcome::kDrop;
+  if (u < spec.drop_prob + spec.corrupt_prob) return WireOutcome::kCorrupt;
+  return WireOutcome::kOk;
+}
+
+void FaultInjector::corrupt_bytes(std::span<std::byte> payload, int src,
+                                  int dst, int tag, std::uint64_t frame,
+                                  int attempt) const {
+  if (payload.empty()) return;
+  const std::uint64_t pos =
+      key(seed_, Stream::kFlipPos, src, dst, tag, frame, attempt) %
+      payload.size();
+  const std::uint64_t bit =
+      key(seed_, Stream::kFlipBit, src, dst, tag, frame, attempt) % 8;
+  payload[static_cast<std::size_t>(pos)] ^=
+      static_cast<std::byte>(1u << bit);
+}
+
+std::chrono::microseconds FaultInjector::send_delay(int src, int dst,
+                                                    std::uint64_t op) const {
+  const FaultSpec& spec = specs_[link_index(src, dst)];
+  if (spec.delay_prob <= 0.0 || spec.delay.count() <= 0) {
+    return std::chrono::microseconds{0};
+  }
+  const double u =
+      unit(key(seed_, Stream::kDelay, src, dst, /*tag=*/0, op, /*attempt=*/0));
+  return u < spec.delay_prob ? spec.delay : std::chrono::microseconds{0};
+}
+
+// ---------------------------------------------------------- FaultyTransport
+
+FaultyTransport::FaultyTransport(Transport& inner, FaultInjector& injector)
+    : Transport(inner.world_size()),
+      inner_(inner),
+      injector_(injector),
+      send_seq_(static_cast<std::size_t>(inner.world_size()) *
+                static_cast<std::size_t>(inner.world_size())) {
+  CGX_CHECK_EQ(inner.world_size(), injector.world_size());
+  policy_ = inner.policy();
+  inner_.set_fault_injector(&injector_);
+}
+
+FaultyTransport::~FaultyTransport() { inner_.set_fault_injector(nullptr); }
+
+void FaultyTransport::before_send(int src, int dst) {
+  injector_.on_rank_op(src);
+  const std::uint64_t op =
+      send_seq_[static_cast<std::size_t>(src) *
+                    static_cast<std::size_t>(world_size_) +
+                static_cast<std::size_t>(dst)]
+          .fetch_add(1, std::memory_order_relaxed);
+  const auto delay = injector_.send_delay(src, dst, op);
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+}
+
+void FaultyTransport::send(int src, int dst, std::span<const std::byte> data,
+                           int tag) {
+  before_send(src, dst);
+  inner_.send(src, dst, data, tag);
+}
+
+void FaultyTransport::recv(int dst, int src, std::span<std::byte> data,
+                           int tag) {
+  injector_.on_rank_op(dst);
+  inner_.recv(dst, src, data, tag);
+}
+
+bool FaultyTransport::supports_recv_add() const {
+  return inner_.supports_recv_add();
+}
+
+void FaultyTransport::recv_add(int dst, int src, std::span<float> data,
+                               int tag) {
+  injector_.on_rank_op(dst);
+  inner_.recv_add(dst, src, data, tag);
+}
+
+bool FaultyTransport::supports_direct_exchange() const {
+  return inner_.supports_direct_exchange();
+}
+
+void FaultyTransport::direct_post(int src, int dst,
+                                  std::span<const float> data, int tag) {
+  before_send(src, dst);
+  inner_.direct_post(src, dst, data, tag);
+}
+
+void FaultyTransport::direct_pull(int dst, int src, std::span<float> data,
+                                  bool add, int tag) {
+  injector_.on_rank_op(dst);
+  inner_.direct_pull(dst, src, data, add, tag);
+}
+
+void FaultyTransport::direct_wait(int src, int dst, int tag) {
+  injector_.on_rank_op(src);
+  inner_.direct_wait(src, dst, tag);
+}
+
+int FaultyTransport::select_source(int dst, std::span<const int> candidates,
+                                   int tag) {
+  injector_.on_rank_op(dst);
+  return inner_.select_source(dst, candidates, tag);
+}
+
+const TransportProfile& FaultyTransport::profile() const {
+  return inner_.profile();
+}
+
+void FaultyTransport::set_policy(const CommPolicy& policy) {
+  policy_ = policy;  // keep the local accessor coherent
+  inner_.set_policy(policy);
+}
+
+void FaultyTransport::set_fault_injector(FaultInjector* injector) {
+  inner_.set_fault_injector(injector);
+}
+
+void FaultyTransport::reset_inbound(int rank) { inner_.reset_inbound(rank); }
+
+}  // namespace cgx::comm

@@ -1,0 +1,195 @@
+// Deterministic fault-injection harness for the communication stack.
+//
+// The reliability machinery (deadlines, checksums, retransmission, health
+// accounting, engine round retry) is only trustworthy if it can be exercised
+// against real faults, reproducibly. This header provides two pieces:
+//
+//   FaultInjector   — the fault model itself: per-link wire faults (message
+//                     drops, payload bit flips, send delays / stragglers)
+//                     plus per-rank schedules (hang at the k-th comm op,
+//                     crash at the k-th comm op) and synthetic whole-round
+//                     failures for engine-retry tests. Every decision is a
+//                     pure hash of (seed, link, frame/op sequence, attempt),
+//                     so a run is bit-reproducible per seed regardless of
+//                     thread scheduling — and two runs with the same seed
+//                     inject byte-identical corruption.
+//
+//   FaultyTransport — a decorator wrapping any Transport: it threads every
+//                     operation through the injector's rank schedules and
+//                     send-delay model, and installs the injector into the
+//                     inner transport's receive paths (the ring-channel
+//                     copy-out and the SHM peer-direct pull), where drops
+//                     and corruption are applied under CRC protection.
+//
+// Division of labour: *when and where* faults strike is decided here;
+// *surviving them* lives in the channel/transport/engine layers. Drops and
+// corruption require CommPolicy::checksums (they bite the verified copy-out
+// path); delays, hangs and crashes work on any configuration.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/transport.h"
+
+namespace cgx::comm {
+
+// What the modelled wire did to one delivery attempt of one frame.
+enum class WireOutcome {
+  kOk,       // delivered intact
+  kCorrupt,  // delivered with flipped bits (caught by CRC, retransmitted)
+  kDrop,     // lost in flight (receiver NAKs, sender's retained copy re-sent)
+};
+
+// Thrown on the faulted rank's own thread when a scheduled hang elapses or a
+// scheduled crash fires: the injected analogue of a dead training process.
+// run_world annotates it with the rank and rethrows on the joining thread.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  FaultInjectedError(int rank, const char* kind);
+  int rank;
+};
+
+// Per-link wire-fault probabilities. All zero (the default) = a clean link.
+struct FaultSpec {
+  double drop_prob = 0.0;     // P(delivery attempt is lost)
+  double corrupt_prob = 0.0;  // P(delivery attempt arrives bit-flipped)
+  double delay_prob = 0.0;    // P(a send is stalled by `delay`)
+  std::chrono::microseconds delay{0};
+
+  bool active() const {
+    return drop_prob > 0.0 || corrupt_prob > 0.0 || delay_prob > 0.0;
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(std::uint64_t seed, int world_size);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // ---- configuration (call before traffic flows) ----
+
+  void set_link(int src, int dst, const FaultSpec& spec);
+  void set_all_links(const FaultSpec& spec);
+
+  // After its `op_index`-th communication operation, `rank` stalls for
+  // `duration` and then dies with FaultInjectedError — a straggler that
+  // turns into a casualty. Peers see silence: with a bounded CommPolicy
+  // every survivor raises a TimeoutError naming the stalled link; without
+  // one they would hang forever (which is the seed behaviour being fixed).
+  void schedule_hang(int rank, std::uint64_t op_index,
+                     std::chrono::milliseconds duration);
+
+  // `rank` dies with FaultInjectedError at its `op_index`-th operation.
+  void schedule_crash(int rank, std::uint64_t op_index);
+
+  // Marks engine round `round` (0-based allreduce call index) as failing on
+  // its first attempt: CgxEngine consults round_fails() and exercises its
+  // catch/quiesce/reset/retry path deterministically.
+  void schedule_round_failure(std::uint64_t round);
+  bool round_fails(std::uint64_t round, int attempt) const;
+
+  // ---- runtime hooks ----
+
+  // Called by FaultyTransport as `rank` enters each communication op:
+  // advances the rank's op counter and fires any hang/crash schedule.
+  void on_rank_op(int rank);
+
+  // Wire model for one delivery attempt of one frame, keyed purely by
+  // (seed, link, frame sequence, attempt) — no hidden state. Retried
+  // attempts re-roll, so a lossy link eventually delivers (or exhausts the
+  // receiver's retry budget).
+  WireOutcome wire_outcome(int src, int dst, int tag, std::uint64_t frame,
+                           int attempt) const;
+
+  // Deterministic bit flip applied to a corrupted delivery: position and
+  // mask are hashed from the same key as the outcome.
+  void corrupt_bytes(std::span<std::byte> payload, int src, int dst, int tag,
+                     std::uint64_t frame, int attempt) const;
+
+  // Straggler model: how long the `op`-th send on (src, dst) is stalled.
+  std::chrono::microseconds send_delay(int src, int dst,
+                                       std::uint64_t op) const;
+
+  std::uint64_t seed() const { return seed_; }
+  int world_size() const { return world_; }
+
+ private:
+  struct RankSchedule {
+    std::uint64_t hang_at = kNever;
+    std::chrono::milliseconds hang_for{0};
+    std::uint64_t crash_at = kNever;
+    std::atomic<std::uint64_t> ops{0};
+  };
+  static constexpr std::uint64_t kNever = ~0ull;
+
+  std::size_t link_index(int src, int dst) const;
+
+  const std::uint64_t seed_;
+  const int world_;
+  std::vector<FaultSpec> specs_;       // world^2, row-major by src
+  std::vector<RankSchedule> ranks_;    // one per rank
+  std::vector<std::uint64_t> failing_rounds_;
+};
+
+// Transport decorator that applies a FaultInjector to any backend. The
+// wrapped transport keeps doing the real byte movement; this layer only
+// decides when a rank stalls/dies and when a send is delayed, and plants the
+// injector into the inner receive paths for wire-level drops/corruption.
+class FaultyTransport final : public Transport {
+ public:
+  // Both references must outlive the decorator. Installs `injector` into
+  // `inner`'s receive paths; detaches it again on destruction.
+  FaultyTransport(Transport& inner, FaultInjector& injector);
+  ~FaultyTransport() override;
+
+  void send(int src, int dst, std::span<const std::byte> data,
+            int tag) override;
+  void recv(int dst, int src, std::span<std::byte> data, int tag) override;
+  bool supports_recv_add() const override;
+  void recv_add(int dst, int src, std::span<float> data, int tag) override;
+  bool supports_direct_exchange() const override;
+  void direct_post(int src, int dst, std::span<const float> data,
+                   int tag) override;
+  void direct_pull(int dst, int src, std::span<float> data, bool add,
+                   int tag) override;
+  void direct_wait(int src, int dst, int tag) override;
+  int select_source(int dst, std::span<const int> candidates,
+                    int tag) override;
+  const TransportProfile& profile() const override;
+
+  void set_policy(const CommPolicy& policy) override;
+  void set_fault_injector(FaultInjector* injector) override;
+  void reset_inbound(int rank) override;
+
+  // Accounting lives in the wrapped backend; expose it, not the shadow.
+  TrafficRecorder& recorder() override { return inner_.recorder(); }
+  const TrafficRecorder& recorder() const override {
+    return inner_.recorder();
+  }
+  HealthMonitor& health() override { return inner_.health(); }
+  const HealthMonitor& health() const override { return inner_.health(); }
+
+  Transport& inner() { return inner_; }
+  FaultInjector& injector() { return injector_; }
+
+ private:
+  // Stalls the sender when the injector's straggler model fires for this
+  // link's next send, then advances the rank-op schedule.
+  void before_send(int src, int dst);
+
+  Transport& inner_;
+  FaultInjector& injector_;
+  // Per-link send sequence numbers keying the delay model (sends on a link
+  // are ordered by the sending device thread, so this is deterministic).
+  std::vector<std::atomic<std::uint64_t>> send_seq_;
+};
+
+}  // namespace cgx::comm

@@ -1,0 +1,137 @@
+#include "comm/policy.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace cgx::comm {
+namespace {
+
+std::string link_name(int src, int dst, int tag) {
+  std::ostringstream os;
+  os << "link (src=" << src << " -> dst=" << dst << ", tag=" << tag << ")";
+  return os.str();
+}
+
+std::string timeout_what(int src, int dst, int tag,
+                         std::chrono::milliseconds waited, const char* where) {
+  std::ostringstream os;
+  os << "TimeoutError: " << where << " on " << link_name(src, dst, tag)
+     << " gave up after " << waited.count() << " ms";
+  return os.str();
+}
+
+std::string checksum_what(int src, int dst, int tag, int attempts) {
+  std::ostringstream os;
+  os << "ChecksumError: frame on " << link_name(src, dst, tag)
+     << " failed CRC32 verification after " << attempts
+     << " delivery attempts";
+  return os.str();
+}
+
+}  // namespace
+
+TimeoutError::TimeoutError(int src, int dst, int tag,
+                           std::chrono::milliseconds waited, const char* where)
+    : CommError(timeout_what(src, dst, tag, waited, where), src, dst, tag),
+      waited(waited) {}
+
+ChecksumError::ChecksumError(int src, int dst, int tag, int attempts)
+    : CommError(checksum_what(src, dst, tag, attempts), src, dst, tag),
+      attempts(attempts) {}
+
+// -------------------------------------------------------------- health
+
+HealthMonitor::HealthMonitor(int world_size)
+    : world_size_(world_size),
+      links_(static_cast<std::size_t>(world_size) *
+             static_cast<std::size_t>(world_size)) {
+  CGX_CHECK_GT(world_size, 0);
+}
+
+std::size_t HealthMonitor::index(int src, int dst) const {
+  CGX_CHECK(src >= 0 && src < world_size_);
+  CGX_CHECK(dst >= 0 && dst < world_size_);
+  return static_cast<std::size_t>(src) *
+             static_cast<std::size_t>(world_size_) +
+         static_cast<std::size_t>(dst);
+}
+
+void HealthMonitor::record_success(int src, int dst, double wait_us) {
+  Link& l = links_[index(src, dst)];
+  l.consecutive_failures.store(0, std::memory_order_relaxed);
+  double prev = l.latency_ewma_us.load(std::memory_order_relaxed);
+  double next;
+  do {
+    next = prev == 0.0 ? wait_us : prev + (wait_us - prev) / 8.0;
+  } while (!l.latency_ewma_us.compare_exchange_weak(
+      prev, next, std::memory_order_relaxed));
+}
+
+void HealthMonitor::record_timeout(int src, int dst) {
+  // An any-source timeout has no single culprit link; callers pass -1.
+  if (src < 0 || dst < 0) return;
+  Link& l = links_[index(src, dst)];
+  l.consecutive_failures.fetch_add(1, std::memory_order_relaxed);
+  l.timeouts.fetch_add(1, std::memory_order_relaxed);
+}
+
+void HealthMonitor::record_retransmit(int src, int dst) {
+  Link& l = links_[index(src, dst)];
+  l.consecutive_failures.fetch_add(1, std::memory_order_relaxed);
+  l.retransmits.fetch_add(1, std::memory_order_relaxed);
+}
+
+void HealthMonitor::record_wire_drop(int src, int dst) {
+  Link& l = links_[index(src, dst)];
+  l.wire_drops.fetch_add(1, std::memory_order_relaxed);
+}
+
+void HealthMonitor::record_fallback(int src, int dst) {
+  links_[index(src, dst)].fallbacks.fetch_add(1, std::memory_order_relaxed);
+}
+
+void HealthMonitor::reset() {
+  for (Link& l : links_) {
+    l.consecutive_failures.store(0, std::memory_order_relaxed);
+    l.timeouts.store(0, std::memory_order_relaxed);
+    l.retransmits.store(0, std::memory_order_relaxed);
+    l.wire_drops.store(0, std::memory_order_relaxed);
+    l.fallbacks.store(0, std::memory_order_relaxed);
+    l.latency_ewma_us.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t HealthMonitor::total_timeouts() const {
+  std::uint64_t total = 0;
+  for (const Link& l : links_) {
+    total += l.timeouts.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t HealthMonitor::total_retransmits() const {
+  std::uint64_t total = 0;
+  for (const Link& l : links_) {
+    total += l.retransmits.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t HealthMonitor::total_wire_drops() const {
+  std::uint64_t total = 0;
+  for (const Link& l : links_) {
+    total += l.wire_drops.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t HealthMonitor::total_fallbacks() const {
+  std::uint64_t total = 0;
+  for (const Link& l : links_) {
+    total += l.fallbacks.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace cgx::comm

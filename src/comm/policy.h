@@ -1,0 +1,120 @@
+// Reliability policy, structured communication errors, and per-link health
+// accounting — shared by the ring channels (below the transports) and the
+// transport/collective layers (above them).
+//
+// The seed stack assumed every peer is prompt and every blocking wait
+// eventually returns; a hung rank deadlocked the world forever. A CommPolicy
+// bounds every blocking wait with a deadline and turns expiry into a
+// structured TimeoutError naming the stalled link, so QSGD-style convergence
+// guarantees degrade into *visible* failures instead of silent hangs, and
+// L-GreCo-style adaptive policies get per-link health signals to react to.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cgx::comm {
+
+// Knobs governing every blocking communication wait of a transport.
+// Defaults preserve the seed semantics exactly: wait forever, no checksums —
+// and, with checksums off, zero bytes and zero branches are added to the
+// wire format, keeping the zero-steady-state-allocation and overhead
+// contracts intact.
+struct CommPolicy {
+  // Upper bound on any single blocking wait (receive, send backpressure,
+  // any-source select, barrier, peer-direct rendezvous). 0 = wait forever.
+  std::chrono::milliseconds timeout{0};
+  // Checksummed frames: retransmission attempts before the link is declared
+  // corrupt (ChecksumError). Also caps wire-drop retries per frame... the
+  // retry loop re-copies the frame from the sender's retained ring slab.
+  int max_retries = 4;
+  // Base backoff between retransmission attempts; doubled per attempt and
+  // capped at 64x so a flaky link cannot stretch a frame receive unboundedly.
+  std::chrono::microseconds backoff{50};
+  // Stamp a CRC32 into each ring frame header and verify it after the
+  // receiver's copy-out (see ring_channel.h "Wire format"). Off by default:
+  // the flag bit rides the existing 8-byte length word, so disabled
+  // checksums cost nothing on the wire.
+  bool checksums = false;
+
+  bool bounded() const { return timeout.count() > 0; }
+};
+
+// Base of all structured communication failures. `src`/`dst` name the
+// directed link (-1 = not attributable to one peer, e.g. an any-source
+// select or a world barrier); `tag` the channel tag (-1 = none).
+class CommError : public std::runtime_error {
+ public:
+  CommError(std::string what, int src, int dst, int tag)
+      : std::runtime_error(std::move(what)), src(src), dst(dst), tag(tag) {}
+  int src;
+  int dst;
+  int tag;
+};
+
+// A deadline-bounded wait expired: the peer is hung, crashed, or stalled
+// past CommPolicy::timeout. `waited` is how long the caller actually blocked.
+class TimeoutError : public CommError {
+ public:
+  TimeoutError(int src, int dst, int tag, std::chrono::milliseconds waited,
+               const char* where);
+  std::chrono::milliseconds waited;
+};
+
+// A checksummed frame failed verification on every retransmission attempt:
+// the link delivers corrupt bytes faster than the retry budget can mask.
+class ChecksumError : public CommError {
+ public:
+  ChecksumError(int src, int dst, int tag, int attempts);
+  int attempts;
+};
+
+// Per-link health counters: consecutive-failure streaks and a latency EWMA,
+// kept as a dense world x world array of atomics (TrafficRecorder-style —
+// no lock, no map node, no contention between links). Feeds StepReport and
+// future adaptive policy; all methods are safe from any device thread.
+class HealthMonitor {
+ public:
+  struct Link {
+    std::atomic<std::uint32_t> consecutive_failures{0};
+    std::atomic<std::uint64_t> timeouts{0};
+    std::atomic<std::uint64_t> retransmits{0};
+    std::atomic<std::uint64_t> wire_drops{0};
+    std::atomic<std::uint64_t> fallbacks{0};
+    // Exponentially weighted moving average of successful receive waits, in
+    // microseconds (alpha = 1/8). Updated with a CAS loop; read lock-free.
+    std::atomic<double> latency_ewma_us{0.0};
+  };
+
+  explicit HealthMonitor(int world_size);
+
+  void record_success(int src, int dst, double wait_us);
+  void record_timeout(int src, int dst);
+  void record_retransmit(int src, int dst);
+  void record_wire_drop(int src, int dst);
+  void record_fallback(int src, int dst);
+  void reset();
+
+  const Link& link(int src, int dst) const { return links_[index(src, dst)]; }
+  Link& link(int src, int dst) { return links_[index(src, dst)]; }
+
+  std::uint64_t total_timeouts() const;
+  std::uint64_t total_retransmits() const;
+  std::uint64_t total_wire_drops() const;
+  std::uint64_t total_fallbacks() const;
+
+  int world_size() const { return world_size_; }
+
+ private:
+  std::size_t index(int src, int dst) const;
+
+  const int world_size_;
+  std::vector<Link> links_;  // world_size^2, row-major by src
+};
+
+}  // namespace cgx::comm

@@ -3,14 +3,21 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <thread>
 
+#include "comm/fault.h"
 #include "util/check.h"
+#include "util/crc32.h"
 
 namespace cgx::comm {
 namespace {
 
 // Smallest physical slab worth allocating.
 constexpr std::size_t kMinSlab = 4096;
+
+// Exponential backoff is capped at base * 2^6 so a hopeless link fails in
+// bounded time instead of sleeping geometrically.
+constexpr int kMaxBackoffShift = 6;
 
 std::size_t round_up_pow2(std::size_t n) {
   std::size_t p = 1;
@@ -19,6 +26,12 @@ std::size_t round_up_pow2(std::size_t n) {
 }
 
 }  // namespace
+
+const CommPolicy& RingChannel::policy() const {
+  static const CommPolicy kDefault;
+  return (fabric_ != nullptr && fabric_->policy != nullptr) ? *fabric_->policy
+                                                            : kDefault;
+}
 
 std::size_t RingChannel::effective_capacity() const {
   return capacity_ == 0 ? std::numeric_limits<std::size_t>::max() / 2
@@ -64,12 +77,46 @@ void RingChannel::notify_space() {
   if (space_waiters_ > 0) space_cv_.notify_all();
 }
 
-void RingChannel::write_stream(std::unique_lock<std::mutex>& lock,
-                               std::span<const std::byte> src) {
+void RingChannel::poison(std::unique_lock<std::mutex>& lock) {
+  (void)lock;  // documents the precondition: mutex_ held
+  poisoned_ = true;
+  poisoned_flag_.store(true, std::memory_order_release);
+  // Wake every parked thread so the failure surfaces on all users of the
+  // link instead of leaving them blocked on a frame that will never finish.
+  data_cv_.notify_all();
+  space_cv_.notify_all();
+}
+
+void RingChannel::peek_bytes(std::size_t offset,
+                             std::span<std::byte> dst) const {
+  const std::size_t start = (head_ + offset) % slab_.size();
+  const std::size_t first = std::min(dst.size(), slab_.size() - start);
+  std::memcpy(dst.data(), slab_.data() + start, first);
+  if (first < dst.size()) {
+    std::memcpy(dst.data() + first, slab_.data(), dst.size() - first);
+  }
+}
+
+void RingChannel::consume_bytes(std::size_t n) {
+  CGX_CHECK_LE(n, used_);
+  head_ = (head_ + n) % slab_.size();
+  used_ -= n;
+  readable_.store(used_, std::memory_order_release);
+  notify_space();
+}
+
+ChannelStatus RingChannel::write_stream(std::unique_lock<std::mutex>& lock,
+                                        std::span<const std::byte> src,
+                                        Clock::time_point deadline,
+                                        std::size_t& moved) {
   const std::size_t cap = effective_capacity();
   std::size_t off = 0;
   while (off < src.size()) {
-    wait_space(lock, [&] { return used_ < cap; });
+    if (!wait_space_until(lock, deadline,
+                          [&] { return used_ < cap || poisoned_; })) {
+      return ChannelStatus::kTimeout;
+    }
+    if (poisoned_) return ChannelStatus::kPoisoned;
     // Move everything that fits in one locked pass: the common case (the
     // whole message fits free space) costs one commit and one wakeup. Only
     // an over-capacity message loops, draining against a concurrent reader.
@@ -85,17 +132,25 @@ void RingChannel::write_stream(std::unique_lock<std::mutex>& lock,
     }
     used_ += n;
     off += n;
+    moved += n;
     readable_.store(used_, std::memory_order_release);
     notify_data();
     ring_doorbell();
   }
+  return ChannelStatus::kOk;
 }
 
-void RingChannel::read_stream(std::unique_lock<std::mutex>& lock,
-                              std::span<std::byte> dst) {
+ChannelStatus RingChannel::read_stream(std::unique_lock<std::mutex>& lock,
+                                       std::span<std::byte> dst,
+                                       Clock::time_point deadline,
+                                       std::size_t& moved) {
   std::size_t off = 0;
   while (off < dst.size()) {
-    wait_data(lock, [&] { return used_ > 0; });
+    if (!wait_data_until(lock, deadline,
+                         [&] { return used_ > 0 || poisoned_; })) {
+      return ChannelStatus::kTimeout;
+    }
+    if (poisoned_) return ChannelStatus::kPoisoned;
     const std::size_t n = std::min(dst.size() - off, used_);
     const std::size_t first = std::min(n, slab_.size() - head_);
     std::memcpy(dst.data() + off, slab_.data() + head_, first);
@@ -105,13 +160,17 @@ void RingChannel::read_stream(std::unique_lock<std::mutex>& lock,
     head_ = (head_ + n) % slab_.size();
     used_ -= n;
     off += n;
+    moved += n;
     readable_.store(used_, std::memory_order_release);
     notify_space();
   }
+  return ChannelStatus::kOk;
 }
 
-void RingChannel::read_stream_add(std::unique_lock<std::mutex>& lock,
-                                  std::span<float> dst) {
+ChannelStatus RingChannel::read_stream_add(std::unique_lock<std::mutex>& lock,
+                                           std::span<float> dst,
+                                           Clock::time_point deadline,
+                                           std::size_t& moved) {
   // Bytes hop slab -> L1-resident stage -> add into dst, so each payload
   // byte crosses DRAM once on the receive side instead of twice (no bounce
   // through a full-size scratch buffer). A locked pass may end mid-float;
@@ -123,7 +182,11 @@ void RingChannel::read_stream_add(std::unique_lock<std::mutex>& lock,
   std::size_t emitted = 0;        // floats already added into dst
   std::size_t remaining = dst.size() * sizeof(float);
   while (remaining > 0) {
-    wait_data(lock, [&] { return used_ > 0; });
+    if (!wait_data_until(lock, deadline,
+                         [&] { return used_ > 0 || poisoned_; })) {
+      return ChannelStatus::kTimeout;
+    }
+    if (poisoned_) return ChannelStatus::kPoisoned;
     while (remaining > 0 && used_ > 0) {
       const std::size_t n = std::min(
           {remaining, used_, sizeof(stage) - carry});
@@ -135,6 +198,7 @@ void RingChannel::read_stream_add(std::unique_lock<std::mutex>& lock,
       head_ = (head_ + n) % slab_.size();
       used_ -= n;
       remaining -= n;
+      moved += n;
       const std::size_t avail = carry + n;
       const std::size_t nfloat = avail / sizeof(float);
       float* out = dst.data() + emitted;
@@ -149,89 +213,316 @@ void RingChannel::read_stream_add(std::unique_lock<std::mutex>& lock,
     readable_.store(used_, std::memory_order_release);
     notify_space();
   }
+  return ChannelStatus::kOk;
 }
 
-void RingChannel::push(std::span<const std::byte> data) {
+ChannelStatus RingChannel::read_frame_meta(std::unique_lock<std::mutex>& lock,
+                                           Clock::time_point deadline,
+                                           FrameMeta& meta) {
+  if (effective_capacity() < kMinPeekCapacity) {
+    // Tiny segment: the length word itself may wrap and stream through the
+    // slab in pieces — consume it exactly as the seed did. push() never
+    // checksums frames on such channels.
+    std::byte word[kWordBytes];
+    std::size_t word_moved = 0;
+    const ChannelStatus st = read_stream(lock, word, deadline, word_moved);
+    if (st != ChannelStatus::kOk) {
+      if (st == ChannelStatus::kTimeout && word_moved > 0) poison(lock);
+      return st;
+    }
+    std::uint64_t w = 0;
+    std::memcpy(&w, word, kWordBytes);
+    CGX_CHECK((w & kCrcFlag) == 0)
+        << "checksummed frame on a sub-peek-capacity channel";
+    meta.payload_bytes = w;
+    meta.checksummed = false;
+    meta.header_consumed = true;
+    return ChannelStatus::kOk;
+  }
+  if (!wait_data_until(lock, deadline,
+                       [&] { return used_ >= kWordBytes || poisoned_; })) {
+    return ChannelStatus::kTimeout;
+  }
+  if (poisoned_) return ChannelStatus::kPoisoned;
+  std::byte word[kWordBytes];
+  peek_bytes(0, word);
+  std::uint64_t w = 0;
+  std::memcpy(&w, word, kWordBytes);
+  meta.checksummed = (w & kCrcFlag) != 0;
+  meta.payload_bytes = w & ~kCrcFlag;
+  meta.header_consumed = false;
+  if (meta.checksummed) {
+    // Retransmission needs the whole frame retained in the slab; push()
+    // guaranteed it fits, so wait for full residency before touching it.
+    const std::size_t frame =
+        kWordBytes + kCrcBytes + static_cast<std::size_t>(meta.payload_bytes);
+    if (!wait_data_until(lock, deadline,
+                         [&] { return used_ >= frame || poisoned_; })) {
+      return ChannelStatus::kTimeout;
+    }
+    if (poisoned_) return ChannelStatus::kPoisoned;
+    std::byte crc[kCrcBytes];
+    peek_bytes(kWordBytes, crc);
+    std::memcpy(&meta.crc, crc, kCrcBytes);
+  }
+  return ChannelStatus::kOk;
+}
+
+ChannelStatus RingChannel::recv_verified(std::unique_lock<std::mutex>& lock,
+                                         const FrameMeta& meta,
+                                         std::span<std::byte> out,
+                                         Clock::time_point deadline) {
+  const std::size_t frame_bytes = kWordBytes + kCrcBytes + out.size();
+  const std::uint64_t frame_seq = frames_consumed_;
+  FaultInjector* injector = fabric_ != nullptr ? fabric_->injector : nullptr;
+  HealthMonitor* health = fabric_ != nullptr ? fabric_->health : nullptr;
+  const CommPolicy pol = policy();
+  const auto consume_frame = [&] {
+    consume_bytes(frame_bytes);
+    CGX_CHECK_GT(pending_, 0u);
+    --pending_;
+    pending_messages_.store(pending_, std::memory_order_release);
+    ++frames_consumed_;
+  };
+  for (int attempt = 0;; ++attempt) {
+    // The copy-out models the wire crossing; the retained frame in the slab
+    // is the sender's copy and stays untouched across attempts.
+    peek_bytes(kWordBytes + kCrcBytes, out);
+    WireOutcome outcome = WireOutcome::kOk;
+    if (injector != nullptr) {
+      outcome = injector->wire_outcome(src_, dst_, tag_, frame_seq, attempt);
+      if (outcome == WireOutcome::kCorrupt) {
+        injector->corrupt_bytes(out, src_, dst_, tag_, frame_seq, attempt);
+      }
+    }
+    if (outcome != WireOutcome::kDrop && util::crc32(out) == meta.crc) {
+      consume_frame();
+      if (health != nullptr && attempt > 0) {
+        // The link recovered: end the consecutive-failure streak so health
+        // reflects "flaky but alive", not "down".
+        health->link(src_, dst_).consecutive_failures.store(
+            0, std::memory_order_relaxed);
+      }
+      return ChannelStatus::kOk;
+    }
+    if (health != nullptr) {
+      if (outcome == WireOutcome::kDrop) {
+        health->record_wire_drop(src_, dst_);
+      } else {
+        health->record_retransmit(src_, dst_);
+      }
+    }
+    if (attempt >= pol.max_retries) {
+      // A hopeless frame must not wedge the link: consume it and report.
+      consume_frame();
+      return ChannelStatus::kCorrupt;
+    }
+    const auto delay = pol.backoff * (1 << std::min(attempt, kMaxBackoffShift));
+    if (deadline != kNoDeadline && Clock::now() + delay >= deadline) {
+      // Clean timeout: the frame stays intact for a later receive attempt.
+      return ChannelStatus::kTimeout;
+    }
+    // Capped exponential backoff before the NAK-triggered re-copy. The
+    // reader token stays held, so the frame cannot be consumed under us.
+    lock.unlock();
+    std::this_thread::sleep_for(delay);
+    lock.lock();
+    if (poisoned_) return ChannelStatus::kPoisoned;
+  }
+}
+
+ChannelStatus RingChannel::push_until(std::span<const std::byte> data,
+                                      Clock::time_point deadline) {
   std::unique_lock<std::mutex> lock(mutex_);
+  if (poisoned_) return ChannelStatus::kPoisoned;
   // One in-flight message body per channel: take the writer token so a
   // streamed message never interleaves with another producer's bytes.
-  wait_space(lock, [&] { return !writer_active_; });
+  if (!wait_space_until(lock, deadline,
+                        [&] { return !writer_active_ || poisoned_; })) {
+    return ChannelStatus::kTimeout;
+  }
+  if (poisoned_) return ChannelStatus::kPoisoned;
   writer_active_ = true;
+
+  CGX_DCHECK(data.size() < kCrcFlag);
+  std::byte header[kWordBytes + kCrcBytes];
+  std::size_t header_len = kWordBytes;
+  std::uint64_t word = data.size();
+  // Checksum only frames the slab can retain whole: oversized streaming
+  // frames (and sub-peek-capacity channels) fall back to plain framing.
+  const bool crc =
+      policy().checksums && effective_capacity() >= kMinPeekCapacity &&
+      kWordBytes + kCrcBytes + data.size() <= effective_capacity();
+  if (crc) {
+    word |= kCrcFlag;
+    const std::uint32_t c = util::crc32(data);
+    std::memcpy(header + kWordBytes, &c, kCrcBytes);
+    header_len += kCrcBytes;
+  }
+  std::memcpy(header, &word, kWordBytes);
 
   // One grow decision per message: reserve the whole frame (clamped to
   // capacity inside ensure_slab) up front, so a queue-depth wobble later
   // cannot trigger a mid-steady-state reallocation.
-  std::uint64_t size = data.size();
-  std::byte header[sizeof(size)];
-  std::memcpy(header, &size, sizeof(size));
-  ensure_slab(used_ + sizeof(header) + data.size());
-  write_stream(lock, header);
-  // Header committed: the message is now visible to pending_messages() and
-  // a streaming reader may start consuming it while we keep writing.
-  ++pending_;
-  pending_messages_.store(pending_, std::memory_order_release);
-  write_stream(lock, data);
-
+  ensure_slab(used_ + header_len + data.size());
+  std::size_t moved = 0;
+  ChannelStatus st =
+      write_stream(lock, std::span<const std::byte>(header, header_len),
+                   deadline, moved);
+  if (st == ChannelStatus::kOk) {
+    // Header committed: the message is now visible to pending_messages()
+    // and a streaming reader may start consuming it while we keep writing.
+    ++pending_;
+    pending_messages_.store(pending_, std::memory_order_release);
+    st = write_stream(lock, data, deadline, moved);
+  }
   writer_active_ = false;
+  if (st == ChannelStatus::kTimeout && moved > 0) {
+    // The frame was abandoned half-written: no reader can ever frame past
+    // it, so the link is fail-stopped rather than silently corrupted.
+    poison(lock);
+  }
   notify_space();
+  return st;
+}
+
+ChannelStatus RingChannel::pop_into_until(std::span<std::byte> out,
+                                          Clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (poisoned_) return ChannelStatus::kPoisoned;
+  if (!wait_data_until(lock, deadline,
+                       [&] { return !reader_active_ || poisoned_; })) {
+    return ChannelStatus::kTimeout;
+  }
+  if (poisoned_) return ChannelStatus::kPoisoned;
+  reader_active_ = true;
+
+  FrameMeta meta;
+  ChannelStatus st = read_frame_meta(lock, deadline, meta);
+  if (st == ChannelStatus::kOk) {
+    CGX_CHECK_EQ(meta.payload_bytes, out.size());
+    if (meta.checksummed) {
+      st = recv_verified(lock, meta, out, deadline);
+    } else {
+      if (!meta.header_consumed) consume_bytes(kWordBytes);
+      std::size_t moved = 0;
+      st = read_stream(lock, out, deadline, moved);
+      if (st == ChannelStatus::kOk) {
+        CGX_CHECK_GT(pending_, 0u);
+        --pending_;
+        pending_messages_.store(pending_, std::memory_order_release);
+        ++frames_consumed_;
+      } else if (st == ChannelStatus::kTimeout) {
+        poison(lock);  // header consumed: the frame was abandoned mid-read
+      }
+    }
+  }
+  reader_active_ = false;
+  notify_data();
+  return st;
+}
+
+ChannelStatus RingChannel::pop_into_add_until(std::span<float> dst,
+                                              Clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (poisoned_) return ChannelStatus::kPoisoned;
+  if (!wait_data_until(lock, deadline,
+                       [&] { return !reader_active_ || poisoned_; })) {
+    return ChannelStatus::kTimeout;
+  }
+  if (poisoned_) return ChannelStatus::kPoisoned;
+  reader_active_ = true;
+
+  FrameMeta meta;
+  ChannelStatus st = read_frame_meta(lock, deadline, meta);
+  if (st == ChannelStatus::kOk) {
+    // Transports disable fused receives under checksums (an accumulated
+    // block cannot be retracted after a CRC mismatch), so a flagged frame
+    // here is a protocol violation, not a runtime fault.
+    CGX_CHECK(!meta.checksummed)
+        << "pop_into_add on a checksummed frame (fused receive must be "
+           "disabled while CommPolicy::checksums is on)";
+    CGX_CHECK_EQ(meta.payload_bytes, dst.size() * sizeof(float));
+    if (!meta.header_consumed) consume_bytes(kWordBytes);
+    std::size_t moved = 0;
+    st = read_stream_add(lock, dst, deadline, moved);
+    if (st == ChannelStatus::kOk) {
+      CGX_CHECK_GT(pending_, 0u);
+      --pending_;
+      pending_messages_.store(pending_, std::memory_order_release);
+      ++frames_consumed_;
+    } else if (st == ChannelStatus::kTimeout) {
+      poison(lock);
+    }
+  }
+  reader_active_ = false;
+  notify_data();
+  return st;
+}
+
+void RingChannel::push(std::span<const std::byte> data) {
+  const ChannelStatus st = push_until(data, kNoDeadline);
+  CGX_CHECK(st == ChannelStatus::kOk) << "push on a poisoned channel";
 }
 
 void RingChannel::pop_into(std::span<std::byte> out) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  wait_data(lock, [&] { return !reader_active_; });
-  reader_active_ = true;
-
-  std::uint64_t size = 0;
-  std::byte header[sizeof(size)];
-  read_stream(lock, header);
-  std::memcpy(&size, header, sizeof(size));
-  CGX_CHECK_EQ(size, out.size());
-  read_stream(lock, out);
-
-  CGX_CHECK_GT(pending_, 0u);
-  --pending_;
-  pending_messages_.store(pending_, std::memory_order_release);
-  reader_active_ = false;
-  notify_data();
+  const ChannelStatus st = pop_into_until(out, kNoDeadline);
+  CGX_CHECK(st == ChannelStatus::kOk)
+      << "pop_into failed (poisoned or unrecoverably corrupt channel)";
 }
 
 void RingChannel::pop_into_add(std::span<float> dst) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  wait_data(lock, [&] { return !reader_active_; });
-  reader_active_ = true;
-
-  std::uint64_t size = 0;
-  std::byte header[sizeof(size)];
-  read_stream(lock, header);
-  std::memcpy(&size, header, sizeof(size));
-  CGX_CHECK_EQ(size, dst.size() * sizeof(float));
-  read_stream_add(lock, dst);
-
-  CGX_CHECK_GT(pending_, 0u);
-  --pending_;
-  pending_messages_.store(pending_, std::memory_order_release);
-  reader_active_ = false;
-  notify_data();
+  const ChannelStatus st = pop_into_add_until(dst, kNoDeadline);
+  CGX_CHECK(st == ChannelStatus::kOk)
+      << "pop_into_add failed (poisoned channel)";
 }
 
 std::vector<std::byte> RingChannel::pop() {
   std::unique_lock<std::mutex> lock(mutex_);
-  wait_data(lock, [&] { return !reader_active_; });
+  CGX_CHECK(!poisoned_) << "pop on a poisoned channel";
+  wait_data_until(lock, kNoDeadline,
+                  [&] { return !reader_active_ || poisoned_; });
+  CGX_CHECK(!poisoned_) << "pop on a poisoned channel";
   reader_active_ = true;
 
-  std::uint64_t size = 0;
-  std::byte header[sizeof(size)];
-  read_stream(lock, header);
-  std::memcpy(&size, header, sizeof(size));
-  std::vector<std::byte> out(size);
-  read_stream(lock, out);
-
-  CGX_CHECK_GT(pending_, 0u);
-  --pending_;
-  pending_messages_.store(pending_, std::memory_order_release);
+  FrameMeta meta;
+  ChannelStatus st = read_frame_meta(lock, kNoDeadline, meta);
+  std::vector<std::byte> out;
+  if (st == ChannelStatus::kOk) {
+    out.resize(static_cast<std::size_t>(meta.payload_bytes));
+    if (meta.checksummed) {
+      st = recv_verified(lock, meta, out, kNoDeadline);
+    } else {
+      if (!meta.header_consumed) consume_bytes(kWordBytes);
+      std::size_t moved = 0;
+      st = read_stream(lock, out, kNoDeadline, moved);
+      if (st == ChannelStatus::kOk) {
+        CGX_CHECK_GT(pending_, 0u);
+        --pending_;
+        pending_messages_.store(pending_, std::memory_order_release);
+        ++frames_consumed_;
+      }
+    }
+  }
   reader_active_ = false;
   notify_data();
+  CGX_CHECK(st == ChannelStatus::kOk) << "pop failed";
   return out;
+}
+
+void RingChannel::reset() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  head_ = 0;
+  used_ = 0;
+  pending_ = 0;
+  writer_active_ = false;
+  reader_active_ = false;
+  poisoned_ = false;
+  poisoned_flag_.store(false, std::memory_order_release);
+  readable_.store(0, std::memory_order_release);
+  pending_messages_.store(0, std::memory_order_release);
+  data_cv_.notify_all();
+  space_cv_.notify_all();
 }
 
 }  // namespace cgx::comm

@@ -8,14 +8,28 @@
 // events that tell the peer "bytes landed" / "bytes drained".
 //
 // Wire format inside the slab: every message is framed as an 8-byte
-// little-endian length header followed by the payload, laid out in modular
+// little-endian length word followed by the payload, laid out in modular
 // (wrap-around) byte space — a frame may wrap across the physical end of
-// the slab, including mid-header. Messages larger than the segment are NOT
-// bypassed around capacity: they stream through the ring in pieces, the
-// writer blocking for drained space, exactly as a real fixed-size segment
-// forces. (Consequence: an over-segment message needs its receiver to be
-// draining concurrently — true of the hardware, and guaranteed by the
-// collectives' chunking, which keeps messages far below segment size.)
+// the slab, including mid-header. When the bound CommPolicy enables
+// checksums, the top bit of the length word is set and a 4-byte CRC32 of
+// the payload follows the word (12-byte header total); the flag rides the
+// existing word, so disabled checksums add zero bytes and zero work.
+// Messages larger than the segment are NOT bypassed around capacity: they
+// stream through the ring in pieces, the writer blocking for drained space,
+// exactly as a real fixed-size segment forces (such frames are never
+// checksummed — retransmission needs the whole frame retained in the slab).
+//
+// Reliability model: the slab IS the sender's retained copy. The receiver's
+// copy-out models the wire crossing — an attached FaultInjector may corrupt
+// or drop bytes during that copy — and a CRC mismatch triggers a NAK-style
+// re-copy of the same retained frame with capped exponential backoff. Only
+// after verification (or retry exhaustion) is the frame consumed.
+//
+// Deadlines: every *_until operation gives up at `deadline` and reports
+// kTimeout. A timeout that abandons a partially-moved frame poisons the
+// channel (subsequent operations fail fast with kPoisoned) — fail-stop per
+// link, surfaced by the transport as a structured error; reset() restores a
+// quiesced channel for an engine-level round retry.
 //
 // Concurrency contract: any number of producers and consumers; whole
 // messages never interleave (a writer token serialises message bodies, a
@@ -24,6 +38,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -31,7 +46,11 @@
 #include <span>
 #include <vector>
 
+#include "comm/policy.h"
+
 namespace cgx::comm {
+
+class FaultInjector;  // wire-fault model; see comm/fault.h
 
 // Per-receiver wakeup channel for any-source receives: every byte commit
 // into any of a rank's inbound rings bumps `seq` and (only if someone is
@@ -43,8 +62,29 @@ struct RecvDoorbell {
   std::atomic<int> waiters{0};
 };
 
+// Reliability context shared by every channel of one transport: the policy
+// snapshot, the health sink, and an optional wire-fault injector. The table
+// owns one instance; channels hold a pointer, so installing an injector or
+// updating the policy reaches already-created channels.
+struct ChannelFabric {
+  const CommPolicy* policy = nullptr;  // null = default CommPolicy
+  HealthMonitor* health = nullptr;
+  FaultInjector* injector = nullptr;
+};
+
+enum class ChannelStatus {
+  kOk,
+  kTimeout,   // deadline expired before the operation completed
+  kCorrupt,   // checksummed frame failed verification on every attempt
+  kPoisoned,  // an earlier timeout abandoned a partially-moved frame
+};
+
 class RingChannel {
  public:
+  using Clock = std::chrono::steady_clock;
+  // Sentinel for "wait forever" — the seed semantics.
+  static constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
   // `capacity_bytes` is the logical segment size (max bytes in flight,
   // headers included); 0 means unbounded. The physical slab is allocated
   // lazily and only ever grows, so warm-up pays the allocations and the
@@ -56,11 +96,21 @@ class RingChannel {
   RingChannel(const RingChannel&) = delete;
   RingChannel& operator=(const RingChannel&) = delete;
 
-  // Blocking buffered send; returns once the whole message is in the ring
-  // (or, when streaming an oversized message, once the tail piece is in).
-  void push(std::span<const std::byte> data);
+  // Attaches this channel to a transport's reliability fabric and names its
+  // directed link (for checksum retries, health accounting, deterministic
+  // fault keying). Call before the channel carries traffic; unbound channels
+  // behave exactly like the seed (no checksums, no injection).
+  void bind_link(const ChannelFabric* fabric, int src, int dst, int tag) {
+    fabric_ = fabric;
+    src_ = src;
+    dst_ = dst;
+    tag_ = tag;
+  }
 
-  // Blocking receive; CHECKs the next message has exactly out.size() bytes.
+  // Seed-compatible blocking operations: wait forever, CHECK on any failure
+  // (poison/corruption only arise under fault policies, whose callers use
+  // the *_until forms).
+  void push(std::span<const std::byte> data);
   void pop_into(std::span<std::byte> out);
 
   // Fused receive+reduce: interprets the next message as floats and adds it
@@ -69,12 +119,32 @@ class RingChannel {
   // in-process analogue of reducing straight from the peer's shared
   // segment). CHECKs the message holds exactly dst.size() floats. The add
   // runs element-by-element in payload order, so the result is bit-identical
-  // to pop_into-then-add_inplace.
+  // to pop_into-then-add_inplace. Not valid for checksummed frames: an
+  // accumulated block cannot be retracted after a CRC mismatch, so
+  // transports disable fused receives while checksums are on.
   void pop_into_add(std::span<float> dst);
+
+  // Deadline-bounded variants. kTimeout with no bytes moved leaves the
+  // channel clean (the wait can simply be retried); kTimeout that abandons
+  // a partial frame poisons the channel.
+  ChannelStatus push_until(std::span<const std::byte> data,
+                           Clock::time_point deadline);
+  ChannelStatus pop_into_until(std::span<std::byte> out,
+                               Clock::time_point deadline);
+  ChannelStatus pop_into_add_until(std::span<float> dst,
+                                   Clock::time_point deadline);
 
   // Test convenience: pops the next message into a fresh vector (allocates;
   // the hot path uses pop_into).
   std::vector<std::byte> pop();
+
+  // Drops every buffered byte and frame and clears poisoning. The caller
+  // must guarantee no producer or consumer is active on the channel — the
+  // engine's round retry runs this only after a world-wide agreement
+  // barrier has quiesced the fabric.
+  void reset();
+
+  bool poisoned() const { return poisoned_flag_.load(std::memory_order_acquire); }
 
   // Messages whose header has been committed and that have not been fully
   // consumed. Lock-free.
@@ -97,16 +167,62 @@ class RingChannel {
   std::size_t capacity_bytes() const { return capacity_; }
 
  private:
+  // Header layout constants (see "Wire format" above).
+  static constexpr std::uint64_t kCrcFlag = 1ull << 63;
+  static constexpr std::size_t kWordBytes = 8;
+  static constexpr std::size_t kCrcBytes = 4;
+  // Channels with a segment smaller than this cannot hold a peekable header
+  // and use the seed's consuming-stream header path (never checksummed).
+  static constexpr std::size_t kMinPeekCapacity = 16;
+
+  // Parsed frame header, possibly still unconsumed in the slab.
+  struct FrameMeta {
+    std::uint64_t payload_bytes = 0;
+    std::uint32_t crc = 0;
+    bool checksummed = false;
+    bool header_consumed = false;  // legacy path consumed the length word
+  };
+
+  const CommPolicy& policy() const;
+
   // Streaming primitives; `lock` must hold mutex_ on entry and exit, and is
   // released only while waiting — each pass moves everything that currently
   // fits (write) or is readable (read) in one locked copy, so a message
-  // that fits free space costs exactly one commit and one wakeup.
-  void write_stream(std::unique_lock<std::mutex>& lock,
-                    std::span<const std::byte> src);
-  void read_stream(std::unique_lock<std::mutex>& lock,
-                   std::span<std::byte> dst);
-  void read_stream_add(std::unique_lock<std::mutex>& lock,
-                       std::span<float> dst);
+  // that fits free space costs exactly one commit and one wakeup. `moved`
+  // accumulates transferred bytes so callers can decide whether a timeout
+  // was clean or abandoned a partial frame.
+  ChannelStatus write_stream(std::unique_lock<std::mutex>& lock,
+                             std::span<const std::byte> src,
+                             Clock::time_point deadline, std::size_t& moved);
+  ChannelStatus read_stream(std::unique_lock<std::mutex>& lock,
+                            std::span<std::byte> dst,
+                            Clock::time_point deadline, std::size_t& moved);
+  ChannelStatus read_stream_add(std::unique_lock<std::mutex>& lock,
+                                std::span<float> dst,
+                                Clock::time_point deadline,
+                                std::size_t& moved);
+
+  // Waits for the next frame header and parses it. Peek-capable channels
+  // leave the header in the slab (so a checksummed frame stays fully
+  // retained for retransmission); tiny-capacity channels stream-consume the
+  // length word exactly as the seed did.
+  ChannelStatus read_frame_meta(std::unique_lock<std::mutex>& lock,
+                                Clock::time_point deadline, FrameMeta& meta);
+
+  // Copy-out of a fully-resident checksummed frame with verify/retry (the
+  // wire model; see file comment). Consumes the frame on success AND on
+  // retry exhaustion (a hopeless frame must not wedge the link).
+  ChannelStatus recv_verified(std::unique_lock<std::mutex>& lock,
+                              const FrameMeta& meta, std::span<std::byte> out,
+                              Clock::time_point deadline);
+
+  // Modular copy of `n` bytes starting `offset` past head_ into dst; does
+  // not consume. Lock held.
+  void peek_bytes(std::size_t offset, std::span<std::byte> dst) const;
+  // Advances head_ past n consumed bytes. Lock held.
+  void consume_bytes(std::size_t n);
+
+  void poison(std::unique_lock<std::mutex>& lock);
 
   // Grows the physical slab to hold `need` bytes (clamped to capacity),
   // linearising live contents so head_ returns to 0. Lock held.
@@ -119,22 +235,43 @@ class RingChannel {
   const std::size_t capacity_;
   RecvDoorbell* const doorbell_;
 
+  const ChannelFabric* fabric_ = nullptr;
+  int src_ = -1;
+  int dst_ = -1;
+  int tag_ = -1;
+
   // Wakeups are gated on these waiter counts (guarded by mutex_), so the
   // uncontended fast path — buffered send into free space, receive of an
   // already-landed message — makes no futex call at all.
   void notify_data();
   void notify_space();
   template <typename Pred>
-  void wait_data(std::unique_lock<std::mutex>& lock, Pred pred) {
+  bool wait_data_until(std::unique_lock<std::mutex>& lock,
+                       Clock::time_point deadline, Pred pred) {
+    if (pred()) return true;
     ++data_waiters_;
-    data_cv_.wait(lock, pred);
+    bool ok = true;
+    if (deadline == kNoDeadline) {
+      data_cv_.wait(lock, pred);
+    } else {
+      ok = data_cv_.wait_until(lock, deadline, pred);
+    }
     --data_waiters_;
+    return ok;
   }
   template <typename Pred>
-  void wait_space(std::unique_lock<std::mutex>& lock, Pred pred) {
+  bool wait_space_until(std::unique_lock<std::mutex>& lock,
+                        Clock::time_point deadline, Pred pred) {
+    if (pred()) return true;
     ++space_waiters_;
-    space_cv_.wait(lock, pred);
+    bool ok = true;
+    if (deadline == kNoDeadline) {
+      space_cv_.wait(lock, pred);
+    } else {
+      ok = space_cv_.wait_until(lock, deadline, pred);
+    }
     --space_waiters_;
+    return ok;
   }
 
   mutable std::mutex mutex_;
@@ -148,11 +285,14 @@ class RingChannel {
   std::size_t used_ = 0;  // live bytes (committed, unread)
   bool writer_active_ = false;
   bool reader_active_ = false;
+  bool poisoned_ = false;    // guarded by mutex_
   std::size_t pending_ = 0;  // headers committed minus messages consumed
+  std::uint64_t frames_consumed_ = 0;  // deterministic fault-keying sequence
 
   std::atomic<std::size_t> readable_{0};
   std::atomic<std::size_t> pending_messages_{0};
   std::atomic<std::size_t> slab_high_water_{0};
+  std::atomic<bool> poisoned_flag_{false};
 };
 
 }  // namespace cgx::comm

@@ -31,7 +31,11 @@
 #include <string>
 #include <vector>
 
+#include "comm/policy.h"
+
 namespace cgx::comm {
+
+class FaultInjector;  // wire/rank fault model; see comm/fault.h
 
 // Timing-relevant constants of a backend, consumed by simgpu::CostModel.
 // Values are calibrated so the backend ranking and gap match paper Fig. 11
@@ -145,12 +149,38 @@ class Transport {
 
   virtual const TransportProfile& profile() const = 0;
 
-  TrafficRecorder& recorder() { return recorder_; }
-  const TrafficRecorder& recorder() const { return recorder_; }
+  // Virtual so decorators (FaultyTransport) can expose the wrapped
+  // backend's accounting instead of an empty shadow copy.
+  virtual TrafficRecorder& recorder() { return recorder_; }
+  virtual const TrafficRecorder& recorder() const { return recorder_; }
+
+  // Installs the reliability policy governing every blocking wait of this
+  // transport. The default (see CommPolicy) reproduces the seed semantics:
+  // wait forever, no checksums. Not thread-safe against in-flight traffic;
+  // set before run_world starts (or between quiesced steps).
+  virtual void set_policy(const CommPolicy& policy) { policy_ = policy; }
+  const CommPolicy& policy() const { return policy_; }
+
+  // Attaches a wire-fault injector to the transport's receive paths (the
+  // channel copy-out and the peer-direct pull). Null detaches. Backends
+  // without a tappable wire ignore this.
+  virtual void set_fault_injector(FaultInjector* injector) { (void)injector; }
+
+  // Drops every buffered-but-unconsumed message destined for `rank` and
+  // clears link poisoning on those channels. Only safe while the fabric is
+  // quiesced (the engine's round retry calls it between agreement barriers).
+  virtual void reset_inbound(int rank) { (void)rank; }
+
+  // Per-link failure/latency accounting, populated by the deadline and
+  // checksum machinery; feeds the engine's StepReport.
+  virtual HealthMonitor& health() { return health_; }
+  virtual const HealthMonitor& health() const { return health_; }
 
  protected:
   const int world_size_;
   TrafficRecorder recorder_;
+  CommPolicy policy_;
+  HealthMonitor health_{world_size_};
 };
 
 }  // namespace cgx::comm

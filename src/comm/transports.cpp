@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cstring>
+#include <thread>
 
+#include "comm/fault.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
+#include "util/crc32.h"
 
 namespace cgx::comm {
 namespace {
@@ -17,7 +20,16 @@ constexpr int kDirectAckTagOffset = 200;
 struct DirectDesc {
   const float* ptr;
   std::uint64_t size;
+  // CRC32 of the posted payload when CommPolicy::checksums is on (0
+  // otherwise): lets the puller verify its copy-out of the peer span.
+  std::uint32_t crc;
+  std::uint32_t pad;
 };
+
+std::chrono::milliseconds elapsed_ms(RingChannel::Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+      RingChannel::Clock::now() - start);
+}
 
 }  // namespace
 
@@ -60,6 +72,7 @@ RingChannel& ChannelTable::channel(int src, int dst, int tag) {
   if (ch == nullptr) {
     auto fresh = std::make_unique<RingChannel>(
         capacity_bytes_, &doorbells_[static_cast<std::size_t>(dst)]);
+    fresh->bind_link(&fabric_, src, dst, tag);
     if (slot.compare_exchange_strong(ch, fresh.get(),
                                      std::memory_order_acq_rel,
                                      std::memory_order_acquire)) {
@@ -71,11 +84,36 @@ RingChannel& ChannelTable::channel(int src, int dst, int tag) {
   return *ch;
 }
 
+void ChannelTable::bind_fabric(const CommPolicy* policy,
+                               HealthMonitor* health) {
+  fabric_.policy = policy;
+  fabric_.health = health;
+}
+
+void ChannelTable::set_injector(FaultInjector* injector) {
+  fabric_.injector = injector;
+}
+
+void ChannelTable::reset_inbound(int dst) {
+  for (int src = 0; src < world_; ++src) {
+    for (int tag = 0; tag < tag_slots_; ++tag) {
+      RingChannel* ch = slots_[index(src, dst, tag)].load(
+          std::memory_order_acquire);
+      if (ch != nullptr) ch->reset();
+    }
+  }
+}
+
 const RingChannel* ChannelTable::peek(int src, int dst, int tag) const {
   return slots_[index(src, dst, tag)].load(std::memory_order_acquire);
 }
 
 int ChannelTable::wait_any(int dst, std::span<const int> srcs, int tag) {
+  return wait_any_until(dst, srcs, tag, RingChannel::kNoDeadline);
+}
+
+int ChannelTable::wait_any_until(int dst, std::span<const int> srcs, int tag,
+                                 RingChannel::Clock::time_point deadline) {
   CGX_CHECK(!srcs.empty());
   RecvDoorbell& db = doorbells_[static_cast<std::size_t>(dst)];
   for (;;) {
@@ -88,13 +126,20 @@ int ChannelTable::wait_any(int dst, std::span<const int> srcs, int tag) {
     // A commit between the probe above and the wait bumps seq past `seen`,
     // so the predicate is immediately true — no lost wakeup.
     db.waiters.fetch_add(1, std::memory_order_acq_rel);
+    bool woke = true;
     {
       std::unique_lock<std::mutex> lock(db.mutex);
-      db.cv.wait(lock, [&] {
+      const auto pred = [&] {
         return db.seq.load(std::memory_order_acquire) != seen;
-      });
+      };
+      if (deadline == RingChannel::kNoDeadline) {
+        db.cv.wait(lock, pred);
+      } else {
+        woke = db.cv.wait_until(lock, deadline, pred);
+      }
     }
     db.waiters.fetch_sub(1, std::memory_order_acq_rel);
+    if (!woke) return -1;
   }
 }
 
@@ -109,18 +154,87 @@ std::size_t ChannelTable::slab_high_water_bytes() const {
 
 int ChannelTransport::select_source(int dst, std::span<const int> candidates,
                                     int tag) {
-  return channels_.wait_any(dst, candidates, tag);
+  if (!policy_.bounded()) return channels_.wait_any(dst, candidates, tag);
+  const auto start = Clock::now();
+  const int s =
+      channels_.wait_any_until(dst, candidates, tag, start + policy_.timeout);
+  if (s >= 0) return s;
+  // No single culprit link: every candidate stayed silent past the deadline.
+  throw TimeoutError(-1, dst, tag, elapsed_ms(start),
+                     "select_source (any-source wait)");
 }
 
 void ChannelTransport::recv_add(int dst, int src, std::span<float> data,
                                 int tag) {
-  channels_.channel(src, dst, tag).pop_into_add(data);
+  pop_frame_add(channels_.channel(src, dst, tag), src, dst, tag, data);
+}
+
+void ChannelTransport::fail_link(ChannelStatus st, int src, int dst, int tag,
+                                 Clock::time_point start, const char* where) {
+  if (st == ChannelStatus::kCorrupt) {
+    // Retransmits were already counted per attempt inside the channel.
+    throw ChecksumError(src, dst, tag, policy_.max_retries + 1);
+  }
+  if (st == ChannelStatus::kPoisoned) {
+    // An earlier timeout abandoned a partial frame on this link; fail fast
+    // without re-waiting (waited = 0 flags the fail-stopped state).
+    health_.record_timeout(src, dst);
+    throw TimeoutError(src, dst, tag, std::chrono::milliseconds{0}, where);
+  }
+  health_.record_timeout(src, dst);
+  throw TimeoutError(src, dst, tag,
+                     policy_.bounded() ? elapsed_ms(start)
+                                       : std::chrono::milliseconds{0},
+                     where);
+}
+
+void ChannelTransport::push_frame(RingChannel& ch, int src, int dst, int tag,
+                                  std::span<const std::byte> data) {
+  const bool bounded = policy_.bounded();
+  const auto start = bounded ? Clock::now() : Clock::time_point{};
+  const auto deadline =
+      bounded ? start + policy_.timeout : RingChannel::kNoDeadline;
+  const ChannelStatus st = ch.push_until(data, deadline);
+  if (st == ChannelStatus::kOk) return;
+  fail_link(st, src, dst, tag, start, "send (backpressure wait)");
+}
+
+void ChannelTransport::pop_frame(RingChannel& ch, int src, int dst, int tag,
+                                 std::span<std::byte> out) {
+  const bool bounded = policy_.bounded();
+  const auto start = bounded ? Clock::now() : Clock::time_point{};
+  const auto deadline =
+      bounded ? start + policy_.timeout : RingChannel::kNoDeadline;
+  const ChannelStatus st = ch.pop_into_until(out, deadline);
+  if (st == ChannelStatus::kOk) {
+    if (bounded) {
+      health_.record_success(
+          src, dst,
+          std::chrono::duration<double, std::micro>(Clock::now() - start)
+              .count());
+    }
+    return;
+  }
+  fail_link(st, src, dst, tag, start, "recv");
+}
+
+void ChannelTransport::pop_frame_add(RingChannel& ch, int src, int dst,
+                                     int tag, std::span<float> out) {
+  const bool bounded = policy_.bounded();
+  const auto start = bounded ? Clock::now() : Clock::time_point{};
+  const auto deadline =
+      bounded ? start + policy_.timeout : RingChannel::kNoDeadline;
+  const ChannelStatus st = ch.pop_into_add_until(out, deadline);
+  if (st == ChannelStatus::kOk) return;
+  fail_link(st, src, dst, tag, start, "recv_add");
 }
 
 // ---------------------------------------------------------------- SHM
 
 ShmTransport::ShmTransport(int world_size, std::size_t segment_bytes)
-    : ChannelTransport(world_size, segment_bytes) {
+    : ChannelTransport(world_size, segment_bytes),
+      direct_seq_(static_cast<std::size_t>(world_size) *
+                  static_cast<std::size_t>(world_size)) {
   profile_ = TransportProfile{
       .name = "SHM",
       .per_message_overhead_us = 2.0,
@@ -136,13 +250,13 @@ void ShmTransport::send(int src, int dst, std::span<const std::byte> data,
   CGX_CHECK(src >= 0 && src < world_size_);
   CGX_CHECK(dst >= 0 && dst < world_size_);
   CGX_CHECK_NE(src, dst);
-  channels_.channel(src, dst, tag).push(data);
+  push_frame(channels_.channel(src, dst, tag), src, dst, tag, data);
   recorder_.record(src, dst, data.size());
 }
 
 void ShmTransport::recv(int dst, int src, std::span<std::byte> data,
                         int tag) {
-  channels_.channel(src, dst, tag).pop_into(data);
+  pop_frame(channels_.channel(src, dst, tag), src, dst, tag, data);
 }
 
 void ShmTransport::direct_post(int src, int dst, std::span<const float> data,
@@ -151,31 +265,99 @@ void ShmTransport::direct_post(int src, int dst, std::span<const float> data,
   CGX_CHECK(dst >= 0 && dst < world_size_);
   CGX_CHECK_NE(src, dst);
   CGX_CHECK_LT(tag + kDirectAckTagOffset, channels_.tag_slots());
-  const DirectDesc desc{data.data(), data.size()};
-  channels_.channel(src, dst, tag)
-      .push(std::as_bytes(std::span<const DirectDesc>(&desc, 1)));
-  // The logical payload is what crosses the link; the 16-byte descriptor and
-  // the ack play the role of IPC event signals and are not traffic.
+  DirectDesc desc{data.data(), data.size(), 0, 0};
+  if (policy_.checksums) desc.crc = util::crc32(std::as_bytes(data));
+  push_frame(channels_.channel(src, dst, tag), src, dst, tag,
+             std::as_bytes(std::span<const DirectDesc>(&desc, 1)));
+  // The logical payload is what crosses the link; the descriptor and the
+  // ack play the role of IPC event signals and are not traffic.
   recorder_.record(src, dst, data.size() * sizeof(float));
 }
 
 void ShmTransport::direct_pull(int dst, int src, std::span<float> data,
                                bool add, int tag) {
   DirectDesc desc{};
-  channels_.channel(src, dst, tag)
-      .pop_into(std::as_writable_bytes(std::span<DirectDesc>(&desc, 1)));
+  pop_frame(channels_.channel(src, dst, tag), src, dst, tag,
+            std::as_writable_bytes(std::span<DirectDesc>(&desc, 1)));
   CGX_CHECK_EQ(desc.size, data.size());
   const std::span<const float> peer(desc.ptr, desc.size);
+  if (policy_.checksums) {
+    pull_verified(src, dst, tag, peer, desc.crc, data, add);
+  } else if (add) {
+    tensor::add_inplace(data, peer);
+  } else {
+    tensor::copy(peer, data);
+  }
+  const int ack_tag = tag + kDirectAckTagOffset;
+  push_frame(channels_.channel(dst, src, ack_tag), dst, src, ack_tag, {});
+}
+
+void ShmTransport::pull_verified(int src, int dst, int tag,
+                                 std::span<const float> peer,
+                                 std::uint32_t want, std::span<float> data,
+                                 bool add) {
+  // Fault-hardened mode only: the staging copy below is what gives the wire
+  // tap a surface to bite and the CRC something to catch. It allocates on
+  // first use per thread, which is why the zero-steady-state-allocation
+  // contract is scoped to checksums-off runs.
+  thread_local std::vector<float> scratch;
+  scratch.resize(peer.size());
+  const auto scratch_bytes =
+      std::as_writable_bytes(std::span<float>(scratch));
+  const std::uint64_t seq =
+      direct_seq_[static_cast<std::size_t>(src) *
+                      static_cast<std::size_t>(world_size_) +
+                  static_cast<std::size_t>(dst)]
+          .fetch_add(1, std::memory_order_relaxed);
+  bool verified = false;
+  for (int attempt = 0; attempt <= policy_.max_retries; ++attempt) {
+    std::memcpy(scratch.data(), peer.data(), peer.size() * sizeof(float));
+    bool dropped = false;
+    if (injector_ != nullptr) {
+      const WireOutcome o =
+          injector_->wire_outcome(src, dst, tag, seq, attempt);
+      if (o == WireOutcome::kCorrupt) {
+        injector_->corrupt_bytes(scratch_bytes, src, dst, tag, seq, attempt);
+      }
+      dropped = o == WireOutcome::kDrop;
+    }
+    if (!dropped && util::crc32(scratch_bytes) == want) {
+      verified = true;
+      break;
+    }
+    if (dropped) {
+      health_.record_wire_drop(src, dst);
+    } else {
+      health_.record_retransmit(src, dst);
+    }
+    if (attempt < policy_.max_retries) {
+      std::this_thread::sleep_for(policy_.backoff * (1 << std::min(attempt, 6)));
+    }
+  }
+  if (verified) {
+    const std::span<const float> good(scratch);
+    if (add) {
+      tensor::add_inplace(data, good);
+    } else {
+      tensor::copy(good, data);
+    }
+    return;
+  }
+  // Degradation ladder, last rung of the direct path: abandon the tapped
+  // staging copy and read the peer's span directly — the underlying memory
+  // is authoritative in-process, so correctness is preserved while the
+  // fallback is surfaced to health accounting.
+  health_.record_fallback(src, dst);
   if (add) {
     tensor::add_inplace(data, peer);
   } else {
     tensor::copy(peer, data);
   }
-  channels_.channel(dst, src, tag + kDirectAckTagOffset).push({});
 }
 
 void ShmTransport::direct_wait(int src, int dst, int tag) {
-  channels_.channel(dst, src, tag + kDirectAckTagOffset).pop_into({});
+  const int ack_tag = tag + kDirectAckTagOffset;
+  pop_frame(channels_.channel(dst, src, ack_tag), dst, src, ack_tag, {});
 }
 
 // ---------------------------------------------------------------- MPI
@@ -200,13 +382,13 @@ void MpiTransport::send(int src, int dst, std::span<const std::byte> data,
   CGX_CHECK_NE(src, dst);
   // Stage directly into the mailbox ring; the host-staging cost is
   // attributed solely through profile_.extra_copies.
-  channels_.channel(src, dst, tag).push(data);
+  push_frame(channels_.channel(src, dst, tag), src, dst, tag, data);
   recorder_.record(src, dst, data.size());
 }
 
 void MpiTransport::recv(int dst, int src, std::span<std::byte> data,
                         int tag) {
-  channels_.channel(src, dst, tag).pop_into(data);
+  pop_frame(channels_.channel(src, dst, tag), src, dst, tag, data);
 }
 
 // ---------------------------------------------------------------- NCCL
@@ -236,7 +418,7 @@ void NcclTransport::send(int src, int dst, std::span<const std::byte> data,
   std::size_t offset = 0;
   do {
     const std::size_t n = std::min(chunk, data.size() - offset);
-    q.push(data.subspan(offset, n));
+    push_frame(q, src, dst, tag, data.subspan(offset, n));
     offset += n;
   } while (offset < data.size());
   recorder_.record(src, dst, data.size());
@@ -249,7 +431,7 @@ void NcclTransport::recv(int dst, int src, std::span<std::byte> data,
   std::size_t offset = 0;
   do {
     const std::size_t n = std::min(chunk, data.size() - offset);
-    q.pop_into(data.subspan(offset, n));
+    pop_frame(q, src, dst, tag, data.subspan(offset, n));
     offset += n;
   } while (offset < data.size());
 }
@@ -263,7 +445,7 @@ void NcclTransport::recv_add(int dst, int src, std::span<float> data,
   std::size_t offset = 0;
   do {
     const std::size_t n = std::min(chunk_floats, data.size() - offset);
-    q.pop_into_add(data.subspan(offset, n));
+    pop_frame_add(q, src, dst, tag, data.subspan(offset, n));
     offset += n;
   } while (offset < data.size());
 }

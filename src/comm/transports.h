@@ -38,9 +38,23 @@ class ChannelTable {
   // Lock-free probe: nullptr if the channel was never touched.
   const RingChannel* peek(int src, int dst, int tag) const;
 
+  // Installs the reliability fabric shared by every channel, existing and
+  // future (channels hold a pointer, so updates propagate). `policy` and
+  // `health` must outlive the table; call before traffic flows.
+  void bind_fabric(const CommPolicy* policy, HealthMonitor* health);
+  void set_injector(FaultInjector* injector);
+
   // Blocking arrival-order select over the dst rank's doorbell: returns an
   // element of `srcs` whose (src, dst, tag) channel has committed bytes.
   int wait_any(int dst, std::span<const int> srcs, int tag);
+
+  // Deadline-bounded variant: -1 if the deadline expires first.
+  int wait_any_until(int dst, std::span<const int> srcs, int tag,
+                     RingChannel::Clock::time_point deadline);
+
+  // Drops all buffered traffic and poisoning on every (*, dst, *) channel.
+  // Only safe on a quiesced fabric (see Transport::reset_inbound).
+  void reset_inbound(int dst);
 
   // Sum of all physical ring slabs, monotone non-decreasing: the
   // transport-level analogue of CollectiveWorkspace::high_water_bytes().
@@ -54,6 +68,7 @@ class ChannelTable {
   const int world_;
   const int tag_slots_;
   const std::size_t capacity_bytes_;
+  ChannelFabric fabric_;
   std::vector<std::atomic<RingChannel*>> slots_;
   std::vector<RecvDoorbell> doorbells_;  // one per destination rank
 };
@@ -63,14 +78,26 @@ class ChannelTable {
 class ChannelTransport : public Transport {
  public:
   ChannelTransport(int world_size, std::size_t capacity_bytes)
-      : Transport(world_size), channels_(world_size, capacity_bytes) {}
+      : Transport(world_size), channels_(world_size, capacity_bytes) {
+    // Channels see policy updates through this pointer (set_policy assigns
+    // the base member in place), so the fabric is bound exactly once.
+    channels_.bind_fabric(&policy_, &health_);
+  }
 
   int select_source(int dst, std::span<const int> candidates,
                     int tag) override;
 
-  // All ring-channel backends can reduce straight out of the slab.
-  bool supports_recv_add() const override { return true; }
+  // All ring-channel backends can reduce straight out of the slab — unless
+  // checksums are on: an accumulated block cannot be retracted after a CRC
+  // mismatch, so fault-hardened runs take the staged recv + add path.
+  bool supports_recv_add() const override { return !policy_.checksums; }
   void recv_add(int dst, int src, std::span<float> data, int tag) override;
+
+  void set_fault_injector(FaultInjector* injector) override {
+    injector_ = injector;
+    channels_.set_injector(injector);
+  }
+  void reset_inbound(int rank) override { channels_.reset_inbound(rank); }
 
   // Zero-steady-state-allocation harness: total ring slab bytes ever
   // allocated. Stable across calls once traffic shapes have been seen.
@@ -79,7 +106,22 @@ class ChannelTransport : public Transport {
   }
 
  protected:
+  using Clock = RingChannel::Clock;
+
+  // Deadline-bounded channel ops with status -> structured-error mapping and
+  // health accounting. When the policy is unbounded and checksums are off,
+  // these add no clock calls and no extra work over the seed path.
+  void push_frame(RingChannel& ch, int src, int dst, int tag,
+                  std::span<const std::byte> data);
+  void pop_frame(RingChannel& ch, int src, int dst, int tag,
+                 std::span<std::byte> out);
+  void pop_frame_add(RingChannel& ch, int src, int dst, int tag,
+                     std::span<float> out);
+  [[noreturn]] void fail_link(ChannelStatus st, int src, int dst, int tag,
+                              Clock::time_point start, const char* where);
+
   ChannelTable channels_;
+  FaultInjector* injector_ = nullptr;
 };
 
 // CGX's own backend: per-pair pre-registered shared-memory ring segments
@@ -109,7 +151,18 @@ class ShmTransport final : public ChannelTransport {
   const TransportProfile& profile() const override { return profile_; }
 
  private:
+  // Verified peer-direct pull under checksums: copy the peer span through a
+  // staging buffer (where the wire tap may bite), CRC-check, retry with
+  // backoff, and after retry exhaustion fall back to a tap-free direct read
+  // of the authoritative peer memory (recorded as a fallback).
+  void pull_verified(int src, int dst, int tag, std::span<const float> peer,
+                     std::uint32_t want, std::span<float> data, bool add);
+
   TransportProfile profile_;
+  // Per-link pull sequence numbers: the deterministic fault keying for the
+  // direct path (pulls on one (src, dst) link are ordered by the receiving
+  // device thread, so the sequence is schedule-independent).
+  std::vector<std::atomic<std::uint64_t>> direct_seq_;
 };
 
 // GPU-aware MPI: every message is staged through a host buffer (the library

@@ -9,15 +9,34 @@ void run_world(Transport& transport, const std::function<void(Comm&)>& fn) {
   const int n = transport.world_size();
   CGX_CHECK_GT(n, 0);
   util::Barrier barrier(static_cast<std::size_t>(n));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
-    threads.emplace_back([r, &transport, &barrier, &fn] {
-      Comm comm(r, transport, barrier);
-      fn(comm);
+    threads.emplace_back([r, &transport, &barrier, &fn, &errors] {
+      try {
+        Comm comm(r, transport, barrier);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
     });
   }
+  // Join everyone before rethrowing: a bounded CommPolicy guarantees the
+  // surviving ranks' waits expire, so no join can hang on a dead peer.
   for (auto& t : threads) t.join();
+  for (int r = 0; r < n; ++r) {
+    std::exception_ptr err = errors[static_cast<std::size_t>(r)];
+    if (!err) continue;
+    std::string what = "unknown exception";
+    try {
+      std::rethrow_exception(err);
+    } catch (const std::exception& e) {
+      what = e.what();
+    } catch (...) {
+    }
+    throw WorkerError(r, std::move(what), std::move(err));
+  }
 }
 
 }  // namespace cgx::comm

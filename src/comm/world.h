@@ -6,14 +6,35 @@
 // analogue of one training process per GPU.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <span>
+#include <stdexcept>
+#include <string>
 
 #include "comm/transport.h"
 #include "util/barrier.h"
 
 namespace cgx::comm {
+
+// A device thread died with an exception. run_world catches it on the worker
+// thread, annotates it with the rank, and rethrows this on the joining
+// thread — so a failed worker surfaces as an ordinary exception at the call
+// site instead of tearing down the process (or vanishing into a terminate).
+// `original` holds the worker's exception for callers that need the precise
+// type (e.g. to distinguish a TimeoutError from a FaultInjectedError).
+class WorkerError : public std::runtime_error {
+ public:
+  WorkerError(int rank, std::string what, std::exception_ptr original)
+      : std::runtime_error("rank " + std::to_string(rank) +
+                           " failed: " + std::move(what)),
+        rank(rank),
+        original(std::move(original)) {}
+  int rank;
+  std::exception_ptr original;
+};
 
 class Comm {
  public:
@@ -66,8 +87,28 @@ class Comm {
   }
 
   // Synchronises all ranks in the world (used between training steps and by
-  // collectives that need phase separation in tests).
-  void barrier() { barrier_.arrive_and_wait(); }
+  // collectives that need phase separation in tests). Under a bounded
+  // CommPolicy the wait is deadline-limited and expiry throws a TimeoutError
+  // (src = -1: no single culprit; dst = this rank) — a hung peer turns a
+  // world barrier into a diagnosable failure instead of a deadlock.
+  void barrier() {
+    const CommPolicy& pol = transport_.policy();
+    if (!pol.bounded()) {
+      barrier_.arrive_and_wait();
+      return;
+    }
+    if (!try_barrier(pol.timeout)) {
+      throw TimeoutError(-1, rank_, -1, pol.timeout, "world barrier");
+    }
+  }
+
+  // Deadline-bounded barrier that reports instead of throwing: true once
+  // every rank arrived, false on expiry (the arrival is withdrawn; see
+  // util::Barrier::arrive_and_wait_for). The engine's round-retry agreement
+  // protocol uses this to decide whether the world is still whole.
+  bool try_barrier(std::chrono::milliseconds timeout) {
+    return barrier_.arrive_and_wait_for(timeout);
+  }
 
  private:
   const int rank_;
@@ -77,7 +118,11 @@ class Comm {
 
 // Runs fn(comm) on `transport.world_size()` threads and joins them.
 // Any CHECK failure in a worker aborts the process (worker errors are
-// programmer errors by contract; see util/check.h).
+// programmer errors by contract; see util/check.h). An exception escaping a
+// worker is caught on its thread, every other worker is still joined, and
+// the first failure (lowest rank) is rethrown here as a WorkerError — so
+// structured comm failures (TimeoutError, FaultInjectedError, ...) propagate
+// to the caller instead of std::terminate-ing the process.
 void run_world(Transport& transport, const std::function<void(Comm&)>& fn);
 
 }  // namespace cgx::comm

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "comm/fault.h"
 #include "core/hierarchical.h"
 #include "core/qsgd.h"
 #include "tensor/tensor_ops.h"
@@ -19,6 +20,7 @@ constexpr int kGraceTag = 310;
 // engine still holds.
 constexpr std::size_t kSlotPacket = 16;       // fused FP32 packet (floats)
 constexpr std::size_t kSlotCommScratch = 17;  // comm::allreduce scratch
+constexpr std::size_t kSlotRoundSnapshot = 18;  // pre-round rollback copy
 constexpr std::size_t kSlotGraceMine = 16;       // bytes: own payload
 constexpr std::size_t kSlotGraceIncoming = 17;   // bytes: peer payload
 constexpr std::size_t kSlotGraceDecompressed = 16;  // floats
@@ -190,6 +192,86 @@ void CgxEngine::allreduce(comm::Comm& comm, std::span<float> fused,
   CGX_CHECK_EQ(comm.size(), world_size_);
   CGX_CHECK_EQ(fused.size(), layout_.total_numel());
   RankState& state = ranks_[static_cast<std::size_t>(comm.rank())];
+  const std::uint64_t round = state.rounds++;
+
+  StepReport& report = state.report;
+  report.ok = true;
+  report.attempts = 0;
+  report.retries = 0;
+  report.incidents.clear();
+
+  if (options_.max_round_retries <= 0) {
+    // Seed behaviour: one attempt, failures propagate. No snapshot copy, no
+    // extra branches on the hot path (the handler costs nothing until a
+    // structured failure actually unwinds through it).
+    ++report.attempts;
+    try {
+      allreduce_attempt(comm, fused, rng, state);
+    } catch (const comm::CommError& e) {
+      report.ok = false;
+      report.incidents.push_back(
+          StepReport::Incident{e.src, e.dst, e.tag, e.what()});
+      throw;
+    }
+    return;
+  }
+
+  // A failed attempt leaves `fused` partially reduced (collectives work in
+  // place), so each attempt starts from a workspace-held snapshot.
+  const std::span<float> snapshot =
+      state.workspace.floats(kSlotRoundSnapshot, fused.size());
+  tensor::copy(std::span<const float>(fused), snapshot);
+  for (int attempt = 0;; ++attempt) {
+    ++report.attempts;
+    try {
+      if (options_.injector != nullptr &&
+          options_.injector->round_fails(round, attempt)) {
+        throw comm::TimeoutError(-1, comm.rank(), -1,
+                                 std::chrono::milliseconds{0},
+                                 "synthetic round failure (fault harness)");
+      }
+      allreduce_attempt(comm, fused, rng, state);
+      return;
+    } catch (const comm::CommError& e) {
+      report.incidents.push_back(
+          StepReport::Incident{e.src, e.dst, e.tag, e.what()});
+      if (attempt >= options_.max_round_retries) {
+        report.ok = false;
+        throw;
+      }
+      ++report.retries;
+      // Every rank must agree to retry and quiesce before buffers are
+      // reused; if agreement fails the world is broken for good and the
+      // TimeoutError from recover_round propagates.
+      recover_round(comm);
+      tensor::copy(std::span<const float>(snapshot), fused);
+    }
+  }
+}
+
+void CgxEngine::recover_round(comm::Comm& comm) {
+  // The agreement wait must be bounded even under an unbounded policy —
+  // otherwise a rank that died (rather than failed transiently) would hang
+  // the retry protocol forever.
+  const comm::CommPolicy& pol = comm.transport().policy();
+  const std::chrono::milliseconds timeout =
+      pol.bounded() ? pol.timeout : std::chrono::milliseconds{1000};
+  if (!comm.try_barrier(timeout)) {
+    throw comm::TimeoutError(-1, comm.rank(), -1, timeout,
+                             "round-retry agreement barrier");
+  }
+  // Each rank clears its own inbound rings (stray frames from the aborted
+  // round, link poisoning); the second barrier keeps a fast rank from
+  // pushing retry traffic into a channel a slow rank is still resetting.
+  comm.transport().reset_inbound(comm.rank());
+  if (!comm.try_barrier(timeout)) {
+    throw comm::TimeoutError(-1, comm.rank(), -1, timeout,
+                             "round-retry reset barrier");
+  }
+}
+
+void CgxEngine::allreduce_attempt(comm::Comm& comm, std::span<float> fused,
+                                  util::Rng& rng, RankState& state) {
   CollectiveWorkspace& ws = state.workspace;
 
   // Fused full-precision packet for filtered layers. Gather-scatter through

@@ -19,7 +19,9 @@
 // quantization.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "comm/collectives.h"
@@ -27,6 +29,10 @@
 #include "core/compression_config.h"
 #include "simgpu/cost_model.h"
 #include "tensor/layer_layout.h"
+
+namespace cgx::comm {
+class FaultInjector;  // see comm/fault.h
+}  // namespace cgx::comm
 
 namespace cgx::core {
 
@@ -47,6 +53,32 @@ struct EngineOptions {
   // qsgd.h). Null = serial compression.
   util::ThreadPool* compression_pool = nullptr;
   std::size_t compression_threading_min_numel = 1 << 16;
+  // Graceful degradation: how many times CgxEngine::allreduce retries a
+  // round after a structured comm failure (CommError) before rethrowing.
+  // 0 (the default) preserves the seed's fail-fast behaviour and costs
+  // nothing; > 0 additionally keeps a pre-round snapshot of the fused
+  // buffer in the workspace so a half-reduced round can be rolled back.
+  int max_round_retries = 0;
+  // Optional fault harness hook: lets tests fail a specific round
+  // deterministically (FaultInjector::schedule_round_failure). Not owned.
+  comm::FaultInjector* injector = nullptr;
+};
+
+// What happened to one rank's most recent CgxEngine::allreduce call: how
+// many attempts it took, which links failed with what, and whether the step
+// finally succeeded. Incidents are recorded only on failure paths, so the
+// fault-free steady state allocates nothing here.
+struct StepReport {
+  struct Incident {
+    int src;
+    int dst;
+    int tag;
+    std::string what;
+  };
+  bool ok = true;
+  int attempts = 0;  // 1 = clean first try
+  int retries = 0;
+  std::vector<Incident> incidents;
 };
 
 // Analytic communication plan for one training step, consumed by
@@ -110,6 +142,12 @@ class CgxEngine final : public GradientEngine {
   // zero-allocation test asserts it stabilizes after the first step.
   std::size_t scratch_high_water_bytes() const;
 
+  // What happened to `rank`'s most recent allreduce call (attempts, retried
+  // rounds, failed links). Valid after that rank's call returned or threw.
+  const StepReport& last_step_report(int rank) const {
+    return ranks_[static_cast<std::size_t>(rank)].report;
+  }
+
  private:
   struct RankState {
     // state[layer][chunk] — stable chunk->compressor binding (see
@@ -119,7 +157,17 @@ class CgxEngine final : public GradientEngine {
     // never materializes a pointer vector per call.
     std::vector<std::vector<Compressor*>> chunk_ptrs;
     CollectiveWorkspace workspace;
+    StepReport report;
+    std::uint64_t rounds = 0;  // allreduce call index (fault-round keying)
   };
+
+  // One full reduction pass — the body a round retry re-runs.
+  void allreduce_attempt(comm::Comm& comm, std::span<float> fused,
+                         util::Rng& rng, RankState& state);
+  // Round-retry recovery protocol: deadline-bounded agreement barrier,
+  // per-rank inbound reset, second barrier. Throws TimeoutError if the
+  // world cannot agree (a peer died for good).
+  void recover_round(comm::Comm& comm);
 
   double layer_wire_bytes(std::size_t layer_index,
                           comm::ReductionScheme scheme, bool compressed) const;

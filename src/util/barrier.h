@@ -6,6 +6,7 @@
 // both and keeps the dependency surface small.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
@@ -33,6 +34,33 @@ class Barrier {
       return;
     }
     cv_.wait(lock, [&] { return generation_ != my_generation; });
+  }
+
+  // Deadline-bounded arrival: returns true once every party of this
+  // generation has arrived, false if `timeout` expires first. On timeout the
+  // caller's arrival is withdrawn, so a later retry round starts from a
+  // clean count — but the round this caller abandoned can no longer
+  // complete, and every other party of the generation will time out too (a
+  // broken barrier round must be abandoned by ALL parties; the comm layer
+  // surfaces this as a TimeoutError on each rank).
+  bool arrive_and_wait_for(std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::size_t my_generation = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return true;
+    }
+    if (cv_.wait_for(lock, timeout,
+                     [&] { return generation_ != my_generation; })) {
+      return true;
+    }
+    // Withdraw the arrival only if the generation is still open (a release
+    // between the wait's last predicate check and reacquiring the lock
+    // cannot happen — wait_for rechecks under the lock — but stay safe).
+    if (generation_ == my_generation && arrived_ > 0) --arrived_;
+    return false;
   }
 
  private:

@@ -1,0 +1,35 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace cgx::util {
+namespace {
+
+// Table generated at static-initialization time; no per-call allocation, so
+// checksummed receives stay inside the zero-steady-state-alloc contract.
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state,
+                           std::span<const std::byte> data) {
+  for (const std::byte b : data) {
+    state = kTable[(state ^ static_cast<std::uint32_t>(b)) & 0xffu] ^
+            (state >> 8);
+  }
+  return state;
+}
+
+}  // namespace cgx::util

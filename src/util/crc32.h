@@ -1,0 +1,31 @@
+// CRC32 (IEEE 802.3, polynomial 0xEDB88320) over byte spans.
+//
+// Used by the transport layer's optional frame checksums: the sender stamps
+// each ring frame with the CRC of its payload, the receiver recomputes it
+// after the copy-out and requests retransmission on mismatch (see
+// comm/ring_channel.h). Incremental form so a payload that wraps the
+// physical end of a ring slab can be checksummed in two passes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace cgx::util {
+
+inline constexpr std::uint32_t kCrc32Seed = 0xffffffffu;
+
+// Feeds `data` into a running CRC. Start from kCrc32Seed; chain the return
+// value through subsequent calls; finalize with crc32_finish.
+std::uint32_t crc32_update(std::uint32_t state, std::span<const std::byte> data);
+
+inline std::uint32_t crc32_finish(std::uint32_t state) {
+  return state ^ 0xffffffffu;
+}
+
+// One-shot convenience.
+inline std::uint32_t crc32(std::span<const std::byte> data) {
+  return crc32_finish(crc32_update(kCrc32Seed, data));
+}
+
+}  // namespace cgx::util

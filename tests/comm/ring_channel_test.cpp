@@ -11,8 +11,13 @@
 #include <thread>
 #include <vector>
 
+#include "comm/fault.h"
+#include "util/crc32.h"
+
 namespace cgx::comm {
 namespace {
+
+using namespace std::chrono_literals;
 
 std::vector<std::byte> payload(std::size_t n, int fill) {
   return std::vector<std::byte>(n, static_cast<std::byte>(fill));
@@ -199,6 +204,194 @@ TEST(RingChannel, EmptyPayload) {
   RingChannel q(/*capacity_bytes=*/0);
   q.push({});
   EXPECT_TRUE(q.pop().empty());
+}
+
+TEST(RingChannel, OversizedStreamingUnderConcurrentMultiProducers) {
+  // Satellite coverage for the streaming path: several producers push
+  // messages far larger than the whole segment at once, so every frame
+  // streams through in wrap-around pieces and headers repeatedly land
+  // across the physical end of the slab (capacity 96 is deliberately not a
+  // multiple of any message size, so the 8-byte length word itself wraps
+  // mid-header on many frames). The writer token must keep whole messages
+  // contiguous in frame space no matter how the producers interleave.
+  RingChannel q(/*capacity_bytes=*/96);
+  constexpr int kProducers = 4, kPerProducer = 40;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        // 150..~600 bytes, all over capacity: every message streams.
+        auto msg = patterned(static_cast<std::size_t>(150 + p * 113 + i),
+                             p * 131 + i);
+        msg[0] = static_cast<std::byte>(p);
+        msg[1] = static_cast<std::byte>(i);
+        q.push(msg);
+      }
+    });
+  }
+  std::vector<int> next(kProducers, 0);
+  for (int n = 0; n < kProducers * kPerProducer; ++n) {
+    const auto msg = q.pop();
+    ASSERT_GE(msg.size(), 2u);
+    const int p = static_cast<int>(msg[0]);
+    const int i = static_cast<int>(msg[1]);
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, kProducers);
+    // Per-producer FIFO: the channel may interleave producers but never
+    // reorders one producer's messages.
+    EXPECT_EQ(i, next[static_cast<std::size_t>(p)]) << "producer " << p;
+    ++next[static_cast<std::size_t>(p)];
+    auto want = patterned(static_cast<std::size_t>(150 + p * 113 + i),
+                          p * 131 + i);
+    want[0] = static_cast<std::byte>(p);
+    want[1] = static_cast<std::byte>(i);
+    EXPECT_EQ(msg, want) << "producer " << p << " message " << i;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_LE(q.slab_bytes(), 96u);
+  EXPECT_EQ(q.pending_messages(), 0u);
+}
+
+TEST(RingChannel, ChecksummedFramesRoundTripAcrossWrap) {
+  // With checksums on, the 12-byte header (flagged length word + CRC32) is
+  // peeked in place and may wrap the slab end; frames must stay retained
+  // whole until verified. Mixed odd sizes force every wrap alignment.
+  CommPolicy pol;
+  pol.checksums = true;
+  ChannelFabric fabric{&pol, nullptr, nullptr};
+  RingChannel q(/*capacity_bytes=*/64);
+  q.bind_link(&fabric, 0, 1, 7);
+  std::thread producer([&] {
+    for (int i = 0; i < 300; ++i) {
+      q.push(patterned(static_cast<std::size_t>(1 + (i * 13) % 40), i));
+    }
+  });
+  for (int i = 0; i < 300; ++i) {
+    std::vector<std::byte> got(static_cast<std::size_t>(1 + (i * 13) % 40));
+    q.pop_into(got);
+    ASSERT_EQ(got, patterned(got.size(), i)) << "message " << i;
+  }
+  producer.join();
+  EXPECT_EQ(q.pending_messages(), 0u);
+}
+
+TEST(RingChannel, ChecksumOversizedFrameFallsBackToStreaming) {
+  // A frame that cannot be retained whole in the segment is sent unflagged
+  // and streams exactly like the seed path, even with checksums enabled.
+  CommPolicy pol;
+  pol.checksums = true;
+  ChannelFabric fabric{&pol, nullptr, nullptr};
+  RingChannel q(/*capacity_bytes=*/64);
+  q.bind_link(&fabric, 0, 1, 7);
+  const auto msg = patterned(4096, 11);
+  std::thread producer([&] { q.push(msg); });
+  std::vector<std::byte> got(msg.size());
+  q.pop_into(got);
+  producer.join();
+  EXPECT_EQ(got, msg);
+  EXPECT_LE(q.slab_bytes(), 64u);
+}
+
+TEST(RingChannel, WireCorruptionIsRetransmittedBitExact) {
+  CommPolicy pol;
+  pol.checksums = true;
+  pol.max_retries = 30;  // ample budget: a 60%-lossy link must still deliver
+  pol.backoff = 1us;
+  HealthMonitor health(2);
+  FaultInjector inj(/*seed=*/42, /*world_size=*/2);
+  FaultSpec spec;
+  spec.corrupt_prob = 0.4;
+  spec.drop_prob = 0.2;
+  inj.set_all_links(spec);
+  ChannelFabric fabric{&pol, &health, &inj};
+  RingChannel q(/*capacity_bytes=*/1 << 16);
+  q.bind_link(&fabric, 0, 1, 3);
+  for (int i = 0; i < 200; ++i) {
+    q.push(patterned(static_cast<std::size_t>(16 + i), i));
+    std::vector<std::byte> got(static_cast<std::size_t>(16 + i));
+    q.pop_into(got);
+    ASSERT_EQ(got, patterned(got.size(), i)) << "message " << i;
+  }
+  // At these rates the wire must have bitten many times; every delivery
+  // still came out bit-exact above.
+  EXPECT_GT(health.total_retransmits() + health.total_wire_drops(), 0u);
+  EXPECT_EQ(health.link(0, 1).consecutive_failures.load(), 0u);
+}
+
+TEST(RingChannel, RetryExhaustionReportsCorruptAndDoesNotWedgeLink) {
+  CommPolicy pol;
+  pol.checksums = true;
+  pol.max_retries = 2;
+  pol.backoff = 1us;
+  HealthMonitor health(2);
+  FaultInjector inj(/*seed=*/7, /*world_size=*/2);
+  FaultSpec spec;
+  spec.corrupt_prob = 1.0;  // hopeless link: every delivery corrupts
+  inj.set_all_links(spec);
+  ChannelFabric fabric{&pol, &health, &inj};
+  RingChannel q(/*capacity_bytes=*/4096);
+  q.bind_link(&fabric, 0, 1, 3);
+  q.push(patterned(64, 1));
+  std::vector<std::byte> got(64);
+  EXPECT_EQ(q.pop_into_until(got, RingChannel::kNoDeadline),
+            ChannelStatus::kCorrupt);
+  // The hopeless frame was consumed, not wedged: after the link heals, the
+  // next message flows normally.
+  inj.set_all_links(FaultSpec{});
+  q.push(patterned(32, 2));
+  std::vector<std::byte> next(32);
+  EXPECT_EQ(q.pop_into_until(next, RingChannel::kNoDeadline),
+            ChannelStatus::kOk);
+  EXPECT_EQ(next, patterned(32, 2));
+  EXPECT_EQ(health.link(0, 1).retransmits.load(), 3u);  // max_retries + 1
+}
+
+TEST(RingChannel, DeadlineTimeoutOnEmptyChannelIsClean) {
+  RingChannel q(/*capacity_bytes=*/0);
+  std::vector<std::byte> out(16);
+  const auto t0 = RingChannel::Clock::now();
+  EXPECT_EQ(q.pop_into_until(out, t0 + 30ms), ChannelStatus::kTimeout);
+  EXPECT_GE(RingChannel::Clock::now() - t0, 30ms);
+  EXPECT_FALSE(q.poisoned());
+  // A clean timeout is retryable: the next bounded pop succeeds.
+  q.push(patterned(16, 4));
+  EXPECT_EQ(q.pop_into_until(out, RingChannel::Clock::now() + 1s),
+            ChannelStatus::kOk);
+  EXPECT_EQ(out, patterned(16, 4));
+}
+
+TEST(RingChannel, TimeoutMidFramePoisonsUntilReset) {
+  // A bounded push abandoning a half-streamed frame must fail-stop the
+  // link: no reader can ever frame past the partial bytes.
+  RingChannel q(/*capacity_bytes=*/64);
+  const auto big = patterned(4096, 9);
+  EXPECT_EQ(q.push_until(big, RingChannel::Clock::now() + 20ms),
+            ChannelStatus::kTimeout);
+  EXPECT_TRUE(q.poisoned());
+  std::vector<std::byte> out(16);
+  EXPECT_EQ(q.pop_into_until(out, RingChannel::Clock::now() + 1s),
+            ChannelStatus::kPoisoned);
+  EXPECT_EQ(q.push_until(patterned(8, 1), RingChannel::Clock::now() + 1s),
+            ChannelStatus::kPoisoned);
+  // reset() restores a quiesced channel for an engine round retry.
+  q.reset();
+  EXPECT_FALSE(q.poisoned());
+  q.push(patterned(8, 1));
+  std::vector<std::byte> small(8);
+  EXPECT_EQ(q.pop_into_until(small, RingChannel::kNoDeadline),
+            ChannelStatus::kOk);
+  EXPECT_EQ(small, patterned(8, 1));
+}
+
+TEST(RingChannel, Crc32KnownVectorAndIncrementalMatch) {
+  // "123456789" -> 0xCBF43926 is the canonical CRC-32 check value.
+  const char* s = "123456789";
+  const auto bytes = std::as_bytes(std::span<const char>(s, 9));
+  EXPECT_EQ(util::crc32(bytes), 0xCBF43926u);
+  std::uint32_t state = util::kCrc32Seed;
+  state = util::crc32_update(state, bytes.first(4));
+  state = util::crc32_update(state, bytes.subspan(4));
+  EXPECT_EQ(util::crc32_finish(state), 0xCBF43926u);
 }
 
 TEST(RingChannel, DoorbellWakesAnySourceWaiter) {

@@ -1,0 +1,210 @@
+// Graceful-degradation tests for CgxEngine: the fault-soak matrix (lossy
+// wires must never change the maths) and the round-retry recovery protocol
+// (a failed round is rolled back, the fabric quiesced, and the step retried
+// with an honest StepReport).
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "comm/fault.h"
+#include "comm/transports.h"
+#include "comm/world.h"
+#include "tensor/tensor_ops.h"
+
+namespace cgx::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+tensor::LayerLayout small_transformer_layout() {
+  tensor::LayerLayout layout;
+  layout.add_layer("embed.weight", tensor::Shape{400, 16});
+  layout.add_layer("block0.attn.weight", tensor::Shape{16, 48});
+  layout.add_layer("block0.attn.bias", tensor::Shape{48});
+  layout.add_layer("block0.ln.weight", tensor::Shape{16});
+  layout.add_layer("head.weight", tensor::Shape{16, 32});
+  return layout;
+}
+
+std::vector<float> rank_gradient(const tensor::LayerLayout& layout, int rank,
+                                 int round) {
+  util::Rng rng(4000 + 100 * static_cast<std::uint64_t>(round) +
+                static_cast<std::uint64_t>(rank));
+  std::vector<float> g(layout.total_numel());
+  for (auto& v : g) v = static_cast<float>(rng.next_gaussian());
+  return g;
+}
+
+// Runs `rounds` engine steps on every rank of `transport` and returns each
+// rank's final reduced buffer, so runs can be compared bit-for-bit.
+std::vector<std::vector<float>> run_engine_rounds(
+    const tensor::LayerLayout& layout, comm::Transport& transport,
+    int world, int rounds, const EngineOptions& options) {
+  CgxEngine engine(layout, CompressionConfig::cgx_default(), world, options);
+  std::vector<std::vector<float>> result(static_cast<std::size_t>(world));
+  comm::run_world(transport, [&](comm::Comm& comm) {
+    util::Rng rng(6000 + static_cast<std::uint64_t>(comm.rank()));
+    std::vector<float> grad;
+    for (int round = 0; round < rounds; ++round) {
+      grad = rank_gradient(layout, comm.rank(), round);
+      engine.allreduce(comm, grad, rng);
+    }
+    result[static_cast<std::size_t>(comm.rank())] = grad;
+  });
+  return result;
+}
+
+TEST(EngineFaultSoak, LossyWiresNeverChangeTheMathsAcrossSeeds) {
+  constexpr int kWorld = 4;
+  constexpr int kRounds = 3;
+  const auto layout = small_transformer_layout();
+
+  // Ring reduction has a fixed arithmetic order, so the fault-free and the
+  // faulted runs are comparable bit-for-bit (arrival-order schemes would
+  // legitimately reassociate the sum under injected delays).
+  EngineOptions options;
+  options.scheme = comm::ReductionScheme::Ring;
+
+  comm::CommPolicy pol;
+  pol.checksums = true;
+  pol.max_retries = 30;
+  pol.backoff = 1us;
+
+  comm::NcclTransport clean(kWorld, /*chunk_bytes=*/2048);
+  clean.set_policy(pol);
+  const auto want =
+      run_engine_rounds(layout, clean, kWorld, kRounds, options);
+
+  comm::FaultSpec spec;
+  spec.drop_prob = 0.05;
+  spec.corrupt_prob = 0.05;
+  spec.delay_prob = 0.10;
+  spec.delay = 200us;
+
+  std::uint64_t total_faults = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    comm::NcclTransport inner(kWorld, /*chunk_bytes=*/2048);
+    comm::FaultInjector injector(seed, kWorld);
+    injector.set_all_links(spec);
+    comm::FaultyTransport faulty(inner, injector);
+    faulty.set_policy(pol);
+    const auto got =
+        run_engine_rounds(layout, faulty, kWorld, kRounds, options);
+    for (int r = 0; r < kWorld; ++r) {
+      const auto& g = got[static_cast<std::size_t>(r)];
+      const auto& w = want[static_cast<std::size_t>(r)];
+      ASSERT_EQ(g.size(), w.size());
+      EXPECT_EQ(std::memcmp(g.data(), w.data(), g.size() * sizeof(float)), 0)
+          << "seed " << seed << " rank " << r
+          << ": injected wire faults changed the reduced gradient";
+    }
+    total_faults += faulty.health().total_retransmits() +
+                    faulty.health().total_wire_drops();
+  }
+  // The soak is vacuous unless the wire actually misbehaved.
+  EXPECT_GT(total_faults, 0u);
+}
+
+TEST(EngineRoundRetry, FailedRoundIsRolledBackRetriedAndReported) {
+  constexpr int kWorld = 2;
+  constexpr int kRounds = 3;
+  const auto layout = small_transformer_layout();
+
+  EngineOptions options;
+  options.scheme = comm::ReductionScheme::Ring;
+
+  comm::ShmTransport reference_transport(kWorld);
+  const auto want = run_engine_rounds(layout, reference_transport, kWorld,
+                                      kRounds, options);
+
+  comm::FaultInjector injector(/*seed=*/1, kWorld);
+  injector.schedule_round_failure(/*round=*/1);
+  options.max_round_retries = 1;
+  options.injector = &injector;
+
+  comm::ShmTransport transport(kWorld);
+  CgxEngine engine(layout, CompressionConfig::cgx_default(), kWorld, options);
+  std::vector<std::vector<float>> got(kWorld);
+  comm::run_world(transport, [&](comm::Comm& comm) {
+    util::Rng rng(6000 + static_cast<std::uint64_t>(comm.rank()));
+    std::vector<float> grad;
+    for (int round = 0; round < kRounds; ++round) {
+      grad = rank_gradient(layout, comm.rank(), round);
+      engine.allreduce(comm, grad, rng);
+      const StepReport& report = engine.last_step_report(comm.rank());
+      EXPECT_TRUE(report.ok);
+      if (round == 1) {
+        // The scheduled failure struck attempt 0; the retry recovered.
+        EXPECT_EQ(report.attempts, 2);
+        EXPECT_EQ(report.retries, 1);
+        ASSERT_EQ(report.incidents.size(), 1u);
+        EXPECT_EQ(report.incidents[0].src, -1);
+        EXPECT_EQ(report.incidents[0].dst, comm.rank());
+        EXPECT_NE(report.incidents[0].what.find("synthetic"),
+                  std::string::npos);
+      } else {
+        EXPECT_EQ(report.attempts, 1);
+        EXPECT_EQ(report.retries, 0);
+        EXPECT_TRUE(report.incidents.empty());
+      }
+    }
+    got[static_cast<std::size_t>(comm.rank())] = grad;
+  });
+
+  // The retried round restarted from the pre-round snapshot, so the final
+  // state matches a run that never failed — bit for bit.
+  for (int r = 0; r < kWorld; ++r) {
+    EXPECT_EQ(std::memcmp(got[static_cast<std::size_t>(r)].data(),
+                          want[static_cast<std::size_t>(r)].data(),
+                          want[static_cast<std::size_t>(r)].size() *
+                              sizeof(float)),
+              0)
+        << "rank " << r;
+  }
+}
+
+TEST(EngineRoundRetry, RetriesDisabledPreservesFailFastSeedBehaviour) {
+  // With max_round_retries at its default 0, the engine must not consult
+  // the injector, snapshot anything, or swallow failures: a CommError from
+  // the collective propagates out of the worker as on the seed.
+  constexpr int kWorld = 2;
+  const auto layout = small_transformer_layout();
+  comm::ShmTransport transport(kWorld);
+  comm::CommPolicy pol;
+  pol.timeout = 50ms;
+  transport.set_policy(pol);
+
+  CgxEngine engine(layout, CompressionConfig::cgx_default(), kWorld);
+  try {
+    comm::run_world(transport, [&](comm::Comm& comm) {
+      util::Rng rng(6000 + static_cast<std::uint64_t>(comm.rank()));
+      auto grad = rank_gradient(layout, comm.rank(), 0);
+      if (comm.rank() == 1) {
+        // Rank 1 never shows up for the collective; rank 0's bounded waits
+        // must surface a structured timeout, not hang.
+        std::this_thread::sleep_for(300ms);
+        return;
+      }
+      engine.allreduce(comm, grad, rng);
+    });
+    FAIL() << "expected WorkerError";
+  } catch (const comm::WorkerError& e) {
+    EXPECT_EQ(e.rank, 0);
+    ASSERT_TRUE(e.original);
+    try {
+      std::rethrow_exception(e.original);
+    } catch (const comm::TimeoutError& t) {
+      EXPECT_EQ(t.dst, 0);
+    }
+    EXPECT_FALSE(engine.last_step_report(0).ok);
+    EXPECT_EQ(engine.last_step_report(0).attempts, 1);
+  }
+}
+
+}  // namespace
+}  // namespace cgx::core

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# The full local gate: configure, build, and test every preset we ship —
+#   default  (RelWithDebInfo, the tier-1 suite + alloc/fault labels)
+#   asan     (AddressSanitizer build of the same suite)
+#   tsan     (ThreadSanitizer; runs only tests labeled concurrency-sensitive)
+# Usage: tools/run_checks.sh [preset ...]   (no args = all three)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default asan tsan)
+fi
+
+jobs=$(nproc 2>/dev/null || echo 4)
+for preset in "${presets[@]}"; do
+  echo "==== [$preset] configure"
+  cmake --preset "$preset"
+  case "$preset" in
+    default) builddir=build ;;
+    *) builddir="build-$preset" ;;
+  esac
+  echo "==== [$preset] build"
+  cmake --build "$builddir" -j "$jobs"
+  echo "==== [$preset] test"
+  if [ "$preset" = tsan ]; then
+    # Sanitizer-interposed allocators and slow full runs aren't the point
+    # here: run the concurrency-sensitive subset (includes the fault suite).
+    ctest --test-dir "$builddir" -L tsan --output-on-failure -j "$jobs"
+  else
+    ctest --test-dir "$builddir" --output-on-failure -j "$jobs"
+  fi
+done
+echo "==== all presets passed"
