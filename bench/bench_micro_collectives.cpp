@@ -348,14 +348,22 @@ SweepPoint measure_allreduce(comm::Transport& transport, std::size_t numel,
   return point;
 }
 
-void write_collectives_json() {
+void write_collectives_json(bool smoke) {
   constexpr int kWorld = 8;
-  const std::pair<const char*, comm::ReductionScheme> kSchemes[] = {
+  // Smoke mode (tools/run_checks.sh bench-smoke): one tiny configuration,
+  // just enough to prove the sweep + JSON writer still run end to end.
+  std::vector<std::pair<const char*, comm::ReductionScheme>> kSchemes = {
       {"SRA", comm::ReductionScheme::ScatterReduceAllgather},
       {"Ring", comm::ReductionScheme::Ring},
   };
-  const std::size_t kNumels[] = {1u << 16, 1u << 18, 1u << 20};
-  const char* kBackends[] = {"shm", "mpi", "nccl", "deque-baseline"};
+  std::vector<std::size_t> kNumels = {1u << 16, 1u << 18, 1u << 20};
+  std::vector<const char*> kBackends = {"shm", "mpi", "nccl",
+                                        "deque-baseline"};
+  if (smoke) {
+    kSchemes.resize(1);
+    kNumels = {1u << 16};
+    kBackends = {"shm"};
+  }
 
   std::filesystem::create_directories("results");
   std::ofstream out("results/BENCH_collectives.json");
@@ -423,18 +431,24 @@ BENCHMARK(BM_P2pTransports)
 // (skipped with --no_json for quick interactive runs).
 int main(int argc, char** argv) {
   bool json = true;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--no_json") {
-      json = false;
+  bool smoke = false;
+  for (int i = 1; i < argc;) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--no_json" || arg == "--smoke") {
+      if (arg == "--no_json") json = false;
+      if (arg == "--smoke") smoke = true;
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
-      break;
+    } else {
+      ++i;
     }
   }
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  if (json) write_collectives_json();
+  if (!smoke) {  // smoke skips the microbench suite, keeps the JSON gate
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  if (json) write_collectives_json(smoke);
   return 0;
 }

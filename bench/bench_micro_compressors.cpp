@@ -150,8 +150,8 @@ double measure_gbps(std::size_t bytes, Fn&& fn) {
          elapsed / 1e9;
 }
 
-void write_compressor_json() {
-  constexpr std::size_t kNumel = 1 << 20;
+void write_compressor_json(bool smoke) {
+  const std::size_t kNumel = smoke ? (1 << 18) : (1 << 20);
   constexpr std::size_t kBucket = 512;
   const auto input = make_input(kNumel);
   util::ThreadPool pool;
@@ -164,7 +164,9 @@ void write_compressor_json() {
   // would-be duplicate threads=1 row.
   std::vector<std::size_t> thread_counts = {1};
   if (pool.size() > 1) thread_counts.push_back(pool.size());
-  for (unsigned bits : {2u, 4u, 8u}) {
+  std::vector<unsigned> bit_grid = {2u, 4u, 8u};
+  if (smoke) bit_grid = {4u};  // one tiny config for bench-smoke
+  for (unsigned bits : bit_grid) {
     for (std::size_t threads : thread_counts) {
       core::QsgdCompressor compressor(bits, kBucket);
       if (threads > 1) compressor.enable_threading(&pool, 1);
@@ -233,18 +235,24 @@ BENCHMARK(BM_UnpackSymbols)
 // (skipped with --no_json for quick interactive runs).
 int main(int argc, char** argv) {
   bool json = true;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--no_json") {
-      json = false;
+  bool smoke = false;
+  for (int i = 1; i < argc;) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--no_json" || arg == "--smoke") {
+      if (arg == "--no_json") json = false;
+      if (arg == "--smoke") smoke = true;
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
-      break;
+    } else {
+      ++i;
     }
   }
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  if (json) write_compressor_json();
+  if (!smoke) {  // smoke skips the microbench suite, keeps the JSON gate
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  if (json) write_compressor_json(smoke);
   return 0;
 }

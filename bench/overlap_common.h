@@ -1,0 +1,181 @@
+// Measured (not simulated) overlap harness shared by bench_overlap and
+// bench_fig03_throughput.
+//
+// Runs the REAL streaming engine — AsyncGradientEngine over ShmTransport,
+// one thread per rank, comm threads and all — on a scaled-down replica of a
+// paper model. Backward compute is modelled as per-layer sleeps shaped like
+// the model's calibrated backward profile (sleeping releases the core, so
+// the comm threads genuinely hide their work inside the compute window,
+// exactly as kernels would on a GPU box). The harness first calibrates the
+// pure communication time of the scaled model, then sizes the total sleep
+// budget from a compute:comm ratio, so the measured regime matches the
+// analytic regime it is compared against.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "comm/world.h"
+#include "core/async_engine.h"
+#include "util/rng.h"
+
+namespace cgx::bench {
+
+// Same layer names and order as `model`, numels divided by `scale` (floored
+// at 48 so every layer still exercises the compressed path).
+inline tensor::LayerLayout scaled_layout(const models::PaperModel& model,
+                                         double scale) {
+  tensor::LayerLayout layout;
+  for (std::size_t l = 0; l < model.layout.layer_count(); ++l) {
+    const auto& layer = model.layout.layer(l);
+    const auto numel = static_cast<std::size_t>(
+        static_cast<double>(layer.numel) / scale);
+    layout.add_layer(layer.name, std::max<std::size_t>(numel, 48));
+  }
+  return layout;
+}
+
+struct OverlapRunConfig {
+  int world = 8;
+  std::size_t bucket_bytes = std::size_t{256} << 10;
+  // Total backward sleep = ratio x measured pure-comm step time. 1.0 is the
+  // paper's 8-GPU consumer-box regime, where 4-bit communication time is on
+  // par with backward compute (Fig. 3's RTX rows).
+  double compute_comm_ratio = 1.0;
+  double param_scale = 64.0;  // layer numels divided by this
+  int calib_steps = 3;        // zero-sleep steps to measure pure comm
+  int timed_steps = 5;        // counted steps per mode
+  // false skips the synchronous comparator run: cheaper when only the
+  // overlapped run's hidden-comm fraction is wanted (fig03's gap column).
+  bool run_sync = true;
+};
+
+struct OverlapRunResult {
+  double step_s_sync = 0.0;     // sleeps + inline collectives
+  double step_s_overlap = 0.0;  // sleeps + comm threads
+  // Rank-0 StepReport timing, averaged per overlapped step.
+  double compute_s = 0.0;
+  double compress_s = 0.0;
+  double comm_s = 0.0;
+  double exposed_s = 0.0;
+  std::size_t buckets = 0;
+
+  double speedup() const {
+    return step_s_overlap > 0.0 ? step_s_sync / step_s_overlap : 0.0;
+  }
+  // Fraction of communication hidden behind backward compute.
+  double hidden_pct() const {
+    return comm_s > 0.0 ? 100.0 * (comm_s - exposed_s) / comm_s : 0.0;
+  }
+};
+
+// One full measurement: calibrate comm, derive the per-layer sleep profile,
+// then time the sync (inline) and overlapped (comm-thread) modes on
+// identical work. 4-bit SRA via CompressionConfig::cgx_default().
+inline OverlapRunResult measure_overlap(const models::PaperModel& model,
+                                        simgpu::GpuKind gpu,
+                                        const OverlapRunConfig& cfg) {
+  using clock = std::chrono::steady_clock;
+  const tensor::LayerLayout layout = scaled_layout(model, cfg.param_scale);
+  const std::size_t layers = layout.layer_count();
+
+  // Relative backward profile (layout order); rescaled after calibration.
+  std::vector<double> weights = model.backward_seconds(gpu);
+  double weight_total = 0.0;
+  for (double w : weights) weight_total += w;
+
+  OverlapRunResult out;
+
+  // Runs `steps` streamed steps in one mode; returns avg step seconds and,
+  // for the overlapped run, accumulates rank 0's timing breakdown.
+  const auto run_mode = [&](bool overlap,
+                            const std::vector<double>& sleeps_s, int steps,
+                            bool record_timing) {
+    core::AsyncOptions aopts;
+    aopts.bucket_bytes = cfg.bucket_bytes;
+    aopts.overlap = overlap;
+    core::AsyncGradientEngine engine(
+        std::make_unique<core::CgxEngine>(
+            layout, core::CompressionConfig::cgx_default(), cfg.world),
+        aopts);
+    out.buckets = engine.plan().total_submissions();
+    comm::ShmTransport transport(cfg.world);
+    double elapsed = 0.0;
+    comm::run_world(transport, [&](comm::Comm& comm) {
+      const int rank = comm.rank();
+      util::Rng rng(7100 + static_cast<std::uint64_t>(rank));
+      util::Rng grad_rng(5200 + static_cast<std::uint64_t>(rank));
+      std::vector<float> grad(layout.total_numel());
+      for (auto& v : grad) v = static_cast<float>(grad_rng.next_gaussian());
+      const auto step = [&] {
+        engine.begin_step(comm, grad, rng);
+        // Deadline pacing instead of per-layer sleep_for: many layers have
+        // sub-50us budgets, below the sleep syscall's floor, so we sleep
+        // only once the accrued budget is far enough ahead. The deadline
+        // restarts from now() at every wake — compute time must ALWAYS
+        // elapse, like a GPU kernel, and never be absorbed by time the
+        // training thread spent inside an inline collective.
+        auto deadline = clock::now();
+        for (std::size_t l = layers; l-- > 0;) {
+          if (!sleeps_s.empty()) {
+            const auto now = clock::now();
+            if (now > deadline) deadline = now;
+            deadline += std::chrono::duration_cast<clock::duration>(
+                std::chrono::duration<double>(sleeps_s[l]));
+            if (deadline - now > std::chrono::microseconds(100)) {
+              std::this_thread::sleep_until(deadline);
+            }
+          }
+          engine.notify_layer_ready(rank, l);
+        }
+        engine.wait_all(rank);
+      };
+      step();  // warm-up: arenas grown, ring slabs at final size
+      comm.barrier();
+      const auto t0 = clock::now();
+      for (int i = 0; i < steps; ++i) {
+        step();
+        if (record_timing && rank == 0) {
+          const auto& t = engine.last_step_report(0).timing;
+          out.compute_s += t.compute_s / steps;
+          out.compress_s += t.compress_s / steps;
+          out.comm_s += t.comm_s / steps;
+          out.exposed_s += t.exposed_comm_s / steps;
+        }
+      }
+      comm.barrier();
+      if (rank == 0) {
+        elapsed = std::chrono::duration<double>(clock::now() - t0).count();
+      }
+    });
+    return elapsed / steps;
+  };
+
+  // 1) Pure communication time of the scaled model (no sleeps, inline).
+  const double comm_step_s =
+      run_mode(/*overlap=*/false, {}, cfg.calib_steps, false);
+
+  // 2) Shape the sleep profile: total = ratio x comm, split by the paper
+  //    model's per-layer backward weights.
+  const double backward_total = cfg.compute_comm_ratio * comm_step_s;
+  std::vector<double> sleeps_s(layers, 0.0);
+  for (std::size_t l = 0; l < layers; ++l) {
+    sleeps_s[l] = backward_total * weights[l] / weight_total;
+  }
+
+  // 3) Same work, both modes.
+  if (cfg.run_sync) {
+    out.step_s_sync =
+        run_mode(/*overlap=*/false, sleeps_s, cfg.timed_steps, false);
+  }
+  out.step_s_overlap =
+      run_mode(/*overlap=*/true, sleeps_s, cfg.timed_steps, true);
+  return out;
+}
+
+}  // namespace cgx::bench

@@ -1,0 +1,56 @@
+// Tag-space layout for the whole fabric.
+//
+// Every concurrent conversation over a transport needs its own tag so the
+// dense (src, dst, tag) channel table keeps streams apart. This header is
+// the single registry of who owns which tags — collectives hard-code their
+// bases from here, and the streaming bucketed engine (core/async_engine.h)
+// carves a disjoint per-bucket range out of the compressed region so
+// bucket k+1's frames can be in flight while bucket k is still draining.
+//
+// Layout (see also DESIGN.md §5d):
+//
+//   110..160   uncompressed collectives (SRA 110/111, Ring 120/121,
+//              Tree 130/131, bcast 140, allgather 150, reduce-scatter 160)
+//   210..293   compressed collectives, strided per bucket: bucket b uses
+//              base+2b for b < kMaxTagBuckets (SRA 210/211, Ring 220/221,
+//              Tree 230/231; bucket 0 == the legacy monolithic tags)
+//   310        GRACE allgather
+//   310..360   SHADOW: peer-direct acks of the uncompressed collectives
+//              (tag + kDirectAckTagOffset = +200) — nothing else may sit
+//              here, which is what caps the bucket stride region at <300
+//   410..413   hierarchical (two-level) schedule
+#pragma once
+
+namespace cgx::comm {
+
+// Compressed-collective base tags (the per-TU constants that used to live in
+// core/compressed_allreduce.cpp). A bucketed caller adds
+// bucket_tag_offset(b) to each.
+inline constexpr int kSraScatterTag = 210;
+inline constexpr int kSraGatherTag = 211;
+inline constexpr int kRingReduceTag = 220;
+inline constexpr int kRingGatherTag = 221;
+inline constexpr int kTreeReduceTag = 230;
+inline constexpr int kTreeBcastTag = 231;
+
+// Per-bucket tag stride: each scheme uses two tags (reduce + gather phase),
+// so consecutive buckets are 2 apart and a bucket's pair never collides
+// with another bucket's pair OF THE SAME SCHEME. One engine instance runs
+// one scheme, so cross-scheme aliasing (bucket 5's SRA pair landing on
+// bucket 0's Ring pair) cannot happen within a step.
+inline constexpr int kBucketTagStride = 2;
+
+// Buckets beyond this many fold into the last one (async_engine's plan
+// builder enforces it). Bounds the compressed region below the peer-direct
+// ack shadow of the uncompressed collectives (310..360) and GRACE's 310.
+inline constexpr int kMaxTagBuckets = 32;
+
+constexpr int bucket_tag_offset(int bucket) {
+  return bucket * kBucketTagStride;
+}
+
+static_assert(kTreeBcastTag + bucket_tag_offset(kMaxTagBuckets - 1) < 310,
+              "bucketed compressed tags must stay below the GRACE tag and "
+              "the uncompressed collectives' direct-ack shadow (310..360)");
+
+}  // namespace cgx::comm

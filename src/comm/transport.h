@@ -27,6 +27,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -59,17 +60,34 @@ struct TransportProfile {
 // per-link atomic counters: record() on the send hot path is two relaxed
 // fetch_adds on the (src,dst) cell — no lock, no map node, no contention
 // between different links.
+//
+// Optionally also counts bytes per TAG (enable_tag_accounting): a dense
+// array of per-tag atomic byte counters, one extra relaxed fetch_add per
+// message when enabled and a single branch when not. The bucketed engine's
+// tests and benches use this to attribute wire volume to individual fusion
+// buckets, whose collectives run on disjoint tag ranges (comm/tagspace.h).
 class TrafficRecorder {
  public:
   explicit TrafficRecorder(int world_size);
 
-  void record(int src, int dst, std::size_t bytes);
+  void record(int src, int dst, std::size_t bytes) {
+    record(src, dst, bytes, /*tag=*/-1);
+  }
+  void record(int src, int dst, std::size_t bytes, int tag);
   void reset();
 
   std::size_t total_bytes() const;
   std::size_t total_messages() const;
   std::size_t bytes_between(int src, int dst) const;
   std::size_t bytes_sent_by(int src) const;
+
+  // Allocates `tag_slots` per-tag byte counters (call before traffic flows;
+  // not thread-safe against concurrent record()). Off by default.
+  void enable_tag_accounting(int tag_slots);
+  bool tag_accounting_enabled() const { return tag_slots_ > 0; }
+  std::size_t bytes_for_tag(int tag) const;
+  // Sum over the inclusive tag range [lo, hi].
+  std::size_t bytes_for_tag_range(int lo, int hi) const;
 
  private:
   struct LinkStats {
@@ -80,6 +98,8 @@ class TrafficRecorder {
 
   const int world_size_;
   std::vector<LinkStats> links_;  // world_size^2, row-major by src
+  int tag_slots_ = 0;
+  std::unique_ptr<std::atomic<std::size_t>[]> tag_bytes_;
 };
 
 class Transport {

@@ -251,7 +251,7 @@ void ShmTransport::send(int src, int dst, std::span<const std::byte> data,
   CGX_CHECK(dst >= 0 && dst < world_size_);
   CGX_CHECK_NE(src, dst);
   push_frame(channels_.channel(src, dst, tag), src, dst, tag, data);
-  recorder_.record(src, dst, data.size());
+  recorder_.record(src, dst, data.size(), tag);
 }
 
 void ShmTransport::recv(int dst, int src, std::span<std::byte> data,
@@ -271,7 +271,7 @@ void ShmTransport::direct_post(int src, int dst, std::span<const float> data,
              std::as_bytes(std::span<const DirectDesc>(&desc, 1)));
   // The logical payload is what crosses the link; the descriptor and the
   // ack play the role of IPC event signals and are not traffic.
-  recorder_.record(src, dst, data.size() * sizeof(float));
+  recorder_.record(src, dst, data.size() * sizeof(float), tag);
 }
 
 void ShmTransport::direct_pull(int dst, int src, std::span<float> data,
@@ -383,7 +383,7 @@ void MpiTransport::send(int src, int dst, std::span<const std::byte> data,
   // Stage directly into the mailbox ring; the host-staging cost is
   // attributed solely through profile_.extra_copies.
   push_frame(channels_.channel(src, dst, tag), src, dst, tag, data);
-  recorder_.record(src, dst, data.size());
+  recorder_.record(src, dst, data.size(), tag);
 }
 
 void MpiTransport::recv(int dst, int src, std::span<std::byte> data,
@@ -421,7 +421,7 @@ void NcclTransport::send(int src, int dst, std::span<const std::byte> data,
     push_frame(q, src, dst, tag, data.subspan(offset, n));
     offset += n;
   } while (offset < data.size());
-  recorder_.record(src, dst, data.size());
+  recorder_.record(src, dst, data.size(), tag);
 }
 
 void NcclTransport::recv(int dst, int src, std::span<std::byte> data,
@@ -526,16 +526,44 @@ std::size_t TrafficRecorder::index(int src, int dst) const {
          static_cast<std::size_t>(dst);
 }
 
-void TrafficRecorder::record(int src, int dst, std::size_t bytes) {
+void TrafficRecorder::record(int src, int dst, std::size_t bytes, int tag) {
   LinkStats& s = links_[index(src, dst)];
   s.bytes.fetch_add(bytes, std::memory_order_relaxed);
   s.messages.fetch_add(1, std::memory_order_relaxed);
+  if (tag_slots_ > 0 && tag >= 0 && tag < tag_slots_) {
+    tag_bytes_[static_cast<std::size_t>(tag)].fetch_add(
+        bytes, std::memory_order_relaxed);
+  }
+}
+
+void TrafficRecorder::enable_tag_accounting(int tag_slots) {
+  CGX_CHECK_GT(tag_slots, 0);
+  if (tag_slots <= tag_slots_) return;
+  tag_bytes_ = std::make_unique<std::atomic<std::size_t>[]>(
+      static_cast<std::size_t>(tag_slots));
+  tag_slots_ = tag_slots;
+}
+
+std::size_t TrafficRecorder::bytes_for_tag(int tag) const {
+  if (tag < 0 || tag >= tag_slots_) return 0;
+  return tag_bytes_[static_cast<std::size_t>(tag)].load(
+      std::memory_order_relaxed);
+}
+
+std::size_t TrafficRecorder::bytes_for_tag_range(int lo, int hi) const {
+  std::size_t total = 0;
+  for (int t = lo; t <= hi; ++t) total += bytes_for_tag(t);
+  return total;
 }
 
 void TrafficRecorder::reset() {
   for (auto& s : links_) {
     s.bytes.store(0, std::memory_order_relaxed);
     s.messages.store(0, std::memory_order_relaxed);
+  }
+  for (int t = 0; t < tag_slots_; ++t) {
+    tag_bytes_[static_cast<std::size_t>(t)].store(0,
+                                                  std::memory_order_relaxed);
   }
 }
 

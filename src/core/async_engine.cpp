@@ -1,0 +1,425 @@
+#include "core/async_engine.h"
+
+#include <algorithm>
+
+#include "comm/fault.h"
+#include "comm/tagspace.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace cgx::core {
+namespace {
+
+// Rollback copy of a bucket's slices for per-bucket round retries. Engine
+// convention: compressed collectives own slots 0..2+world, engines use 16+
+// (see compressed_allreduce.cpp / engine.cpp).
+constexpr std::size_t kSlotBucketSnapshot = 18;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+BucketPlan build_bucket_plan(const tensor::LayerLayout& layout,
+                             std::span<const LayerCompression> resolved,
+                             std::size_t bucket_bytes) {
+  CGX_CHECK_EQ(resolved.size(), layout.layer_count());
+  BucketPlan plan;
+  plan.bucket_of.assign(layout.layer_count(), -1);
+  BucketPlan::Bucket cur;
+  auto flush = [&] {
+    if (cur.layers.empty()) return;
+    plan.buckets.push_back(std::move(cur));
+    cur = {};
+  };
+  // Walk in gradient-production order (reverse layout order), closing a
+  // bucket once it holds >= bucket_bytes of raw gradient. Overflow beyond
+  // the tag-space cap folds into the last bucket.
+  for (std::size_t i = layout.layer_count(); i-- > 0;) {
+    if (resolved[i].method == Method::None) {
+      plan.has_packet = true;
+      continue;
+    }
+    cur.layers.push_back(i);
+    cur.numel += layout.layer(i).numel;
+    cur.raw_bytes += sizeof(float) * layout.layer(i).numel;
+    if (cur.raw_bytes >= bucket_bytes &&
+        plan.buckets.size() + 1 <
+            static_cast<std::size_t>(comm::kMaxTagBuckets)) {
+      flush();
+    }
+  }
+  flush();
+  for (std::size_t b = 0; b < plan.buckets.size(); ++b) {
+    plan.buckets[b].tag_base = comm::bucket_tag_offset(static_cast<int>(b));
+    for (std::size_t l : plan.buckets[b].layers) {
+      plan.bucket_of[l] = static_cast<std::int32_t>(b);
+    }
+  }
+  const auto packet = static_cast<std::int32_t>(plan.packet_index());
+  for (std::size_t i = 0; i < resolved.size(); ++i) {
+    if (resolved[i].method == Method::None) plan.bucket_of[i] = packet;
+  }
+  return plan;
+}
+
+AsyncGradientEngine::AsyncGradientEngine(std::unique_ptr<CgxEngine> inner,
+                                         AsyncOptions options)
+    : inner_(std::move(inner)),
+      options_(options),
+      comm_barrier_(static_cast<std::size_t>(inner_->world_size())),
+      ranks_(static_cast<std::size_t>(inner_->world_size())) {
+  CGX_CHECK(inner_->options().node_of.empty())
+      << "streaming bucketed engine requires flat (single-level) mode";
+  CGX_CHECK(inner_->options().fuse_filtered_layers)
+      << "streaming bucketed engine requires the fused filtered packet";
+  plan_ = build_bucket_plan(inner_->layout(), inner_->resolved(),
+                            options_.bucket_bytes);
+  pipeline_enabled_ = options_.pipeline && options_.overlap &&
+                      inner_->supports_split() &&
+                      inner_->options().max_round_retries <= 0;
+  resize_rank_state();
+  if (options_.overlap) {
+    for (int r = 0; r < inner_->world_size(); ++r) {
+      ranks_[static_cast<std::size_t>(r)].thread =
+          std::thread([this, r] { comm_thread_main(r); });
+    }
+  }
+}
+
+AsyncGradientEngine::~AsyncGradientEngine() {
+  for (RankState& st : ranks_) {
+    if (!st.thread.joinable()) continue;
+    const std::uint32_t t = st.q_tail.load(std::memory_order_relaxed);
+    st.queue[t % st.queue.size()] = kStopToken;
+    st.q_tail.store(t + 1, std::memory_order_release);
+    st.q_tail.notify_one();
+    st.thread.join();
+  }
+}
+
+void AsyncGradientEngine::resize_rank_state() {
+  const std::size_t total = plan_.total_submissions();
+  for (RankState& st : ranks_) {
+    // Grow-only, and only while the fabric is quiesced: the consumer is
+    // idle-parked on q_tail, and the next release-store on q_tail (or the
+    // trainer's barrier) publishes the resized storage to it.
+    if (st.queue.size() < total + 2) st.queue.resize(total + 2);
+    if (st.remaining.size() < total) st.remaining.resize(total);
+    if (st.begun.size() < plan_.buckets.size()) {
+      st.begun.resize(plan_.buckets.size());
+    }
+    if (st.bucket_rngs.size() < total) st.bucket_rngs.resize(total);
+  }
+}
+
+void AsyncGradientEngine::rebuild() {
+  inner_->rebuild();
+  plan_ = build_bucket_plan(inner_->layout(), inner_->resolved(),
+                            options_.bucket_bytes);
+  resize_rank_state();
+}
+
+void AsyncGradientEngine::begin_step(comm::Comm& comm, std::span<float> fused,
+                                     util::Rng& rng) {
+  CGX_CHECK_EQ(comm.size(), inner_->world_size());
+  CGX_CHECK_EQ(fused.size(), inner_->layout().total_numel());
+  RankState& st = ranks_[static_cast<std::size_t>(comm.rank())];
+  // The previous step must have fully drained (API contract).
+  CGX_CHECK_EQ(st.done.load(std::memory_order_acquire), st.submitted);
+
+  st.fused = fused;
+  st.inline_comm = &comm;
+  if (options_.overlap &&
+      (!st.comm || &st.comm->transport() != &comm.transport())) {
+    // The comm thread gets its own handle over the facade barrier so its
+    // recovery barriers never mix with the training threads' world barrier.
+    st.comm.emplace(comm.rank(), comm.transport(), comm_barrier_);
+  }
+
+  // Per-bucket RNG streams: advance the parent once per step, then derive
+  // one child per submission. Identical in overlap and inline modes, so
+  // the quantization noise — and with it every payload byte — matches.
+  rng.next_u64();
+  const std::size_t total = plan_.total_submissions();
+  for (std::size_t b = 0; b < total; ++b) st.bucket_rngs[b] = rng.split(b);
+  for (std::size_t b = 0; b < plan_.buckets.size(); ++b) {
+    st.remaining[b] =
+        static_cast<std::uint32_t>(plan_.buckets[b].layers.size());
+  }
+  if (plan_.has_packet) {
+    st.remaining[plan_.packet_index()] =
+        static_cast<std::uint32_t>(inner_->filtered_layers().size());
+  }
+  std::fill(st.begun.begin(), st.begun.end(), std::uint8_t{0});
+  st.submitted = 0;
+  st.notified = 0;
+  st.compress_s = 0.0;
+  st.comm_busy_s = 0.0;
+  st.error = nullptr;
+  st.report.ok = true;
+  st.report.attempts = 0;
+  st.report.retries = 0;
+  st.report.incidents.clear();
+  st.report.timing = StepReport::Timing{};
+  st.done.store(0, std::memory_order_relaxed);
+  st.t_begin = st.t_last_submit = std::chrono::steady_clock::now();
+}
+
+void AsyncGradientEngine::notify_layer_ready(int rank, std::size_t layer) {
+  RankState& st = ranks_[static_cast<std::size_t>(rank)];
+  CGX_CHECK_LT(layer, plan_.bucket_of.size());
+  const std::int32_t b = plan_.bucket_of[layer];
+  CGX_CHECK_GE(b, 0);
+  ++st.notified;
+  std::uint32_t& rem = st.remaining[static_cast<std::size_t>(b)];
+  CGX_CHECK_GT(rem, 0u);
+  if (--rem == 0) submit(st, static_cast<std::uint32_t>(b));
+}
+
+void AsyncGradientEngine::submit(RankState& st, std::uint32_t bucket) {
+  // Token = bucket id | submission parity. The parity picks the arena, and
+  // because the consumer drains tokens in submission order, two adjacent
+  // in-flight buckets always sit on different arenas.
+  const std::uint32_t token = bucket | ((st.submitted & 1u) << 8);
+  ++st.submitted;
+  st.t_last_submit = std::chrono::steady_clock::now();
+  if (!options_.overlap) {
+    process_token(st, *st.inline_comm, token);
+    return;
+  }
+  const std::uint32_t t = st.q_tail.load(std::memory_order_relaxed);
+  st.queue[t % st.queue.size()] = token;
+  st.q_tail.store(t + 1, std::memory_order_release);
+  st.q_tail.notify_one();
+}
+
+void AsyncGradientEngine::comm_thread_main(int rank) {
+  RankState& st = ranks_[static_cast<std::size_t>(rank)];
+  for (;;) {
+    const std::uint32_t h = st.q_head.load(std::memory_order_relaxed);
+    std::uint32_t t = st.q_tail.load(std::memory_order_acquire);
+    while (t == h) {
+      // Futex-style park (no spinning — everything here shares cores with
+      // the training threads); woken by submit()'s notify_one.
+      st.q_tail.wait(t, std::memory_order_acquire);
+      t = st.q_tail.load(std::memory_order_acquire);
+    }
+    const std::uint32_t token = st.queue[h % st.queue.size()];
+    st.q_head.store(h + 1, std::memory_order_relaxed);
+    if (token == kStopToken) return;
+    process_token(st, *st.comm, token);
+  }
+}
+
+void AsyncGradientEngine::process_token(RankState& st, comm::Comm& comm,
+                                        std::uint32_t token) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t bucket = token & 0xffu;
+  if (!st.error) {
+    try {
+      if (bucket == plan_.packet_index()) {
+        run_packet(st, comm);
+      } else {
+        run_compressed(st, comm, bucket, st.arenas[(token >> 8) & 1u]);
+      }
+    } catch (...) {
+      // First failure poisons the step: remaining tokens complete without
+      // touching the fabric, and wait_all rethrows on the training thread.
+      st.error = std::current_exception();
+    }
+  }
+  st.comm_busy_s += seconds_since(t0);
+  st.done.fetch_add(1, std::memory_order_release);
+  st.done.notify_all();
+}
+
+void AsyncGradientEngine::begin_bucket_timed(RankState& st, comm::Comm& comm,
+                                             std::size_t bucket,
+                                             CollectiveWorkspace& ws) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const BucketPlan::Bucket& b = plan_.buckets[bucket];
+  inner_->bucket_begin(comm, st.fused, b.layers, st.bucket_rngs[bucket],
+                       b.tag_base, ws);
+  st.compress_s += seconds_since(t0);
+  st.begun[bucket] = 1;
+}
+
+void AsyncGradientEngine::try_begin_next(RankState& st, comm::Comm& comm) {
+  // Peek the next submitted-but-unprocessed token: if it is a compressed
+  // bucket, run its non-blocking begin half now (round-1 compression +
+  // buffered sends on the OTHER arena) so it overlaps the current bucket's
+  // drain. Consumer-side only; q_head already points past the current
+  // token.
+  const std::uint32_t next = st.q_head.load(std::memory_order_relaxed);
+  if (st.q_tail.load(std::memory_order_acquire) == next) return;
+  const std::uint32_t token = st.queue[next % st.queue.size()];
+  if (token == kStopToken) return;
+  const std::size_t bucket = token & 0xffu;
+  if (bucket >= plan_.buckets.size()) return;  // packet has no begin half
+  if (st.begun[bucket]) return;
+  begin_bucket_timed(st, comm, bucket, st.arenas[(token >> 8) & 1u]);
+}
+
+void AsyncGradientEngine::run_compressed(RankState& st, comm::Comm& comm,
+                                         std::size_t bucket,
+                                         CollectiveWorkspace& ws) {
+  const BucketPlan::Bucket& b = plan_.buckets[bucket];
+  const EngineOptions& eopts = inner_->options();
+  StepReport& report = st.report;
+  util::Rng& rng = st.bucket_rngs[bucket];
+  const std::uint64_t round = st.rounds++;
+
+  if (eopts.max_round_retries <= 0) {
+    ++report.attempts;
+    try {
+      if (!st.begun[bucket]) begin_bucket_timed(st, comm, bucket, ws);
+      if (pipeline_enabled_) try_begin_next(st, comm);
+      inner_->bucket_finish(comm, st.fused, b.layers, rng, b.tag_base, ws);
+    } catch (const comm::CommError& e) {
+      report.ok = false;
+      report.incidents.push_back(
+          StepReport::Incident{e.src, e.dst, e.tag, e.what()});
+      throw;
+    }
+    return;
+  }
+
+  // Retry path (pipelining is off): a failed attempt leaves the bucket's
+  // slices partially reduced, so roll back from a pre-attempt snapshot.
+  const tensor::LayerLayout& layout = inner_->layout();
+  const std::span<float> snapshot = ws.floats(kSlotBucketSnapshot, b.numel);
+  std::size_t off = 0;
+  for (std::size_t l : b.layers) {
+    const auto slice = layout.slice(std::span<const float>(st.fused), l);
+    tensor::copy(slice, snapshot.subspan(off, slice.size()));
+    off += slice.size();
+  }
+  for (int attempt = 0;; ++attempt) {
+    ++report.attempts;
+    try {
+      if (eopts.injector != nullptr &&
+          eopts.injector->round_fails(round, attempt)) {
+        throw comm::TimeoutError(-1, comm.rank(), -1,
+                                 std::chrono::milliseconds{0},
+                                 "synthetic bucket-round failure "
+                                 "(fault harness)");
+      }
+      if (!st.begun[bucket]) begin_bucket_timed(st, comm, bucket, ws);
+      inner_->bucket_finish(comm, st.fused, b.layers, rng, b.tag_base, ws);
+      return;
+    } catch (const comm::CommError& e) {
+      report.incidents.push_back(
+          StepReport::Incident{e.src, e.dst, e.tag, e.what()});
+      st.begun[bucket] = 0;
+      if (attempt >= eopts.max_round_retries) {
+        report.ok = false;
+        throw;
+      }
+      ++report.retries;
+      CgxEngine::recover_world(comm);
+      off = 0;
+      for (std::size_t l : b.layers) {
+        auto slice = layout.slice(st.fused, l);
+        tensor::copy(snapshot.subspan(off, slice.size()), slice);
+        off += slice.size();
+      }
+    }
+  }
+}
+
+void AsyncGradientEngine::run_packet(RankState& st, comm::Comm& comm) {
+  const EngineOptions& eopts = inner_->options();
+  StepReport& report = st.report;
+  const std::uint64_t round = st.rounds++;
+  for (int attempt = 0;; ++attempt) {
+    ++report.attempts;
+    try {
+      if (eopts.max_round_retries > 0 && eopts.injector != nullptr &&
+          eopts.injector->round_fails(round, attempt)) {
+        throw comm::TimeoutError(-1, comm.rank(), -1,
+                                 std::chrono::milliseconds{0},
+                                 "synthetic bucket-round failure "
+                                 "(fault harness)");
+      }
+      inner_->packet_allreduce(comm, st.fused, st.packet_ws);
+      return;
+    } catch (const comm::CommError& e) {
+      report.incidents.push_back(
+          StepReport::Incident{e.src, e.dst, e.tag, e.what()});
+      if (eopts.max_round_retries <= 0 ||
+          attempt >= eopts.max_round_retries) {
+        report.ok = false;
+        throw;
+      }
+      ++report.retries;
+      CgxEngine::recover_world(comm);
+      // No rollback needed: the packet gathers from `fused` afresh each
+      // attempt and scatters back only after the collective succeeded.
+    }
+  }
+}
+
+void AsyncGradientEngine::wait_all(int rank) {
+  RankState& st = ranks_[static_cast<std::size_t>(rank)];
+  CGX_CHECK_EQ(st.notified, plan_.bucket_of.size())
+      << "every layer must be notified before wait_all";
+  const std::uint32_t expected = st.submitted;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (options_.overlap) {
+    std::uint32_t d;
+    while ((d = st.done.load(std::memory_order_acquire)) < expected) {
+      st.done.wait(d, std::memory_order_acquire);
+    }
+  }
+  const double exposed = seconds_since(t0);
+
+  StepReport& report = st.report;
+  report.timing.compute_s =
+      std::chrono::duration<double>(st.t_last_submit - st.t_begin).count();
+  report.timing.compress_s = st.compress_s;
+  report.timing.comm_s = st.comm_busy_s;
+  // Inline mode runs every bucket on the training thread, so all of its
+  // communication sits on the critical path.
+  report.timing.exposed_comm_s = options_.overlap ? exposed : st.comm_busy_s;
+
+  if (st.error) {
+    report.ok = false;
+    std::exception_ptr e = st.error;
+    st.error = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void AsyncGradientEngine::allreduce(comm::Comm& comm, std::span<float> fused,
+                                    util::Rng& rng) {
+  begin_step(comm, fused, rng);
+  const int rank = comm.rank();
+  for (std::size_t l = plan_.bucket_of.size(); l-- > 0;) {
+    notify_layer_ready(rank, l);
+  }
+  wait_all(rank);
+}
+
+CommPlan AsyncGradientEngine::comm_plan(const simgpu::CostModel& cost,
+                                        double compress_gbps) const {
+  return inner_->comm_plan(cost, compress_gbps);
+}
+
+const StepReport& AsyncGradientEngine::last_step_report(int rank) const {
+  return ranks_[static_cast<std::size_t>(rank)].report;
+}
+
+std::size_t AsyncGradientEngine::scratch_high_water_bytes() const {
+  std::size_t total = inner_->scratch_high_water_bytes();
+  for (const RankState& st : ranks_) {
+    total += st.arenas[0].high_water_bytes() +
+             st.arenas[1].high_water_bytes() +
+             st.packet_ws.high_water_bytes();
+  }
+  return total;
+}
+
+}  // namespace cgx::core

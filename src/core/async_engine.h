@@ -1,0 +1,198 @@
+// Streaming bucketed gradient engine: overlap compressed communication
+// with the backward pass.
+//
+// CGX's end-to-end wins (paper §4, Fig. 3) depend on communicating layers
+// in reverse order as their gradients become ready, so compression and
+// transfer hide behind the still-running backward compute. This facade
+// adds that streaming path on top of a CgxEngine:
+//
+//   * A deterministic size-threshold fusion plan (BucketPlan) groups the
+//     engine's compressed layers — walked in gradient PRODUCTION order,
+//     i.e. reverse layout order — into buckets of ~bucket_bytes raw
+//     gradient each. Filtered full-precision layers keep their fused
+//     packet, which ships as one pseudo-bucket once its last gradient
+//     materialises.
+//   * Each rank owns a dedicated comm thread fed by a lock-free
+//     single-producer/single-consumer ready queue. The training thread
+//     calls notify_layer_ready() from the backward hooks; when a bucket's
+//     last layer arrives it is submitted, and the comm thread runs the
+//     compressed collective on the bucket's own tag range
+//     (comm/tagspace.h) while backward keeps producing gradients.
+//   * Buckets alternate between two grow-only CollectiveWorkspace arenas,
+//     so with pipelining the round-1 compression of bucket k+1 (SRA's
+//     non-blocking begin half) overlaps the drain of bucket k.
+//   * wait_all() joins the step before the optimizer runs and fills the
+//     StepReport's per-phase Timing (compute / compress / comm / EXPOSED
+//     comm — the part that ended up on the critical path).
+//
+// Determinism: results are bit-identical between overlap=true and
+// overlap=false (and across ranks) because the bucket assignment is a pure
+// function of layout+policy, every bucket folds in fixed rank order inside
+// the collectives, and each bucket draws from its own RNG stream
+// (rng.split(bucket) after one parent advance per step) — so the thread
+// interleaving can only change WHEN work happens, never what it computes.
+//
+// Fault composition (PR 3): per-bucket round retries reuse the engine's
+// recover_world protocol over the facade's own comm-thread barrier;
+// pipelining is disabled when retries are on, because recovery resets
+// inbound channels and would drop the next bucket's in-flight frames.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/barrier.h"
+
+namespace cgx::core {
+
+struct AsyncOptions {
+  // Fusion threshold over RAW (FP32) gradient bytes: a bucket closes once
+  // it holds at least this much. DDP-style ~4 MiB default.
+  std::size_t bucket_bytes = std::size_t{4} << 20;
+  // false = run every bucket inline at submission on the training thread,
+  // in the exact submission order — the bit-identical synchronous
+  // comparator the equivalence suite diffs against.
+  bool overlap = true;
+  // Start bucket k+1's SRA round-1 compression before bucket k finished
+  // draining (double-buffered arenas). Auto-disabled when the inner
+  // engine's max_round_retries > 0 — recovery resets inbound channels,
+  // which would eat the pipelined bucket's frames.
+  bool pipeline = true;
+};
+
+// Deterministic fusion plan over a LayerLayout + resolved policy. Buckets
+// hold layout indices in gradient-production (descending) order; filtered
+// layers map to the trailing packet pseudo-bucket.
+struct BucketPlan {
+  struct Bucket {
+    std::vector<std::size_t> layers;  // layout indices, descending
+    std::size_t numel = 0;
+    std::size_t raw_bytes = 0;
+    int tag_base = 0;  // comm::bucket_tag_offset(index)
+  };
+  std::vector<Bucket> buckets;
+  bool has_packet = false;
+  // layer index -> bucket index; filtered layers -> packet_index().
+  std::vector<std::int32_t> bucket_of;
+
+  std::size_t packet_index() const { return buckets.size(); }
+  // Buckets plus the packet: how many submissions one step makes.
+  std::size_t total_submissions() const {
+    return buckets.size() + (has_packet ? 1u : 0u);
+  }
+};
+
+BucketPlan build_bucket_plan(const tensor::LayerLayout& layout,
+                             std::span<const LayerCompression> resolved,
+                             std::size_t bucket_bytes);
+
+class AsyncGradientEngine final : public GradientEngine {
+ public:
+  // Takes ownership of the inner engine. Requires flat mode (no node_of)
+  // and fuse_filtered_layers — the streaming plan covers every layer
+  // either via a compressed bucket or via the packet.
+  AsyncGradientEngine(std::unique_ptr<CgxEngine> inner,
+                      AsyncOptions options = {});
+  ~AsyncGradientEngine() override;
+
+  // Monolithic entry (GradientEngine interface): streams all layers in
+  // reverse layout order through the bucket machinery. Equivalent to
+  // begin_step + notify every layer + wait_all.
+  void allreduce(comm::Comm& comm, std::span<float> fused,
+                 util::Rng& rng) override;
+  CommPlan comm_plan(const simgpu::CostModel& cost,
+                     double compress_gbps) const override;
+  std::string name() const override { return "CGX-overlap"; }
+
+  // ---- Streaming API (one step per rank) ----
+  // begin_step arms the per-bucket countdowns and RNG streams; every layer
+  // must then be notified exactly once (any order, but all ranks must use
+  // the SAME order); wait_all blocks until every bucket drained and
+  // rethrows the first comm-thread failure. `fused` must stay valid until
+  // wait_all returns.
+  void begin_step(comm::Comm& comm, std::span<float> fused, util::Rng& rng);
+  void notify_layer_ready(int rank, std::size_t layer);
+  void wait_all(int rank);
+
+  // Rebuild after a policy mutation (adaptive swap). Must be called while
+  // the fabric is quiesced (all ranks between wait_all and the next
+  // begin_step, at a barrier). Warmed arenas and unchanged compressors
+  // carry across — see CgxEngine::rebuild().
+  void rebuild();
+
+  CgxEngine& inner() { return *inner_; }
+  const CgxEngine& inner() const { return *inner_; }
+  const BucketPlan& plan() const { return plan_; }
+  const AsyncOptions& async_options() const { return options_; }
+  const tensor::LayerLayout& layout() const { return inner_->layout(); }
+
+  // What happened to `rank`'s most recent step: bucket attempts/retries,
+  // incidents, and the per-phase Timing breakdown. `attempts` counts
+  // bucket attempts (a clean step shows one per submission).
+  const StepReport& last_step_report(int rank) const;
+
+  // Facade arenas + the inner engine's scratch; monotone after warm-up.
+  std::size_t scratch_high_water_bytes() const;
+
+ private:
+  // Tokens carry the bucket id in the low byte and the submission parity
+  // (arena selector) in bit 8; kStopToken shuts a comm thread down.
+  static constexpr std::uint32_t kStopToken = 0xffffu;
+
+  struct RankState {
+    // Comm thread + SPSC ready queue (overlap mode). The producer is the
+    // rank's training thread, the consumer its comm thread; the queue is
+    // sized so a step can never wrap unconsumed entries.
+    std::thread thread;
+    std::vector<std::uint32_t> queue;
+    std::atomic<std::uint32_t> q_tail{0};  // producer-advanced
+    std::atomic<std::uint32_t> q_head{0};  // consumer-advanced
+    std::atomic<std::uint32_t> done{0};
+    std::optional<comm::Comm> comm;  // comm-thread handle (facade barrier)
+    comm::Comm* inline_comm = nullptr;  // training-thread handle
+    std::exception_ptr error;  // first failure; synced via `done`
+
+    // Per-step streaming state (training-thread written).
+    std::span<float> fused;
+    std::vector<util::Rng> bucket_rngs;
+    std::vector<std::uint32_t> remaining;  // per-bucket layer countdown
+    std::uint32_t submitted = 0;
+    std::uint32_t notified = 0;
+    std::chrono::steady_clock::time_point t_begin;
+    std::chrono::steady_clock::time_point t_last_submit;
+
+    // Comm-path state (consumer-side in overlap mode).
+    std::vector<std::uint8_t> begun;  // bucket began early (pipelining)
+    std::uint64_t rounds = 0;         // bucket-round counter (fault keying)
+    double compress_s = 0.0;
+    double comm_busy_s = 0.0;
+    CollectiveWorkspace arenas[2];  // double-buffered bucket scratch
+    CollectiveWorkspace packet_ws;
+    StepReport report;
+  };
+
+  void submit(RankState& st, std::uint32_t bucket);
+  void process_token(RankState& st, comm::Comm& comm, std::uint32_t token);
+  void run_compressed(RankState& st, comm::Comm& comm, std::size_t bucket,
+                      CollectiveWorkspace& ws);
+  void run_packet(RankState& st, comm::Comm& comm);
+  void try_begin_next(RankState& st, comm::Comm& comm);
+  void begin_bucket_timed(RankState& st, comm::Comm& comm,
+                          std::size_t bucket, CollectiveWorkspace& ws);
+  void comm_thread_main(int rank);
+  void resize_rank_state();
+
+  std::unique_ptr<CgxEngine> inner_;
+  AsyncOptions options_;
+  BucketPlan plan_;
+  bool pipeline_enabled_ = false;
+  util::Barrier comm_barrier_;  // world-sized, comm threads only
+  std::vector<RankState> ranks_;
+};
+
+}  // namespace cgx::core

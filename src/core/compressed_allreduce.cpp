@@ -2,18 +2,21 @@
 
 #include <array>
 
+#include "comm/tagspace.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 
 namespace cgx::core {
 namespace {
 
-constexpr int kScatterTag = 210;
-constexpr int kGatherTag = 211;
-constexpr int kRingReduceTag = 220;
-constexpr int kRingGatherTag = 221;
-constexpr int kTreeReduceTag = 230;
-constexpr int kTreeBcastTag = 231;
+// Canonical tag bases live in comm/tagspace.h; a bucketed caller shifts
+// them by bucket_tag_offset(b) via the tag_base parameter.
+using comm::kRingGatherTag;
+using comm::kRingReduceTag;
+using comm::kSraGatherTag;
+using comm::kSraScatterTag;
+using comm::kTreeBcastTag;
+using comm::kTreeReduceTag;
 
 using comm::chunk_range;
 
@@ -54,23 +57,27 @@ void for_each_peer_by_arrival(comm::Comm& comm, int tag, Fn&& fn) {
 void compressed_allreduce(comm::Comm& comm, std::span<float> data,
                           std::span<Compressor* const> chunk_compressors,
                           util::Rng& rng, comm::ReductionScheme scheme,
-                          CollectiveWorkspace& ws) {
+                          CollectiveWorkspace& ws, int tag_base) {
   switch (scheme) {
     case comm::ReductionScheme::ScatterReduceAllgather:
-      compressed_allreduce_sra(comm, data, chunk_compressors, rng, ws);
+      compressed_allreduce_sra(comm, data, chunk_compressors, rng, ws,
+                               tag_base);
       return;
     case comm::ReductionScheme::Ring:
-      compressed_allreduce_ring(comm, data, chunk_compressors, rng, ws);
+      compressed_allreduce_ring(comm, data, chunk_compressors, rng, ws,
+                                tag_base);
       return;
     case comm::ReductionScheme::Tree:
-      compressed_allreduce_tree(comm, data, chunk_compressors, rng, ws);
+      compressed_allreduce_tree(comm, data, chunk_compressors, rng, ws,
+                                tag_base);
       return;
   }
 }
 
-void compressed_allreduce_sra(comm::Comm& comm, std::span<float> data,
-                              std::span<Compressor* const> chunk_compressors,
-                              util::Rng& rng, CollectiveWorkspace& ws) {
+void compressed_sra_begin(comm::Comm& comm, std::span<float> data,
+                          std::span<Compressor* const> chunk_compressors,
+                          util::Rng& rng, CollectiveWorkspace& ws,
+                          int tag_base) {
   const int n = comm.size();
   const int r = comm.rank();
   CGX_CHECK_EQ(chunk_compressors.size(), static_cast<std::size_t>(n));
@@ -85,8 +92,20 @@ void compressed_allreduce_sra(comm::Comm& comm, std::span<float> data,
         kSlotPayload, chunk_compressors[p]->compressed_size(chunk.size()));
     const std::size_t written =
         chunk_compressors[p]->compress(chunk, payload, rng);
-    comm.send(p, payload.first(written), kScatterTag);
+    comm.send(p, payload.first(written), kSraScatterTag + tag_base);
   }
+}
+
+void compressed_sra_finish(comm::Comm& comm, std::span<float> data,
+                           std::span<Compressor* const> chunk_compressors,
+                           util::Rng& rng, CollectiveWorkspace& ws,
+                           int tag_base) {
+  const int n = comm.size();
+  const int r = comm.rank();
+  CGX_CHECK_EQ(chunk_compressors.size(), static_cast<std::size_t>(n));
+  if (n == 1 || data.empty()) return;
+  const int scatter_tag = kSraScatterTag + tag_base;
+  const int gather_tag = kSraGatherTag + tag_base;
 
   // Aggregate my chunk: my raw contribution plus N-1 decompressed ones.
   // Payloads are received AND decompressed in arrival order — each into its
@@ -103,8 +122,8 @@ void compressed_allreduce_sra(comm::Comm& comm, std::span<float> data,
   const auto slot_of = [r](int p) {
     return static_cast<std::size_t>(p < r ? p : p - 1);
   };
-  for_each_peer_by_arrival(comm, kScatterTag, [&](int p) {
-    comm.recv(p, in_payload, kScatterTag);
+  for_each_peer_by_arrival(comm, scatter_tag, [&](int p) {
+    comm.recv(p, in_payload, scatter_tag);
     chunk_compressors[r]->decompress(
         in_payload, staged.subspan(slot_of(p) * mine.size(), mine.size()));
   });
@@ -123,30 +142,41 @@ void compressed_allreduce_sra(comm::Comm& comm, std::span<float> data,
   const std::span<const std::byte> reduced = payload.first(written);
   for (int p = 0; p < n; ++p) {
     if (p == r) continue;
-    comm.send(p, reduced, kGatherTag);
+    comm.send(p, reduced, gather_tag);
   }
   chunk_compressors[r]->decompress(reduced, mine);
   // Reduced chunks land in disjoint regions, so arrival order cannot
   // change the final bytes here.
-  for_each_peer_by_arrival(comm, kGatherTag, [&](int p) {
+  for_each_peer_by_arrival(comm, gather_tag, [&](int p) {
     const auto [first, last] = chunk_range(data.size(), n, p);
     std::span<float> chunk = data.subspan(first, last - first);
     const std::span<std::byte> gathered = ws.bytes(
         kSlotInPayload, chunk_compressors[p]->compressed_size(chunk.size()));
-    comm.recv(p, gathered, kGatherTag);
+    comm.recv(p, gathered, gather_tag);
     chunk_compressors[p]->decompress(gathered, chunk);
   });
 }
 
+void compressed_allreduce_sra(comm::Comm& comm, std::span<float> data,
+                              std::span<Compressor* const> chunk_compressors,
+                              util::Rng& rng, CollectiveWorkspace& ws,
+                              int tag_base) {
+  compressed_sra_begin(comm, data, chunk_compressors, rng, ws, tag_base);
+  compressed_sra_finish(comm, data, chunk_compressors, rng, ws, tag_base);
+}
+
 void compressed_allreduce_ring(comm::Comm& comm, std::span<float> data,
                                std::span<Compressor* const> chunk_compressors,
-                               util::Rng& rng, CollectiveWorkspace& ws) {
+                               util::Rng& rng, CollectiveWorkspace& ws,
+                               int tag_base) {
   const int n = comm.size();
   const int r = comm.rank();
   CGX_CHECK_EQ(chunk_compressors.size(), static_cast<std::size_t>(n));
   if (n == 1 || data.empty()) return;
   const int right = (r + 1) % n;
   const int left = (r - 1 + n) % n;
+  const int reduce_tag = kRingReduceTag + tag_base;
+  const int gather_tag = kRingGatherTag + tag_base;
 
   // Reduce-scatter phase: the partial sum is re-compressed at EVERY hop —
   // this is precisely the iterated compression error §3 charges against
@@ -162,7 +192,7 @@ void compressed_allreduce_ring(comm::Comm& comm, std::span<float> data,
           chunk_compressors[send_idx]->compressed_size(chunk.size()));
       const std::size_t written =
           chunk_compressors[send_idx]->compress(chunk, payload, rng);
-      comm.send(right, payload.first(written), kRingReduceTag);
+      comm.send(right, payload.first(written), reduce_tag);
     }
     {
       const auto [rf, rl] = chunk_range(data.size(), n, recv_idx);
@@ -170,7 +200,7 @@ void compressed_allreduce_ring(comm::Comm& comm, std::span<float> data,
       const std::span<std::byte> payload = ws.bytes(
           kSlotInPayload,
           chunk_compressors[recv_idx]->compressed_size(chunk.size()));
-      comm.recv(left, payload, kRingReduceTag);
+      comm.recv(left, payload, reduce_tag);
       const std::span<float> incoming =
           ws.floats(kSlotIncoming, chunk.size());
       chunk_compressors[recv_idx]->decompress(payload, incoming);
@@ -202,7 +232,7 @@ void compressed_allreduce_ring(comm::Comm& comm, std::span<float> data,
     const std::span<const std::byte> outbound =
         ws.bytes(kSlotRingBase + static_cast<std::size_t>(send_idx),
                  sizes[static_cast<std::size_t>(send_idx)]);
-    comm.send(right, outbound, kRingGatherTag);
+    comm.send(right, outbound, gather_tag);
     const auto [rf, rl] = chunk_range(data.size(), n, recv_idx);
     std::span<float> chunk = data.subspan(rf, rl - rf);
     sizes[static_cast<std::size_t>(recv_idx)] =
@@ -210,19 +240,22 @@ void compressed_allreduce_ring(comm::Comm& comm, std::span<float> data,
     const std::span<std::byte> buf =
         ws.bytes(kSlotRingBase + static_cast<std::size_t>(recv_idx),
                  sizes[static_cast<std::size_t>(recv_idx)]);
-    comm.recv(left, buf, kRingGatherTag);
+    comm.recv(left, buf, gather_tag);
     chunk_compressors[recv_idx]->decompress(buf, chunk);
   }
 }
 
 void compressed_allreduce_tree(comm::Comm& comm, std::span<float> data,
                                std::span<Compressor* const> chunk_compressors,
-                               util::Rng& rng, CollectiveWorkspace& ws) {
+                               util::Rng& rng, CollectiveWorkspace& ws,
+                               int tag_base) {
   const int n = comm.size();
   const int r = comm.rank();
   CGX_CHECK_GE(chunk_compressors.size(), 1u);
   if (n == 1 || data.empty()) return;
   Compressor& compressor = *chunk_compressors[0];
+  const int reduce_tag = kTreeReduceTag + tag_base;
+  const int bcast_tag = kTreeBcastTag + tag_base;
 
   int top = 1;
   while (top < n) top <<= 1;
@@ -237,9 +270,9 @@ void compressed_allreduce_tree(comm::Comm& comm, std::span<float> data,
   for (int mask = top; mask >= 1; mask >>= 1) {
     if (r >= mask && r < 2 * mask) {
       const std::size_t written = compressor.compress(data, payload, rng);
-      comm.send(r - mask, payload.first(written), kTreeReduceTag);
+      comm.send(r - mask, payload.first(written), reduce_tag);
     } else if (r < mask && r + mask < n) {
-      comm.recv(r + mask, payload, kTreeReduceTag);
+      comm.recv(r + mask, payload, reduce_tag);
       compressor.decompress(payload, incoming);
       tensor::add_inplace(data, incoming);
     }
@@ -253,10 +286,10 @@ void compressed_allreduce_tree(comm::Comm& comm, std::span<float> data,
   }
   for (int mask = 1; mask < n; mask <<= 1) {
     if (r < mask && r + mask < n) {
-      comm.send(r + mask, payload, kTreeBcastTag);
+      comm.send(r + mask, payload, bcast_tag);
     } else if (r >= mask && r < 2 * mask) {
       payload = ws.bytes(kSlotPayload, full_payload);
-      comm.recv(r - mask, payload, kTreeBcastTag);
+      comm.recv(r - mask, payload, bcast_tag);
       compressor.decompress(payload, data);
     }
   }

@@ -37,20 +37,53 @@ namespace cgx::core {
 // all ranks). `ws` is the rank's scratch arena: all payload and
 // accumulation buffers come out of it, so a warmed-up workspace makes the
 // whole call allocation-free.
+//
+// `tag_base` shifts every tag the collective uses (comm/tagspace.h): the
+// bucketed streaming engine gives each fusion bucket a disjoint tag range
+// so several collectives can be in flight on the fabric at once. 0 (the
+// default) is the legacy monolithic range.
 void compressed_allreduce(comm::Comm& comm, std::span<float> data,
                           std::span<Compressor* const> chunk_compressors,
                           util::Rng& rng, comm::ReductionScheme scheme,
-                          CollectiveWorkspace& ws);
+                          CollectiveWorkspace& ws, int tag_base = 0);
 
 void compressed_allreduce_sra(comm::Comm& comm, std::span<float> data,
                               std::span<Compressor* const> chunk_compressors,
-                              util::Rng& rng, CollectiveWorkspace& ws);
+                              util::Rng& rng, CollectiveWorkspace& ws,
+                              int tag_base = 0);
 void compressed_allreduce_ring(comm::Comm& comm, std::span<float> data,
                                std::span<Compressor* const> chunk_compressors,
-                               util::Rng& rng, CollectiveWorkspace& ws);
+                               util::Rng& rng, CollectiveWorkspace& ws,
+                               int tag_base = 0);
 void compressed_allreduce_tree(comm::Comm& comm, std::span<float> data,
                                std::span<Compressor* const> chunk_compressors,
-                               util::Rng& rng, CollectiveWorkspace& ws);
+                               util::Rng& rng, CollectiveWorkspace& ws,
+                               int tag_base = 0);
+
+// The SRA collective split at its natural pipeline boundary, for the
+// streaming engine's compression/transfer overlap:
+//
+//   begin — round 1 only: compress each remote chunk once and ship it to
+//           its aggregating rank. Sends are buffered, so this returns
+//           without waiting on any peer — it is pure local compression
+//           plus channel pushes, and can run while the previous bucket's
+//           finish is still draining the fabric.
+//   finish — drain round-1 contributions (arrival order, fixed-rank-order
+//           folds), then round 2: compress the reduced chunk, broadcast,
+//           decompress. Blocks on peers.
+//
+// begin(b) followed by finish(b) is bit-identical to
+// compressed_allreduce_sra(b): same compressor calls in the same order on
+// the same RNG stream. The two halves must see the same arguments, and no
+// other traffic may use this tag range in between.
+void compressed_sra_begin(comm::Comm& comm, std::span<float> data,
+                          std::span<Compressor* const> chunk_compressors,
+                          util::Rng& rng, CollectiveWorkspace& ws,
+                          int tag_base = 0);
+void compressed_sra_finish(comm::Comm& comm, std::span<float> data,
+                           std::span<Compressor* const> chunk_compressors,
+                           util::Rng& rng, CollectiveWorkspace& ws,
+                           int tag_base = 0);
 
 // Back-compat convenience overloads: identical semantics, but each call
 // heap-allocates a transient workspace. Fine for tests and one-shot

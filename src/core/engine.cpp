@@ -101,6 +101,17 @@ double scheme_egress_bytes(comm::ReductionScheme scheme, std::size_t n,
 
 // Cost of the two-level schedule: intra-node member->leader reduce (full
 // precision), compressed SRA among leaders, intra-node broadcast back.
+// Field-wise policy equality for the differential rebuild: a layer whose
+// resolved config is unchanged keeps its warmed compressors (and their
+// error-feedback residuals / PowerSGD warm starts) across rebuild().
+bool same_policy(const LayerCompression& a, const LayerCompression& b) {
+  return a.method == b.method && a.bits == b.bits &&
+         a.bucket_size == b.bucket_size && a.topk_ratio == b.topk_ratio &&
+         a.rank == b.rank && a.fake_ratio == b.fake_ratio &&
+         a.error_feedback == b.error_feedback &&
+         a.powersgd_fp16 == b.powersgd_fp16;
+}
+
 double hierarchical_layer_seconds(const simgpu::CostModel& cost,
                                   const std::vector<int>& node_of,
                                   double raw_bytes,
@@ -145,6 +156,12 @@ CgxEngine::CgxEngine(const tensor::LayerLayout& layout,
 }
 
 void CgxEngine::rebuild() {
+  // Differential rebuild: ranks_ (and with it every RankState's grow-only
+  // CollectiveWorkspace) survives, and only layers whose resolved policy
+  // changed get fresh compressors. An adaptive policy swap used to clear
+  // ranks_ wholesale, throwing warmed arenas away and re-triggering
+  // steady-state allocations on the next step.
+  std::vector<LayerCompression> previous = std::move(resolved_);
   resolved_.clear();
   resolved_.reserve(layout_.layer_count());
   filtered_layers_.clear();
@@ -157,8 +174,9 @@ void CgxEngine::rebuild() {
       packet_numel_ += info.numel;
     }
   }
-  ranks_.clear();
-  ranks_.resize(static_cast<std::size_t>(world_size_));
+  if (ranks_.empty()) {
+    ranks_.resize(static_cast<std::size_t>(world_size_));
+  }
   for (auto& rank : ranks_) {
     rank.per_layer.resize(layout_.layer_count());
     rank.chunk_ptrs.resize(layout_.layer_count());
@@ -166,6 +184,12 @@ void CgxEngine::rebuild() {
       const LayerCompression& cfg = resolved_[l];
       auto& chunks = rank.per_layer[l];
       auto& ptrs = rank.chunk_ptrs[l];
+      if (l < previous.size() && same_policy(previous[l], cfg) &&
+          (cfg.method == Method::None
+               ? chunks.empty()
+               : chunks.size() == static_cast<std::size_t>(world_size_))) {
+        continue;  // unchanged layer keeps its warmed compressors
+      }
       chunks.clear();
       ptrs.clear();
       if (cfg.method == Method::None) continue;
@@ -242,14 +266,14 @@ void CgxEngine::allreduce(comm::Comm& comm, std::span<float> fused,
       ++report.retries;
       // Every rank must agree to retry and quiesce before buffers are
       // reused; if agreement fails the world is broken for good and the
-      // TimeoutError from recover_round propagates.
-      recover_round(comm);
+      // TimeoutError from recover_world propagates.
+      recover_world(comm);
       tensor::copy(std::span<const float>(snapshot), fused);
     }
   }
 }
 
-void CgxEngine::recover_round(comm::Comm& comm) {
+void CgxEngine::recover_world(comm::Comm& comm) {
   // The agreement wait must be bounded even under an unbounded policy —
   // otherwise a rank that died (rather than failed transiently) would hang
   // the retry protocol forever.
@@ -320,6 +344,69 @@ void CgxEngine::allreduce_attempt(comm::Comm& comm, std::span<float> fused,
 
   if (options_.average && world_size_ > 1) {
     tensor::scale(fused, 1.0f / static_cast<float>(world_size_));
+  }
+}
+
+void CgxEngine::bucket_begin(comm::Comm& comm, std::span<float> fused,
+                             std::span<const std::size_t> layers,
+                             util::Rng& rng, int tag_base,
+                             CollectiveWorkspace& ws) {
+  CGX_CHECK(options_.node_of.empty())
+      << "bucketed streaming requires flat (single-level) communication";
+  if (!supports_split()) return;  // Ring/Tree: all work happens in finish
+  RankState& state = ranks_[static_cast<std::size_t>(comm.rank())];
+  for (std::size_t l : layers) {
+    compressed_sra_begin(comm, layout_.slice(fused, l), state.chunk_ptrs[l],
+                         rng, ws, tag_base);
+  }
+}
+
+void CgxEngine::bucket_finish(comm::Comm& comm, std::span<float> fused,
+                              std::span<const std::size_t> layers,
+                              util::Rng& rng, int tag_base,
+                              CollectiveWorkspace& ws) {
+  CGX_CHECK(options_.node_of.empty())
+      << "bucketed streaming requires flat (single-level) communication";
+  RankState& state = ranks_[static_cast<std::size_t>(comm.rank())];
+  const bool split = supports_split();
+  for (std::size_t l : layers) {
+    const std::span<float> slice = layout_.slice(fused, l);
+    if (split) {
+      compressed_sra_finish(comm, slice, state.chunk_ptrs[l], rng, ws,
+                            tag_base);
+    } else {
+      compressed_allreduce(comm, slice, state.chunk_ptrs[l], rng,
+                           options_.scheme, ws, tag_base);
+    }
+  }
+  if (options_.average && world_size_ > 1) {
+    // Per-slice averaging: multiplying each element by the same scalar is
+    // bit-identical to the monolithic path's whole-buffer scale.
+    const float inv = 1.0f / static_cast<float>(world_size_);
+    for (std::size_t l : layers) tensor::scale(layout_.slice(fused, l), inv);
+  }
+}
+
+void CgxEngine::packet_allreduce(comm::Comm& comm, std::span<float> fused,
+                                 CollectiveWorkspace& ws) {
+  if (packet_numel_ == 0) return;
+  const std::span<float> packet = ws.floats(kSlotPacket, packet_numel_);
+  std::size_t offset = 0;
+  for (std::size_t l : filtered_layers_) {
+    const auto slice = layout_.slice(std::span<const float>(fused), l);
+    tensor::copy(slice, packet.subspan(offset, slice.size()));
+    offset += slice.size();
+  }
+  comm::allreduce(comm, packet, options_.scheme,
+                  ws.floats(kSlotCommScratch, packet_numel_));
+  if (options_.average && world_size_ > 1) {
+    tensor::scale(packet, 1.0f / static_cast<float>(world_size_));
+  }
+  offset = 0;
+  for (std::size_t l : filtered_layers_) {
+    auto slice = layout_.slice(fused, l);
+    tensor::copy(packet.subspan(offset, slice.size()), slice);
+    offset += slice.size();
   }
 }
 

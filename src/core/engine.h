@@ -75,10 +75,22 @@ struct StepReport {
     int tag;
     std::string what;
   };
+  // Per-phase wall-clock breakdown of one streamed step, filled by
+  // AsyncGradientEngine (the synchronous engines leave it zeroed). The
+  // overlap win is `comm_s - exposed_comm_s`: communication that ran while
+  // the backward pass was still producing gradients. See README "Reading
+  // the StepReport timing breakdown".
+  struct Timing {
+    double compute_s = 0.0;       // begin_step -> last bucket submission
+    double compress_s = 0.0;      // round-1 compression inside bucket_begin
+    double comm_s = 0.0;          // total busy time on the bucket comm path
+    double exposed_comm_s = 0.0;  // wait_all() blocking time (not hidden)
+  };
   bool ok = true;
   int attempts = 0;  // 1 = clean first try
   int retries = 0;
   std::vector<Incident> incidents;
+  Timing timing;
 };
 
 // Analytic communication plan for one training step, consumed by
@@ -119,9 +131,12 @@ class CgxEngine final : public GradientEngine {
                      double compress_gbps) const override;
   std::string name() const override { return "CGX"; }
 
-  // Policy access; call rebuild() after mutating so per-layer operators are
-  // re-instantiated (the adaptive assigner uses this every re-assignment
-  // period).
+  // Policy access; call rebuild() after mutating so per-layer operators
+  // match the new policy (the adaptive assigner uses this every
+  // re-assignment period). Rebuild is differential: only layers whose
+  // resolved policy actually changed get fresh compressors, so warmed
+  // workspaces and untouched compressor scratch carry across a policy
+  // switch and the steady state stays allocation-free.
   CompressionConfig& config() { return config_; }
   const CompressionConfig& config() const { return config_; }
   void rebuild();
@@ -131,6 +146,47 @@ class CgxEngine final : public GradientEngine {
 
   // Resolved policy per layer (after filters), for inspection and tests.
   const std::vector<LayerCompression>& resolved() const { return resolved_; }
+
+  // Layers routed to the fused full-precision packet, and its total numel.
+  const std::vector<std::size_t>& filtered_layers() const {
+    return filtered_layers_;
+  }
+  std::size_t packet_numel() const { return packet_numel_; }
+  const EngineOptions& options() const { return options_; }
+
+  // ---- Streaming bucket entry points (used by AsyncGradientEngine) ----
+  //
+  // A bucket is a subset of this engine's COMPRESSED layers; the caller
+  // runs each bucket's collective on its own tag range (comm/tagspace.h)
+  // and its own workspace arena, so several buckets can be in flight at
+  // once. bucket_begin is the non-blocking half (SRA round-1 compress +
+  // buffered sends; a no-op for Ring/Tree, whose hop structure has no
+  // split point); bucket_finish completes the reduction and applies the
+  // 1/world averaging to the bucket's slices. begin(b) + finish(b) over
+  // all buckets plus one packet_allreduce is bit-identical to allreduce()
+  // given the same per-bucket RNG streams. Flat mode only (node_of empty).
+  void bucket_begin(comm::Comm& comm, std::span<float> fused,
+                    std::span<const std::size_t> layers, util::Rng& rng,
+                    int tag_base, CollectiveWorkspace& ws);
+  void bucket_finish(comm::Comm& comm, std::span<float> fused,
+                     std::span<const std::size_t> layers, util::Rng& rng,
+                     int tag_base, CollectiveWorkspace& ws);
+  // The filtered layers' fused FP32 packet as one standalone collective
+  // (gather -> uncompressed allreduce -> scatter + averaging).
+  void packet_allreduce(comm::Comm& comm, std::span<float> fused,
+                        CollectiveWorkspace& ws);
+  // True when bucket_begin actually starts work early (SRA, flat mode):
+  // the precondition for the engine's compression/transfer pipelining.
+  bool supports_split() const {
+    return options_.scheme == comm::ReductionScheme::ScatterReduceAllgather &&
+           options_.node_of.empty();
+  }
+
+  // Round-retry recovery protocol, shared with AsyncGradientEngine's
+  // per-bucket retries: deadline-bounded agreement barrier, per-rank
+  // inbound reset, second barrier. Throws TimeoutError if the world cannot
+  // agree (a peer died for good). All ranks must call it together.
+  static void recover_world(comm::Comm& comm);
 
   // Bytes each rank puts on the wire per step (compressed), and the FP32
   // baseline's, for compression-ratio reporting (Fig. 5b / Table 7).
@@ -164,10 +220,6 @@ class CgxEngine final : public GradientEngine {
   // One full reduction pass — the body a round retry re-runs.
   void allreduce_attempt(comm::Comm& comm, std::span<float> fused,
                          util::Rng& rng, RankState& state);
-  // Round-retry recovery protocol: deadline-bounded agreement barrier,
-  // per-rank inbound reset, second barrier. Throws TimeoutError if the
-  // world cannot agree (a peer died for good).
-  void recover_round(comm::Comm& comm);
 
   double layer_wire_bytes(std::size_t layer_index,
                           comm::ReductionScheme scheme, bool compressed) const;

@@ -18,6 +18,7 @@
 //    step (this mirrors the framework behaviour compression hooks rely on).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -60,6 +61,25 @@ class Module {
   }
 
   virtual std::string kind() const = 0;
+
+  // ---- Gradient-ready hook (streaming engines) ----
+  // Containers fire a child's hook right after the child's backward()
+  // returns, i.e. the moment its parameter gradients are final for the
+  // step. Sequential walks children in reverse, so hooks observe layers in
+  // gradient-production order — exactly what an overlapped communication
+  // engine (core::AsyncGradientEngine) needs to start shipping buckets
+  // while the rest of the backward pass still runs.
+  using GradReadyHook = std::function<void(Module&)>;
+  void set_grad_ready_hook(GradReadyHook hook) {
+    grad_ready_hook_ = std::move(hook);
+  }
+  void clear_grad_ready_hook() { grad_ready_hook_ = nullptr; }
+  void fire_grad_ready() {
+    if (grad_ready_hook_) grad_ready_hook_(*this);
+  }
+
+ private:
+  GradReadyHook grad_ready_hook_;
 };
 
 // Zeroes all parameter gradients.

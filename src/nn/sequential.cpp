@@ -24,6 +24,10 @@ const tensor::Tensor& Sequential::backward(const tensor::Tensor& grad_out) {
   const tensor::Tensor* cur = &grad_out;
   for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {
     cur = &(*it)->backward(*cur);
+    // The child's parameter gradients are final now (backward runs once
+    // per step); let streaming consumers ship them while earlier layers
+    // are still differentiating.
+    (*it)->fire_grad_ready();
   }
   return *cur;
 }

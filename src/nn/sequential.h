@@ -27,6 +27,7 @@ class Sequential final : public Module {
   std::string kind() const override { return "sequential"; }
 
   std::size_t size() const { return modules_.size(); }
+  Module& module(std::size_t i) { return *modules_.at(i); }
 
  private:
   std::vector<std::unique_ptr<Module>> modules_;

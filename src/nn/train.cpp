@@ -2,6 +2,8 @@
 
 #include <mutex>
 
+#include "core/async_engine.h"
+#include "tensor/tensor_ops.h"
 #include "util/check.h"
 
 namespace cgx::nn {
@@ -64,6 +66,19 @@ TrainResult train_distributed(const ModelFactory& model_factory,
       engine_factory(layout, options.world_size);
   CGX_CHECK(engine != nullptr);
   auto* cgx = dynamic_cast<core::CgxEngine*>(engine.get());
+  auto* async = dynamic_cast<core::AsyncGradientEngine*>(engine.get());
+  if (options.overlap && async == nullptr && cgx != nullptr) {
+    // The factory handed us a plain flat CgxEngine; wrap it in the
+    // streaming facade so buckets ship from the backward hooks.
+    std::unique_ptr<core::CgxEngine> owned(
+        static_cast<core::CgxEngine*>(engine.release()));
+    core::AsyncOptions async_options;
+    async_options.bucket_bytes = options.overlap_bucket_bytes;
+    engine = std::make_unique<core::AsyncGradientEngine>(
+        std::move(owned), async_options);
+    async = static_cast<core::AsyncGradientEngine*>(engine.get());
+  }
+  if (async != nullptr) cgx = &async->inner();
   const bool adaptive = options.assigner != nullptr &&
                         options.reassign_every > 0 && cgx != nullptr;
 
@@ -83,15 +98,51 @@ TrainResult train_distributed(const ModelFactory& model_factory,
         util::Rng(options.seed).split(1000 + static_cast<std::uint64_t>(rank));
     std::vector<float> fused(layout.total_numel());
 
+    // Streaming path: install per-child gradient-ready hooks that copy the
+    // child's freshly-final gradients into the fused buffer and notify the
+    // async engine, so bucket communication starts while backward is still
+    // running. Falls back to the monolithic allreduce (which the facade
+    // also implements) when the model isn't a Sequential.
+    auto* seq = async != nullptr ? dynamic_cast<Sequential*>(model.get())
+                                 : nullptr;
+    const bool streaming = seq != nullptr;
+    if (streaming) {
+      std::size_t offset = 0;
+      for (std::size_t i = 0; i < seq->size(); ++i) {
+        std::vector<Param*> child_params;
+        seq->module(i).collect_params("", child_params);
+        const std::size_t begin = offset;
+        const std::size_t end = offset + child_params.size();
+        offset = end;
+        if (begin == end) continue;
+        seq->module(i).set_grad_ready_hook([&, begin, end, rank](Module&) {
+          // Within a child, notify in reverse parameter order to match
+          // the facade's gradient-production convention (identical on
+          // every rank, which is all the engine requires).
+          for (std::size_t l = end; l-- > begin;) {
+            tensor::copy(params[l]->grad.data(),
+                         layout.slice(std::span<float>(fused), l));
+            async->notify_layer_ready(rank, l);
+          }
+        });
+      }
+      CGX_CHECK_EQ(offset, params.size());
+    }
+
     for (std::size_t step = 0; step < options.steps; ++step) {
       const Batch batch = batches(rank, step);
       const tensor::Tensor& out = model->forward(batch.input, /*train=*/true);
       tensor::Tensor grad_out;
       const double l = loss(out, batch, grad_out);
-      model->backward(grad_out);
-
-      gather_grads(params, layout, fused);
-      engine->allreduce(comm, fused, engine_rng);
+      if (streaming) {
+        async->begin_step(comm, fused, engine_rng);
+        model->backward(grad_out);  // hooks gather + notify per layer
+        async->wait_all(rank);
+      } else {
+        model->backward(grad_out);
+        gather_grads(params, layout, fused);
+        engine->allreduce(comm, fused, engine_rng);
+      }
       scatter_grads(fused, layout, params);
 
       if (options.clip_norm > 0.0) {
@@ -122,12 +173,26 @@ TrainResult train_distributed(const ModelFactory& model_factory,
               stats, compressible, options.adaptive, assign_rng);
           core::apply_assignment(assignment, layout, cgx->config(),
                                  options.adaptive.bucket_size);
-          cgx->rebuild();
+          // Rebuild through the facade when present so the bucket plan
+          // tracks the new filtered set; warmed arenas and unchanged
+          // compressors carry across either way.
+          if (async != nullptr) {
+            async->rebuild();
+          } else {
+            cgx->rebuild();
+          }
           stats.reset();
           std::lock_guard<std::mutex> lock(result_mutex);
           result.assignments.push_back(std::move(assignment));
         }
         comm.barrier();  // all ranks resume under the new policy
+      }
+    }
+    if (streaming) {
+      // The hooks capture stack locals of this worker; drop them before
+      // the model escapes to the caller.
+      for (std::size_t i = 0; i < seq->size(); ++i) {
+        seq->module(i).clear_grad_ready_hook();
       }
     }
     if (rank == 0) {

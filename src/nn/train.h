@@ -66,6 +66,13 @@ struct TrainOptions {
   core::Assigner* assigner = nullptr;
   std::size_t reassign_every = 0;
   core::AdaptiveOptions adaptive;
+  // Streaming overlapped communication (paper §4, Fig. 3): wrap the
+  // engine in a core::AsyncGradientEngine (when the factory returned a
+  // flat CgxEngine) and ship gradient buckets from the backward hooks
+  // instead of one monolithic allreduce after backward. Results are
+  // bit-identical to overlap=false by construction (test-enforced).
+  bool overlap = false;
+  std::size_t overlap_bucket_bytes = std::size_t{4} << 20;
   // Called on rank 0 after every step with the step's loss.
   std::function<void(std::size_t, double)> on_step;
 };

@@ -1,0 +1,106 @@
+// Zero-steady-state-allocation harness for the streaming engine
+// (`ctest -L alloc`, own binary: one operator-new override per binary).
+//
+// After warm-up — ring slabs at final size, both per-rank arenas and the
+// packet workspace grown, comm threads spawned, report vectors at capacity
+// — a full streamed step (begin_step, per-layer notify, bucket collectives
+// on the comm threads, wait_all) must make zero heap allocations anywhere
+// in the process. This is the async analogue of the transport-level
+// guarantee in tests/comm/transport_alloc_test.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/async_engine.h"
+#include "comm/transports.h"
+#include "comm/world.h"
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+std::atomic<bool> g_counting{false};
+std::atomic<std::size_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+
+namespace cgx::core {
+namespace {
+
+TEST(AsyncEngineAlloc, StreamedStepAllocationFreeAfterWarmup) {
+  constexpr int kWorld = 4;
+  tensor::LayerLayout layout;
+  layout.add_layer("embed.weight", tensor::Shape{2000, 32});
+  layout.add_layer("block0.attn.weight", tensor::Shape{32, 96});
+  layout.add_layer("block0.attn.bias", tensor::Shape{96});
+  layout.add_layer("block0.ffn.weight", tensor::Shape{32, 128});
+  layout.add_layer("head.weight", tensor::Shape{32, 50});
+
+  AsyncOptions aopts;
+  aopts.bucket_bytes = std::size_t{32} << 10;
+  AsyncGradientEngine engine(
+      std::make_unique<CgxEngine>(layout, CompressionConfig::cgx_default(),
+                                  kWorld),
+      aopts);
+
+  comm::ShmTransport transport(kWorld);
+  std::atomic<std::size_t> hwm_before{0};
+  std::atomic<std::size_t> hwm_after{0};
+  comm::run_world(transport, [&](comm::Comm& comm) {
+    const int rank = comm.rank();
+    util::Rng rng(9000 + static_cast<std::uint64_t>(rank));
+    util::Rng grad_rng(4000 + static_cast<std::uint64_t>(rank));
+    std::vector<float> grad(layout.total_numel());
+    const auto step = [&] {
+      // Refill in place — gradient generation must not allocate either.
+      for (auto& v : grad) v = static_cast<float>(grad_rng.next_gaussian());
+      engine.begin_step(comm, grad, rng);
+      for (std::size_t l = layout.layer_count(); l-- > 0;) {
+        engine.notify_layer_ready(rank, l);
+      }
+      engine.wait_all(rank);
+    };
+    for (int i = 0; i < 3; ++i) step();  // warm-up
+
+    comm.barrier();
+    if (rank == 0) {
+      hwm_before.store(engine.scratch_high_water_bytes());
+      g_allocs.store(0);
+      g_counting.store(true);
+    }
+    comm.barrier();
+    for (int i = 0; i < 5; ++i) step();  // counted steady-state window
+    comm.barrier();
+    if (rank == 0) {
+      g_counting.store(false);
+      hwm_after.store(engine.scratch_high_water_bytes());
+    }
+  });
+
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "heap allocations observed in the steady-state streamed step";
+  EXPECT_GT(hwm_before.load(), 0u);
+  EXPECT_EQ(hwm_before.load(), hwm_after.load())
+      << "collective workspaces grew after warm-up";
+}
+
+}  // namespace
+}  // namespace cgx::core

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "core/async_engine.h"
 #include "data/synthetic.h"
 #include "models/small_models.h"
 
@@ -152,6 +153,61 @@ TEST(TrainDistributed, AdaptiveReassignmentRuns) {
     EXPECT_LE(a.measured_error, options.adaptive.alpha * a.reference_error *
                                     1.02);
   }
+}
+
+TEST(TrainDistributed, OverlapBitIdenticalToInlineStreaming) {
+  // The streamed backward-hook path with comm threads must produce the
+  // exact loss trajectory of the facade's inline mode: same hooks, same
+  // bucket submissions, collectives just run on the training thread.
+  data::BlobDataset dataset(kClasses, kDim, 49);
+  auto async_engine = [](bool overlap) {
+    return EngineFactory([overlap](const tensor::LayerLayout& layout,
+                                   int world) {
+      core::AsyncOptions aopts;
+      aopts.bucket_bytes = std::size_t{4} << 10;
+      aopts.overlap = overlap;
+      return std::make_unique<core::AsyncGradientEngine>(
+          std::make_unique<core::CgxEngine>(
+              layout, core::CompressionConfig::cgx_default(), world),
+          aopts);
+    });
+  };
+  TrainOptions options;
+  options.world_size = 4;
+  options.steps = 30;
+  options.seed = 11;
+  TrainResult overlapped = train_distributed(
+      mlp_factory(), sgd_factory(0.05), async_engine(true),
+      blob_batches(dataset, 16), make_xent_loss(kClasses), options);
+  TrainResult inlined = train_distributed(
+      mlp_factory(), sgd_factory(0.05), async_engine(false),
+      blob_batches(dataset, 16), make_xent_loss(kClasses), options);
+  ASSERT_EQ(overlapped.loss_history.size(), inlined.loss_history.size());
+  for (std::size_t i = 0; i < overlapped.loss_history.size(); ++i) {
+    EXPECT_EQ(overlapped.loss_history[i], inlined.loss_history[i])
+        << "step " << i;
+  }
+  EXPECT_FALSE(std::isnan(overlapped.final_loss));
+}
+
+TEST(TrainDistributed, OverlapOptionWrapsEngineAndConverges) {
+  // options.overlap wraps a factory-made CgxEngine in the streaming facade;
+  // training still learns and the adaptive swap rebuilds through it.
+  data::BlobDataset dataset(kClasses, kDim, 50);
+  core::KMeansAssigner assigner;
+  TrainOptions options;
+  options.world_size = 4;
+  options.steps = 60;
+  options.seed = 12;
+  options.overlap = true;
+  options.overlap_bucket_bytes = std::size_t{4} << 10;
+  options.assigner = &assigner;
+  options.reassign_every = 20;
+  TrainResult result = train_distributed(
+      mlp_factory(), sgd_factory(0.05), cgx_engine(),
+      blob_batches(dataset, 16), make_xent_loss(kClasses), options);
+  EXPECT_EQ(result.assignments.size(), 3u);
+  EXPECT_LT(result.final_loss, 1.0);
 }
 
 TEST(TrainDistributed, OnStepCallbackFires) {

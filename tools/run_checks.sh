@@ -3,7 +3,9 @@
 #   default  (RelWithDebInfo, the tier-1 suite + alloc/fault labels)
 #   asan     (AddressSanitizer build of the same suite)
 #   tsan     (ThreadSanitizer; runs only tests labeled concurrency-sensitive)
-# Usage: tools/run_checks.sh [preset ...]   (no args = all three)
+#   bench-smoke (Release build; one tiny config of each BENCH_*-writing
+#                bench, JSON written under build-release/results)
+# Usage: tools/run_checks.sh [preset ...]   (no args = default+asan+tsan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,6 +16,21 @@ fi
 
 jobs=$(nproc 2>/dev/null || echo 4)
 for preset in "${presets[@]}"; do
+  if [ "$preset" = bench-smoke ]; then
+    # Smoke the perf artifact pipeline: Release build, then one tiny
+    # configuration of every bench that writes a results/BENCH_*.json.
+    # Run from the build dir so smoke JSON never clobbers committed results.
+    echo "==== [bench-smoke] configure"
+    cmake --preset release
+    echo "==== [bench-smoke] build"
+    cmake --build build-release -j "$jobs" --target \
+      bench_overlap bench_micro_collectives bench_micro_compressors
+    echo "==== [bench-smoke] run"
+    (cd build-release && ./bench/bench_overlap --smoke)
+    (cd build-release && ./bench/bench_micro_collectives --smoke)
+    (cd build-release && ./bench/bench_micro_compressors --smoke)
+    continue
+  fi
   echo "==== [$preset] configure"
   cmake --preset "$preset"
   case "$preset" in
