@@ -1,0 +1,234 @@
+// Compute-kernel microbenchmarks: in-process A/B of the SIMD dispatch
+// levels (scalar vs SSE2 vs AVX2) for the tiled GEMM, the im2col
+// convolution, the quantizers, and the fused error-feedback sweep.
+//
+// Writes results/BENCH_compute.json: one row per (kernel, level) with
+// throughput and speedup_vs_scalar, so the perf acceptance gate (matmul
+// 2048^2 >= 3x, 4-bit quantize >= 2x on AVX2 hardware) reads machine
+// numbers instead of eyeballs. `--smoke` shrinks the problem sizes for the
+// CI smoke lane; `--no_json` skips the file for interactive runs.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/error_feedback.h"
+#include "core/qsgd.h"
+#include "nn/conv.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+#include "util/simd.h"
+#include "util/threadpool.h"
+
+namespace {
+
+using namespace cgx;
+namespace simd = util::simd;
+
+std::vector<float> make_input(std::size_t n, std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.next_gaussian());
+  return v;
+}
+
+// Wall-clock rate of fn(): `units` of work per call (bytes or flops),
+// measured for ~0.3 s after one warm-up call.
+template <typename Fn>
+double measure_rate(double units, Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  fn();
+  std::size_t iters = 0;
+  const auto start = clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++iters;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  } while (elapsed < 0.3);
+  return units * static_cast<double>(iters) / elapsed;
+}
+
+std::vector<simd::Level> levels_to_run() {
+  std::vector<simd::Level> out;
+  for (int l = 0; l <= static_cast<int>(simd::max_supported_level()); ++l) {
+    out.push_back(static_cast<simd::Level>(l));
+  }
+  return out;
+}
+
+struct Row {
+  std::string kernel;
+  const char* level;
+  const char* unit;
+  double rate;
+  double speedup;
+};
+
+// Runs fn at every reachable dispatch level and appends one row per level
+// with the speedup relative to the scalar (level 0) measurement.
+template <typename Fn>
+void sweep_levels(std::vector<Row>& rows, const std::string& kernel,
+                  const char* unit, double units, Fn&& fn) {
+  const simd::Level prev = simd::active_level();
+  double scalar_rate = 0.0;
+  for (simd::Level l : levels_to_run()) {
+    simd::set_level(l);
+    const double rate = measure_rate(units, fn);
+    if (l == simd::Level::kScalar) scalar_rate = rate;
+    rows.push_back({kernel, simd::level_name(l), unit, rate,
+                    scalar_rate > 0 ? rate / scalar_rate : 0.0});
+    std::printf("%-24s %-6s %10.3f %s (%.2fx vs scalar)\n", kernel.c_str(),
+                simd::level_name(l), rate / 1e9, unit,
+                rows.back().speedup);
+  }
+  simd::set_level(prev);
+}
+
+void run_suite(bool smoke, bool json) {
+  std::vector<Row> rows;
+
+  // ---- tiled GEMM (single-threaded: isolates the kernel, not the pool) --
+  const std::size_t dim = smoke ? 256 : 2048;
+  {
+    const auto a = make_input(dim * dim, 2);
+    const auto b = make_input(dim * dim, 3);
+    std::vector<float> c(dim * dim);
+    const double flops = 2.0 * dim * dim * dim;
+    sweep_levels(rows, "matmul_" + std::to_string(dim), "GFLOP/s", flops,
+                 [&] {
+                   tensor::matmul(a, b, c, dim, dim, dim);
+                   benchmark::DoNotOptimize(c.data());
+                 });
+  }
+
+  // ---- conv2d forward + backward (im2col + GEMM path) ----
+  {
+    const std::size_t bsz = smoke ? 1 : 4, ch = 16, hw = smoke ? 16 : 32,
+                      oc = 32, k = 3;
+    tensor::Tensor x(tensor::Shape{bsz, ch, hw, hw});
+    {
+      util::Rng rng(4);
+      for (auto& v : x.data()) v = static_cast<float>(rng.next_gaussian());
+    }
+    util::Rng wrng(5);
+    nn::Conv2d conv(ch, oc, k, 1, 1, wrng);
+    const tensor::Tensor& out0 = conv.forward(x, true);
+    tensor::Tensor go(out0.shape());
+    {
+      util::Rng rng(6);
+      for (auto& v : go.data()) v = static_cast<float>(rng.next_gaussian());
+    }
+    const double fwd_flops =
+        2.0 * bsz * oc * hw * hw * ch * k * k;  // stride 1, same pad
+    sweep_levels(rows, "conv_fwd", "GFLOP/s", fwd_flops, [&] {
+      benchmark::DoNotOptimize(conv.forward(x, true).data().data());
+    });
+    sweep_levels(rows, "conv_bwd", "GFLOP/s", 2.0 * fwd_flops, [&] {
+      benchmark::DoNotOptimize(conv.backward(go).data().data());
+    });
+  }
+
+  // ---- raw quantize kernels (pre-drawn uniforms; the simd layer itself,
+  // with the scalar RNG and norm passes of the full pipeline excluded) ----
+  const std::size_t numel = smoke ? (1 << 16) : (1 << 20);
+  const auto grad = make_input(numel, 7);
+  {
+    std::vector<float> u(numel);
+    util::Rng rng(10);
+    rng.fill_floats(u);
+    const float inv_norm =
+        1.0f / simd::reduce_max_abs(grad);
+    std::vector<std::uint32_t> sym(numel);
+    for (unsigned bits : {2u, 4u, 8u}) {
+      if (smoke && bits != 4) continue;
+      const std::uint32_t sign_bit = 1u << (bits - 1);
+      sweep_levels(rows, "qsgd_kernel_" + std::to_string(bits) + "bit",
+                   "GB/s", static_cast<double>(numel) * 4, [&] {
+                     simd::qsgd_quantize(grad.data(), u.data(), numel,
+                                         inv_norm, sign_bit - 1, sign_bit,
+                                         sym.data());
+                     benchmark::DoNotOptimize(sym.data());
+                   });
+    }
+    if (!smoke) {
+      sweep_levels(rows, "nuq_kernel_4bit", "GB/s",
+                   static_cast<double>(numel) * 4, [&] {
+                     simd::nuq_quantize(grad.data(), u.data(), numel,
+                                        inv_norm, 4, sym.data());
+                     benchmark::DoNotOptimize(sym.data());
+                   });
+    }
+  }
+
+  // ---- quantizers (full compress pipeline incl. RNG, norms, pack) ----
+  for (unsigned bits : {2u, 4u, 8u}) {
+    if (smoke && bits != 4) continue;
+    core::QsgdCompressor compressor(bits, 512);
+    std::vector<std::byte> payload(compressor.compressed_size(numel));
+    std::vector<float> decoded(numel);
+    util::Rng rng(8);
+    sweep_levels(rows, "qsgd_quantize_" + std::to_string(bits) + "bit",
+                 "GB/s", static_cast<double>(numel) * 4, [&] {
+                   benchmark::DoNotOptimize(
+                       compressor.compress(grad, payload, rng));
+                 });
+    const std::size_t written = compressor.compress(grad, payload, rng);
+    sweep_levels(rows, "qsgd_dequantize_" + std::to_string(bits) + "bit",
+                 "GB/s", static_cast<double>(numel) * 4, [&] {
+                   compressor.decompress({payload.data(), written}, decoded);
+                   benchmark::DoNotOptimize(decoded.data());
+                 });
+  }
+
+  // ---- fused error-feedback sweep (decay+accumulate, residual update) ----
+  {
+    core::ErrorFeedback ef(std::make_unique<core::QsgdCompressor>(4, 512),
+                           0.9f);
+    std::vector<std::byte> payload(ef.compressed_size(numel));
+    util::Rng rng(9);
+    sweep_levels(rows, "error_feedback_step", "GB/s",
+                 static_cast<double>(numel) * 4, [&] {
+                   benchmark::DoNotOptimize(
+                       ef.compress(grad, payload, rng));
+                 });
+  }
+
+  if (!json) return;
+  std::filesystem::create_directories("results");
+  std::ofstream out("results/BENCH_compute.json");
+  out << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  {\"kernel\": \"%s\", \"level\": \"%s\", "
+                  "\"unit\": \"%s\", \"rate\": %.3f, "
+                  "\"speedup_vs_scalar\": %.3f}%s",
+                  rows[i].kernel.c_str(), rows[i].level, rows[i].unit,
+                  rows[i].rate / 1e9, rows[i].speedup,
+                  i + 1 < rows.size() ? "," : "");
+    out << line << "\n";
+  }
+  out << "]\n";
+  std::printf("wrote results/BENCH_compute.json\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = true;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--no_json") json = false;
+    if (arg == "--smoke") smoke = true;
+  }
+  run_suite(smoke, json);
+  return 0;
+}

@@ -32,6 +32,9 @@ int main() {
   options.steps = 200;
   options.seed = 3;
   options.clip_norm = 1.0;
+  // Shared GEMM pool for the attention/linear layers; bit-identical to
+  // compute_threads = 0 (see nn/train.h), just faster.
+  options.compute_threads = 2;
   options.assigner = &assigner;
   options.reassign_every = 50;
   options.on_step = [](std::size_t step, double loss) {

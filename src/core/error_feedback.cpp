@@ -1,13 +1,17 @@
 #include "core/error_feedback.h"
 
+#include <cmath>
+
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace cgx::core {
 
-ErrorFeedback::ErrorFeedback(std::unique_ptr<Compressor> inner)
-    : inner_(std::move(inner)) {
+ErrorFeedback::ErrorFeedback(std::unique_ptr<Compressor> inner, float decay)
+    : inner_(std::move(inner)), decay_(decay) {
   CGX_CHECK(inner_ != nullptr);
+  CGX_CHECK(decay >= 0.0f && decay <= 1.0f && std::isfinite(decay));
 }
 
 std::size_t ErrorFeedback::compressed_size(std::size_t n) const {
@@ -20,16 +24,18 @@ std::size_t ErrorFeedback::compress(std::span<const float> in,
   const std::size_t n = in.size();
   if (residual_.size() != n) residual_.assign(n, 0.0f);
   corrected_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) corrected_[i] = in[i] + residual_[i];
+  reconstructed_.resize(n);
+  // Fused decay + accumulate: one sweep instead of a scale pass followed by
+  // an add pass. decay == 1 takes the same path (beta * r is exact).
+  util::simd::add_scaled(in, decay_, residual_, corrected_);
 
   const std::size_t written = inner_->compress(corrected_, out, rng);
 
   // residual = corrected - decompress(payload): what this step dropped.
-  std::vector<float> reconstructed(n);
-  inner_->decompress(out.first(written), reconstructed);
-  for (std::size_t i = 0; i < n; ++i) {
-    residual_[i] = corrected_[i] - reconstructed[i];
-  }
+  // reconstructed_ is a grow-only member so the steady state allocates
+  // nothing.
+  inner_->decompress(out.first(written), reconstructed_);
+  util::simd::sub(corrected_, reconstructed_, residual_);
   return written;
 }
 

@@ -19,7 +19,10 @@ namespace cgx::core {
 
 class ErrorFeedback final : public Compressor {
  public:
-  explicit ErrorFeedback(std::unique_ptr<Compressor> inner);
+  // decay scales the residual before re-injection (corrected = gradient +
+  // decay * residual, applied in one fused sweep); 1.0 is classic EF.
+  explicit ErrorFeedback(std::unique_ptr<Compressor> inner,
+                         float decay = 1.0f);
 
   std::size_t compressed_size(std::size_t n) const override;
   std::size_t compress(std::span<const float> in, std::span<std::byte> out,
@@ -35,8 +38,10 @@ class ErrorFeedback final : public Compressor {
 
  private:
   std::unique_ptr<Compressor> inner_;
+  float decay_;
   std::vector<float> residual_;
-  std::vector<float> corrected_;  // scratch: gradient + residual
+  std::vector<float> corrected_;      // scratch: gradient + decay * residual
+  std::vector<float> reconstructed_;  // scratch: decompress(payload)
 };
 
 }  // namespace cgx::core

@@ -8,6 +8,7 @@
 #include "tensor/tensor_ops.h"
 #include "util/bitio.h"
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace cgx::core {
 
@@ -51,8 +52,6 @@ std::size_t NuqCompressor::compress(std::span<const float> in,
   auto* norms = reinterpret_cast<float*>(out.data());
   const std::span<std::uint32_t> symbols = ensure_span(symbol_scratch_, n);
   const std::span<float> rand = ensure_span(rand_scratch_, n);
-  const unsigned levels = 1u << (bits_ - 1);
-  const std::uint32_t sign_bit = 1u << (bits_ - 1);
 
   for (std::size_t b = 0; b < buckets; ++b) {
     const std::size_t first = b * bucket_size_;
@@ -68,21 +67,14 @@ std::size_t NuqCompressor::compress(std::span<const float> in,
     const std::span<float> u = rand.subspan(first, len);
     rng.fill_floats(u);
     const float inv_norm = 1.0f / norm;
-    for (std::size_t i = 0; i < len; ++i) {
-      const float v = bucket[i];
-      const float a = std::min(std::fabs(v) * inv_norm, 1.0f);
-      // Find the exponential interval [L_k, L_{k+1}] containing a.
-      unsigned lo = 0;
-      while (lo + 1 < levels && levels_[lo + 1] <= a) ++lo;
-      unsigned index = lo;
-      if (lo + 1 < levels) {
-        const float low = levels_[lo];
-        const float high = levels_[lo + 1];
-        const float p = (a - low) / (high - low);  // unbiased interpolation
-        if (u[i] < p) index = lo + 1;
-      }
-      sym[i] = std::signbit(v) ? (index | sign_bit) : index;
-    }
+    // The grid levels are exact powers of two (levels_[k] = 2^(k - top) for
+    // k >= 1), so the kernel finds the containing interval straight from
+    // a's exponent field instead of the old linear scan — provably the same
+    // index for every finite a in [0, 1] — then applies the same unbiased
+    // p-interpolation. Dispatches to the active SIMD level; all levels are
+    // bit-identical (util/simd.h).
+    util::simd::nuq_quantize(bucket.data(), u.data(), len, inv_norm, bits_,
+                             sym);
   }
   util::pack_symbols(symbols, bits_,
                      out.subspan(4 * buckets, total - 4 * buckets));
@@ -98,18 +90,12 @@ void NuqCompressor::decompress(std::span<const std::byte> in,
   const auto* norms = reinterpret_cast<const float*>(in.data());
   const std::span<std::uint32_t> symbols = ensure_span(symbol_scratch_, n);
   util::unpack_symbols(in.subspan(4 * buckets), bits_, symbols);
-  const std::uint32_t sign_bit = 1u << (bits_ - 1);
-  const std::uint32_t index_mask = sign_bit - 1;
   for (std::size_t b = 0; b < buckets; ++b) {
     const std::size_t first = b * bucket_size_;
     const std::size_t len = std::min(bucket_size_, n - first);
     const float norm = std::isfinite(norms[b]) ? norms[b] : 0.0f;
-    const std::uint32_t* sym = symbols.data() + first;
-    for (std::size_t i = 0; i < len; ++i) {
-      const std::uint32_t symbol = sym[i];
-      const float magnitude = levels_[symbol & index_mask] * norm;
-      out[first + i] = (symbol & sign_bit) ? -magnitude : magnitude;
-    }
+    util::simd::nuq_dequantize(symbols.data() + first, len, norm, bits_,
+                               out.data() + first);
   }
 }
 

@@ -9,6 +9,7 @@
 #include "tensor/tensor_ops.h"
 #include "util/bitio.h"
 #include "util/check.h"
+#include "util/simd.h"
 #include "util/threadpool.h"
 
 namespace cgx::core {
@@ -56,7 +57,6 @@ std::size_t QsgdCompressor::compress(std::span<const float> in,
 
   const std::uint32_t s = (1u << (bits_ - 1)) - 1;  // magnitude levels
   const std::uint32_t sign_bit = 1u << (bits_ - 1);
-  const float s_f = static_cast<float>(s);
 
   // One draw off the caller's stream seeds every per-bucket stream, so the
   // caller's RNG advances identically — and the payload is bit-identical —
@@ -82,29 +82,12 @@ std::size_t QsgdCompressor::compress(std::span<const float> in,
     const std::span<float> u = rand.subspan(first, len);
     bucket_rng.fill_floats(u);
     const float inv_norm = 1.0f / norm;
-    // Branchless stochastic rounding: floor(scaled + u) rounds up with
-    // probability frac(scaled) exactly like the textbook (u < p ? up : down)
-    // form — P(floor(k + p + u) == k + 1) = P(u >= 1 - p) = p — but without
-    // the coin-flip branch, whose ~50% misprediction rate dominates the
-    // whole compress path. On-grid values (p == 0) still quantize exactly:
-    // k + u < k + 1 for every u in [0, 1). abs and signbit are done in the
-    // integer domain, and clamping happens after the float->int cast: the
-    // cast cannot overflow because |v| <= norm guarantees a <= 1 + ulps, so
-    // scaled + u < s + 2. A float-side min(a, 1.0f) before the cast would be
-    // redundant anyway, and gcc refuses to vectorize a float-min feeding a
-    // float->int conversion ("control flow in loop") — keeping the clamp in
-    // the integer domain is what lets this loop run SIMD (~3x).
-    const float* vp = in.data() + first;
-    const float* up = u.data();
-    const auto s_i = static_cast<std::int32_t>(s);
-    for (std::size_t i = 0; i < len; ++i) {
-      const std::uint32_t v_bits = std::bit_cast<std::uint32_t>(vp[i]);
-      const float a =
-          std::bit_cast<float>(v_bits & 0x7fffffffu) * inv_norm;
-      std::int32_t level = static_cast<std::int32_t>(a * s_f + up[i]);
-      level = level < s_i ? level : s_i;
-      sym[i] = static_cast<std::uint32_t>(level) | ((v_bits >> 31) * sign_bit);
-    }
+    // Branchless stochastic rounding, floor(scaled + u): see the kernel doc
+    // in util/simd.h. Dispatches to the active SIMD level; every level is
+    // bit-identical to the scalar reference, so the payload does not depend
+    // on the host CPU or CGX_SIMD.
+    util::simd::qsgd_quantize(in.data() + first, u.data(), len, inv_norm, s,
+                              sign_bit, sym);
   };
 
   const std::span<std::byte> payload =
@@ -142,27 +125,17 @@ void QsgdCompressor::decompress(std::span<const std::byte> in,
 
   const std::uint32_t s = (1u << (bits_ - 1)) - 1;
   const std::uint32_t sign_bit = 1u << (bits_ - 1);
-  const std::uint32_t level_mask = sign_bit - 1;
 
-  // sign_bit sits at bit (bits_ - 1); shift it up to the float sign bit and
-  // OR it in, keeping the loop branchless and vectorizable. Writing through
-  // a hoisted raw pointer matters: indexing the span per element defeats
-  // the vectorizer (~10x slower).
+  // sign_bit sits at bit (bits_ - 1); the kernel shifts it up to the float
+  // sign position and ORs it in (util/simd.h).
   const unsigned sign_shift = 32 - bits_;
   auto dequantize_bucket = [&](std::size_t b) {
     const std::size_t first = b * bucket_size_;
     const std::size_t len = std::min(bucket_size_, n - first);
     const float norm = std::isfinite(norms[b]) ? norms[b] : 0.0f;
     const float scale = s > 0 ? norm / static_cast<float>(s) : 0.0f;
-    const std::uint32_t* sym = symbols.data() + first;
-    float* o = out.data() + first;
-    for (std::size_t i = 0; i < len; ++i) {
-      const std::uint32_t symbol = sym[i];
-      const float magnitude =
-          static_cast<float>(symbol & level_mask) * scale;
-      o[i] = std::bit_cast<float>(std::bit_cast<std::uint32_t>(magnitude) |
-                                  ((symbol & sign_bit) << sign_shift));
-    }
+    util::simd::qsgd_dequantize(symbols.data() + first, len, scale, sign_bit,
+                                sign_shift, out.data() + first);
   };
 
   if (use_pool(n, buckets)) {

@@ -1,9 +1,12 @@
 #include "nn/attention.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace cgx::nn {
 
@@ -35,36 +38,29 @@ const tensor::Tensor& MultiHeadAttention::forward(const tensor::Tensor& x,
   auto out = heads_out_.data();
   const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
 
-  // Offsets inside the fused qkv row: [Q | K | V], each D wide; head hh
-  // occupies columns [hh*dh, (hh+1)*dh).
-  auto q_at = [&](std::size_t n, std::size_t i, std::size_t hh,
-                  std::size_t d) {
-    return qkv[(n * t + i) * 3 * dim_ + hh * dh + d];
-  };
-  auto k_at = [&](std::size_t n, std::size_t i, std::size_t hh,
-                  std::size_t d) {
-    return qkv[(n * t + i) * 3 * dim_ + dim_ + hh * dh + d];
-  };
-  auto v_at = [&](std::size_t n, std::size_t i, std::size_t hh,
-                  std::size_t d) {
-    return qkv[(n * t + i) * 3 * dim_ + 2 * dim_ + hh * dh + d];
-  };
-
+  // Each head's Q/K/V live strided inside the fused [Q | K | V] qkv rows;
+  // pack them into contiguous [T, dh] panels so every contraction is a
+  // plain GEMM through tensor_ops (scores = Q K^T, O = A V).
+  pack_q_.resize(t * dh);
+  pack_k_.resize(t * dh);
+  pack_v_.resize(t * dh);
+  pack_o_.resize(t * dh);
   for (std::size_t n = 0; n < b; ++n) {
     for (std::size_t hh = 0; hh < h; ++hh) {
       for (std::size_t i = 0; i < t; ++i) {
-        // Scores + softmax for query position i.
+        const float* row = &qkv[(n * t + i) * 3 * dim_ + hh * dh];
+        std::memcpy(pack_q_.data() + i * dh, row, dh * sizeof(float));
+        std::memcpy(pack_k_.data() + i * dh, row + dim_, dh * sizeof(float));
+        std::memcpy(pack_v_.data() + i * dh, row + 2 * dim_,
+                    dh * sizeof(float));
+      }
+      const std::span<float> scores = attn.subspan((n * h + hh) * t * t, t * t);
+      tensor::matmul_a_bt(pack_q_, pack_k_, scores, t, dh, t);
+      for (std::size_t i = 0; i < t; ++i) {
         const std::size_t limit = causal_ ? i + 1 : t;
-        float* row = &attn[((n * h + hh) * t + i) * t];
-        float max_score = -1e30f;
-        for (std::size_t j = 0; j < limit; ++j) {
-          double s = 0.0;
-          for (std::size_t d = 0; d < dh; ++d) {
-            s += static_cast<double>(q_at(n, i, hh, d)) * k_at(n, j, hh, d);
-          }
-          row[j] = static_cast<float>(s) * scale;
-          max_score = std::max(max_score, row[j]);
-        }
+        float* row = scores.data() + i * t;
+        util::simd::scale({row, limit}, scale);
+        const float max_score = util::simd::reduce_max({row, limit}, -1e30f);
         double denom = 0.0;
         for (std::size_t j = 0; j < limit; ++j) {
           row[j] = std::exp(row[j] - max_score);
@@ -72,16 +68,15 @@ const tensor::Tensor& MultiHeadAttention::forward(const tensor::Tensor& x,
         }
         const float inv =
             denom > 0.0 ? static_cast<float>(1.0 / denom) : 0.0f;
-        for (std::size_t j = 0; j < limit; ++j) row[j] *= inv;
-        for (std::size_t j = limit; j < t; ++j) row[j] = 0.0f;
-        // O[i] = sum_j A[i,j] V[j]
-        for (std::size_t d = 0; d < dh; ++d) {
-          double acc = 0.0;
-          for (std::size_t j = 0; j < limit; ++j) {
-            acc += static_cast<double>(row[j]) * v_at(n, j, hh, d);
-          }
-          out[(n * t + i) * dim_ + hh * dh + d] = static_cast<float>(acc);
-        }
+        util::simd::scale({row, limit}, inv);
+        std::fill(row + limit, row + t, 0.0f);
+      }
+      // O = A V; masked columns of A are exactly zero so they contribute
+      // nothing.
+      tensor::matmul(scores, pack_v_, pack_o_, t, t, dh);
+      for (std::size_t i = 0; i < t; ++i) {
+        std::memcpy(out.data() + (n * t + i) * dim_ + hh * dh,
+                    pack_o_.data() + i * dh, dh * sizeof(float));
       }
     }
   }
@@ -100,62 +95,57 @@ const tensor::Tensor& MultiHeadAttention::backward(
   auto dq = d_qkv.data();
   const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
 
-  auto k_at = [&](std::size_t n, std::size_t i, std::size_t hh,
-                  std::size_t d) {
-    return qkv[(n * t + i) * 3 * dim_ + dim_ + hh * dh + d];
-  };
-  auto v_at = [&](std::size_t n, std::size_t i, std::size_t hh,
-                  std::size_t d) {
-    return qkv[(n * t + i) * 3 * dim_ + 2 * dim_ + hh * dh + d];
-  };
-  auto q_at = [&](std::size_t n, std::size_t i, std::size_t hh,
-                  std::size_t d) {
-    return qkv[(n * t + i) * 3 * dim_ + hh * dh + d];
-  };
-  auto dq_ref = [&](std::size_t n, std::size_t i, std::size_t hh,
-                    std::size_t d) -> float& {
-    return dq[(n * t + i) * 3 * dim_ + hh * dh + d];
-  };
-  auto dk_ref = [&](std::size_t n, std::size_t i, std::size_t hh,
-                    std::size_t d) -> float& {
-    return dq[(n * t + i) * 3 * dim_ + dim_ + hh * dh + d];
-  };
-  auto dv_ref = [&](std::size_t n, std::size_t i, std::size_t hh,
-                    std::size_t d) -> float& {
-    return dq[(n * t + i) * 3 * dim_ + 2 * dim_ + hh * dh + d];
-  };
+  pack_q_.resize(t * dh);
+  pack_k_.resize(t * dh);
+  pack_v_.resize(t * dh);
+  pack_o_.resize(t * dh);
+  pack_dq_.resize(t * dh);
+  pack_dk_.resize(t * dh);
+  pack_dv_.resize(t * dh);
+  da_.resize(t * t);
+  ds_.resize(t * t);
 
-  std::vector<float> d_attn_row(t);
   for (std::size_t n = 0; n < b; ++n) {
     for (std::size_t hh = 0; hh < h; ++hh) {
       for (std::size_t i = 0; i < t; ++i) {
+        const float* row = &qkv[(n * t + i) * 3 * dim_ + hh * dh];
+        std::memcpy(pack_q_.data() + i * dh, row, dh * sizeof(float));
+        std::memcpy(pack_k_.data() + i * dh, row + dim_, dh * sizeof(float));
+        std::memcpy(pack_v_.data() + i * dh, row + 2 * dim_,
+                    dh * sizeof(float));
+        std::memcpy(pack_o_.data() + i * dh,
+                    dho.data() + (n * t + i) * dim_ + hh * dh,
+                    dh * sizeof(float));
+      }
+      const std::span<const float> a_slice =
+          attn.subspan((n * h + hh) * t * t, t * t);
+      // dA = dO V^T; dV = A^T dO. Masked entries of A are exactly zero, so
+      // the corresponding dV terms vanish just as in the masked loop nest.
+      tensor::matmul_a_bt(pack_o_, pack_v_, da_, t, dh, t);
+      tensor::matmul_at_b(a_slice, pack_o_, pack_dv_, t, t, dh);
+      // Softmax backward: dS = (dA - <dA, A>) * A, then * scale.
+      for (std::size_t i = 0; i < t; ++i) {
         const std::size_t limit = causal_ ? i + 1 : t;
-        const float* arow = &attn[((n * h + hh) * t + i) * t];
-        // dA[i,j] = <dO[i], V[j]>; dV[j] += A[i,j] dO[i]
+        const float* arow = a_slice.data() + i * t;
+        const float* darow = da_.data() + i * t;
+        float* dsrow = ds_.data() + i * t;
+        const double dot =
+            util::simd::reduce_dot({darow, limit}, {arow, limit});
         for (std::size_t j = 0; j < limit; ++j) {
-          double da = 0.0;
-          for (std::size_t d = 0; d < dh; ++d) {
-            const float g = dho[(n * t + i) * dim_ + hh * dh + d];
-            da += static_cast<double>(g) * v_at(n, j, hh, d);
-            dv_ref(n, j, hh, d) += arow[j] * g;
-          }
-          d_attn_row[j] = static_cast<float>(da);
+          dsrow[j] = (darow[j] - static_cast<float>(dot)) * arow[j] * scale;
         }
-        // Softmax backward: dS = (dA - <dA, A>) * A, then * scale.
-        double dot = 0.0;
-        for (std::size_t j = 0; j < limit; ++j) {
-          dot += static_cast<double>(d_attn_row[j]) * arow[j];
-        }
-        for (std::size_t j = 0; j < limit; ++j) {
-          const float ds =
-              (d_attn_row[j] - static_cast<float>(dot)) * arow[j] * scale;
-          if (ds == 0.0f) continue;
-          // dQ[i] += dS K[j]; dK[j] += dS Q[i]
-          for (std::size_t d = 0; d < dh; ++d) {
-            dq_ref(n, i, hh, d) += ds * k_at(n, j, hh, d);
-            dk_ref(n, j, hh, d) += ds * q_at(n, i, hh, d);
-          }
-        }
+        std::fill(dsrow + limit, dsrow + t, 0.0f);
+      }
+      // dQ = dS K; dK = dS^T Q.
+      tensor::matmul(ds_, pack_k_, pack_dq_, t, t, dh);
+      tensor::matmul_at_b(ds_, pack_q_, pack_dk_, t, t, dh);
+      for (std::size_t i = 0; i < t; ++i) {
+        float* drow = &dq[(n * t + i) * 3 * dim_ + hh * dh];
+        std::memcpy(drow, pack_dq_.data() + i * dh, dh * sizeof(float));
+        std::memcpy(drow + dim_, pack_dk_.data() + i * dh,
+                    dh * sizeof(float));
+        std::memcpy(drow + 2 * dim_, pack_dv_.data() + i * dh,
+                    dh * sizeof(float));
       }
     }
   }

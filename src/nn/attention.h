@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "nn/layers.h"
 
@@ -38,6 +39,11 @@ class MultiHeadAttention final : public Module {
   tensor::Tensor heads_out_; // [B, T, D] concatenated head outputs
   tensor::Tensor grad_in_;
   std::size_t batch_ = 0, seq_ = 0;
+  // Per-head packed [T, dh] operands so every contraction is a contiguous
+  // GEMM through tensor_ops. Grow-only scratch.
+  std::vector<float> pack_q_, pack_k_, pack_v_, pack_o_;
+  std::vector<float> pack_dq_, pack_dk_, pack_dv_;
+  std::vector<float> da_, ds_;  // [T, T] attention-grad scratch
 };
 
 class TransformerBlock final : public Module {

@@ -1,9 +1,13 @@
 #include "nn/conv.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
+#include "tensor/tensor_ops.h"
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace cgx::nn {
 namespace {
@@ -35,6 +39,61 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
   bias_.value.zero();
 }
 
+void Conv2d::im2col(std::span<const float> image, std::size_t h,
+                    std::size_t w, std::size_t oh, std::size_t ow) {
+  // col row (ic, ky, kx), column (oy, ox): the input pixel that kernel tap
+  // (ky, kx) sees at output position (oy, ox); zero where the tap falls in
+  // the padding.
+  const std::size_t cols = oh * ow;
+  float* col = col_.data();
+  for (std::size_t ic = 0; ic < in_c_; ++ic) {
+    const float* plane = image.data() + ic * h * w;
+    for (std::size_t ky = 0; ky < k_; ++ky) {
+      for (std::size_t kx = 0; kx < k_; ++kx) {
+        float* row = col + ((ic * k_ + ky) * k_ + kx) * cols;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+              static_cast<std::ptrdiff_t>(pad_);
+          float* dst = row + oy * ow;
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) {
+            std::memset(dst, 0, ow * sizeof(float));
+            continue;
+          }
+          const float* src = plane + static_cast<std::size_t>(iy) * w;
+          if (stride_ == 1) {
+            // Contiguous run; clip the [kx - pad, kx - pad + ow) window.
+            const std::ptrdiff_t ix0 =
+                static_cast<std::ptrdiff_t>(kx) -
+                static_cast<std::ptrdiff_t>(pad_);
+            std::ptrdiff_t lo = std::max<std::ptrdiff_t>(0, -ix0);
+            std::ptrdiff_t hi = std::min<std::ptrdiff_t>(
+                static_cast<std::ptrdiff_t>(ow),
+                static_cast<std::ptrdiff_t>(w) - ix0);
+            if (hi < lo) hi = lo;
+            if (lo > 0) std::memset(dst, 0, lo * sizeof(float));
+            if (hi > lo) {
+              std::memcpy(dst + lo, src + ix0 + lo, (hi - lo) * sizeof(float));
+            }
+            if (hi < static_cast<std::ptrdiff_t>(ow)) {
+              std::memset(dst + hi, 0, (ow - hi) * sizeof(float));
+            }
+          } else {
+            for (std::size_t ox = 0; ox < ow; ++ox) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                  static_cast<std::ptrdiff_t>(pad_);
+              dst[ox] = (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w))
+                            ? 0.0f
+                            : src[ix];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 const tensor::Tensor& Conv2d::forward(const tensor::Tensor& x, bool train) {
   (void)train;
   CGX_CHECK_EQ(x.rank(), 4u);
@@ -49,31 +108,22 @@ const tensor::Tensor& Conv2d::forward(const tensor::Tensor& x, bool train) {
   const auto bs = bias_.value.data();
   auto out = output_.data();
 
+  const std::size_t ck2 = in_c_ * k_ * k_;
+  const std::size_t cols = oh * ow;
+  col_.resize(ck2 * cols);
+  // Per image: out[n] = W[out_c x ck2] * col[ck2 x cols]. Images run
+  // serially; the tiled matmul parallelizes internally, so the result is
+  // bit-identical at any thread count.
   for (std::size_t n = 0; n < b; ++n) {
-    for (std::size_t oc = 0; oc < out_c_; ++oc) {
-      for (std::size_t oy = 0; oy < oh; ++oy) {
-        for (std::size_t ox = 0; ox < ow; ++ox) {
-          double acc = has_bias_ ? bs[oc] : 0.0;
-          for (std::size_t ic = 0; ic < in_c_; ++ic) {
-            for (std::size_t ky = 0; ky < k_; ++ky) {
-              const std::ptrdiff_t iy =
-                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
-                  static_cast<std::ptrdiff_t>(pad_);
-              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
-              for (std::size_t kx = 0; kx < k_; ++kx) {
-                const std::ptrdiff_t ix =
-                    static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
-                    static_cast<std::ptrdiff_t>(pad_);
-                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
-                acc += static_cast<double>(
-                           in[((n * in_c_ + ic) * h + iy) * w + ix]) *
-                       wgt[((oc * in_c_ + ic) * k_ + ky) * k_ + kx];
-              }
-            }
-          }
-          out[((n * out_c_ + oc) * oh + oy) * ow + ox] =
-              static_cast<float>(acc);
-        }
+    im2col(in.subspan(n * in_c_ * h * w, in_c_ * h * w), h, w, oh, ow);
+    const std::span<float> out_n = out.subspan(n * out_c_ * cols,
+                                               out_c_ * cols);
+    tensor::matmul(wgt, col_, out_n, out_c_, ck2, cols);
+    if (has_bias_) {
+      for (std::size_t oc = 0; oc < out_c_; ++oc) {
+        float* row = out_n.data() + oc * cols;
+        const float beta = bs[oc];
+        for (std::size_t j = 0; j < cols; ++j) row[j] += beta;
       }
     }
   }
@@ -92,31 +142,46 @@ const tensor::Tensor& Conv2d::backward(const tensor::Tensor& grad_out) {
   auto bg = bias_.grad.data();
   auto gi = grad_in_.data();
 
+  const std::size_t ck2 = in_c_ * k_ * k_;
+  const std::size_t cols = oh * ow;
+  col_.resize(ck2 * cols);
+  dcol_.resize(ck2 * cols);
+  dw_.resize(out_c_ * ck2);
   for (std::size_t n = 0; n < b; ++n) {
-    for (std::size_t oc = 0; oc < out_c_; ++oc) {
-      for (std::size_t oy = 0; oy < oh; ++oy) {
-        for (std::size_t ox = 0; ox < ow; ++ox) {
-          const float g = go[((n * out_c_ + oc) * oh + oy) * ow + ox];
-          if (g == 0.0f) continue;
-          if (has_bias_) bg[oc] += g;
-          for (std::size_t ic = 0; ic < in_c_; ++ic) {
-            for (std::size_t ky = 0; ky < k_; ++ky) {
-              const std::ptrdiff_t iy =
-                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+    const std::span<const float> go_n =
+        go.subspan(n * out_c_ * cols, out_c_ * cols);
+    if (has_bias_) {
+      for (std::size_t oc = 0; oc < out_c_; ++oc) {
+        bg[oc] += static_cast<float>(
+            util::simd::reduce_sum(go_n.subspan(oc * cols, cols)));
+      }
+    }
+    // dW += go_n[out_c x cols] * col^T; dcol = W^T * go_n; then col2im.
+    im2col(in.subspan(n * in_c_ * h * w, in_c_ * h * w), h, w, oh, ow);
+    tensor::matmul_a_bt(go_n, col_, dw_, out_c_, cols, ck2);
+    util::simd::add(wg, dw_);
+    tensor::matmul_at_b(wgt, go_n, dcol_, out_c_, ck2, cols);
+    // col2im scatter-add (serial: output pixels overlap under stride < k).
+    float* gimg = gi.data() + n * in_c_ * h * w;
+    const float* dcol = dcol_.data();
+    for (std::size_t ic = 0; ic < in_c_; ++ic) {
+      float* plane = gimg + ic * h * w;
+      for (std::size_t ky = 0; ky < k_; ++ky) {
+        for (std::size_t kx = 0; kx < k_; ++kx) {
+          const float* row = dcol + ((ic * k_ + ky) * k_ + kx) * cols;
+          for (std::size_t oy = 0; oy < oh; ++oy) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                static_cast<std::ptrdiff_t>(pad_);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+            float* dst = plane + static_cast<std::size_t>(iy) * w;
+            const float* src = row + oy * ow;
+            for (std::size_t ox = 0; ox < ow; ++ox) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
                   static_cast<std::ptrdiff_t>(pad_);
-              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
-              for (std::size_t kx = 0; kx < k_; ++kx) {
-                const std::ptrdiff_t ix =
-                    static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
-                    static_cast<std::ptrdiff_t>(pad_);
-                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
-                const std::size_t in_idx =
-                    ((n * in_c_ + ic) * h + iy) * w + ix;
-                const std::size_t w_idx =
-                    ((oc * in_c_ + ic) * k_ + ky) * k_ + kx;
-                wg[w_idx] += g * in[in_idx];
-                gi[in_idx] += g * wgt[w_idx];
-              }
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+              dst[ix] += src[ox];
             }
           }
         }
@@ -229,17 +294,13 @@ const tensor::Tensor& BatchNorm2d::forward(const tensor::Tensor& x,
     if (train) {
       double sum = 0.0;
       for (std::size_t n = 0; n < b; ++n) {
-        for (std::size_t i = 0; i < hw; ++i) {
-          sum += in[(n * channels_ + c) * hw + i];
-        }
+        sum += util::simd::reduce_sum(in.subspan((n * channels_ + c) * hw, hw));
       }
       mean = sum / static_cast<double>(per_channel);
       double sq = 0.0;
       for (std::size_t n = 0; n < b; ++n) {
-        for (std::size_t i = 0; i < hw; ++i) {
-          const double d = in[(n * channels_ + c) * hw + i] - mean;
-          sq += d * d;
-        }
+        sq += util::simd::reduce_sqdiff(
+            in.subspan((n * channels_ + c) * hw, hw), mean);
       }
       var = sq / static_cast<double>(per_channel);
       rm[c] = (1.0f - momentum_) * rm[c] +
@@ -278,17 +339,22 @@ const tensor::Tensor& BatchNorm2d::backward(const tensor::Tensor& grad_out) {
   auto gi = grad_in_.data();
 
   for (std::size_t c = 0; c < channels_; ++c) {
-    double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+    // Per-(image, channel) rows reduce through the canonical simd kernels;
+    // dxhat = go * gain[c] is a constant scale per channel, so its sums are
+    // the gain-scaled go sums.
+    double sum_go = 0.0, sum_go_xhat = 0.0;
     for (std::size_t n = 0; n < b; ++n) {
-      for (std::size_t i = 0; i < hw; ++i) {
-        const std::size_t idx = (n * channels_ + c) * hw + i;
-        const float dxhat = go[idx] * g[c];
-        sum_dxhat += dxhat;
-        sum_dxhat_xhat += static_cast<double>(dxhat) * xhat[idx];
-        gg[c] += go[idx] * xhat[idx];
-        bg[c] += go[idx];
-      }
+      const std::span<const float> go_row =
+          go.subspan((n * channels_ + c) * hw, hw);
+      const std::span<const float> xhat_row =
+          xhat.subspan((n * channels_ + c) * hw, hw);
+      sum_go += util::simd::reduce_sum(go_row);
+      sum_go_xhat += util::simd::reduce_dot(go_row, xhat_row);
     }
+    gg[c] += static_cast<float>(sum_go_xhat);
+    bg[c] += static_cast<float>(sum_go);
+    const double sum_dxhat = static_cast<double>(g[c]) * sum_go;
+    const double sum_dxhat_xhat = static_cast<double>(g[c]) * sum_go_xhat;
     if (!train_mode_) {
       // Eval mode: statistics are constants; dx = dxhat * inv_std.
       for (std::size_t n = 0; n < b; ++n) {
@@ -335,8 +401,8 @@ const tensor::Tensor& GlobalAvgPool::forward(const tensor::Tensor& x,
   auto out = output_.data();
   for (std::size_t n = 0; n < b; ++n) {
     for (std::size_t ch = 0; ch < c; ++ch) {
-      double acc = 0.0;
-      for (std::size_t i = 0; i < hw; ++i) acc += in[(n * c + ch) * hw + i];
+      const double acc =
+          util::simd::reduce_sum(in.subspan((n * c + ch) * hw, hw));
       out[n * c + ch] = static_cast<float>(acc / static_cast<double>(hw));
     }
   }

@@ -1,7 +1,10 @@
 // 2-D convolution and pooling for the CNN workloads (ResNet/VGG analogues
-// at small scale). Direct (im2col-free) implementation: correctness over
-// throughput — the models trained here are deliberately tiny.
+// at small scale). Conv2d lowers to im2col + the tiled GEMM in tensor_ops,
+// so it inherits the SIMD dispatch and thread-count bit-determinism of that
+// path; pooling and batch-norm stay direct.
 #pragma once
+
+#include <vector>
 
 #include "nn/module.h"
 
@@ -21,6 +24,10 @@ class Conv2d final : public Module {
   std::string kind() const override { return "conv"; }
 
  private:
+  // Fills col_ with the [in_c*k*k, oh*ow] im2col matrix of image n.
+  void im2col(std::span<const float> image, std::size_t h, std::size_t w,
+              std::size_t oh, std::size_t ow);
+
   std::size_t in_c_, out_c_, k_, stride_, pad_;
   Param weight_;
   Param bias_;
@@ -28,6 +35,10 @@ class Conv2d final : public Module {
   tensor::Tensor input_;
   tensor::Tensor output_;
   tensor::Tensor grad_in_;
+  // Grow-only scratch (steady state allocates nothing).
+  std::vector<float> col_;   // im2col of one image
+  std::vector<float> dcol_;  // gradient wrt col_
+  std::vector<float> dw_;    // per-image weight-gradient accumulator
 };
 
 class MaxPool2d final : public Module {

@@ -4,6 +4,7 @@
 
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace cgx::nn {
 
@@ -51,7 +52,7 @@ const tensor::Tensor& Linear::forward(const tensor::Tensor& x, bool train) {
     auto out = output_.data();
     const auto b = bias_.value.data();
     for (std::size_t r = 0; r < rows; ++r) {
-      for (std::size_t c = 0; c < out_; ++c) out[r * out_ + c] += b[c];
+      util::simd::add(out.subspan(r * out_, out_), b);
     }
   }
   return output_;
@@ -69,7 +70,7 @@ const tensor::Tensor& Linear::backward(const tensor::Tensor& grad_out) {
     auto bg = bias_.grad.data();
     const auto g = grad_out.data();
     for (std::size_t r = 0; r < rows; ++r) {
-      for (std::size_t c = 0; c < out_; ++c) bg[c] += g[r * out_ + c];
+      util::simd::add(bg, g.subspan(r * out_, out_));
     }
   }
   // dx = g W^T  (W: [in x out])
@@ -188,15 +189,11 @@ const tensor::Tensor& LayerNorm::forward(const tensor::Tensor& x,
   const auto b = bias_.value.data();
   for (std::size_t r = 0; r < rows; ++r) {
     const float* row = &in[r * dim_];
-    double mean = 0.0;
-    for (std::size_t c = 0; c < dim_; ++c) mean += row[c];
-    mean /= static_cast<double>(dim_);
-    double var = 0.0;
-    for (std::size_t c = 0; c < dim_; ++c) {
-      const double d = row[c] - mean;
-      var += d * d;
-    }
-    var /= static_cast<double>(dim_);
+    const std::span<const float> row_span{row, dim_};
+    const double mean =
+        util::simd::reduce_sum(row_span) / static_cast<double>(dim_);
+    const double var = util::simd::reduce_sqdiff(row_span, mean) /
+                       static_cast<double>(dim_);
     const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
     inv_std_[r] = inv;
     for (std::size_t c = 0; c < dim_; ++c) {
@@ -218,27 +215,25 @@ const tensor::Tensor& LayerNorm::backward(const tensor::Tensor& grad_out) {
   auto gg = gain_.grad.data();
   auto bg = bias_.grad.data();
   auto gi = grad_in_.data();
+  dxhat_.resize(dim_);
+  const std::span<float> dxhat{dxhat_};
   for (std::size_t r = 0; r < rows; ++r) {
     // dL/dxhat = go * gain; then the standard layer-norm input gradient:
     // dx = inv_std * (dxhat - mean(dxhat) - xhat * mean(dxhat * xhat)).
-    double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
-    for (std::size_t c = 0; c < dim_; ++c) {
-      const std::size_t i = r * dim_ + c;
-      const float dxhat = go[i] * g[c];
-      sum_dxhat += dxhat;
-      sum_dxhat_xhat += static_cast<double>(dxhat) * xhat[i];
-      gg[c] += go[i] * xhat[i];
-      bg[c] += go[i];
-    }
+    const std::span<const float> go_row = go.subspan(r * dim_, dim_);
+    const std::span<const float> xhat_row = xhat.subspan(r * dim_, dim_);
+    for (std::size_t c = 0; c < dim_; ++c) dxhat[c] = go_row[c] * g[c];
+    const double sum_dxhat = util::simd::reduce_sum(dxhat);
+    const double sum_dxhat_xhat = util::simd::reduce_dot(dxhat, xhat_row);
+    util::simd::madd(gg, go_row, xhat_row);
+    util::simd::add(bg, go_row);
     const float mean_dxhat =
         static_cast<float>(sum_dxhat / static_cast<double>(dim_));
     const float mean_dxhat_xhat =
         static_cast<float>(sum_dxhat_xhat / static_cast<double>(dim_));
     for (std::size_t c = 0; c < dim_; ++c) {
-      const std::size_t i = r * dim_ + c;
-      const float dxhat = go[i] * g[c];
-      gi[i] = inv_std_[r] *
-              (dxhat - mean_dxhat - xhat[i] * mean_dxhat_xhat);
+      gi[r * dim_ + c] =
+          inv_std_[r] * (dxhat[c] - mean_dxhat - xhat_row[c] * mean_dxhat_xhat);
     }
   }
   return grad_in_;

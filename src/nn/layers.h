@@ -88,6 +88,7 @@ class LayerNorm final : public Module {
   Param bias_;
   tensor::Tensor normalized_;  // x_hat, cached
   std::vector<float> inv_std_;
+  std::vector<float> dxhat_;  // backward scratch, grow-only
   tensor::Tensor output_;
   tensor::Tensor grad_in_;
 };

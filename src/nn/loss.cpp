@@ -24,13 +24,20 @@ double SoftmaxCrossEntropy::forward(const tensor::Tensor& logits,
   const float inv_rows = 1.0f / static_cast<float>(rows);
   for (std::size_t r = 0; r < rows; ++r) {
     const float* row = &in[r * classes_];
-    float max_logit = row[0];
+    // Online softmax (Milakov & Gimelshein): one fused sweep keeps a running
+    // max and a running sum rescaled whenever the max moves, replacing the
+    // old separate max pass + sum pass. Same overflow safety (every exp
+    // argument is <= 0), half the memory traffic.
+    double max_logit = row[0];
+    double denom = 1.0;  // exp(row[0] - max) with max == row[0]
     for (std::size_t c = 1; c < classes_; ++c) {
-      max_logit = std::max(max_logit, row[c]);
-    }
-    double denom = 0.0;
-    for (std::size_t c = 0; c < classes_; ++c) {
-      denom += std::exp(static_cast<double>(row[c]) - max_logit);
+      const double x = row[c];
+      if (x > max_logit) {
+        denom = denom * std::exp(max_logit - x) + 1.0;
+        max_logit = x;
+      } else {
+        denom += std::exp(x - max_logit);
+      }
     }
     const int target = targets[r];
     CGX_DCHECK(target >= 0 && static_cast<std::size_t>(target) < classes_);

@@ -5,8 +5,32 @@
 #include "core/async_engine.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
+#include "util/threadpool.h"
 
 namespace cgx::nn {
+
+namespace {
+
+// Installs a shared GEMM worker pool for the duration of a training run
+// (all replica threads funnel row blocks through it; parallel_for is safe
+// for concurrent callers). Uninstalls before the pool is destroyed.
+class ScopedComputePool {
+ public:
+  explicit ScopedComputePool(std::size_t threads) {
+    if (threads > 0) {
+      pool_ = std::make_unique<util::ThreadPool>(threads);
+      tensor::set_compute_pool(pool_.get());
+    }
+  }
+  ~ScopedComputePool() {
+    if (pool_ != nullptr) tensor::set_compute_pool(nullptr);
+  }
+
+ private:
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace
 
 LossFn make_xent_loss(std::size_t classes) {
   // One shared instance per call site; the trainer invokes it from a single
@@ -54,6 +78,7 @@ TrainResult train_distributed(const ModelFactory& model_factory,
                               const BatchProvider& batches, const LossFn& loss,
                               const TrainOptions& options) {
   CGX_CHECK_GT(options.world_size, 0);
+  ScopedComputePool compute_pool(options.compute_threads);
 
   // Build the layout once (from a throwaway replica) so the shared engine
   // can be constructed before the workers start.

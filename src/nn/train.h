@@ -73,6 +73,11 @@ struct TrainOptions {
   // bit-identical to overlap=false by construction (test-enforced).
   bool overlap = false;
   std::size_t overlap_bucket_bytes = std::size_t{4} << 20;
+  // Worker threads for the tiled GEMMs (tensor::set_compute_pool) during
+  // this run. 0 = serial. Any value produces bit-identical models: the
+  // tiling fixes every output element's accumulation order regardless of
+  // thread count (enforced by tests/tensor/gemm_determinism_test.cpp).
+  std::size_t compute_threads = 0;
   // Called on rank 0 after every step with the step's loss.
   std::function<void(std::size_t, double)> on_step;
 };

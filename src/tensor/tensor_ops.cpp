@@ -1,76 +1,85 @@
 #include "tensor/tensor_ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 
 #include "util/check.h"
+#include "util/simd.h"
+#include "util/threadpool.h"
 
 namespace cgx::tensor {
 
-void axpy(float alpha, std::span<const float> x, std::span<float> y) {
-  CGX_DCHECK(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+namespace {
+
+std::atomic<util::ThreadPool*> g_pool{nullptr};
+
+// Tile shape for the blocked GEMM drivers. Row blocks (kMB) are the unit of
+// thread parallelism; k/j blocks keep one A panel + one B panel resident in
+// L1/L2. The k0 loop runs outermost inside a row block so every C element
+// accumulates its k terms in increasing order no matter how the tiles split
+// — that ordering (plus the micro-kernels' single-float-accumulator rule) is
+// what makes results bit-identical across thread counts and dispatch levels.
+constexpr std::size_t kMB = 64;
+constexpr std::size_t kKB = 128;
+constexpr std::size_t kNB = 256;
+
+// Runs fn(block) for row blocks [0, nblocks), on the pool when one is set
+// and we are not already inside a pool worker. Serial and parallel paths
+// execute the same per-block work, so results do not depend on the choice.
+template <typename Fn>
+void for_each_row_block(std::size_t nblocks, const Fn& fn) {
+  util::ThreadPool* pool = g_pool.load(std::memory_order_acquire);
+  if (pool != nullptr && nblocks > 1 && !util::ThreadPool::on_worker_thread()) {
+    pool->parallel_for(nblocks, fn);
+  } else {
+    for (std::size_t blk = 0; blk < nblocks; ++blk) fn(blk);
+  }
 }
 
-void scale(std::span<float> x, float alpha) {
-  for (auto& v : x) v *= alpha;
+}  // namespace
+
+void set_compute_pool(util::ThreadPool* pool) {
+  g_pool.store(pool, std::memory_order_release);
 }
+
+util::ThreadPool* compute_pool() {
+  return g_pool.load(std::memory_order_acquire);
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  util::simd::axpy(alpha, x, y);
+}
+
+void scale(std::span<float> x, float alpha) { util::simd::scale(x, alpha); }
 
 double dot(std::span<const float> x, std::span<const float> y) {
-  CGX_DCHECK(x.size() == y.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
-  }
-  return acc;
+  return util::simd::reduce_dot(x, y);
 }
 
 double squared_norm(std::span<const float> x) {
-  // Four independent accumulators break the loop-carried dependency that
-  // otherwise serializes the sum at one fused add per ~4 cycles; the final
-  // combine reassociates, which is fine for a norm (accumulation is in
-  // double, so the result differs from the serial sum by at most an ulp or
-  // two even for large inputs).
-  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-  const float* p = x.data();
-  std::size_t i = 0;
-  for (; i + 4 <= x.size(); i += 4) {
-    a0 += static_cast<double>(p[i]) * static_cast<double>(p[i]);
-    a1 += static_cast<double>(p[i + 1]) * static_cast<double>(p[i + 1]);
-    a2 += static_cast<double>(p[i + 2]) * static_cast<double>(p[i + 2]);
-    a3 += static_cast<double>(p[i + 3]) * static_cast<double>(p[i + 3]);
-  }
-  double acc = (a0 + a1) + (a2 + a3);
-  for (; i < x.size(); ++i) {
-    acc += static_cast<double>(p[i]) * static_cast<double>(p[i]);
-  }
-  return acc;
+  // All norm/dot reductions share simd::reduce_*'s canonical 8-lane combine
+  // order (see simd.h), so this value is bit-identical across dispatch
+  // levels and across every caller — no ulp drift between paths.
+  return util::simd::reduce_sqnorm(x);
 }
 
 double l2_norm(std::span<const float> x) { return std::sqrt(squared_norm(x)); }
 
 float linf_norm(std::span<const float> x) {
-  float m = 0.0f;
-  for (float v : x) m = std::max(m, std::fabs(v));
-  return m;
+  return util::simd::reduce_max_abs(x);
 }
 
-double sum(std::span<const float> x) {
-  double acc = 0.0;
-  for (float v : x) acc += v;
-  return acc;
-}
+double sum(std::span<const float> x) { return util::simd::reduce_sum(x); }
 
 void sub(std::span<const float> a, std::span<const float> b,
          std::span<float> out) {
-  CGX_DCHECK(a.size() == b.size() && a.size() == out.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  util::simd::sub(a, b, out);
 }
 
 void add_inplace(std::span<float> dst, std::span<const float> src) {
-  CGX_DCHECK(dst.size() == src.size());
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+  util::simd::add(dst, src);
 }
 
 void copy(std::span<const float> src, std::span<float> dst) {
@@ -84,17 +93,21 @@ void matmul(std::span<const float> a, std::span<const float> b,
   CGX_DCHECK(b.size() == k * n);
   CGX_DCHECK(c.size() == m * n);
   std::fill(c.begin(), c.end(), 0.0f);
-  // i-k-j loop order: streams through B and C rows; good enough for the
-  // model sizes in this library without an external BLAS.
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t p = 0; p < k; ++p) {
-      const float aip = a[i * k + p];
-      if (aip == 0.0f) continue;
-      const float* brow = &b[p * n];
-      float* crow = &c[i * n];
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+  if (m == 0 || k == 0 || n == 0) return;
+  const std::size_t nblocks = (m + kMB - 1) / kMB;
+  for_each_row_block(nblocks, [&](std::size_t blk) {
+    const std::size_t i0 = blk * kMB;
+    const std::size_t mb = std::min(kMB, m - i0);
+    for (std::size_t k0 = 0; k0 < k; k0 += kKB) {
+      const std::size_t kb = std::min(kKB, k - k0);
+      for (std::size_t j0 = 0; j0 < n; j0 += kNB) {
+        const std::size_t nb = std::min(kNB, n - j0);
+        util::simd::gemm_tile(a.data() + i0 * k + k0, k,
+                              b.data() + k0 * n + j0, n,
+                              c.data() + i0 * n + j0, n, mb, kb, nb);
+      }
     }
-  }
+  });
 }
 
 void matmul_at_b(std::span<const float> a, std::span<const float> b,
@@ -105,35 +118,48 @@ void matmul_at_b(std::span<const float> a, std::span<const float> b,
   CGX_DCHECK(b.size() == k * n);
   CGX_DCHECK(c.size() == m * n);
   std::fill(c.begin(), c.end(), 0.0f);
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* arow = &a[p * m];
-    const float* brow = &b[p * n];
-    for (std::size_t i = 0; i < m; ++i) {
-      const float aip = arow[i];
-      if (aip == 0.0f) continue;
-      float* crow = &c[i * n];
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+  if (m == 0 || k == 0 || n == 0) return;
+  const std::size_t nblocks = (m + kMB - 1) / kMB;
+  for_each_row_block(nblocks, [&](std::size_t blk) {
+    const std::size_t i0 = blk * kMB;
+    const std::size_t mb = std::min(kMB, m - i0);
+    for (std::size_t k0 = 0; k0 < k; k0 += kKB) {
+      const std::size_t kb = std::min(kKB, k - k0);
+      for (std::size_t j0 = 0; j0 < n; j0 += kNB) {
+        const std::size_t nb = std::min(kNB, n - j0);
+        util::simd::gemm_tile_at(a.data() + k0 * m + i0, m,
+                                 b.data() + k0 * n + j0, n,
+                                 c.data() + i0 * n + j0, n, mb, kb, nb);
+      }
     }
-  }
+  });
 }
 
 void matmul_a_bt(std::span<const float> a, std::span<const float> b,
                  std::span<float> c, std::size_t m, std::size_t n,
                  std::size_t k) {
-  // C[m x k] = A * B^T, with A [m x n], B [k x n] row-major.
+  // C[m x k] = A * B^T, with A [m x n], B [k x n] row-major. Both operands
+  // are traversed along contiguous rows, so each output is a dot product;
+  // reduce_dot keeps the double-precision accumulation the old loop had
+  // (now in the canonical lane order shared with every other reduction).
   CGX_DCHECK(a.size() == m * n);
   CGX_DCHECK(b.size() == k * n);
   CGX_DCHECK(c.size() == m * k);
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = &a[i * n];
-    float* crow = &c[i * k];
-    for (std::size_t j = 0; j < k; ++j) {
-      const float* brow = &b[j * n];
-      double acc = 0.0;
-      for (std::size_t p = 0; p < n; ++p) acc += double(arow[p]) * brow[p];
-      crow[j] = static_cast<float>(acc);
+  if (m == 0 || k == 0) return;
+  const std::size_t rows_per_block = std::max<std::size_t>(1, kMB / 8);
+  const std::size_t nblocks = (m + rows_per_block - 1) / rows_per_block;
+  for_each_row_block(nblocks, [&](std::size_t blk) {
+    const std::size_t i0 = blk * rows_per_block;
+    const std::size_t i1 = std::min(m, i0 + rows_per_block);
+    for (std::size_t i = i0; i < i1; ++i) {
+      const std::span<const float> arow = a.subspan(i * n, n);
+      float* crow = c.data() + i * k;
+      for (std::size_t j = 0; j < k; ++j) {
+        crow[j] = static_cast<float>(
+            util::simd::reduce_dot(arow, b.subspan(j * n, n)));
+      }
     }
-  }
+  });
 }
 
 }  // namespace cgx::tensor

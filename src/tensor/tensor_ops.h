@@ -7,7 +7,18 @@
 #include <cstddef>
 #include <span>
 
+namespace cgx::util {
+class ThreadPool;
+}  // namespace cgx::util
+
 namespace cgx::tensor {
+
+// Optional pool used by the tiled matmul drivers to parallelize over row
+// blocks. Results are bit-identical with any pool size and with no pool at
+// all: each output element's k-accumulation order is fixed by the tiling, and
+// row blocks are disjoint. Not owned; pass nullptr to go back to serial.
+void set_compute_pool(util::ThreadPool* pool);
+util::ThreadPool* compute_pool();
 
 // y += alpha * x
 void axpy(float alpha, std::span<const float> x, std::span<float> y);

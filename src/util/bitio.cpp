@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/simd.h"
+
 namespace cgx::util {
 
 std::size_t packed_size_bytes(std::size_t n, unsigned bits) {
@@ -166,6 +168,21 @@ void unpack_generic(const std::byte* in, std::size_t n, unsigned bits,
 
 void pack_dispatch(const std::uint32_t* symbols, std::size_t n,
                    unsigned bits, std::byte* out) {
+  // SIMD fast path for the word-aligned prefix (false when the active
+  // dispatch level has no vector kernel for this width). The ragged tail —
+  // and everything, when the vector path is unavailable — goes through the
+  // scalar loops below, which produce bit-identical words.
+  if (bits == 4 || bits == 8) {
+    const std::size_t per_word = 64 / bits;
+    const std::size_t nwords = n / per_word;
+    if (nwords > 0 && simd::pack_words(symbols, nwords, bits, out)) {
+      const std::size_t done = nwords * per_word;
+      symbols += done;
+      n -= done;
+      out += nwords * 8;
+      if (n == 0) return;
+    }
+  }
   switch (bits) {
     case 1:
       pack_div64<1>(symbols, n, out);
@@ -193,6 +210,17 @@ void pack_dispatch(const std::uint32_t* symbols, std::size_t n,
 
 void unpack_dispatch(const std::byte* in, std::size_t n, unsigned bits,
                      std::uint32_t* symbols) {
+  if (bits == 2 || bits == 4 || bits == 8) {
+    const std::size_t per_word = 64 / bits;
+    const std::size_t nwords = n / per_word;
+    if (nwords > 0 && simd::unpack_words(in, nwords, bits, symbols)) {
+      const std::size_t done = nwords * per_word;
+      symbols += done;
+      n -= done;
+      in += nwords * 8;
+      if (n == 0) return;
+    }
+  }
   switch (bits) {
     case 1:
       unpack_div64<1>(in, n, symbols);

@@ -1,0 +1,132 @@
+// Portable SIMD kernel layer with runtime CPU dispatch.
+//
+// Every numerical hot path in the library (tensor_ops GEMM, the nn layer
+// reductions, QSGD/NUQ quantization, bitio pack/unpack) routes through the
+// kernels declared here. At startup the best instruction set the CPU
+// supports is selected (AVX2+FMA > SSE2 > scalar); the CGX_SIMD environment
+// variable (`off`/`scalar`, `sse2`, `avx2`, `auto`) overrides the choice so
+// tests can pin a level, and set_level() switches levels at runtime for
+// in-process A/B comparison.
+//
+// Bit-exactness contract: for identical inputs, every kernel produces
+// bit-identical outputs at every dispatch level. Elementwise kernels
+// guarantee this by performing the exact same rounding sequence per element
+// (multiply then add — never fused — for float math). Reductions guarantee
+// it by a *canonical combine order*: the input is striped across eight
+// double-precision lane accumulators (element i lands in lane i % 8,
+// regardless of vector width) and the lanes are folded with the fixed tree
+//   ((l0+l1) + (l2+l3)) + ((l4+l5) + (l6+l7)).
+// The scalar reference implements this same order, so "scalar" is not a
+// different numerical contract — it is the specification. All three TUs
+// (scalar/sse2/avx2) are compiled with -ffp-contract=off so the compiler
+// cannot re-fuse what the contract keeps separate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace cgx::util::simd {
+
+enum class Level { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+// Best level this CPU can execute (compile-time capped on non-x86).
+Level max_supported_level();
+// Currently active level. First call initializes from CGX_SIMD.
+Level active_level();
+// Forces a level (clamped to max_supported_level()); used by tests and the
+// microbench to compare levels in-process. Thread-safe but not meant to be
+// raced against in-flight kernels.
+void set_level(Level level);
+const char* level_name(Level level);
+
+// ---------------------------------------------------------------------------
+// Elementwise float kernels (bit-identical across levels, per-element ops).
+// ---------------------------------------------------------------------------
+
+// y += alpha * x
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+// x *= alpha
+void scale(std::span<float> x, float alpha);
+// out = a - b
+void sub(std::span<const float> a, std::span<const float> b,
+         std::span<float> out);
+// dst += src
+void add(std::span<float> dst, std::span<const float> src);
+// out = a + beta * b  (the fused error-feedback decay+accumulate sweep)
+void add_scaled(std::span<const float> a, float beta, std::span<const float> b,
+                std::span<float> out);
+// dst += a * b (elementwise)
+void madd(std::span<float> dst, std::span<const float> a,
+          std::span<const float> b);
+
+// ---------------------------------------------------------------------------
+// Reductions (canonical 8-lane double accumulators, fixed combine tree).
+// ---------------------------------------------------------------------------
+
+double reduce_sum(std::span<const float> x);
+double reduce_dot(std::span<const float> x, std::span<const float> y);
+double reduce_sqnorm(std::span<const float> x);
+// sum over (x[i] - mean)^2, each term computed in double.
+double reduce_sqdiff(std::span<const float> x, double mean);
+// max(init, max_i x[i]); NaN elements are ignored (std::max semantics).
+float reduce_max(std::span<const float> x, float init);
+// max_i |x[i]| (0 for empty input).
+float reduce_max_abs(std::span<const float> x);
+
+// ---------------------------------------------------------------------------
+// Quantization kernels.
+// ---------------------------------------------------------------------------
+
+// QSGD stochastic rounding: for each i,
+//   a     = |v[i]| * inv_norm
+//   level = min((int)(a * s + u[i]), s)
+//   sym[i]= level | (signbit(v[i]) ? sign_bit : 0)
+// u holds pre-drawn uniforms in [0,1); s = sign_bit - 1 magnitude levels.
+void qsgd_quantize(const float* v, const float* u, std::size_t n,
+                   float inv_norm, std::uint32_t s, std::uint32_t sign_bit,
+                   std::uint32_t* sym);
+// Inverse: out[i] = ±(sym_level * scale); sign_shift = 32 - bits moves the
+// payload sign bit to the float sign position.
+void qsgd_dequantize(const std::uint32_t* sym, std::size_t n, float scale,
+                     std::uint32_t sign_bit, unsigned sign_shift, float* out);
+
+// NUQ exponential-grid stochastic quantization (levels 0, 2^-(top), ...,
+// 2^-1, 1 where top = 2^(bits-1) - 1). Interval search is done by exponent
+// extraction, identically in scalar and vector form.
+void nuq_quantize(const float* v, const float* u, std::size_t n,
+                  float inv_norm, unsigned bits, std::uint32_t* sym);
+void nuq_dequantize(const std::uint32_t* sym, std::size_t n, float norm,
+                    unsigned bits, float* out);
+
+// ---------------------------------------------------------------------------
+// GEMM micro-kernels. Called by the tiled drivers in tensor_ops.cpp; each
+// accumulates C[mb x nb] += A * B for one tile with row strides lda/ldb/ldc.
+// Every output element keeps a single float accumulator updated in
+// increasing-k order (register accumulation is bit-identical to the scalar
+// store/reload loop because float load/store is exact).
+// ---------------------------------------------------------------------------
+
+// A tile addressed a[i*lda + k].
+void gemm_tile(const float* a, std::size_t lda, const float* b,
+               std::size_t ldb, float* c, std::size_t ldc, std::size_t mb,
+               std::size_t kb, std::size_t nb);
+// A tile addressed transposed: a[k*lda + i] (for C = A^T * B).
+void gemm_tile_at(const float* a, std::size_t lda, const float* b,
+                  std::size_t ldb, float* c, std::size_t ldc, std::size_t mb,
+                  std::size_t kb, std::size_t nb);
+
+// ---------------------------------------------------------------------------
+// Bit pack/unpack fast paths for util/bitio. Operates on complete 64-bit
+// payload words only (nwords words, 64/bits symbols each); the caller packs
+// the ragged tail with its scalar loop. Returns false when the active level
+// has no vector path for `bits`, in which case the caller must run its
+// scalar loop over the whole range.
+// ---------------------------------------------------------------------------
+
+bool pack_words(const std::uint32_t* sym, std::size_t nwords, unsigned bits,
+                std::byte* out);
+bool unpack_words(const std::byte* in, std::size_t nwords, unsigned bits,
+                  std::uint32_t* sym);
+
+}  // namespace cgx::util::simd

@@ -1,0 +1,615 @@
+// AVX2 kernel implementations. Compiled with -mavx2 -mfma so the intrinsics
+// are available, but arithmetic deliberately uses separate multiply+add —
+// never FMA — and the TU is built with -ffp-contract=off, because fusing
+// would change rounding and break the bit-exactness contract against the
+// scalar reference (see simd.h). Reductions stripe elements across eight
+// double lanes exactly like the scalar path (element i -> lane i % 8) and
+// fold with the shared canonical tree.
+#include "util/simd_internal.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstring>
+
+namespace cgx::util::simd::detail {
+namespace {
+
+// ------------------------------------------------------------- elementwise
+
+void axpy_avx2(float alpha, const float* x, float* y, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vy = _mm256_loadu_ps(y + i);
+    const __m256 vx = _mm256_loadu_ps(x + i);
+    _mm256_storeu_ps(y + i, _mm256_add_ps(vy, _mm256_mul_ps(va, vx)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale_avx2(float* x, float alpha, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), va));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+void sub_avx2(const float* a, const float* b, float* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        out + i, _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void add_avx2(float* dst, const float* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i),
+                                            _mm256_loadu_ps(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+void add_scaled_avx2(const float* a, float beta, const float* b, float* out,
+                     std::size_t n) {
+  const __m256 vb = _mm256_set1_ps(beta);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i,
+                     _mm256_add_ps(_mm256_loadu_ps(a + i),
+                                   _mm256_mul_ps(vb, _mm256_loadu_ps(b + i))));
+  }
+  for (; i < n; ++i) out[i] = a[i] + beta * b[i];
+}
+
+void madd_avx2(float* dst, const float* a, const float* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i,
+                     _mm256_add_ps(_mm256_loadu_ps(dst + i),
+                                   _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                                 _mm256_loadu_ps(b + i))));
+  }
+  for (; i < n; ++i) dst[i] += a[i] * b[i];
+}
+
+// ------------------------------------------------------------- reductions
+
+// 8 floats widen to two 4-lane double vectors: lanes [0..3] and [4..7].
+struct Lanes8d {
+  __m256d d03, d47;
+};
+
+inline Lanes8d widen8(const float* p) {
+  const __m256 x = _mm256_loadu_ps(p);
+  return {_mm256_cvtps_pd(_mm256_castps256_ps128(x)),
+          _mm256_cvtps_pd(_mm256_extractf128_ps(x, 1))};
+}
+
+double reduce_sum_avx2(const float* x, std::size_t n) {
+  __m256d a03 = _mm256_setzero_pd();
+  __m256d a47 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const Lanes8d v = widen8(x + i);
+    a03 = _mm256_add_pd(a03, v.d03);
+    a47 = _mm256_add_pd(a47, v.d47);
+  }
+  double lanes[8];
+  _mm256_storeu_pd(lanes, a03);
+  _mm256_storeu_pd(lanes + 4, a47);
+  for (; i < n; ++i) lanes[i % 8] += static_cast<double>(x[i]);
+  return combine_lanes(lanes);
+}
+
+double reduce_dot_avx2(const float* x, const float* y, std::size_t n) {
+  __m256d a03 = _mm256_setzero_pd();
+  __m256d a47 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const Lanes8d vx = widen8(x + i);
+    const Lanes8d vy = widen8(y + i);
+    a03 = _mm256_add_pd(a03, _mm256_mul_pd(vx.d03, vy.d03));
+    a47 = _mm256_add_pd(a47, _mm256_mul_pd(vx.d47, vy.d47));
+  }
+  double lanes[8];
+  _mm256_storeu_pd(lanes, a03);
+  _mm256_storeu_pd(lanes + 4, a47);
+  for (; i < n; ++i) {
+    lanes[i % 8] += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  return combine_lanes(lanes);
+}
+
+double reduce_sqnorm_avx2(const float* x, std::size_t n) {
+  return reduce_dot_avx2(x, x, n);
+}
+
+double reduce_sqdiff_avx2(const float* x, double mean, std::size_t n) {
+  const __m256d vm = _mm256_set1_pd(mean);
+  __m256d a03 = _mm256_setzero_pd();
+  __m256d a47 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const Lanes8d v = widen8(x + i);
+    const __m256d d03 = _mm256_sub_pd(v.d03, vm);
+    const __m256d d47 = _mm256_sub_pd(v.d47, vm);
+    a03 = _mm256_add_pd(a03, _mm256_mul_pd(d03, d03));
+    a47 = _mm256_add_pd(a47, _mm256_mul_pd(d47, d47));
+  }
+  double lanes[8];
+  _mm256_storeu_pd(lanes, a03);
+  _mm256_storeu_pd(lanes + 4, a47);
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(x[i]) - mean;
+    lanes[i % 8] += d * d;
+  }
+  return combine_lanes(lanes);
+}
+
+float reduce_max_avx2(const float* x, std::size_t n, float init) {
+  __m256 m = _mm256_set1_ps(init);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // max_ps(x, m): keeps m when x is NaN, matching the scalar ternary.
+    m = _mm256_max_ps(_mm256_loadu_ps(x + i), m);
+  }
+  float lanes[8];
+  _mm256_storeu_ps(lanes, m);
+  for (; i < n; ++i) {
+    lanes[i % 8] = lanes[i % 8] < x[i] ? x[i] : lanes[i % 8];
+  }
+  return combine_lanes_max(lanes);
+}
+
+float reduce_max_abs_avx2(const float* x, std::size_t n) {
+  const __m256 abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  __m256 m = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    m = _mm256_max_ps(_mm256_and_ps(_mm256_loadu_ps(x + i), abs_mask), m);
+  }
+  float lanes[8];
+  _mm256_storeu_ps(lanes, m);
+  for (; i < n; ++i) {
+    const float a = std::bit_cast<float>(std::bit_cast<std::uint32_t>(x[i]) &
+                                         0x7fffffffu);
+    lanes[i % 8] = lanes[i % 8] < a ? a : lanes[i % 8];
+  }
+  return combine_lanes_max(lanes);
+}
+
+// ------------------------------------------------------------ quantization
+
+void qsgd_quantize_avx2(const float* v, const float* u, std::size_t n,
+                        float inv_norm, std::uint32_t s,
+                        std::uint32_t sign_bit, std::uint32_t* sym) {
+  const float s_f = static_cast<float>(s);
+  const __m256 vinv = _mm256_set1_ps(inv_norm);
+  const __m256 vs_f = _mm256_set1_ps(s_f);
+  const __m256i vs_i = _mm256_set1_epi32(static_cast<int>(s));
+  const __m256i abs_mask = _mm256_set1_epi32(0x7fffffff);
+  const __m128i shift =
+      _mm_cvtsi32_si128(static_cast<int>(std::countr_zero(sign_bit)));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i vbits =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    const __m256 a = _mm256_mul_ps(
+        _mm256_castsi256_ps(_mm256_and_si256(vbits, abs_mask)), vinv);
+    const __m256 t =
+        _mm256_add_ps(_mm256_mul_ps(a, vs_f), _mm256_loadu_ps(u + i));
+    const __m256i level = _mm256_min_epi32(_mm256_cvttps_epi32(t), vs_i);
+    const __m256i sign =
+        _mm256_sll_epi32(_mm256_srli_epi32(vbits, 31), shift);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(sym + i),
+                        _mm256_or_si256(level, sign));
+  }
+  const auto s_i = static_cast<std::int32_t>(s);
+  for (; i < n; ++i) {
+    const std::uint32_t v_bits = std::bit_cast<std::uint32_t>(v[i]);
+    const float a = std::bit_cast<float>(v_bits & 0x7fffffffu) * inv_norm;
+    std::int32_t level = static_cast<std::int32_t>(a * s_f + u[i]);
+    level = level < s_i ? level : s_i;
+    sym[i] = static_cast<std::uint32_t>(level) | ((v_bits >> 31) * sign_bit);
+  }
+}
+
+void qsgd_dequantize_avx2(const std::uint32_t* sym, std::size_t n, float scale,
+                          std::uint32_t sign_bit, unsigned sign_shift,
+                          float* out) {
+  const std::uint32_t level_mask = sign_bit - 1;
+  const __m256 vscale = _mm256_set1_ps(scale);
+  const __m256i vmask = _mm256_set1_epi32(static_cast<int>(level_mask));
+  const __m256i vsign = _mm256_set1_epi32(static_cast<int>(sign_bit));
+  const __m128i shift = _mm_cvtsi32_si128(static_cast<int>(sign_shift));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sym + i));
+    const __m256 mag = _mm256_mul_ps(
+        _mm256_cvtepi32_ps(_mm256_and_si256(s, vmask)), vscale);
+    const __m256i sg = _mm256_sll_epi32(_mm256_and_si256(s, vsign), shift);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_or_si256(_mm256_castps_si256(mag), sg));
+  }
+  for (; i < n; ++i) {
+    const std::uint32_t symbol = sym[i];
+    const float magnitude = static_cast<float>(symbol & level_mask) * scale;
+    out[i] = std::bit_cast<float>(std::bit_cast<std::uint32_t>(magnitude) |
+                                  ((symbol & sign_bit) << sign_shift));
+  }
+}
+
+void nuq_quantize_avx2(const float* v, const float* u, std::size_t n,
+                       float inv_norm, unsigned bits, std::uint32_t* sym) {
+  const int top = (1 << (bits - 1)) - 1;
+  const std::uint32_t sign_bit = 1u << (bits - 1);
+  const __m256 vinv = _mm256_set1_ps(inv_norm);
+  const __m256 vone = _mm256_set1_ps(1.0f);
+  const __m256i abs_mask = _mm256_set1_epi32(0x7fffffff);
+  const __m256i vtop = _mm256_set1_epi32(top);
+  const __m256i voff = _mm256_set1_epi32(top - 127);
+  const __m256i vexp0 = _mm256_set1_epi32(127 - top);
+  const __m256i vexp1 = _mm256_set1_epi32(128 - top);
+  const __m256i vzero = _mm256_setzero_si256();
+  const __m256i vone_i = _mm256_set1_epi32(1);
+  const __m128i sshift = _mm_cvtsi32_si128(static_cast<int>(bits - 1));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i vbits =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    const __m256 a = _mm256_min_ps(
+        _mm256_mul_ps(_mm256_castsi256_ps(_mm256_and_si256(vbits, abs_mask)),
+                      vinv),
+        vone);
+    __m256i lo = _mm256_add_epi32(
+        _mm256_srli_epi32(_mm256_castps_si256(a), 23), voff);
+    lo = _mm256_min_epi32(_mm256_max_epi32(lo, vzero), vtop);
+    const __m256 low = _mm256_castsi256_ps(_mm256_andnot_si256(
+        _mm256_cmpeq_epi32(lo, vzero),
+        _mm256_slli_epi32(_mm256_add_epi32(lo, vexp0), 23)));
+    const __m256 high = _mm256_castsi256_ps(
+        _mm256_slli_epi32(_mm256_add_epi32(lo, vexp1), 23));
+    const __m256 p = _mm256_div_ps(_mm256_sub_ps(a, low),
+                                   _mm256_sub_ps(high, low));
+    // u < p, ordered (false on NaN p), matching the scalar `u[i] < p`.
+    const __m256i ult =
+        _mm256_castps_si256(_mm256_cmp_ps(_mm256_loadu_ps(u + i), p, _CMP_LT_OQ));
+    const __m256i take = _mm256_and_si256(ult, _mm256_cmpgt_epi32(vtop, lo));
+    const __m256i idx = _mm256_add_epi32(lo, _mm256_and_si256(take, vone_i));
+    const __m256i sign =
+        _mm256_sll_epi32(_mm256_srli_epi32(vbits, 31), sshift);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(sym + i),
+                        _mm256_or_si256(idx, sign));
+  }
+  for (; i < n; ++i) {
+    const std::uint32_t v_bits = std::bit_cast<std::uint32_t>(v[i]);
+    float a = std::bit_cast<float>(v_bits & 0x7fffffffu) * inv_norm;
+    a = a < 1.0f ? a : 1.0f;
+    const int e =
+        static_cast<int>(std::bit_cast<std::uint32_t>(a) >> 23) - 127;
+    int lo = e + top;
+    lo = lo < 0 ? 0 : (lo > top ? top : lo);
+    std::uint32_t inc = 0;
+    if (lo < top) {
+      const float low =
+          lo == 0 ? 0.0f
+                  : std::bit_cast<float>(
+                        static_cast<std::uint32_t>(lo - top + 127) << 23);
+      const float high = std::bit_cast<float>(
+          static_cast<std::uint32_t>(lo + 1 - top + 127) << 23);
+      const float p = (a - low) / (high - low);
+      inc = u[i] < p ? 1u : 0u;
+    }
+    sym[i] = (static_cast<std::uint32_t>(lo) + inc) |
+             ((v_bits >> 31) * sign_bit);
+  }
+}
+
+void nuq_dequantize_avx2(const std::uint32_t* sym, std::size_t n, float norm,
+                         unsigned bits, float* out) {
+  const int top = (1 << (bits - 1)) - 1;
+  const std::uint32_t sign_bit = 1u << (bits - 1);
+  const std::uint32_t index_mask = sign_bit - 1;
+  const __m256 vnorm = _mm256_set1_ps(norm);
+  const __m256i vmask = _mm256_set1_epi32(static_cast<int>(index_mask));
+  const __m256i vsign = _mm256_set1_epi32(static_cast<int>(sign_bit));
+  const __m256i vexp0 = _mm256_set1_epi32(127 - top);
+  const __m256i vzero = _mm256_setzero_si256();
+  const __m128i shift = _mm_cvtsi32_si128(static_cast<int>(32 - bits));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sym + i));
+    const __m256i idx = _mm256_and_si256(s, vmask);
+    const __m256 level = _mm256_castsi256_ps(_mm256_andnot_si256(
+        _mm256_cmpeq_epi32(idx, vzero),
+        _mm256_slli_epi32(_mm256_add_epi32(idx, vexp0), 23)));
+    const __m256 value = _mm256_mul_ps(level, vnorm);
+    const __m256i sg = _mm256_sll_epi32(_mm256_and_si256(s, vsign), shift);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_xor_si256(_mm256_castps_si256(value), sg));
+  }
+  for (; i < n; ++i) {
+    const std::uint32_t symbol = sym[i];
+    const auto idx = static_cast<int>(symbol & index_mask);
+    const float level =
+        idx == 0 ? 0.0f
+                 : std::bit_cast<float>(
+                       static_cast<std::uint32_t>(idx - top + 127) << 23);
+    const float value = level * norm;
+    out[i] = std::bit_cast<float>(std::bit_cast<std::uint32_t>(value) ^
+                                  ((symbol & sign_bit) ? 0x80000000u : 0u));
+  }
+}
+
+// -------------------------------------------------------------------- gemm
+
+inline void gemm_cols_scalar(const float* a, std::size_t lda, bool a_trans,
+                             const float* b, std::size_t ldb, float* c,
+                             std::size_t ldc, std::size_t mb, std::size_t kb,
+                             std::size_t j0, std::size_t nb) {
+  for (std::size_t i = 0; i < mb; ++i) {
+    float* crow = c + i * ldc;
+    for (std::size_t j = j0; j < nb; ++j) {
+      float acc = crow[j];
+      for (std::size_t k = 0; k < kb; ++k) {
+        const float aik = a_trans ? a[k * lda + i] : a[i * lda + k];
+        acc += aik * b[k * ldb + j];
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
+// 4x16 register-blocked micro-kernel (8 ymm accumulators) with 4x8, 1x8 and
+// scalar fallbacks for the fringes. mul+add, never FMA (see header comment).
+template <bool ATrans>
+inline void gemm_tile_impl(const float* a, std::size_t lda, const float* b,
+                           std::size_t ldb, float* c, std::size_t ldc,
+                           std::size_t mb, std::size_t kb, std::size_t nb) {
+  auto a_at = [&](std::size_t i, std::size_t k) {
+    return ATrans ? a[k * lda + i] : a[i * lda + k];
+  };
+  std::size_t i = 0;
+  for (; i + 4 <= mb; i += 4) {
+    float* c0 = c + (i + 0) * ldc;
+    float* c1 = c + (i + 1) * ldc;
+    float* c2 = c + (i + 2) * ldc;
+    float* c3 = c + (i + 3) * ldc;
+    std::size_t j = 0;
+    for (; j + 16 <= nb; j += 16) {
+      __m256 acc0a = _mm256_loadu_ps(c0 + j);
+      __m256 acc0b = _mm256_loadu_ps(c0 + j + 8);
+      __m256 acc1a = _mm256_loadu_ps(c1 + j);
+      __m256 acc1b = _mm256_loadu_ps(c1 + j + 8);
+      __m256 acc2a = _mm256_loadu_ps(c2 + j);
+      __m256 acc2b = _mm256_loadu_ps(c2 + j + 8);
+      __m256 acc3a = _mm256_loadu_ps(c3 + j);
+      __m256 acc3b = _mm256_loadu_ps(c3 + j + 8);
+      for (std::size_t k = 0; k < kb; ++k) {
+        const float* brow = b + k * ldb + j;
+        const __m256 b0 = _mm256_loadu_ps(brow);
+        const __m256 b1 = _mm256_loadu_ps(brow + 8);
+        __m256 av = _mm256_set1_ps(a_at(i + 0, k));
+        acc0a = _mm256_add_ps(acc0a, _mm256_mul_ps(av, b0));
+        acc0b = _mm256_add_ps(acc0b, _mm256_mul_ps(av, b1));
+        av = _mm256_set1_ps(a_at(i + 1, k));
+        acc1a = _mm256_add_ps(acc1a, _mm256_mul_ps(av, b0));
+        acc1b = _mm256_add_ps(acc1b, _mm256_mul_ps(av, b1));
+        av = _mm256_set1_ps(a_at(i + 2, k));
+        acc2a = _mm256_add_ps(acc2a, _mm256_mul_ps(av, b0));
+        acc2b = _mm256_add_ps(acc2b, _mm256_mul_ps(av, b1));
+        av = _mm256_set1_ps(a_at(i + 3, k));
+        acc3a = _mm256_add_ps(acc3a, _mm256_mul_ps(av, b0));
+        acc3b = _mm256_add_ps(acc3b, _mm256_mul_ps(av, b1));
+      }
+      _mm256_storeu_ps(c0 + j, acc0a);
+      _mm256_storeu_ps(c0 + j + 8, acc0b);
+      _mm256_storeu_ps(c1 + j, acc1a);
+      _mm256_storeu_ps(c1 + j + 8, acc1b);
+      _mm256_storeu_ps(c2 + j, acc2a);
+      _mm256_storeu_ps(c2 + j + 8, acc2b);
+      _mm256_storeu_ps(c3 + j, acc3a);
+      _mm256_storeu_ps(c3 + j + 8, acc3b);
+    }
+    for (; j + 8 <= nb; j += 8) {
+      __m256 acc0 = _mm256_loadu_ps(c0 + j);
+      __m256 acc1 = _mm256_loadu_ps(c1 + j);
+      __m256 acc2 = _mm256_loadu_ps(c2 + j);
+      __m256 acc3 = _mm256_loadu_ps(c3 + j);
+      for (std::size_t k = 0; k < kb; ++k) {
+        const __m256 b0 = _mm256_loadu_ps(b + k * ldb + j);
+        acc0 = _mm256_add_ps(acc0,
+                             _mm256_mul_ps(_mm256_set1_ps(a_at(i + 0, k)), b0));
+        acc1 = _mm256_add_ps(acc1,
+                             _mm256_mul_ps(_mm256_set1_ps(a_at(i + 1, k)), b0));
+        acc2 = _mm256_add_ps(acc2,
+                             _mm256_mul_ps(_mm256_set1_ps(a_at(i + 2, k)), b0));
+        acc3 = _mm256_add_ps(acc3,
+                             _mm256_mul_ps(_mm256_set1_ps(a_at(i + 3, k)), b0));
+      }
+      _mm256_storeu_ps(c0 + j, acc0);
+      _mm256_storeu_ps(c1 + j, acc1);
+      _mm256_storeu_ps(c2 + j, acc2);
+      _mm256_storeu_ps(c3 + j, acc3);
+    }
+    if (j < nb) {
+      gemm_cols_scalar(ATrans ? a + i : a + i * lda, lda, ATrans, b, ldb,
+                       c + i * ldc, ldc, 4, kb, j, nb);
+    }
+  }
+  for (; i < mb; ++i) {
+    float* crow = c + i * ldc;
+    std::size_t j = 0;
+    for (; j + 8 <= nb; j += 8) {
+      __m256 acc = _mm256_loadu_ps(crow + j);
+      for (std::size_t k = 0; k < kb; ++k) {
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(a_at(i, k)),
+                                               _mm256_loadu_ps(b + k * ldb + j)));
+      }
+      _mm256_storeu_ps(crow + j, acc);
+    }
+    if (j < nb) {
+      gemm_cols_scalar(ATrans ? a + i : a + i * lda, lda, ATrans, b, ldb,
+                       crow, ldc, 1, kb, j, nb);
+    }
+  }
+}
+
+void gemm_tile_avx2(const float* a, std::size_t lda, const float* b,
+                    std::size_t ldb, float* c, std::size_t ldc, std::size_t mb,
+                    std::size_t kb, std::size_t nb) {
+  gemm_tile_impl<false>(a, lda, b, ldb, c, ldc, mb, kb, nb);
+}
+
+void gemm_tile_at_avx2(const float* a, std::size_t lda, const float* b,
+                       std::size_t ldb, float* c, std::size_t ldc,
+                       std::size_t mb, std::size_t kb, std::size_t nb) {
+  gemm_tile_impl<true>(a, lda, b, ldb, c, ldc, mb, kb, nb);
+}
+
+// ------------------------------------------------------------- pack/unpack
+
+// Vector paths exist for the word-aligned prefix only; output words are
+// bit-identical to bitio's scalar `word |= sym << (j*bits)` loop.
+
+bool pack_words_avx2(const std::uint32_t* sym, std::size_t nwords,
+                     unsigned bits, std::byte* out) {
+  if (bits == 8) {
+    // 8 symbols -> one 64-bit word: gather the low byte of each dword.
+    const __m256i shuf = _mm256_setr_epi8(
+        0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,  //
+        0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1);
+    for (std::size_t w = 0; w < nwords; ++w) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sym + w * 8));
+      const __m256i t = _mm256_shuffle_epi8(v, shuf);
+      const auto lo = static_cast<std::uint32_t>(
+          _mm_cvtsi128_si32(_mm256_castsi256_si128(t)));
+      const auto hi = static_cast<std::uint32_t>(
+          _mm_cvtsi128_si32(_mm256_extracti128_si256(t, 1)));
+      const std::uint64_t word =
+          static_cast<std::uint64_t>(lo) | (static_cast<std::uint64_t>(hi) << 32);
+      std::memcpy(out + w * 8, &word, 8);
+    }
+    return true;
+  }
+  if (bits == 4) {
+    // 16 symbols -> one word: pair nibbles inside each qword, then gather.
+    const __m256i nib_mask = _mm256_set1_epi32(0xF);
+    const __m256i odd_shift = _mm256_setr_epi32(0, 4, 0, 4, 0, 4, 0, 4);
+    const __m256i shuf = _mm256_setr_epi8(
+        0, 8, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,  //
+        0, 8, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1);
+    auto gather4 = [&](const std::uint32_t* p) {
+      __m256i v = _mm256_and_si256(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)), nib_mask);
+      v = _mm256_sllv_epi32(v, odd_shift);
+      v = _mm256_or_si256(v, _mm256_srli_epi64(v, 32));
+      const __m256i t = _mm256_shuffle_epi8(v, shuf);
+      const auto lo = static_cast<std::uint32_t>(
+          _mm_cvtsi128_si32(_mm256_castsi256_si128(t)));
+      const auto hi = static_cast<std::uint32_t>(
+          _mm_cvtsi128_si32(_mm256_extracti128_si256(t, 1)));
+      return (lo & 0xFFFFu) | ((hi & 0xFFFFu) << 16);
+    };
+    for (std::size_t w = 0; w < nwords; ++w) {
+      const std::uint32_t* p = sym + w * 16;
+      const std::uint64_t word =
+          static_cast<std::uint64_t>(gather4(p)) |
+          (static_cast<std::uint64_t>(gather4(p + 8)) << 32);
+      std::memcpy(out + w * 8, &word, 8);
+    }
+    return true;
+  }
+  return false;
+}
+
+bool unpack_words_avx2(const std::byte* in, std::size_t nwords, unsigned bits,
+                       std::uint32_t* sym) {
+  if (bits == 8) {
+    for (std::size_t w = 0; w < nwords; ++w) {
+      std::uint64_t word;
+      std::memcpy(&word, in + w * 8, 8);
+      const __m128i b = _mm_cvtsi64_si128(static_cast<long long>(word));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(sym + w * 8),
+                          _mm256_cvtepu8_epi32(b));
+    }
+    return true;
+  }
+  if (bits == 4) {
+    const __m256i shifts = _mm256_setr_epi32(0, 4, 8, 12, 16, 20, 24, 28);
+    const __m256i mask = _mm256_set1_epi32(0xF);
+    for (std::size_t w = 0; w < nwords; ++w) {
+      std::uint64_t word;
+      std::memcpy(&word, in + w * 8, 8);
+      const auto lo = static_cast<std::uint32_t>(word);
+      const auto hi = static_cast<std::uint32_t>(word >> 32);
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(sym + w * 16),
+          _mm256_and_si256(
+              _mm256_srlv_epi32(_mm256_set1_epi32(static_cast<int>(lo)), shifts),
+              mask));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(sym + w * 16 + 8),
+          _mm256_and_si256(
+              _mm256_srlv_epi32(_mm256_set1_epi32(static_cast<int>(hi)), shifts),
+              mask));
+    }
+    return true;
+  }
+  if (bits == 2) {
+    const __m256i shifts = _mm256_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14);
+    const __m256i mask = _mm256_set1_epi32(0x3);
+    for (std::size_t w = 0; w < nwords; ++w) {
+      std::uint64_t word;
+      std::memcpy(&word, in + w * 8, 8);
+      for (unsigned g = 0; g < 4; ++g) {
+        const auto part =
+            static_cast<std::uint32_t>((word >> (16 * g)) & 0xFFFFu);
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(sym + w * 32 + g * 8),
+            _mm256_and_si256(
+                _mm256_srlv_epi32(_mm256_set1_epi32(static_cast<int>(part)),
+                                  shifts),
+                mask));
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+constexpr SimdOps kAvx2Ops = {
+    axpy_avx2,       scale_avx2,          sub_avx2,
+    add_avx2,        add_scaled_avx2,     madd_avx2,
+    reduce_sum_avx2, reduce_dot_avx2,     reduce_sqnorm_avx2,
+    reduce_sqdiff_avx2, reduce_max_avx2,  reduce_max_abs_avx2,
+    qsgd_quantize_avx2, qsgd_dequantize_avx2,
+    nuq_quantize_avx2,  nuq_dequantize_avx2,
+    gemm_tile_avx2,  gemm_tile_at_avx2,
+    pack_words_avx2, unpack_words_avx2,
+};
+
+}  // namespace
+
+const SimdOps& avx2_ops() { return kAvx2Ops; }
+
+}  // namespace cgx::util::simd::detail
+
+#else  // non-x86: never selected (max_supported_level() caps at scalar)
+
+namespace cgx::util::simd::detail {
+const SimdOps& avx2_ops() { return scalar_ops(); }
+}  // namespace cgx::util::simd::detail
+
+#endif

@@ -1,0 +1,68 @@
+// Internal dispatch table shared by the scalar/SSE2/AVX2 translation units.
+// Not installed API — include only from src/util/simd*.cpp and tests that
+// poke specific levels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cgx::util::simd::detail {
+
+struct SimdOps {
+  void (*axpy)(float alpha, const float* x, float* y, std::size_t n);
+  void (*scale)(float* x, float alpha, std::size_t n);
+  void (*sub)(const float* a, const float* b, float* out, std::size_t n);
+  void (*add)(float* dst, const float* src, std::size_t n);
+  void (*add_scaled)(const float* a, float beta, const float* b, float* out,
+                     std::size_t n);
+  void (*madd)(float* dst, const float* a, const float* b, std::size_t n);
+
+  double (*reduce_sum)(const float* x, std::size_t n);
+  double (*reduce_dot)(const float* x, const float* y, std::size_t n);
+  double (*reduce_sqnorm)(const float* x, std::size_t n);
+  double (*reduce_sqdiff)(const float* x, double mean, std::size_t n);
+  float (*reduce_max)(const float* x, std::size_t n, float init);
+  float (*reduce_max_abs)(const float* x, std::size_t n);
+
+  void (*qsgd_quantize)(const float* v, const float* u, std::size_t n,
+                        float inv_norm, std::uint32_t s, std::uint32_t sign_bit,
+                        std::uint32_t* sym);
+  void (*qsgd_dequantize)(const std::uint32_t* sym, std::size_t n, float scale,
+                          std::uint32_t sign_bit, unsigned sign_shift,
+                          float* out);
+  void (*nuq_quantize)(const float* v, const float* u, std::size_t n,
+                       float inv_norm, unsigned bits, std::uint32_t* sym);
+  void (*nuq_dequantize)(const std::uint32_t* sym, std::size_t n, float norm,
+                         unsigned bits, float* out);
+
+  void (*gemm_tile)(const float* a, std::size_t lda, const float* b,
+                    std::size_t ldb, float* c, std::size_t ldc, std::size_t mb,
+                    std::size_t kb, std::size_t nb);
+  void (*gemm_tile_at)(const float* a, std::size_t lda, const float* b,
+                       std::size_t ldb, float* c, std::size_t ldc,
+                       std::size_t mb, std::size_t kb, std::size_t nb);
+
+  // May be null (no vector path at this level).
+  bool (*pack_words)(const std::uint32_t* sym, std::size_t nwords,
+                     unsigned bits, std::byte* out);
+  bool (*unpack_words)(const std::byte* in, std::size_t nwords, unsigned bits,
+                       std::uint32_t* sym);
+};
+
+// Canonical lane fold shared by every reduction implementation. The tree
+// shape is part of the bit-exactness contract — do not reassociate.
+inline double combine_lanes(const double l[8]) {
+  return ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]));
+}
+
+inline float combine_lanes_max(const float l[8]) {
+  auto mx = [](float a, float b) { return a < b ? b : a; };
+  return mx(mx(mx(l[0], l[1]), mx(l[2], l[3])),
+            mx(mx(l[4], l[5]), mx(l[6], l[7])));
+}
+
+const SimdOps& scalar_ops();
+const SimdOps& sse2_ops();  // null-equivalent to scalar on non-x86
+const SimdOps& avx2_ops();  // only safe to call through when CPU has AVX2+FMA
+
+}  // namespace cgx::util::simd::detail

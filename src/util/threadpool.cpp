@@ -6,6 +6,12 @@
 
 namespace cgx::util {
 
+namespace {
+thread_local bool t_on_worker = false;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
@@ -43,7 +49,8 @@ void ThreadPool::wait_idle() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  const std::size_t chunks = std::min(n, workers_.size());
+  const std::size_t chunks =
+      t_on_worker ? 1 : std::min(n, workers_.size());
   if (chunks <= 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
@@ -66,6 +73,7 @@ void ThreadPool::parallel_for(std::size_t n,
 }
 
 void ThreadPool::worker_loop() {
+  t_on_worker = true;
   for (;;) {
     std::function<void()> task;
     {

@@ -33,9 +33,14 @@ class ThreadPool {
   void wait_idle();
 
   // Runs fn(i) for i in [0, n), partitioned into contiguous chunks across the
-  // pool, and blocks until all chunks complete. Safe to call from a non-pool
-  // thread only.
+  // pool, and blocks until all chunks complete. When called from a pool
+  // worker it degrades to a serial loop instead of deadlocking (the worker
+  // would otherwise block on chunks that sit behind it in the queue).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // True when the calling thread is a worker of *any* ThreadPool. Kernels use
+  // this to avoid nested parallel_for.
+  static bool on_worker_thread();
 
  private:
   void worker_loop();

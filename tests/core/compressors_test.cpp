@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstring>
 #include <memory>
 #include <vector>
 
 #include "core/compression_config.h"
 #include "core/compressor.h"
 #include "core/error_feedback.h"
+#include "core/nuq.h"
 #include "core/onebit.h"
 #include "core/powersgd.h"
 #include "core/qsgd.h"
@@ -14,6 +17,7 @@
 #include "core/topk.h"
 #include "tensor/tensor_ops.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace cgx::core {
 namespace {
@@ -495,6 +499,121 @@ TEST(Factory, ErrorFeedbackWrapping) {
   cfg.error_feedback = true;
   auto c = make_compressor(cfg, 0);
   EXPECT_EQ(c->name().rfind("ef+", 0), 0u);
+}
+
+// ------------------------------------------------- SIMD level invariance
+//
+// The quantizers route their hot loops through util::simd; the wire payload
+// and the reconstruction must be bit-identical at every dispatch level
+// (scalar is the specification — see util/simd.h). Ragged sizes exercise
+// partial buckets and the pack/unpack tail paths.
+
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(util::simd::Level l)
+      : prev_(util::simd::active_level()) {
+    util::simd::set_level(l);
+  }
+  ~ScopedSimdLevel() { util::simd::set_level(prev_); }
+
+ private:
+  util::simd::Level prev_;
+};
+
+template <typename MakeCompressor>
+void expect_level_invariant_payload(MakeCompressor make, std::size_t n,
+                                    std::uint64_t seed) {
+  const auto in = random_vector(n, seed);
+  std::vector<std::byte> ref_payload;
+  std::vector<float> ref_out(n);
+  std::size_t ref_written = 0;
+  {
+    ScopedSimdLevel lvl(util::simd::Level::kScalar);
+    auto c = make();
+    ref_payload.resize(c->compressed_size(n));
+    util::Rng rng(seed + 1);
+    ref_written = c->compress(in, ref_payload, rng);
+    c->decompress({ref_payload.data(), ref_written}, ref_out);
+  }
+  for (int l = 0; l <= static_cast<int>(util::simd::max_supported_level());
+       ++l) {
+    const auto level = static_cast<util::simd::Level>(l);
+    SCOPED_TRACE(::testing::Message()
+                 << "n=" << n << " level=" << util::simd::level_name(level));
+    ScopedSimdLevel lvl(level);
+    auto c = make();
+    std::vector<std::byte> payload(c->compressed_size(n));
+    util::Rng rng(seed + 1);  // same RNG stream at every level
+    const std::size_t written = c->compress(in, payload, rng);
+    ASSERT_EQ(ref_written, written);
+    EXPECT_EQ(0, std::memcmp(ref_payload.data(), payload.data(), written));
+    std::vector<float> out(n);
+    c->decompress({payload.data(), written}, out);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(std::bit_cast<std::uint32_t>(ref_out[i]),
+                std::bit_cast<std::uint32_t>(out[i]))
+          << "i=" << i;
+    }
+  }
+}
+
+TEST(SimdLevels, QsgdPayloadBitIdentical) {
+  for (unsigned bits : {2u, 4u, 8u}) {
+    for (std::size_t n : {1ul, 63ul, 128ul, 129ul, 1000ul}) {
+      SCOPED_TRACE(::testing::Message() << "bits=" << bits);
+      expect_level_invariant_payload(
+          [bits] { return std::make_unique<QsgdCompressor>(bits, 128); }, n,
+          9000 + bits);
+    }
+  }
+}
+
+TEST(SimdLevels, NuqPayloadBitIdentical) {
+  for (unsigned bits : {2u, 4u, 8u}) {
+    for (std::size_t n : {1ul, 63ul, 128ul, 129ul, 1000ul}) {
+      SCOPED_TRACE(::testing::Message() << "bits=" << bits);
+      expect_level_invariant_payload(
+          [bits] { return std::make_unique<NuqCompressor>(bits, 128); }, n,
+          9100 + bits);
+    }
+  }
+}
+
+TEST(SimdLevels, ErrorFeedbackResidualBitIdentical) {
+  const std::size_t n = 500;
+  const auto step1 = random_vector(n, 42);
+  const auto step2 = random_vector(n, 43);
+  std::vector<float> ref1(n), ref2(n);
+  {
+    ScopedSimdLevel lvl(util::simd::Level::kScalar);
+    ErrorFeedback ef(std::make_unique<QsgdCompressor>(4, 128), 0.9f);
+    util::Rng rng(44);
+    std::vector<std::byte> payload(ef.compressed_size(n));
+    std::size_t w = ef.compress(step1, payload, rng);
+    ef.decompress({payload.data(), w}, ref1);
+    w = ef.compress(step2, payload, rng);
+    ef.decompress({payload.data(), w}, ref2);
+  }
+  for (int l = 0; l <= static_cast<int>(util::simd::max_supported_level());
+       ++l) {
+    const auto level = static_cast<util::simd::Level>(l);
+    SCOPED_TRACE(util::simd::level_name(level));
+    ScopedSimdLevel lvl(level);
+    ErrorFeedback ef(std::make_unique<QsgdCompressor>(4, 128), 0.9f);
+    util::Rng rng(44);
+    std::vector<float> out1(n), out2(n);
+    std::vector<std::byte> payload(ef.compressed_size(n));
+    std::size_t w = ef.compress(step1, payload, rng);
+    ef.decompress({payload.data(), w}, out1);
+    w = ef.compress(step2, payload, rng);
+    ef.decompress({payload.data(), w}, out2);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(std::bit_cast<std::uint32_t>(ref1[i]),
+                std::bit_cast<std::uint32_t>(out1[i]));
+      ASSERT_EQ(std::bit_cast<std::uint32_t>(ref2[i]),
+                std::bit_cast<std::uint32_t>(out2[i]));
+    }
+  }
 }
 
 }  // namespace

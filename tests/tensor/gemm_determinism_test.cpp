@@ -1,0 +1,143 @@
+// Thread-count determinism for the tiled GEMM drivers and the layers built
+// on them: results must be bit-identical with no pool and with pools of
+// 1, 2, and 7 workers. The tiling fixes each output element's
+// k-accumulation order and row blocks are disjoint, so parallelism changes
+// only *who* computes a block, never the arithmetic — this suite is the
+// enforcement of that contract (and is labeled tsan, since a data race in
+// the row-block partitioning is exactly what would break it).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "nn/conv.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+#include "util/threadpool.h"
+
+namespace cgx::tensor {
+namespace {
+
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.next_gaussian());
+  return v;
+}
+
+void expect_bits_equal(std::span<const float> expected,
+                       std::span<const float> got, const char* what) {
+  ASSERT_EQ(expected.size(), got.size()) << what;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(expected[i]),
+              std::bit_cast<std::uint32_t>(got[i]))
+        << what << " diverges at i=" << i;
+  }
+}
+
+// Restores the global compute pool on scope exit so a failing assertion
+// can't leak a dangling pool pointer into later tests.
+class ScopedPool {
+ public:
+  explicit ScopedPool(util::ThreadPool* pool) { set_compute_pool(pool); }
+  ~ScopedPool() { set_compute_pool(nullptr); }
+};
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 7};
+
+TEST(GemmDeterminism, MatmulBitIdenticalAcrossThreadCounts) {
+  // 3 row blocks plus a ragged one (kMB = 64), ragged k and n panels.
+  const std::size_t m = 201, k = 93, n = 37;
+  const auto a = random_floats(m * k, 1);
+  const auto b = random_floats(k * n, 2);
+
+  std::vector<float> ref(m * n);
+  {
+    ScopedPool no_pool(nullptr);
+    matmul(a, b, ref, m, k, n);
+  }
+  for (std::size_t threads : kThreadCounts) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    util::ThreadPool pool(threads);
+    ScopedPool use(&pool);
+    std::vector<float> c(m * n);
+    matmul(a, b, c, m, k, n);
+    expect_bits_equal(ref, c, "matmul");
+  }
+}
+
+TEST(GemmDeterminism, MatmulVariantsBitIdenticalAcrossThreadCounts) {
+  const std::size_t m = 130, k = 65, n = 41;
+  const auto a = random_floats(m * k, 4);    // [m, k]
+  const auto at = random_floats(k * m, 5);   // [k, m] for A^T B
+  const auto b = random_floats(k * n, 6);    // [k, n]
+  const auto bt = random_floats(n * k, 7);   // B^T operand: B is [k, n]
+
+  std::vector<float> ref_atb(m * n), ref_abt(m * k);
+  {
+    ScopedPool no_pool(nullptr);
+    matmul_at_b(at, b, ref_atb, k, m, n);
+    matmul_a_bt(a, bt, ref_abt, m, k, n);
+  }
+  for (std::size_t threads : kThreadCounts) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    util::ThreadPool pool(threads);
+    ScopedPool use(&pool);
+    std::vector<float> c_atb(m * n), c_abt(m * k);
+    matmul_at_b(at, b, c_atb, k, m, n);
+    matmul_a_bt(a, bt, c_abt, m, k, n);
+    expect_bits_equal(ref_atb, c_atb, "matmul_at_b");
+    expect_bits_equal(ref_abt, c_abt, "matmul_a_bt");
+  }
+}
+
+TEST(GemmDeterminism, ConvForwardBackwardBitIdenticalAcrossThreadCounts) {
+  const std::size_t b = 2, c = 3, h = 9, w = 9, oc = 5, kk = 3;
+  Tensor x(Shape{b, c, h, w});
+  {
+    util::Rng rng(8);
+    for (auto& v : x.data()) v = static_cast<float>(rng.next_gaussian());
+  }
+  Tensor go;  // grad w.r.t. conv output, filled after the first forward
+
+  // Reference run: no pool.
+  std::vector<float> out_ref, gin_ref, gw_ref;
+  {
+    ScopedPool no_pool(nullptr);
+    util::Rng rng(9);
+    nn::Conv2d conv(c, oc, kk, 1, 1, rng);
+    const Tensor& out = conv.forward(x, true);
+    out_ref.assign(out.data().begin(), out.data().end());
+    go = Tensor(out.shape());
+    {
+      util::Rng grng(10);
+      for (auto& v : go.data()) v = static_cast<float>(grng.next_gaussian());
+    }
+    const Tensor& gin = conv.backward(go);
+    gin_ref.assign(gin.data().begin(), gin.data().end());
+    std::vector<nn::Param*> params;
+    conv.collect_params("", params);
+    gw_ref.assign(params[0]->grad.data().begin(),
+                  params[0]->grad.data().end());
+  }
+
+  for (std::size_t threads : kThreadCounts) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    util::ThreadPool pool(threads);
+    ScopedPool use(&pool);
+    util::Rng rng(9);  // same seed -> same weights
+    nn::Conv2d conv(c, oc, kk, 1, 1, rng);
+    const Tensor& out = conv.forward(x, true);
+    expect_bits_equal(out_ref, out.data(), "conv forward");
+    const Tensor& gin = conv.backward(go);
+    expect_bits_equal(gin_ref, gin.data(), "conv grad_in");
+    std::vector<nn::Param*> params;
+    conv.collect_params("", params);
+    expect_bits_equal(gw_ref, params[0]->grad.data(), "conv grad_w");
+  }
+}
+
+}  // namespace
+}  // namespace cgx::tensor

@@ -1,0 +1,395 @@
+// Property tests for the SIMD kernel layer: every kernel must be
+// bit-identical to the scalar reference at every reachable dispatch level,
+// across sizes 0..67, unaligned offsets, and ragged vector tails. The
+// scalar implementation is the specification (see util/simd.h); these tests
+// are what makes "CGX_SIMD=off reproduces CGX_SIMD=auto bit-for-bit" an
+// enforced contract rather than an aspiration.
+#include "util/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/bitio.h"
+#include "util/rng.h"
+
+namespace cgx::util::simd {
+namespace {
+
+std::vector<Level> reachable_levels() {
+  std::vector<Level> out;
+  for (int l = 0; l <= static_cast<int>(max_supported_level()); ++l) {
+    out.push_back(static_cast<Level>(l));
+  }
+  return out;
+}
+
+// Pins a dispatch level for one scope, restoring the previous level after.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(Level l) : prev_(active_level()) { set_level(l); }
+  ~ScopedLevel() { set_level(prev_); }
+
+ private:
+  Level prev_;
+};
+
+// Bitwise float comparison: distinguishes -0.0f from 0.0f and treats NaN
+// payloads literally, which EXPECT_FLOAT_EQ cannot.
+void expect_bits_equal(std::span<const float> expected,
+                       std::span<const float> got, const char* what) {
+  ASSERT_EQ(expected.size(), got.size()) << what;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(expected[i]),
+              std::bit_cast<std::uint32_t>(got[i]))
+        << what << " diverges at i=" << i << " (" << expected[i] << " vs "
+        << got[i] << ")";
+  }
+}
+
+// Random float mix with zeros, sign flips, and wide magnitude range so the
+// kernels see denormal-ish small values and large ones.
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mag = rng.next_double() * 2.0 - 1.0;
+    const int exp = static_cast<int>(rng.next_below(30)) - 15;
+    v[i] = static_cast<float>(std::ldexp(mag, exp));
+    if (rng.next_below(16) == 0) v[i] = 0.0f;
+    if (rng.next_below(32) == 0) v[i] = -0.0f;
+  }
+  return v;
+}
+
+// Sizes 0..67 cover empty input, every partial-vector tail for both 4-wide
+// and 8-wide kernels, and a couple of full blocks. The offset de-aligns the
+// spans so kernels cannot rely on 16/32-byte alignment.
+constexpr std::size_t kMaxN = 67;
+
+std::size_t offset_for(std::size_t n) { return n % 4; }
+
+// --------------------------------------------------------- elementwise
+
+TEST(SimdElementwise, BitIdenticalAcrossLevels) {
+  for (std::size_t n = 0; n <= kMaxN; ++n) {
+    const std::size_t off = offset_for(n);
+    const auto a_buf = random_floats(n + off, 101 + n);
+    const auto b_buf = random_floats(n + off, 202 + n);
+    const std::span<const float> a(a_buf.data() + off, n);
+    const std::span<const float> b(b_buf.data() + off, n);
+    const float alpha = 0.73f, beta = -1.13f;
+
+    // Scalar reference outputs.
+    std::vector<float> axpy_ref(b.begin(), b.end());
+    std::vector<float> scale_ref(a.begin(), a.end());
+    std::vector<float> sub_ref(n), add_ref(b.begin(), b.end());
+    std::vector<float> add_scaled_ref(n), madd_ref(a.begin(), a.end());
+    {
+      ScopedLevel lvl(Level::kScalar);
+      axpy(alpha, a, axpy_ref);
+      scale(scale_ref, alpha);
+      sub(a, b, sub_ref);
+      add(add_ref, a);
+      add_scaled(a, beta, b, add_scaled_ref);
+      madd(madd_ref, a, b);
+    }
+
+    for (Level l : reachable_levels()) {
+      SCOPED_TRACE(::testing::Message() << "n=" << n << " level="
+                                        << level_name(l));
+      ScopedLevel lvl(l);
+      std::vector<float> y(b.begin(), b.end());
+      axpy(alpha, a, y);
+      expect_bits_equal(axpy_ref, y, "axpy");
+
+      std::vector<float> s(a.begin(), a.end());
+      scale(s, alpha);
+      expect_bits_equal(scale_ref, s, "scale");
+
+      std::vector<float> d(n);
+      sub(a, b, d);
+      expect_bits_equal(sub_ref, d, "sub");
+
+      std::vector<float> ad(b.begin(), b.end());
+      add(ad, a);
+      expect_bits_equal(add_ref, ad, "add");
+
+      std::vector<float> as(n);
+      add_scaled(a, beta, b, as);
+      expect_bits_equal(add_scaled_ref, as, "add_scaled");
+
+      std::vector<float> md(a.begin(), a.end());
+      madd(md, a, b);
+      expect_bits_equal(madd_ref, md, "madd");
+    }
+  }
+}
+
+// --------------------------------------------------------- reductions
+
+TEST(SimdReductions, BitIdenticalAcrossLevels) {
+  for (std::size_t n = 0; n <= kMaxN; ++n) {
+    const std::size_t off = offset_for(n);
+    const auto x_buf = random_floats(n + off, 303 + n);
+    const auto y_buf = random_floats(n + off, 404 + n);
+    const std::span<const float> x(x_buf.data() + off, n);
+    const std::span<const float> y(y_buf.data() + off, n);
+    const double mean = 0.251;
+
+    double sum_ref, dot_ref, sqnorm_ref, sqdiff_ref;
+    float max_ref, maxabs_ref;
+    {
+      ScopedLevel lvl(Level::kScalar);
+      sum_ref = reduce_sum(x);
+      dot_ref = reduce_dot(x, y);
+      sqnorm_ref = reduce_sqnorm(x);
+      sqdiff_ref = reduce_sqdiff(x, mean);
+      max_ref = reduce_max(x, -1e30f);
+      maxabs_ref = reduce_max_abs(x);
+    }
+
+    for (Level l : reachable_levels()) {
+      SCOPED_TRACE(::testing::Message() << "n=" << n << " level="
+                                        << level_name(l));
+      ScopedLevel lvl(l);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(sum_ref),
+                std::bit_cast<std::uint64_t>(reduce_sum(x)));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(dot_ref),
+                std::bit_cast<std::uint64_t>(reduce_dot(x, y)));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(sqnorm_ref),
+                std::bit_cast<std::uint64_t>(reduce_sqnorm(x)));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(sqdiff_ref),
+                std::bit_cast<std::uint64_t>(reduce_sqdiff(x, mean)));
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(max_ref),
+                std::bit_cast<std::uint32_t>(reduce_max(x, -1e30f)));
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(maxabs_ref),
+                std::bit_cast<std::uint32_t>(reduce_max_abs(x)));
+    }
+  }
+}
+
+// --------------------------------------------------------- quantization
+
+TEST(SimdQsgd, QuantizeDequantizeBitIdenticalAcrossLevels) {
+  for (unsigned bits : {2u, 4u, 8u}) {
+    const std::uint32_t sign_bit = 1u << (bits - 1);
+    const std::uint32_t s = sign_bit - 1;
+    const unsigned sign_shift = 32 - bits;
+    for (std::size_t n = 0; n <= kMaxN; ++n) {
+      const std::size_t off = offset_for(n);
+      auto v_buf = random_floats(n + off, 505 + n);
+      const float* v = v_buf.data() + off;
+      float max_abs = 0.0f;
+      for (std::size_t i = 0; i < n; ++i) {
+        max_abs = std::max(max_abs, std::fabs(v[i]));
+      }
+      const float inv_norm = max_abs > 0 ? 1.0f / max_abs : 0.0f;
+      std::vector<float> u(n);
+      Rng rng(606 + n);
+      rng.fill_floats(u);
+
+      std::vector<std::uint32_t> sym_ref(n), sym(n);
+      std::vector<float> out_ref(n), out(n);
+      {
+        ScopedLevel lvl(Level::kScalar);
+        qsgd_quantize(v, u.data(), n, inv_norm, s, sign_bit, sym_ref.data());
+        qsgd_dequantize(sym_ref.data(), n, 0.37f, sign_bit, sign_shift,
+                        out_ref.data());
+      }
+      for (Level l : reachable_levels()) {
+        SCOPED_TRACE(::testing::Message()
+                     << "bits=" << bits << " n=" << n << " level="
+                     << level_name(l));
+        ScopedLevel lvl(l);
+        qsgd_quantize(v, u.data(), n, inv_norm, s, sign_bit, sym.data());
+        EXPECT_EQ(sym_ref, sym);
+        qsgd_dequantize(sym_ref.data(), n, 0.37f, sign_bit, sign_shift,
+                        out.data());
+        expect_bits_equal(out_ref, out, "qsgd_dequantize");
+      }
+    }
+  }
+}
+
+TEST(SimdNuq, QuantizeDequantizeBitIdenticalAcrossLevels) {
+  for (unsigned bits : {2u, 4u, 8u}) {
+    for (std::size_t n = 0; n <= kMaxN; ++n) {
+      const std::size_t off = offset_for(n);
+      auto v_buf = random_floats(n + off, 707 + n);
+      float* v = v_buf.data() + off;
+      // Sprinkle exact level values a = 2^-k so the boundary cases (a == L_k)
+      // are exercised, not just generic interior points.
+      for (std::size_t i = 0; i + 3 < n; i += 7) {
+        v[i] = std::ldexp(1.0f, -static_cast<int>(i % 9));
+      }
+      float max_abs = 0.0f;
+      for (std::size_t i = 0; i < n; ++i) {
+        max_abs = std::max(max_abs, std::fabs(v[i]));
+      }
+      const float inv_norm = max_abs > 0 ? 1.0f / max_abs : 0.0f;
+      std::vector<float> u(n);
+      Rng rng(808 + n);
+      rng.fill_floats(u);
+
+      std::vector<std::uint32_t> sym_ref(n), sym(n);
+      std::vector<float> out_ref(n), out(n);
+      {
+        ScopedLevel lvl(Level::kScalar);
+        nuq_quantize(v, u.data(), n, inv_norm, bits, sym_ref.data());
+        nuq_dequantize(sym_ref.data(), n, 1.91f, bits, out_ref.data());
+      }
+      for (Level l : reachable_levels()) {
+        SCOPED_TRACE(::testing::Message()
+                     << "bits=" << bits << " n=" << n << " level="
+                     << level_name(l));
+        ScopedLevel lvl(l);
+        nuq_quantize(v, u.data(), n, inv_norm, bits, sym.data());
+        EXPECT_EQ(sym_ref, sym);
+        nuq_dequantize(sym_ref.data(), n, 1.91f, bits, out.data());
+        expect_bits_equal(out_ref, out, "nuq_dequantize");
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- GEMM tiles
+
+TEST(SimdGemm, TileBitIdenticalAcrossLevels) {
+  // Fringe-heavy tile shapes: every column-width class (16 / 8 / 4 / scalar)
+  // and every row remainder, with padded leading dimensions so the kernels
+  // must honor lda/ldb/ldc instead of assuming contiguity.
+  const std::size_t shapes[][3] = {{1, 1, 1},   {2, 3, 5},   {4, 8, 16},
+                                   {5, 7, 17},  {3, 16, 9},  {6, 5, 33},
+                                   {4, 2, 20},  {7, 11, 13}, {8, 4, 31}};
+  for (const auto& sh : shapes) {
+    const std::size_t mb = sh[0], kb = sh[1], nb = sh[2];
+    const std::size_t lda = kb + 3, ldb = nb + 1, ldc = nb + 2;
+    const auto a = random_floats(mb * lda, 909 + mb * 31 + kb);
+    const auto at = random_floats(kb * (mb + 3), 919 + mb * 31 + kb);
+    const auto b = random_floats(kb * ldb, 929 + nb);
+    const auto c0 = random_floats(mb * ldc, 939 + nb);
+
+    std::vector<float> c_ref = c0, c_at_ref = c0;
+    {
+      ScopedLevel lvl(Level::kScalar);
+      gemm_tile(a.data(), lda, b.data(), ldb, c_ref.data(), ldc, mb, kb, nb);
+      gemm_tile_at(at.data(), mb + 3, b.data(), ldb, c_at_ref.data(), ldc,
+                   mb, kb, nb);
+    }
+    for (Level l : reachable_levels()) {
+      SCOPED_TRACE(::testing::Message() << "mb=" << mb << " kb=" << kb
+                                        << " nb=" << nb << " level="
+                                        << level_name(l));
+      ScopedLevel lvl(l);
+      std::vector<float> c = c0, c_at = c0;
+      gemm_tile(a.data(), lda, b.data(), ldb, c.data(), ldc, mb, kb, nb);
+      expect_bits_equal(c_ref, c, "gemm_tile");
+      gemm_tile_at(at.data(), mb + 3, b.data(), ldb, c_at.data(), ldc, mb,
+                   kb, nb);
+      expect_bits_equal(c_at_ref, c_at, "gemm_tile_at");
+    }
+  }
+}
+
+// --------------------------------------------------------- pack/unpack
+
+TEST(SimdPack, WordKernelsMatchScalarPacking) {
+  for (unsigned bits : {2u, 4u, 8u}) {
+    const std::size_t per_word = 64 / bits;
+    for (std::size_t nwords : {0ul, 1ul, 2ul, 3ul, 5ul, 9ul}) {
+      const std::size_t n = nwords * per_word;
+      Rng rng(111 * bits + nwords);
+      std::vector<std::uint32_t> sym(n);
+      for (auto& x : sym) {
+        x = static_cast<std::uint32_t>(rng.next_below(1ull << bits));
+      }
+      // Scalar reference words assembled by the documented layout:
+      // word w = sum_j sym[w*per_word + j] << (bits * j), little-endian.
+      std::vector<std::byte> ref(nwords * 8, std::byte{0});
+      for (std::size_t w = 0; w < nwords; ++w) {
+        std::uint64_t word = 0;
+        for (std::size_t j = 0; j < per_word; ++j) {
+          word |= static_cast<std::uint64_t>(sym[w * per_word + j])
+                  << (bits * j);
+        }
+        std::memcpy(ref.data() + w * 8, &word, 8);
+      }
+      for (Level l : reachable_levels()) {
+        SCOPED_TRACE(::testing::Message() << "bits=" << bits << " nwords="
+                                          << nwords << " level="
+                                          << level_name(l));
+        ScopedLevel lvl(l);
+        std::vector<std::byte> out(nwords * 8, std::byte{0xAA});
+        if (pack_words(sym.data(), nwords, bits, out.data())) {
+          EXPECT_EQ(0, std::memcmp(ref.data(), out.data(), nwords * 8));
+        }
+        std::vector<std::uint32_t> back(n, 0xdeadbeefu);
+        if (unpack_words(ref.data(), nwords, bits, back.data())) {
+          EXPECT_EQ(sym, back);
+        }
+      }
+    }
+  }
+}
+
+// The public bitio entry points must themselves be level-invariant,
+// including ragged tails that mix the vector word path with the scalar
+// remainder loop.
+TEST(SimdPack, BitioLevelInvariant) {
+  for (unsigned bits : {1u, 2u, 3u, 4u, 8u, 16u}) {
+    for (std::size_t n : {0ul, 1ul, 15ul, 16ul, 17ul, 63ul, 64ul, 65ul,
+                          200ul}) {
+      Rng rng(17 * bits + n);
+      std::vector<std::uint32_t> sym(n);
+      for (auto& x : sym) {
+        x = static_cast<std::uint32_t>(rng.next_below(1ull << bits));
+      }
+      std::vector<std::byte> ref(packed_size_bytes(n, bits));
+      std::vector<std::uint32_t> unpacked_ref(n);
+      {
+        ScopedLevel lvl(Level::kScalar);
+        pack_symbols(sym, bits, ref);
+        unpack_symbols(ref, bits, unpacked_ref);
+      }
+      EXPECT_EQ(sym, unpacked_ref);
+      for (Level l : reachable_levels()) {
+        SCOPED_TRACE(::testing::Message() << "bits=" << bits << " n=" << n
+                                          << " level=" << level_name(l));
+        ScopedLevel lvl(l);
+        std::vector<std::byte> packed(ref.size(), std::byte{0x55});
+        pack_symbols(sym, bits, packed);
+        EXPECT_EQ(ref, packed);
+        std::vector<std::uint32_t> unpacked(n, 0u);
+        unpack_symbols(ref, bits, unpacked);
+        EXPECT_EQ(sym, unpacked);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- dispatch
+
+TEST(SimdDispatch, SetLevelClampsToSupport) {
+  const Level prev = active_level();
+  set_level(Level::kAvx2);
+  EXPECT_LE(static_cast<int>(active_level()),
+            static_cast<int>(max_supported_level()));
+  set_level(Level::kScalar);
+  EXPECT_EQ(active_level(), Level::kScalar);
+  set_level(prev);
+}
+
+TEST(SimdDispatch, LevelNamesAreStable) {
+  EXPECT_STREQ(level_name(Level::kScalar), "scalar");
+  EXPECT_STREQ(level_name(Level::kSse2), "sse2");
+  EXPECT_STREQ(level_name(Level::kAvx2), "avx2");
+}
+
+}  // namespace
+}  // namespace cgx::util::simd

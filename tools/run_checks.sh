@@ -24,11 +24,13 @@ for preset in "${presets[@]}"; do
     cmake --preset release
     echo "==== [bench-smoke] build"
     cmake --build build-release -j "$jobs" --target \
-      bench_overlap bench_micro_collectives bench_micro_compressors
+      bench_overlap bench_micro_collectives bench_micro_compressors \
+      bench_micro_compute
     echo "==== [bench-smoke] run"
     (cd build-release && ./bench/bench_overlap --smoke)
     (cd build-release && ./bench/bench_micro_collectives --smoke)
     (cd build-release && ./bench/bench_micro_compressors --smoke)
+    (cd build-release && ./bench/bench_micro_compute --smoke)
     continue
   fi
   echo "==== [$preset] configure"
@@ -45,7 +47,12 @@ for preset in "${presets[@]}"; do
     # here: run the concurrency-sensitive subset (includes the fault suite).
     ctest --test-dir "$builddir" -L tsan --output-on-failure -j "$jobs"
   else
-    ctest --test-dir "$builddir" --output-on-failure -j "$jobs"
+    # Twice: once with the SIMD kernels forced scalar and once with runtime
+    # dispatch. The kernel layer's contract is that the two runs are
+    # bit-identical (tests/util/simd_test.cpp checks per-kernel; this
+    # checks the whole suite end to end at both levels).
+    CGX_SIMD=off ctest --test-dir "$builddir" --output-on-failure -j "$jobs"
+    CGX_SIMD=auto ctest --test-dir "$builddir" --output-on-failure -j "$jobs"
   fi
 done
 echo "==== all presets passed"
