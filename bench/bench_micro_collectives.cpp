@@ -21,6 +21,7 @@
 #include <map>
 #include <mutex>
 #include <new>
+#include <cstring>
 #include <string_view>
 #include <tuple>
 
@@ -273,6 +274,36 @@ struct SweepPoint {
   std::size_t steady_allocs = 0;
 };
 
+// Single-thread memcpy bandwidth at `bytes` (counting bytes read + written),
+// cached per size: the memory roofline the allreduce numbers are reported
+// against. An in-process world moves every byte through shared memory, so
+// "achieved % of roofline" says how much of the copy machine the collective
+// schedule actually keeps busy — bench_micro_memory has the full sweep.
+double memcpy_roofline_gbps(std::size_t bytes) {
+  static std::map<std::size_t, double> cache;
+  const auto it = cache.find(bytes);
+  if (it != cache.end()) return it->second;
+  std::vector<std::byte> src(bytes, std::byte{1});
+  std::vector<std::byte> dst(bytes);
+  std::memcpy(dst.data(), src.data(), bytes);  // warm
+  int reps = 4;
+  double elapsed = 0.0;
+  for (;;) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) std::memcpy(dst.data(), src.data(), bytes);
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count();
+    if (elapsed >= 0.05 || reps >= 1 << 18) break;
+    reps *= 4;
+  }
+  benchmark::DoNotOptimize(dst.data());
+  const double gbps =
+      static_cast<double>(2 * bytes) * reps / elapsed / 1e9;
+  cache[bytes] = gbps;
+  return gbps;
+}
+
 // Steady-state allreduce throughput on a persistent transport: threads and
 // all rank-local buffers live across iterations (the training-loop shape),
 // so the measured window is pure transport + reduction work. The allocation
@@ -387,19 +418,26 @@ void write_collectives_json(bool smoke) {
         }
         const SweepPoint p =
             measure_allreduce(*transport, numel, scheme, seed_collectives);
+        const double roofline = memcpy_roofline_gbps(numel * 4);
+        const double roofline_pct =
+            roofline > 0.0 ? 100.0 * p.gbps / roofline : 0.0;
         if (!first) out << ",\n";
         first = false;
-        char line[256];
+        char line[320];
         std::snprintf(line, sizeof(line),
                       "  {\"backend\": \"%s\", \"scheme\": \"%s\", "
                       "\"world\": %d, \"numel\": %zu, \"mib\": %.2f, "
-                      "\"gbps\": %.3f, \"steady_allocs\": %zu}",
+                      "\"gbps\": %.3f, \"steady_allocs\": %zu, "
+                      "\"roofline_gbps\": %.3f, \"roofline_pct\": %.1f}",
                       backend, scheme_name, kWorld, numel,
                       static_cast<double>(numel) * 4.0 / (1 << 20), p.gbps,
-                      p.steady_allocs);
+                      p.steady_allocs, roofline, roofline_pct);
         out << line;
-        std::printf("%-14s %-4s numel=%-8zu %7.3f GB/s  steady_allocs=%zu\n",
-                    backend, scheme_name, numel, p.gbps, p.steady_allocs);
+        std::printf(
+            "%-14s %-4s numel=%-8zu %7.3f GB/s  steady_allocs=%-4zu "
+            "%5.1f%% of %.1f GB/s roofline\n",
+            backend, scheme_name, numel, p.gbps, p.steady_allocs,
+            roofline_pct, roofline);
       }
     }
   }

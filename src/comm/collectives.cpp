@@ -126,9 +126,34 @@ void scatter_reduce_phase(Comm& comm, std::span<float> data,
     }
     const auto [mf, ml] = chunk_range(data.size(), n, r);
     std::span<float> mine_chunk = data.subspan(mf, ml - mf);
+    // Fold peers two at a time: direct_pull2 preserves the fixed-order
+    // per-element add sequence while reading and writing `mine` once per
+    // pair instead of once per peer (the dst stream dominates this phase).
+    if (n - 1 > kMaxAnySourceWorld) {
+      for (int p = 0; p < n; ++p) {
+        if (p == r) continue;
+        comm.direct_pull(p, mine_chunk, /*add=*/true, tag);
+      }
+      for (int p = 0; p < n; ++p) {
+        if (p == r) continue;
+        comm.direct_wait(p, tag);
+      }
+      return;
+    }
+    std::array<int, static_cast<std::size_t>(kMaxAnySourceWorld)> order;
+    int count = 0;
     for (int p = 0; p < n; ++p) {
-      if (p == r) continue;
-      comm.direct_pull(p, mine_chunk, /*add=*/true, tag);
+      if (p != r) order[static_cast<std::size_t>(count++)] = p;
+    }
+    int k = 0;
+    for (; k + 2 <= count; k += 2) {
+      comm.direct_pull2(order[static_cast<std::size_t>(k)],
+                        order[static_cast<std::size_t>(k + 1)], mine_chunk,
+                        tag);
+    }
+    for (; k < count; ++k) {
+      comm.direct_pull(order[static_cast<std::size_t>(k)], mine_chunk,
+                       /*add=*/true, tag);
     }
     for (int p = 0; p < n; ++p) {
       if (p == r) continue;
@@ -159,11 +184,22 @@ void scatter_reduce_phase(Comm& comm, std::span<float> data,
                      scratch.subspan(slot_of(p) * mine.size(), mine.size()),
                      tag);
     });
-    for (int p = 0; p < n; ++p) {
-      if (p == r) continue;
-      tensor::add_inplace(
-          mine, scratch.subspan(slot_of(p) * mine.size(), mine.size()));
+    // Fold staged slots pairwise: same fixed-p add sequence, half the
+    // passes over `mine`.
+    const auto slot_span = [&](int peer) {
+      return scratch.subspan(slot_of(peer) * mine.size(), mine.size());
+    };
+    int prev = -1;
+    for (int q = 0; q < n; ++q) {
+      if (q == r) continue;
+      if (prev < 0) {
+        prev = q;
+        continue;
+      }
+      tensor::add_inplace2(mine, slot_span(prev), slot_span(q));
+      prev = -1;
     }
+    if (prev >= 0) tensor::add_inplace(mine, slot_span(prev));
   } else {
     // Scratch too small to stage all contributions (only possible for tiny
     // vectors where any-source buys nothing): fixed-order fold through one

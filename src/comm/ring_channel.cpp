@@ -1,6 +1,7 @@
 #include "comm/ring_channel.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <limits>
 #include <thread>
@@ -8,6 +9,8 @@
 #include "comm/fault.h"
 #include "util/check.h"
 #include "util/crc32.h"
+#include "util/numa.h"
+#include "util/simd.h"
 
 namespace cgx::comm {
 namespace {
@@ -44,13 +47,19 @@ void RingChannel::ensure_slab(std::size_t need) {
   std::size_t target = std::max(kMinSlab, round_up_pow2(need));
   target = std::min(target, effective_capacity());
   target = std::max(target, need);  // capacity smaller than kMinSlab
-  std::vector<std::byte> grown(target);
+  util::ArenaBuffer<std::byte> grown;
+  grown.set_arena(slab_.arena());
+  grown.resize(target);
+  // Fault every page in now, on the (NUMA-pinned) thread that grows the
+  // slab: first-touch placement, and no page-fault stalls in steady state.
+  util::numa::first_touch(grown.span());
   // Linearise live bytes to the front so modular arithmetic stays valid.
   if (used_ > 0) {
     const std::size_t first = std::min(used_, slab_.size() - head_);
-    std::memcpy(grown.data(), slab_.data() + head_, first);
+    util::simd::copy_bytes(grown.data(), slab_.data() + head_, first);
     if (first < used_) {
-      std::memcpy(grown.data() + first, slab_.data(), used_ - first);
+      util::simd::copy_bytes(grown.data() + first, slab_.data(),
+                             used_ - first);
     }
   }
   slab_.swap(grown);
@@ -91,9 +100,10 @@ void RingChannel::peek_bytes(std::size_t offset,
                              std::span<std::byte> dst) const {
   const std::size_t start = (head_ + offset) % slab_.size();
   const std::size_t first = std::min(dst.size(), slab_.size() - start);
-  std::memcpy(dst.data(), slab_.data() + start, first);
+  util::simd::copy_bytes(dst.data(), slab_.data() + start, first);
   if (first < dst.size()) {
-    std::memcpy(dst.data() + first, slab_.data(), dst.size() - first);
+    util::simd::copy_bytes(dst.data() + first, slab_.data(),
+                           dst.size() - first);
   }
 }
 
@@ -126,9 +136,10 @@ ChannelStatus RingChannel::write_stream(std::unique_lock<std::mutex>& lock,
     // Modular copy into [head_ + used_, head_ + used_ + n).
     const std::size_t start = (head_ + used_) % slab_.size();
     const std::size_t first = std::min(n, slab_.size() - start);
-    std::memcpy(slab_.data() + start, src.data() + off, first);
+    util::simd::copy_bytes(slab_.data() + start, src.data() + off, first);
     if (first < n) {
-      std::memcpy(slab_.data(), src.data() + off + first, n - first);
+      util::simd::copy_bytes(slab_.data(), src.data() + off + first,
+                             n - first);
     }
     used_ += n;
     off += n;
@@ -153,9 +164,10 @@ ChannelStatus RingChannel::read_stream(std::unique_lock<std::mutex>& lock,
     if (poisoned_) return ChannelStatus::kPoisoned;
     const std::size_t n = std::min(dst.size() - off, used_);
     const std::size_t first = std::min(n, slab_.size() - head_);
-    std::memcpy(dst.data() + off, slab_.data() + head_, first);
+    util::simd::copy_bytes(dst.data() + off, slab_.data() + head_, first);
     if (first < n) {
-      std::memcpy(dst.data() + off + first, slab_.data(), n - first);
+      util::simd::copy_bytes(dst.data() + off + first, slab_.data(),
+                             n - first);
     }
     head_ = (head_ + n) % slab_.size();
     used_ -= n;
@@ -171,10 +183,14 @@ ChannelStatus RingChannel::read_stream_add(std::unique_lock<std::mutex>& lock,
                                            std::span<float> dst,
                                            Clock::time_point deadline,
                                            std::size_t& moved) {
-  // Bytes hop slab -> L1-resident stage -> add into dst, so each payload
-  // byte crosses DRAM once on the receive side instead of twice (no bounce
-  // through a full-size scratch buffer). A locked pass may end mid-float;
-  // the sub-float remainder is carried in the stage across passes.
+  // Whole floats are accumulated straight out of the slab with the
+  // prefetched simd copy_add kernel — one DRAM pass on the receive side and
+  // no staging copy at all. Only the ragged boundaries go through a small
+  // stage: a float that wraps the physical slab end, a float-misaligned
+  // head, or a locked pass that ended mid-float (the sub-float remainder is
+  // carried in the stage across passes). Element order is unchanged —
+  // payload order either way — so the result stays bit-identical to
+  // pop_into-then-add_inplace.
   constexpr std::size_t kStageFloats = 4096;  // 16 KiB
   float stage[kStageFloats];
   auto* stage_bytes = reinterpret_cast<std::byte*>(stage);
@@ -188,12 +204,34 @@ ChannelStatus RingChannel::read_stream_add(std::unique_lock<std::mutex>& lock,
     }
     if (poisoned_) return ChannelStatus::kPoisoned;
     while (remaining > 0 && used_ > 0) {
+      const std::size_t contig =
+          std::min({remaining, used_, slab_.size() - head_});
+      const std::byte* src_bytes = slab_.data() + head_;
+      if (carry == 0 && contig >= sizeof(float) &&
+          reinterpret_cast<std::uintptr_t>(src_bytes) % alignof(float) == 0) {
+        // Fast path: the slab bytes are the payload's float storage (the
+        // writer copied a float buffer in); reduce directly from it.
+        const std::size_t nfloat = contig / sizeof(float);
+        util::simd::copy_add(
+            {dst.data() + emitted, nfloat},
+            {reinterpret_cast<const float*>(src_bytes), nfloat});
+        const std::size_t n = nfloat * sizeof(float);
+        emitted += nfloat;
+        head_ = (head_ + n) % slab_.size();
+        used_ -= n;
+        remaining -= n;
+        moved += n;
+        continue;
+      }
+      // Boundary: stage the ragged bytes (wrap-around or partial float).
       const std::size_t n = std::min(
           {remaining, used_, sizeof(stage) - carry});
       const std::size_t first = std::min(n, slab_.size() - head_);
-      std::memcpy(stage_bytes + carry, slab_.data() + head_, first);
+      util::simd::copy_bytes(stage_bytes + carry, slab_.data() + head_,
+                             first);
       if (first < n) {
-        std::memcpy(stage_bytes + carry + first, slab_.data(), n - first);
+        util::simd::copy_bytes(stage_bytes + carry + first, slab_.data(),
+                               n - first);
       }
       head_ = (head_ + n) % slab_.size();
       used_ -= n;
@@ -201,8 +239,7 @@ ChannelStatus RingChannel::read_stream_add(std::unique_lock<std::mutex>& lock,
       moved += n;
       const std::size_t avail = carry + n;
       const std::size_t nfloat = avail / sizeof(float);
-      float* out = dst.data() + emitted;
-      for (std::size_t i = 0; i < nfloat; ++i) out[i] += stage[i];
+      util::simd::copy_add({dst.data() + emitted, nfloat}, {stage, nfloat});
       emitted += nfloat;
       carry = avail - nfloat * sizeof(float);
       if (carry > 0) {

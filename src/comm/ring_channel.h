@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "comm/policy.h"
+#include "util/arena.h"
 
 namespace cgx::comm {
 
@@ -99,12 +100,16 @@ class RingChannel {
   // Attaches this channel to a transport's reliability fabric and names its
   // directed link (for checksum retries, health accounting, deterministic
   // fault keying). Call before the channel carries traffic; unbound channels
-  // behave exactly like the seed (no checksums, no injection).
+  // behave exactly like the seed (no checksums, no injection). Binding also
+  // homes the slab on the sender's arena: the writer (src's comm thread,
+  // NUMA-pinned) first-touches the pages, so the segment lands on src's
+  // node — the in-process analogue of registering the SHM segment there.
   void bind_link(const ChannelFabric* fabric, int src, int dst, int tag) {
     fabric_ = fabric;
     src_ = src;
     dst_ = dst;
     tag_ = tag;
+    if (src >= 0) slab_.set_arena(&util::rank_arena(src));
   }
 
   // Seed-compatible blocking operations: wait forever, CHECK on any failure
@@ -280,7 +285,7 @@ class RingChannel {
   int data_waiters_ = 0;
   int space_waiters_ = 0;
 
-  std::vector<std::byte> slab_;
+  util::ArenaBuffer<std::byte> slab_;
   std::size_t head_ = 0;  // first live byte
   std::size_t used_ = 0;  // live bytes (committed, unread)
   bool writer_active_ = false;

@@ -157,6 +157,13 @@ class Transport {
                            int tag);
   virtual void direct_pull(int dst, int src, std::span<float> data, bool add,
                            int tag);
+  // Fused two-peer reduce: data += src1's post, then += src2's post —
+  // element order identical to two sequential direct_pulls (bit-exactness
+  // contract), but a shared-memory backend can fold both peers in one pass
+  // over `data`. The default is exactly the two sequential pulls, so
+  // fault-wrapping and channel transports keep their semantics untouched.
+  virtual void direct_pull2(int dst, int src1, int src2,
+                            std::span<float> data, int tag);
   virtual void direct_wait(int src, int dst, int tag);
 
   // Blocking: returns an element of `candidates` that has bytes pending for

@@ -8,6 +8,7 @@
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 #include "util/crc32.h"
+#include "util/simd.h"
 
 namespace cgx::comm {
 namespace {
@@ -292,6 +293,28 @@ void ShmTransport::direct_pull(int dst, int src, std::span<float> data,
   push_frame(channels_.channel(dst, src, ack_tag), dst, src, ack_tag, {});
 }
 
+void ShmTransport::direct_pull2(int dst, int src1, int src2,
+                                std::span<float> data, int tag) {
+  if (policy_.checksums) {
+    // Fault-hardened mode keeps the per-peer verify/retry machinery; the
+    // fused single-pass fold is a fast path for clean links only.
+    Transport::direct_pull2(dst, src1, src2, data, tag);
+    return;
+  }
+  DirectDesc d1{};
+  DirectDesc d2{};
+  pop_frame(channels_.channel(src1, dst, tag), src1, dst, tag,
+            std::as_writable_bytes(std::span<DirectDesc>(&d1, 1)));
+  pop_frame(channels_.channel(src2, dst, tag), src2, dst, tag,
+            std::as_writable_bytes(std::span<DirectDesc>(&d2, 1)));
+  CGX_CHECK_EQ(d1.size, data.size());
+  CGX_CHECK_EQ(d2.size, data.size());
+  util::simd::copy_add2(data, {d1.ptr, d1.size}, {d2.ptr, d2.size});
+  const int ack_tag = tag + kDirectAckTagOffset;
+  push_frame(channels_.channel(dst, src1, ack_tag), dst, src1, ack_tag, {});
+  push_frame(channels_.channel(dst, src2, ack_tag), dst, src2, ack_tag, {});
+}
+
 void ShmTransport::pull_verified(int src, int dst, int tag,
                                  std::span<const float> peer,
                                  std::uint32_t want, std::span<float> data,
@@ -311,7 +334,8 @@ void ShmTransport::pull_verified(int src, int dst, int tag,
           .fetch_add(1, std::memory_order_relaxed);
   bool verified = false;
   for (int attempt = 0; attempt <= policy_.max_retries; ++attempt) {
-    std::memcpy(scratch.data(), peer.data(), peer.size() * sizeof(float));
+    util::simd::copy_bytes(scratch.data(), peer.data(),
+                           peer.size() * sizeof(float));
     bool dropped = false;
     if (injector_ != nullptr) {
       const WireOutcome o =
@@ -502,6 +526,14 @@ void Transport::direct_pull(int /*dst*/, int /*src*/,
                             int /*tag*/) {
   CGX_CHECK(false) << "direct_pull called on a transport without peer-direct "
                       "access (check supports_direct_exchange())";
+}
+
+void Transport::direct_pull2(int dst, int src1, int src2,
+                             std::span<float> data, int tag) {
+  // Reference semantics: two sequential fused pulls in the given order.
+  // Overrides must preserve this per-element add sequence exactly.
+  direct_pull(dst, src1, data, /*add=*/true, tag);
+  direct_pull(dst, src2, data, /*add=*/true, tag);
 }
 
 void Transport::direct_wait(int /*src*/, int /*dst*/, int /*tag*/) {

@@ -146,6 +146,8 @@ class ShmTransport final : public ChannelTransport {
                    int tag) override;
   void direct_pull(int dst, int src, std::span<float> data, bool add,
                    int tag) override;
+  void direct_pull2(int dst, int src1, int src2, std::span<float> data,
+                    int tag) override;
   void direct_wait(int src, int dst, int tag) override;
 
   const TransportProfile& profile() const override { return profile_; }

@@ -3,6 +3,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/numa.h"
+
 namespace cgx::comm {
 
 void run_world(Transport& transport, const std::function<void(Comm&)>& fn) {
@@ -15,6 +17,13 @@ void run_world(Transport& transport, const std::function<void(Comm&)>& fn) {
   for (int r = 0; r < n; ++r) {
     threads.emplace_back([r, &transport, &barrier, &fn, &errors] {
       try {
+        // Home the device thread on its rank's NUMA node (no-op on
+        // single-node machines or CGX_NUMA=off) so the buffers it
+        // first-touches — and the collectives it runs — stay node-local.
+        // The rank arena is NOT blanket-bound here: fn() may churn transient
+        // tensors (nn layers rebuild activations every step), which must
+        // stay on the heap; only the grow-only engine state binds arenas.
+        util::numa::pin_current_thread_for_rank(r);
         Comm comm(r, transport, barrier);
         fn(comm);
       } catch (...) {

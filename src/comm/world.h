@@ -77,6 +77,10 @@ class Comm {
   void direct_pull(int from, std::span<float> data, bool add, int tag = 0) {
     transport_.direct_pull(rank_, from, data, add, tag);
   }
+  void direct_pull2(int from1, int from2, std::span<float> data,
+                    int tag = 0) {
+    transport_.direct_pull2(rank_, from1, from2, data, tag);
+  }
   void direct_wait(int to, int tag = 0) { transport_.direct_wait(rank_, to, tag); }
 
   // Blocking arrival-order selection: returns an element of `candidates`

@@ -5,7 +5,9 @@
 #include "comm/fault.h"
 #include "comm/tagspace.h"
 #include "tensor/tensor_ops.h"
+#include "util/arena.h"
 #include "util/check.h"
+#include "util/numa.h"
 
 namespace cgx::core {
 namespace {
@@ -102,6 +104,14 @@ AsyncGradientEngine::~AsyncGradientEngine() {
 
 void AsyncGradientEngine::resize_rank_state() {
   const std::size_t total = plan_.total_submissions();
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    // Pin the double-buffered collective workspaces (and the packet scratch)
+    // to the rank's arena so their grow-only slots carve NUMA-local memory.
+    util::Arena* arena = &util::rank_arena(static_cast<int>(r));
+    ranks_[r].arenas[0].set_arena(arena);
+    ranks_[r].arenas[1].set_arena(arena);
+    ranks_[r].packet_ws.set_arena(arena);
+  }
   for (RankState& st : ranks_) {
     // Grow-only, and only while the fabric is quiesced: the consumer is
     // idle-parked on q_tail, and the next release-store on q_tail (or the
@@ -197,6 +207,11 @@ void AsyncGradientEngine::submit(RankState& st, std::uint32_t bucket) {
 }
 
 void AsyncGradientEngine::comm_thread_main(int rank) {
+  // Home the comm thread next to its training thread and bind its transient
+  // collective scratch to the rank arena: everything the token loop grows
+  // (compression payloads, ring slabs it first-touches) stays node-local.
+  util::numa::pin_current_thread_for_rank(rank);
+  util::ScopedArena bind(util::rank_arena(rank));
   RankState& st = ranks_[static_cast<std::size_t>(rank)];
   for (;;) {
     const std::uint32_t h = st.q_head.load(std::memory_order_relaxed);

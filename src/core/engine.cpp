@@ -7,6 +7,7 @@
 #include "core/hierarchical.h"
 #include "core/qsgd.h"
 #include "tensor/tensor_ops.h"
+#include "util/arena.h"
 #include "util/check.h"
 
 namespace cgx::core {
@@ -177,6 +178,9 @@ void CgxEngine::rebuild() {
   if (ranks_.empty()) {
     ranks_.resize(static_cast<std::size_t>(world_size_));
   }
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    ranks_[r].workspace.set_arena(&util::rank_arena(static_cast<int>(r)));
+  }
   for (auto& rank : ranks_) {
     rank.per_layer.resize(layout_.layer_count());
     rank.chunk_ptrs.resize(layout_.layer_count());
@@ -216,6 +220,11 @@ void CgxEngine::allreduce(comm::Comm& comm, std::span<float> fused,
   CGX_CHECK_EQ(comm.size(), world_size_);
   CGX_CHECK_EQ(fused.size(), layout_.total_numel());
   RankState& state = ranks_[static_cast<std::size_t>(comm.rank())];
+  // Grow-only engine state touched inside the collective (error-feedback
+  // residuals, compressor scratch) carves from this rank's arena. The alloc
+  // tests prove the steady state does not grow, so arena waste is bounded
+  // by warm-up.
+  util::ScopedArena bind(util::rank_arena(comm.rank()));
   const std::uint64_t round = state.rounds++;
 
   StepReport& report = state.report;
@@ -544,6 +553,9 @@ QncclEngine::QncclEngine(const tensor::LayerLayout& layout, unsigned bits,
   cfg.bits = bits;
   cfg.bucket_size = bucket_size;
   ranks_.resize(static_cast<std::size_t>(world_size));
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    ranks_[r].workspace.set_arena(&util::rank_arena(static_cast<int>(r)));
+  }
   for (auto& rank : ranks_) {
     for (int c = 0; c < world_size; ++c) {
       rank.chunks.push_back(make_compressor(cfg, 0));
@@ -558,6 +570,7 @@ void QncclEngine::allreduce(comm::Comm& comm, std::span<float> fused,
   // The blob path: one ring allreduce over the raw fused buffer, uniform
   // compression, no layer boundaries and no filtering.
   RankState& state = ranks_[static_cast<std::size_t>(comm.rank())];
+  util::ScopedArena bind(util::rank_arena(comm.rank()));
   compressed_allreduce_ring(comm, fused, state.chunk_ptrs, rng,
                             state.workspace);
   if (world_size_ > 1) {
@@ -613,6 +626,9 @@ GraceEngine::GraceEngine(const tensor::LayerLayout& layout, unsigned bits,
     : layout_(layout), bits_(bits), world_size_(world_size) {
   CGX_CHECK_GT(world_size, 0);
   ranks_.resize(static_cast<std::size_t>(world_size));
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    ranks_[r].workspace.set_arena(&util::rank_arena(static_cast<int>(r)));
+  }
   for (auto& rank : ranks_) {
     for (const auto& info : layout.layers()) {
       LayerCompression cfg;
@@ -630,6 +646,7 @@ void GraceEngine::allreduce(comm::Comm& comm, std::span<float> fused,
   const int n = comm.size();
   const int r = comm.rank();
   RankState& state = ranks_[static_cast<std::size_t>(r)];
+  util::ScopedArena bind(util::rank_arena(r));
   CollectiveWorkspace& ws = state.workspace;
 
   // GRACE's reduction: compress locally, allgather everyone's payload,
@@ -699,6 +716,9 @@ BaselineEngine::BaselineEngine(const tensor::LayerLayout& layout,
     : layout_(layout), world_size_(world_size), fp16_wire_(fp16_wire) {
   CGX_CHECK_GT(world_size, 0);
   ranks_.resize(static_cast<std::size_t>(world_size));
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    ranks_[r].set_arena(&util::rank_arena(static_cast<int>(r)));
+  }
 }
 
 void BaselineEngine::allreduce(comm::Comm& comm, std::span<float> fused,

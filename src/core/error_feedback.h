@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/compressor.h"
+#include "util/arena.h"
 
 namespace cgx::core {
 
@@ -39,9 +40,11 @@ class ErrorFeedback final : public Compressor {
  private:
   std::unique_ptr<Compressor> inner_;
   float decay_;
-  std::vector<float> residual_;
-  std::vector<float> corrected_;      // scratch: gradient + decay * residual
-  std::vector<float> reconstructed_;  // scratch: decompress(payload)
+  // Arena-aware (grow-only, NUMA-local when built on a bound rank thread):
+  // the residual lives as long as the layer trains, exactly arena lifecycle.
+  util::ArenaBuffer<float> residual_;
+  util::ArenaBuffer<float> corrected_;      // scratch: gradient + decay * residual
+  util::ArenaBuffer<float> reconstructed_;  // scratch: decompress(payload)
 };
 
 }  // namespace cgx::core

@@ -4,14 +4,20 @@ namespace cgx::core {
 namespace {
 
 template <class T>
-std::span<T> slot_span(std::vector<std::vector<T>>& slots, std::size_t slot,
-                       std::size_t n) {
-  if (slots.size() <= slot) slots.resize(slot + 1);
+std::span<T> slot_span(std::vector<util::ArenaBuffer<T>>& slots,
+                       std::size_t slot, std::size_t n, util::Arena* arena) {
+  if (slots.size() <= slot) {
+    slots.resize(slot + 1);
+    for (auto& s : slots) {
+      if (s.arena() == nullptr) s.set_arena(arena);
+    }
+  }
   return ensure_span(slots[slot], n);
 }
 
 template <class T>
-std::size_t slots_capacity_bytes(const std::vector<std::vector<T>>& slots) {
+std::size_t slots_capacity_bytes(
+    const std::vector<util::ArenaBuffer<T>>& slots) {
   std::size_t total = 0;
   for (const auto& s : slots) total += s.capacity() * sizeof(T);
   return total;
@@ -19,19 +25,26 @@ std::size_t slots_capacity_bytes(const std::vector<std::vector<T>>& slots) {
 
 }  // namespace
 
+void CollectiveWorkspace::set_arena(util::Arena* arena) {
+  arena_ = arena;
+  for (auto& s : byte_slots_) s.set_arena(arena);
+  for (auto& s : float_slots_) s.set_arena(arena);
+  for (auto& s : size_slots_) s.set_arena(arena);
+}
+
 std::span<std::byte> CollectiveWorkspace::bytes(std::size_t slot,
                                                 std::size_t n) {
-  return slot_span(byte_slots_, slot, n);
+  return slot_span(byte_slots_, slot, n, arena_);
 }
 
 std::span<float> CollectiveWorkspace::floats(std::size_t slot,
                                              std::size_t n) {
-  return slot_span(float_slots_, slot, n);
+  return slot_span(float_slots_, slot, n, arena_);
 }
 
 std::span<std::size_t> CollectiveWorkspace::sizes(std::size_t slot,
                                                   std::size_t n) {
-  return slot_span(size_slots_, slot, n);
+  return slot_span(size_slots_, slot, n, arena_);
 }
 
 std::size_t CollectiveWorkspace::high_water_bytes() const {

@@ -22,12 +22,20 @@
 #include <span>
 #include <vector>
 
+#include "util/arena.h"
+
 namespace cgx::core {
 
 // Grow-only resize helper shared by the workspace and compressor scratch
 // buffers: requests never shrink the backing vector.
 template <class T>
 std::span<T> ensure_span(std::vector<T>& v, std::size_t n) {
+  if (v.size() < n) v.resize(n);
+  return {v.data(), n};
+}
+
+template <class T>
+std::span<T> ensure_span(util::ArenaBuffer<T>& v, std::size_t n) {
   if (v.size() < n) v.resize(n);
   return {v.data(), n};
 }
@@ -40,6 +48,13 @@ class CollectiveWorkspace {
   CollectiveWorkspace(CollectiveWorkspace&&) = default;
   CollectiveWorkspace& operator=(CollectiveWorkspace&&) = default;
 
+  // Pins every slot (existing and future) to `arena`: slot growth then
+  // carves 64-byte-aligned, NUMA-local memory from the rank's arena instead
+  // of the heap. The engines call this with rank_arena(rank) when they build
+  // per-rank state; unpinned workspaces (stack-local test conveniences)
+  // behave exactly as before.
+  void set_arena(util::Arena* arena);
+
   // A span of n elements backed by slot `slot`; contents unspecified.
   std::span<std::byte> bytes(std::size_t slot, std::size_t n);
   std::span<float> floats(std::size_t slot, std::size_t n);
@@ -51,9 +66,13 @@ class CollectiveWorkspace {
   std::size_t high_water_bytes() const;
 
  private:
-  std::vector<std::vector<std::byte>> byte_slots_;
-  std::vector<std::vector<float>> float_slots_;
-  std::vector<std::vector<std::size_t>> size_slots_;
+  // Slot storage is arena-aware: slots grown on a rank thread with a bound
+  // ScopedArena carve NUMA-local, 64-byte-aligned memory from that rank's
+  // arena (the slot vector itself is cold metadata and stays on the heap).
+  std::vector<util::ArenaBuffer<std::byte>> byte_slots_;
+  std::vector<util::ArenaBuffer<float>> float_slots_;
+  std::vector<util::ArenaBuffer<std::size_t>> size_slots_;
+  util::Arena* arena_ = nullptr;
 };
 
 }  // namespace cgx::core

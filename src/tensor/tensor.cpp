@@ -22,11 +22,13 @@ std::string shape_to_string(const Shape& shape) {
   return out.str();
 }
 
-Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  data_.assign(shape_numel(shape_), 0.0f);
+}
 
-Tensor::Tensor(Shape shape, float fill)
-    : shape_(std::move(shape)), data_(shape_numel(shape_), fill) {}
+Tensor::Tensor(Shape shape, float fill) : shape_(std::move(shape)) {
+  data_.assign(shape_numel(shape_), fill);
+}
 
 Tensor Tensor::clone() const {
   Tensor copy(shape_);

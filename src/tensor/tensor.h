@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "util/arena.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -46,8 +47,8 @@ class Tensor {
   }
   std::size_t rank() const { return shape_.size(); }
 
-  std::span<float> data() { return data_; }
-  std::span<const float> data() const { return data_; }
+  std::span<float> data() { return data_.span(); }
+  std::span<const float> data() const { return data_.span(); }
 
   float& at(std::size_t i) {
     CGX_DCHECK(i < data_.size());
@@ -82,7 +83,10 @@ class Tensor {
 
  private:
   Shape shape_;
-  std::vector<float> data_;
+  // Arena-aware storage: a tensor built on a thread with a bound ScopedArena
+  // (a rank's engine thread) carves 64-byte-aligned, NUMA-local memory from
+  // that rank's arena; elsewhere it falls back to an aligned heap block.
+  util::ArenaBuffer<float> data_;
 };
 
 }  // namespace cgx::tensor

@@ -79,12 +79,18 @@ void sub(std::span<const float> a, std::span<const float> b,
 }
 
 void add_inplace(std::span<float> dst, std::span<const float> src) {
-  util::simd::add(dst, src);
+  // The prefetching accumulate kernel — bit-identical to simd::add (same
+  // per-element order), faster on past-L2 gradient sweeps.
+  util::simd::copy_add(dst, src);
+}
+
+void add_inplace2(std::span<float> dst, std::span<const float> a,
+                  std::span<const float> b) {
+  util::simd::copy_add2(dst, a, b);
 }
 
 void copy(std::span<const float> src, std::span<float> dst) {
-  CGX_DCHECK(src.size() == dst.size());
-  if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size() * 4);
+  util::simd::copy_floats(src, dst);
 }
 
 void matmul(std::span<const float> a, std::span<const float> b,

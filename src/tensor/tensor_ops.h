@@ -39,6 +39,10 @@ void sub(std::span<const float> a, std::span<const float> b,
          std::span<float> out);
 // accumulate: dst += src
 void add_inplace(std::span<float> dst, std::span<const float> src);
+// fused double accumulate: dst += a, then dst += b — bit-identical to two
+// add_inplace calls, one pass over dst
+void add_inplace2(std::span<float> dst, std::span<const float> a,
+                  std::span<const float> b);
 // elementwise copy
 void copy(std::span<const float> src, std::span<float> dst);
 

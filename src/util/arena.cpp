@@ -1,0 +1,196 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <tuple>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+#include "util/check.h"
+
+namespace cgx::util {
+namespace {
+
+std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+// Blocks are raw reservations. On Linux they come from mmap so huge-page
+// advice applies to whole mappings and startup cost is lazy (pages fault in
+// on first touch — the NUMA placement hook); elsewhere plain aligned new.
+struct Arena::Block {
+  std::byte* base = nullptr;
+  std::size_t size = 0;
+  std::size_t used = 0;
+  bool mmapped = false;
+};
+
+bool Arena::huge_pages_enabled() {
+  static const bool kEnabled = [] {
+    const char* env = std::getenv("CGX_HUGEPAGES");
+    return env != nullptr &&
+           (std::strcmp(env, "on") == 0 || std::strcmp(env, "1") == 0);
+  }();
+  return kEnabled;
+}
+
+Arena::Arena(std::size_t first_block_bytes, bool huge_pages)
+    : first_block_bytes_(std::max<std::size_t>(first_block_bytes, 4096)),
+      want_huge_pages_(huge_pages) {}
+
+Arena::~Arena() {
+  ArenaRegistry::instance().remove_owner(this);
+  for (Block& b : blocks_) {
+    if (b.mmapped) {
+#if defined(__linux__)
+      ::munmap(b.base, b.size);
+#endif
+    } else {
+      ::operator delete[](b.base, std::align_val_t{kAlignment});
+    }
+  }
+}
+
+void* Arena::allocate(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return allocate_locked(bytes);
+}
+
+void* Arena::allocate_locked(std::size_t bytes) {
+  const std::size_t need = round_up(std::max<std::size_t>(bytes, 1),
+                                    kAlignment);
+  if (blocks_.empty() || blocks_.back().used + need > blocks_.back().size) {
+    // Geometric growth keeps block count logarithmic in total footprint, so
+    // a warm arena's registry stays a handful of ranges.
+    std::size_t target = blocks_.empty() ? first_block_bytes_
+                                         : blocks_.back().size * 2;
+    target = std::max(target, need);
+    Block block;
+    block.size = round_up(target, 4096);
+#if defined(__linux__)
+    void* mapped = ::mmap(nullptr, block.size, PROT_READ | PROT_WRITE,
+                          MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mapped != MAP_FAILED) {
+      block.base = static_cast<std::byte*>(mapped);
+      block.mmapped = true;
+      if (want_huge_pages_) {
+#if defined(MADV_HUGEPAGE)
+        if (::madvise(mapped, block.size, MADV_HUGEPAGE) == 0) {
+          huge_pages_active_ = true;
+        }
+#endif
+      }
+    }
+#endif
+    if (block.base == nullptr) {
+      block.base = static_cast<std::byte*>(
+          ::operator new[](block.size, std::align_val_t{kAlignment}));
+    }
+    CGX_CHECK_EQ(reinterpret_cast<std::uintptr_t>(block.base) % kAlignment,
+                 0u);
+    reserved_ += block.size;
+    ArenaRegistry::instance().add(block.base, block.size, this);
+    blocks_.push_back(block);
+  }
+  Block& b = blocks_.back();
+  void* p = b.base + b.used;
+  b.used += need;
+  allocated_ += need;
+  return p;
+}
+
+std::size_t Arena::reserved_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reserved_;
+}
+
+std::size_t Arena::allocated_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return allocated_;
+}
+
+std::size_t Arena::block_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blocks_.size();
+}
+
+bool Arena::huge_pages_active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return huge_pages_active_;
+}
+
+bool Arena::owns(const void* p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Block& b : blocks_) {
+    if (p >= b.base && p < b.base + b.size) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------ ArenaRegistry
+
+ArenaRegistry& ArenaRegistry::instance() {
+  // Intentionally leaked: arenas with process lifetime (rank_arena) must be
+  // able to unregister during static destruction without ordering hazards.
+  static ArenaRegistry* const kRegistry = new ArenaRegistry();
+  return *kRegistry;
+}
+
+void ArenaRegistry::add(const void* base, std::size_t size, Arena* arena) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ranges_.emplace_back(base, static_cast<const std::byte*>(base) + size,
+                       arena);
+}
+
+void ArenaRegistry::remove_owner(Arena* arena) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::erase_if(ranges_, [arena](const auto& r) {
+    return std::get<2>(r) == arena;
+  });
+}
+
+Arena* ArenaRegistry::owner(const void* p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [base, end, arena] : ranges_) {
+    if (p >= base && p < end) return arena;
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------------- rank arenas
+
+Arena& rank_arena(int rank) {
+  CGX_CHECK_GE(rank, 0);
+  // Process lifetime by design (see header): never destroyed, so spans
+  // handed out survive any engine/transport teardown order.
+  static std::mutex* const mu = new std::mutex();
+  static std::deque<std::unique_ptr<Arena>>* const arenas =
+      new std::deque<std::unique_ptr<Arena>>();
+  std::lock_guard<std::mutex> lock(*mu);
+  while (arenas->size() <= static_cast<std::size_t>(rank)) {
+    arenas->push_back(std::make_unique<Arena>());
+  }
+  return *(*arenas)[static_cast<std::size_t>(rank)];
+}
+
+// ---------------------------------------------------------- thread binding
+
+namespace {
+thread_local Arena* t_current_arena = nullptr;
+}  // namespace
+
+Arena* current_arena() { return t_current_arena; }
+
+ScopedArena::ScopedArena(Arena& arena) : previous_(t_current_arena) {
+  t_current_arena = &arena;
+}
+
+ScopedArena::~ScopedArena() { t_current_arena = previous_; }
+
+}  // namespace cgx::util

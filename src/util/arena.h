@@ -1,0 +1,249 @@
+// Per-rank grow-only arena allocator with a pointer registry.
+//
+// The data plane's long-lived buffers — collective workspace slots, ring
+// channel slabs, error-feedback residuals, persistent tensors — share one
+// lifecycle: they grow to a high-water size during warm-up and are then
+// reused unchanged for the rest of the run. An Arena matches that lifecycle
+// exactly: allocations are 64-byte aligned bump-pointer carves out of large
+// blocks, nothing is ever freed individually, and blocks only accumulate.
+// What the general-purpose heap cannot promise, the arena does:
+//
+//  * placement — the thread that first writes a fresh block faults its pages
+//    in (first-touch), so an arena owned by a NUMA-pinned rank thread lands
+//    on that rank's node (see util/numa.h);
+//  * alignment — every span starts on a 64-byte (cache-line / AVX-512)
+//    boundary, so the simd copy engine never pays split-line penalties;
+//  * optional transparent-huge-page backing (CGX_HUGEPAGES=on) — fewer TLB
+//    misses on multi-MB gradient sweeps;
+//  * attribution — a process-wide registry answers "which arena owns this
+//    pointer", which the allocation tests use to prove the hot-path buffers
+//    really are arena-backed.
+//
+// Growing an arena-backed buffer abandons its old extent (grow-only means no
+// free list); that waste is bounded by warm-up, the same argument the
+// grow-only workspace slots have always made.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace cgx::util {
+
+class Arena {
+ public:
+  // Every allocation is aligned to this (cache line, also AVX-512 width).
+  static constexpr std::size_t kAlignment = 64;
+
+  // `first_block_bytes` sizes the initial reservation; later blocks grow
+  // geometrically. `huge_pages` requests MADV_HUGEPAGE backing on each block
+  // (Linux only; silently a no-op elsewhere or when madvise refuses) —
+  // pass huge_pages_enabled() to follow the CGX_HUGEPAGES env setting.
+  explicit Arena(std::size_t first_block_bytes = 1ull << 20,
+                 bool huge_pages = huge_pages_enabled());
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // 64-byte-aligned carve; never individually freed. Thread-safe (the rank
+  // thread and its comm thread may both grow buffers). n == 0 returns a
+  // unique non-null pointer, like operator new.
+  void* allocate(std::size_t bytes);
+
+  template <class T>
+  std::span<T> make_span(std::size_t n) {
+    return {static_cast<T*>(allocate(n * sizeof(T))), n};
+  }
+
+  // Total bytes reserved in blocks (monotone non-decreasing).
+  std::size_t reserved_bytes() const;
+  // Bytes handed out to callers (monotone non-decreasing).
+  std::size_t allocated_bytes() const;
+  std::size_t block_count() const;
+  // True when MADV_HUGEPAGE was applied to at least one block.
+  bool huge_pages_active() const;
+
+  // True if p points into one of this arena's blocks.
+  bool owns(const void* p) const;
+
+  // Whether CGX_HUGEPAGES=on|1 was set (read once per process).
+  static bool huge_pages_enabled();
+
+ private:
+  struct Block;
+
+  void* allocate_locked(std::size_t bytes);
+
+  mutable std::mutex mutex_;
+  std::vector<Block> blocks_;
+  const std::size_t first_block_bytes_;
+  const bool want_huge_pages_;
+  bool huge_pages_active_ = false;
+  std::size_t allocated_ = 0;
+  std::size_t reserved_ = 0;
+};
+
+// Process-wide map from block address ranges to owning arenas. Queries are
+// for tests and diagnostics, not hot paths (shared lock + ordered map).
+class ArenaRegistry {
+ public:
+  static ArenaRegistry& instance();
+
+  // The arena whose block contains p, or nullptr for heap/stack memory.
+  Arena* owner(const void* p) const;
+
+ private:
+  friend class Arena;
+  void add(const void* base, std::size_t size, Arena* arena);
+  void remove_owner(Arena* arena);
+
+  mutable std::mutex mutex_;
+  // base -> (end, arena); disjoint ranges, so upper_bound resolves lookups.
+  std::vector<std::tuple<const void*, const void*, Arena*>> ranges_;
+};
+
+// The per-rank arenas. Process lifetime (never destroyed): buffers handed
+// out survive engine and transport teardown, so no binding site has to
+// reason about arena-vs-buffer lifetime. Rank r's engine thread, comm
+// thread, and channel slabs all draw from rank_arena(r), which first-touch
+// places them together on r's NUMA node.
+Arena& rank_arena(int rank);
+
+// Thread-local arena binding. While a ScopedArena is live on a thread,
+// ArenaBuffer growth on that thread carves from the bound arena instead of
+// the heap. Bind only around allocations with arena lifecycle (persistent,
+// grow-only); transient per-step allocations would leak arena space.
+Arena* current_arena();
+
+class ScopedArena {
+ public:
+  explicit ScopedArena(Arena& arena);
+  ~ScopedArena();
+  ScopedArena(const ScopedArena&) = delete;
+  ScopedArena& operator=(const ScopedArena&) = delete;
+
+ private:
+  Arena* previous_;
+};
+
+// Grow-only typed buffer, the storage primitive behind tensors, workspace
+// slots, EF residuals, and ring slabs. Capacity never shrinks; growth
+// preserves contents. Where the storage comes from is decided at grow time:
+// an explicitly set arena, else the thread's ScopedArena, else the heap
+// (64-byte-aligned operator new) — so code paths never need an arena to
+// exist, they just benefit when one is bound.
+template <class T>
+class ArenaBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ArenaBuffer holds raw storage; elements must be trivially "
+                "copyable");
+
+ public:
+  ArenaBuffer() = default;
+  explicit ArenaBuffer(std::size_t n) { resize(n); }
+
+  ArenaBuffer(ArenaBuffer&& other) noexcept { swap(other); }
+  ArenaBuffer& operator=(ArenaBuffer&& other) noexcept {
+    if (this != &other) {
+      release_heap();
+      data_ = nullptr;
+      size_ = capacity_ = 0;
+      heap_ = nullptr;
+      arena_ = other.arena_;
+      swap(other);
+    }
+    return *this;
+  }
+  ArenaBuffer(const ArenaBuffer&) = delete;
+  ArenaBuffer& operator=(const ArenaBuffer&) = delete;
+
+  ~ArenaBuffer() { release_heap(); }
+
+  // Pins growth to `arena` regardless of thread bindings (nullptr returns
+  // to the default policy). Only affects future growth.
+  void set_arena(Arena* arena) { arena_ = arena; }
+  Arena* arena() const { return arena_; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  std::span<T> span() { return {data_, size_}; }
+  std::span<const T> span() const { return {data_, size_}; }
+
+  // Implicit span conversion, mirroring std::vector's use at call sites
+  // that take std::span parameters.
+  operator std::span<T>() { return {data_, size_}; }              // NOLINT
+  operator std::span<const T>() const { return {data_, size_}; }  // NOLINT
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  // Grow-only size change: new elements are uninitialized, existing
+  // contents survive. Shrinking only changes size(), never capacity.
+  void resize(std::size_t n) {
+    reserve(n);
+    size_ = n;
+  }
+
+  void reserve(std::size_t n);
+
+  void assign(std::size_t n, const T& value) {
+    resize(n);
+    for (std::size_t i = 0; i < n; ++i) data_[i] = value;
+  }
+
+  void clear() { size_ = 0; }
+
+  void swap(ArenaBuffer& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+    std::swap(capacity_, other.capacity_);
+    std::swap(heap_, other.heap_);
+    std::swap(arena_, other.arena_);
+  }
+
+ private:
+  void release_heap() {
+    // Arena extents are abandoned (grow-only); only heap storage is freed.
+    ::operator delete[](heap_, std::align_val_t{Arena::kAlignment});
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+  void* heap_ = nullptr;  // non-null when data_ is heap-backed
+  Arena* arena_ = nullptr;
+};
+
+template <class T>
+void ArenaBuffer<T>::reserve(std::size_t n) {
+  if (n <= capacity_) return;
+  Arena* arena = arena_ != nullptr ? arena_ : current_arena();
+  T* grown = nullptr;
+  void* grown_heap = nullptr;
+  if (arena != nullptr) {
+    grown = static_cast<T*>(arena->allocate(n * sizeof(T)));
+  } else {
+    grown_heap = ::operator new[](n * sizeof(T),
+                                  std::align_val_t{Arena::kAlignment});
+    grown = static_cast<T*>(grown_heap);
+  }
+  if (size_ > 0) __builtin_memcpy(grown, data_, size_ * sizeof(T));
+  release_heap();
+  heap_ = grown_heap;
+  data_ = grown;
+  capacity_ = n;
+}
+
+}  // namespace cgx::util

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace cgx::util {
 
@@ -85,15 +86,21 @@ float half_to_float(std::uint16_t h) {
   return f;
 }
 
+// Bulk conversions dispatch through the simd table; the vector paths are
+// bit-identical to the per-element reference above, and CGX_SIMD=off (or a
+// level with no half kernels) falls back to these scalar loops — the
+// contract, exercised directly.
 void floats_to_halves(std::span<const float> in,
                       std::span<std::uint16_t> out) {
   CGX_CHECK_EQ(in.size(), out.size());
+  if (simd::f32_to_f16(in.data(), out.data(), in.size())) return;
   for (std::size_t i = 0; i < in.size(); ++i) out[i] = float_to_half(in[i]);
 }
 
 void halves_to_floats(std::span<const std::uint16_t> in,
                       std::span<float> out) {
   CGX_CHECK_EQ(in.size(), out.size());
+  if (simd::f16_to_f32(in.data(), out.data(), in.size())) return;
   for (std::size_t i = 0; i < in.size(); ++i) out[i] = half_to_float(in[i]);
 }
 

@@ -1,0 +1,130 @@
+#include "util/numa.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace cgx::util::numa {
+namespace {
+
+// Parses a kernel cpulist ("0-3,8,10-11") into CPU ids.
+std::vector<int> parse_cpulist(const std::string& list) {
+  std::vector<int> cpus;
+  std::stringstream ss(list);
+  std::string range;
+  while (std::getline(ss, range, ',')) {
+    if (range.empty()) continue;
+    const std::size_t dash = range.find('-');
+    const int lo = std::atoi(range.c_str());
+    const int hi = dash == std::string::npos
+                       ? lo
+                       : std::atoi(range.c_str() + dash + 1);
+    for (int c = lo; c <= hi && c - lo < 4096; ++c) cpus.push_back(c);
+  }
+  return cpus;
+}
+
+struct Topology {
+  std::vector<std::vector<int>> node_cpus;  // node -> CPU ids
+  bool env_off = false;
+
+  Topology() {
+    const char* env = std::getenv("CGX_NUMA");
+    if (env != nullptr && std::strcmp(env, "off") == 0) env_off = true;
+    if (env != nullptr && !env_off && std::strcmp(env, "auto") != 0 &&
+        env[0] != '\0') {
+      std::fprintf(stderr,
+                   "cgx: unknown CGX_NUMA value '%s' (want off|auto); "
+                   "using auto\n",
+                   env);
+    }
+#if defined(__linux__)
+    for (int node = 0; node < 1024; ++node) {
+      std::ifstream cpulist("/sys/devices/system/node/node" +
+                            std::to_string(node) + "/cpulist");
+      if (!cpulist.is_open()) break;
+      std::string list;
+      std::getline(cpulist, list);
+      node_cpus.push_back(parse_cpulist(list));
+    }
+#endif
+    if (node_cpus.empty()) node_cpus.push_back({});  // unknown: 1 flat node
+  }
+};
+
+const Topology& topology() {
+  static const Topology kTopo;
+  return kTopo;
+}
+
+}  // namespace
+
+bool enabled() {
+  const Topology& t = topology();
+  return !t.env_off && t.node_cpus.size() > 1;
+}
+
+int node_count() { return static_cast<int>(topology().node_cpus.size()); }
+
+int node_cpu_count(int node) {
+  const Topology& t = topology();
+  if (node < 0 || node >= static_cast<int>(t.node_cpus.size())) return 0;
+  return static_cast<int>(t.node_cpus[static_cast<std::size_t>(node)].size());
+}
+
+int node_for_rank(int rank) {
+  const int nodes = node_count();
+  if (rank < 0 || nodes <= 1) return 0;
+  return rank % nodes;
+}
+
+bool pin_current_thread_to_node(int node) {
+  if (!enabled()) return false;
+  const Topology& t = topology();
+  if (node < 0 || node >= static_cast<int>(t.node_cpus.size())) return false;
+  const auto& cpus = t.node_cpus[static_cast<std::size_t>(node)];
+  if (cpus.empty()) return false;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int c : cpus) {
+    if (c >= 0 && c < CPU_SETSIZE) CPU_SET(c, &set);
+  }
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+bool pin_current_thread_for_rank(int rank) {
+  return pin_current_thread_to_node(node_for_rank(rank));
+}
+
+void first_touch(std::span<std::byte> memory) {
+  constexpr std::size_t kPage = 4096;
+  for (std::size_t off = 0; off < memory.size(); off += kPage) {
+    memory[off] = std::byte{0};
+  }
+}
+
+std::string topology_summary() {
+  const Topology& t = topology();
+  std::ostringstream out;
+  out << "numa: " << t.node_cpus.size() << " node"
+      << (t.node_cpus.size() == 1 ? "" : "s") << " (";
+  for (std::size_t n = 0; n < t.node_cpus.size(); ++n) {
+    if (n) out << "+";
+    out << t.node_cpus[n].size();
+  }
+  out << " cpus), CGX_NUMA=" << (t.env_off ? "off" : "auto")
+      << (enabled() ? "" : " [placement inactive]");
+  return out.str();
+}
+
+}  // namespace cgx::util::numa

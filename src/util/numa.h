@@ -1,0 +1,59 @@
+// NUMA topology detection and rank-to-node thread placement.
+//
+// On a multi-socket box, a rank whose engine thread, comm thread, and
+// buffers live on one node sees local-DRAM latency and full local bandwidth;
+// a rank whose threads migrate across nodes pays the interconnect on every
+// gradient sweep. This module gives the data plane the three primitives it
+// needs, with zero configuration:
+//
+//  * topology detection from sysfs (/sys/devices/system/node) — no libnuma
+//    dependency, and non-Linux / single-node machines degrade to a no-op;
+//  * deterministic rank -> node assignment (ranks round-robin across nodes,
+//    mirroring how multi-GPU hosts pair GPUs with sockets);
+//  * thread pinning (sched_setaffinity to the node's whole CPU set — the
+//    scheduler still balances within the node) plus first-touch page
+//    priming, so a pinned rank's arena and ring slabs fault in locally.
+//
+// The CGX_NUMA environment variable mirrors the CGX_SIMD pattern:
+//    off   — every call is a no-op (placement identical to the seed);
+//    auto  — pin when the machine has more than one node (default).
+// Results are bit-identical either way: placement moves bytes, never math.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace cgx::util::numa {
+
+// True when CGX_NUMA != off AND the machine exposes >1 NUMA node. All
+// placement calls below are no-ops when this is false.
+bool enabled();
+
+// Number of NUMA nodes detected (1 on non-Linux or when sysfs is absent).
+int node_count();
+
+// Number of CPUs in `node`'s cpulist (0 for an unknown node).
+int node_cpu_count(int node);
+
+// Deterministic rank placement: ranks round-robin across nodes, so
+// consecutive ranks spread like GPUs across sockets.
+int node_for_rank(int rank);
+
+// Pins the calling thread to every CPU of `node`. No-op (returns false)
+// when !enabled(), the node is unknown, or the syscall is unavailable.
+bool pin_current_thread_to_node(int node);
+
+// pin_current_thread_to_node(node_for_rank(rank)); the one-liner every
+// rank-thread entry point calls. Returns false when nothing was pinned.
+bool pin_current_thread_for_rank(int rank);
+
+// Writes one byte per page so the pages fault in on the calling (pinned)
+// thread's node — first-touch placement for freshly reserved slabs.
+// Contents are zeroed; safe only on memory the caller owns exclusively.
+void first_touch(std::span<std::byte> memory);
+
+// "numa: 2 nodes (16+16 cpus), CGX_NUMA=auto" — for logs and benches.
+std::string topology_summary();
+
+}  // namespace cgx::util::numa

@@ -243,6 +243,25 @@ void gemm_tile_at_scalar(const float* a, std::size_t lda, const float* b,
   }
 }
 
+// ------------------------------------------------------------- copy engine
+//
+// The scalar copy IS std::memcpy: byte moves have no rounding, so the
+// "scalar reference" for copies is simply the libc copy. copy_add reuses
+// the elementwise add loop — same per-element sequence the vector levels
+// reproduce.
+
+void copy_bytes_scalar(std::byte* dst, const std::byte* src, std::size_t n) {
+  if (n != 0) std::memcpy(dst, src, n);
+}
+
+void copy_add2_scalar(float* dst, const float* a, const float* b,
+                      std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    float acc = dst[i] + a[i];
+    dst[i] = acc + b[i];
+  }
+}
+
 constexpr SimdOps kScalarOps = {
     axpy_scalar,       scale_scalar,          sub_scalar,
     add_scalar,        add_scaled_scalar,     madd_scalar,
@@ -252,6 +271,9 @@ constexpr SimdOps kScalarOps = {
     nuq_quantize_scalar,  nuq_dequantize_scalar,
     gemm_tile_scalar,  gemm_tile_at_scalar,
     nullptr,           nullptr,
+    copy_bytes_scalar, add_scalar,  // copy_add == the elementwise add loop
+    copy_add2_scalar,
+    nullptr,           nullptr,     // no scalar vector path for half (see half.cpp)
 };
 
 }  // namespace
@@ -453,6 +475,89 @@ bool unpack_words(const std::byte* in, std::size_t nwords, unsigned bits,
                   std::uint32_t* sym) {
   const auto fn = ops().unpack_words;
   return fn != nullptr && fn(in, nwords, bits, sym);
+}
+
+// -------------------------------------------------------------- copy engine
+
+namespace {
+
+// Padded so the three counters never false-share with neighbours; eight rank
+// threads bump these on every frame copy.
+struct alignas(64) CopyCounters {
+  std::atomic<std::uint64_t> copied_bytes{0};
+  std::atomic<std::uint64_t> copy_add_bytes{0};
+  std::atomic<std::uint64_t> calls{0};
+};
+
+CopyCounters& copy_counters() {
+  static CopyCounters c;
+  return c;
+}
+
+}  // namespace
+
+CopyStats copy_engine_stats() {
+  CopyCounters& c = copy_counters();
+  CopyStats s;
+  s.copied_bytes = c.copied_bytes.load(std::memory_order_relaxed);
+  s.copy_add_bytes = c.copy_add_bytes.load(std::memory_order_relaxed);
+  s.calls = c.calls.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_copy_engine_stats() {
+  CopyCounters& c = copy_counters();
+  c.copied_bytes.store(0, std::memory_order_relaxed);
+  c.copy_add_bytes.store(0, std::memory_order_relaxed);
+  c.calls.store(0, std::memory_order_relaxed);
+}
+
+std::size_t non_temporal_threshold() { return detail::kNonTemporalCopyBytes; }
+
+void copy_bytes(void* dst, const void* src, std::size_t n) {
+  if (n == 0) return;
+  CopyCounters& c = copy_counters();
+  c.copied_bytes.fetch_add(n, std::memory_order_relaxed);
+  c.calls.fetch_add(1, std::memory_order_relaxed);
+  ops().copy_bytes(static_cast<std::byte*>(dst),
+                   static_cast<const std::byte*>(src), n);
+}
+
+void copy_floats(std::span<const float> src, std::span<float> dst) {
+  CGX_DCHECK(src.size() == dst.size());
+  copy_bytes(dst.data(), src.data(), src.size() * sizeof(float));
+}
+
+void copy_add(std::span<float> dst, std::span<const float> src) {
+  CGX_DCHECK(dst.size() == src.size());
+  if (dst.empty()) return;
+  CopyCounters& c = copy_counters();
+  c.copy_add_bytes.fetch_add(src.size() * sizeof(float),
+                             std::memory_order_relaxed);
+  c.calls.fetch_add(1, std::memory_order_relaxed);
+  ops().copy_add(dst.data(), src.data(), dst.size());
+}
+
+void copy_add2(std::span<float> dst, std::span<const float> a,
+               std::span<const float> b) {
+  CGX_DCHECK(dst.size() == a.size());
+  CGX_DCHECK(dst.size() == b.size());
+  if (dst.empty()) return;
+  CopyCounters& c = copy_counters();
+  c.copy_add_bytes.fetch_add(2 * dst.size() * sizeof(float),
+                             std::memory_order_relaxed);
+  c.calls.fetch_add(1, std::memory_order_relaxed);
+  ops().copy_add2(dst.data(), a.data(), b.data(), dst.size());
+}
+
+bool f32_to_f16(const float* in, std::uint16_t* out, std::size_t n) {
+  const auto fn = ops().f32_to_f16;
+  return fn != nullptr && fn(in, out, n);
+}
+
+bool f16_to_f32(const std::uint16_t* in, float* out, std::size_t n) {
+  const auto fn = ops().f16_to_f32;
+  return fn != nullptr && fn(in, out, n);
 }
 
 }  // namespace cgx::util::simd

@@ -129,4 +129,46 @@ bool pack_words(const std::uint32_t* sym, std::size_t nwords, unsigned bits,
 bool unpack_words(const std::byte* in, std::size_t nwords, unsigned bits,
                   std::uint32_t* sym);
 
+// ---------------------------------------------------------------------------
+// Streaming copy engine. The data plane's ring-channel copy-in/copy-out,
+// peer-direct pulls, and tensor copies all route through these instead of
+// raw std::memcpy / element loops. Vector levels prefetch ahead of the
+// stream and use non-temporal stores for copies at or above
+// non_temporal_threshold() bytes (past-L2 buffers that would otherwise be
+// streamed through the cache twice). Results are bit-identical at every
+// level: byte copies move the same bytes, and copy_add applies the exact
+// scalar per-element sequence dst[i] += src[i] in increasing index order.
+// ---------------------------------------------------------------------------
+
+// Process-wide copy-engine counters (relaxed atomics; cheap enough for the
+// hot path, precise enough for the bench roofline accounting).
+struct CopyStats {
+  std::uint64_t copied_bytes = 0;    // moved by copy_bytes / copy_floats
+  std::uint64_t copy_add_bytes = 0;  // accumulated by copy_add (src bytes)
+  std::uint64_t calls = 0;
+};
+CopyStats copy_engine_stats();
+void reset_copy_engine_stats();
+
+// Byte size at which copy_bytes switches to non-temporal stores.
+std::size_t non_temporal_threshold();
+
+// memcpy contract (regions must not overlap); n == 0 is a no-op.
+void copy_bytes(void* dst, const void* src, std::size_t n);
+// Typed convenience over copy_bytes.
+void copy_floats(std::span<const float> src, std::span<float> dst);
+// dst[i] += src[i] with software prefetch; bit-identical to add().
+void copy_add(std::span<float> dst, std::span<const float> src);
+// Fused two-source fold: per element dst += a, then dst += b — bit-identical
+// to copy_add(dst, a); copy_add(dst, b); but one pass over dst. The SRA
+// scatter-reduce pairs peers through this to halve dst read/write traffic.
+void copy_add2(std::span<float> dst, std::span<const float> a,
+               std::span<const float> b);
+
+// Bulk binary16 conversions. Return false when the active level has no
+// vector path, in which case the caller must run its scalar loop (this is
+// how CGX_SIMD=off pins the scalar contract — see util/half.cpp).
+bool f32_to_f16(const float* in, std::uint16_t* out, std::size_t n);
+bool f16_to_f32(const std::uint16_t* in, float* out, std::size_t n);
+
 }  // namespace cgx::util::simd

@@ -12,6 +12,7 @@
 #include <immintrin.h>
 
 #include <bit>
+#include <cstdint>
 #include <cstring>
 
 namespace cgx::util::simd::detail {
@@ -589,6 +590,253 @@ bool unpack_words_avx2(const std::byte* in, std::size_t nwords, unsigned bits,
   return false;
 }
 
+// ------------------------------------------------------------- copy engine
+
+void copy_bytes_avx2(std::byte* dst, const std::byte* src, std::size_t n) {
+  // Cache-resident sizes: libc memcpy (ERMS / tuned AVX loops) beats an
+  // explicit vector loop — measured ~12% on bench_micro_memory — so the
+  // custom path exists only for the non-temporal regime.
+  if (n < kNonTemporalCopyBytes) {
+    std::memcpy(dst, src, n);
+    return;
+  }
+  const std::size_t head =
+      (32 - reinterpret_cast<std::uintptr_t>(dst) % 32) % 32;
+  if (head != 0) {
+    std::memcpy(dst, src, head);
+    dst += head;
+    src += head;
+    n -= head;
+  }
+  std::size_t i = 0;
+  {
+    // Past-L2 copy: non-temporal stores keep the destination out of the
+    // cache so the working set survives. Identical bytes either way.
+    for (; i + 128 <= n; i += 128) {
+      _mm_prefetch(reinterpret_cast<const char*>(src + i) + 1024,
+                   _MM_HINT_NTA);
+      _mm_prefetch(reinterpret_cast<const char*>(src + i) + 1088,
+                   _MM_HINT_NTA);
+      const __m256i a =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+      const __m256i b =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+      const __m256i c =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 64));
+      const __m256i d =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 96));
+      _mm256_stream_si256(reinterpret_cast<__m256i*>(dst + i), a);
+      _mm256_stream_si256(reinterpret_cast<__m256i*>(dst + i + 32), b);
+      _mm256_stream_si256(reinterpret_cast<__m256i*>(dst + i + 64), c);
+      _mm256_stream_si256(reinterpret_cast<__m256i*>(dst + i + 96), d);
+    }
+    _mm_sfence();
+  }
+  if (i < n) std::memcpy(dst + i, src + i, n - i);
+}
+
+// dst[i] += src[i] in index order — the scalar sequence, eight lanes at a
+// time. Prefetch both streams; dst is read back, so no non-temporal path.
+void copy_add_avx2(float* dst, const float* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    _mm_prefetch(reinterpret_cast<const char*>(src + i) + 256, _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(dst + i) + 256, _MM_HINT_T0);
+    for (std::size_t j = 0; j < 32; j += 8) {
+      const __m256 vd = _mm256_loadu_ps(dst + i + j);
+      const __m256 vs = _mm256_loadu_ps(src + i + j);
+      _mm256_storeu_ps(dst + i + j, _mm256_add_ps(vd, vs));
+    }
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vd = _mm256_loadu_ps(dst + i);
+    const __m256 vs = _mm256_loadu_ps(src + i);
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(vd, vs));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+void copy_add2_avx2(float* dst, const float* a, const float* b,
+                    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    _mm_prefetch(reinterpret_cast<const char*>(a + i) + 256, _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(b + i) + 256, _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(dst + i) + 256, _MM_HINT_T0);
+    for (std::size_t j = 0; j < 32; j += 8) {
+      const __m256 vd = _mm256_loadu_ps(dst + i + j);
+      const __m256 va = _mm256_loadu_ps(a + i + j);
+      const __m256 vb = _mm256_loadu_ps(b + i + j);
+      _mm256_storeu_ps(dst + i + j,
+                       _mm256_add_ps(_mm256_add_ps(vd, va), vb));
+    }
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vd = _mm256_loadu_ps(dst + i);
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_add_ps(vd, va), vb));
+  }
+  for (; i < n; ++i) {
+    float acc = dst[i] + a[i];
+    dst[i] = acc + b[i];
+  }
+}
+
+// -------------------------------------------------------- half conversions
+//
+// Integer-exact vectorizations of util/half.cpp. Every step below is either
+// pure integer manipulation or an exact float operation (int -> float for
+// values < 2^24, multiply by a power of two), so the results are
+// bit-identical to the scalar reference for every input, including
+// subnormals, RN-even ties, and the NaN mantissa squash.
+
+// 8 halves (zero-extended into 32-bit lanes) -> 8 float bit patterns.
+inline __m256i f16_to_f32_block(__m256i h) {
+  const __m256i sign = _mm256_slli_epi32(
+      _mm256_and_si256(h, _mm256_set1_epi32(0x8000)), 16);
+  const __m256i expf =
+      _mm256_and_si256(_mm256_srli_epi32(h, 10), _mm256_set1_epi32(0x1f));
+  const __m256i mant = _mm256_and_si256(h, _mm256_set1_epi32(0x3ff));
+  const __m256i mant13 = _mm256_slli_epi32(mant, 13);
+  // Normal: rebias exponent (half 15 -> float 127).
+  const __m256i norm = _mm256_or_si256(
+      _mm256_slli_epi32(_mm256_add_epi32(expf, _mm256_set1_epi32(112)), 23),
+      mant13);
+  // Inf/NaN: exponent all-ones, mantissa shifted up (preserves NaN payload
+  // exactly like the scalar path).
+  const __m256i infnan =
+      _mm256_or_si256(_mm256_set1_epi32(0x7f800000), mant13);
+  // Subnormal (and zero): value is mant * 2^-24 exactly. mant < 2^10, so
+  // int -> float is exact, and the power-of-two multiply is exact.
+  const __m256i sub = _mm256_castps_si256(_mm256_mul_ps(
+      _mm256_cvtepi32_ps(mant), _mm256_set1_ps(0x1p-24f)));
+  const __m256i zero_exp = _mm256_cmpeq_epi32(expf, _mm256_setzero_si256());
+  const __m256i max_exp =
+      _mm256_cmpeq_epi32(expf, _mm256_set1_epi32(0x1f));
+  __m256i res = _mm256_blendv_epi8(norm, infnan, max_exp);
+  res = _mm256_blendv_epi8(res, sub, zero_exp);
+  return _mm256_or_si256(res, sign);
+}
+
+bool f16_to_f32_avx2(const std::uint16_t* in, float* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i h = _mm256_cvtepu16_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        f16_to_f32_block(h));
+  }
+  if (i < n) {
+    // Ragged tail: run one padded vector block so the tail goes through the
+    // exact same lanes as the body (no scalar duplicate to keep in sync).
+    alignas(32) std::uint16_t tin[8] = {};
+    alignas(32) float tout[8];
+    std::memcpy(tin, in + i, (n - i) * sizeof(std::uint16_t));
+    const __m256i h = _mm256_cvtepu16_epi32(
+        _mm_load_si128(reinterpret_cast<const __m128i*>(tin)));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tout), f16_to_f32_block(h));
+    std::memcpy(out + i, tout, (n - i) * sizeof(float));
+  }
+  return true;
+}
+
+// 8 float bit patterns -> 8 half codes in the low 16 bits of each lane.
+inline __m256i f32_to_f16_block(__m256i x) {
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i sign16 = _mm256_and_si256(_mm256_srli_epi32(x, 16),
+                                          _mm256_set1_epi32(0x8000));
+  const __m256i expf =
+      _mm256_and_si256(_mm256_srli_epi32(x, 23), _mm256_set1_epi32(0xff));
+  const __m256i mant = _mm256_and_si256(x, _mm256_set1_epi32(0x7fffff));
+  const __m256i new_exp = _mm256_sub_epi32(expf, _mm256_set1_epi32(112));
+
+  // Normal candidate with RN-even on the 13 dropped bits. A rounding carry
+  // walks into the exponent (0x7bff + 1 = 0x7c00 = inf), as in scalar.
+  __m256i vn = _mm256_or_si256(_mm256_slli_epi32(new_exp, 10),
+                               _mm256_srli_epi32(mant, 13));
+  {
+    const __m256i dropped =
+        _mm256_and_si256(mant, _mm256_set1_epi32(0x1fff));
+    const __m256i gt =
+        _mm256_cmpgt_epi32(dropped, _mm256_set1_epi32(0x1000));
+    const __m256i eq =
+        _mm256_cmpeq_epi32(dropped, _mm256_set1_epi32(0x1000));
+    const __m256i odd =
+        _mm256_cmpeq_epi32(_mm256_and_si256(vn, one), one);
+    // Masks are all-ones (-1); subtracting adds the rounding increment.
+    vn = _mm256_sub_epi32(vn, _mm256_or_si256(gt, _mm256_and_si256(eq, odd)));
+  }
+
+  // Subnormal candidate: shift = 14 - new_exp in [14, 24] for the lanes
+  // that select it; per-lane variable shifts keep everything exact. Shift
+  // counts > 31 (deeply underflowed lanes) produce 0 by vpsrlvd/vpsllvd
+  // semantics and are masked to zero below anyway.
+  const __m256i shift = _mm256_sub_epi32(_mm256_set1_epi32(14), new_exp);
+  const __m256i m2 = _mm256_or_si256(mant, _mm256_set1_epi32(0x800000));
+  __m256i vs = _mm256_srlv_epi32(m2, shift);
+  {
+    const __m256i low_mask =
+        _mm256_sub_epi32(_mm256_sllv_epi32(one, shift), one);
+    const __m256i dropped = _mm256_and_si256(m2, low_mask);
+    const __m256i halfway =
+        _mm256_sllv_epi32(one, _mm256_sub_epi32(shift, one));
+    const __m256i gt = _mm256_cmpgt_epi32(dropped, halfway);
+    const __m256i eq = _mm256_cmpeq_epi32(dropped, halfway);
+    const __m256i odd =
+        _mm256_cmpeq_epi32(_mm256_and_si256(vs, one), one);
+    vs = _mm256_sub_epi32(vs, _mm256_or_si256(gt, _mm256_and_si256(eq, odd)));
+  }
+
+  // Select per the scalar branch ladder (later blends win, so order the
+  // special cases from widest to most specific).
+  __m256i res = vn;
+  res = _mm256_blendv_epi8(
+      res, _mm256_set1_epi32(0x7c00),
+      _mm256_cmpgt_epi32(new_exp, _mm256_set1_epi32(30)));  // overflow
+  res = _mm256_blendv_epi8(res, vs,
+                           _mm256_cmpgt_epi32(one, new_exp));  // new_exp <= 0
+  res = _mm256_blendv_epi8(
+      res, _mm256_setzero_si256(),
+      _mm256_cmpgt_epi32(_mm256_set1_epi32(-10), new_exp));  // underflow
+  const __m256i nan_bit = _mm256_andnot_si256(
+      _mm256_cmpeq_epi32(mant, _mm256_setzero_si256()),
+      _mm256_set1_epi32(0x200));
+  res = _mm256_blendv_epi8(
+      res, _mm256_or_si256(_mm256_set1_epi32(0x7c00), nan_bit),
+      _mm256_cmpeq_epi32(expf, _mm256_set1_epi32(0xff)));  // inf / NaN
+  return _mm256_or_si256(res, sign16);
+}
+
+bool f32_to_f16_avx2(const float* in, std::uint16_t* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    const __m256i res = f32_to_f16_block(x);
+    // Lanes are <= 0xffff, so unsigned-saturating pack is lossless; the
+    // permute undoes packus's per-128-bit-lane interleave.
+    const __m256i packed = _mm256_packus_epi32(res, res);
+    const __m256i lin = _mm256_permute4x64_epi64(packed, 0x08);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm256_castsi256_si128(lin));
+  }
+  if (i < n) {
+    alignas(32) float tin[8] = {};
+    alignas(32) std::uint16_t tout[8];
+    std::memcpy(tin, in + i, (n - i) * sizeof(float));
+    const __m256i x =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(tin));
+    const __m256i packed = _mm256_packus_epi32(f32_to_f16_block(x),
+                                               f32_to_f16_block(x));
+    const __m256i lin = _mm256_permute4x64_epi64(packed, 0x08);
+    _mm_store_si128(reinterpret_cast<__m128i*>(tout),
+                    _mm256_castsi256_si128(lin));
+    std::memcpy(out + i, tout, (n - i) * sizeof(std::uint16_t));
+  }
+  return true;
+}
+
 constexpr SimdOps kAvx2Ops = {
     axpy_avx2,       scale_avx2,          sub_avx2,
     add_avx2,        add_scaled_avx2,     madd_avx2,
@@ -598,6 +846,8 @@ constexpr SimdOps kAvx2Ops = {
     nuq_quantize_avx2,  nuq_dequantize_avx2,
     gemm_tile_avx2,  gemm_tile_at_avx2,
     pack_words_avx2, unpack_words_avx2,
+    copy_bytes_avx2, copy_add_avx2, copy_add2_avx2,
+    f32_to_f16_avx2, f16_to_f32_avx2,
 };
 
 }  // namespace

@@ -47,7 +47,34 @@ struct SimdOps {
                      unsigned bits, std::byte* out);
   bool (*unpack_words)(const std::byte* in, std::size_t nwords, unsigned bits,
                        std::uint32_t* sym);
+
+  // Streaming copy engine (see simd.h). copy_bytes moves raw bytes —
+  // trivially bit-identical at every level; vector levels add software
+  // prefetch and switch to non-temporal stores at kNonTemporalCopyBytes.
+  // copy_add performs dst[i] += src[i] in increasing index order, the same
+  // per-element rounding as the scalar loop (bit-identical at any width).
+  // copy_add2 folds two sources in one pass over dst with the exact
+  // per-element sequence dst[i] += a[i]; dst[i] += b[i]; — bit-identical to
+  // two copy_add calls, but dst is read and written once instead of twice.
+  void (*copy_bytes)(std::byte* dst, const std::byte* src, std::size_t n);
+  void (*copy_add)(float* dst, const float* src, std::size_t n);
+  void (*copy_add2)(float* dst, const float* a, const float* b,
+                    std::size_t n);
+
+  // Bulk binary16 conversions covering the whole range [0, n). May be null
+  // (no vector path at this level): the caller (util/half.cpp) then runs
+  // its scalar reference loops. Vector implementations must be bit-identical
+  // to float_to_half / half_to_float, including RN-even rounding, subnormals
+  // and the NaN mantissa squash.
+  bool (*f32_to_f16)(const float* in, std::uint16_t* out, std::size_t n);
+  bool (*f16_to_f32)(const std::uint16_t* in, float* out, std::size_t n);
 };
+
+// Copies at or above this size bypass the cache on the store side
+// (non-temporal): a buffer this large is past L2, and streaming it through
+// the cache would evict the working set twice. Non-temporal stores write the
+// same bytes — the threshold affects cache state, never results.
+inline constexpr std::size_t kNonTemporalCopyBytes = 2u << 20;
 
 // Canonical lane fold shared by every reduction implementation. The tree
 // shape is part of the bit-exactness contract — do not reassociate.

@@ -10,6 +10,7 @@
 #include <emmintrin.h>
 
 #include <bit>
+#include <cstdint>
 #include <cstring>
 
 namespace cgx::util::simd::detail {
@@ -489,6 +490,99 @@ void gemm_tile_at_sse2(const float* a, std::size_t lda, const float* b,
   gemm_tile_impl<true>(a, lda, b, ldb, c, ldc, mb, kb, nb);
 }
 
+// ------------------------------------------------------------- copy engine
+
+void copy_bytes_sse2(std::byte* dst, const std::byte* src, std::size_t n) {
+  // Below the non-temporal threshold libc memcpy wins (see the AVX2 kernel
+  // note); only the streaming regime needs explicit stores.
+  if (n < kNonTemporalCopyBytes) {
+    std::memcpy(dst, src, n);
+    return;
+  }
+  // Align the store side to 16 so the vector body never splits a line.
+  const std::size_t head =
+      (16 - reinterpret_cast<std::uintptr_t>(dst) % 16) % 16;
+  if (head != 0) {
+    std::memcpy(dst, src, head);
+    dst += head;
+    src += head;
+    n -= head;
+  }
+  std::size_t i = 0;
+  {
+    // Past-L2 copy: stream the stores around the cache. Same bytes land in
+    // memory; only cache state differs (see the bit-exactness note in
+    // simd_internal.h).
+    for (; i + 64 <= n; i += 64) {
+      _mm_prefetch(reinterpret_cast<const char*>(src + i) + 512,
+                   _MM_HINT_NTA);
+      const __m128i a =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+      const __m128i b =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i + 16));
+      const __m128i c =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i + 32));
+      const __m128i d =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i + 48));
+      _mm_stream_si128(reinterpret_cast<__m128i*>(dst + i), a);
+      _mm_stream_si128(reinterpret_cast<__m128i*>(dst + i + 16), b);
+      _mm_stream_si128(reinterpret_cast<__m128i*>(dst + i + 32), c);
+      _mm_stream_si128(reinterpret_cast<__m128i*>(dst + i + 48), d);
+    }
+    // Order the streamed stores before any subsequent flag publish.
+    _mm_sfence();
+  }
+  if (i < n) std::memcpy(dst + i, src + i, n - i);
+}
+
+// dst[i] += src[i], same order as the scalar loop; prefetch both streams
+// (dst is read-modify-write, so no non-temporal path here).
+void copy_add_sse2(float* dst, const float* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm_prefetch(reinterpret_cast<const char*>(src + i) + 128, _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(dst + i) + 128, _MM_HINT_T0);
+    for (std::size_t j = 0; j < 16; j += 4) {
+      const __m128 vd = _mm_loadu_ps(dst + i + j);
+      const __m128 vs = _mm_loadu_ps(src + i + j);
+      _mm_storeu_ps(dst + i + j, _mm_add_ps(vd, vs));
+    }
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m128 vd = _mm_loadu_ps(dst + i);
+    const __m128 vs = _mm_loadu_ps(src + i);
+    _mm_storeu_ps(dst + i, _mm_add_ps(vd, vs));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+void copy_add2_sse2(float* dst, const float* a, const float* b,
+                    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm_prefetch(reinterpret_cast<const char*>(a + i) + 128, _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(b + i) + 128, _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(dst + i) + 128, _MM_HINT_T0);
+    for (std::size_t j = 0; j < 16; j += 4) {
+      const __m128 vd = _mm_loadu_ps(dst + i + j);
+      const __m128 va = _mm_loadu_ps(a + i + j);
+      const __m128 vb = _mm_loadu_ps(b + i + j);
+      _mm_storeu_ps(dst + i + j,
+                    _mm_add_ps(_mm_add_ps(vd, va), vb));
+    }
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m128 vd = _mm_loadu_ps(dst + i);
+    const __m128 va = _mm_loadu_ps(a + i);
+    const __m128 vb = _mm_loadu_ps(b + i);
+    _mm_storeu_ps(dst + i, _mm_add_ps(_mm_add_ps(vd, va), vb));
+  }
+  for (; i < n; ++i) {
+    float acc = dst[i] + a[i];
+    dst[i] = acc + b[i];
+  }
+}
+
 constexpr SimdOps kSse2Ops = {
     axpy_sse2,       scale_sse2,          sub_sse2,
     add_sse2,        add_scaled_sse2,     madd_sse2,
@@ -498,6 +592,8 @@ constexpr SimdOps kSse2Ops = {
     nuq_quantize_sse2,  nuq_dequantize_sse2,
     gemm_tile_sse2,  gemm_tile_at_sse2,
     nullptr,         nullptr,  // no SSE2 pack/unpack (needs AVX2 vpsrlvd)
+    copy_bytes_sse2, copy_add_sse2, copy_add2_sse2,
+    nullptr,         nullptr,  // no SSE2 half path (needs AVX2 vpsrlvd)
 };
 
 }  // namespace

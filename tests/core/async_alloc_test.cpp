@@ -17,6 +17,7 @@
 #include "core/async_engine.h"
 #include "comm/transports.h"
 #include "comm/world.h"
+#include "util/arena.h"
 
 #if defined(__GNUC__) && !defined(__clang__)
 #pragma GCC diagnostic ignored "-Wmismatched-new-delete"
@@ -100,6 +101,17 @@ TEST(AsyncEngineAlloc, StreamedStepAllocationFreeAfterWarmup) {
   EXPECT_GT(hwm_before.load(), 0u);
   EXPECT_EQ(hwm_before.load(), hwm_after.load())
       << "collective workspaces grew after warm-up";
+  // The workspaces are not merely allocation-free — their slots must have
+  // been carved from the per-rank arenas (64-byte aligned, NUMA-homed),
+  // not the heap. The arenas having absorbed collective-scale storage is
+  // the observable proof.
+  // (The slack factor covers per-rank imbalance and the slivers of scratch
+  // that legitimately stay on the heap, e.g. report vectors.)
+  for (int r = 0; r < kWorld; ++r) {
+    EXPECT_GE(util::rank_arena(r).allocated_bytes(),
+              hwm_before.load() / (4 * kWorld))
+        << "rank " << r << " workspace slots are not arena-backed";
+  }
 }
 
 }  // namespace

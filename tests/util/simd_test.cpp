@@ -13,9 +13,11 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "util/bitio.h"
+#include "util/half.h"
 #include "util/rng.h"
 
 namespace cgx::util::simd {
@@ -368,6 +370,148 @@ TEST(SimdPack, BitioLevelInvariant) {
         std::vector<std::uint32_t> unpacked(n, 0u);
         unpack_symbols(ref, bits, unpacked);
         EXPECT_EQ(sym, unpacked);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- copy engine
+
+// copy_bytes / copy_floats / copy_add across levels, sizes 0..67 plus the
+// ragged de-aligning offset. Byte copies must be exact; copy_add applies
+// the same additions in the same element order as scalar, so bit-identity
+// is the contract, not an approximation.
+TEST(SimdCopyEngine, CopyAndCopyAddBitIdenticalAcrossLevels) {
+  for (std::size_t n = 0; n <= kMaxN; ++n) {
+    const std::size_t off = offset_for(n);
+    const auto src_buf = random_floats(n + off, 31 + n);
+    const auto acc_buf = random_floats(n + off, 57 + n);
+    const auto src2_buf = random_floats(n + off, 83 + n);
+    const std::span<const float> src(src_buf.data() + off, n);
+    const std::span<const float> acc(acc_buf.data() + off, n);
+    const std::span<const float> src2(src2_buf.data() + off, n);
+
+    std::vector<float> add_ref(acc.begin(), acc.end());
+    std::vector<float> add2_ref(acc.begin(), acc.end());
+    {
+      ScopedLevel lvl(Level::kScalar);
+      copy_add(add_ref, src);
+      // The two-source fold's reference is literally two sequential adds.
+      copy_add(add2_ref, src);
+      copy_add(add2_ref, src2);
+    }
+
+    for (Level l : reachable_levels()) {
+      SCOPED_TRACE(::testing::Message() << "n=" << n << " level="
+                                        << level_name(l));
+      ScopedLevel lvl(l);
+
+      std::vector<float> copied(n, -7.0f);
+      copy_floats(src, copied);
+      expect_bits_equal(src, copied, "copy_floats");
+
+      std::vector<std::byte> raw(n * sizeof(float) + 3);
+      copy_bytes(raw.data() + 3, src.data(), n * sizeof(float));
+      EXPECT_EQ(std::memcmp(raw.data() + 3, src.data(), n * sizeof(float)),
+                0)
+          << "copy_bytes (unaligned dst)";
+
+      std::vector<float> added(acc.begin(), acc.end());
+      copy_add(added, src);
+      expect_bits_equal(add_ref, added, "copy_add");
+
+      std::vector<float> added2(acc.begin(), acc.end());
+      copy_add2(added2, src, src2);
+      expect_bits_equal(add2_ref, added2, "copy_add2");
+    }
+  }
+}
+
+// Above non_temporal_threshold() the kernels switch to streaming stores;
+// the bytes written must still be identical (only cache residency may
+// differ). One size past the threshold exercises that branch.
+TEST(SimdCopyEngine, NonTemporalPathBitIdentical) {
+  const std::size_t bytes = non_temporal_threshold() + (1u << 16) + 52;
+  const std::size_t n = bytes / sizeof(float);
+  const auto src = random_floats(n, 1234);
+  std::vector<float> add_ref(n, 0.25f);
+  {
+    ScopedLevel lvl(Level::kScalar);
+    copy_add(add_ref, src);
+  }
+  for (Level l : reachable_levels()) {
+    SCOPED_TRACE(level_name(l));
+    ScopedLevel lvl(l);
+    std::vector<float> dst(n, -1.0f);
+    copy_floats(src, dst);
+    EXPECT_EQ(std::memcmp(dst.data(), src.data(), n * sizeof(float)), 0);
+    std::vector<float> added(n, 0.25f);
+    copy_add(added, src);
+    expect_bits_equal(add_ref, added, "copy_add past NT threshold");
+  }
+}
+
+// The dispatcher's byte counters must track exactly what flows through it
+// (bench_micro_memory reports them; a silent bypass would make the bench
+// claim coverage the hot path doesn't have).
+TEST(SimdCopyEngine, StatsTrackDispatchedBytes) {
+  reset_copy_engine_stats();
+  std::vector<float> src(100, 1.0f), dst(100);
+  copy_floats(src, dst);
+  copy_bytes(dst.data(), src.data(), 64);
+  copy_add(dst, src);
+  const CopyStats stats = copy_engine_stats();
+  EXPECT_EQ(stats.copied_bytes, 100 * sizeof(float) + 64);
+  EXPECT_EQ(stats.copy_add_bytes, 100 * sizeof(float));
+  EXPECT_EQ(stats.calls, 3u);
+}
+
+// --------------------------------------------------------- half precision
+
+// The vectorized f16<->f32 converters feed util/half.cpp; the scalar
+// float_to_half/half_to_float pair is the specification. f16->f32 is
+// checked for every one of the 65536 half codes; f32->f16 over a random
+// bit-pattern sweep plus rounding edge cases.
+TEST(SimdHalf, ConversionsBitIdenticalToScalarSpec) {
+  for (Level l : reachable_levels()) {
+    SCOPED_TRACE(level_name(l));
+    ScopedLevel lvl(l);
+
+    // Every half code, ragged count so the padded tail path runs.
+    std::vector<std::uint16_t> codes(65536 + 7);
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      codes[i] = static_cast<std::uint16_t>(i & 0xffff);
+    }
+    std::vector<float> widened(codes.size());
+    if (f16_to_f32(codes.data(), widened.data(), codes.size())) {
+      for (std::size_t i = 0; i < codes.size(); ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(widened[i]),
+                  std::bit_cast<std::uint32_t>(half_to_float(codes[i])))
+            << "f16->f32 diverges for code " << codes[i];
+      }
+    }
+
+    Rng rng(99);
+    std::vector<float> floats(4096 + 5);
+    for (auto& f : floats) {
+      f = std::bit_cast<float>(
+          static_cast<std::uint32_t>(rng.next_u64() & 0xffffffffu));
+    }
+    // Rounding / clamping edges: halfway mantissas, subnormal boundary,
+    // overflow, infinities, NaN, signed zero.
+    const float edges[] = {0.0f,     -0.0f,    65504.0f, 65520.0f, 65536.0f,
+                           1e-8f,    -1e-8f,   6.1e-5f,  6.0e-5f,  1.5f,
+                           1.0009765625f,      1.0009766f,         2049.5f,
+                           std::numeric_limits<float>::infinity(),
+                           -std::numeric_limits<float>::infinity(),
+                           std::numeric_limits<float>::quiet_NaN()};
+    floats.insert(floats.end(), std::begin(edges), std::end(edges));
+    std::vector<std::uint16_t> narrowed(floats.size());
+    if (f32_to_f16(floats.data(), narrowed.data(), floats.size())) {
+      for (std::size_t i = 0; i < floats.size(); ++i) {
+        ASSERT_EQ(narrowed[i], float_to_half(floats[i]))
+            << "f32->f16 diverges for bits "
+            << std::bit_cast<std::uint32_t>(floats[i]);
       }
     }
   }

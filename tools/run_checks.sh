@@ -25,12 +25,13 @@ for preset in "${presets[@]}"; do
     echo "==== [bench-smoke] build"
     cmake --build build-release -j "$jobs" --target \
       bench_overlap bench_micro_collectives bench_micro_compressors \
-      bench_micro_compute
+      bench_micro_compute bench_micro_memory
     echo "==== [bench-smoke] run"
     (cd build-release && ./bench/bench_overlap --smoke)
     (cd build-release && ./bench/bench_micro_collectives --smoke)
     (cd build-release && ./bench/bench_micro_compressors --smoke)
     (cd build-release && ./bench/bench_micro_compute --smoke)
+    (cd build-release && ./bench/bench_micro_memory --smoke)
     continue
   fi
   echo "==== [$preset] configure"
@@ -44,15 +45,25 @@ for preset in "${presets[@]}"; do
   echo "==== [$preset] test"
   if [ "$preset" = tsan ]; then
     # Sanitizer-interposed allocators and slow full runs aren't the point
-    # here: run the concurrency-sensitive subset (includes the fault suite).
+    # here: run the concurrency-sensitive subset (includes the fault and
+    # memory-subsystem suites — the arena is shared rank/comm-thread state).
     ctest --test-dir "$builddir" -L tsan --output-on-failure -j "$jobs"
+  elif [ "$preset" = asan ]; then
+    # Full suite once, plus the memory-subsystem label by itself: arena
+    # carving, buffer growth, and the copy kernels are exactly where
+    # out-of-bounds writes would hide, so they get a dedicated pass.
+    ctest --test-dir "$builddir" --output-on-failure -j "$jobs"
+    ctest --test-dir "$builddir" -L memory --output-on-failure -j "$jobs"
   else
     # Twice: once with the SIMD kernels forced scalar and once with runtime
     # dispatch. The kernel layer's contract is that the two runs are
     # bit-identical (tests/util/simd_test.cpp checks per-kernel; this
-    # checks the whole suite end to end at both levels).
+    # checks the whole suite end to end at both levels). A third pass with
+    # NUMA placement disabled proves thread pinning and arena homing never
+    # change results (CGX_NUMA=off must reproduce auto bit-for-bit).
     CGX_SIMD=off ctest --test-dir "$builddir" --output-on-failure -j "$jobs"
     CGX_SIMD=auto ctest --test-dir "$builddir" --output-on-failure -j "$jobs"
+    CGX_NUMA=off ctest --test-dir "$builddir" --output-on-failure -j "$jobs"
   fi
 done
 echo "==== all presets passed"
