@@ -46,8 +46,15 @@ void for_each_by_arrival(Comm& comm, std::span<const int> peers, int tag,
   int count = 0;
   for (int p : peers) remaining[static_cast<std::size_t>(count++)] = p;
   while (count > 0) {
-    const int p = comm.select_source(
-        {remaining.data(), static_cast<std::size_t>(count)}, tag);
+    // A single remaining peer needs no any-source wait — and receiving on
+    // the named link means a silent peer surfaces as a TimeoutError that
+    // identifies exactly that link instead of an anonymous any-source wait.
+    const int p = count == 1
+                      ? remaining[0]
+                      : comm.select_source(
+                            {remaining.data(),
+                             static_cast<std::size_t>(count)},
+                            tag);
     fn(p);
     for (int i = 0; i < count; ++i) {
       if (remaining[static_cast<std::size_t>(i)] == p) {

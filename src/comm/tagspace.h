@@ -14,11 +14,20 @@
 //   210..293   compressed collectives, strided per bucket: bucket b uses
 //              base+2b for b < kMaxTagBuckets (SRA 210/211, Ring 220/221,
 //              Tree 230/231; bucket 0 == the legacy monolithic tags)
+//   162..193   hierarchical intra-node lane, strided per bucket: bucket b
+//              uses kHierIntraTag + b (one tag per bucket — the member→leader
+//              reduce and the leader→member broadcast travel opposite
+//              directions over the same (src, dst, tag) table, so they never
+//              share a channel)
 //   310        GRACE allgather
 //   310..360   SHADOW: peer-direct acks of the uncompressed collectives
 //              (tag + kDirectAckTagOffset = +200) — nothing else may sit
 //              here, which is what caps the bucket stride region at <300
-//   410..413   hierarchical (two-level) schedule
+//   362..393   SHADOW: peer-direct acks of the hierarchical intra lane
+//   420..483   hierarchical inter-node (leader SRA) lane, strided per
+//              bucket: scatter 420+2b / gather 421+2b. Leaders talk over
+//              plain channels (never peer-direct — they model the NIC), so
+//              this region needs no ack shadow and may run to the table cap.
 #pragma once
 
 namespace cgx::comm {
@@ -52,5 +61,37 @@ constexpr int bucket_tag_offset(int bucket) {
 static_assert(kTreeBcastTag + bucket_tag_offset(kMaxTagBuckets - 1) < 310,
               "bucketed compressed tags must stay below the GRACE tag and "
               "the uncompressed collectives' direct-ack shadow (310..360)");
+
+// Peer-direct exchanges acknowledge on tag + kDirectAckTagOffset; any tag
+// that may ride the direct path must keep its shadow inside the table.
+inline constexpr int kDirectAckTagOffset = 200;
+
+// Hierarchical (two-level) schedule. The intra-node lane carries both the
+// member→leader reduce and the leader→member broadcast: opposite directions
+// on the same tag occupy distinct (src, dst, tag) channels. It may go
+// peer-direct, so its ack shadow (362..393) must stay clear of both the
+// uncompressed shadow (310..360) and the inter-node lane.
+inline constexpr int kHierIntraTag = 162;
+inline constexpr int kHierInterScatterTag = 420;
+inline constexpr int kHierInterGatherTag = 421;
+
+constexpr int hier_intra_tag(int bucket) { return kHierIntraTag + bucket; }
+constexpr int hier_inter_scatter_tag(int bucket) {
+  return kHierInterScatterTag + bucket_tag_offset(bucket);
+}
+constexpr int hier_inter_gather_tag(int bucket) {
+  return kHierInterGatherTag + bucket_tag_offset(bucket);
+}
+
+static_assert(hier_intra_tag(kMaxTagBuckets - 1) < kSraScatterTag,
+              "hierarchical intra lane must stay below the compressed region");
+static_assert(hier_intra_tag(0) + kDirectAckTagOffset > 360,
+              "hierarchical intra ack shadow must start past the "
+              "uncompressed collectives' shadow (310..360)");
+static_assert(hier_intra_tag(kMaxTagBuckets - 1) + kDirectAckTagOffset <
+                  kHierInterScatterTag,
+              "hierarchical intra ack shadow must end before the inter lane");
+static_assert(hier_inter_gather_tag(kMaxTagBuckets - 1) < 512,
+              "hierarchical inter lane must fit the channel-table tag slots");
 
 }  // namespace cgx::comm

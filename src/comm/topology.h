@@ -1,0 +1,75 @@
+// Rank→node placement for the hierarchical (two-level) collectives.
+//
+// A Topology is an immutable map from global rank to node id, plus the
+// derived structure the two-level schedule needs: dense node indices,
+// per-node leaders (lowest rank on the node), and same-node queries.
+// Node ids in the input may be arbitrary, non-contiguous integers; they
+// are re-indexed densely in first-appearance order so downstream code
+// can size per-node arrays by num_nodes().
+//
+// Construction sources, in the order production code tries them:
+//   Topology::from_env(world)  — parse CGX_TOPO:
+//       "NxM"          N nodes of M ranks each, block placement
+//                      (rank r → node r / M); N*M must equal world.
+//       "0,0,1,1,..."  explicit per-rank node ids, one per rank.
+//       unset/empty    single node (flat world, hierarchy degenerates).
+//   Topology::grouped(world, ranks_per_node)  — block placement.
+//   Topology::single_node(world)              — everyone on node 0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cgx::comm {
+
+class Topology {
+ public:
+  // Everyone on one node: the hierarchy degenerates to the flat path.
+  static Topology single_node(int world);
+  // Block placement: rank r lives on node r / ranks_per_node. The last
+  // node may be short when world is not divisible.
+  static Topology grouped(int world, int ranks_per_node);
+  // Parse CGX_TOPO (see file comment). Throws std::invalid_argument on
+  // malformed specs or world-size mismatch.
+  static Topology from_env(int world);
+  static Topology parse(const std::string& spec, int world);
+
+  explicit Topology(std::vector<int> node_of);
+
+  int world_size() const { return static_cast<int>(node_of_.size()); }
+  int num_nodes() const { return num_nodes_; }
+  bool is_single_node() const { return num_nodes_ <= 1; }
+
+  // Raw node id as supplied by the caller (may be non-contiguous).
+  int node_of(int rank) const {
+    return node_of_[static_cast<std::size_t>(rank)];
+  }
+  // Dense node index in [0, num_nodes()), first-appearance order.
+  int node_index(int rank) const {
+    return node_index_[static_cast<std::size_t>(rank)];
+  }
+  bool same_node(int a, int b) const {
+    return node_of_[static_cast<std::size_t>(a)] ==
+           node_of_[static_cast<std::size_t>(b)];
+  }
+
+  // Lowest rank on `rank`'s node — the node leader.
+  int leader(int rank) const {
+    return leader_of_[static_cast<std::size_t>(rank)];
+  }
+  bool is_leader(int rank) const { return leader(rank) == rank; }
+
+  // Leaders in ascending rank order, one per node (dense-index order
+  // coincides because the leader is the first-appearing rank).
+  const std::vector<int>& leaders() const { return leaders_; }
+  const std::vector<int>& node_map() const { return node_of_; }
+
+ private:
+  std::vector<int> node_of_;      // rank -> raw node id
+  std::vector<int> node_index_;   // rank -> dense node index
+  std::vector<int> leader_of_;    // rank -> leader rank on its node
+  std::vector<int> leaders_;      // dense node index -> leader rank
+  int num_nodes_ = 0;
+};
+
+}  // namespace cgx::comm

@@ -153,6 +153,17 @@ class Transport {
   // Only valid when supports_direct_exchange() is true — single-node
   // shared-address-space backends; MPI and NCCL stay on the channel path.
   virtual bool supports_direct_exchange() const { return false; }
+  // Per-link refinement: a topology-aware transport may offer peer-direct
+  // only between ranks sharing a node (the simulated NIC cannot export
+  // device memory across nodes). Both endpoints of an exchange must agree,
+  // so callers pick the path with THIS query for the specific pair; the
+  // global form above stays the "every pair" capability. Default: the
+  // global answer, so flat transports are unchanged.
+  virtual bool supports_direct_exchange(int a, int b) const {
+    (void)a;
+    (void)b;
+    return supports_direct_exchange();
+  }
   virtual void direct_post(int src, int dst, std::span<const float> data,
                            int tag);
   virtual void direct_pull(int dst, int src, std::span<float> data, bool add,

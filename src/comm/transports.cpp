@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "comm/fault.h"
+#include "comm/tagspace.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 #include "util/crc32.h"
@@ -14,9 +15,9 @@ namespace cgx::comm {
 namespace {
 
 // Peer-direct descriptors and acks ride the ordinary rings, but on a tag
-// shifted into its own band so a pull's ack can never collide with a
-// descriptor travelling the same (pair, tag) channel in the other role.
-constexpr int kDirectAckTagOffset = 200;
+// shifted into its own band (tag + kDirectAckTagOffset, see comm/tagspace.h)
+// so a pull's ack can never collide with a descriptor travelling the same
+// (pair, tag) channel in the other role.
 
 struct DirectDesc {
   const float* ptr;

@@ -71,6 +71,12 @@ class Comm {
   bool supports_direct_exchange() const {
     return transport_.supports_direct_exchange();
   }
+  // Per-link capability (see Transport): topology-aware transports offer
+  // peer-direct only inside a node. Both endpoints answer identically, so
+  // SPMD code picks the path with this query for a specific peer.
+  bool supports_direct_exchange(int peer) const {
+    return transport_.supports_direct_exchange(rank_, peer);
+  }
   void direct_post(int to, std::span<const float> data, int tag = 0) {
     transport_.direct_post(rank_, to, data, tag);
   }

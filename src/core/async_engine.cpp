@@ -73,8 +73,6 @@ AsyncGradientEngine::AsyncGradientEngine(std::unique_ptr<CgxEngine> inner,
       options_(options),
       comm_barrier_(static_cast<std::size_t>(inner_->world_size())),
       ranks_(static_cast<std::size_t>(inner_->world_size())) {
-  CGX_CHECK(inner_->options().node_of.empty())
-      << "streaming bucketed engine requires flat (single-level) mode";
   CGX_CHECK(inner_->options().fuse_filtered_layers)
       << "streaming bucketed engine requires the fused filtered packet";
   plan_ = build_bucket_plan(inner_->layout(), inner_->resolved(),

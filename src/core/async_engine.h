@@ -93,9 +93,15 @@ BucketPlan build_bucket_plan(const tensor::LayerLayout& layout,
 
 class AsyncGradientEngine final : public GradientEngine {
  public:
-  // Takes ownership of the inner engine. Requires flat mode (no node_of)
-  // and fuse_filtered_layers — the streaming plan covers every layer
-  // either via a compressed bucket or via the packet.
+  // Takes ownership of the inner engine. Requires fuse_filtered_layers —
+  // the streaming plan covers every layer either via a compressed bucket
+  // or via the packet. Two-level mode (node_of set) streams too: each
+  // bucket runs hierarchical_begin/finish on its own tag lane, and with
+  // pipelining the NEXT bucket's intra-node fold overlaps the current
+  // bucket's inter-node exchange (the leader's begin of bucket k+1 blocks
+  // only on its members' non-blocking begins, which depend only on their
+  // training threads — never on any finish — so the schedule cannot
+  // deadlock).
   AsyncGradientEngine(std::unique_ptr<CgxEngine> inner,
                       AsyncOptions options = {});
   ~AsyncGradientEngine() override;

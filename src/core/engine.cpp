@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "comm/fault.h"
+#include "comm/tagspace.h"
 #include "core/hierarchical.h"
 #include "core/qsgd.h"
 #include "tensor/tensor_ops.h"
@@ -178,6 +179,8 @@ void CgxEngine::rebuild() {
   if (ranks_.empty()) {
     ranks_.resize(static_cast<std::size_t>(world_size_));
   }
+  hier_.node_of = options_.node_of;
+  hier_.compress_intra = options_.compress_intra;
   for (std::size_t r = 0; r < ranks_.size(); ++r) {
     ranks_[r].workspace.set_arena(&util::rank_arena(static_cast<int>(r)));
   }
@@ -337,14 +340,12 @@ void CgxEngine::allreduce_attempt(comm::Comm& comm, std::span<float> fused,
   }
 
   // Compressed layers, one collective each (per-layer compression, §3).
-  HierarchicalOptions h;
-  if (!options_.node_of.empty()) h.node_of = options_.node_of;
   for (std::size_t l = 0; l < resolved_.size(); ++l) {
     if (resolved_[l].method == Method::None) continue;
     const std::span<Compressor* const> chunks = state.chunk_ptrs[l];
     if (!options_.node_of.empty()) {
-      hierarchical_allreduce(comm, layout_.slice(fused, l), chunks, rng, h,
-                             ws);
+      hierarchical_allreduce(comm, layout_.slice(fused, l), chunks, rng,
+                             hier_, ws);
     } else {
       compressed_allreduce(comm, layout_.slice(fused, l), chunks, rng,
                            options_.scheme, ws);
@@ -360,10 +361,18 @@ void CgxEngine::bucket_begin(comm::Comm& comm, std::span<float> fused,
                              std::span<const std::size_t> layers,
                              util::Rng& rng, int tag_base,
                              CollectiveWorkspace& ws) {
-  CGX_CHECK(options_.node_of.empty())
-      << "bucketed streaming requires flat (single-level) communication";
-  if (!supports_split()) return;  // Ring/Tree: all work happens in finish
   RankState& state = ranks_[static_cast<std::size_t>(comm.rank())];
+  if (!options_.node_of.empty()) {
+    // Two-level begin: intra-node fold to the leader plus the leader
+    // scatter — the half that overlaps the previous bucket's NIC drain.
+    const int bucket = tag_base / comm::kBucketTagStride;
+    for (std::size_t l : layers) {
+      hierarchical_begin(comm, layout_.slice(fused, l), state.chunk_ptrs[l],
+                         rng, hier_, ws, bucket);
+    }
+    return;
+  }
+  if (!supports_split()) return;  // Ring/Tree: all work happens in finish
   for (std::size_t l : layers) {
     compressed_sra_begin(comm, layout_.slice(fused, l), state.chunk_ptrs[l],
                          rng, ws, tag_base);
@@ -374,9 +383,21 @@ void CgxEngine::bucket_finish(comm::Comm& comm, std::span<float> fused,
                               std::span<const std::size_t> layers,
                               util::Rng& rng, int tag_base,
                               CollectiveWorkspace& ws) {
-  CGX_CHECK(options_.node_of.empty())
-      << "bucketed streaming requires flat (single-level) communication";
   RankState& state = ranks_[static_cast<std::size_t>(comm.rank())];
+  if (!options_.node_of.empty()) {
+    const int bucket = tag_base / comm::kBucketTagStride;
+    for (std::size_t l : layers) {
+      hierarchical_finish(comm, layout_.slice(fused, l),
+                          state.chunk_ptrs[l], rng, hier_, ws, bucket);
+    }
+    if (options_.average && world_size_ > 1) {
+      const float inv = 1.0f / static_cast<float>(world_size_);
+      for (std::size_t l : layers) {
+        tensor::scale(layout_.slice(fused, l), inv);
+      }
+    }
+    return;
+  }
   const bool split = supports_split();
   for (std::size_t l : layers) {
     const std::span<float> slice = layout_.slice(fused, l);

@@ -27,6 +27,7 @@
 #include "comm/collectives.h"
 #include "core/compressed_allreduce.h"
 #include "core/compression_config.h"
+#include "core/hierarchical.h"
 #include "simgpu/cost_model.h"
 #include "tensor/layer_layout.h"
 
@@ -43,10 +44,14 @@ struct EngineOptions {
   // Fuse all full-precision (filtered/small) layers into one packet per
   // step, "communicated uncompressed, in separate packages" (§3).
   bool fuse_filtered_layers = true;
-  // Heterogeneous multi-node mode (§4 "Backend Details"): full-precision
-  // intra-node reduction to node leaders, compressed SRA across nodes.
+  // Heterogeneous multi-node mode (§4 "Backend Details"): intra-node
+  // reduction to node leaders (peer-direct where the link allows),
+  // compressed SRA with node-boundary re-compression across nodes.
   // node_of[rank] -> node id; empty = flat (single-level) communication.
   std::vector<int> node_of;
+  // Compress the intra-node reduce hop too (two-level mode only; see
+  // HierarchicalOptions::compress_intra).
+  bool compress_intra = false;
   // Intra-call bucket parallelism for compression kernels: layers with at
   // least `compression_threading_min_numel` elements split their buckets
   // across this pool (payloads stay bit-identical to the serial path; see
@@ -164,7 +169,9 @@ class CgxEngine final : public GradientEngine {
   // split point); bucket_finish completes the reduction and applies the
   // 1/world averaging to the bucket's slices. begin(b) + finish(b) over
   // all buckets plus one packet_allreduce is bit-identical to allreduce()
-  // given the same per-bucket RNG streams. Flat mode only (node_of empty).
+  // given the same per-bucket RNG streams. In two-level mode (node_of set)
+  // the bucket runs hierarchical_begin/finish on its own tag lane, so
+  // bucket k+1's intra-node fold overlaps bucket k's inter-node drain.
   void bucket_begin(comm::Comm& comm, std::span<float> fused,
                     std::span<const std::size_t> layers, util::Rng& rng,
                     int tag_base, CollectiveWorkspace& ws);
@@ -175,11 +182,13 @@ class CgxEngine final : public GradientEngine {
   // (gather -> uncompressed allreduce -> scatter + averaging).
   void packet_allreduce(comm::Comm& comm, std::span<float> fused,
                         CollectiveWorkspace& ws);
-  // True when bucket_begin actually starts work early (SRA, flat mode):
-  // the precondition for the engine's compression/transfer pipelining.
+  // True when bucket_begin actually starts work early — flat SRA, or any
+  // two-level schedule (whose begin half is the intra-node reduce plus the
+  // leader scatter): the precondition for compression/transfer pipelining.
   bool supports_split() const {
-    return options_.scheme == comm::ReductionScheme::ScatterReduceAllgather &&
-           options_.node_of.empty();
+    return options_.scheme ==
+               comm::ReductionScheme::ScatterReduceAllgather ||
+           !options_.node_of.empty();
   }
 
   // Round-retry recovery protocol, shared with AsyncGradientEngine's
@@ -228,6 +237,9 @@ class CgxEngine final : public GradientEngine {
   CompressionConfig config_;
   int world_size_;
   EngineOptions options_;
+  // Two-level routing options, built once in rebuild() so the per-call hot
+  // path never copies the node map (zero steady-state allocations).
+  HierarchicalOptions hier_;
   std::vector<LayerCompression> resolved_;
   std::vector<std::size_t> filtered_layers_;  // layers routed to FP32
   std::size_t packet_numel_ = 0;              // total numel of filtered layers

@@ -1,128 +1,312 @@
 #include "core/hierarchical.h"
 
-#include <algorithm>
 #include <array>
 
+#include "comm/tagspace.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 
 namespace cgx::core {
 namespace {
 
-constexpr int kIntraReduceTag = 410;
-constexpr int kInterScatterTag = 411;
-constexpr int kInterGatherTag = 412;
-constexpr int kIntraBcastTag = 413;
+// Workspace slots (byte and float slots are independent namespaces; the
+// numbers match compressed_allreduce.cpp — safe because the two TUs never
+// hold spans across a call into each other for the same slot).
+constexpr std::size_t kSlotPayload = 0;    // outbound payload (bytes)
+constexpr std::size_t kSlotInPayload = 1;  // inbound payload (bytes)
+constexpr std::size_t kSlotIncoming = 0;   // float accumulation buffer
 
-// Workspace slots (disjoint phases never hold spans across each other).
-constexpr std::size_t kSlotPayload = 0;
-constexpr std::size_t kSlotInPayload = 1;
-constexpr std::size_t kSlotIncoming = 0;
-
-std::vector<int> leader_list(const std::vector<int>& node_of) {
-  std::vector<int> leaders;
-  std::vector<int> seen_nodes;
-  for (int r = 0; r < static_cast<int>(node_of.size()); ++r) {
-    const int node = node_of[static_cast<std::size_t>(r)];
-    if (std::find(seen_nodes.begin(), seen_nodes.end(), node) ==
-        seen_nodes.end()) {
-      seen_nodes.push_back(node);
-      leaders.push_back(r);  // first (lowest) rank of the node
-    }
+// Role/topology queries over the raw node_of map. All O(world) / O(world²)
+// integer scans with no allocation: worlds here are a few hundred at most
+// and every call moves megabytes, so scans are noise — and avoiding
+// materialized leader lists is what keeps the steady state alloc-free.
+bool is_leader_rank(const std::vector<int>& node_of, int q) {
+  const int node = node_of[static_cast<std::size_t>(q)];
+  for (int s = 0; s < q; ++s) {
+    if (node_of[static_cast<std::size_t>(s)] == node) return false;
   }
-  std::sort(leaders.begin(), leaders.end());
-  return leaders;
+  return true;
 }
 
-// SRA over an explicit participant subset; chunk j of the data belongs to
-// participants[j] and always rides compressors[j].
-void subset_compressed_sra(comm::Comm& comm, std::span<float> data,
-                           const std::vector<int>& participants,
-                           std::span<Compressor* const> compressors,
-                           util::Rng& rng, CollectiveWorkspace& ws) {
-  const int n = static_cast<int>(participants.size());
-  if (n <= 1 || data.empty()) return;
-  CGX_CHECK_GE(compressors.size(), static_cast<std::size_t>(n));
-  const auto it = std::find(participants.begin(), participants.end(),
-                            comm.rank());
-  CGX_CHECK(it != participants.end());
-  const int me = static_cast<int>(it - participants.begin());
-
-  for (int p = 0; p < n; ++p) {
-    if (p == me) continue;
-    const auto [first, last] = comm::chunk_range(data.size(), n, p);
-    const std::span<const float> chunk = data.subspan(first, last - first);
-    const std::span<std::byte> payload =
-        ws.bytes(kSlotPayload, compressors[p]->compressed_size(chunk.size()));
-    const std::size_t written = compressors[p]->compress(chunk, payload, rng);
-    comm.send(participants[static_cast<std::size_t>(p)],
-              payload.first(written), kInterScatterTag);
+// Index of leader rank `q` among all leaders in ascending rank order.
+int leader_index_of(const std::vector<int>& node_of, int q) {
+  int idx = 0;
+  for (int s = 0; s < q; ++s) {
+    if (is_leader_rank(node_of, s)) ++idx;
   }
-  const auto [mf, ml] = comm::chunk_range(data.size(), n, me);
-  std::span<float> mine = data.subspan(mf, ml - mf);
-  // Receive and decompress leader contributions in arrival order, each into
-  // its sender's own staging slot; the adds then run in fixed participant
-  // order so the reduced chunk is bit-identical run to run.
-  const std::span<float> staged = ws.floats(
-      kSlotIncoming, static_cast<std::size_t>(n - 1) * mine.size());
-  const std::span<std::byte> in_payload =
-      ws.bytes(kSlotInPayload, compressors[me]->compressed_size(mine.size()));
-  const auto slot_of = [me](int p) {
-    return static_cast<std::size_t>(p < me ? p : p - 1);
+  return idx;
+}
+
+struct Roles {
+  int n;              // world size
+  int rank;
+  int my_leader;      // leader of this rank's node
+  int num_leaders;    // distinct nodes
+  int my_leader_idx;  // my_leader's position among leaders (SRA chunk id)
+  bool leader;        // rank == my_leader
+};
+
+Roles resolve_roles(const comm::Comm& comm, const HierarchicalOptions& o) {
+  Roles roles;
+  roles.n = comm.size();
+  roles.rank = comm.rank();
+  CGX_CHECK_EQ(o.node_of.size(), static_cast<std::size_t>(roles.n));
+  roles.my_leader = leader_of(o.node_of, roles.rank);
+  roles.leader = roles.rank == roles.my_leader;
+  roles.num_leaders = num_leaders(o.node_of);
+  roles.my_leader_idx = leader_index_of(o.node_of, roles.my_leader);
+  return roles;
+}
+
+Compressor& intra_compressor(std::span<Compressor* const> compressors,
+                             const Roles& roles) {
+  // The intra hop gets its own operator AFTER the leader-chunk bindings so
+  // its error-feedback never mixes with any node-boundary residual. The
+  // slot exists whenever the hop is exercised: a world with members has
+  // num_leaders < world, and engines size the span by world.
+  CGX_CHECK_GT(compressors.size(),
+               static_cast<std::size_t>(roles.num_leaders));
+  return *compressors[static_cast<std::size_t>(roles.num_leaders)];
+}
+
+// The reduce hop may go peer-direct only when the link offers it AND the
+// payload is raw floats (a compressed payload can't ride the pull-add
+// fold). Both endpoints compute the same answer from the same inputs.
+bool direct_reduce_link(comm::Comm& comm, const HierarchicalOptions& o,
+                        int a, int b) {
+  return !o.compress_intra && comm.supports_direct_exchange(a == comm.rank()
+                                                                ? b
+                                                                : a);
+}
+
+// ---------------------------------------------------------------- members
+
+void member_begin(comm::Comm& comm, std::span<float> data,
+                  std::span<Compressor* const> compressors, util::Rng& rng,
+                  const HierarchicalOptions& options, const Roles& roles,
+                  CollectiveWorkspace& ws, int tag) {
+  if (options.compress_intra) {
+    Compressor& intra = intra_compressor(compressors, roles);
+    const std::span<std::byte> payload =
+        ws.bytes(kSlotPayload, intra.compressed_size(data.size()));
+    const std::size_t written = intra.compress(data, payload, rng);
+    comm.send(roles.my_leader, payload.first(written), tag);
+  } else if (comm.supports_direct_exchange(roles.my_leader)) {
+    // Post the span; the leader folds straight out of our memory. `data`
+    // must stay untouched until the matching direct_wait in finish().
+    comm.direct_post(roles.my_leader, data, tag);
+  } else {
+    comm.send_floats(roles.my_leader, data, tag);
+  }
+}
+
+void member_finish(comm::Comm& comm, std::span<float> data,
+                   const HierarchicalOptions& options, const Roles& roles,
+                   int tag) {
+  const bool link_direct = comm.supports_direct_exchange(roles.my_leader);
+  if (!options.compress_intra && link_direct) {
+    // Our reduce post must be consumed before the broadcast may overwrite
+    // the span it points at.
+    comm.direct_wait(roles.my_leader, tag);
+  }
+  if (link_direct) {
+    comm.direct_pull(roles.my_leader, data, /*add=*/false, tag);
+  } else {
+    comm.recv_floats(roles.my_leader, data, tag);
+  }
+}
+
+// ---------------------------------------------------------------- leaders
+
+void leader_fold_members(comm::Comm& comm, std::span<float> data,
+                         std::span<Compressor* const> compressors,
+                         const HierarchicalOptions& options,
+                         const Roles& roles, CollectiveWorkspace& ws,
+                         int tag) {
+  // Members fold in fixed ascending rank order (bit-identical run to run;
+  // intra-node members are symmetric, so arrival-order service would buy
+  // little). Adjacent peer-direct members pair into one direct_pull2 pass —
+  // bit-identical to two sequential pulls by the copy_add2 contract — and a
+  // channel member in between flushes the pending pair first, preserving
+  // the ascending add order.
+  int pending = -1;
+  const auto flush = [&]() {
+    if (pending >= 0) {
+      comm.direct_pull(pending, data, /*add=*/true, tag);
+      pending = -1;
+    }
   };
-  std::array<int, static_cast<std::size_t>(comm::kMaxAnySourceWorld)> peers;
-  int peer_count = 0;
-  const bool any_source = n - 1 <= comm::kMaxAnySourceWorld;
-  for (int p = 0; p < n; ++p) {
-    if (p == me) continue;
-    if (any_source) {
-      peers[static_cast<std::size_t>(peer_count++)] =
-          participants[static_cast<std::size_t>(p)];
+  for (int m = 0; m < roles.n; ++m) {
+    if (m == roles.rank ||
+        leader_of(options.node_of, m) != roles.rank) {
+      continue;
+    }
+    if (direct_reduce_link(comm, options, roles.rank, m)) {
+      if (pending < 0) {
+        pending = m;
+      } else {
+        comm.direct_pull2(pending, m, data, tag);
+        pending = -1;
+      }
+      continue;
+    }
+    flush();
+    if (options.compress_intra) {
+      Compressor& intra = intra_compressor(compressors, roles);
+      const std::span<std::byte> payload =
+          ws.bytes(kSlotInPayload, intra.compressed_size(data.size()));
+      comm.recv(m, payload, tag);
+      const std::span<float> incoming =
+          ws.floats(kSlotIncoming, data.size());
+      intra.decompress(payload, incoming);
+      tensor::add_inplace(data, incoming);
+    } else if (comm.transport().supports_recv_add()) {
+      comm.recv_add_floats(m, data, tag);
+    } else {
+      const std::span<float> incoming =
+          ws.floats(kSlotIncoming, data.size());
+      comm.recv_floats(m, incoming, tag);
+      tensor::add_inplace(data, incoming);
     }
   }
-  const auto stage = [&](int p) {
-    comm.recv(participants[static_cast<std::size_t>(p)], in_payload,
-              kInterScatterTag);
-    compressors[me]->decompress(
-        in_payload, staged.subspan(slot_of(p) * mine.size(), mine.size()));
+  flush();
+}
+
+void leader_bcast_members(comm::Comm& comm, std::span<const float> data,
+                          const HierarchicalOptions& options,
+                          const Roles& roles, int tag) {
+  // Post to every member first, then collect the acks: members pull
+  // concurrently instead of serializing on one wait at a time.
+  for (int m = 0; m < roles.n; ++m) {
+    if (m == roles.rank || leader_of(options.node_of, m) != roles.rank) {
+      continue;
+    }
+    if (comm.supports_direct_exchange(m)) {
+      comm.direct_post(m, data, tag);
+    } else {
+      comm.send_floats(m, data, tag);
+    }
+  }
+  for (int m = 0; m < roles.n; ++m) {
+    if (m == roles.rank || leader_of(options.node_of, m) != roles.rank) {
+      continue;
+    }
+    if (comm.supports_direct_exchange(m)) comm.direct_wait(m, tag);
+  }
+}
+
+// Leader-level SRA round 1: compress leader-chunk j of the node-aggregated
+// vector with compressor j — the node-boundary re-compression whose
+// error-feedback lives in that leader-level instance — and ship it to
+// aggregator j.
+void leader_scatter(comm::Comm& comm, std::span<float> data,
+                    std::span<Compressor* const> compressors, util::Rng& rng,
+                    const HierarchicalOptions& options, const Roles& roles,
+                    CollectiveWorkspace& ws, int scatter_tag) {
+  const int L = roles.num_leaders;
+  CGX_CHECK_GE(compressors.size(), static_cast<std::size_t>(L));
+  int j = 0;
+  for (int q = 0; q < roles.n; ++q) {
+    if (!is_leader_rank(options.node_of, q)) continue;
+    if (q != roles.rank) {
+      const auto [first, last] = comm::chunk_range(data.size(), L, j);
+      const std::span<const float> chunk = data.subspan(first, last - first);
+      const std::span<std::byte> payload = ws.bytes(
+          kSlotPayload, compressors[static_cast<std::size_t>(j)]
+                            ->compressed_size(chunk.size()));
+      const std::size_t written =
+          compressors[static_cast<std::size_t>(j)]->compress(chunk, payload,
+                                                             rng);
+      comm.send(q, payload.first(written), scatter_tag);
+    }
+    ++j;
+  }
+}
+
+// Leader-level SRA drain: stage the other leaders' contributions to my
+// chunk in arrival order, fold in fixed leader order, re-compress the
+// reduced chunk once, allgather.
+void leader_drain(comm::Comm& comm, std::span<float> data,
+                  std::span<Compressor* const> compressors, util::Rng& rng,
+                  const HierarchicalOptions& options, const Roles& roles,
+                  CollectiveWorkspace& ws, int scatter_tag, int gather_tag) {
+  const int L = roles.num_leaders;
+  const int me = roles.my_leader_idx;
+  Compressor& mine_comp = *compressors[static_cast<std::size_t>(me)];
+
+  const auto [mf, ml] = comm::chunk_range(data.size(), L, me);
+  std::span<float> mine = data.subspan(mf, ml - mf);
+  const std::span<float> staged = ws.floats(
+      kSlotIncoming, static_cast<std::size_t>(L - 1) * mine.size());
+  const std::span<std::byte> in_payload =
+      ws.bytes(kSlotInPayload, mine_comp.compressed_size(mine.size()));
+  const auto slot_of = [me](int j) {
+    return static_cast<std::size_t>(j < me ? j : j - 1);
+  };
+  const auto stage = [&](int q) {
+    const int j = leader_index_of(options.node_of, q);
+    comm.recv(q, in_payload, scatter_tag);
+    mine_comp.decompress(
+        in_payload, staged.subspan(slot_of(j) * mine.size(), mine.size()));
+  };
+
+  std::array<int, static_cast<std::size_t>(comm::kMaxAnySourceWorld)> peers;
+  int peer_count = 0;
+  const bool any_source = L - 1 <= comm::kMaxAnySourceWorld;
+  if (any_source) {
+    for (int q = 0; q < roles.n; ++q) {
+      if (q != roles.rank && is_leader_rank(options.node_of, q)) {
+        peers[static_cast<std::size_t>(peer_count++)] = q;
+      }
+    }
+    comm::for_each_by_arrival(
+        comm, {peers.data(), static_cast<std::size_t>(peer_count)},
+        scatter_tag, stage);
+  } else {
+    for (int q = 0; q < roles.n; ++q) {
+      if (q != roles.rank && is_leader_rank(options.node_of, q)) stage(q);
+    }
+  }
+  for (int j = 0; j < L; ++j) {
+    if (j == me) continue;
+    tensor::add_inplace(
+        mine, staged.subspan(slot_of(j) * mine.size(), mine.size()));
+  }
+
+  // Round 2: one re-compression of the fully reduced chunk; everyone —
+  // including this leader, via its own payload — adopts the decompressed
+  // bytes, so all nodes stay bit-identical.
+  const std::span<std::byte> payload =
+      ws.bytes(kSlotPayload, mine_comp.compressed_size(mine.size()));
+  const std::size_t written = mine_comp.compress(mine, payload, rng);
+  const std::span<const std::byte> reduced = payload.first(written);
+  for (int q = 0; q < roles.n; ++q) {
+    if (q != roles.rank && is_leader_rank(options.node_of, q)) {
+      comm.send(q, reduced, gather_tag);
+    }
+  }
+  mine_comp.decompress(reduced, mine);
+
+  // Gathered chunks land in disjoint regions: arrival order can't change
+  // the final bytes.
+  const auto land = [&](int q) {
+    const int j = leader_index_of(options.node_of, q);
+    const auto [first, last] = comm::chunk_range(data.size(), L, j);
+    std::span<float> chunk = data.subspan(first, last - first);
+    const std::span<std::byte> gathered = ws.bytes(
+        kSlotInPayload, compressors[static_cast<std::size_t>(j)]
+                            ->compressed_size(chunk.size()));
+    comm.recv(q, gathered, gather_tag);
+    compressors[static_cast<std::size_t>(j)]->decompress(gathered, chunk);
   };
   if (any_source) {
     comm::for_each_by_arrival(
         comm, {peers.data(), static_cast<std::size_t>(peer_count)},
-        kInterScatterTag, [&](int peer_rank) {
-          const auto it2 = std::find(participants.begin(),
-                                     participants.end(), peer_rank);
-          stage(static_cast<int>(it2 - participants.begin()));
-        });
+        gather_tag, land);
   } else {
-    for (int p = 0; p < n; ++p) {
-      if (p != me) stage(p);
+    for (int q = 0; q < roles.n; ++q) {
+      if (q != roles.rank && is_leader_rank(options.node_of, q)) land(q);
     }
-  }
-  for (int p = 0; p < n; ++p) {
-    if (p == me) continue;
-    tensor::add_inplace(
-        mine, staged.subspan(slot_of(p) * mine.size(), mine.size()));
-  }
-  const std::span<std::byte> payload =
-      ws.bytes(kSlotPayload, compressors[me]->compressed_size(mine.size()));
-  const std::size_t written = compressors[me]->compress(mine, payload, rng);
-  const std::span<const std::byte> reduced = payload.first(written);
-  for (int p = 0; p < n; ++p) {
-    if (p == me) continue;
-    comm.send(participants[static_cast<std::size_t>(p)], reduced,
-              kInterGatherTag);
-  }
-  compressors[me]->decompress(reduced, mine);
-  for (int p = 0; p < n; ++p) {
-    if (p == me) continue;
-    const auto [first, last] = comm::chunk_range(data.size(), n, p);
-    std::span<float> chunk = data.subspan(first, last - first);
-    const std::span<std::byte> gathered =
-        ws.bytes(kSlotInPayload, compressors[p]->compressed_size(chunk.size()));
-    comm.recv(participants[static_cast<std::size_t>(p)], gathered,
-              kInterGatherTag);
-    compressors[p]->decompress(gathered, chunk);
   }
 }
 
@@ -137,63 +321,65 @@ int leader_of(const std::vector<int>& node_of, int rank) {
   return rank;
 }
 
+int num_leaders(const std::vector<int>& node_of) {
+  int count = 0;
+  for (int r = 0; r < static_cast<int>(node_of.size()); ++r) {
+    if (is_leader_rank(node_of, r)) ++count;
+  }
+  return count;
+}
+
+void hierarchical_begin(comm::Comm& comm, std::span<float> data,
+                        std::span<Compressor* const> chunk_compressors,
+                        util::Rng& rng, const HierarchicalOptions& options,
+                        CollectiveWorkspace& ws, int bucket) {
+  if (comm.size() == 1 || data.empty()) return;
+  CGX_CHECK(bucket >= 0 && bucket < comm::kMaxTagBuckets);
+  CGX_CHECK(!chunk_compressors.empty());
+  const Roles roles = resolve_roles(comm, options);
+  const int intra_tag = comm::hier_intra_tag(bucket);
+  if (!roles.leader) {
+    member_begin(comm, data, chunk_compressors, rng, options, roles, ws,
+                 intra_tag);
+    return;
+  }
+  leader_fold_members(comm, data, chunk_compressors, options, roles, ws,
+                      intra_tag);
+  if (roles.num_leaders > 1) {
+    leader_scatter(comm, data, chunk_compressors, rng, options, roles, ws,
+                   comm::hier_inter_scatter_tag(bucket));
+  }
+}
+
+void hierarchical_finish(comm::Comm& comm, std::span<float> data,
+                         std::span<Compressor* const> chunk_compressors,
+                         util::Rng& rng, const HierarchicalOptions& options,
+                         CollectiveWorkspace& ws, int bucket) {
+  if (comm.size() == 1 || data.empty()) return;
+  CGX_CHECK(bucket >= 0 && bucket < comm::kMaxTagBuckets);
+  const Roles roles = resolve_roles(comm, options);
+  const int intra_tag = comm::hier_intra_tag(bucket);
+  if (!roles.leader) {
+    member_finish(comm, data, options, roles, intra_tag);
+    return;
+  }
+  if (roles.num_leaders > 1) {
+    leader_drain(comm, data, chunk_compressors, rng, options, roles, ws,
+                 comm::hier_inter_scatter_tag(bucket),
+                 comm::hier_inter_gather_tag(bucket));
+  }
+  leader_bcast_members(comm, data, options, roles, intra_tag);
+}
+
 void hierarchical_allreduce(comm::Comm& comm, std::span<float> data,
                             std::span<Compressor* const> chunk_compressors,
                             util::Rng& rng,
                             const HierarchicalOptions& options,
-                            CollectiveWorkspace& ws) {
-  const int n = comm.size();
-  const int rank = comm.rank();
-  CGX_CHECK_EQ(options.node_of.size(), static_cast<std::size_t>(n));
-  if (n == 1 || data.empty()) return;
-  CGX_CHECK(!chunk_compressors.empty());
-
-  const int my_leader = leader_of(options.node_of, rank);
-  Compressor& intra = *chunk_compressors[0];
-
-  if (rank != my_leader) {
-    // Member: hand the gradient to the leader, wait for the result.
-    if (options.compress_intra) {
-      const std::span<std::byte> payload =
-          ws.bytes(kSlotPayload, intra.compressed_size(data.size()));
-      const std::size_t written = intra.compress(data, payload, rng);
-      comm.send(my_leader, payload.first(written), kIntraReduceTag);
-    } else {
-      comm.send_floats(my_leader, data, kIntraReduceTag);
-    }
-    comm.recv_floats(my_leader, data, kIntraBcastTag);
-    return;
-  }
-
-  // Leader: fold members' gradients in fixed rank order. Staging every
-  // member's full-size gradient for an any-source fold would multiply the
-  // workspace by the node's device count, and an arrival-order running sum
-  // would make training bit-unstable run to run; intra-node members are
-  // symmetric, so fixed order costs little.
-  const std::span<float> incoming = ws.floats(kSlotIncoming, data.size());
-  for (int r = 0; r < n; ++r) {
-    if (r == rank || leader_of(options.node_of, r) != rank) continue;
-    if (options.compress_intra) {
-      const std::span<std::byte> payload =
-          ws.bytes(kSlotPayload, intra.compressed_size(data.size()));
-      comm.recv(r, payload, kIntraReduceTag);
-      intra.decompress(payload, incoming);
-    } else {
-      comm.recv_floats(r, incoming, kIntraReduceTag);
-    }
-    tensor::add_inplace(data, incoming);
-  }
-
-  // Inter-node compressed exchange among leaders only.
-  const std::vector<int> leaders = leader_list(options.node_of);
-  subset_compressed_sra(comm, data, leaders, chunk_compressors, rng, ws);
-
-  // Fan the result back out to the node, always in full precision (see
-  // HierarchicalOptions::compress_intra).
-  for (int r = 0; r < n; ++r) {
-    if (r == rank || leader_of(options.node_of, r) != rank) continue;
-    comm.send_floats(r, data, kIntraBcastTag);
-  }
+                            CollectiveWorkspace& ws, int bucket) {
+  hierarchical_begin(comm, data, chunk_compressors, rng, options, ws,
+                     bucket);
+  hierarchical_finish(comm, data, chunk_compressors, rng, options, ws,
+                      bucket);
 }
 
 void hierarchical_allreduce(comm::Comm& comm, std::span<float> data,
@@ -201,7 +387,7 @@ void hierarchical_allreduce(comm::Comm& comm, std::span<float> data,
                             util::Rng& rng,
                             const HierarchicalOptions& options) {
   CollectiveWorkspace ws;
-  hierarchical_allreduce(comm, data, chunk_compressors, rng, options, ws);
+  hierarchical_allreduce(comm, data, chunk_compressors, rng, options, ws, 0);
 }
 
 }  // namespace cgx::core

@@ -6,15 +6,42 @@
 // while the inter-node exchange runs compressed over MPI/NCCL.
 //
 // The schedule is the classic node-leader decomposition:
-//   1. intra-node reduce: every member sends its vector to the node leader
-//      (full precision by default: the local hop is not the bottleneck and
-//      skipping compression here removes one error round);
-//   2. inter-node: the leaders run the compression-aware SRA allreduce
-//      among themselves — only the compressed payload crosses the NICs;
-//   3. intra-node broadcast: leaders fan the result back out.
+//   1. intra-node reduce: every member hands its vector to the node leader.
+//      When the transport offers peer-direct exchange on the (member,
+//      leader) link (SHM inside a node — ask per link, see
+//      Transport::supports_direct_exchange(a, b)), the member just POSTS
+//      its span and the leader folds members pairwise with direct_pull2 —
+//      zero intermediate copies. Otherwise the hop rides buffered channels
+//      (optionally compressed, see compress_intra).
+//   2. inter-node: the leaders run the compression-aware SRA among
+//      themselves — the node-aggregated residual is RE-COMPRESSED at the
+//      node boundary (fresh quantization of the intra sum, with
+//      error-feedback kept by the leader-level compressor), so only the
+//      compressed payload crosses the NICs.
+//   3. intra-node broadcast: leaders fan the result back out, full
+//      precision (each leader re-compressing with an independent stochastic
+//      rounding would silently diverge replicas across nodes).
 //
 // All ranks finish bit-identical (the leader, like everyone else, adopts
 // the payload-decompressed values from the leader exchange).
+//
+// The schedule is split into begin/finish halves exactly like
+// compressed_sra_begin/finish so the streaming bucketed engine can overlap
+// the two levels across buckets: begin() is the intra-node reduce plus the
+// first (scatter) half of the leader exchange; finish() drains the leader
+// exchange and broadcasts. Bucket k+1's begin — the node-local fold — can
+// therefore run while bucket k's finish is still waiting on the NICs.
+// begin(); finish() back to back is the plain allreduce.
+//
+// Error-feedback contract (who owns which residual):
+//   chunk_compressors[j], j < num-leaders   leader-level SRA chunk j
+//                                           (the node-boundary EF)
+//   chunk_compressors[num-leaders]          the intra-node hop when
+//                                           compress_intra is on (member-
+//                                           side EF over the full vector)
+// The two levels never share a compressor instance, so one level's
+// residual can never leak into the other's stream. Every rank passes its
+// own instances; a rank only exercises the entries its role touches.
 #pragma once
 
 #include <span>
@@ -28,33 +55,49 @@ namespace cgx::core {
 
 struct HierarchicalOptions {
   // node_of[rank] -> node id; ranks of a node must be assigned the same id.
+  // Ids may be arbitrary (non-contiguous) integers.
   std::vector<int> node_of;
   // Compress the intra-node REDUCE hop too (costs an extra compression
-  // round, saves local bandwidth; off by default per §4). The broadcast
-  // hop always stays full precision: each leader would compress the final
-  // result with independent stochastic roundings, and replicas on
-  // different nodes would silently diverge — the lockstep invariant every
-  // engine guarantees.
+  // round, saves local bandwidth; off by default per §4). Forces the
+  // channel path for the reduce hop — a compressed payload cannot ride the
+  // peer-direct fold. The broadcast hop always stays full precision.
   bool compress_intra = false;
 };
 
-// Sum-allreduce across the world. `chunk_compressors` has one compressor
-// per LEADER index (the inter-node SRA chunk binding); every rank passes
-// its own instances. The leader of a node is its lowest rank. `ws` is the
-// rank's scratch arena (see workspace.h); the overload without it
-// allocates a transient one per call.
+// Sum-allreduce across the world, two-level. `bucket` selects the disjoint
+// tag lane (comm/tagspace.h) so the streaming engine can keep several
+// buckets in flight; plain callers leave it 0. `ws` is the rank's scratch
+// arena (grow-only; zero allocations at steady state). The overload
+// without it allocates a transient one per call.
 void hierarchical_allreduce(comm::Comm& comm, std::span<float> data,
                             std::span<Compressor* const> chunk_compressors,
                             util::Rng& rng,
                             const HierarchicalOptions& options,
-                            CollectiveWorkspace& ws);
+                            CollectiveWorkspace& ws, int bucket = 0);
 void hierarchical_allreduce(comm::Comm& comm, std::span<float> data,
                             std::span<Compressor* const> chunk_compressors,
                             util::Rng& rng,
                             const HierarchicalOptions& options);
 
+// Split halves for the overlap engine (see file comment). `data` and the
+// workspace arena must stay untouched between the two calls; members on
+// the peer-direct path have their span posted to the leader for the whole
+// window.
+void hierarchical_begin(comm::Comm& comm, std::span<float> data,
+                        std::span<Compressor* const> chunk_compressors,
+                        util::Rng& rng, const HierarchicalOptions& options,
+                        CollectiveWorkspace& ws, int bucket = 0);
+void hierarchical_finish(comm::Comm& comm, std::span<float> data,
+                         std::span<Compressor* const> chunk_compressors,
+                         util::Rng& rng, const HierarchicalOptions& options,
+                         CollectiveWorkspace& ws, int bucket = 0);
+
 // Leader rank of `rank`'s node under this assignment (lowest rank with the
 // same node id). Exposed for tests.
 int leader_of(const std::vector<int>& node_of, int rank);
+
+// Number of distinct nodes in the assignment. Exposed for sizing the
+// compressor span (the intra operator lives at index num_leaders).
+int num_leaders(const std::vector<int>& node_of);
 
 }  // namespace cgx::core

@@ -1,0 +1,47 @@
+#include "util/virtual_clock.h"
+
+namespace cgx::util {
+
+VirtualClock::VirtualClock(int ranks, int nodes)
+    : rank_now_(static_cast<std::size_t>(ranks > 0 ? ranks : 1)),
+      nic_tx_(static_cast<std::size_t>(nodes > 0 ? nodes : 1)),
+      nic_rx_(static_cast<std::size_t>(nodes > 0 ? nodes : 1)),
+      fabric_(static_cast<std::size_t>(nodes > 0 ? nodes : 1)) {}
+
+void VirtualClock::reset() {
+  for (auto& c : rank_now_) c.v.store(0, std::memory_order_relaxed);
+  for (auto& c : nic_tx_) c.v.store(0, std::memory_order_relaxed);
+  for (auto& c : nic_rx_) c.v.store(0, std::memory_order_relaxed);
+  for (auto& c : fabric_) c.v.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t VirtualClock::max_rank_now_ns() const {
+  std::uint64_t m = 0;
+  for (const auto& c : rank_now_) {
+    std::uint64_t v = c.v.load(std::memory_order_relaxed);
+    if (v > m) m = v;
+  }
+  return m;
+}
+
+std::uint64_t VirtualClock::max_busy_ns() const {
+  std::uint64_t m = 0;
+  auto fold = [&m](const std::vector<Cell>& cells) {
+    for (const auto& c : cells) {
+      std::uint64_t v = c.v.load(std::memory_order_relaxed);
+      if (v > m) m = v;
+    }
+  };
+  fold(nic_tx_);
+  fold(nic_rx_);
+  fold(fabric_);
+  return m;
+}
+
+std::uint64_t VirtualClock::elapsed_ns() const {
+  std::uint64_t causal = max_rank_now_ns();
+  std::uint64_t busy = max_busy_ns();
+  return causal > busy ? causal : busy;
+}
+
+}  // namespace cgx::util

@@ -1,0 +1,111 @@
+// Deterministic virtual-time accounting for the simulated multi-node fabric.
+//
+// The in-process SPMD harness moves real bytes between device threads, but
+// wall-clock time on an oversubscribed CI box says nothing about how a
+// schedule would behave on a cluster. A VirtualClock attributes *modelled*
+// time instead, with an accounting discipline chosen so the numbers are
+// bit-identical run to run regardless of thread scheduling:
+//
+//   * per-rank causal time (`rank_now`): a sender ADDS its serialization
+//     cost (program order on the rank's thread makes the sum deterministic);
+//     a receiver MAX-MERGES the message's arrival stamp. Addition and max
+//     are commutative, so any-source arrival order can reshuffle WHEN the
+//     merges happen but never what they compute.
+//   * shared-resource floors (`nic_tx`/`nic_rx`/`fabric`): relaxed atomic
+//     byte-time sums per node. Concurrent flows through one simulated NIC
+//     therefore share its bandwidth: an epoch cannot be shorter than any
+//     NIC's total busy time, which is exactly the α-β-with-contention model
+//     (see comm/simnet.h for who charges what).
+//
+// elapsed_ns() = max(max rank causal time, max resource floor). All
+// arithmetic is integer nanoseconds (costs are derived from integer
+// picoseconds-per-byte rates), so results are also bit-identical across
+// CGX_SIMD/CGX_NUMA settings and across machines.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace cgx::util {
+
+class VirtualClock {
+ public:
+  VirtualClock(int ranks, int nodes);
+
+  VirtualClock(const VirtualClock&) = delete;
+  VirtualClock& operator=(const VirtualClock&) = delete;
+
+  int ranks() const { return static_cast<int>(rank_now_.size()); }
+  int nodes() const { return static_cast<int>(nic_tx_.size()); }
+
+  // Zeroes every counter. Only safe while the fabric is quiesced (benches
+  // call it between the warm-up and the measured epoch).
+  void reset();
+
+  // ---- per-rank causal time ----
+  // advance_rank is a relaxed add: sends on one rank are program-ordered by
+  // its thread, and addition commutes, so even a rank whose training and
+  // comm threads interleave charges a deterministic total. merge_rank is a
+  // CAS-max: commutative and idempotent, so arrival order cannot matter.
+  std::uint64_t rank_now_ns(int rank) const {
+    return cell(rank_now_, rank).load(std::memory_order_relaxed);
+  }
+  void advance_rank(int rank, std::uint64_t ns) {
+    cell(rank_now_, rank).fetch_add(ns, std::memory_order_relaxed);
+  }
+  void merge_rank(int rank, std::uint64_t stamp_ns) {
+    auto& now = cell(rank_now_, rank);
+    std::uint64_t cur = now.load(std::memory_order_relaxed);
+    while (cur < stamp_ns &&
+           !now.compare_exchange_weak(cur, stamp_ns,
+                                      std::memory_order_relaxed)) {
+    }
+  }
+
+  // ---- shared-resource busy floors (per node) ----
+  void charge_nic_tx(int node, std::uint64_t ns) {
+    cell(nic_tx_, node).fetch_add(ns, std::memory_order_relaxed);
+  }
+  void charge_nic_rx(int node, std::uint64_t ns) {
+    cell(nic_rx_, node).fetch_add(ns, std::memory_order_relaxed);
+  }
+  void charge_fabric(int node, std::uint64_t ns) {
+    cell(fabric_, node).fetch_add(ns, std::memory_order_relaxed);
+  }
+  std::uint64_t nic_tx_busy_ns(int node) const {
+    return cell(nic_tx_, node).load(std::memory_order_relaxed);
+  }
+  std::uint64_t nic_rx_busy_ns(int node) const {
+    return cell(nic_rx_, node).load(std::memory_order_relaxed);
+  }
+  std::uint64_t fabric_busy_ns(int node) const {
+    return cell(fabric_, node).load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t max_rank_now_ns() const;
+  std::uint64_t max_busy_ns() const;
+  // The epoch's modelled duration: no rank can finish before its causal
+  // chain, and no schedule can beat a saturated shared resource.
+  std::uint64_t elapsed_ns() const;
+
+ private:
+  // One atomic per cache line: ranks hammer their own cell on every send.
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  static std::atomic<std::uint64_t>& cell(std::vector<Cell>& c, int i) {
+    return c[static_cast<std::size_t>(i)].v;
+  }
+  static const std::atomic<std::uint64_t>& cell(const std::vector<Cell>& c,
+                                                int i) {
+    return c[static_cast<std::size_t>(i)].v;
+  }
+
+  std::vector<Cell> rank_now_;
+  std::vector<Cell> nic_tx_;
+  std::vector<Cell> nic_rx_;
+  std::vector<Cell> fabric_;
+};
+
+}  // namespace cgx::util

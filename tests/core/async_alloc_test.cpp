@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/async_engine.h"
+#include "comm/simnet.h"
 #include "comm/transports.h"
 #include "comm/world.h"
 #include "util/arena.h"
@@ -112,6 +113,71 @@ TEST(AsyncEngineAlloc, StreamedStepAllocationFreeAfterWarmup) {
               hwm_before.load() / (4 * kWorld))
         << "rank " << r << " workspace slots are not arena-backed";
   }
+}
+
+TEST(AsyncEngineAlloc, TwoLevelStreamedStepAllocationFreeAfterWarmup) {
+  // Same contract on the two-level path over the simulated fabric: after
+  // warm-up the hierarchical schedule (member posts, leader folds, the
+  // compressed leader SRA with re-compression, broadcast) plus SimNet's
+  // arrival-stamp FIFOs must all run out of grown storage — zero heap
+  // allocations per streamed step.
+  constexpr int kWorld = 4;
+  tensor::LayerLayout layout;
+  layout.add_layer("embed.weight", tensor::Shape{2000, 32});
+  layout.add_layer("block0.attn.weight", tensor::Shape{32, 96});
+  layout.add_layer("block0.attn.bias", tensor::Shape{96});
+  layout.add_layer("block0.ffn.weight", tensor::Shape{32, 128});
+  layout.add_layer("head.weight", tensor::Shape{32, 50});
+
+  EngineOptions eopts;
+  eopts.node_of = {0, 0, 1, 1};
+  AsyncOptions aopts;
+  aopts.bucket_bytes = std::size_t{32} << 10;
+  AsyncGradientEngine engine(
+      std::make_unique<CgxEngine>(layout, CompressionConfig::cgx_default(),
+                                  kWorld, eopts),
+      aopts);
+
+  comm::ShmTransport shm(kWorld);
+  comm::SimNetTransport net(shm, comm::Topology(eopts.node_of),
+                            comm::SimNetParams{});
+  std::atomic<std::size_t> hwm_before{0};
+  std::atomic<std::size_t> hwm_after{0};
+  comm::run_world(net, [&](comm::Comm& comm) {
+    const int rank = comm.rank();
+    util::Rng rng(9100 + static_cast<std::uint64_t>(rank));
+    util::Rng grad_rng(4100 + static_cast<std::uint64_t>(rank));
+    std::vector<float> grad(layout.total_numel());
+    const auto step = [&] {
+      for (auto& v : grad) v = static_cast<float>(grad_rng.next_gaussian());
+      engine.begin_step(comm, grad, rng);
+      for (std::size_t l = layout.layer_count(); l-- > 0;) {
+        engine.notify_layer_ready(rank, l);
+      }
+      engine.wait_all(rank);
+    };
+    for (int i = 0; i < 3; ++i) step();  // warm-up
+
+    comm.barrier();
+    if (rank == 0) {
+      hwm_before.store(engine.scratch_high_water_bytes());
+      g_allocs.store(0);
+      g_counting.store(true);
+    }
+    comm.barrier();
+    for (int i = 0; i < 5; ++i) step();  // counted steady-state window
+    comm.barrier();
+    if (rank == 0) {
+      g_counting.store(false);
+      hwm_after.store(engine.scratch_high_water_bytes());
+    }
+  });
+
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "heap allocations observed in the steady-state two-level step";
+  EXPECT_GT(hwm_before.load(), 0u);
+  EXPECT_EQ(hwm_before.load(), hwm_after.load())
+      << "collective workspaces grew after warm-up";
 }
 
 }  // namespace

@@ -174,6 +174,105 @@ TEST(Hierarchical, SingleNodeDegeneratesToIntraOnly) {
   });
 }
 
+TEST(Hierarchical, OneRankPerNode) {
+  // Every rank its own leader: no intra hops at all, the schedule is pure
+  // leader-level SRA — and it must still agree bit-for-bit across ranks
+  // under quantization.
+  constexpr int kWorld = 4;
+  constexpr std::size_t kD = 777;
+  LayerCompression qsgd;
+  PerRank compressors(kWorld, qsgd);
+  HierarchicalOptions options;
+  options.node_of = {0, 1, 2, 3};
+  EXPECT_EQ(num_leaders(options.node_of), kWorld);
+  std::vector<std::vector<float>> results(kWorld);
+  std::mutex mutex;
+  comm::ShmTransport transport(kWorld);
+  comm::run_world(transport, [&](comm::Comm& comm) {
+    auto data = rank_input(comm.rank(), kD);
+    util::Rng rng(80 + static_cast<std::uint64_t>(comm.rank()));
+    auto chunks = compressors.rank(comm.rank());
+    hierarchical_allreduce(comm, data, chunks, rng, options);
+    std::lock_guard<std::mutex> lock(mutex);
+    results[static_cast<std::size_t>(comm.rank())] = std::move(data);
+  });
+  for (int r = 1; r < kWorld; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)], results[0])
+        << "rank " << r;
+  }
+}
+
+TEST(Hierarchical, NonContiguousNodeIds) {
+  // Raw node ids are arbitrary labels; leaders and chunk assignments come
+  // from rank order, not from the ids' numeric values.
+  constexpr int kWorld = 6;
+  constexpr std::size_t kD = 321;
+  LayerCompression none;
+  none.method = Method::None;
+  PerRank compressors(kWorld, none);
+  HierarchicalOptions options;
+  options.node_of = {7, 7, 3, 3, 9, 9};
+  EXPECT_EQ(leader_of(options.node_of, 1), 0);
+  EXPECT_EQ(leader_of(options.node_of, 3), 2);
+  EXPECT_EQ(leader_of(options.node_of, 5), 4);
+  EXPECT_EQ(num_leaders(options.node_of), 3);
+  const auto want = true_sum(kWorld, kD);
+  comm::ShmTransport transport(kWorld);
+  comm::run_world(transport, [&](comm::Comm& comm) {
+    auto data = rank_input(comm.rank(), kD);
+    util::Rng rng(4);
+    auto chunks = compressors.rank(comm.rank());
+    hierarchical_allreduce(comm, data, chunks, rng, options);
+    for (std::size_t i = 0; i < kD; ++i) {
+      EXPECT_NEAR(data[i], want[i], 1e-4f) << "rank " << comm.rank();
+    }
+  });
+}
+
+TEST(Hierarchical, BeginFinishSplitMatchesMonolithic) {
+  // The overlap entry points on a non-zero bucket lane compute exactly
+  // what the monolithic call computes on lane 0: the tag lane shifts the
+  // wire traffic, never the arithmetic.
+  constexpr int kWorld = 8;
+  constexpr std::size_t kD = 1024;
+  LayerCompression qsgd;
+  HierarchicalOptions options;
+  options.node_of = {0, 0, 0, 0, 1, 1, 1, 1};
+
+  const auto run = [&](bool split) {
+    PerRank compressors(kWorld, qsgd);
+    std::vector<std::vector<float>> results(kWorld);
+    std::mutex mutex;
+    comm::ShmTransport transport(kWorld);
+    comm::run_world(transport, [&](comm::Comm& comm) {
+      auto data = rank_input(comm.rank(), kD);
+      util::Rng rng(90 + static_cast<std::uint64_t>(comm.rank()));
+      auto chunks = compressors.rank(comm.rank());
+      CollectiveWorkspace ws;
+      if (split) {
+        hierarchical_begin(comm, data, chunks, rng, options, ws,
+                           /*bucket=*/3);
+        hierarchical_finish(comm, data, chunks, rng, options, ws,
+                            /*bucket=*/3);
+      } else {
+        hierarchical_allreduce(comm, data, chunks, rng, options, ws,
+                               /*bucket=*/0);
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      results[static_cast<std::size_t>(comm.rank())] = std::move(data);
+    });
+    return results;
+  };
+
+  const auto split = run(true);
+  const auto mono = run(false);
+  for (int r = 0; r < kWorld; ++r) {
+    EXPECT_EQ(split[static_cast<std::size_t>(r)],
+              mono[static_cast<std::size_t>(r)])
+        << "rank " << r;
+  }
+}
+
 TEST(Hierarchical, UnevenNodeSizes) {
   constexpr int kWorld = 7;
   constexpr std::size_t kD = 333;

@@ -25,9 +25,10 @@ for preset in "${presets[@]}"; do
     echo "==== [bench-smoke] build"
     cmake --build build-release -j "$jobs" --target \
       bench_overlap bench_micro_collectives bench_micro_compressors \
-      bench_micro_compute bench_micro_memory
+      bench_micro_compute bench_micro_memory bench_multinode
     echo "==== [bench-smoke] run"
     (cd build-release && ./bench/bench_overlap --smoke)
+    (cd build-release && ./bench/bench_multinode --smoke)
     (cd build-release && ./bench/bench_micro_collectives --smoke)
     (cd build-release && ./bench/bench_micro_compressors --smoke)
     (cd build-release && ./bench/bench_micro_compute --smoke)
@@ -64,6 +65,9 @@ for preset in "${presets[@]}"; do
     CGX_SIMD=off ctest --test-dir "$builddir" --output-on-failure -j "$jobs"
     CGX_SIMD=auto ctest --test-dir "$builddir" --output-on-failure -j "$jobs"
     CGX_NUMA=off ctest --test-dir "$builddir" --output-on-failure -j "$jobs"
+    # The simulated-fabric suite once more by label: virtual-time results
+    # must be bit-identical whatever the SIMD/NUMA settings above did.
+    ctest --test-dir "$builddir" -L multinode --output-on-failure -j "$jobs"
   fi
 done
 echo "==== all presets passed"
