@@ -93,6 +93,22 @@ void FaultInjector::schedule_crash(int rank, std::uint64_t op_index) {
   ranks_[static_cast<std::size_t>(rank)].crash_at = op_index;
 }
 
+void FaultInjector::schedule_departure(int rank, std::uint64_t step) {
+  CGX_CHECK(rank >= 0 && rank < world_);
+  ranks_[static_cast<std::size_t>(rank)].depart_at_step = step;
+}
+
+std::uint64_t FaultInjector::departure_step(int rank) const {
+  CGX_CHECK(rank >= 0 && rank < world_);
+  return ranks_[static_cast<std::size_t>(rank)].depart_at_step;
+}
+
+std::uint64_t FaultInjector::rank_ops(int rank) const {
+  CGX_CHECK(rank >= 0 && rank < world_);
+  return ranks_[static_cast<std::size_t>(rank)].ops.load(
+      std::memory_order_relaxed);
+}
+
 void FaultInjector::schedule_round_failure(std::uint64_t round) {
   failing_rounds_.push_back(round);
 }
@@ -108,7 +124,7 @@ bool FaultInjector::round_fails(std::uint64_t round, int attempt) const {
 void FaultInjector::on_rank_op(int rank) {
   CGX_CHECK(rank >= 0 && rank < world_);
   RankSchedule& rs = ranks_[static_cast<std::size_t>(rank)];
-  if (rs.hang_at == kNever && rs.crash_at == kNever) {
+  if (!count_ops_ && rs.hang_at == kNever && rs.crash_at == kNever) {
     // Fast path: nothing scheduled, skip the counter entirely.
     return;
   }
@@ -216,6 +232,10 @@ bool FaultyTransport::supports_direct_exchange() const {
   return inner_.supports_direct_exchange();
 }
 
+bool FaultyTransport::supports_direct_exchange(int a, int b) const {
+  return inner_.supports_direct_exchange(a, b);
+}
+
 void FaultyTransport::direct_post(int src, int dst,
                                   std::span<const float> data, int tag) {
   before_send(src, dst);
@@ -253,5 +273,15 @@ void FaultyTransport::set_fault_injector(FaultInjector* injector) {
 }
 
 void FaultyTransport::reset_inbound(int rank) { inner_.reset_inbound(rank); }
+
+void FaultyTransport::set_epoch(std::uint64_t epoch) {
+  inner_.set_epoch(epoch);
+}
+
+std::uint64_t FaultyTransport::epoch() const { return inner_.epoch(); }
+
+std::uint64_t FaultyTransport::stale_frames_discarded() const {
+  return inner_.stale_frames_discarded();
+}
 
 }  // namespace cgx::comm

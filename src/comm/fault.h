@@ -90,6 +90,22 @@ class FaultInjector {
   // `rank` dies with FaultInjectedError at its `op_index`-th operation.
   void schedule_crash(int rank, std::uint64_t op_index);
 
+  // Planned departure (elastic membership): `rank` leaves the world
+  // gracefully at the top of training step `step` — it participates in the
+  // membership delta instead of dying mid-operation like schedule_crash.
+  // Consumed by Membership::import_departures; the injector itself never
+  // throws for a departure.
+  void schedule_departure(int rank, std::uint64_t step);
+  static constexpr std::uint64_t kNoDeparture = ~0ull;
+  std::uint64_t departure_step(int rank) const;
+
+  // Ops `rank` has entered so far. Only counted while a hang/crash schedule
+  // exists for the rank or enable_op_counting() was called — the crash-
+  // sweep tests measure a clean run's op count with counting forced on,
+  // then schedule crashes at every index of that range.
+  std::uint64_t rank_ops(int rank) const;
+  void enable_op_counting() { count_ops_ = true; }
+
   // Marks engine round `round` (0-based allreduce call index) as failing on
   // its first attempt: CgxEngine consults round_fails() and exercises its
   // catch/quiesce/reset/retry path deterministically.
@@ -126,9 +142,11 @@ class FaultInjector {
     std::uint64_t hang_at = kNever;
     std::chrono::milliseconds hang_for{0};
     std::uint64_t crash_at = kNever;
+    std::uint64_t depart_at_step = kNoDeparture;
     std::atomic<std::uint64_t> ops{0};
   };
   static constexpr std::uint64_t kNever = ~0ull;
+  bool count_ops_ = false;
 
   std::size_t link_index(int src, int dst) const;
 
@@ -156,6 +174,7 @@ class FaultyTransport final : public Transport {
   bool supports_recv_add() const override;
   void recv_add(int dst, int src, std::span<float> data, int tag) override;
   bool supports_direct_exchange() const override;
+  bool supports_direct_exchange(int a, int b) const override;
   void direct_post(int src, int dst, std::span<const float> data,
                    int tag) override;
   void direct_pull(int dst, int src, std::span<float> data, bool add,
@@ -168,6 +187,9 @@ class FaultyTransport final : public Transport {
   void set_policy(const CommPolicy& policy) override;
   void set_fault_injector(FaultInjector* injector) override;
   void reset_inbound(int rank) override;
+  void set_epoch(std::uint64_t epoch) override;
+  std::uint64_t epoch() const override;
+  std::uint64_t stale_frames_discarded() const override;
 
   // Accounting lives in the wrapped backend; expose it, not the shadow.
   TrafficRecorder& recorder() override { return inner_.recorder(); }

@@ -99,7 +99,40 @@ void HealthMonitor::reset() {
     l.wire_drops.store(0, std::memory_order_relaxed);
     l.fallbacks.store(0, std::memory_order_relaxed);
     l.latency_ewma_us.store(0.0, std::memory_order_relaxed);
+    l.quarantined.store(false, std::memory_order_relaxed);
   }
+}
+
+void HealthMonitor::quarantine_rank(int rank) {
+  CGX_CHECK(rank >= 0 && rank < world_size_);
+  for (int peer = 0; peer < world_size_; ++peer) {
+    links_[index(rank, peer)].quarantined.store(true,
+                                                std::memory_order_relaxed);
+    links_[index(peer, rank)].quarantined.store(true,
+                                                std::memory_order_relaxed);
+  }
+}
+
+void HealthMonitor::clear_quarantine(int rank) {
+  CGX_CHECK(rank >= 0 && rank < world_size_);
+  for (int peer = 0; peer < world_size_; ++peer) {
+    links_[index(rank, peer)].quarantined.store(false,
+                                                std::memory_order_relaxed);
+    links_[index(peer, rank)].quarantined.store(false,
+                                                std::memory_order_relaxed);
+  }
+}
+
+bool HealthMonitor::is_quarantined(int src, int dst) const {
+  return links_[index(src, dst)].quarantined.load(std::memory_order_relaxed);
+}
+
+std::size_t HealthMonitor::quarantined_links() const {
+  std::size_t total = 0;
+  for (const Link& l : links_) {
+    if (l.quarantined.load(std::memory_order_relaxed)) ++total;
+  }
+  return total;
 }
 
 std::uint64_t HealthMonitor::total_timeouts() const {

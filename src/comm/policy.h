@@ -89,6 +89,9 @@ class HealthMonitor {
     // Exponentially weighted moving average of successful receive waits, in
     // microseconds (alpha = 1/8). Updated with a CAS loop; read lock-free.
     std::atomic<double> latency_ewma_us{0.0};
+    // Elastic membership: the peer on this link has been declared dead (or
+    // departed) and the link must not be retried until the rank rejoins.
+    std::atomic<bool> quarantined{false};
   };
 
   explicit HealthMonitor(int world_size);
@@ -99,6 +102,14 @@ class HealthMonitor {
   void record_wire_drop(int src, int dst);
   void record_fallback(int src, int dst);
   void reset();
+
+  // Elastic membership: flags every link touching `rank` (both directions)
+  // so adaptive policy and diagnostics stop treating its silence as link
+  // trouble. Cleared on rejoin. Safe from any device thread.
+  void quarantine_rank(int rank);
+  void clear_quarantine(int rank);
+  bool is_quarantined(int src, int dst) const;
+  std::size_t quarantined_links() const;
 
   const Link& link(int src, int dst) const { return links_[index(src, dst)]; }
   Link& link(int src, int dst) { return links_[index(src, dst)]; }

@@ -36,6 +36,12 @@ const CommPolicy& RingChannel::policy() const {
                                                             : kDefault;
 }
 
+std::uint64_t RingChannel::current_epoch_bits() const {
+  return fabric_ == nullptr
+             ? 0
+             : (fabric_->epoch.load(std::memory_order_acquire) & kEpochMask);
+}
+
 std::size_t RingChannel::effective_capacity() const {
   return capacity_ == 0 ? std::numeric_limits<std::size_t>::max() / 2
                         : capacity_;
@@ -269,38 +275,86 @@ ChannelStatus RingChannel::read_frame_meta(std::unique_lock<std::mutex>& lock,
     }
     std::uint64_t w = 0;
     std::memcpy(&w, word, kWordBytes);
-    CGX_CHECK((w & kCrcFlag) == 0)
-        << "checksummed frame on a sub-peek-capacity channel";
+    // Tiny channels carry neither the CRC flag nor epoch bits, so the whole
+    // top byte of the word must be clear.
+    CGX_CHECK((w >> kEpochShift) == 0)
+        << "flagged frame on a sub-peek-capacity channel";
     meta.payload_bytes = w;
     meta.checksummed = false;
     meta.header_consumed = true;
     return ChannelStatus::kOk;
   }
-  if (!wait_data_until(lock, deadline,
-                       [&] { return used_ >= kWordBytes || poisoned_; })) {
-    return ChannelStatus::kTimeout;
-  }
-  if (poisoned_) return ChannelStatus::kPoisoned;
-  std::byte word[kWordBytes];
-  peek_bytes(0, word);
-  std::uint64_t w = 0;
-  std::memcpy(&w, word, kWordBytes);
-  meta.checksummed = (w & kCrcFlag) != 0;
-  meta.payload_bytes = w & ~kCrcFlag;
-  meta.header_consumed = false;
-  if (meta.checksummed) {
-    // Retransmission needs the whole frame retained in the slab; push()
-    // guaranteed it fits, so wait for full residency before touching it.
-    const std::size_t frame =
-        kWordBytes + kCrcBytes + static_cast<std::size_t>(meta.payload_bytes);
+  for (;;) {
     if (!wait_data_until(lock, deadline,
-                         [&] { return used_ >= frame || poisoned_; })) {
+                         [&] { return used_ >= kWordBytes || poisoned_; })) {
       return ChannelStatus::kTimeout;
     }
     if (poisoned_) return ChannelStatus::kPoisoned;
-    std::byte crc[kCrcBytes];
-    peek_bytes(kWordBytes, crc);
-    std::memcpy(&meta.crc, crc, kCrcBytes);
+    std::byte word[kWordBytes];
+    peek_bytes(0, word);
+    std::uint64_t w = 0;
+    std::memcpy(&w, word, kWordBytes);
+    // Elastic fencing: a frame stamped with another world epoch is traffic
+    // from before a re-shard that slipped in after the recovery flush —
+    // discard it whole and try the next frame.
+    const std::uint64_t frame_epoch = (w >> kEpochShift) & kEpochMask;
+    if (frame_epoch != current_epoch_bits()) {
+      FrameMeta stale;
+      stale.payload_bytes = w & kPayloadMask;
+      stale.checksummed = (w & kCrcFlag) != 0;
+      stale.header_consumed = false;
+      const ChannelStatus st = discard_frame(lock, stale, deadline);
+      if (st != ChannelStatus::kOk) return st;
+      continue;
+    }
+    meta.checksummed = (w & kCrcFlag) != 0;
+    meta.payload_bytes = w & kPayloadMask;
+    meta.header_consumed = false;
+    if (meta.checksummed) {
+      // Retransmission needs the whole frame retained in the slab; push()
+      // guaranteed it fits, so wait for full residency before touching it.
+      const std::size_t frame = kWordBytes + kCrcBytes +
+                                static_cast<std::size_t>(meta.payload_bytes);
+      if (!wait_data_until(lock, deadline,
+                           [&] { return used_ >= frame || poisoned_; })) {
+        return ChannelStatus::kTimeout;
+      }
+      if (poisoned_) return ChannelStatus::kPoisoned;
+      std::byte crc[kCrcBytes];
+      peek_bytes(kWordBytes, crc);
+      std::memcpy(&meta.crc, crc, kCrcBytes);
+    }
+    return ChannelStatus::kOk;
+  }
+}
+
+ChannelStatus RingChannel::discard_frame(std::unique_lock<std::mutex>& lock,
+                                         const FrameMeta& meta,
+                                         Clock::time_point deadline) {
+  // The payload of an oversized frame streams through the slab in pieces,
+  // so the discard must drain incrementally against the (stale) writer.
+  std::size_t left = static_cast<std::size_t>(meta.payload_bytes) +
+                     (meta.header_consumed ? 0 : kWordBytes) +
+                     (meta.checksummed ? kCrcBytes : 0);
+  while (left > 0) {
+    if (!wait_data_until(lock, deadline,
+                         [&] { return used_ > 0 || poisoned_; })) {
+      // Abandoning a half-discarded frame leaves the stream unframeable,
+      // exactly like abandoning a half-read one.
+      poison(lock);
+      return ChannelStatus::kTimeout;
+    }
+    if (poisoned_) return ChannelStatus::kPoisoned;
+    const std::size_t n = std::min(left, used_);
+    consume_bytes(n);
+    left -= n;
+  }
+  CGX_CHECK_GT(pending_, 0u);
+  --pending_;
+  pending_messages_.store(pending_, std::memory_order_release);
+  ++frames_consumed_;
+  if (fabric_ != nullptr) {
+    fabric_->stale_frames.fetch_add(1, std::memory_order_relaxed);
   }
   return ChannelStatus::kOk;
 }
@@ -381,15 +435,19 @@ ChannelStatus RingChannel::push_until(std::span<const std::byte> data,
   if (poisoned_) return ChannelStatus::kPoisoned;
   writer_active_ = true;
 
-  CGX_DCHECK(data.size() < kCrcFlag);
+  CGX_DCHECK(data.size() <= kPayloadMask);
   std::byte header[kWordBytes + kCrcBytes];
   std::size_t header_len = kWordBytes;
   std::uint64_t word = data.size();
+  const bool peekable = effective_capacity() >= kMinPeekCapacity;
+  // Epoch bits ride the same peekability gate as the CRC flag: a tiny
+  // channel's consuming-stream reader cannot discard-and-retry, so its
+  // frames stay unstamped (epoch 0 stamps as zero bits anyway).
+  if (peekable) word |= current_epoch_bits() << kEpochShift;
   // Checksum only frames the slab can retain whole: oversized streaming
   // frames (and sub-peek-capacity channels) fall back to plain framing.
-  const bool crc =
-      policy().checksums && effective_capacity() >= kMinPeekCapacity &&
-      kWordBytes + kCrcBytes + data.size() <= effective_capacity();
+  const bool crc = policy().checksums && peekable &&
+                   kWordBytes + kCrcBytes + data.size() <= effective_capacity();
   if (crc) {
     word |= kCrcFlag;
     const std::uint32_t c = util::crc32(data);

@@ -67,10 +67,18 @@ struct RecvDoorbell {
 // snapshot, the health sink, and an optional wire-fault injector. The table
 // owns one instance; channels hold a pointer, so installing an injector or
 // updating the policy reaches already-created channels.
+//
+// `epoch` is the elastic-membership world epoch (comm/membership.h): writers
+// stamp its low 7 bits into every peekable frame header and readers discard
+// frames stamped with any other epoch (counted in `stale_frames`). Epoch 0 —
+// the only value a non-elastic run ever sees — stamps as all-zero bits, so
+// the wire format is unchanged when membership is off.
 struct ChannelFabric {
   const CommPolicy* policy = nullptr;  // null = default CommPolicy
   HealthMonitor* health = nullptr;
   FaultInjector* injector = nullptr;
+  std::atomic<std::uint64_t> epoch{0};
+  mutable std::atomic<std::uint64_t> stale_frames{0};
 };
 
 enum class ChannelStatus {
@@ -172,8 +180,14 @@ class RingChannel {
   std::size_t capacity_bytes() const { return capacity_; }
 
  private:
-  // Header layout constants (see "Wire format" above).
+  // Header layout constants (see "Wire format" above). The length word
+  // carries three fields: bit 63 is the CRC flag, bits 56..62 hold the low
+  // 7 bits of the world epoch (elastic membership fencing; always zero when
+  // no Membership is attached), and bits 0..55 are the payload length.
   static constexpr std::uint64_t kCrcFlag = 1ull << 63;
+  static constexpr int kEpochShift = 56;
+  static constexpr std::uint64_t kEpochMask = 0x7f;
+  static constexpr std::uint64_t kPayloadMask = (1ull << kEpochShift) - 1;
   static constexpr std::size_t kWordBytes = 8;
   static constexpr std::size_t kCrcBytes = 4;
   // Channels with a segment smaller than this cannot hold a peekable header
@@ -213,6 +227,18 @@ class RingChannel {
   // length word exactly as the seed did.
   ChannelStatus read_frame_meta(std::unique_lock<std::mutex>& lock,
                                 Clock::time_point deadline, FrameMeta& meta);
+
+  // The epoch bits frames are currently stamped with (0 when unbound or
+  // non-elastic).
+  std::uint64_t current_epoch_bits() const;
+
+  // Consumes an entire stale-epoch frame (header, optional CRC, payload —
+  // waiting for a streaming writer's bytes as needed) so the next live
+  // frame becomes readable. A timeout mid-discard poisons, exactly like a
+  // timeout mid-read.
+  ChannelStatus discard_frame(std::unique_lock<std::mutex>& lock,
+                              const FrameMeta& meta,
+                              Clock::time_point deadline);
 
   // Copy-out of a fully-resident checksummed frame with verify/retry (the
   // wire model; see file comment). Consumes the frame on success AND on

@@ -106,6 +106,11 @@ class SimNetTransport final : public Transport {
   void set_policy(const CommPolicy& policy) override;
   void set_fault_injector(FaultInjector* injector) override;
   void reset_inbound(int rank) override;
+  void set_epoch(std::uint64_t epoch) override { inner_.set_epoch(epoch); }
+  std::uint64_t epoch() const override { return inner_.epoch(); }
+  std::uint64_t stale_frames_discarded() const override {
+    return inner_.stale_frames_discarded();
+  }
 
   util::VirtualClock& clock() { return *clock_; }
   const util::VirtualClock& clock() const { return *clock_; }
@@ -198,6 +203,11 @@ class HierarchicalTransport final : public Transport {
   void set_policy(const CommPolicy& policy) override;
   void set_fault_injector(FaultInjector* injector) override;
   void reset_inbound(int rank) override;
+  void set_epoch(std::uint64_t epoch) override { inner_.set_epoch(epoch); }
+  std::uint64_t epoch() const override { return inner_.epoch(); }
+  std::uint64_t stale_frames_discarded() const override {
+    return inner_.stale_frames_discarded();
+  }
 
   const Topology& topology() const { return topo_; }
   Transport& inner() { return inner_; }

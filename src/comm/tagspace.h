@@ -94,4 +94,14 @@ static_assert(hier_intra_tag(kMaxTagBuckets - 1) + kDirectAckTagOffset <
 static_assert(hier_inter_gather_tag(kMaxTagBuckets - 1) < 512,
               "hierarchical inter lane must fit the channel-table tag slots");
 
+// Elastic membership ballots (comm/membership.h): survivor-agreement votes
+// after a rank failure travel on their own lane above everything else.
+// Ballots never ride the peer-direct path, so no ack shadow is needed.
+inline constexpr int kMembershipTag = 505;
+
+static_assert(kMembershipTag > hier_inter_gather_tag(kMaxTagBuckets - 1),
+              "membership lane must sit above the hierarchical inter lane");
+static_assert(kMembershipTag < 512,
+              "membership lane must fit the channel-table tag slots");
+
 }  // namespace cgx::comm

@@ -73,6 +73,20 @@ Topology Topology::from_env(int world) {
   return parse(env ? std::string(env) : std::string(), world);
 }
 
+Topology Topology::restrict(std::span<const int> ranks) const {
+  std::vector<int> node_of;
+  node_of.reserve(ranks.size());
+  for (int r : ranks) {
+    if (r < 0 || r >= world_size()) {
+      throw std::invalid_argument("Topology::restrict: rank " +
+                                  std::to_string(r) + " outside world " +
+                                  std::to_string(world_size()));
+    }
+    node_of.push_back(node_of_[static_cast<std::size_t>(r)]);
+  }
+  return Topology(std::move(node_of));
+}
+
 Topology::Topology(std::vector<int> node_of) : node_of_(std::move(node_of)) {
   const int world = static_cast<int>(node_of_.size());
   node_index_.assign(node_of_.size(), -1);

@@ -17,6 +17,7 @@
 //   Topology::single_node(world)              — everyone on node 0.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,13 @@ class Topology {
   static Topology parse(const std::string& spec, int world);
 
   explicit Topology(std::vector<int> node_of);
+
+  // Elastic membership: the topology of the surviving world. `ranks` are
+  // the surviving global ranks in ascending order; survivor i of the new
+  // (dense) world keeps its old node id, so ranks sharing a node keep
+  // sharing one and a dead node-leader's role falls to the lowest surviving
+  // rank on that node (leaders are always the first-appearing rank).
+  Topology restrict(std::span<const int> ranks) const;
 
   int world_size() const { return static_cast<int>(node_of_.size()); }
   int num_nodes() const { return num_nodes_; }

@@ -209,6 +209,17 @@ class Transport {
   // quiesced (the engine's round retry calls it between agreement barriers).
   virtual void reset_inbound(int rank) { (void)rank; }
 
+  // Elastic-membership world epoch (comm/membership.h). Frames pushed after
+  // set_epoch are stamped with the new epoch's low bits; inbound frames
+  // stamped with any other epoch are discarded at the ring layer
+  // (stale_frames_discarded counts them). Only safe on a quiesced fabric —
+  // the membership delta leader calls it between the recovery gates.
+  // Backends without frame stamping ignore it (epoch fencing is defence in
+  // depth on top of reset_inbound, not a correctness requirement for them).
+  virtual void set_epoch(std::uint64_t epoch) { (void)epoch; }
+  virtual std::uint64_t epoch() const { return 0; }
+  virtual std::uint64_t stale_frames_discarded() const { return 0; }
+
   // Per-link failure/latency accounting, populated by the deadline and
   // checksum machinery; feeds the engine's StepReport.
   virtual HealthMonitor& health() { return health_; }

@@ -56,6 +56,18 @@ class ChannelTable {
   // Only safe on a quiesced fabric (see Transport::reset_inbound).
   void reset_inbound(int dst);
 
+  // Elastic world epoch shared by every channel (see ChannelFabric): frames
+  // pushed after set_epoch carry the new stamp, readers discard mismatches.
+  void set_epoch(std::uint64_t epoch) {
+    fabric_.epoch.store(epoch, std::memory_order_release);
+  }
+  std::uint64_t epoch() const {
+    return fabric_.epoch.load(std::memory_order_acquire);
+  }
+  std::uint64_t stale_frames_discarded() const {
+    return fabric_.stale_frames.load(std::memory_order_acquire);
+  }
+
   // Sum of all physical ring slabs, monotone non-decreasing: the
   // transport-level analogue of CollectiveWorkspace::high_water_bytes().
   std::size_t slab_high_water_bytes() const;
@@ -98,6 +110,12 @@ class ChannelTransport : public Transport {
     channels_.set_injector(injector);
   }
   void reset_inbound(int rank) override { channels_.reset_inbound(rank); }
+
+  void set_epoch(std::uint64_t epoch) override { channels_.set_epoch(epoch); }
+  std::uint64_t epoch() const override { return channels_.epoch(); }
+  std::uint64_t stale_frames_discarded() const override {
+    return channels_.stale_frames_discarded();
+  }
 
   // Zero-steady-state-allocation harness: total ring slab bytes ever
   // allocated. Stable across calls once traffic shapes have been seen.

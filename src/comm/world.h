@@ -4,20 +4,34 @@
 // Comm handle (rank, world size, p2p primitives, barrier) and runs the same
 // function — the standard data-parallel SPMD shape. This is the in-process
 // analogue of one training process per GPU.
+//
+// Elastic mode (comm/membership.h): when a Membership is attached via
+// WorldOptions, a Comm becomes a *view* onto the surviving ranks. The thread
+// keeps its launch-time identity (`global_rank()`, stable forever) while
+// `rank()`/`size()` report the DENSE coordinates of the current WorldView —
+// the contiguous renumbering of the survivors that collectives operate in.
+// All peer arguments of the p2p/direct primitives are dense and translated
+// to global transport ranks at the boundary, so collective code is oblivious
+// to membership changes. With no Membership attached every translation is
+// the identity and behaviour is bit-identical to the non-elastic harness.
 #pragma once
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "comm/transport.h"
 #include "util/barrier.h"
 
 namespace cgx::comm {
+
+class Membership;
 
 // A device thread died with an exception. run_world catches it on the worker
 // thread, annotates it with the rank, and rethrows this on the joining
@@ -36,20 +50,61 @@ class WorkerError : public std::runtime_error {
   std::exception_ptr original;
 };
 
+// One immutable epoch of world membership. Published by Membership behind an
+// atomic pointer and never mutated afterwards, so readers may hold the
+// pointer across an entire collective without locking. `active` lists the
+// surviving GLOBAL (launch-time) ranks in ascending order; dense rank i is
+// by definition active[i], which keeps survivor renumbering deterministic.
+struct WorldView {
+  std::uint64_t epoch = 0;
+  std::vector<int> active;    // sorted global ranks
+  std::vector<int> dense_of;  // global rank -> dense rank, -1 when inactive
+
+  int active_count() const { return static_cast<int>(active.size()); }
+  bool is_active(int global) const {
+    return dense_of[static_cast<std::size_t>(global)] >= 0;
+  }
+  int dense_rank(int global) const {
+    return dense_of[static_cast<std::size_t>(global)];
+  }
+  int global_rank(int dense) const {
+    return active[static_cast<std::size_t>(dense)];
+  }
+};
+
 class Comm {
  public:
-  Comm(int rank, Transport& transport, util::Barrier& barrier)
-      : rank_(rank), transport_(transport), barrier_(barrier) {}
+  Comm(int rank, Transport& transport, util::Barrier& barrier,
+       Membership* membership = nullptr)
+      : rank_(rank),
+        transport_(transport),
+        barrier_(barrier),
+        membership_(membership) {}
 
-  int rank() const { return rank_; }
-  int size() const { return transport_.world_size(); }
+  // Dense rank within the current WorldView (== global_rank() when no
+  // Membership is attached). Re-reads the view on every call: after a
+  // re-shard the same thread may own a different dense slot.
+  int rank() const { return membership_ == nullptr ? rank_ : dense_rank_(); }
+  int size() const {
+    return membership_ == nullptr ? transport_.world_size() : active_count_();
+  }
+  // Launch-time transport rank: this thread's stable identity across
+  // membership changes (data sharding, RNG streams, arenas key off it).
+  int global_rank() const { return rank_; }
+  bool elastic() const { return membership_ != nullptr; }
+  Membership* membership() const { return membership_; }
+  // Translates a dense rank of the current view to its global transport
+  // rank (identity when non-elastic).
+  int to_global(int dense) const {
+    return membership_ == nullptr ? dense : to_global_(dense);
+  }
   Transport& transport() { return transport_; }
 
   void send(int to, std::span<const std::byte> data, int tag = 0) {
-    transport_.send(rank_, to, data, tag);
+    transport_.send(rank_, to_global(to), data, tag);
   }
   void recv(int from, std::span<std::byte> data, int tag = 0) {
-    transport_.recv(rank_, from, data, tag);
+    transport_.recv(rank_, to_global(from), data, tag);
   }
 
   void send_floats(int to, std::span<const float> data, int tag = 0) {
@@ -63,7 +118,7 @@ class Comm {
   // message's floats into `data` with no scratch bounce. Only valid when
   // transport().supports_recv_add().
   void recv_add_floats(int from, std::span<float> data, int tag = 0) {
-    transport_.recv_add(rank_, from, data, tag);
+    transport_.recv_add(rank_, to_global(from), data, tag);
   }
 
   // Peer-direct rendezvous (see Transport::direct_post/pull/wait): the
@@ -75,55 +130,68 @@ class Comm {
   // peer-direct only inside a node. Both endpoints answer identically, so
   // SPMD code picks the path with this query for a specific peer.
   bool supports_direct_exchange(int peer) const {
-    return transport_.supports_direct_exchange(rank_, peer);
+    return transport_.supports_direct_exchange(rank_, to_global(peer));
   }
   void direct_post(int to, std::span<const float> data, int tag = 0) {
-    transport_.direct_post(rank_, to, data, tag);
+    transport_.direct_post(rank_, to_global(to), data, tag);
   }
   void direct_pull(int from, std::span<float> data, bool add, int tag = 0) {
-    transport_.direct_pull(rank_, from, data, add, tag);
+    transport_.direct_pull(rank_, to_global(from), data, add, tag);
   }
   void direct_pull2(int from1, int from2, std::span<float> data,
                     int tag = 0) {
-    transport_.direct_pull2(rank_, from1, from2, data, tag);
+    transport_.direct_pull2(rank_, to_global(from1), to_global(from2), data,
+                            tag);
   }
-  void direct_wait(int to, int tag = 0) { transport_.direct_wait(rank_, to, tag); }
+  void direct_wait(int to, int tag = 0) {
+    transport_.direct_wait(rank_, to_global(to), tag);
+  }
 
   // Blocking arrival-order selection: returns an element of `candidates`
   // with bytes pending for this rank under `tag`. Lets collectives take
   // scatter-reduce contributions in whatever order peers produce them.
+  // Candidates (and the result) are dense ranks.
   int select_source(std::span<const int> candidates, int tag = 0) {
-    return transport_.select_source(rank_, candidates, tag);
+    if (membership_ == nullptr) {
+      return transport_.select_source(rank_, candidates, tag);
+    }
+    return select_source_elastic(candidates, tag);
   }
 
   // Synchronises all ranks in the world (used between training steps and by
   // collectives that need phase separation in tests). Under a bounded
   // CommPolicy the wait is deadline-limited and expiry throws a TimeoutError
   // (src = -1: no single culprit; dst = this rank) — a hung peer turns a
-  // world barrier into a diagnosable failure instead of a deadlock.
-  void barrier() {
-    const CommPolicy& pol = transport_.policy();
-    if (!pol.bounded()) {
-      barrier_.arrive_and_wait();
-      return;
-    }
-    if (!try_barrier(pol.timeout)) {
-      throw TimeoutError(-1, rank_, -1, pol.timeout, "world barrier");
-    }
-  }
+  // world barrier into a diagnosable failure instead of a deadlock. In
+  // elastic mode the barrier collects the current view's survivors on the
+  // Membership step gate instead of the fixed launch-world barrier.
+  void barrier();
 
   // Deadline-bounded barrier that reports instead of throwing: true once
   // every rank arrived, false on expiry (the arrival is withdrawn; see
   // util::Barrier::arrive_and_wait_for). The engine's round-retry agreement
   // protocol uses this to decide whether the world is still whole.
-  bool try_barrier(std::chrono::milliseconds timeout) {
-    return barrier_.arrive_and_wait_for(timeout);
-  }
+  bool try_barrier(std::chrono::milliseconds timeout);
 
  private:
+  int dense_rank_() const;
+  int active_count_() const;
+  int to_global_(int dense) const;
+  int select_source_elastic(std::span<const int> candidates, int tag);
+
   const int rank_;
   Transport& transport_;
   util::Barrier& barrier_;
+  Membership* membership_ = nullptr;
+};
+
+// Options for run_world. `membership` turns on elastic mode: worker threads
+// that die with a FaultInjectedError are treated as survivable departures
+// (the oracle is informed, no WorkerError is rethrown) and, when a rejoin is
+// scheduled for that rank, a successor thread is launched to re-run fn as
+// the readmission candidate.
+struct WorldOptions {
+  Membership* membership = nullptr;
 };
 
 // Runs fn(comm) on `transport.world_size()` threads and joins them.
@@ -134,5 +202,7 @@ class Comm {
 // structured comm failures (TimeoutError, FaultInjectedError, ...) propagate
 // to the caller instead of std::terminate-ing the process.
 void run_world(Transport& transport, const std::function<void(Comm&)>& fn);
+void run_world(Transport& transport, const std::function<void(Comm&)>& fn,
+               const WorldOptions& options);
 
 }  // namespace cgx::comm

@@ -332,7 +332,7 @@ void AsyncGradientEngine::run_compressed(RankState& st, comm::Comm& comm,
         throw;
       }
       ++report.retries;
-      CgxEngine::recover_world(comm);
+      inner_->reshard_world(comm);
       off = 0;
       for (std::size_t l : b.layers) {
         auto slice = layout.slice(st.fused, l);
@@ -368,7 +368,7 @@ void AsyncGradientEngine::run_packet(RankState& st, comm::Comm& comm) {
         throw;
       }
       ++report.retries;
-      CgxEngine::recover_world(comm);
+      inner_->reshard_world(comm);
       // No rollback needed: the packet gathers from `fused` afresh each
       // attempt and scatters back only after the collective succeeded.
     }

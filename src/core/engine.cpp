@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "comm/fault.h"
+#include "comm/membership.h"
 #include "comm/tagspace.h"
+#include "comm/topology.h"
 #include "core/hierarchical.h"
 #include "core/qsgd.h"
 #include "tensor/tensor_ops.h"
@@ -154,6 +156,7 @@ CgxEngine::CgxEngine(const tensor::LayerLayout& layout,
       world_size_(world_size),
       options_(options) {
   CGX_CHECK_GT(world_size, 0);
+  active_world_ = world_size;
   rebuild();
 }
 
@@ -218,17 +221,38 @@ void CgxEngine::rebuild() {
   }
 }
 
+void CgxEngine::finish_report(RankState& state) {
+  StepReport& report = state.report;
+  report.epoch = applied_epoch_;
+  report.world = active_world_;
+  // The movement baseline for a rank's first step is the LAUNCH world, so a
+  // shrink during step 0 still reports its departure.
+  const int last = state.last_world == 0 ? world_size_ : state.last_world;
+  report.departed = std::max(0, last - active_world_);
+  report.joined = std::max(0, active_world_ - last);
+  state.last_world = active_world_;
+}
+
 void CgxEngine::allreduce(comm::Comm& comm, std::span<float> fused,
                           util::Rng& rng) {
-  CGX_CHECK_EQ(comm.size(), world_size_);
+  CGX_CHECK_EQ(comm.size(), active_world_);
   CGX_CHECK_EQ(fused.size(), layout_.total_numel());
-  RankState& state = ranks_[static_cast<std::size_t>(comm.rank())];
+  // RankState is keyed by GLOBAL rank: a survivor keeps its compressors and
+  // workspace across re-shards even as its dense rank shifts.
+  RankState& state = ranks_[static_cast<std::size_t>(comm.global_rank())];
   // Grow-only engine state touched inside the collective (error-feedback
   // residuals, compressor scratch) carves from this rank's arena. The alloc
   // tests prove the steady state does not grow, so arena waste is bounded
   // by warm-up.
-  util::ScopedArena bind(util::rank_arena(comm.rank()));
+  util::ScopedArena bind(util::rank_arena(comm.global_rank()));
   const std::uint64_t round = state.rounds++;
+  const bool elastic = comm.elastic();
+  // Elastic worlds keep retrying through re-shards: every crash consumes
+  // one retry, and up to world-1 ranks can die, so the budget scales with
+  // the world rather than relying on the caller to size it.
+  const int retry_budget =
+      elastic ? std::max(options_.max_round_retries, 2 * world_size_)
+              : options_.max_round_retries;
 
   StepReport& report = state.report;
   report.ok = true;
@@ -236,7 +260,7 @@ void CgxEngine::allreduce(comm::Comm& comm, std::span<float> fused,
   report.retries = 0;
   report.incidents.clear();
 
-  if (options_.max_round_retries <= 0) {
+  if (retry_budget <= 0) {
     // Seed behaviour: one attempt, failures propagate. No snapshot copy, no
     // extra branches on the hot path (the handler costs nothing until a
     // structured failure actually unwinds through it).
@@ -247,8 +271,10 @@ void CgxEngine::allreduce(comm::Comm& comm, std::span<float> fused,
       report.ok = false;
       report.incidents.push_back(
           StepReport::Incident{e.src, e.dst, e.tag, e.what()});
+      finish_report(state);
       throw;
     }
+    finish_report(state);
     return;
   }
 
@@ -267,42 +293,142 @@ void CgxEngine::allreduce(comm::Comm& comm, std::span<float> fused,
                                  "synthetic round failure (fault harness)");
       }
       allreduce_attempt(comm, fused, rng, state);
+      if (elastic) {
+        // Commit fence: a step only counts when every CURRENT survivor
+        // finished its attempt. A peer that died after this rank's last
+        // receive would otherwise split the world into ranks that committed
+        // and ranks that retried; the fence turns that into a collective
+        // decision (everyone passes or everyone re-shards and retries).
+        const comm::CommPolicy& pol = comm.transport().policy();
+        const std::chrono::milliseconds fence =
+            pol.bounded() ? pol.timeout : std::chrono::milliseconds{1000};
+        if (!comm.try_barrier(fence)) {
+          throw comm::TimeoutError(-1, comm.global_rank(), -1, fence,
+                                   "step commit fence");
+        }
+      }
+      finish_report(state);
       return;
     } catch (const comm::CommError& e) {
       report.incidents.push_back(
           StepReport::Incident{e.src, e.dst, e.tag, e.what()});
-      if (attempt >= options_.max_round_retries) {
+      if (attempt >= retry_budget) {
         report.ok = false;
+        finish_report(state);
         throw;
       }
       ++report.retries;
       // Every rank must agree to retry and quiesce before buffers are
       // reused; if agreement fails the world is broken for good and the
-      // TimeoutError from recover_world propagates.
-      recover_world(comm);
+      // TimeoutError from reshard_world propagates. In elastic mode this is
+      // where a crashed peer is voted out and the plans shrink.
+      reshard_world(comm);
       tensor::copy(std::span<const float>(snapshot), fused);
     }
   }
 }
 
-void CgxEngine::recover_world(comm::Comm& comm) {
+std::chrono::milliseconds CgxEngine::derived_recovery_timeout(
+    const comm::CommPolicy& pol) const {
+  if (options_.recovery_timeout.count() > 0) return options_.recovery_timeout;
   // The agreement wait must be bounded even under an unbounded policy —
   // otherwise a rank that died (rather than failed transiently) would hang
-  // the retry protocol forever.
+  // the retry protocol forever. 2x the policy timeout gives the slowest
+  // survivor room to reach its own deadline before agreement expires.
+  return pol.bounded() ? 2 * pol.timeout : std::chrono::milliseconds{1000};
+}
+
+void CgxEngine::reshard_world(comm::Comm& comm) {
   const comm::CommPolicy& pol = comm.transport().policy();
-  const std::chrono::milliseconds timeout =
-      pol.bounded() ? pol.timeout : std::chrono::milliseconds{1000};
-  if (!comm.try_barrier(timeout)) {
-    throw comm::TimeoutError(-1, comm.rank(), -1, timeout,
+  const std::chrono::milliseconds timeout = derived_recovery_timeout(pol);
+  comm::Membership* membership = comm.membership();
+  if (membership == nullptr) {
+    // Classic (fixed-world) protocol: agree, flush own inbound, agree again
+    // so a fast rank cannot push retry traffic into a channel a slow rank
+    // is still resetting.
+    if (!comm.try_barrier(timeout)) {
+      throw comm::TimeoutError(-1, comm.rank(), -1, timeout,
+                               "round-retry agreement barrier");
+    }
+    comm.transport().reset_inbound(comm.rank());
+    if (!comm.try_barrier(timeout)) {
+      throw comm::TimeoutError(-1, comm.rank(), -1, timeout,
+                               "round-retry reset barrier");
+    }
+    return;
+  }
+  const auto outcome = membership->recover(
+      comm, timeout, [this](const comm::WorldView& view) { apply_view(view); });
+  if (outcome == comm::Membership::Recovery::kReshard) {
+    // recover() already fenced the epoch, flushed every rank's inbound and
+    // rebuilt the plans under its own gates; the retried attempt can start.
+    return;
+  }
+  // Transient fault (no pending death): the classic quiesce, but over the
+  // recovery gate so it can never entangle with ranks parked at the step
+  // commit fence.
+  if (!membership->recovery_barrier(timeout)) {
+    throw comm::TimeoutError(-1, comm.global_rank(), -1, timeout,
                              "round-retry agreement barrier");
   }
-  // Each rank clears its own inbound rings (stray frames from the aborted
-  // round, link poisoning); the second barrier keeps a fast rank from
-  // pushing retry traffic into a channel a slow rank is still resetting.
-  comm.transport().reset_inbound(comm.rank());
-  if (!comm.try_barrier(timeout)) {
-    throw comm::TimeoutError(-1, comm.rank(), -1, timeout,
+  comm.transport().reset_inbound(comm.global_rank());
+  if (!membership->recovery_barrier(timeout)) {
+    throw comm::TimeoutError(-1, comm.global_rank(), -1, timeout,
                              "round-retry reset barrier");
+  }
+}
+
+void CgxEngine::apply_view(const comm::WorldView& view) {
+  const int active = view.active_count();
+  CGX_CHECK_GT(active, 0);
+  CGX_CHECK_LE(active, world_size_);
+  active_world_ = active;
+  applied_epoch_ = view.epoch;
+  std::size_t num_leaders = 0;
+  if (!options_.node_of.empty()) {
+    // Restrict the launch topology to the survivors: ranks keep their node,
+    // and a dead node-leader's role falls to the lowest surviving rank on
+    // that node (leaders are always the first-appearing rank).
+    comm::Topology restricted =
+        comm::Topology(options_.node_of).restrict(view.active);
+    num_leaders = static_cast<std::size_t>(restricted.num_nodes());
+    hier_.node_of = restricted.node_map();
+  }
+  // Chunk-compressor count the collectives expect in the new world: the
+  // flat SRA binds exactly one compressor per dense chunk; the two-level
+  // schedule additionally needs one per leader chunk plus the intra slot.
+  const std::size_t chunk_count =
+      options_.node_of.empty()
+          ? static_cast<std::size_t>(active)
+          : std::max(static_cast<std::size_t>(active), num_leaders + 1);
+  // Fresh compressors for every ACTIVE global rank — the EF-drop contract:
+  // the departed rank's residual can never be replayed, and a surviving
+  // rank's residual may hold contributions from the aborted attempt, so
+  // everyone restarts error feedback from zero. One-shot bounded gradient
+  // perturbation, bit-identical across survivors (DESIGN.md §5h).
+  for (int g : view.active) {
+    RankState& rank = ranks_[static_cast<std::size_t>(g)];
+    for (std::size_t l = 0; l < layout_.layer_count(); ++l) {
+      const LayerCompression& cfg = resolved_[l];
+      auto& chunks = rank.per_layer[l];
+      auto& ptrs = rank.chunk_ptrs[l];
+      chunks.clear();
+      ptrs.clear();
+      if (cfg.method == Method::None) continue;
+      const std::size_t rows =
+          layout_.layer(l).shape.empty() ? 0 : layout_.layer(l).shape.front();
+      chunks.reserve(chunk_count);
+      ptrs.reserve(chunk_count);
+      for (std::size_t c = 0; c < chunk_count; ++c) {
+        chunks.push_back(make_compressor(cfg, rows));
+        if (options_.compression_pool != nullptr) {
+          chunks.back()->enable_threading(
+              options_.compression_pool,
+              options_.compression_threading_min_numel);
+        }
+        ptrs.push_back(chunks.back().get());
+      }
+    }
   }
 }
 
@@ -352,8 +478,8 @@ void CgxEngine::allreduce_attempt(comm::Comm& comm, std::span<float> fused,
     }
   }
 
-  if (options_.average && world_size_ > 1) {
-    tensor::scale(fused, 1.0f / static_cast<float>(world_size_));
+  if (options_.average && active_world_ > 1) {
+    tensor::scale(fused, 1.0f / static_cast<float>(active_world_));
   }
 }
 
@@ -361,7 +487,7 @@ void CgxEngine::bucket_begin(comm::Comm& comm, std::span<float> fused,
                              std::span<const std::size_t> layers,
                              util::Rng& rng, int tag_base,
                              CollectiveWorkspace& ws) {
-  RankState& state = ranks_[static_cast<std::size_t>(comm.rank())];
+  RankState& state = ranks_[static_cast<std::size_t>(comm.global_rank())];
   if (!options_.node_of.empty()) {
     // Two-level begin: intra-node fold to the leader plus the leader
     // scatter — the half that overlaps the previous bucket's NIC drain.
@@ -383,15 +509,15 @@ void CgxEngine::bucket_finish(comm::Comm& comm, std::span<float> fused,
                               std::span<const std::size_t> layers,
                               util::Rng& rng, int tag_base,
                               CollectiveWorkspace& ws) {
-  RankState& state = ranks_[static_cast<std::size_t>(comm.rank())];
+  RankState& state = ranks_[static_cast<std::size_t>(comm.global_rank())];
   if (!options_.node_of.empty()) {
     const int bucket = tag_base / comm::kBucketTagStride;
     for (std::size_t l : layers) {
       hierarchical_finish(comm, layout_.slice(fused, l),
                           state.chunk_ptrs[l], rng, hier_, ws, bucket);
     }
-    if (options_.average && world_size_ > 1) {
-      const float inv = 1.0f / static_cast<float>(world_size_);
+    if (options_.average && active_world_ > 1) {
+      const float inv = 1.0f / static_cast<float>(active_world_);
       for (std::size_t l : layers) {
         tensor::scale(layout_.slice(fused, l), inv);
       }
@@ -409,10 +535,10 @@ void CgxEngine::bucket_finish(comm::Comm& comm, std::span<float> fused,
                            options_.scheme, ws, tag_base);
     }
   }
-  if (options_.average && world_size_ > 1) {
+  if (options_.average && active_world_ > 1) {
     // Per-slice averaging: multiplying each element by the same scalar is
     // bit-identical to the monolithic path's whole-buffer scale.
-    const float inv = 1.0f / static_cast<float>(world_size_);
+    const float inv = 1.0f / static_cast<float>(active_world_);
     for (std::size_t l : layers) tensor::scale(layout_.slice(fused, l), inv);
   }
 }
@@ -429,8 +555,8 @@ void CgxEngine::packet_allreduce(comm::Comm& comm, std::span<float> fused,
   }
   comm::allreduce(comm, packet, options_.scheme,
                   ws.floats(kSlotCommScratch, packet_numel_));
-  if (options_.average && world_size_ > 1) {
-    tensor::scale(packet, 1.0f / static_cast<float>(world_size_));
+  if (options_.average && active_world_ > 1) {
+    tensor::scale(packet, 1.0f / static_cast<float>(active_world_));
   }
   offset = 0;
   for (std::size_t l : filtered_layers_) {

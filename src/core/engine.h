@@ -19,6 +19,7 @@
 // quantization.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -64,6 +65,11 @@ struct EngineOptions {
   // nothing; > 0 additionally keeps a pre-round snapshot of the fused
   // buffer in the workspace so a half-reduced round can be rolled back.
   int max_round_retries = 0;
+  // Upper bound on each recovery-protocol wait (agreement barriers, the
+  // membership vote deadline). 0 = derive from the comm policy: twice its
+  // timeout when bounded, else 1000 ms — agreement must stay bounded even
+  // under an unbounded policy, or a dead peer hangs the retry forever.
+  std::chrono::milliseconds recovery_timeout{0};
   // Optional fault harness hook: lets tests fail a specific round
   // deterministically (FaultInjector::schedule_round_failure). Not owned.
   comm::FaultInjector* injector = nullptr;
@@ -94,6 +100,15 @@ struct StepReport {
   bool ok = true;
   int attempts = 0;  // 1 = clean first try
   int retries = 0;
+  // Elastic membership (comm/membership.h): the world this step actually
+  // ran in. Non-elastic runs report epoch 0 and the launch world with no
+  // movement. `departed`/`joined` compare against this rank's previous
+  // step, so the step that absorbed a crash reports departed > 0 and the
+  // step after a readmission reports joined > 0.
+  std::uint64_t epoch = 0;
+  int world = 0;
+  int departed = 0;
+  int joined = 0;
   std::vector<Incident> incidents;
   Timing timing;
 };
@@ -192,10 +207,28 @@ class CgxEngine final : public GradientEngine {
   }
 
   // Round-retry recovery protocol, shared with AsyncGradientEngine's
-  // per-bucket retries: deadline-bounded agreement barrier, per-rank
-  // inbound reset, second barrier. Throws TimeoutError if the world cannot
-  // agree (a peer died for good). All ranks must call it together.
-  static void recover_world(comm::Comm& comm);
+  // per-bucket retries. Non-elastic comms run the classic deadline-bounded
+  // agreement barrier / per-rank inbound reset / second barrier. Elastic
+  // comms (comm/membership.h) instead run survivor agreement: a transient
+  // fault quiesces over the recovery gate; a crash re-shards the world
+  // (apply_view rebuilds this engine's plans) and the retried attempt runs
+  // in the shrunken world. Throws TimeoutError if agreement cannot be
+  // reached. All surviving ranks must call it together.
+  void reshard_world(comm::Comm& comm);
+
+  // Rebuilds this engine's collective plans for a freshly published
+  // survivor view: shrinks (or re-expands) the active world, restricts the
+  // two-level topology so a dead node-leader's role falls to the lowest
+  // surviving rank on its node, and gives every surviving rank fresh
+  // compressors — deliberately dropping all error-feedback residuals (the
+  // departed rank's residual can never be replayed, so survivors take a
+  // bounded one-shot gradient perturbation instead of a permanent bias;
+  // DESIGN.md §5h). Runs on the membership delta leader's thread while all
+  // other participants are parked at the recovery gate.
+  void apply_view(const comm::WorldView& view);
+
+  // World the next allreduce will run in (shrinks/grows with re-shards).
+  int active_world() const { return active_world_; }
 
   // Bytes each rank puts on the wire per step (compressed), and the FP32
   // baseline's, for compression-ratio reporting (Fig. 5b / Table 7).
@@ -224,11 +257,18 @@ class CgxEngine final : public GradientEngine {
     CollectiveWorkspace workspace;
     StepReport report;
     std::uint64_t rounds = 0;  // allreduce call index (fault-round keying)
+    int last_world = 0;        // world of this rank's previous step (0 =
+                               // never stepped); feeds StepReport movement
   };
 
   // One full reduction pass — the body a round retry re-runs.
   void allreduce_attempt(comm::Comm& comm, std::span<float> fused,
                          util::Rng& rng, RankState& state);
+
+  // Fills the StepReport's world-movement fields on every allreduce exit.
+  void finish_report(RankState& state);
+  std::chrono::milliseconds derived_recovery_timeout(
+      const comm::CommPolicy& pol) const;
 
   double layer_wire_bytes(std::size_t layer_index,
                           comm::ReductionScheme scheme, bool compressed) const;
@@ -243,6 +283,11 @@ class CgxEngine final : public GradientEngine {
   std::vector<LayerCompression> resolved_;
   std::vector<std::size_t> filtered_layers_;  // layers routed to FP32
   std::size_t packet_numel_ = 0;              // total numel of filtered layers
+  // Elastic membership: the currently active world (== world_size_ until a
+  // re-shard shrinks it) and the epoch of the last applied view. ranks_
+  // stays keyed by GLOBAL rank — a survivor keeps its slot across shrinks.
+  int active_world_ = 0;
+  std::uint64_t applied_epoch_ = 0;
   std::vector<RankState> ranks_;
 };
 

@@ -1,7 +1,10 @@
 #include "nn/train.h"
 
+#include <cstdlib>
 #include <mutex>
 
+#include "comm/collectives.h"
+#include "comm/membership.h"
 #include "core/async_engine.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
@@ -29,6 +32,29 @@ class ScopedComputePool {
  private:
   std::unique_ptr<util::ThreadPool> pool_;
 };
+
+// Parameter-space mirrors of gather_grads/scatter_grads: the rejoin
+// protocol broadcasts the full parameter vector through the fused buffer.
+void gather_params(const std::vector<Param*>& params,
+                   const tensor::LayerLayout& layout,
+                   std::span<float> fused) {
+  for (std::size_t l = 0; l < params.size(); ++l) {
+    tensor::copy(params[l]->value.data(), layout.slice(fused, l));
+  }
+}
+
+void scatter_params(std::span<const float> fused,
+                    const tensor::LayerLayout& layout,
+                    const std::vector<Param*>& params) {
+  for (std::size_t l = 0; l < params.size(); ++l) {
+    tensor::copy(layout.slice(fused, l), params[l]->value.data());
+  }
+}
+
+bool elastic_env_enabled() {
+  const char* env = std::getenv("CGX_ELASTIC");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
 
 }  // namespace
 
@@ -106,6 +132,21 @@ TrainResult train_distributed(const ModelFactory& model_factory,
   if (async != nullptr) cgx = &async->inner();
   const bool adaptive = options.assigner != nullptr &&
                         options.reassign_every > 0 && cgx != nullptr;
+  const bool elastic = options.elastic || elastic_env_enabled();
+  if (elastic) {
+    // Elastic membership needs the CgxEngine recovery protocol and a fixed
+    // per-step collective structure; the streaming facade and the adaptive
+    // stats pipeline both assume the world never changes shape.
+    CGX_CHECK(cgx != nullptr && async == nullptr)
+        << "elastic training requires a plain CgxEngine factory";
+    CGX_CHECK(!options.overlap) << "elastic training excludes overlap";
+    CGX_CHECK(!adaptive) << "elastic training excludes adaptive compression";
+    if (options.fault_injector != nullptr) {
+      CGX_CHECK(options.policy.bounded())
+          << "elastic fault runs need a bounded CommPolicy (crash detection "
+             "rides the deadline machinery)";
+    }
+  }
 
   core::GradStatsCollector stats(layout);
   TrainResult result;
@@ -113,8 +154,36 @@ TrainResult train_distributed(const ModelFactory& model_factory,
 
   auto transport =
       comm::make_transport(options.backend, options.world_size);
-  comm::run_world(*transport, [&](comm::Comm& comm) {
-    const int rank = comm.rank();
+  // Install the policy on the INNER transport before any decorator copies
+  // it (FaultyTransport captures the inner policy at construction).
+  transport->set_policy(options.policy);
+  comm::Transport* wire = transport.get();
+  std::unique_ptr<comm::FaultyTransport> faulty;
+  if (options.fault_injector != nullptr) {
+    faulty = std::make_unique<comm::FaultyTransport>(*transport,
+                                                     *options.fault_injector);
+    wire = faulty.get();
+  }
+  std::unique_ptr<comm::Membership> membership;
+  if (elastic) {
+    membership = std::make_unique<comm::Membership>(options.world_size);
+    if (options.fault_injector != nullptr) {
+      membership->import_departures(*options.fault_injector);
+    }
+    for (const auto& [r, s] : options.rejoins) {
+      membership->schedule_rejoin(r, static_cast<std::uint64_t>(s));
+    }
+  }
+  comm::Membership* m = membership.get();
+  // Generous bound for the rejoin rendezvous: the waiting rank parks here
+  // across whole training steps of the shrunken world.
+  const std::chrono::milliseconds rejoin_wait{60'000};
+
+  auto worker = [&](comm::Comm& comm) {
+    // GLOBAL rank is the stable identity: batches, RNG streams and model
+    // init key off it so a rank's data shard survives world re-shards.
+    const int grank = comm.global_rank();
+    const int rank = grank;
     util::Rng init_rng(options.seed);  // identical init on every rank
     std::unique_ptr<Module> model = model_factory(init_rng);
     std::vector<Param*> params = parameters(*model);
@@ -122,6 +191,21 @@ TrainResult train_distributed(const ModelFactory& model_factory,
     util::Rng engine_rng =
         util::Rng(options.seed).split(1000 + static_cast<std::uint64_t>(rank));
     std::vector<float> fused(layout.total_numel());
+
+    std::size_t begin_step = 0;
+    if (elastic && m->is_scheduled_joiner(grank)) {
+      // Successor of a crashed rank (or a launch-time joiner): wait for the
+      // survivors to open the admission window, then receive authoritative
+      // parameters from the lowest pre-join survivor. The engine state
+      // (fresh compressors, zero EF) was already rebuilt by the delta
+      // leader's apply_view.
+      const comm::Membership::Admission adm =
+          m->await_rejoin(comm, rejoin_wait);
+      comm::broadcast(comm, std::span<float>(fused),
+                      m->view()->dense_rank(adm.root));
+      scatter_params(fused, layout, params);
+      begin_step = static_cast<std::size_t>(adm.resume_step);
+    }
 
     // Streaming path: install per-child gradient-ready hooks that copy the
     // child's freshly-final gradients into the fused buffer and notify the
@@ -154,7 +238,32 @@ TrainResult train_distributed(const ModelFactory& model_factory,
       CGX_CHECK_EQ(offset, params.size());
     }
 
-    for (std::size_t step = 0; step < options.steps; ++step) {
+    std::size_t step = begin_step;
+    while (step < options.steps) {
+      if (elastic) {
+        // Planned membership deltas rendezvous at step boundaries: graceful
+        // departures leave, readmitted ranks join, and every active rank
+        // takes part in the parameter broadcast that seeds a joiner.
+        const comm::Membership::StepAction act = m->apply_scheduled(
+            comm, static_cast<std::uint64_t>(step),
+            [&](const comm::WorldView& view) { cgx->apply_view(view); });
+        if (act.leave) {
+          if (!m->rejoin_scheduled(grank)) return;  // graceful goodbye
+          const comm::Membership::Admission adm =
+              m->await_rejoin(comm, rejoin_wait);
+          comm::broadcast(comm, std::span<float>(fused),
+                          m->view()->dense_rank(adm.root));
+          scatter_params(fused, layout, params);
+          step = static_cast<std::size_t>(adm.resume_step);
+          continue;
+        }
+        if (act.joined >= 0) {
+          gather_params(params, layout, fused);
+          comm::broadcast(comm, std::span<float>(fused),
+                          m->view()->dense_rank(act.join_root));
+          scatter_params(fused, layout, params);
+        }
+      }
       const Batch batch = batches(rank, step);
       const tensor::Tensor& out = model->forward(batch.input, /*train=*/true);
       tensor::Tensor grad_out;
@@ -178,7 +287,9 @@ TrainResult train_distributed(const ModelFactory& model_factory,
       }
       optimizer->step();
 
-      if (rank == 0) {
+      // DENSE rank 0 — the lowest ACTIVE rank — records the step, so the
+      // loss history survives the original rank 0 crashing.
+      if (comm.rank() == 0) {
         std::lock_guard<std::mutex> lock(result_mutex);
         result.loss_history.push_back(l);
         if (options.on_step) options.on_step(step, l);
@@ -212,6 +323,7 @@ TrainResult train_distributed(const ModelFactory& model_factory,
         }
         comm.barrier();  // all ranks resume under the new policy
       }
+      ++step;
     }
     if (streaming) {
       // The hooks capture stack locals of this worker; drop them before
@@ -220,12 +332,17 @@ TrainResult train_distributed(const ModelFactory& model_factory,
         seq->module(i).clear_grad_ready_hook();
       }
     }
-    if (rank == 0) {
+    // The lowest surviving rank owns the result model: in a fixed world
+    // that is rank 0, and all replicas are identical by construction.
+    const bool owns_result =
+        elastic ? grank == m->lowest_active() : rank == 0;
+    if (owns_result) {
       std::lock_guard<std::mutex> lock(result_mutex);
       result.params = param_count(params);
       result.model = std::move(model);
     }
-  });
+  };
+  comm::run_world(*wire, worker, comm::WorldOptions{m});
 
   result.final_loss =
       result.loss_history.empty() ? 0.0 : result.loss_history.back();

@@ -16,7 +16,9 @@
 
 #include <functional>
 #include <memory>
+#include <utility>
 
+#include "comm/fault.h"
 #include "comm/transports.h"
 #include "core/adaptive.h"
 #include "core/engine.h"
@@ -78,6 +80,25 @@ struct TrainOptions {
   // tiling fixes every output element's accumulation order regardless of
   // thread count (enforced by tests/tensor/gemm_determinism_test.cpp).
   std::size_t compute_threads = 0;
+  // ---- Elastic membership (comm/membership.h, README "Surviving rank
+  // failures") ----
+  // Survive rank crashes: the run continues in the shrunken world instead
+  // of rethrowing WorkerError, and crashed/new ranks may rejoin at epoch
+  // boundaries. CGX_ELASTIC=1 in the environment also enables it. Requires
+  // a CgxEngine factory; incompatible with overlap and adaptive (the
+  // streaming facade and the stats pipeline assume a fixed world).
+  bool elastic = false;
+  // Reliability policy installed on the transport before traffic flows.
+  // Elastic runs with a fault injector must be bounded (crash detection
+  // rides the deadline machinery).
+  comm::CommPolicy policy{};
+  // Optional fault harness: crashes/hangs/planned departures. Not owned.
+  // Planned departures (FaultInjector::schedule_departure) are imported
+  // into the membership schedule automatically.
+  comm::FaultInjector* fault_injector = nullptr;
+  // (global rank, step): readmit `rank` at the top of `step`. The rank
+  // receives parameters by broadcast from the lowest surviving rank.
+  std::vector<std::pair<int, std::size_t>> rejoins;
   // Called on rank 0 after every step with the step's loss.
   std::function<void(std::size_t, double)> on_step;
 };

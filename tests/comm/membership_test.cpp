@@ -1,0 +1,267 @@
+// Unit tests for elastic membership (comm/membership.h, DESIGN.md §5h):
+// the world view and failure oracle, the step/recovery gates, survivor
+// agreement after a crash, planned departures at step boundaries, link
+// quarantine, and the ring-layer epoch fence that discards traffic from a
+// previous world incarnation.
+#include "comm/membership.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "comm/fault.h"
+#include "comm/transports.h"
+#include "comm/world.h"
+
+namespace cgx::comm {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Membership, InitialViewIsTheFullWorldAtEpochZero) {
+  Membership m(4);
+  EXPECT_EQ(m.epoch(), 0u);
+  EXPECT_EQ(m.active_count(), 4);
+  EXPECT_EQ(m.lowest_active(), 0);
+  const WorldView* v = m.view();
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_TRUE(v->is_active(r));
+    EXPECT_EQ(v->dense_rank(r), r);
+    EXPECT_EQ(v->global_rank(r), r);
+  }
+  EXPECT_FALSE(m.has_pending_failures());
+  EXPECT_EQ(m.reshard_count(), 0u);
+}
+
+TEST(Membership, OracleRecordsPendingFailuresWithoutTouchingTheView) {
+  Membership m(4);
+  EXPECT_FALSE(m.is_failed(2));
+  m.mark_rank_failed(2, std::make_exception_ptr(std::runtime_error("boom")));
+  EXPECT_TRUE(m.is_failed(2));
+  EXPECT_TRUE(m.has_pending_failures());
+  // The view only changes when a re-shard retires the failure.
+  EXPECT_EQ(m.active_count(), 4);
+  EXPECT_EQ(m.epoch(), 0u);
+}
+
+TEST(Membership, ScheduledJoinerNeedsBothTheScheduleAndTheDeparture) {
+  Membership m(4);
+  EXPECT_FALSE(m.is_scheduled_joiner(1));
+  m.schedule_rejoin(1, /*step=*/10);
+  EXPECT_TRUE(m.rejoin_scheduled(1));
+  // The original incarnation (crash still ahead of it) trains normally.
+  EXPECT_FALSE(m.is_scheduled_joiner(1));
+  m.mark_rank_failed(1, nullptr);
+  EXPECT_TRUE(m.is_scheduled_joiner(1));
+}
+
+TEST(MembershipGates, StepBarrierReleasesTheWholeActiveSet) {
+  Membership m(3);
+  std::atomic<int> released{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&] {
+      if (m.step_barrier(5000ms)) released.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(released.load(), 3);
+}
+
+TEST(MembershipGates, StepBarrierExpiryWithdrawsTheArrival) {
+  Membership m(2);
+  EXPECT_FALSE(m.step_barrier(30ms));
+  // The expired arrival was withdrawn, so a later full population fires.
+  std::thread peer([&] { EXPECT_TRUE(m.step_barrier(5000ms)); });
+  EXPECT_TRUE(m.step_barrier(5000ms));
+  peer.join();
+}
+
+TEST(MembershipGates, RecoveryBarrierCollectsTheActiveSet) {
+  Membership m(2);
+  std::atomic<int> released{0};
+  std::thread peer([&] {
+    if (m.recovery_barrier(5000ms)) released.fetch_add(1);
+  });
+  if (m.recovery_barrier(5000ms)) released.fetch_add(1);
+  peer.join();
+  EXPECT_EQ(released.load(), 2);
+}
+
+TEST(MembershipRecover, NoPendingFailureClassifiesAsTransient) {
+  constexpr int kWorld = 2;
+  ShmTransport transport(kWorld);
+  CommPolicy pol;
+  pol.timeout = 40ms;
+  transport.set_policy(pol);
+  Membership m(kWorld);
+  std::atomic<int> transients{0};
+  run_world(
+      transport,
+      [&](Comm& comm) {
+        if (m.recover(comm, 500ms, {}) == Membership::Recovery::kTransient) {
+          transients.fetch_add(1);
+        }
+      },
+      WorldOptions{&m});
+  EXPECT_EQ(transients.load(), 2);
+  EXPECT_EQ(m.epoch(), 0u);
+  EXPECT_EQ(m.reshard_count(), 0u);
+}
+
+TEST(MembershipRecover, CrashShrinksTheWorldQuarantinesAndBumpsTheEpoch) {
+  constexpr int kWorld = 3;
+  ShmTransport inner(kWorld);
+  CommPolicy pol;
+  pol.timeout = 40ms;
+  pol.checksums = true;
+  inner.set_policy(pol);
+  FaultInjector injector(/*seed=*/3, kWorld);
+  injector.schedule_crash(2, /*op_index=*/0);  // dies entering its first op
+  FaultyTransport faulty(inner, injector);
+  Membership m(kWorld);
+  std::atomic<int> reshards{0};
+  run_world(
+      faulty,
+      [&](Comm& comm) {
+        for (int round = 0; round < 3; ++round) {
+          if (comm.size() < kWorld) break;  // degraded: the delta applied
+          const int next = (comm.rank() + 1) % comm.size();
+          const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+          std::vector<float> out(16, static_cast<float>(comm.global_rank()));
+          std::vector<float> in(16);
+          try {
+            comm.send_floats(next, out, /*tag=*/9);
+            comm.recv_floats(prev, in, /*tag=*/9);
+          } catch (const TimeoutError&) {
+            const auto r = m.recover(comm, 1000ms, [&](const WorldView& v) {
+              EXPECT_EQ(v.active_count(), kWorld - 1);
+              reshards.fetch_add(1);
+            });
+            EXPECT_EQ(r, Membership::Recovery::kReshard);
+          }
+        }
+      },
+      WorldOptions{&m});
+  EXPECT_EQ(m.epoch(), 1u);
+  EXPECT_EQ(m.active_count(), 2);
+  EXPECT_TRUE(m.is_failed(2));
+  EXPECT_EQ(m.lowest_active(), 0);
+  // The reshard callback ran on exactly one thread (the delta leader).
+  EXPECT_EQ(reshards.load(), 1);
+  EXPECT_EQ(m.reshard_count(), 1u);
+  // Both directions of every link touching the dead rank are quarantined.
+  EXPECT_TRUE(inner.health().is_quarantined(0, 2));
+  EXPECT_TRUE(inner.health().is_quarantined(2, 1));
+  EXPECT_FALSE(inner.health().is_quarantined(0, 1));
+  // Survivors got dense slots renumbered over the shrunken view.
+  const WorldView* v = m.view();
+  EXPECT_EQ(v->dense_rank(0), 0);
+  EXPECT_EQ(v->dense_rank(1), 1);
+  EXPECT_EQ(v->dense_rank(2), -1);
+}
+
+TEST(MembershipScheduled, PlannedDepartureAppliesAtItsStep) {
+  constexpr int kWorld = 3;
+  ShmTransport transport(kWorld);
+  FaultInjector injector(/*seed=*/1, kWorld);
+  injector.schedule_departure(1, /*step=*/2);
+  EXPECT_EQ(injector.departure_step(1), 2u);
+  EXPECT_EQ(injector.departure_step(0), FaultInjector::kNoDeparture);
+  Membership m(kWorld);
+  m.import_departures(injector);
+  std::atomic<int> reshards{0};
+  std::vector<std::uint64_t> steps_run(kWorld, 0);
+  run_world(
+      transport,
+      [&](Comm& comm) {
+        const int g = comm.global_rank();
+        for (std::uint64_t step = 0; step < 4; ++step) {
+          const auto act = m.apply_scheduled(
+              comm, step, [&](const WorldView&) { reshards.fetch_add(1); });
+          if (act.leave) return;
+          if (step == 2) EXPECT_TRUE(act.changed);
+          ++steps_run[static_cast<std::size_t>(g)];
+        }
+      },
+      WorldOptions{&m});
+  EXPECT_EQ(m.epoch(), 1u);
+  EXPECT_EQ(m.active_count(), 2);
+  EXPECT_EQ(reshards.load(), 1);
+  EXPECT_EQ(steps_run[0], 4u);
+  EXPECT_EQ(steps_run[1], 2u);  // ran steps 0 and 1, left at the top of 2
+  EXPECT_EQ(steps_run[2], 4u);
+  EXPECT_TRUE(transport.health().is_quarantined(0, 1));
+}
+
+TEST(EpochFence, StaleFramesAreDiscardedWholeAfterTheEpochBump) {
+  ShmTransport shm(2);
+  std::vector<float> stale(32, 1.0f);
+  std::vector<float> fresh(32, 2.0f);
+  std::vector<float> got(32, 0.0f);
+  // A frame pushed before the bump carries the old epoch stamp...
+  shm.send(0, 1, std::as_bytes(std::span<const float>(stale)), /*tag=*/7);
+  EXPECT_EQ(shm.epoch(), 0u);
+  shm.set_epoch(1);
+  EXPECT_EQ(shm.epoch(), 1u);
+  // ...so the reader skips it whole and lands on the post-bump frame.
+  shm.send(0, 1, std::as_bytes(std::span<const float>(fresh)), /*tag=*/7);
+  shm.recv(1, 0, std::as_writable_bytes(std::span<float>(got)), /*tag=*/7);
+  EXPECT_EQ(std::memcmp(got.data(), fresh.data(), 32 * sizeof(float)), 0);
+  EXPECT_EQ(shm.stale_frames_discarded(), 1u);
+  // Current-epoch traffic flows normally afterwards.
+  shm.send(0, 1, std::as_bytes(std::span<const float>(fresh)), /*tag=*/7);
+  shm.recv(1, 0, std::as_writable_bytes(std::span<float>(got)), /*tag=*/7);
+  EXPECT_EQ(shm.stale_frames_discarded(), 1u);
+}
+
+TEST(EpochFence, ChecksummedStaleFramesAreAlsoFenced) {
+  ShmTransport shm(2);
+  CommPolicy pol;
+  pol.checksums = true;
+  pol.timeout = 500ms;
+  shm.set_policy(pol);
+  std::vector<float> stale(8, 1.0f);
+  std::vector<float> fresh(8, 2.0f);
+  std::vector<float> got(8, 0.0f);
+  shm.send(0, 1, std::as_bytes(std::span<const float>(stale)), /*tag=*/3);
+  shm.set_epoch(5);
+  shm.send(0, 1, std::as_bytes(std::span<const float>(fresh)), /*tag=*/3);
+  shm.recv(1, 0, std::as_writable_bytes(std::span<float>(got)), /*tag=*/3);
+  EXPECT_EQ(std::memcmp(got.data(), fresh.data(), 8 * sizeof(float)), 0);
+  EXPECT_EQ(shm.stale_frames_discarded(), 1u);
+}
+
+TEST(EpochFence, DecoratorsForwardEpochToTheInnerFabric) {
+  ShmTransport inner(2);
+  FaultInjector injector(/*seed=*/1, /*world=*/2);
+  FaultyTransport faulty(inner, injector);
+  faulty.set_epoch(3);
+  EXPECT_EQ(inner.epoch(), 3u);
+  EXPECT_EQ(faulty.epoch(), 3u);
+  EXPECT_EQ(faulty.stale_frames_discarded(), 0u);
+}
+
+TEST(HealthQuarantine, QuarantineFlagsBothDirectionsAndClears) {
+  ShmTransport shm(4);
+  HealthMonitor& health = shm.health();
+  EXPECT_FALSE(health.is_quarantined(0, 2));
+  health.quarantine_rank(2);
+  EXPECT_TRUE(health.is_quarantined(0, 2));
+  EXPECT_TRUE(health.is_quarantined(2, 0));
+  EXPECT_TRUE(health.is_quarantined(3, 2));
+  EXPECT_FALSE(health.is_quarantined(0, 1));
+  EXPECT_GT(health.quarantined_links(), 0u);
+  health.clear_quarantine(2);
+  EXPECT_FALSE(health.is_quarantined(0, 2));
+  EXPECT_EQ(health.quarantined_links(), 0u);
+}
+
+}  // namespace
+}  // namespace cgx::comm

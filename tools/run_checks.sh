@@ -25,10 +25,11 @@ for preset in "${presets[@]}"; do
     echo "==== [bench-smoke] build"
     cmake --build build-release -j "$jobs" --target \
       bench_overlap bench_micro_collectives bench_micro_compressors \
-      bench_micro_compute bench_micro_memory bench_multinode
+      bench_micro_compute bench_micro_memory bench_multinode bench_elastic
     echo "==== [bench-smoke] run"
     (cd build-release && ./bench/bench_overlap --smoke)
     (cd build-release && ./bench/bench_multinode --smoke)
+    (cd build-release && ./bench/bench_elastic --smoke)
     (cd build-release && ./bench/bench_micro_collectives --smoke)
     (cd build-release && ./bench/bench_micro_compressors --smoke)
     (cd build-release && ./bench/bench_micro_compute --smoke)
@@ -68,6 +69,9 @@ for preset in "${presets[@]}"; do
     # The simulated-fabric suite once more by label: virtual-time results
     # must be bit-identical whatever the SIMD/NUMA settings above did.
     ctest --test-dir "$builddir" -L multinode --output-on-failure -j "$jobs"
+    # And the elastic-membership suite by label: crash sweeps, the seeded
+    # soak, epoch fencing, and rejoin are the robustness tier-1 gate.
+    ctest --test-dir "$builddir" -L elastic --output-on-failure -j "$jobs"
   fi
 done
 echo "==== all presets passed"
