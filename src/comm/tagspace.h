@@ -58,6 +58,18 @@ constexpr int bucket_tag_offset(int bucket) {
   return bucket * kBucketTagStride;
 }
 
+// Comm LANES (async_engine's comm_lanes): several comm threads per rank,
+// each draining a disjoint subset of buckets (bucket b rides lane
+// b % lanes, the packet rides its plan index % lanes). Lanes consume no
+// extra tags — a bucket keeps its own per-bucket tag pair whichever lane
+// runs it, and no bucket is ever in flight on two lanes at once, so the
+// per-bucket disjointness above IS the per-lane isolation. The cap below
+// only bounds thread fan-out; any value up to it keeps the tag story
+// unchanged. Cross-rank safety needs every rank to submit to a given lane
+// in the same bucket order — the engine's ordered-launch release frontier
+// guarantees that even when completion order differs per rank.
+inline constexpr int kMaxCommLanes = 8;
+
 static_assert(kTreeBcastTag + bucket_tag_offset(kMaxTagBuckets - 1) < 310,
               "bucketed compressed tags must stay below the GRACE tag and "
               "the uncompressed collectives' direct-ack shadow (310..360)");

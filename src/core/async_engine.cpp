@@ -80,46 +80,73 @@ AsyncGradientEngine::AsyncGradientEngine(std::unique_ptr<CgxEngine> inner,
   pipeline_enabled_ = options_.pipeline && options_.overlap &&
                       inner_->supports_split() &&
                       inner_->options().max_round_retries <= 0;
+  // Retries force a single lane: recover_world's comm barrier assumes one
+  // comm thread per rank. Inline mode has no comm threads at all.
+  lanes_ = std::clamp(options_.comm_lanes, 1, comm::kMaxCommLanes);
+  if (!options_.overlap || inner_->options().max_round_retries > 0) {
+    lanes_ = 1;
+  }
+  // Multiple lanes only stay deadlock-free if every rank feeds each lane
+  // the same bucket sequence; canonical-order release guarantees that.
+  ordered_ = options_.ordered_launch || lanes_ > 1;
   resize_rank_state();
   if (options_.overlap) {
     for (int r = 0; r < inner_->world_size(); ++r) {
-      ranks_[static_cast<std::size_t>(r)].thread =
-          std::thread([this, r] { comm_thread_main(r); });
+      RankState& st = ranks_[static_cast<std::size_t>(r)];
+      for (int l = 0; l < lanes_; ++l) {
+        st.lanes[static_cast<std::size_t>(l)]->thread =
+            std::thread([this, r, l] { comm_thread_main(r, l); });
+      }
     }
   }
 }
 
 AsyncGradientEngine::~AsyncGradientEngine() {
   for (RankState& st : ranks_) {
-    if (!st.thread.joinable()) continue;
-    const std::uint32_t t = st.q_tail.load(std::memory_order_relaxed);
-    st.queue[t % st.queue.size()] = kStopToken;
-    st.q_tail.store(t + 1, std::memory_order_release);
-    st.q_tail.notify_one();
-    st.thread.join();
+    for (auto& lane_ptr : st.lanes) {
+      Lane& lane = *lane_ptr;
+      if (!lane.thread.joinable()) continue;
+      const std::uint32_t t = lane.q_tail.load(std::memory_order_relaxed);
+      lane.queue[t % lane.queue.size()] = kStopToken;
+      lane.q_tail.store(t + 1, std::memory_order_release);
+      lane.q_tail.notify_one();
+      lane.thread.join();
+    }
   }
 }
 
 void AsyncGradientEngine::resize_rank_state() {
   const std::size_t total = plan_.total_submissions();
   for (std::size_t r = 0; r < ranks_.size(); ++r) {
-    // Pin the double-buffered collective workspaces (and the packet scratch)
-    // to the rank's arena so their grow-only slots carve NUMA-local memory.
+    RankState& st = ranks_[r];
+    while (st.lanes.size() < static_cast<std::size_t>(lanes_)) {
+      st.lanes.push_back(std::make_unique<Lane>());
+    }
+    // Pin every lane's double-buffered collective workspaces (and the
+    // packet scratch) to the rank's arena so their grow-only slots carve
+    // NUMA-local memory.
     util::Arena* arena = &util::rank_arena(static_cast<int>(r));
-    ranks_[r].arenas[0].set_arena(arena);
-    ranks_[r].arenas[1].set_arena(arena);
-    ranks_[r].packet_ws.set_arena(arena);
-  }
-  for (RankState& st : ranks_) {
-    // Grow-only, and only while the fabric is quiesced: the consumer is
-    // idle-parked on q_tail, and the next release-store on q_tail (or the
-    // trainer's barrier) publishes the resized storage to it.
-    if (st.queue.size() < total + 2) st.queue.resize(total + 2);
+    for (auto& lane : st.lanes) {
+      lane->arenas[0].set_arena(arena);
+      lane->arenas[1].set_arena(arena);
+      // Grow-only, and only while the fabric is quiesced: the consumer is
+      // idle-parked on q_tail, and the next release-store on q_tail (or
+      // the trainer's barrier) publishes the resized storage to it.
+      if (lane->queue.size() < total + 2) lane->queue.resize(total + 2);
+    }
+    st.packet_ws.set_arena(arena);
     if (st.remaining.size() < total) st.remaining.resize(total);
+    if (st.complete.size() < total) st.complete.resize(total);
     if (st.begun.size() < plan_.buckets.size()) {
       st.begun.resize(plan_.buckets.size());
     }
     if (st.bucket_rngs.size() < total) st.bucket_rngs.resize(total);
+    // Per-submission timestamp slots, plan-order indexed (packet last).
+    // Sized here — NEVER in the hot path — so steady-state steps stay
+    // allocation-free.
+    if (st.report.timing.buckets.size() < total) {
+      st.report.timing.buckets.resize(total);
+    }
   }
 }
 
@@ -140,11 +167,15 @@ void AsyncGradientEngine::begin_step(comm::Comm& comm, std::span<float> fused,
 
   st.fused = fused;
   st.inline_comm = &comm;
-  if (options_.overlap &&
-      (!st.comm || &st.comm->transport() != &comm.transport())) {
-    // The comm thread gets its own handle over the facade barrier so its
-    // recovery barriers never mix with the training threads' world barrier.
-    st.comm.emplace(comm.rank(), comm.transport(), comm_barrier_);
+  if (options_.overlap) {
+    for (auto& lane : st.lanes) {
+      if (!lane->comm || &lane->comm->transport() != &comm.transport()) {
+        // Each comm thread gets its own handle over the facade barrier so
+        // its recovery barriers never mix with the training threads'
+        // world barrier.
+        lane->comm.emplace(comm.rank(), comm.transport(), comm_barrier_);
+      }
+    }
   }
 
   // Per-bucket RNG streams: advance the parent once per step, then derive
@@ -162,16 +193,34 @@ void AsyncGradientEngine::begin_step(comm::Comm& comm, std::span<float> fused,
         static_cast<std::uint32_t>(inner_->filtered_layers().size());
   }
   std::fill(st.begun.begin(), st.begun.end(), std::uint8_t{0});
+  std::fill(st.complete.begin(), st.complete.end(), std::uint8_t{0});
+  st.release_cursor = 0;
   st.submitted = 0;
   st.notified = 0;
-  st.compress_s = 0.0;
-  st.comm_busy_s = 0.0;
+  for (auto& lane : st.lanes) {
+    lane->submitted = 0;
+    lane->compress_s = 0.0;
+    lane->comm_busy_s = 0.0;
+  }
   st.error = nullptr;
+  st.failed.store(false, std::memory_order_relaxed);
   st.report.ok = true;
   st.report.attempts = 0;
   st.report.retries = 0;
   st.report.incidents.clear();
-  st.report.timing = StepReport::Timing{};
+  // Field-wise Timing reset: assigning a fresh Timing{} would deallocate
+  // the per-bucket timestamp vector and re-grow it every step.
+  st.report.timing.compute_s = 0.0;
+  st.report.timing.compress_s = 0.0;
+  st.report.timing.comm_s = 0.0;
+  st.report.timing.exposed_comm_s = 0.0;
+  st.report.timing.exposed_comm_pct = 0.0;
+  for (StepReport::Timing::BucketEvent& ev : st.report.timing.buckets) {
+    ev.bucket = -1;
+    ev.lane = 0;
+    ev.launch_s = 0.0;
+    ev.finish_s = 0.0;
+  }
   st.done.store(0, std::memory_order_relaxed);
   st.t_begin = st.t_last_submit = std::chrono::steady_clock::now();
 }
@@ -181,117 +230,161 @@ void AsyncGradientEngine::notify_layer_ready(int rank, std::size_t layer) {
   CGX_CHECK_LT(layer, plan_.bucket_of.size());
   const std::int32_t b = plan_.bucket_of[layer];
   CGX_CHECK_GE(b, 0);
+  // Producers may be several DAG pool workers; the mutex serialises the
+  // countdowns and keeps the release frontier coherent. Uncontended in
+  // the classic single-training-thread flow.
+  std::lock_guard<std::mutex> lock(st.submit_mutex);
   ++st.notified;
   std::uint32_t& rem = st.remaining[static_cast<std::size_t>(b)];
   CGX_CHECK_GT(rem, 0u);
-  if (--rem == 0) submit(st, static_cast<std::uint32_t>(b));
-}
-
-void AsyncGradientEngine::submit(RankState& st, std::uint32_t bucket) {
-  // Token = bucket id | submission parity. The parity picks the arena, and
-  // because the consumer drains tokens in submission order, two adjacent
-  // in-flight buckets always sit on different arenas.
-  const std::uint32_t token = bucket | ((st.submitted & 1u) << 8);
-  ++st.submitted;
-  st.t_last_submit = std::chrono::steady_clock::now();
-  if (!options_.overlap) {
-    process_token(st, *st.inline_comm, token);
+  if (--rem != 0) return;
+  if (!ordered_) {
+    submit_locked(st, static_cast<std::uint32_t>(b));
     return;
   }
-  const std::uint32_t t = st.q_tail.load(std::memory_order_relaxed);
-  st.queue[t % st.queue.size()] = token;
-  st.q_tail.store(t + 1, std::memory_order_release);
-  st.q_tail.notify_one();
+  // Canonical-order release: hold the completed submission until every
+  // lower plan index went out, then drain the frontier. Every rank
+  // therefore feeds each lane the identical bucket sequence regardless of
+  // which branch of its backward DAG finished first.
+  st.complete[static_cast<std::size_t>(b)] = 1;
+  const auto total =
+      static_cast<std::uint32_t>(plan_.total_submissions());
+  while (st.release_cursor < total && st.complete[st.release_cursor]) {
+    submit_locked(st, st.release_cursor);
+    ++st.release_cursor;
+  }
 }
 
-void AsyncGradientEngine::comm_thread_main(int rank) {
+void AsyncGradientEngine::submit_locked(RankState& st, std::uint32_t idx) {
+  Lane& lane = *st.lanes[idx % st.lanes.size()];
+  // Token = plan index | lane-local submission parity. The parity picks
+  // the lane's arena, and because a lane drains tokens in submission
+  // order, two adjacent in-flight buckets OF THAT LANE always sit on
+  // different arenas.
+  const std::uint32_t token = idx | ((lane.submitted & 1u) << 8);
+  ++lane.submitted;
+  ++st.submitted;
+  st.t_last_submit = std::chrono::steady_clock::now();
+  StepReport::Timing::BucketEvent& ev = st.report.timing.buckets[idx];
+  ev.bucket = static_cast<int>(idx);
+  ev.lane = static_cast<int>(idx % st.lanes.size());
+  ev.launch_s = std::chrono::duration<double>(st.t_last_submit - st.t_begin)
+                    .count();
+  if (!options_.overlap) {
+    process_token(st, lane, *st.inline_comm, token);
+    return;
+  }
+  const std::uint32_t t = lane.q_tail.load(std::memory_order_relaxed);
+  lane.queue[t % lane.queue.size()] = token;
+  lane.q_tail.store(t + 1, std::memory_order_release);
+  lane.q_tail.notify_one();
+}
+
+void AsyncGradientEngine::comm_thread_main(int rank, int lane_id) {
   // Home the comm thread next to its training thread and bind its transient
   // collective scratch to the rank arena: everything the token loop grows
   // (compression payloads, ring slabs it first-touches) stays node-local.
   util::numa::pin_current_thread_for_rank(rank);
   util::ScopedArena bind(util::rank_arena(rank));
   RankState& st = ranks_[static_cast<std::size_t>(rank)];
+  Lane& lane = *st.lanes[static_cast<std::size_t>(lane_id)];
   for (;;) {
-    const std::uint32_t h = st.q_head.load(std::memory_order_relaxed);
-    std::uint32_t t = st.q_tail.load(std::memory_order_acquire);
+    const std::uint32_t h = lane.q_head.load(std::memory_order_relaxed);
+    std::uint32_t t = lane.q_tail.load(std::memory_order_acquire);
     while (t == h) {
       // Futex-style park (no spinning — everything here shares cores with
-      // the training threads); woken by submit()'s notify_one.
-      st.q_tail.wait(t, std::memory_order_acquire);
-      t = st.q_tail.load(std::memory_order_acquire);
+      // the training threads); woken by submit_locked()'s notify_one.
+      lane.q_tail.wait(t, std::memory_order_acquire);
+      t = lane.q_tail.load(std::memory_order_acquire);
     }
-    const std::uint32_t token = st.queue[h % st.queue.size()];
-    st.q_head.store(h + 1, std::memory_order_relaxed);
+    const std::uint32_t token = lane.queue[h % lane.queue.size()];
+    lane.q_head.store(h + 1, std::memory_order_relaxed);
     if (token == kStopToken) return;
-    process_token(st, *st.comm, token);
+    process_token(st, lane, *lane.comm, token);
   }
 }
 
-void AsyncGradientEngine::process_token(RankState& st, comm::Comm& comm,
+void AsyncGradientEngine::process_token(RankState& st, Lane& lane,
+                                        comm::Comm& comm,
                                         std::uint32_t token) {
   const auto t0 = std::chrono::steady_clock::now();
   const std::size_t bucket = token & 0xffu;
-  if (!st.error) {
+  if (!st.failed.load(std::memory_order_acquire)) {
     try {
       if (bucket == plan_.packet_index()) {
         run_packet(st, comm);
       } else {
-        run_compressed(st, comm, bucket, st.arenas[(token >> 8) & 1u]);
+        run_compressed(st, lane, comm, bucket,
+                       lane.arenas[(token >> 8) & 1u]);
       }
     } catch (...) {
       // First failure poisons the step: remaining tokens complete without
       // touching the fabric, and wait_all rethrows on the training thread.
-      st.error = std::current_exception();
+      std::lock_guard<std::mutex> lock(st.report_mutex);
+      if (!st.error) st.error = std::current_exception();
+      st.failed.store(true, std::memory_order_release);
     }
   }
-  st.comm_busy_s += seconds_since(t0);
+  lane.comm_busy_s += seconds_since(t0);
+  // Plan-order slot; only this lane ever touches this submission, and the
+  // release-store on `done` publishes the stamp to wait_all's reader.
+  st.report.timing.buckets[bucket].finish_s = seconds_since(st.t_begin);
   st.done.fetch_add(1, std::memory_order_release);
   st.done.notify_all();
 }
 
-void AsyncGradientEngine::begin_bucket_timed(RankState& st, comm::Comm& comm,
+void AsyncGradientEngine::begin_bucket_timed(RankState& st, Lane& lane,
+                                             comm::Comm& comm,
                                              std::size_t bucket,
                                              CollectiveWorkspace& ws) {
   const auto t0 = std::chrono::steady_clock::now();
   const BucketPlan::Bucket& b = plan_.buckets[bucket];
   inner_->bucket_begin(comm, st.fused, b.layers, st.bucket_rngs[bucket],
                        b.tag_base, ws);
-  st.compress_s += seconds_since(t0);
+  lane.compress_s += seconds_since(t0);
   st.begun[bucket] = 1;
 }
 
-void AsyncGradientEngine::try_begin_next(RankState& st, comm::Comm& comm) {
-  // Peek the next submitted-but-unprocessed token: if it is a compressed
-  // bucket, run its non-blocking begin half now (round-1 compression +
-  // buffered sends on the OTHER arena) so it overlaps the current bucket's
-  // drain. Consumer-side only; q_head already points past the current
-  // token.
-  const std::uint32_t next = st.q_head.load(std::memory_order_relaxed);
-  if (st.q_tail.load(std::memory_order_acquire) == next) return;
-  const std::uint32_t token = st.queue[next % st.queue.size()];
+void AsyncGradientEngine::try_begin_next(RankState& st, Lane& lane,
+                                         comm::Comm& comm) {
+  // Peek THIS lane's next submitted-but-unprocessed token: if it is a
+  // compressed bucket, run its non-blocking begin half now (round-1
+  // compression + buffered sends on the lane's OTHER arena) so it
+  // overlaps the current bucket's drain. Consumer-side only; q_head
+  // already points past the current token.
+  const std::uint32_t next = lane.q_head.load(std::memory_order_relaxed);
+  if (lane.q_tail.load(std::memory_order_acquire) == next) return;
+  const std::uint32_t token = lane.queue[next % lane.queue.size()];
   if (token == kStopToken) return;
   const std::size_t bucket = token & 0xffu;
   if (bucket >= plan_.buckets.size()) return;  // packet has no begin half
   if (st.begun[bucket]) return;
-  begin_bucket_timed(st, comm, bucket, st.arenas[(token >> 8) & 1u]);
+  begin_bucket_timed(st, lane, comm, bucket,
+                     lane.arenas[(token >> 8) & 1u]);
 }
 
-void AsyncGradientEngine::run_compressed(RankState& st, comm::Comm& comm,
+void AsyncGradientEngine::run_compressed(RankState& st, Lane& lane,
+                                         comm::Comm& comm,
                                          std::size_t bucket,
                                          CollectiveWorkspace& ws) {
   const BucketPlan::Bucket& b = plan_.buckets[bucket];
   const EngineOptions& eopts = inner_->options();
   StepReport& report = st.report;
   util::Rng& rng = st.bucket_rngs[bucket];
-  const std::uint64_t round = st.rounds++;
+  const std::uint64_t round =
+      st.rounds.fetch_add(1, std::memory_order_relaxed);
 
   if (eopts.max_round_retries <= 0) {
-    ++report.attempts;
+    {
+      std::lock_guard<std::mutex> lock(st.report_mutex);
+      ++report.attempts;
+    }
     try {
-      if (!st.begun[bucket]) begin_bucket_timed(st, comm, bucket, ws);
-      if (pipeline_enabled_) try_begin_next(st, comm);
+      if (!st.begun[bucket]) begin_bucket_timed(st, lane, comm, bucket, ws);
+      if (pipeline_enabled_) try_begin_next(st, lane, comm);
       inner_->bucket_finish(comm, st.fused, b.layers, rng, b.tag_base, ws);
     } catch (const comm::CommError& e) {
+      std::lock_guard<std::mutex> lock(st.report_mutex);
       report.ok = false;
       report.incidents.push_back(
           StepReport::Incident{e.src, e.dst, e.tag, e.what()});
@@ -300,8 +393,10 @@ void AsyncGradientEngine::run_compressed(RankState& st, comm::Comm& comm,
     return;
   }
 
-  // Retry path (pipelining is off): a failed attempt leaves the bucket's
-  // slices partially reduced, so roll back from a pre-attempt snapshot.
+  // Retry path (pipelining is off, lanes_ == 1 so no report contention —
+  // the locks below are uncontended belt-and-braces): a failed attempt
+  // leaves the bucket's slices partially reduced, so roll back from a
+  // pre-attempt snapshot.
   const tensor::LayerLayout& layout = inner_->layout();
   const std::span<float> snapshot = ws.floats(kSlotBucketSnapshot, b.numel);
   std::size_t off = 0;
@@ -311,7 +406,10 @@ void AsyncGradientEngine::run_compressed(RankState& st, comm::Comm& comm,
     off += slice.size();
   }
   for (int attempt = 0;; ++attempt) {
-    ++report.attempts;
+    {
+      std::lock_guard<std::mutex> lock(st.report_mutex);
+      ++report.attempts;
+    }
     try {
       if (eopts.injector != nullptr &&
           eopts.injector->round_fails(round, attempt)) {
@@ -320,18 +418,25 @@ void AsyncGradientEngine::run_compressed(RankState& st, comm::Comm& comm,
                                  "synthetic bucket-round failure "
                                  "(fault harness)");
       }
-      if (!st.begun[bucket]) begin_bucket_timed(st, comm, bucket, ws);
+      if (!st.begun[bucket]) begin_bucket_timed(st, lane, comm, bucket, ws);
       inner_->bucket_finish(comm, st.fused, b.layers, rng, b.tag_base, ws);
       return;
     } catch (const comm::CommError& e) {
-      report.incidents.push_back(
-          StepReport::Incident{e.src, e.dst, e.tag, e.what()});
+      {
+        std::lock_guard<std::mutex> lock(st.report_mutex);
+        report.incidents.push_back(
+            StepReport::Incident{e.src, e.dst, e.tag, e.what()});
+      }
       st.begun[bucket] = 0;
       if (attempt >= eopts.max_round_retries) {
+        std::lock_guard<std::mutex> lock(st.report_mutex);
         report.ok = false;
         throw;
       }
-      ++report.retries;
+      {
+        std::lock_guard<std::mutex> lock(st.report_mutex);
+        ++report.retries;
+      }
       inner_->reshard_world(comm);
       off = 0;
       for (std::size_t l : b.layers) {
@@ -346,9 +451,13 @@ void AsyncGradientEngine::run_compressed(RankState& st, comm::Comm& comm,
 void AsyncGradientEngine::run_packet(RankState& st, comm::Comm& comm) {
   const EngineOptions& eopts = inner_->options();
   StepReport& report = st.report;
-  const std::uint64_t round = st.rounds++;
+  const std::uint64_t round =
+      st.rounds.fetch_add(1, std::memory_order_relaxed);
   for (int attempt = 0;; ++attempt) {
-    ++report.attempts;
+    {
+      std::lock_guard<std::mutex> lock(st.report_mutex);
+      ++report.attempts;
+    }
     try {
       if (eopts.max_round_retries > 0 && eopts.injector != nullptr &&
           eopts.injector->round_fails(round, attempt)) {
@@ -360,6 +469,7 @@ void AsyncGradientEngine::run_packet(RankState& st, comm::Comm& comm) {
       inner_->packet_allreduce(comm, st.fused, st.packet_ws);
       return;
     } catch (const comm::CommError& e) {
+      std::unique_lock<std::mutex> lock(st.report_mutex);
       report.incidents.push_back(
           StepReport::Incident{e.src, e.dst, e.tag, e.what()});
       if (eopts.max_round_retries <= 0 ||
@@ -368,6 +478,7 @@ void AsyncGradientEngine::run_packet(RankState& st, comm::Comm& comm) {
         throw;
       }
       ++report.retries;
+      lock.unlock();
       inner_->reshard_world(comm);
       // No rollback needed: the packet gathers from `fused` afresh each
       // attempt and scatters back only after the collective succeeded.
@@ -392,17 +503,32 @@ void AsyncGradientEngine::wait_all(int rank) {
   StepReport& report = st.report;
   report.timing.compute_s =
       std::chrono::duration<double>(st.t_last_submit - st.t_begin).count();
-  report.timing.compress_s = st.compress_s;
-  report.timing.comm_s = st.comm_busy_s;
+  double compress_s = 0.0;
+  double comm_busy_s = 0.0;
+  for (const auto& lane : st.lanes) {
+    compress_s += lane->compress_s;
+    comm_busy_s += lane->comm_busy_s;
+  }
+  report.timing.compress_s = compress_s;
+  report.timing.comm_s = comm_busy_s;
   // Inline mode runs every bucket on the training thread, so all of its
   // communication sits on the critical path.
-  report.timing.exposed_comm_s = options_.overlap ? exposed : st.comm_busy_s;
+  report.timing.exposed_comm_s = options_.overlap ? exposed : comm_busy_s;
+  report.timing.exposed_comm_pct =
+      comm_busy_s > 0.0
+          ? 100.0 * report.timing.exposed_comm_s / comm_busy_s
+          : 0.0;
 
-  if (st.error) {
+  if (st.failed.load(std::memory_order_acquire)) {
     report.ok = false;
-    std::exception_ptr e = st.error;
-    st.error = nullptr;
-    std::rethrow_exception(e);
+    std::exception_ptr e;
+    {
+      std::lock_guard<std::mutex> lock(st.report_mutex);
+      e = st.error;
+      st.error = nullptr;
+    }
+    st.failed.store(false, std::memory_order_relaxed);
+    if (e) std::rethrow_exception(e);
   }
 }
 
@@ -428,9 +554,11 @@ const StepReport& AsyncGradientEngine::last_step_report(int rank) const {
 std::size_t AsyncGradientEngine::scratch_high_water_bytes() const {
   std::size_t total = inner_->scratch_high_water_bytes();
   for (const RankState& st : ranks_) {
-    total += st.arenas[0].high_water_bytes() +
-             st.arenas[1].high_water_bytes() +
-             st.packet_ws.high_water_bytes();
+    for (const auto& lane : st.lanes) {
+      total += lane->arenas[0].high_water_bytes() +
+               lane->arenas[1].high_water_bytes();
+    }
+    total += st.packet_ws.high_water_bytes();
   }
   return total;
 }

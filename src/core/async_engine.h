@@ -12,21 +12,31 @@
 //     gradient each. Filtered full-precision layers keep their fused
 //     packet, which ships as one pseudo-bucket once its last gradient
 //     materialises.
-//   * Each rank owns a dedicated comm thread fed by a lock-free
-//     single-producer/single-consumer ready queue. The training thread
-//     calls notify_layer_ready() from the backward hooks; when a bucket's
-//     last layer arrives it is submitted, and the comm thread runs the
-//     compressed collective on the bucket's own tag range
-//     (comm/tagspace.h) while backward keeps producing gradients.
-//   * Buckets alternate between two grow-only CollectiveWorkspace arenas,
-//     so with pipelining the round-1 compression of bucket k+1 (SRA's
-//     non-blocking begin half) overlaps the drain of bucket k.
+//   * Each rank owns comm_lanes comm threads (lanes), each fed by its own
+//     lock-free single-producer/single-consumer ready queue. Submission i
+//     of the plan rides lane i % comm_lanes on the bucket's own tag range
+//     (comm/tagspace.h, per-bucket disjointness doubles as per-lane
+//     isolation), so on a latency-bound fabric independent buckets drain
+//     in parallel while backward keeps producing gradients.
+//   * notify_layer_ready() may be called concurrently (a DAG-scheduled
+//     backward fires hooks from pool workers); a producer-side mutex
+//     serialises the countdowns. With ordered_launch, completed buckets
+//     are held in a release frontier and submitted in canonical plan
+//     order — each lane then sees the same bucket order on every rank
+//     even though per-rank completion order is nondeterministic, which is
+//     what keeps blocking collectives deadlock-free under the executor.
+//   * Within a lane, buckets alternate between two grow-only
+//     CollectiveWorkspace arenas, so with pipelining the round-1
+//     compression of the lane's next bucket (SRA's non-blocking begin
+//     half) overlaps the drain of its current one.
 //   * wait_all() joins the step before the optimizer runs and fills the
 //     StepReport's per-phase Timing (compute / compress / comm / EXPOSED
-//     comm — the part that ended up on the critical path).
+//     comm) plus per-bucket launch/finish timestamps and the derived
+//     exposed_comm_pct.
 //
 // Determinism: results are bit-identical between overlap=true and
-// overlap=false (and across ranks) because the bucket assignment is a pure
+// overlap=false, across ranks, across comm_lanes counts, and between
+// ordered and legacy launch — because the bucket assignment is a pure
 // function of layout+policy, every bucket folds in fixed rank order inside
 // the collectives, and each bucket draws from its own RNG stream
 // (rng.split(bucket) after one parent advance per step) — so the thread
@@ -36,11 +46,14 @@
 // recover_world protocol over the facade's own comm-thread barrier;
 // pipelining is disabled when retries are on, because recovery resets
 // inbound channels and would drop the next bucket's in-flight frames.
+// Retries also force comm_lanes = 1: recovery's world-sized comm barrier
+// assumes exactly one comm thread per rank.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -58,11 +71,28 @@ struct AsyncOptions {
   // in the exact submission order — the bit-identical synchronous
   // comparator the equivalence suite diffs against.
   bool overlap = true;
-  // Start bucket k+1's SRA round-1 compression before bucket k finished
-  // draining (double-buffered arenas). Auto-disabled when the inner
-  // engine's max_round_retries > 0 — recovery resets inbound channels,
-  // which would eat the pipelined bucket's frames.
+  // Start the lane's next bucket's SRA round-1 compression before its
+  // current bucket finished draining (double-buffered arenas).
+  // Auto-disabled when the inner engine's max_round_retries > 0 —
+  // recovery resets inbound channels, which would eat the pipelined
+  // bucket's frames.
   bool pipeline = true;
+  // Comm threads per rank. Submission i rides lane i % comm_lanes; with a
+  // latency-bound transport, lanes drain independent buckets in parallel.
+  // Clamped to comm::kMaxCommLanes; forced to 1 when overlap is off or
+  // the inner engine retries rounds. comm_lanes > 1 implies
+  // ordered_launch (per-lane submission order must match across ranks).
+  int comm_lanes = 1;
+  // Release completed buckets to the lanes in canonical plan order
+  // (bucket 0, 1, …, packet) instead of completion-arrival order. A
+  // DAG-scheduled backward completes buckets in a nondeterministic
+  // per-rank order; submitting in that order would deadlock blocking
+  // collectives across ranks. The frontier holds a completed bucket until
+  // every lower-indexed submission has been released, making each lane's
+  // order an identical subsequence on every rank. Off by default: the
+  // legacy submit-at-notify path is preserved bit-for-bit (fault tests
+  // key on round processing order).
+  bool ordered_launch = false;
 };
 
 // Deterministic fusion plan over a LayerLayout + resolved policy. Buckets
@@ -117,10 +147,11 @@ class AsyncGradientEngine final : public GradientEngine {
 
   // ---- Streaming API (one step per rank) ----
   // begin_step arms the per-bucket countdowns and RNG streams; every layer
-  // must then be notified exactly once (any order, but all ranks must use
-  // the SAME order); wait_all blocks until every bucket drained and
-  // rethrows the first comm-thread failure. `fused` must stay valid until
-  // wait_all returns.
+  // must then be notified exactly once. Notifications may come from any
+  // thread (DAG executor hooks included) and, unless ordered_launch is
+  // set, all ranks must complete buckets in the SAME order; wait_all
+  // blocks until every bucket drained and rethrows the first comm-thread
+  // failure. `fused` must stay valid until wait_all returns.
   void begin_step(comm::Comm& comm, std::span<float> fused, util::Rng& rng);
   void notify_layer_ready(int rank, std::size_t layer);
   void wait_all(int rank);
@@ -136,67 +167,92 @@ class AsyncGradientEngine final : public GradientEngine {
   const BucketPlan& plan() const { return plan_; }
   const AsyncOptions& async_options() const { return options_; }
   const tensor::LayerLayout& layout() const { return inner_->layout(); }
+  int comm_lanes() const { return lanes_; }
+  bool ordered_launch() const { return ordered_; }
 
   // What happened to `rank`'s most recent step: bucket attempts/retries,
-  // incidents, and the per-phase Timing breakdown. `attempts` counts
-  // bucket attempts (a clean step shows one per submission).
+  // incidents, and the per-phase Timing breakdown (including per-bucket
+  // launch/finish stamps). `attempts` counts bucket attempts (a clean
+  // step shows one per submission).
   const StepReport& last_step_report(int rank) const;
 
   // Facade arenas + the inner engine's scratch; monotone after warm-up.
   std::size_t scratch_high_water_bytes() const;
 
  private:
-  // Tokens carry the bucket id in the low byte and the submission parity
-  // (arena selector) in bit 8; kStopToken shuts a comm thread down.
+  // Tokens carry the submission's plan index in the low byte and the
+  // lane-local parity (arena selector) in bit 8; kStopToken shuts a comm
+  // thread down.
   static constexpr std::uint32_t kStopToken = 0xffffu;
 
-  struct RankState {
-    // Comm thread + SPSC ready queue (overlap mode). The producer is the
-    // rank's training thread, the consumer its comm thread; the queue is
-    // sized so a step can never wrap unconsumed entries.
+  // One comm thread + its SPSC ready queue. The producer is the rank's
+  // training side (under RankState::submit_mutex), the consumer the
+  // lane's comm thread; the queue is sized so a step can never wrap
+  // unconsumed entries. Heap-allocated (unique_ptr) because atomics make
+  // it immovable.
+  struct Lane {
     std::thread thread;
     std::vector<std::uint32_t> queue;
     std::atomic<std::uint32_t> q_tail{0};  // producer-advanced
     std::atomic<std::uint32_t> q_head{0};  // consumer-advanced
-    std::atomic<std::uint32_t> done{0};
     std::optional<comm::Comm> comm;  // comm-thread handle (facade barrier)
-    comm::Comm* inline_comm = nullptr;  // training-thread handle
-    std::exception_ptr error;  // first failure; synced via `done`
+    std::uint32_t submitted = 0;  // lane-local; parity picks the arena
+    double compress_s = 0.0;      // consumer-written, read after drain
+    double comm_busy_s = 0.0;
+    CollectiveWorkspace arenas[2];  // double-buffered bucket scratch
+  };
 
-    // Per-step streaming state (training-thread written).
+  struct RankState {
+    std::vector<std::unique_ptr<Lane>> lanes;
+    std::atomic<std::uint32_t> done{0};
+    std::atomic<bool> failed{false};  // first failure poisons the step
+    std::exception_ptr error;         // guarded by report_mutex
+    // Comm threads of different lanes mutate the shared report
+    // (attempts / retries / incidents / ok) concurrently.
+    std::mutex report_mutex;
+    // Serialises notify/release/submit — the producers under a DAG
+    // executor are pool workers, not one training thread.
+    std::mutex submit_mutex;
+    comm::Comm* inline_comm = nullptr;  // training-thread handle
+
+    // Per-step streaming state (written under submit_mutex).
     std::span<float> fused;
     std::vector<util::Rng> bucket_rngs;
     std::vector<std::uint32_t> remaining;  // per-bucket layer countdown
+    std::vector<std::uint8_t> complete;    // ordered_launch frontier marks
+    std::uint32_t release_cursor = 0;      // next plan index to release
     std::uint32_t submitted = 0;
     std::uint32_t notified = 0;
     std::chrono::steady_clock::time_point t_begin;
     std::chrono::steady_clock::time_point t_last_submit;
 
-    // Comm-path state (consumer-side in overlap mode).
+    // Comm-path state. begun[b] is raced-free without the mutex because
+    // bucket b always rides lane b % lanes. rounds keys the fault
+    // injector and is monotone across steps (never reset).
     std::vector<std::uint8_t> begun;  // bucket began early (pipelining)
-    std::uint64_t rounds = 0;         // bucket-round counter (fault keying)
-    double compress_s = 0.0;
-    double comm_busy_s = 0.0;
-    CollectiveWorkspace arenas[2];  // double-buffered bucket scratch
+    std::atomic<std::uint64_t> rounds{0};
     CollectiveWorkspace packet_ws;
     StepReport report;
   };
 
-  void submit(RankState& st, std::uint32_t bucket);
-  void process_token(RankState& st, comm::Comm& comm, std::uint32_t token);
-  void run_compressed(RankState& st, comm::Comm& comm, std::size_t bucket,
-                      CollectiveWorkspace& ws);
+  void submit_locked(RankState& st, std::uint32_t idx);
+  void process_token(RankState& st, Lane& lane, comm::Comm& comm,
+                     std::uint32_t token);
+  void run_compressed(RankState& st, Lane& lane, comm::Comm& comm,
+                      std::size_t bucket, CollectiveWorkspace& ws);
   void run_packet(RankState& st, comm::Comm& comm);
-  void try_begin_next(RankState& st, comm::Comm& comm);
-  void begin_bucket_timed(RankState& st, comm::Comm& comm,
+  void try_begin_next(RankState& st, Lane& lane, comm::Comm& comm);
+  void begin_bucket_timed(RankState& st, Lane& lane, comm::Comm& comm,
                           std::size_t bucket, CollectiveWorkspace& ws);
-  void comm_thread_main(int rank);
+  void comm_thread_main(int rank, int lane_id);
   void resize_rank_state();
 
   std::unique_ptr<CgxEngine> inner_;
   AsyncOptions options_;
   BucketPlan plan_;
   bool pipeline_enabled_ = false;
+  int lanes_ = 1;        // resolved comm_lanes (clamped / forced to 1)
+  bool ordered_ = false; // resolved ordered_launch (implied by lanes_ > 1)
   util::Barrier comm_barrier_;  // world-sized, comm threads only
   std::vector<RankState> ranks_;
 };

@@ -96,6 +96,22 @@ struct StepReport {
     double compress_s = 0.0;      // round-1 compression inside bucket_begin
     double comm_s = 0.0;          // total busy time on the bucket comm path
     double exposed_comm_s = 0.0;  // wait_all() blocking time (not hidden)
+    // exposed_comm_s as a percentage of comm_s (0 when comm_s == 0): the
+    // single number the DAG-executor benches gate on — lower means more of
+    // the communication ran behind compute.
+    double exposed_comm_pct = 0.0;
+    // Per-submission launch/finish timestamps, seconds since begin_step,
+    // indexed in bucket-plan order (buckets 0..N-1, then the packet).
+    // bucket == -1 marks a submission that never launched (error paths).
+    // Sized by the engine at (re)build time and reset field-wise each
+    // step, so the streamed hot path stays allocation-free.
+    struct BucketEvent {
+      int bucket = -1;      // plan index (packet = buckets.size())
+      int lane = 0;         // comm lane that ran the collective
+      double launch_s = 0.0;
+      double finish_s = 0.0;
+    };
+    std::vector<BucketEvent> buckets;
   };
   bool ok = true;
   int attempts = 0;  // 1 = clean first try

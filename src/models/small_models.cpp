@@ -60,6 +60,53 @@ std::unique_ptr<nn::Module> make_vgg_mini(std::size_t channels,
   return model;
 }
 
+// --------------------------------------------------------------- Graphs
+
+std::unique_ptr<nn::Graph> make_two_tower(std::size_t in, std::size_t hidden,
+                                          std::size_t classes,
+                                          util::Rng& rng) {
+  auto g = std::make_unique<nn::Graph>();
+  const auto stem = g->emplace<nn::Linear>({nn::Graph::kInput}, in, hidden,
+                                           rng);
+  const auto stem_relu = g->emplace<nn::ReLU>({stem});
+  // Two towers off the same activation: backward for them is independent,
+  // so a pooled executor can run both concurrently.
+  nn::Graph::NodeId tower_end[2];
+  for (int t = 0; t < 2; ++t) {
+    const auto fc1 =
+        g->emplace<nn::Linear>({stem_relu}, hidden, hidden, rng);
+    const auto relu1 = g->emplace<nn::ReLU>({fc1});
+    const auto fc2 = g->emplace<nn::Linear>({relu1}, hidden, hidden, rng);
+    tower_end[t] = g->emplace<nn::ReLU>({fc2});
+  }
+  // Fan-in join: the head sees tower0 + tower1 (declaration-order sum).
+  g->emplace<nn::Linear>({tower_end[0], tower_end[1]}, hidden, classes, rng);
+  return g;
+}
+
+std::unique_ptr<nn::Graph> make_skipjoin_cnn(std::size_t channels,
+                                             std::size_t hw,
+                                             std::size_t classes,
+                                             util::Rng& rng) {
+  CGX_CHECK_EQ(hw % 2, 0u);
+  auto g = std::make_unique<nn::Graph>();
+  const auto stem =
+      g->emplace<nn::Conv2d>({nn::Graph::kInput}, channels, 16, 3, 1, 1, rng);
+  const auto stem_relu = g->emplace<nn::ReLU>({stem});
+  // Residual branch: two convs; the join ReLU consumes branch + skip, so
+  // the Graph's fan-in sum IS the residual addition.
+  const auto conv1 = g->emplace<nn::Conv2d>({stem_relu}, 16, 16, 3, 1, 1,
+                                            rng);
+  const auto branch_relu = g->emplace<nn::ReLU>({conv1});
+  const auto conv2 = g->emplace<nn::Conv2d>({branch_relu}, 16, 16, 3, 1, 1,
+                                            rng);
+  const auto join = g->emplace<nn::ReLU>({conv2, stem_relu});
+  const auto pool = g->emplace<nn::MaxPool2d>({join}, 2);
+  const auto gap = g->emplace<nn::GlobalAvgPool>({pool});
+  g->emplace<nn::Linear>({gap}, 16, classes, rng);
+  return g;
+}
+
 // --------------------------------------------------------------- ResNet
 
 ResidualBlock::ResidualBlock(std::size_t in_channels,

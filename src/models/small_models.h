@@ -11,6 +11,7 @@
 
 #include "nn/attention.h"
 #include "nn/conv.h"
+#include "nn/graph.h"
 #include "nn/sequential.h"
 
 namespace cgx::models {
@@ -18,6 +19,26 @@ namespace cgx::models {
 // MLP classifier for the quickstart: in -> hidden -> hidden -> classes.
 std::unique_ptr<nn::Module> make_mlp(std::size_t in, std::size_t hidden,
                                      std::size_t classes, util::Rng& rng);
+
+// Branchy models (nn::Graph): the DAG-executor workloads. Their backward
+// passes have genuinely independent branches, so a DepEngine pool can
+// differentiate both towers concurrently and gradients complete in a
+// nondeterministic per-rank order — exactly what the engine's
+// ordered-launch frontier exists for.
+
+// Two-tower MLP: shared stem, two independent Linear/ReLU towers whose
+// outputs SUM at the classifier head (Graph fan-in join).
+std::unique_ptr<nn::Graph> make_two_tower(std::size_t in, std::size_t hidden,
+                                          std::size_t classes,
+                                          util::Rng& rng);
+
+// ResNet-style skip-join CNN: conv stem, a two-conv residual branch whose
+// output rejoins the stem activation (fan-out at the stem, fan-in sum at
+// the join ReLU), then pool/GAP/classifier. Input [B, channels, hw, hw].
+std::unique_ptr<nn::Graph> make_skipjoin_cnn(std::size_t channels,
+                                             std::size_t hw,
+                                             std::size_t classes,
+                                             util::Rng& rng);
 
 // Small CNN ("ResNet-for-ants"): conv/relu/pool x2 -> conv -> GAP -> fc.
 // Input [B, channels, hw, hw].

@@ -62,6 +62,17 @@ class Module {
 
   virtual std::string kind() const = 0;
 
+  // ---- Freezing ----
+  // A frozen module's parameters drop out of the containers'
+  // collect_params (and therefore out of parameters()/build_layout(), so
+  // its gradients are neither communicated nor stepped) — the
+  // requires_grad=False analogue. Backward still flows THROUGH the module
+  // so upstream layers keep training; streaming trainers must also skip
+  // installing gradient-ready hooks on frozen children (nn/train.cpp
+  // does), or the layout offsets would drift from the parameter list.
+  void set_frozen(bool frozen) { frozen_ = frozen; }
+  bool frozen() const { return frozen_; }
+
   // ---- Gradient-ready hook (streaming engines) ----
   // Containers fire a child's hook right after the child's backward()
   // returns, i.e. the moment its parameter gradients are final for the
@@ -80,6 +91,7 @@ class Module {
 
  private:
   GradReadyHook grad_ready_hook_;
+  bool frozen_ = false;
 };
 
 // Zeroes all parameter gradients.

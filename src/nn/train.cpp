@@ -6,6 +6,7 @@
 #include "comm/collectives.h"
 #include "comm/membership.h"
 #include "core/async_engine.h"
+#include "nn/graph.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 #include "util/threadpool.h"
@@ -111,6 +112,7 @@ TrainResult train_distributed(const ModelFactory& model_factory,
   util::Rng probe_rng(options.seed);
   std::unique_ptr<Module> probe = model_factory(probe_rng);
   const tensor::LayerLayout layout = build_layout(parameters(*probe));
+  const bool graph_model = dynamic_cast<Graph*>(probe.get()) != nullptr;
   probe.reset();
 
   std::unique_ptr<core::GradientEngine> engine =
@@ -125,6 +127,12 @@ TrainResult train_distributed(const ModelFactory& model_factory,
         static_cast<core::CgxEngine*>(engine.release()));
     core::AsyncOptions async_options;
     async_options.bucket_bytes = options.overlap_bucket_bytes;
+    async_options.comm_lanes = options.overlap_comm_lanes;
+    // A DAG-scheduled Graph backward completes buckets in a per-rank
+    // nondeterministic order; canonical-order release keeps the blocking
+    // collectives deadlock-free. Multi-lane always needs it.
+    async_options.ordered_launch =
+        graph_model || options.overlap_comm_lanes > 1;
     engine = std::make_unique<core::AsyncGradientEngine>(
         std::move(owned), async_options);
     async = static_cast<core::AsyncGradientEngine*>(engine.get());
@@ -207,27 +215,63 @@ TrainResult train_distributed(const ModelFactory& model_factory,
       begin_step = static_cast<std::size_t>(adm.resume_step);
     }
 
+    // Container views of the model: both expose a child list whose
+    // gradient-ready hooks drive streaming, and both route backward
+    // through a DepEngine when given an executor pool.
+    auto* seq = dynamic_cast<Sequential*>(model.get());
+    auto* graph = dynamic_cast<Graph*>(model.get());
+    const std::size_t children =
+        graph != nullptr ? graph->node_count()
+                         : (seq != nullptr ? seq->size() : 0);
+    const auto child_at = [&](std::size_t i) -> Module& {
+      return graph != nullptr ? graph->node(i) : seq->module(i);
+    };
+
+    // DAG executor: a per-rank pool (NOT shared across ranks) so a rank
+    // whose inline collective blocks on a pool worker can never starve
+    // another rank's backward progress.
+    std::unique_ptr<util::ThreadPool> dag_pool;
+    if (options.dag_threads > 0 && (graph != nullptr || seq != nullptr)) {
+      dag_pool = std::make_unique<util::ThreadPool>(options.dag_threads);
+      if (graph != nullptr) {
+        graph->set_executor(dag_pool.get());
+      } else {
+        seq->set_executor(dag_pool.get());
+      }
+    }
+    const auto drop_executor = [&] {
+      if (dag_pool == nullptr) return;
+      if (graph != nullptr) {
+        graph->set_executor(nullptr);
+      } else {
+        seq->set_executor(nullptr);
+      }
+    };
+
     // Streaming path: install per-child gradient-ready hooks that copy the
     // child's freshly-final gradients into the fused buffer and notify the
     // async engine, so bucket communication starts while backward is still
     // running. Falls back to the monolithic allreduce (which the facade
-    // also implements) when the model isn't a Sequential.
-    auto* seq = async != nullptr ? dynamic_cast<Sequential*>(model.get())
-                                 : nullptr;
-    const bool streaming = seq != nullptr;
+    // also implements) when the model isn't a Sequential or Graph.
+    const bool streaming = async != nullptr && children > 0;
     if (streaming) {
       std::size_t offset = 0;
-      for (std::size_t i = 0; i < seq->size(); ++i) {
+      for (std::size_t i = 0; i < children; ++i) {
+        Module& child = child_at(i);
+        // Frozen children contribute nothing to the layout — skip BEFORE
+        // advancing the offset, or every later child's slice would drift.
+        if (child.frozen()) continue;
         std::vector<Param*> child_params;
-        seq->module(i).collect_params("", child_params);
+        child.collect_params("", child_params);
         const std::size_t begin = offset;
         const std::size_t end = offset + child_params.size();
         offset = end;
-        if (begin == end) continue;
-        seq->module(i).set_grad_ready_hook([&, begin, end, rank](Module&) {
+        if (begin == end) continue;  // parameterless (ReLU, pool, ...)
+        child.set_grad_ready_hook([&, begin, end, rank](Module&) {
           // Within a child, notify in reverse parameter order to match
           // the facade's gradient-production convention (identical on
-          // every rank, which is all the engine requires).
+          // every rank, which is all the engine requires; under a DAG
+          // executor the engine's ordered launch relaxes even that).
           for (std::size_t l = end; l-- > begin;) {
             tensor::copy(params[l]->grad.data(),
                          layout.slice(std::span<float>(fused), l));
@@ -248,7 +292,10 @@ TrainResult train_distributed(const ModelFactory& model_factory,
             comm, static_cast<std::uint64_t>(step),
             [&](const comm::WorldView& view) { cgx->apply_view(view); });
         if (act.leave) {
-          if (!m->rejoin_scheduled(grank)) return;  // graceful goodbye
+          if (!m->rejoin_scheduled(grank)) {
+            drop_executor();
+            return;  // graceful goodbye
+          }
           const comm::Membership::Admission adm =
               m->await_rejoin(comm, rejoin_wait);
           comm::broadcast(comm, std::span<float>(fused),
@@ -328,10 +375,13 @@ TrainResult train_distributed(const ModelFactory& model_factory,
     if (streaming) {
       // The hooks capture stack locals of this worker; drop them before
       // the model escapes to the caller.
-      for (std::size_t i = 0; i < seq->size(); ++i) {
-        seq->module(i).clear_grad_ready_hook();
+      for (std::size_t i = 0; i < children; ++i) {
+        child_at(i).clear_grad_ready_hook();
       }
     }
+    // Detach the executor before dag_pool (a local) is destroyed, so the
+    // escaping model never holds a dangling pool pointer.
+    drop_executor();
     // The lowest surviving rank owns the result model: in a fixed world
     // that is rank 0, and all replicas are identical by construction.
     const bool owns_result =

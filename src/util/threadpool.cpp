@@ -41,9 +41,43 @@ void ThreadPool::submit(std::function<void()> task) {
   work_cv_.notify_one();
 }
 
+void ThreadPool::grow_raw_locked(std::size_t capacity) {
+  // Rebuild the ring in FIFO order into a larger vector. Only reached when
+  // submit_raw outruns the reserved capacity; reserve_raw at setup keeps
+  // the steady state out of here.
+  std::vector<RawTask> bigger(std::max(capacity, std::size_t{8}));
+  for (std::size_t i = 0; i < raw_count_; ++i) {
+    bigger[i] = raw_ring_[(raw_head_ + i) % raw_ring_.size()];
+  }
+  raw_ring_ = std::move(bigger);
+  raw_head_ = 0;
+}
+
+void ThreadPool::submit_raw(RawFn fn, void* ctx, std::size_t arg) {
+  CGX_CHECK(fn != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CGX_CHECK(!stop_);
+    if (raw_count_ == raw_ring_.size()) {
+      grow_raw_locked(raw_ring_.size() * 2 + 8);
+    }
+    raw_ring_[(raw_head_ + raw_count_) % raw_ring_.size()] =
+        RawTask{fn, ctx, arg};
+    ++raw_count_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::reserve_raw(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (raw_ring_.size() < capacity) grow_raw_locked(capacity);
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+  idle_cv_.wait(lock,
+                [&] { return queue_.empty() && raw_count_ == 0 &&
+                             active_ == 0; });
 }
 
 void ThreadPool::parallel_for(std::size_t n,
@@ -76,19 +110,36 @@ void ThreadPool::worker_loop() {
   t_on_worker = true;
   for (;;) {
     std::function<void()> task;
+    RawTask raw{};
+    bool have_raw = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop();
+      work_cv_.wait(lock, [&] {
+        return stop_ || !queue_.empty() || raw_count_ > 0;
+      });
+      if (stop_ && queue_.empty() && raw_count_ == 0) return;
+      if (raw_count_ > 0) {
+        raw = raw_ring_[raw_head_];
+        raw_head_ = (raw_head_ + 1) % raw_ring_.size();
+        --raw_count_;
+        have_raw = true;
+      } else {
+        task = std::move(queue_.front());
+        queue_.pop();
+      }
       ++active_;
     }
-    task();
+    if (have_raw) {
+      raw.fn(raw.ctx, raw.arg);
+    } else {
+      task();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      if (queue_.empty() && raw_count_ == 0 && active_ == 0) {
+        idle_cv_.notify_all();
+      }
     }
   }
 }

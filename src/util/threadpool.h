@@ -29,6 +29,19 @@ class ThreadPool {
   // Enqueues a task; fire-and-forget. Use wait_idle() to join logically.
   void submit(std::function<void()> task);
 
+  // Allocation-free task path for schedulers that replay a fixed op graph
+  // every step (core::DepEngine). Tasks are a plain (fn, ctx, arg) triple
+  // held in a grow-only ring, so after reserve_raw() has sized it the hot
+  // path never touches the heap (std::function submission allocates both
+  // its queue node and, often, its callable). Raw tasks run before queued
+  // std::function tasks; ordering between the two classes is otherwise
+  // unspecified.
+  using RawFn = void (*)(void* ctx, std::size_t arg);
+  void submit_raw(RawFn fn, void* ctx, std::size_t arg);
+  // Pre-grows the raw ring to hold at least `capacity` pending tasks.
+  // Grow-only; cheap when already large enough.
+  void reserve_raw(std::size_t capacity);
+
   // Blocks until the queue is empty and no task is running.
   void wait_idle();
 
@@ -43,10 +56,20 @@ class ThreadPool {
   static bool on_worker_thread();
 
  private:
+  struct RawTask {
+    RawFn fn;
+    void* ctx;
+    std::size_t arg;
+  };
+
   void worker_loop();
+  void grow_raw_locked(std::size_t capacity);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
+  std::vector<RawTask> raw_ring_;  // FIFO ring guarded by mutex_
+  std::size_t raw_head_ = 0;
+  std::size_t raw_count_ = 0;
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;

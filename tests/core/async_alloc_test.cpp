@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/async_engine.h"
+#include "core/dep_engine.h"
 #include "comm/simnet.h"
 #include "comm/transports.h"
 #include "comm/world.h"
@@ -113,6 +114,76 @@ TEST(AsyncEngineAlloc, StreamedStepAllocationFreeAfterWarmup) {
               hwm_before.load() / (4 * kWorld))
         << "rank " << r << " workspace slots are not arena-backed";
   }
+}
+
+TEST(AsyncEngineAlloc, DagExecutorStreamedStepAllocationFreeAfterWarmup) {
+  // The DAG-executor path: per-rank DepEngine replay on a pool drives the
+  // notifies (from worker threads), the engine runs two comm lanes with
+  // ordered launch. After warm-up — recorded op graph, raw task ring at
+  // size, lane queues and arenas grown, timing vectors at capacity — the
+  // whole streamed step must still make zero heap allocations.
+  constexpr int kWorld = 2;
+  tensor::LayerLayout layout;
+  layout.add_layer("embed.weight", tensor::Shape{2000, 32});
+  layout.add_layer("block0.attn.weight", tensor::Shape{32, 96});
+  layout.add_layer("block0.attn.bias", tensor::Shape{96});
+  layout.add_layer("block0.ffn.weight", tensor::Shape{32, 128});
+  layout.add_layer("head.weight", tensor::Shape{32, 50});
+
+  AsyncOptions aopts;
+  aopts.bucket_bytes = std::size_t{32} << 10;
+  aopts.comm_lanes = 2;
+  AsyncGradientEngine engine(
+      std::make_unique<CgxEngine>(layout, CompressionConfig::cgx_default(),
+                                  kWorld),
+      aopts);
+  ASSERT_TRUE(engine.ordered_launch());
+
+  comm::ShmTransport transport(kWorld);
+  comm::run_world(transport, [&](comm::Comm& comm) {
+    const int rank = comm.rank();
+    util::ThreadPool pool(3);
+    DepEngine dag(&pool);
+    // One op per layer, independent variables: completions land from
+    // multiple workers in scrambled order, exactly like a branchy model.
+    std::vector<DepEngine::VarId> lvars;
+    for (std::size_t l = 0; l < layout.layer_count(); ++l) {
+      lvars.push_back(dag.new_var());
+    }
+    for (std::size_t l = layout.layer_count(); l-- > 0;) {
+      const DepEngine::VarId w = lvars[l];
+      dag.push([] {}, std::span<const DepEngine::VarId>{},
+               std::span<const DepEngine::VarId>(&w, 1));
+    }
+    dag.set_on_complete([&](DepEngine::OpId id) {
+      engine.notify_layer_ready(
+          rank, layout.layer_count() - 1 - static_cast<std::size_t>(id));
+    });
+
+    util::Rng rng(9200 + static_cast<std::uint64_t>(rank));
+    util::Rng grad_rng(4200 + static_cast<std::uint64_t>(rank));
+    std::vector<float> grad(layout.total_numel());
+    const auto step = [&] {
+      for (auto& v : grad) v = static_cast<float>(grad_rng.next_gaussian());
+      engine.begin_step(comm, grad, rng);
+      dag.run();
+      engine.wait_all(rank);
+    };
+    for (int i = 0; i < 3; ++i) step();  // warm-up
+
+    comm.barrier();
+    if (rank == 0) {
+      g_allocs.store(0);
+      g_counting.store(true);
+    }
+    comm.barrier();
+    for (int i = 0; i < 5; ++i) step();  // counted steady-state window
+    comm.barrier();
+    if (rank == 0) g_counting.store(false);
+  });
+
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "heap allocations observed in the steady-state DAG-executor step";
 }
 
 TEST(AsyncEngineAlloc, TwoLevelStreamedStepAllocationFreeAfterWarmup) {

@@ -24,10 +24,12 @@ for preset in "${presets[@]}"; do
     cmake --preset release
     echo "==== [bench-smoke] build"
     cmake --build build-release -j "$jobs" --target \
-      bench_overlap bench_micro_collectives bench_micro_compressors \
-      bench_micro_compute bench_micro_memory bench_multinode bench_elastic
+      bench_overlap bench_dag_overlap bench_micro_collectives \
+      bench_micro_compressors bench_micro_compute bench_micro_memory \
+      bench_multinode bench_elastic
     echo "==== [bench-smoke] run"
     (cd build-release && ./bench/bench_overlap --smoke)
+    (cd build-release && ./bench/bench_dag_overlap --smoke)
     (cd build-release && ./bench/bench_multinode --smoke)
     (cd build-release && ./bench/bench_elastic --smoke)
     (cd build-release && ./bench/bench_micro_collectives --smoke)
@@ -72,6 +74,10 @@ for preset in "${presets[@]}"; do
     # And the elastic-membership suite by label: crash sweeps, the seeded
     # soak, epoch fencing, and rejoin are the robustness tier-1 gate.
     ctest --test-dir "$builddir" -L elastic --output-on-failure -j "$jobs"
+    # The DAG-executor suite by label: scheduler unit tests, Graph
+    # bit-identity across pool sizes, and the ordered multi-lane streaming
+    # composition (its tsan soaks additionally ride the tsan preset).
+    ctest --test-dir "$builddir" -L dag --output-on-failure -j "$jobs"
   fi
 done
 echo "==== all presets passed"
