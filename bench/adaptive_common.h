@@ -74,6 +74,17 @@ inline void apply_to_engine(const core::Assignment& assignment,
                             const ScaledStats& scaled,
                             core::CgxEngine& engine,
                             std::size_t bucket_size) {
+  if (!assignment.choice.empty()) {
+    // Family-aware plan (DP budget planner): carry the full per-layer
+    // policy — including top-k entries — onto the full-size engine.
+    for (std::size_t l = 0; l < scaled.layout.layer_count(); ++l) {
+      if (assignment.choice[l].method == core::Method::None) continue;
+      engine.config().set_layer_exact(scaled.layout.layer(l).name,
+                                      assignment.choice[l]);
+    }
+    engine.rebuild();
+    return;
+  }
   for (std::size_t l = 0; l < scaled.layout.layer_count(); ++l) {
     if (assignment.bits[l] == 0) continue;
     core::LayerCompression cfg;

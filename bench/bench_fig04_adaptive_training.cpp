@@ -7,6 +7,7 @@
 // Transformer-XL profile on the 8x RTX3090 machine under the same policy —
 // so faster policies genuinely advance further down the curve per second.
 #include "bench/adaptive_common.h"
+#include "core/budget.h"
 #include "data/synthetic.h"
 #include "models/small_models.h"
 #include "nn/train.h"
@@ -109,12 +110,14 @@ int main() {
   core::KMeansAssigner kmeans;
   core::BayesAssigner bayes(25);
   core::LinearAssigner linear;
+  core::DpAssigner dp;
 
   std::vector<Series> series;
   series.push_back(run_scheme("static-4bit", nullptr, txl, machine));
   series.push_back(run_scheme("KMEANS", &kmeans, txl, machine));
   series.push_back(run_scheme("Bayes", &bayes, txl, machine));
   series.push_back(run_scheme("Linear", &linear, txl, machine));
+  series.push_back(run_scheme("DP", &dp, txl, machine));
 
   util::CsvWriter csv("fig04_adaptive_training.csv",
                       {"scheme", "step", "sim_time_s", "perplexity"});

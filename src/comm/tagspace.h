@@ -59,8 +59,9 @@ constexpr int bucket_tag_offset(int bucket) {
 }
 
 // Comm LANES (async_engine's comm_lanes): several comm threads per rank,
-// each draining a disjoint subset of buckets (bucket b rides lane
-// b % lanes, the packet rides its plan index % lanes). Lanes consume no
+// each draining a disjoint subset of buckets (every submission — bucket or
+// packet — rides the single lane its engine's byte-balanced lane map
+// assigns it, fixed until the next rebuild). Lanes consume no
 // extra tags — a bucket keeps its own per-bucket tag pair whichever lane
 // runs it, and no bucket is ever in flight on two lanes at once, so the
 // per-bucket disjointness above IS the per-lane isolation. The cap below

@@ -613,6 +613,17 @@ Assignment BayesAssigner::assign(const GradStatsCollector& stats,
 
 void apply_assignment(const Assignment& a, const tensor::LayerLayout& layout,
                       CompressionConfig& config, std::size_t bucket_size) {
+  if (!a.choice.empty()) {
+    // Family-aware plan (DP budget planner): the choice vector carries the
+    // complete per-layer policy, including sparsification entries the
+    // bits-only path cannot express.
+    CGX_CHECK_EQ(a.choice.size(), layout.layer_count());
+    for (std::size_t l = 0; l < layout.layer_count(); ++l) {
+      if (a.choice[l].method == Method::None) continue;
+      config.set_layer_exact(layout.layer(l).name, a.choice[l]);
+    }
+    return;
+  }
   CGX_CHECK_EQ(a.bits.size(), layout.layer_count());
   for (std::size_t l = 0; l < layout.layer_count(); ++l) {
     if (a.bits[l] == 0) continue;

@@ -77,6 +77,16 @@ struct Assignment {
   double reference_error = 0.0;  // E4 on the same snapshot
   // sum(bits * size) / sum(ref_bits * size): < 1 means better than uniform.
   double relative_size = 1.0;
+  // Full per-layer policy (one per layout layer; method == None for layers
+  // the assigner did not touch). Set by assigners that choose between codec
+  // FAMILIES (the DP budget planner mixes quantization and sparsification);
+  // empty for the legacy bits-only assigners. When non-empty it is the
+  // authoritative plan and `bits` is a quantization-only mirror for legacy
+  // consumers (TopK layers mirror as reference_bits).
+  std::vector<LayerCompression> choice;
+  // Estimated compressed egress per rank per step under `choice` (0 when
+  // choice is empty).
+  double wire_bytes = 0.0;
 };
 
 class Assigner {

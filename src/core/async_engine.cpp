@@ -89,6 +89,7 @@ AsyncGradientEngine::AsyncGradientEngine(std::unique_ptr<CgxEngine> inner,
   // Multiple lanes only stay deadlock-free if every rank feeds each lane
   // the same bucket sequence; canonical-order release guarantees that.
   ordered_ = options_.ordered_launch || lanes_ > 1;
+  build_lane_map();
   resize_rank_state();
   if (options_.overlap) {
     for (int r = 0; r < inner_->world_size(); ++r) {
@@ -154,7 +155,44 @@ void AsyncGradientEngine::rebuild() {
   inner_->rebuild();
   plan_ = build_bucket_plan(inner_->layout(), inner_->resolved(),
                             options_.bucket_bytes);
+  build_lane_map();
   resize_rank_state();
+}
+
+void AsyncGradientEngine::build_lane_map() {
+  const std::size_t total = plan_.total_submissions();
+  lane_of_.assign(total, 0);
+  if (lanes_ <= 1) return;  // single lane: everything rides lane 0, as ever
+  // Greedy byte-balancing over POST-compression wire estimates: each
+  // submission (plan order) goes to the least-loaded lane, ties to the
+  // lowest id. Counting bytes rather than buckets matters once the
+  // adaptive planner mixes codecs — a 0.1% top-k bucket occupies its lane
+  // for a fraction of an 8-bit quantized one. The map is a pure function
+  // of the shared plan + resolved policy, so every rank computes the same
+  // map: per-lane bucket sequences stay identical across ranks (deadlock
+  // freedom) and each bucket keeps a FIXED lane (begun[] stays race-free).
+  const tensor::LayerLayout& layout = inner_->layout();
+  const std::span<const LayerCompression> resolved = inner_->resolved();
+  std::vector<double> load(static_cast<std::size_t>(lanes_), 0.0);
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    double bytes = 0.0;
+    if (plan_.has_packet && idx == plan_.packet_index()) {
+      bytes = 4.0 * static_cast<double>(inner_->packet_numel());
+    } else {
+      for (std::size_t l : plan_.buckets[idx].layers) {
+        const auto& info = layout.layer(l);
+        const std::size_t rows = info.shape.empty() ? 0 : info.shape.front();
+        bytes +=
+            static_cast<double>(wire_bytes(resolved[l], info.numel, rows));
+      }
+    }
+    std::size_t best = 0;
+    for (std::size_t ln = 1; ln < load.size(); ++ln) {
+      if (load[ln] < load[best]) best = ln;
+    }
+    lane_of_[idx] = static_cast<int>(best);
+    load[best] += bytes;
+  }
 }
 
 void AsyncGradientEngine::begin_step(comm::Comm& comm, std::span<float> fused,
@@ -256,7 +294,7 @@ void AsyncGradientEngine::notify_layer_ready(int rank, std::size_t layer) {
 }
 
 void AsyncGradientEngine::submit_locked(RankState& st, std::uint32_t idx) {
-  Lane& lane = *st.lanes[idx % st.lanes.size()];
+  Lane& lane = *st.lanes[static_cast<std::size_t>(lane_of_[idx])];
   // Token = plan index | lane-local submission parity. The parity picks
   // the lane's arena, and because a lane drains tokens in submission
   // order, two adjacent in-flight buckets OF THAT LANE always sit on
@@ -267,7 +305,7 @@ void AsyncGradientEngine::submit_locked(RankState& st, std::uint32_t idx) {
   st.t_last_submit = std::chrono::steady_clock::now();
   StepReport::Timing::BucketEvent& ev = st.report.timing.buckets[idx];
   ev.bucket = static_cast<int>(idx);
-  ev.lane = static_cast<int>(idx % st.lanes.size());
+  ev.lane = lane_of_[idx];
   ev.launch_s = std::chrono::duration<double>(st.t_last_submit - st.t_begin)
                     .count();
   if (!options_.overlap) {
@@ -518,6 +556,7 @@ void AsyncGradientEngine::wait_all(int rank) {
       comm_busy_s > 0.0
           ? 100.0 * report.timing.exposed_comm_s / comm_busy_s
           : 0.0;
+  report.wire_bytes = inner_->cached_wire_bytes();
 
   if (st.failed.load(std::memory_order_acquire)) {
     report.ok = false;

@@ -13,11 +13,13 @@
 //     packet, which ships as one pseudo-bucket once its last gradient
 //     materialises.
 //   * Each rank owns comm_lanes comm threads (lanes), each fed by its own
-//     lock-free single-producer/single-consumer ready queue. Submission i
-//     of the plan rides lane i % comm_lanes on the bucket's own tag range
-//     (comm/tagspace.h, per-bucket disjointness doubles as per-lane
-//     isolation), so on a latency-bound fabric independent buckets drain
-//     in parallel while backward keeps producing gradients.
+//     lock-free single-producer/single-consumer ready queue. Submissions
+//     ride the lanes of a FIXED byte-balanced lane map (build_lane_map():
+//     greedy least-loaded over post-compression wire-byte estimates, a
+//     pure function of the shared plan so all ranks agree) on the bucket's
+//     own tag range (comm/tagspace.h, per-bucket disjointness doubles as
+//     per-lane isolation), so on a latency-bound fabric independent
+//     buckets drain in parallel while backward keeps producing gradients.
 //   * notify_layer_ready() may be called concurrently (a DAG-scheduled
 //     backward fires hooks from pool workers); a producer-side mutex
 //     serialises the countdowns. With ordered_launch, completed buckets
@@ -77,10 +79,12 @@ struct AsyncOptions {
   // recovery resets inbound channels, which would eat the pipelined
   // bucket's frames.
   bool pipeline = true;
-  // Comm threads per rank. Submission i rides lane i % comm_lanes; with a
-  // latency-bound transport, lanes drain independent buckets in parallel.
-  // Clamped to comm::kMaxCommLanes; forced to 1 when overlap is off or
-  // the inner engine retries rounds. comm_lanes > 1 implies
+  // Comm threads per rank. Submissions are spread over the lanes by a
+  // byte-balanced map (estimated post-compression wire bytes, not bucket
+  // counts — a top-k bucket costs far less lane time than an 8-bit one);
+  // with a latency-bound transport, lanes drain independent buckets in
+  // parallel. Clamped to comm::kMaxCommLanes; forced to 1 when overlap is
+  // off or the inner engine retries rounds. comm_lanes > 1 implies
   // ordered_launch (per-lane submission order must match across ranks).
   int comm_lanes = 1;
   // Release completed buckets to the lanes in canonical plan order
@@ -169,6 +173,9 @@ class AsyncGradientEngine final : public GradientEngine {
   const tensor::LayerLayout& layout() const { return inner_->layout(); }
   int comm_lanes() const { return lanes_; }
   bool ordered_launch() const { return ordered_; }
+  // Lane the byte-balanced map (DESIGN.md §5j) assigns to submission
+  // `idx`; all zeros when comm_lanes == 1. Fixed until the next rebuild.
+  int lane_of(std::size_t idx) const { return lane_of_[idx]; }
 
   // What happened to `rank`'s most recent step: bucket attempts/retries,
   // incidents, and the per-phase Timing breakdown (including per-bucket
@@ -227,8 +234,8 @@ class AsyncGradientEngine final : public GradientEngine {
     std::chrono::steady_clock::time_point t_last_submit;
 
     // Comm-path state. begun[b] is raced-free without the mutex because
-    // bucket b always rides lane b % lanes. rounds keys the fault
-    // injector and is monotone across steps (never reset).
+    // bucket b always rides the one lane lane_of_[b] names. rounds keys
+    // the fault injector and is monotone across steps (never reset).
     std::vector<std::uint8_t> begun;  // bucket began early (pipelining)
     std::atomic<std::uint64_t> rounds{0};
     CollectiveWorkspace packet_ws;
@@ -246,10 +253,14 @@ class AsyncGradientEngine final : public GradientEngine {
                           std::size_t bucket, CollectiveWorkspace& ws);
   void comm_thread_main(int rank, int lane_id);
   void resize_rank_state();
+  void build_lane_map();
 
   std::unique_ptr<CgxEngine> inner_;
   AsyncOptions options_;
   BucketPlan plan_;
+  // Submission plan index -> lane id: greedy byte-balanced, rebuilt with
+  // the plan. All zeros when lanes_ == 1 (bit-identical legacy path).
+  std::vector<int> lane_of_;
   bool pipeline_enabled_ = false;
   int lanes_ = 1;        // resolved comm_lanes (clamped / forced to 1)
   bool ordered_ = false; // resolved ordered_launch (implied by lanes_ > 1)

@@ -1,0 +1,366 @@
+#include "core/budget.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "core/topk.h"
+#include "util/check.h"
+
+namespace cgx::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Measured L2^2 reconstruction error of one candidate on a layer snapshot.
+// Stateful wrappers are stripped for the measurement: error feedback with a
+// zero residual compresses identically to the bare operator, and DGC's
+// velocity store is not meaningful on a one-shot probe — the instantaneous
+// top-k drop error is the right (conservative) stand-in for both.
+double candidate_sq_error(std::span<const float> snapshot,
+                          const LayerCompression& cfg, std::size_t rows,
+                          util::Rng& rng) {
+  if (snapshot.empty() || cfg.method == Method::None) return 0.0;
+  LayerCompression probe = cfg;
+  probe.error_feedback = false;
+  probe.dgc = false;
+  auto compressor = make_compressor(probe, rows);
+  std::vector<std::byte> payload(
+      compressor->compressed_size(snapshot.size()));
+  std::vector<float> restored(snapshot.size());
+  const std::size_t written = compressor->compress(snapshot, payload, rng);
+  compressor->decompress(std::span<const std::byte>(payload).first(written),
+                         restored);
+  double err = 0.0;
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const double d = static_cast<double>(restored[i]) - snapshot[i];
+    err += d * d;
+  }
+  return err;
+}
+
+struct Candidate {
+  LayerCompression cfg;
+  double err_sq = 0.0;
+  double wire = 0.0;
+  std::size_t weight = 0;  // err_sq ceil-quantized into budget units
+};
+
+std::vector<double> parse_doubles(const std::string& list) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string item = list.substr(pos, comma - pos);
+    if (!item.empty()) out.push_back(std::strtod(item.c_str(), nullptr));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- menu
+
+BudgetMenu BudgetMenu::parse(const std::string& spec) {
+  BudgetMenu menu;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t semi = spec.find(';', pos);
+    if (semi == std::string::npos) semi = spec.size();
+    const std::string section = spec.substr(pos, semi - pos);
+    pos = semi + 1;
+    const std::size_t colon = section.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string key = section.substr(0, colon);
+    const std::string value = section.substr(colon + 1);
+    if (key == "qsgd" || key == "nuq") {
+      std::vector<unsigned> bits;
+      for (double d : parse_doubles(value)) {
+        if (d >= 1.0 && d <= 8.0) bits.push_back(static_cast<unsigned>(d));
+      }
+      (key == "qsgd" ? menu.qsgd_bits : menu.nuq_bits) = std::move(bits);
+    } else if (key == "topk") {
+      std::vector<double> ratios;
+      for (double d : parse_doubles(value)) {
+        if (d > 0.0 && d <= 1.0) ratios.push_back(d);
+      }
+      menu.topk_ratios = std::move(ratios);
+    } else if (key == "dgc") {
+      menu.dgc = value == "on" || value == "1" || value == "true";
+    }
+    // Unknown keys are ignored so the env override stays forward-compatible.
+  }
+  return menu;
+}
+
+BudgetMenu BudgetMenu::from_env() {
+  if (const char* env = std::getenv("CGX_ADAPTIVE_MENU")) {
+    return parse(env);
+  }
+  return BudgetMenu{};
+}
+
+// --------------------------------------------------------------- planner
+
+BudgetPlanner::BudgetPlanner(PlannerOptions options)
+    : options_(std::move(options)) {
+  CGX_CHECK_GT(options_.alpha, 0.0);
+  CGX_CHECK_GT(options_.reference_bits, 0u);
+}
+
+BudgetPlan BudgetPlanner::solve(const GradStatsCollector& stats,
+                                const std::vector<bool>& compressible,
+                                util::Rng& rng) const {
+  const tensor::LayerLayout& layout = stats.layout();
+  const std::size_t layer_count = layout.layer_count();
+  CGX_CHECK_EQ(compressible.size(), layer_count);
+
+  BudgetPlan plan;
+  plan.choice.assign(layer_count, LayerCompression{});
+  for (auto& c : plan.choice) c.method = Method::None;
+  plan.bits.assign(layer_count, 0u);
+
+  std::vector<std::size_t> idx;
+  for (std::size_t l = 0; l < layer_count; ++l) {
+    if (compressible[l] && layout.layer(l).numel > 0) idx.push_back(l);
+  }
+  if (idx.empty()) return plan;
+
+  const BudgetMenu& menu = options_.menu;
+
+  // Reference error E4^2 and the uniform reference plan (the guaranteed
+  // fallback). Split ids keep every measurement's stream independent of
+  // evaluation order: candidate c of layer l always sees the same bits.
+  LayerCompression ref_cfg;
+  ref_cfg.method = Method::Qsgd;
+  ref_cfg.bits = options_.reference_bits;
+  ref_cfg.bucket_size = options_.bucket_size;
+  std::vector<double> ref_sq(layer_count, 0.0);
+  for (std::size_t l : idx) {
+    const auto& info = layout.layer(l);
+    const std::size_t rows = info.shape.empty() ? 0 : info.shape.front();
+    util::Rng child = rng.split(l * 1024 + 1000);
+    ref_sq[l] = candidate_sq_error(stats.accumulated(l), ref_cfg, rows, child);
+    plan.reference_sq += ref_sq[l];
+    plan.reference_wire_bytes +=
+        static_cast<double>(wire_bytes(ref_cfg, info.numel, rows));
+  }
+  plan.budget_sq = options_.alpha * options_.alpha * plan.reference_sq;
+
+  auto fallback_reference = [&] {
+    plan.total_sq_error = 0.0;
+    plan.wire_bytes = 0.0;
+    for (std::size_t l : idx) {
+      plan.choice[l] = ref_cfg;
+      plan.bits[l] = options_.reference_bits;
+      plan.total_sq_error += ref_sq[l];
+      const auto& info = layout.layer(l);
+      const std::size_t rows = info.shape.empty() ? 0 : info.shape.front();
+      plan.wire_bytes +=
+          static_cast<double>(wire_bytes(ref_cfg, info.numel, rows));
+    }
+    return plan;
+  };
+  if (!(plan.budget_sq > 0.0)) return fallback_reference();
+
+  // Weight resolution: >= 4 bins per layer keeps the uniform reference plan
+  // representable after ceil rounding (sum of per-layer +1 slack <= L <=
+  // bins/4, on top of reference weight <= bins/alpha^2).
+  const std::size_t bins = std::max(options_.error_bins, 4 * idx.size());
+  const double unit = plan.budget_sq / static_cast<double>(bins);
+
+  // Candidate menus per compressible layer.
+  std::vector<std::vector<Candidate>> menus(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const std::size_t l = idx[i];
+    const auto& info = layout.layer(l);
+    const std::size_t rows = info.shape.empty() ? 0 : info.shape.front();
+    const std::span<const float> snapshot = stats.accumulated(l);
+    std::size_t c = 0;
+    auto consider = [&](const LayerCompression& cfg) {
+      util::Rng child = rng.split(l * 1024 + c);
+      ++c;
+      Candidate cand;
+      cand.cfg = cfg;
+      cand.err_sq = candidate_sq_error(snapshot, cfg, rows, child);
+      cand.wire = static_cast<double>(wire_bytes(cfg, info.numel, rows));
+      const double charged =
+          cand.err_sq * (cfg.method == Method::TopK
+                             ? options_.topk_error_inflation
+                             : 1.0);
+      cand.weight =
+          charged <= 0.0
+              ? 0
+              : static_cast<std::size_t>(std::ceil(charged / unit));
+      if (cand.weight <= bins) menus[i].push_back(cand);
+    };
+    for (unsigned bits : menu.qsgd_bits) {
+      LayerCompression cfg;
+      cfg.method = Method::Qsgd;
+      cfg.bits = bits;
+      cfg.bucket_size = options_.bucket_size;
+      consider(cfg);
+    }
+    for (unsigned bits : menu.nuq_bits) {
+      LayerCompression cfg;
+      cfg.method = Method::Nuq;
+      cfg.bits = bits;
+      cfg.bucket_size = options_.bucket_size;
+      consider(cfg);
+    }
+    for (double ratio : menu.topk_ratios) {
+      LayerCompression cfg;
+      cfg.method = Method::TopK;
+      cfg.topk_ratio = ratio;
+      cfg.bucket_size = options_.bucket_size;
+      if (menu.dgc) {
+        cfg.dgc = true;
+        cfg.dgc_momentum = menu.dgc_momentum;
+        cfg.dgc_clip = menu.dgc_clip;
+      } else {
+        cfg.error_feedback = true;  // plain biased top-k needs EF
+      }
+      consider(cfg);
+    }
+    if (menus[i].empty()) {
+      // Every menu entry blows the whole budget on this layer alone; pin it
+      // to the reference so the DP stays feasible.
+      Candidate cand;
+      cand.cfg = ref_cfg;
+      cand.err_sq = ref_sq[l];
+      cand.wire = static_cast<double>(wire_bytes(ref_cfg, info.numel, rows));
+      cand.weight = std::min(
+          bins, static_cast<std::size_t>(std::ceil(ref_sq[l] / unit)));
+      menus[i].push_back(cand);
+    }
+  }
+
+  // Multiple-choice knapsack: dp[w] = min wire bytes over the layers so far
+  // with quantized error weight exactly w; pick[i][w] = the candidate that
+  // produced dp state w at layer i (backtracking pointer).
+  std::vector<double> dp(bins + 1, kInf);
+  std::vector<double> next(bins + 1, kInf);
+  std::vector<std::vector<int>> pick(idx.size(),
+                                     std::vector<int>(bins + 1, -1));
+  dp[0] = 0.0;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    std::fill(next.begin(), next.end(), kInf);
+    for (std::size_t w = 0; w <= bins; ++w) {
+      if (dp[w] == kInf) continue;
+      for (std::size_t c = 0; c < menus[i].size(); ++c) {
+        const Candidate& cand = menus[i][c];
+        const std::size_t nw = w + cand.weight;
+        if (nw > bins) continue;
+        const double bytes = dp[w] + cand.wire;
+        if (bytes < next[nw]) {
+          next[nw] = bytes;
+          pick[i][nw] = static_cast<int>(c);
+        }
+      }
+    }
+    dp.swap(next);
+  }
+
+  std::size_t best_w = 0;
+  double best_bytes = kInf;
+  for (std::size_t w = 0; w <= bins; ++w) {
+    if (dp[w] < best_bytes) {
+      best_bytes = dp[w];
+      best_w = w;
+    }
+  }
+  if (best_bytes == kInf) return fallback_reference();
+
+  // Backtrack the chosen candidate per layer.
+  std::size_t w = best_w;
+  for (std::size_t i = idx.size(); i-- > 0;) {
+    const int c = pick[i][w];
+    CGX_CHECK_GE(c, 0);
+    const Candidate& cand = menus[i][static_cast<std::size_t>(c)];
+    const std::size_t l = idx[i];
+    plan.choice[l] = cand.cfg;
+    // Legacy bits mirror: quantized layers report their width; sparsified
+    // layers report the reference width (the closest bits-only stand-in).
+    plan.bits[l] = cand.cfg.method == Method::TopK ? options_.reference_bits
+                                                   : cand.cfg.bits;
+    plan.total_sq_error += cand.err_sq;
+    plan.wire_bytes += cand.wire;
+    w -= cand.weight;
+  }
+  CGX_CHECK_EQ(w, 0u);
+  return plan;
+}
+
+// -------------------------------------------------------------- assigner
+
+Assignment DpAssigner::assign(const GradStatsCollector& stats,
+                              const std::vector<bool>& compressible,
+                              const AdaptiveOptions& options,
+                              util::Rng& rng) {
+  PlannerOptions popts;
+  popts.menu = menu_;
+  popts.alpha = options.alpha;
+  popts.reference_bits = options.reference_bits;
+  popts.bucket_size = options.bucket_size;
+  const BudgetPlan plan = BudgetPlanner(popts).solve(stats, compressible, rng);
+
+  Assignment a;
+  a.bits = plan.bits;
+  a.choice = plan.choice;
+  a.measured_error = std::sqrt(plan.total_sq_error);
+  a.reference_error = std::sqrt(plan.reference_sq);
+  a.relative_size = plan.reference_wire_bytes > 0.0
+                        ? plan.wire_bytes / plan.reference_wire_bytes
+                        : 1.0;
+  a.wire_bytes = plan.wire_bytes;
+  return a;
+}
+
+// ------------------------------------------------------------ controller
+
+PolicyController::PolicyController(const tensor::LayerLayout& layout,
+                                   Assigner& assigner, std::size_t period,
+                                   std::uint64_t seed)
+    : stats_(layout),
+      assigner_(assigner),
+      period_(period == 0 ? 1 : period),
+      seed_(seed) {}
+
+void PolicyController::observe_step(std::span<const float> fused) {
+  stats_.accumulate(fused);
+}
+
+bool PolicyController::due(std::size_t step) const {
+  return step > 0 && step % period_ == 0 && stats_.steps() > 0;
+}
+
+Assignment PolicyController::replan(std::size_t step,
+                                    const std::vector<bool>& compressible,
+                                    const AdaptiveOptions& options,
+                                    CompressionConfig& config,
+                                    double ef_residual_norm) {
+  if (auto* dp = dynamic_cast<DpAssigner*>(&assigner_)) {
+    // Residual runaway guard: a residual norm that more than doubled since
+    // the previous replan means sparsification is accumulating error faster
+    // than it drains — retire the most aggressive density before re-solving.
+    if (last_residual_norm_ > 0.0 &&
+        ef_residual_norm > 2.0 * last_residual_norm_ &&
+        dp->menu().topk_ratios.size() > 1) {
+      auto& ratios = dp->menu().topk_ratios;
+      ratios.erase(std::min_element(ratios.begin(), ratios.end()));
+    }
+  }
+  last_residual_norm_ = ef_residual_norm;
+
+  util::Rng rng(seed_ + 777 + step);
+  Assignment assignment =
+      assigner_.assign(stats_, compressible, options, rng);
+  apply_assignment(assignment, stats_.layout(), config, options.bucket_size);
+  stats_.reset();
+  return assignment;
+}
+
+}  // namespace cgx::core

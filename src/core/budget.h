@@ -1,0 +1,169 @@
+// Global compression-budget planner (ROADMAP item 2, after L-GreCo —
+// Markov et al.): pick a per-layer codec + parameter from a candidate MENU
+// spanning two families (QSGD/NUQ quantization at several bit-widths,
+// DGC/plain top-k sparsification at several densities) so that total wire
+// bytes are minimized subject to the paper's global error budget
+//
+//     sum_l err_l^2  <=  (alpha * E4)^2
+//
+// where E4 is the measured error of the uniform reference_bits assignment
+// on the same gradient snapshot (core/adaptive.h's constraint, unchanged).
+//
+// The solver is an exact multiple-choice knapsack over DISCRETIZED error
+// weights: each layer x candidate pair's measured squared error is
+// ceil-quantized into `error_bins` units of budget, then a DP over layers
+// finds the byte-minimal selection whose total weight fits the budget.
+// Ceil-quantization only over-counts error, so any DP-feasible plan is
+// feasible in real error too; the uniform reference plan stays
+// representable because bins scale with the layer count (>= 4L bins keeps
+// the per-layer +1 rounding slack under the alpha^2 headroom for
+// alpha >= 2/sqrt(3)).
+//
+// Everything here runs at replan boundaries (every controller period), not
+// per step, so the per-candidate compress/decompress measurements and the
+// DP table are deliberately allowed to allocate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/adaptive.h"
+#include "core/compression_config.h"
+#include "tensor/layer_layout.h"
+#include "util/rng.h"
+
+namespace cgx::core {
+
+// The candidate menu the planner chooses from, per layer. An empty family
+// vector disables that family.
+struct BudgetMenu {
+  std::vector<unsigned> qsgd_bits = {2, 3, 4, 6, 8};
+  std::vector<unsigned> nuq_bits = {2, 3, 4, 6, 8};
+  std::vector<double> topk_ratios = {0.001, 0.01, 0.1};
+  // Sparsified layers use DGC (momentum correction + local clipping) rather
+  // than plain top-k + error feedback. Off = plain top-k with EF.
+  bool dgc = true;
+  float dgc_momentum = 0.9f;
+  double dgc_clip = 2.5;
+
+  // Parses "qsgd:2,3,4,6,8;nuq:4,8;topk:0.001,0.01,0.1;dgc:on".
+  // Families absent from the string keep their defaults; "qsgd:" (empty
+  // list) disables a family; unknown keys are ignored.
+  static BudgetMenu parse(const std::string& spec);
+  // parse(CGX_ADAPTIVE_MENU) if the env var is set, defaults otherwise.
+  static BudgetMenu from_env();
+
+  std::size_t candidate_count() const {
+    return qsgd_bits.size() + nuq_bits.size() + topk_ratios.size();
+  }
+};
+
+struct PlannerOptions {
+  BudgetMenu menu;
+  double alpha = 2.0;           // error budget multiplier over E4
+  unsigned reference_bits = 4;  // the "known good" uniform assignment
+  std::size_t error_bins = 512; // DP weight resolution (floor; see solve())
+  std::size_t bucket_size = 128;
+  // Sparsifiers are charged more budget than their one-shot drop error: a
+  // coordinate dropped by top-k at density d stays in the error-feedback /
+  // DGC residual for ~1/d steps, so the one-shot measurement understates
+  // the training-dynamics cost. Only the DP weight is inflated; reported
+  // plan errors stay the honest measurement.
+  double topk_error_inflation = 8.0;
+};
+
+// One solved plan. `choice` is per layout layer (Method::None for layers
+// the planner was not allowed to touch).
+struct BudgetPlan {
+  std::vector<LayerCompression> choice;
+  std::vector<unsigned> bits;   // quantization-only mirror (legacy surface)
+  double total_sq_error = 0.0;  // measured, of the chosen plan
+  double budget_sq = 0.0;       // (alpha * E4)^2
+  double reference_sq = 0.0;    // E4^2
+  double wire_bytes = 0.0;      // estimated egress under `choice`
+  double reference_wire_bytes = 0.0;  // same estimate, uniform reference
+};
+
+class BudgetPlanner {
+ public:
+  explicit BudgetPlanner(PlannerOptions options = {});
+
+  // Deterministic for a given (stats, compressible, rng seed): every
+  // (layer, candidate) error measurement uses its own split of `rng`, so
+  // the result is independent of evaluation order.
+  BudgetPlan solve(const GradStatsCollector& stats,
+                   const std::vector<bool>& compressible,
+                   util::Rng& rng) const;
+
+  const PlannerOptions& options() const { return options_; }
+
+ private:
+  PlannerOptions options_;
+};
+
+// Assigner facade over BudgetPlanner, pluggable wherever the k-means /
+// linear / Bayes assigners go (fig04/fig05 harness, trainer, benches).
+// AdaptiveOptions supplies alpha / reference_bits / bucket_size; the menu
+// comes from this assigner.
+class DpAssigner final : public Assigner {
+ public:
+  explicit DpAssigner(BudgetMenu menu = BudgetMenu::from_env())
+      : menu_(std::move(menu)) {}
+
+  Assignment assign(const GradStatsCollector& stats,
+                    const std::vector<bool>& compressible,
+                    const AdaptiveOptions& options, util::Rng& rng) override;
+  std::string name() const override { return "DP"; }
+
+  BudgetMenu& menu() { return menu_; }
+  const BudgetMenu& menu() const { return menu_; }
+
+ private:
+  BudgetMenu menu_;
+};
+
+// Live policy controller: accumulates per-layer gradient statistics every
+// step, re-solves the assignment every `period` steps through whichever
+// Assigner it was given, and applies the result to the engine config (the
+// caller still runs the engine's differential rebuild() afterwards, which
+// keeps unchanged layers' compressors and arenas warm).
+//
+// Telemetry guard-rail: the controller watches the engine's unsent-residual
+// norm (StepReport-side `CgxEngine::ef_residual_norm`). If the residual
+// norm more than doubles between consecutive replans — sparsification
+// starving some layer faster than error feedback drains it — and the
+// assigner is a DpAssigner, the most aggressive top-k density is dropped
+// from its menu before re-solving.
+class PolicyController {
+ public:
+  PolicyController(const tensor::LayerLayout& layout, Assigner& assigner,
+                   std::size_t period, std::uint64_t seed);
+
+  // Once per step, with this rank's fused gradient (pre-update).
+  void observe_step(std::span<const float> fused);
+
+  // True when `step` is a replan boundary with at least one observed step.
+  bool due(std::size_t step) const;
+
+  // Re-solve and apply to `config`. Deterministic per (seed, step): the
+  // assigner rng is seeded `seed + 777 + step`, matching the legacy trainer
+  // wiring bit-for-bit for the k-means/linear/Bayes assigners.
+  Assignment replan(std::size_t step, const std::vector<bool>& compressible,
+                    const AdaptiveOptions& options, CompressionConfig& config,
+                    double ef_residual_norm);
+
+  GradStatsCollector& stats() { return stats_; }
+  const Assigner& assigner() const { return assigner_; }
+  std::size_t period() const { return period_; }
+
+ private:
+  GradStatsCollector stats_;
+  Assigner& assigner_;
+  std::size_t period_;
+  std::uint64_t seed_;
+  double last_residual_norm_ = 0.0;
+};
+
+}  // namespace cgx::core

@@ -130,7 +130,12 @@ std::unique_ptr<Compressor> make_compressor(const LayerCompression& cfg,
       compressor = std::make_unique<NuqCompressor>(cfg.bits, cfg.bucket_size);
       break;
     case Method::TopK:
-      compressor = std::make_unique<TopKCompressor>(cfg.topk_ratio);
+      if (cfg.dgc) {
+        compressor = std::make_unique<DgcTopK>(cfg.topk_ratio,
+                                               cfg.dgc_momentum, cfg.dgc_clip);
+      } else {
+        compressor = std::make_unique<TopKCompressor>(cfg.topk_ratio);
+      }
       break;
     case Method::PowerSgd:
       compressor = std::make_unique<PowerSgdCompressor>(layer_rows, cfg.rank,
@@ -146,7 +151,9 @@ std::unique_ptr<Compressor> make_compressor(const LayerCompression& cfg,
       compressor = std::make_unique<FakeCompressor>(cfg.fake_ratio);
       break;
   }
-  if (cfg.error_feedback) {
+  // DGC's velocity store IS the residual; wrapping it in ErrorFeedback would
+  // accumulate the error twice.
+  if (cfg.error_feedback && !(cfg.method == Method::TopK && cfg.dgc)) {
     compressor = std::make_unique<ErrorFeedback>(std::move(compressor));
   }
   return compressor;

@@ -44,6 +44,12 @@ struct LayerCompression {
   unsigned rank = 4;              // PowerSgd
   double fake_ratio = 1.0;        // Fake
   bool error_feedback = false;    // wrap in ErrorFeedback
+  // DGC-style top-k (momentum correction + local clipping). Only meaningful
+  // with method == TopK; the velocity store doubles as the residual, so
+  // error_feedback is ignored for DGC layers (no double accumulation).
+  bool dgc = false;
+  float dgc_momentum = 0.9f;
+  double dgc_clip = 2.5;
   bool powersgd_fp16 = false;     // demonstrate the FP16 divergence (§6.2)
 };
 

@@ -7,8 +7,10 @@
 #include "comm/membership.h"
 #include "comm/tagspace.h"
 #include "comm/topology.h"
+#include "core/error_feedback.h"
 #include "core/hierarchical.h"
 #include "core/qsgd.h"
+#include "core/topk.h"
 #include "tensor/tensor_ops.h"
 #include "util/arena.h"
 #include "util/check.h"
@@ -113,7 +115,8 @@ bool same_policy(const LayerCompression& a, const LayerCompression& b) {
          a.bucket_size == b.bucket_size && a.topk_ratio == b.topk_ratio &&
          a.rank == b.rank && a.fake_ratio == b.fake_ratio &&
          a.error_feedback == b.error_feedback &&
-         a.powersgd_fp16 == b.powersgd_fp16;
+         a.powersgd_fp16 == b.powersgd_fp16 && a.dgc == b.dgc &&
+         a.dgc_momentum == b.dgc_momentum && a.dgc_clip == b.dgc_clip;
 }
 
 double hierarchical_layer_seconds(const simgpu::CostModel& cost,
@@ -219,6 +222,7 @@ void CgxEngine::rebuild() {
       }
     }
   }
+  wire_bytes_cached_ = wire_bytes_per_rank(options_.scheme);
 }
 
 void CgxEngine::finish_report(RankState& state) {
@@ -230,6 +234,7 @@ void CgxEngine::finish_report(RankState& state) {
   const int last = state.last_world == 0 ? world_size_ : state.last_world;
   report.departed = std::max(0, last - active_world_);
   report.joined = std::max(0, active_world_ - last);
+  report.wire_bytes = wire_bytes_cached_;
   state.last_world = active_world_;
 }
 
@@ -430,6 +435,7 @@ void CgxEngine::apply_view(const comm::WorldView& view) {
       }
     }
   }
+  wire_bytes_cached_ = wire_bytes_per_rank(options_.scheme);
 }
 
 void CgxEngine::allreduce_attempt(comm::Comm& comm, std::span<float> fused,
@@ -564,6 +570,23 @@ void CgxEngine::packet_allreduce(comm::Comm& comm, std::span<float> fused,
     tensor::copy(packet.subspan(offset, slice.size()), slice);
     offset += slice.size();
   }
+}
+
+double CgxEngine::ef_residual_norm(int rank) const {
+  // Summed (not root-of-sum-of-squares) across chunks: the controller only
+  // watches the trend between replans, so any consistent aggregate works.
+  double total = 0.0;
+  const RankState& state = ranks_[static_cast<std::size_t>(rank)];
+  for (const auto& chunks : state.per_layer) {
+    for (const auto& c : chunks) {
+      if (const auto* ef = dynamic_cast<const ErrorFeedback*>(c.get())) {
+        total += ef->residual_norm();
+      } else if (const auto* dgc = dynamic_cast<const DgcTopK*>(c.get())) {
+        total += dgc->residual_norm();
+      }
+    }
+  }
+  return total;
 }
 
 std::size_t CgxEngine::scratch_high_water_bytes() const {

@@ -125,6 +125,10 @@ struct StepReport {
   int world = 0;
   int departed = 0;
   int joined = 0;
+  // Compressed egress per rank for this step under the engine's current
+  // policy (cached at rebuild time — wire_bytes_per_rank() is too expensive
+  // to evaluate per step). The adaptive policy controller's telemetry.
+  double wire_bytes = 0.0;
   std::vector<Incident> incidents;
   Timing timing;
 };
@@ -251,6 +255,15 @@ class CgxEngine final : public GradientEngine {
   double wire_bytes_per_rank(comm::ReductionScheme scheme) const;
   double raw_wire_bytes_per_rank(comm::ReductionScheme scheme) const;
 
+  // wire_bytes_per_rank(options().scheme), cached at rebuild()/apply_view()
+  // time so StepReport::wire_bytes costs nothing per step.
+  double cached_wire_bytes() const { return wire_bytes_cached_; }
+
+  // Total L2 norm of `rank`'s unsent compression residuals (ErrorFeedback
+  // residuals + DGC velocity stores, summed over layer chunks). Walks every
+  // compressor, so call it at replan boundaries, not per step.
+  double ef_residual_norm(int rank) const;
+
   // Total scratch held across all ranks: per-rank workspace high-water
   // marks plus compressor-internal symbol buffers. Monotone; the
   // zero-allocation test asserts it stabilizes after the first step.
@@ -304,6 +317,7 @@ class CgxEngine final : public GradientEngine {
   // stays keyed by GLOBAL rank — a survivor keeps its slot across shrinks.
   int active_world_ = 0;
   std::uint64_t applied_epoch_ = 0;
+  double wire_bytes_cached_ = 0.0;  // see cached_wire_bytes()
   std::vector<RankState> ranks_;
 };
 

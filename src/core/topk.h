@@ -12,6 +12,7 @@
 #pragma once
 
 #include "core/compressor.h"
+#include "util/arena.h"
 
 namespace cgx::core {
 
@@ -28,9 +29,65 @@ class TopKCompressor final : public Compressor {
 
   double ratio() const { return ratio_; }
   std::size_t k_for(std::size_t n) const;
+  std::size_t scratch_bytes() const override;
 
  private:
   double ratio_;
+  // Selection scratch (grow-only, arena-backed): the hot compress path must
+  // stay allocation-free in steady state, same contract as QSGD's buckets.
+  util::ArenaBuffer<std::uint32_t> order_;
+};
+
+// DGC-style top-k (Deep Gradient Compression, Lin et al.): momentum
+// correction plus local gradient clipping on top of the plain TopK wire
+// format, which is what lets sparsification reach 100-600x ratios without
+// losing accuracy. Per step, on this instance's chunk:
+//
+//   g'  = clip(g)                       (norm-clip against a running EMA)
+//   u  <- m * u + g'                    (momentum correction)
+//   v  <- v + u                         (velocity == the residual store)
+//   send top-k of |v|; u[i] = v[i] = 0 at the selected indices.
+//
+// Accumulating the *momentum-corrected* gradient in v (rather than the raw
+// gradient, as plain error feedback would) is DGC's fix for the stale-
+// momentum problem: when an element finally ships after T steps of
+// accumulation, it carries the same momentum-weighted sum it would have
+// contributed densely. v IS the residual, so DgcTopK must NOT be wrapped in
+// ErrorFeedback — make_compressor() skips the wrapper when cfg.dgc is set.
+//
+// The wire format (and compressed_size) is exactly TopKCompressor's, so the
+// collectives, bucket fusion, and the hierarchical node-boundary
+// re-compression all work unchanged; like every stateful operator the
+// engine binds one instance per (rank, layer-chunk).
+class DgcTopK final : public Compressor {
+ public:
+  // momentum in [0, 1); clip <= 0 disables local gradient clipping,
+  // otherwise incoming gradients are scaled down to at most
+  // clip * EMA(||g||) (the local analogue of DGC's gradient clipping).
+  DgcTopK(double ratio, float momentum = 0.9f, double clip = 2.5);
+
+  std::size_t compressed_size(std::size_t n) const override;
+  std::size_t compress(std::span<const float> in, std::span<std::byte> out,
+                       util::Rng& rng) override;
+  void decompress(std::span<const std::byte> in,
+                  std::span<float> out) override;
+  std::string name() const override;
+  std::size_t scratch_bytes() const override;
+
+  double ratio() const { return inner_.ratio(); }
+  float momentum() const { return momentum_; }
+  // L2 norm of the unsent velocity v — the residual the policy controller's
+  // telemetry watches (same contract as ErrorFeedback::residual_norm).
+  double residual_norm() const;
+
+ private:
+  TopKCompressor inner_;
+  float momentum_;
+  double clip_;
+  double norm_ema_ = 0.0;  // running EMA of the incoming gradient norm
+  // Arena-aware grow-only state, same lifecycle as EF residuals.
+  util::ArenaBuffer<float> u_;  // momentum accumulator
+  util::ArenaBuffer<float> v_;  // velocity / residual store
 };
 
 }  // namespace cgx::core

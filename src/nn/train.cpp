@@ -6,6 +6,7 @@
 #include "comm/collectives.h"
 #include "comm/membership.h"
 #include "core/async_engine.h"
+#include "core/budget.h"
 #include "nn/graph.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
@@ -156,7 +157,17 @@ TrainResult train_distributed(const ModelFactory& model_factory,
     }
   }
 
-  core::GradStatsCollector stats(layout);
+  // Live adaptive policy pipeline (core/budget.h): rank 0 feeds per-step
+  // gradient stats into the controller, which re-solves the assignment
+  // every reassign_every steps through whichever Assigner the caller chose
+  // (k-means heuristic or the DP budget planner) and applies it to the
+  // engine config; the trainer then runs the differential rebuild.
+  std::unique_ptr<core::PolicyController> controller;
+  if (adaptive) {
+    controller = std::make_unique<core::PolicyController>(
+        layout, *options.assigner,
+        static_cast<std::size_t>(options.reassign_every), options.seed);
+  }
   TrainResult result;
   std::mutex result_mutex;
 
@@ -340,9 +351,12 @@ TrainResult train_distributed(const ModelFactory& model_factory,
         std::lock_guard<std::mutex> lock(result_mutex);
         result.loss_history.push_back(l);
         if (options.on_step) options.on_step(step, l);
-        if (adaptive) stats.accumulate(fused);
+        if (adaptive) controller->observe_step(fused);
       }
 
+      // Replan boundary: pure arithmetic on every rank (the shared
+      // controller's internals are only ever touched from dense rank 0, so
+      // no cross-rank reads race its stats).
       if (adaptive && (step + 1) % options.reassign_every == 0) {
         comm.barrier();  // quiesce before mutating the shared engine
         if (rank == 0) {
@@ -351,11 +365,9 @@ TrainResult train_distributed(const ModelFactory& model_factory,
           for (const auto& cfg : cgx->resolved()) {
             compressible.push_back(cfg.method != core::Method::None);
           }
-          util::Rng assign_rng(options.seed + 777 + step);
-          core::Assignment assignment = options.assigner->assign(
-              stats, compressible, options.adaptive, assign_rng);
-          core::apply_assignment(assignment, layout, cgx->config(),
-                                 options.adaptive.bucket_size);
+          core::Assignment assignment = controller->replan(
+              step, compressible, options.adaptive, cgx->config(),
+              cgx->ef_residual_norm(0));
           // Rebuild through the facade when present so the bucket plan
           // tracks the new filtered set; warmed arenas and unchanged
           // compressors carry across either way.
@@ -364,7 +376,6 @@ TrainResult train_distributed(const ModelFactory& model_factory,
           } else {
             cgx->rebuild();
           }
-          stats.reset();
           std::lock_guard<std::mutex> lock(result_mutex);
           result.assignments.push_back(std::move(assignment));
         }

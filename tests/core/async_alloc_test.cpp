@@ -116,6 +116,73 @@ TEST(AsyncEngineAlloc, StreamedStepAllocationFreeAfterWarmup) {
   }
 }
 
+TEST(AsyncEngineAlloc, StreamedStepAllocationFreeAcrossPolicyHotSwap) {
+  // The adaptive controller's contract (DESIGN.md §5j): a policy hot-swap
+  // re-plans at the rebuild boundary — where allocation is allowed — but
+  // the steady state AFTER the swap must be allocation-free again, for the
+  // swapped-in compressor family too (here DGC top-k, whose momentum and
+  // velocity stores and selection scratch are arena-backed). One warmed
+  // step after the swap grows the new state; the counted window follows.
+  constexpr int kWorld = 4;
+  tensor::LayerLayout layout;
+  layout.add_layer("embed.weight", tensor::Shape{2000, 32});
+  layout.add_layer("block0.attn.weight", tensor::Shape{32, 96});
+  layout.add_layer("block0.attn.bias", tensor::Shape{96});
+  layout.add_layer("block0.ffn.weight", tensor::Shape{32, 128});
+  layout.add_layer("head.weight", tensor::Shape{32, 50});
+
+  AsyncOptions aopts;
+  aopts.bucket_bytes = std::size_t{32} << 10;
+  AsyncGradientEngine engine(
+      std::make_unique<CgxEngine>(layout, CompressionConfig::cgx_default(),
+                                  kWorld),
+      aopts);
+
+  comm::ShmTransport transport(kWorld);
+  comm::run_world(transport, [&](comm::Comm& comm) {
+    const int rank = comm.rank();
+    util::Rng rng(9500 + static_cast<std::uint64_t>(rank));
+    util::Rng grad_rng(4500 + static_cast<std::uint64_t>(rank));
+    std::vector<float> grad(layout.total_numel());
+    const auto step = [&] {
+      for (auto& v : grad) v = static_cast<float>(grad_rng.next_gaussian());
+      engine.begin_step(comm, grad, rng);
+      for (std::size_t l = layout.layer_count(); l-- > 0;) {
+        engine.notify_layer_ready(rank, l);
+      }
+      engine.wait_all(rank);
+    };
+    for (int i = 0; i < 3; ++i) step();  // warm-up on the initial policy
+
+    // The hot-swap: the embedding moves to DGC top-k, everything else keeps
+    // its warmed compressors (differential rebuild).
+    comm.barrier();
+    if (rank == 0) {
+      CompressionConfig& config = engine.inner().config();
+      LayerCompression cfg;
+      cfg.method = Method::TopK;
+      cfg.topk_ratio = 0.01;
+      cfg.dgc = true;
+      config.set_layer_exact("embed.weight", cfg);
+      engine.rebuild();
+    }
+    comm.barrier();
+    step();  // one post-swap step grows the DGC state to final size
+    comm.barrier();
+    if (rank == 0) {
+      g_allocs.store(0);
+      g_counting.store(true);
+    }
+    comm.barrier();
+    for (int i = 0; i < 5; ++i) step();  // counted steady-state window
+    comm.barrier();
+    if (rank == 0) g_counting.store(false);
+  });
+
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "heap allocations observed in the post-hot-swap steady state";
+}
+
 TEST(AsyncEngineAlloc, DagExecutorStreamedStepAllocationFreeAfterWarmup) {
   // The DAG-executor path: per-rank DepEngine replay on a pool drives the
   // notifies (from worker threads), the engine runs two comm lanes with

@@ -147,7 +147,11 @@ TEST(DagAsync, PerBucketTimestampsRecordLaunchFinishAndLane) {
     for (std::size_t i = 0; i < total; ++i) {
       const auto& ev = report.timing.buckets[i];
       EXPECT_EQ(ev.bucket, static_cast<int>(i)) << "submission " << i;
-      EXPECT_EQ(ev.lane, static_cast<int>(i) % kLanes) << "submission " << i;
+      // Lanes come from the byte-balanced map (fixed per rebuild), not a
+      // round-robin — the report must record the lane actually ridden.
+      EXPECT_EQ(ev.lane, engine.lane_of(i)) << "submission " << i;
+      EXPECT_GE(ev.lane, 0);
+      EXPECT_LT(ev.lane, kLanes);
       EXPECT_GE(ev.launch_s, 0.0);
       EXPECT_GE(ev.finish_s, ev.launch_s)
           << "bucket finished before it launched";
@@ -158,6 +162,62 @@ TEST(DagAsync, PerBucketTimestampsRecordLaunchFinishAndLane) {
                 100.0 * report.timing.exposed_comm_s / report.timing.comm_s,
                 1e-9);
   }
+}
+
+TEST(DagAsync, LaneMapBalancesBytesUnderSkewedPolicies) {
+  // The lane map balances POST-COMPRESSION bytes, not bucket counts: with
+  // the embedding sparsified to 0.1% its bucket costs a sliver of a
+  // quantized one, and a round-robin would leave one lane nearly idle.
+  // The greedy map's invariant: no lane exceeds another by more than one
+  // submission's cost, and every lane gets work.
+  const auto layout = transformer_like_layout();
+  constexpr int kLanes = 2;
+  AsyncOptions aopts;
+  aopts.bucket_bytes = std::size_t{32} << 10;
+  aopts.overlap = true;
+  aopts.comm_lanes = kLanes;
+  auto engine = make_engine(
+      layout, 2, comm::ReductionScheme::ScatterReduceAllgather, aopts);
+
+  LayerCompression sparse;
+  sparse.method = Method::TopK;
+  sparse.topk_ratio = 0.001;
+  sparse.dgc = true;
+  engine.inner().config().set_layer_exact("embed.weight", sparse);
+  engine.rebuild();
+
+  const BucketPlan& plan = engine.plan();
+  const std::span<const LayerCompression> resolved =
+      engine.inner().resolved();
+  std::vector<double> load(kLanes, 0.0);
+  double max_item = 0.0;
+  for (std::size_t idx = 0; idx < plan.total_submissions(); ++idx) {
+    double bytes = 0.0;
+    if (plan.has_packet && idx == plan.packet_index()) {
+      bytes = 4.0 * static_cast<double>(engine.inner().packet_numel());
+    } else {
+      for (std::size_t l : plan.buckets[idx].layers) {
+        const auto& info = layout.layer(l);
+        const std::size_t rows = info.shape.empty() ? 0 : info.shape.front();
+        bytes += static_cast<double>(wire_bytes(resolved[l], info.numel, rows));
+      }
+    }
+    const int lane = engine.lane_of(idx);
+    ASSERT_GE(lane, 0);
+    ASSERT_LT(lane, kLanes);
+    load[static_cast<std::size_t>(lane)] += bytes;
+    max_item = std::max(max_item, bytes);
+  }
+  const double hi = *std::max_element(load.begin(), load.end());
+  const double lo = *std::min_element(load.begin(), load.end());
+  EXPECT_GT(lo, 0.0) << "a lane was left idle";
+  EXPECT_LE(hi - lo, max_item)
+      << "greedy byte balance violated: loads " << load[0] << " / "
+      << load[1];
+
+  // And the skewed-policy multi-lane run still reduces correctly.
+  const auto got = run_rounds(engine, layout, 2, 1);
+  EXPECT_EQ(got[0], got[1]);
 }
 
 TEST(DagAsync, InlineModeReportsFullyExposedComm) {

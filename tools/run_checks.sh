@@ -26,12 +26,13 @@ for preset in "${presets[@]}"; do
     cmake --build build-release -j "$jobs" --target \
       bench_overlap bench_dag_overlap bench_micro_collectives \
       bench_micro_compressors bench_micro_compute bench_micro_memory \
-      bench_multinode bench_elastic
+      bench_multinode bench_elastic bench_table7_adaptive
     echo "==== [bench-smoke] run"
     (cd build-release && ./bench/bench_overlap --smoke)
     (cd build-release && ./bench/bench_dag_overlap --smoke)
     (cd build-release && ./bench/bench_multinode --smoke)
     (cd build-release && ./bench/bench_elastic --smoke)
+    (cd build-release && ./bench/bench_table7_adaptive --smoke)
     (cd build-release && ./bench/bench_micro_collectives --smoke)
     (cd build-release && ./bench/bench_micro_compressors --smoke)
     (cd build-release && ./bench/bench_micro_compute --smoke)
@@ -78,6 +79,10 @@ for preset in "${presets[@]}"; do
     # bit-identity across pool sizes, and the ordered multi-lane streaming
     # composition (its tsan soaks additionally ride the tsan preset).
     ctest --test-dir "$builddir" -L dag --output-on-failure -j "$jobs"
+    # The adaptive-policy suite by label: DP solver determinism, hot-swap
+    # bit-identity among unchanged layers, and the DGC-vs-plain-topk
+    # convergence smoke (also rides the tsan preset).
+    ctest --test-dir "$builddir" -L adaptive --output-on-failure -j "$jobs"
   fi
 done
 echo "==== all presets passed"
